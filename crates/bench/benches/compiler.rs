@@ -1,0 +1,43 @@
+//! Criterion benches for the littlec compiler pipeline: compile time
+//! and generated-code quality across optimization levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use parfait_hsms::firmware::{ecdsa_app_source, hasher_app_source};
+use parfait_littlec::codegen::{compile, OptLevel};
+use parfait_littlec::frontend;
+
+fn bench_compile(c: &mut Criterion) {
+    let hasher = hasher_app_source();
+    let ecdsa = ecdsa_app_source();
+    c.bench_function("frontend/hasher", |b| b.iter(|| frontend(black_box(&hasher)).unwrap()));
+    let prog = frontend(&ecdsa).unwrap();
+    for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        c.bench_function(&format!("compile/ecdsa/{opt}"), |b| {
+            b.iter(|| compile(black_box(&prog), opt).unwrap())
+        });
+    }
+}
+
+fn bench_generated_code_quality(c: &mut Criterion) {
+    // Dynamic instruction count of one hasher handle step per opt level
+    // (lower is better; the Table 5 effect at micro scale).
+    let src = hasher_app_source();
+    let prog = frontend(&src).unwrap();
+    let mut group = c.benchmark_group("handle-step");
+    group.sample_size(10);
+    for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        let asm = parfait_littlec::validate::asm_machine(&prog, opt, 32, 33, 33).unwrap();
+        let state = vec![7u8; 32];
+        let mut cmd = vec![0u8; 33];
+        cmd[0] = 2;
+        group.bench_function(format!("{opt}").as_str(), |b| {
+            b.iter(|| asm.step(black_box(&state), black_box(&cmd)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_generated_code_quality);
+criterion_main!(benches);

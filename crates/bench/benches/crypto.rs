@@ -1,0 +1,55 @@
+//! Criterion benches for the crypto substrate (the HACL* stand-in):
+//! spec-level primitives and the full littlec ECDSA at the ISA level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use parfait_crypto::{blake2s_256, hmac_sha256, p256, sha256};
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = vec![0xA5u8; 96];
+    c.bench_function("sha256/96B", |b| b.iter(|| sha256(black_box(&data))));
+    c.bench_function("blake2s/96B", |b| b.iter(|| blake2s_256(black_box(&data))));
+    let key = [7u8; 32];
+    let msg = [9u8; 8];
+    c.bench_function("hmac_sha256/8B", |b| b.iter(|| hmac_sha256(black_box(&key), black_box(&msg))));
+}
+
+fn bench_p256(c: &mut Criterion) {
+    let f = p256::field();
+    let a = f.to_mont(&parfait_crypto::bignum::from_hex("deadbeefcafebabe0123456789abcdef"));
+    let b2 = f.to_mont(&parfait_crypto::bignum::from_hex("fedcba9876543210"));
+    c.bench_function("p256/mont_mul", |b| b.iter(|| f.mul(black_box(&a), black_box(&b2))));
+    c.bench_function("p256/field_inv", |b| b.iter(|| f.inv(black_box(&a))));
+    let g = p256::Point::generator();
+    let k = parfait_crypto::bignum::from_hex(
+        "4c3b17aa873382b0f24d6129493d8aad60a6e3c57dd01abe90086538398355dd",
+    );
+    let mut group = c.benchmark_group("p256-scalar");
+    group.sample_size(10);
+    group.bench_function("scalar_mul", |b| b.iter(|| g.mul_scalar(black_box(&k))));
+    group.finish();
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let msg = [3u8; 32];
+    let sk = {
+        let mut k = [7u8; 32];
+        k[0] = 0;
+        k
+    };
+    let nonce = {
+        let mut k = [9u8; 32];
+        k[0] = 0;
+        k
+    };
+    let mut group = c.benchmark_group("ecdsa");
+    group.sample_size(10);
+    group.bench_function("sign(spec)", |b| {
+        b.iter(|| parfait_crypto::ecdsa_p256_sign(black_box(&msg), &sk, &nonce))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_p256, bench_ecdsa);
+criterion_main!(benches);

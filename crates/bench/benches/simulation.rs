@@ -1,0 +1,66 @@
+//! Criterion benches for the hardware substrate: raw SoC simulation
+//! throughput on both cores (the "Cycles/s" column of Table 4 at
+//! micro-benchmark granularity).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use parfait::lockstep::Codec;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{HasherCodec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_littlec::codegen::OptLevel;
+use parfait_rtl::Circuit;
+
+fn bench_soc(c: &mut Criterion) {
+    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
+    let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
+    let codec = HasherCodec;
+    let state = codec.encode_state(&HasherState { secret: [5; 32] });
+    let mut group = c.benchmark_group("soc-cycles");
+    group.throughput(Throughput::Elements(10_000));
+    for cpu in [Cpu::Ibex, Cpu::Pico] {
+        group.bench_function(format!("{cpu}/10k-idle-poll-cycles"), |b| {
+            // The firmware polls RX while idle: a realistic steady state.
+            let mut soc = make_soc(cpu, fw.clone(), &state);
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    soc.tick();
+                }
+                black_box(soc.cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_riscette(c: &mut Criterion) {
+    // ISA-level simulation speed (the spec side of Knox2).
+    let prog = parfait_riscv::assemble(
+        "
+        start:
+            li t0, 10000
+        loop:
+            addi t1, t1, 3
+            xor t2, t2, t1
+            slli t3, t1, 2
+            add t2, t2, t3
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+        ",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("riscette");
+    group.throughput(Throughput::Elements(60_001));
+    group.bench_function("60k-instructions", |b| {
+        b.iter(|| {
+            let mut m = parfait_riscv::Machine::with_program(&prog);
+            m.run(1_000_000).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_soc, bench_riscette);
+criterion_main!(benches);

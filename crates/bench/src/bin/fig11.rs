@@ -1,0 +1,77 @@
+//! Figure 11: synchronization points and actions, as realized during an
+//! actual verified execution — for each instruction class retired while
+//! `handle` ran, the sync action the fig. 11 policy performs.
+
+use std::collections::BTreeMap;
+
+use parfait::lockstep::Codec;
+use parfait_bench::render_table;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{HasherCodec, HasherCommand, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_knox2::sync::{run_until_decode, snapshot_isa_machine};
+use parfait_littlec::codegen::OptLevel;
+use parfait_riscv::decode::decode;
+use parfait_riscv::isa::Instr;
+use parfait_rtl::Circuit;
+use parfait_soc::host;
+
+fn class_of(i: Instr) -> (&'static str, &'static str) {
+    match i {
+        Instr::Branch { .. } => ("branch (beq/bne/blt/...)", "sync registers + buffers"),
+        Instr::Jal { .. } | Instr::Jalr { .. } => ("call/return (jal/jalr)", "sync registers + buffers"),
+        Instr::Load { .. } => ("load (lw/lbu/...)", "sync registers + buffers"),
+        Instr::Store { .. } => ("store (sw/sb/...)", "sync registers + buffers"),
+        Instr::Op { op, .. } if op.is_muldiv() => ("mul/div", "sync registers"),
+        Instr::OpImm { .. } | Instr::Op { .. } | Instr::Lui { .. } | Instr::Auipc { .. } => {
+            ("arithmetic", "no sync (checked at next point)")
+        }
+        _ => ("other", "no sync"),
+    }
+}
+
+fn main() {
+    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
+    let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
+    let codec = HasherCodec;
+    let mut soc =
+        make_soc(Cpu::Ibex, fw, &codec.encode_state(&HasherState { secret: [9; 32] }));
+    let cmd = codec.encode_command(&HasherCommand::Hash { message: [5; 32] });
+    host::send_bytes(&mut soc, &cmd, 10_000_000).unwrap();
+    let handle_addr = soc.firmware().address_of("handle").unwrap();
+    run_until_decode(&mut soc, handle_addr, 50_000_000).unwrap();
+    // Walk handle's execution, classifying retired instructions.
+    let isa = snapshot_isa_machine(&soc);
+    let return_addr = isa.regs[1];
+    let mut counts: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    let mut done = false;
+    while !done {
+        soc.tick();
+        if let Some((word, _pc)) = soc.core.last_retired() {
+            if let Ok(i) = decode(word) {
+                *counts.entry(class_of(i)).or_insert(0) += 1;
+                if let Instr::Jalr { rs1, rd, off: 0 } = i {
+                    // handle's final return: jalr zero, ra, 0 back to main.
+                    if rd == parfait_riscv::isa::Reg::ZERO
+                        && rs1 == parfait_riscv::isa::Reg::RA
+                        && soc.core.pc() == return_addr
+                    {
+                        done = true;
+                    }
+                }
+            }
+        }
+    }
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .map(|((class, action), n)| vec![class.to_string(), action.to_string(), n.to_string()])
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 11 (realized): sync points during one verified Hash command",
+            &["Instruction class", "Knox2 action", "Retired"],
+            &rows
+        )
+    );
+}

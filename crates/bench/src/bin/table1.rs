@@ -1,0 +1,49 @@
+//! Table 1: the levels of abstraction used to verify the case-study
+//! HSMs, printed from the live system's types.
+
+use parfait_bench::render_table;
+
+fn main() {
+    let rows = vec![
+        vec![
+            "App Spec [Rust]".into(),
+            "EcdsaState / HasherState".into(),
+            "Command / Response enums".into(),
+            "StateMachine::step()".into(),
+        ],
+        vec![
+            "App Impl [littlec interp]".into(),
+            "bytes".into(),
+            "bytes".into(),
+            "handle() under interp::Interp".into(),
+        ],
+        vec![
+            "App Impl [IR]".into(),
+            "bytes".into(),
+            "bytes".into(),
+            "handle() under ireval::IrEval".into(),
+        ],
+        vec![
+            "App Impl [Asm]".into(),
+            "bytes".into(),
+            "bytes".into(),
+            "handle() under riscv::AsmStateMachine".into(),
+        ],
+        vec![
+            "System-on-a-Chip".into(),
+            "registers & memories".into(),
+            "wires".into(),
+            "rtl::Circuit::tick()".into(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            "Table 1: levels of abstraction (state machines in the theory of IPR)",
+            &["Level", "State", "I/O", "Step"],
+            &rows
+        )
+    );
+    println!("IPR chain: Spec =lockstep= interp =equiv= IR =equiv= Asm =FPS= SoC");
+    println!("(composed by parfait::transitive into the top-level theorem)");
+}

@@ -1,0 +1,258 @@
+//! `verify` — the command-line verification driver, the analogue of
+//! running the Knox2/Starling toolchain on an app×platform combination
+//! (§8.1: "the only requirement is to run Knox2 on the new
+//! software/hardware combination").
+//!
+//! ```sh
+//! cargo run -p parfait-bench --release --bin verify -- --app hasher --platform ibex
+//! cargo run -p parfait-bench --release --bin verify -- --app ecdsa  --platform pico --software-only
+//! cargo run -p parfait-bench --release --bin verify -- --app totp   --platform both
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::{ecdsa, hasher, syssw, totp};
+use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::validate::asm_machine;
+use parfait_soc::Soc;
+use parfait_starling::{verify_app, StarlingConfig};
+
+struct AppSpec {
+    name: &'static str,
+    source: String,
+    sizes: AppSizes,
+    /// Encoded secret initial state for the hardware check.
+    secret_state: Vec<u8>,
+    /// Encoded public default state for the emulator's dummy circuit.
+    dummy_state: Vec<u8>,
+    /// One representative expensive command.
+    workload: Vec<u8>,
+    /// Closure running the Starling software verification.
+    run_starling: Box<dyn Fn() -> Result<parfait_starling::StarlingReport, String>>,
+}
+
+fn app(name: &str) -> Option<AppSpec> {
+    match name {
+        "hasher" => {
+            let codec = hasher::HasherCodec;
+            Some(AppSpec {
+                name: "password hasher",
+                source: parfait_hsms::firmware::hasher_app_source(),
+                sizes: AppSizes {
+                    state: hasher::STATE_SIZE,
+                    command: hasher::COMMAND_SIZE,
+                    response: hasher::RESPONSE_SIZE,
+                },
+                secret_state: codec
+                    .encode_state(&hasher::HasherState { secret: [0x61; 32] }),
+                dummy_state: codec.encode_state(&hasher::HasherSpec.init()),
+                workload: codec
+                    .encode_command(&hasher::HasherCommand::Hash { message: [0x11; 32] }),
+                run_starling: Box::new(|| {
+                    let config = StarlingConfig {
+                        state_size: hasher::STATE_SIZE,
+                        command_size: hasher::COMMAND_SIZE,
+                        response_size: hasher::RESPONSE_SIZE,
+                        ..StarlingConfig::default()
+                    };
+                    verify_app(
+                        &hasher::HasherCodec,
+                        &hasher::HasherSpec,
+                        &parfait_hsms::firmware::hasher_app_source(),
+                        &config,
+                        &[hasher::HasherSpec.init(), hasher::HasherState { secret: [7; 32] }],
+                        &[
+                            hasher::HasherCommand::Initialize { secret: [1; 32] },
+                            hasher::HasherCommand::Hash { message: [2; 32] },
+                        ],
+                        &[hasher::HasherResponse::Initialized],
+                    )
+                    .map_err(|e| e.to_string())
+                }),
+            })
+        }
+        "totp" => {
+            let codec = totp::TotpCodec;
+            Some(AppSpec {
+                name: "one-time password",
+                source: totp::totp_app_source(),
+                sizes: AppSizes {
+                    state: totp::STATE_SIZE,
+                    command: totp::COMMAND_SIZE,
+                    response: totp::RESPONSE_SIZE,
+                },
+                secret_state: codec.encode_state(&totp::TotpState { seed: [0x29; 32] }),
+                dummy_state: codec.encode_state(&totp::TotpSpec.init()),
+                workload: codec.encode_command(&totp::TotpCommand::Code { counter: 42 }),
+                run_starling: Box::new(|| {
+                    let config = StarlingConfig {
+                        state_size: totp::STATE_SIZE,
+                        command_size: totp::COMMAND_SIZE,
+                        response_size: totp::RESPONSE_SIZE,
+                        ..StarlingConfig::default()
+                    };
+                    verify_app(
+                        &totp::TotpCodec,
+                        &totp::TotpSpec,
+                        &totp::totp_app_source(),
+                        &config,
+                        &[totp::TotpSpec.init(), totp::TotpState { seed: [7; 32] }],
+                        &[
+                            totp::TotpCommand::Initialize { seed: [1; 32] },
+                            totp::TotpCommand::Code { counter: 5 },
+                        ],
+                        &[totp::TotpResponse::Initialized, totp::TotpResponse::Code(0)],
+                    )
+                    .map_err(|e| e.to_string())
+                }),
+            })
+        }
+        "ecdsa" => {
+            let codec = ecdsa::EcdsaCodec;
+            Some(AppSpec {
+                name: "ECDSA signer",
+                source: parfait_hsms::firmware::ecdsa_app_source(),
+                sizes: AppSizes {
+                    state: ecdsa::STATE_SIZE,
+                    command: ecdsa::COMMAND_SIZE,
+                    response: ecdsa::RESPONSE_SIZE,
+                },
+                secret_state: codec.encode_state(&ecdsa::EcdsaState {
+                    prf_key: [0x13; 32],
+                    prf_counter: 0,
+                    sig_key: [0x57; 32],
+                }),
+                dummy_state: codec.encode_state(&ecdsa::EcdsaSpec.init()),
+                workload: codec
+                    .encode_command(&ecdsa::EcdsaCommand::Sign { msg: [0x3C; 32] }),
+                run_starling: Box::new(|| {
+                    let config = StarlingConfig {
+                        state_size: ecdsa::STATE_SIZE,
+                        command_size: ecdsa::COMMAND_SIZE,
+                        response_size: ecdsa::RESPONSE_SIZE,
+                        adversarial_inputs: 3,
+                        opt_levels: vec![OptLevel::O2],
+                        ..StarlingConfig::default()
+                    };
+                    verify_app(
+                        &ecdsa::EcdsaCodec,
+                        &ecdsa::EcdsaSpec,
+                        &parfait_hsms::firmware::ecdsa_app_source(),
+                        &config,
+                        &[ecdsa::EcdsaState {
+                            prf_key: [7; 32],
+                            prf_counter: 0,
+                            sig_key: [9; 32],
+                        }],
+                        &[ecdsa::EcdsaCommand::Initialize {
+                            prf_key: [1; 32],
+                            sig_key: [2; 32],
+                        }],
+                        &[ecdsa::EcdsaResponse::Initialized],
+                    )
+                    .map_err(|e| e.to_string())
+                }),
+            })
+        }
+        _ => None,
+    }
+}
+
+fn verify_hardware(a: &AppSpec, cpu: Cpu) -> Result<parfait_knox2::FpsReport, String> {
+    let fw = build_firmware(&a.source, a.sizes, OptLevel::O2).map_err(|e| e.to_string())?;
+    let program = parfait_littlec::frontend(&a.source).map_err(|e| e.to_string())?;
+    let spec = asm_machine(&program, OptLevel::O2, a.sizes.state, a.sizes.command, a.sizes.response)
+        .map_err(|e| e.to_string())?;
+    let mut real = make_soc(cpu, fw.clone(), &a.secret_state);
+    let dummy_soc = make_soc(cpu, fw, &a.dummy_state);
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, a.secret_state.clone(), a.sizes.command);
+    let cfg = FpsConfig {
+        command_size: a.sizes.command,
+        response_size: a.sizes.response,
+        timeout: 8_000_000_000,
+        state_size: a.sizes.state,
+    };
+    let state_size = a.sizes.state;
+    let project = move |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), state_size);
+    let script = vec![
+        HostOp::Command(a.workload.clone()),
+        HostOp::Command(vec![0xEE; a.sizes.command]),
+    ];
+    check_fps(&mut real, &mut emu, &cfg, &project, &script).map_err(|e| e.to_string())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: verify --app <ecdsa|hasher|totp> --platform <ibex|pico|both> \
+         [--software-only|--hardware-only]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut app_name = None;
+    let mut platform = "ibex".to_string();
+    let mut software = true;
+    let mut hardware = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--app" => app_name = it.next().cloned(),
+            "--platform" => platform = it.next().cloned().unwrap_or_default(),
+            "--software-only" => hardware = false,
+            "--hardware-only" => software = false,
+            _ => return usage(),
+        }
+    }
+    let Some(name) = app_name else { return usage() };
+    let Some(a) = app(&name) else { return usage() };
+    let cpus: Vec<Cpu> = match platform.as_str() {
+        "ibex" => vec![Cpu::Ibex],
+        "pico" => vec![Cpu::Pico],
+        "both" => vec![Cpu::Ibex, Cpu::Pico],
+        _ => return usage(),
+    };
+    println!("verifying {} ...", a.name);
+    if software {
+        let t0 = Instant::now();
+        match (a.run_starling)() {
+            Ok(report) => println!(
+                "  [starling] software OK in {:.1}s: {} lockstep cases, {} validation runs, {} IPR ops",
+                t0.elapsed().as_secs_f64(),
+                report.lockstep_cases,
+                report.validation_cases,
+                report.ipr_operations
+            ),
+            Err(e) => {
+                println!("  [starling] FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if hardware {
+        for cpu in cpus {
+            let t0 = Instant::now();
+            match verify_hardware(&a, cpu) {
+                Ok(report) => println!(
+                    "  [knox2/{cpu}] hardware OK in {:.1}s: {} cycles at {:.2}M cyc/s, {} spec queries",
+                    t0.elapsed().as_secs_f64(),
+                    report.cycles,
+                    report.cycles_per_second() / 1e6,
+                    report.spec_queries
+                ),
+                Err(e) => {
+                    println!("  [knox2/{cpu}] FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!("verification complete: the SoC refines the {} specification", a.name);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,176 @@
+//! parfait-bench — regenerates every table and figure of the paper's
+//! evaluation (§8) from the live system.
+//!
+//! One binary per artifact:
+//!
+//! | Artifact | Binary | What it measures |
+//! |---|---|---|
+//! | Table 1  | `table1` | the levels of abstraction, from the live registry |
+//! | Table 2  | `table2` | lines of code per case study, counted from the repo |
+//! | Table 3  | `table3` | software (Starling) verification effort and runtime |
+//! | Table 4  | `table4` | hardware (Knox2) verification time and cycles/s |
+//! | Table 5  | `table5` | run-time performance in signatures/second |
+//! | Fig. 11  | `fig11`  | realized synchronization points per instruction class |
+//! | Ablation | `ablation` | sync-policy cost (the §5.4 design choice) |
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::{ecdsa, firmware, hasher};
+use parfait_littlec::codegen::OptLevel;
+use parfait_soc::{Firmware, Soc};
+
+/// Which case-study application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum App {
+    /// The ECDSA certificate signer.
+    Ecdsa,
+    /// The password hasher.
+    Hasher,
+}
+
+impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            App::Ecdsa => f.write_str("ECDSA signer"),
+            App::Hasher => f.write_str("Password hasher"),
+        }
+    }
+}
+
+impl App {
+    /// The app's littlec source.
+    pub fn source(self) -> String {
+        match self {
+            App::Ecdsa => firmware::ecdsa_app_source(),
+            App::Hasher => firmware::hasher_app_source(),
+        }
+    }
+
+    /// Buffer sizes.
+    pub fn sizes(self) -> AppSizes {
+        match self {
+            App::Ecdsa => AppSizes {
+                state: ecdsa::STATE_SIZE,
+                command: ecdsa::COMMAND_SIZE,
+                response: ecdsa::RESPONSE_SIZE,
+            },
+            App::Hasher => AppSizes {
+                state: hasher::STATE_SIZE,
+                command: hasher::COMMAND_SIZE,
+                response: hasher::RESPONSE_SIZE,
+            },
+        }
+    }
+
+    /// Build firmware at the given optimization level.
+    pub fn firmware(self, opt: OptLevel) -> Firmware {
+        build_firmware(&self.source(), self.sizes(), opt).expect("firmware builds")
+    }
+
+    /// A provisioned SoC with a fixed secret state.
+    pub fn soc(self, cpu: Cpu, opt: OptLevel) -> Soc {
+        let state = self.secret_state();
+        make_soc(cpu, self.firmware(opt), &state)
+    }
+
+    /// A fixed "provisioned" state encoding for benchmarking.
+    pub fn secret_state(self) -> Vec<u8> {
+        use parfait::lockstep::Codec;
+        match self {
+            App::Ecdsa => ecdsa::EcdsaCodec.encode_state(&ecdsa::EcdsaState {
+                prf_key: [0x11; 32],
+                prf_counter: 0,
+                sig_key: [0x22; 32],
+            }),
+            App::Hasher => {
+                ecdsa_pad(hasher::HasherCodec.encode_state(&hasher::HasherState {
+                    secret: [0x33; 32],
+                }))
+            }
+        }
+    }
+
+    /// One representative command encoding (the expensive operation).
+    pub fn workload_command(self) -> Vec<u8> {
+        use parfait::lockstep::Codec;
+        match self {
+            App::Ecdsa => ecdsa::EcdsaCodec
+                .encode_command(&ecdsa::EcdsaCommand::Sign { msg: [0x3C; 32] }),
+            App::Hasher => hasher::HasherCodec
+                .encode_command(&hasher::HasherCommand::Hash { message: [0x3C; 32] }),
+        }
+    }
+}
+
+fn ecdsa_pad(v: Vec<u8>) -> Vec<u8> {
+    v
+}
+
+/// Count the non-blank, non-comment lines of a source string.
+pub fn loc(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("#"))
+        .count()
+}
+
+/// Render an ASCII table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("| {:w$} ", h, w = widths[i]));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("| {:w$} ", cell, w = widths[i]));
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counts_code_lines() {
+        assert_eq!(loc("a\n\n// c\n  b\n# d\n"), 2);
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let t = render_table(
+            "T",
+            &["col", "x"],
+            &[vec!["a".into(), "123".into()], vec!["long".into(), "4".into()]],
+        );
+        assert!(t.contains("| col  | x   |"));
+    }
+
+    #[test]
+    fn apps_build() {
+        let _ = App::Hasher.firmware(OptLevel::O2);
+    }
+}

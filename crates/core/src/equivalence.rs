@@ -1,0 +1,115 @@
+//! IPR by equivalence (paper §3).
+//!
+//! When two state machines have identical input/output types and are
+//! observationally equivalent — the situation produced by a verified (or
+//! translation-validated) compiler between the Low\*, C, and Asm levels
+//! — IPR holds with the *identity* driver and emulator. This module
+//! provides those identity constructions and an executable equivalence
+//! checker.
+
+use crate::machine::StateMachine;
+use crate::world::{Driver, Emulator};
+
+/// The identity driver: a spec-level command *is* an impl-level command.
+pub struct IdentityDriver;
+
+impl<C: Clone, R> Driver<C, R, C, R> for IdentityDriver {
+    fn run(&self, cmd: &C, io: &mut dyn FnMut(&C) -> R) -> R {
+        io(cmd)
+    }
+}
+
+/// The identity emulator: forward every command to the spec.
+pub struct IdentityEmulator;
+
+impl<C, R> Emulator<C, R, C, R> for IdentityEmulator {
+    fn reset(&mut self) {}
+
+    fn on_command(&mut self, cmd: &C, spec: &mut dyn FnMut(&C) -> R) -> R {
+        spec(cmd)
+    }
+}
+
+/// A witnessed inequivalence between two machines.
+#[derive(Clone, Debug)]
+pub struct Inequivalence<R> {
+    /// Index of the command sequence that distinguished them.
+    pub sequence: usize,
+    /// Index of the diverging command within the sequence.
+    pub step: usize,
+    /// Response of the first machine.
+    pub left: R,
+    /// Response of the second machine.
+    pub right: R,
+}
+
+/// Check observational equivalence of two machines with identical
+/// command/response types over the given command sequences.
+pub fn check_equivalence<M1, M2>(
+    m1: &M1,
+    m2: &M2,
+    sequences: &[Vec<M1::Command>],
+) -> Result<(), Inequivalence<M1::Response>>
+where
+    M1: StateMachine,
+    M2: StateMachine<Command = M1::Command, Response = M1::Response>,
+{
+    for (si, seq) in sequences.iter().enumerate() {
+        let r1 = m1.run(seq);
+        let r2 = m2.run(seq);
+        for (i, (a, b)) in r1.iter().zip(r2.iter()).enumerate() {
+            if a != b {
+                return Err(Inequivalence {
+                    sequence: si,
+                    step: i,
+                    left: a.clone(),
+                    right: b.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::examples::*;
+    use crate::world::{check_ipr, Op};
+
+    #[test]
+    fn equivalent_machines_pass() {
+        let a = counter_bytes();
+        let b = counter_bytes();
+        let seqs = vec![
+            vec![vec![1, 5, 0, 0, 0], vec![2, 0, 0, 0, 0]],
+            vec![vec![9, 9, 9, 9, 9], vec![2, 0, 0, 0, 0]],
+        ];
+        check_equivalence(&a, &b, &seqs).unwrap();
+    }
+
+    #[test]
+    fn inequivalent_machines_caught() {
+        let a = counter_bytes();
+        let b = counter_bytes_leaky();
+        let seqs = vec![vec![vec![1, 5, 0, 0, 0], vec![0xAB].to_vec()]];
+        let err = check_equivalence(&a, &b, &seqs).unwrap_err();
+        assert_eq!(err.step, 1);
+    }
+
+    #[test]
+    fn equivalence_implies_ipr_via_identity() {
+        // Two equal machines related by the identity driver/emulator pass
+        // the full two-world check, including adversarial (impl-level)
+        // operations.
+        let a = counter_bytes();
+        let b = counter_bytes();
+        let ops: Vec<Op<Vec<u8>, Vec<u8>>> = vec![
+            Op::Spec(vec![1, 3, 0, 0, 0]),
+            Op::Impl(vec![2, 0, 0, 0, 0]),
+            Op::Impl(vec![0xFF; 5]),
+            Op::Spec(vec![2, 0, 0, 0, 0]),
+        ];
+        check_ipr(&a, &b, &IdentityDriver, &mut IdentityEmulator, &ops).unwrap();
+    }
+}

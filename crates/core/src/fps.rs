@@ -1,0 +1,219 @@
+//! IPR by functional-physical simulation (paper §3, from Knox).
+//!
+//! Functional-physical simulation generalizes forward simulation to the
+//! IPR setting: a *refinement relation* connects spec states to
+//! implementation states, and a one-spec-step-to-many-impl-steps
+//! correspondence (the driver's program) preserves it. The existence of
+//! such a relation, together with an emulator whose behaviour matches
+//! the implementation on arbitrary (adversarial) low-level operations,
+//! implies IPR.
+//!
+//! This module provides the *functional* half as a generic, executable
+//! obligation over whole-command machines: [`check_forward_simulation`].
+//! The *physical* half — adversarial wire-level operations, timing, and
+//! the emulator template for circuits — is instantiated by
+//! `parfait-knox2`, which checks cycle-exact trace equivalence between
+//! the real SoC and the emulator's SoC instance.
+
+use crate::machine::StateMachine;
+use crate::world::Driver;
+
+/// A violated simulation obligation.
+#[derive(Clone, Debug)]
+pub struct SimulationViolation {
+    /// Description of the failing case.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SimulationViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "functional-physical simulation violated: {}", self.detail)
+    }
+}
+
+/// Check the forward-simulation obligation: for every related pair of
+/// states `(s_spec, s_impl)` (as produced by `project`), running the
+/// driver's program for a command on the implementation yields the same
+/// response as the spec step and re-establishes the relation.
+///
+/// * `related` — the developer-supplied refinement relation (fig. 9);
+/// * `commands` — spec-level commands to exercise;
+/// * `states` — spec states paired with implementation states that
+///   `related` accepts (reachable-state sampling is the caller's job).
+pub fn check_forward_simulation<MS, MI, D>(
+    spec: &MS,
+    imp: &MI,
+    driver: &D,
+    related: &dyn Fn(&MS::State, &MI::State) -> bool,
+    states: &[(MS::State, MI::State)],
+    commands: &[MS::Command],
+) -> Result<(), SimulationViolation>
+where
+    MS: StateMachine,
+    MI: StateMachine,
+    D: Driver<MS::Command, MS::Response, MI::Command, MI::Response>,
+{
+    for (ss, si) in states {
+        if !related(ss, si) {
+            return Err(SimulationViolation {
+                detail: "initial state pair not related by R".into(),
+            });
+        }
+        for cmd in commands {
+            let (ss2, want) = spec.step(ss, cmd);
+            let mut cur = si.clone();
+            let mut io = |ci: &MI::Command| {
+                let (s, r) = imp.step(&cur, ci);
+                cur = s;
+                r
+            };
+            let got = driver.run(cmd, &mut io);
+            if got != want {
+                return Err(SimulationViolation {
+                    detail: format!("driver produced {got:?}, spec produced {want:?}"),
+                });
+            }
+            if !related(&ss2, &cur) {
+                return Err(SimulationViolation {
+                    detail: "post-states not related by R".to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::examples::*;
+    use crate::machine::FnMachine;
+    use crate::world::Driver;
+
+    /// A "journaled" counter implementation in the shape of fig. 9: the
+    /// state is (flag, slot0, slot1); the active slot is selected by the
+    /// flag, and each update writes the inactive slot then flips the
+    /// flag (two low-level commands per spec command).
+    #[derive(Clone, Debug, PartialEq)]
+    struct J {
+        flag: bool,
+        slots: [u32; 2],
+    }
+
+    #[derive(Clone, Debug)]
+    enum JCmd {
+        WriteInactive(u32),
+        FlipFlag,
+        Read,
+    }
+
+    fn journal_machine() -> FnMachine<J, JCmd, u32> {
+        FnMachine {
+            init: J { flag: false, slots: [0, 0] },
+            step: |s, c| match c {
+                JCmd::WriteInactive(v) => {
+                    let mut s2 = s.clone();
+                    s2.slots[!s.flag as usize % 2] = *v;
+                    // Inactive slot is the one NOT selected by flag.
+                    s2.slots[if s.flag { 0 } else { 1 }] = *v;
+                    (s2, 0)
+                }
+                JCmd::FlipFlag => {
+                    let mut s2 = s.clone();
+                    s2.flag = !s.flag;
+                    (s2, 0)
+                }
+                JCmd::Read => (s.clone(), s.slots[s.flag as usize]),
+            },
+        }
+    }
+
+    struct JournalDriver;
+
+    impl Driver<CounterCmd, u32, JCmd, u32> for JournalDriver {
+        fn run(&self, cmd: &CounterCmd, io: &mut dyn FnMut(&JCmd) -> u32) -> u32 {
+            match cmd {
+                CounterCmd::Add(n) => {
+                    let cur = io(&JCmd::Read);
+                    io(&JCmd::WriteInactive(cur.wrapping_add(*n)));
+                    io(&JCmd::FlipFlag);
+                    0
+                }
+                CounterCmd::Get => io(&JCmd::Read),
+            }
+        }
+    }
+
+    fn related(spec: &u32, imp: &J) -> bool {
+        imp.slots[imp.flag as usize] == *spec
+    }
+
+    #[test]
+    fn journal_implementation_simulates_counter() {
+        let spec = counter_spec();
+        let imp = journal_machine();
+        let states = vec![
+            (0u32, J { flag: false, slots: [0, 0] }),
+            (7, J { flag: true, slots: [3, 7] }),
+            (u32::MAX, J { flag: false, slots: [u32::MAX, 1] }),
+        ];
+        check_forward_simulation(
+            &spec,
+            &imp,
+            &JournalDriver,
+            &(|s: &u32, i: &J| related(s, i)),
+            &states,
+            &[CounterCmd::Add(1), CounterCmd::Add(100), CounterCmd::Get],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn wrong_relation_is_caught() {
+        let spec = counter_spec();
+        let imp = journal_machine();
+        // Claim the *inactive* slot holds the value: fails immediately.
+        let wrong = |s: &u32, i: &J| i.slots[!i.flag as usize % 2] == *s
+            && i.slots[if i.flag { 0 } else { 1 }] == *s;
+        let states = vec![(7u32, J { flag: true, slots: [3, 7] })];
+        let err = check_forward_simulation(
+            &spec,
+            &imp,
+            &JournalDriver,
+            &wrong,
+            &states,
+            &[CounterCmd::Get],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn buggy_driver_is_caught() {
+        struct BadDriver;
+        impl Driver<CounterCmd, u32, JCmd, u32> for BadDriver {
+            fn run(&self, cmd: &CounterCmd, io: &mut dyn FnMut(&JCmd) -> u32) -> u32 {
+                match cmd {
+                    CounterCmd::Add(n) => {
+                        let cur = io(&JCmd::Read);
+                        io(&JCmd::WriteInactive(cur.wrapping_add(*n)));
+                        // Forgets to flip the flag: commit never happens.
+                        0
+                    }
+                    CounterCmd::Get => io(&JCmd::Read),
+                }
+            }
+        }
+        let spec = counter_spec();
+        let imp = journal_machine();
+        let states = vec![(0u32, J { flag: false, slots: [0, 0] })];
+        let err = check_forward_simulation(
+            &spec,
+            &imp,
+            &BadDriver,
+            &(|s: &u32, i: &J| related(s, i)),
+            &states,
+            &[CounterCmd::Add(5)],
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! parfait — the theory of information-preserving refinement (IPR).
+//!
+//! This crate is the executable counterpart of the Parfait paper's Coq
+//! formalization (§3): state machines (fig. 3), drivers and emulators,
+//! the real/ideal-world definition of IPR (fig. 5), the transitivity
+//! construction that lets refinements compose across levels of
+//! abstraction, and the three proof strategies — *IPR by lockstep*, *IPR
+//! by equivalence*, and *IPR by functional-physical simulation*.
+//!
+//! Where the paper proves these statements once and for all in Coq, this
+//! crate turns every definition into a runnable construction and every
+//! theorem into a *checker*: observational equivalence of the two worlds
+//! is tested over adversarially mixed command sequences, and the
+//! composition operators are validated by the test suite and by the
+//! downstream Starling/Knox2 crates that instantiate them on real HSMs.
+//!
+//! Map from paper artifacts to modules:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | `state_machine` record (fig. 3) | [`machine::StateMachine`] |
+//! | driver / emulator / worlds (fig. 5) | [`world`] |
+//! | IPR transitivity theorem | [`transitive`] |
+//! | IPR by lockstep (fig. 6) | [`lockstep`] |
+//! | IPR by equivalence | [`equivalence`] |
+//! | IPR by functional-physical simulation | [`fps`] |
+//! | spec-level non-leakage (§9 complement) | [`speccheck`] |
+
+pub mod equivalence;
+pub mod fps;
+pub mod lockstep;
+pub mod machine;
+pub mod speccheck;
+pub mod transitive;
+pub mod world;
+
+pub use machine::StateMachine;
+pub use world::{check_ipr, Counterexample, Driver, Emulator, Obs, Op};

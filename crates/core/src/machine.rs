@@ -1,0 +1,161 @@
+//! State machines — fig. 3 of the paper.
+
+/// A deterministic state machine, the paper's
+/// `Record state_machine (command response : Type)`.
+///
+/// Every level of abstraction — application specification, byte-level
+/// `handle` implementation, compiled assembly, and the SoC circuit — is
+/// modeled as a value of this trait (paper Table 1).
+///
+/// ```
+/// use parfait::machine::{FnMachine, StateMachine};
+///
+/// // A two-command counter spec in fig. 4 style.
+/// let spec: FnMachine<u32, u32, u32> = FnMachine {
+///     init: 0,
+///     step: |s, add| (s + add, s + add),
+/// };
+/// assert_eq!(spec.run(&[5, 7]), vec![5, 12]);
+/// ```
+pub trait StateMachine {
+    /// The machine's state type.
+    type State: Clone;
+    /// Input commands.
+    type Command;
+    /// Output responses.
+    type Response: PartialEq + Clone + std::fmt::Debug;
+
+    /// The initial state (`init` in fig. 3).
+    fn init(&self) -> Self::State;
+
+    /// The transition function (`step` in fig. 3).
+    fn step(&self, state: &Self::State, cmd: &Self::Command) -> (Self::State, Self::Response);
+
+    /// Run a command sequence from the initial state, collecting
+    /// responses.
+    fn run(&self, cmds: &[Self::Command]) -> Vec<Self::Response> {
+        let mut state = self.init();
+        let mut out = Vec::with_capacity(cmds.len());
+        for c in cmds {
+            let (s, r) = self.step(&state, c);
+            state = s;
+            out.push(r);
+        }
+        out
+    }
+}
+
+/// A state machine built from closures, for tests and small specs.
+pub struct FnMachine<S, C, R> {
+    /// Initial state.
+    pub init: S,
+    /// Step function.
+    pub step: fn(&S, &C) -> (S, R),
+}
+
+impl<S: Clone, C, R: PartialEq + Clone + std::fmt::Debug> StateMachine for FnMachine<S, C, R> {
+    type State = S;
+    type Command = C;
+    type Response = R;
+
+    fn init(&self) -> S {
+        self.init.clone()
+    }
+
+    fn step(&self, state: &S, cmd: &C) -> (S, R) {
+        (self.step)(state, cmd)
+    }
+}
+
+/// Example machines used throughout the test suite.
+pub mod examples {
+    use super::*;
+
+    /// Commands of the counter spec.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum CounterCmd {
+        /// Add `n` to the counter.
+        Add(u32),
+        /// Read the counter.
+        Get,
+    }
+
+    /// A counter specification machine.
+    pub fn counter_spec() -> FnMachine<u32, CounterCmd, u32> {
+        FnMachine {
+            init: 0,
+            step: |s, c| match c {
+                CounterCmd::Add(n) => (s.wrapping_add(*n), 0),
+                CounterCmd::Get => (*s, *s),
+            },
+        }
+    }
+
+    /// A byte-level counter implementation: commands are 5-byte buffers
+    /// `[tag, le32]`; responses are 4-byte little-endian buffers.
+    /// Tag 1 = add, tag 2 = get; anything else is an invalid command and
+    /// returns `[0xFF; 4]` without changing state.
+    pub fn counter_bytes() -> FnMachine<u32, Vec<u8>, Vec<u8>> {
+        FnMachine {
+            init: 0,
+            step: |s, c| {
+                if c.len() != 5 {
+                    return (*s, vec![0xFF; 4]);
+                }
+                let arg = u32::from_le_bytes([c[1], c[2], c[3], c[4]]);
+                match c[0] {
+                    1 => (s.wrapping_add(arg), vec![0, 0, 0, 0]),
+                    2 => (*s, s.to_le_bytes().to_vec()),
+                    _ => (*s, vec![0xFF; 4]),
+                }
+            },
+        }
+    }
+
+    /// A buggy byte-level counter that leaks state on invalid commands
+    /// (used to show the IPR checker catching leakage).
+    pub fn counter_bytes_leaky() -> FnMachine<u32, Vec<u8>, Vec<u8>> {
+        FnMachine {
+            init: 0,
+            step: |s, c| {
+                if c.len() != 5 || !(c[0] == 1 || c[0] == 2) {
+                    // Leak: the "error" response reveals the counter.
+                    return (*s, s.to_le_bytes().to_vec());
+                }
+                let arg = u32::from_le_bytes([c[1], c[2], c[3], c[4]]);
+                match c[0] {
+                    1 => (s.wrapping_add(arg), vec![0, 0, 0, 0]),
+                    _ => (*s, s.to_le_bytes().to_vec()),
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::examples::*;
+    use super::*;
+
+    #[test]
+    fn run_collects_responses() {
+        let m = counter_spec();
+        let rs = m.run(&[CounterCmd::Add(2), CounterCmd::Add(3), CounterCmd::Get]);
+        assert_eq!(rs, vec![0, 0, 5]);
+    }
+
+    #[test]
+    fn byte_machine_matches_spec_behaviour() {
+        let m = counter_bytes();
+        let rs = m.run(&[vec![1, 7, 0, 0, 0], vec![2, 0, 0, 0, 0]]);
+        assert_eq!(rs[1], vec![7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn invalid_commands_do_not_change_state() {
+        let m = counter_bytes();
+        let rs = m.run(&[vec![1, 7, 0, 0, 0], vec![9, 9, 9, 9, 9], vec![2, 0, 0, 0, 0]]);
+        assert_eq!(rs[1], vec![0xFF; 4]);
+        assert_eq!(rs[2], vec![7, 0, 0, 0]);
+    }
+}

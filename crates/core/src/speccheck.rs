@@ -1,0 +1,120 @@
+//! Specification-level information-flow census.
+//!
+//! IPR proves the implementation leaks *no more than the specification*
+//! — but the specification itself may leak (paper §9: "the specification
+//! may have bugs that allow for information leakage ... noninterference
+//! ... approaches are complementary to Parfait"). This module provides
+//! the executable complement: a census of which commands' responses
+//! actually *depend* on the machine state, computed by running each
+//! command against many states and comparing responses.
+//!
+//! A command that the developer believes is state-independent (error
+//! responses, acknowledgements) but whose response varies across states
+//! is a spec-level leak — exactly the class IPR cannot catch.
+
+use crate::machine::StateMachine;
+
+/// The census result for one command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// The response was identical across every sampled state.
+    StateIndependent,
+    /// The response varied across states (it reveals state — which may
+    /// be by design, e.g. `Hash` revealing a digest).
+    StateDependent {
+        /// How many distinct responses were observed.
+        distinct_responses: usize,
+    },
+}
+
+/// One row of the census.
+#[derive(Clone, Debug)]
+pub struct CensusEntry<C> {
+    /// The command examined.
+    pub command: C,
+    /// Whether (and how much) its response depends on the state.
+    pub flow: Flow,
+}
+
+/// Run the census: for each command, step it from every sampled state
+/// and classify the response's dependence on the state.
+pub fn census<M>(machine: &M, states: &[M::State], commands: &[M::Command]) -> Vec<CensusEntry<M::Command>>
+where
+    M: StateMachine,
+    M::Command: Clone,
+{
+    let mut out = Vec::with_capacity(commands.len());
+    for cmd in commands {
+        let mut responses: Vec<M::Response> = Vec::new();
+        for st in states {
+            let (_, r) = machine.step(st, cmd);
+            if !responses.contains(&r) {
+                responses.push(r);
+            }
+        }
+        let flow = if responses.len() <= 1 {
+            Flow::StateIndependent
+        } else {
+            Flow::StateDependent { distinct_responses: responses.len() }
+        };
+        out.push(CensusEntry { command: cmd.clone(), flow });
+    }
+    out
+}
+
+/// Assert that the given commands are state-independent (the developer's
+/// declared non-leaking command set); returns the offending commands.
+pub fn check_state_independent<M>(
+    machine: &M,
+    states: &[M::State],
+    commands: &[M::Command],
+) -> Result<(), Vec<M::Command>>
+where
+    M: StateMachine,
+    M::Command: Clone,
+{
+    let bad: Vec<M::Command> = census(machine, states, commands)
+        .into_iter()
+        .filter(|e| matches!(e.flow, Flow::StateDependent { .. }))
+        .map(|e| e.command)
+        .collect();
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::examples::{counter_spec, CounterCmd};
+
+    #[test]
+    fn census_classifies_counter_commands() {
+        let m = counter_spec();
+        let states = vec![0u32, 1, 41, u32::MAX];
+        let entries =
+            census(&m, &states, &[CounterCmd::Add(5), CounterCmd::Get]);
+        // Add's response is always 0: state-independent.
+        assert_eq!(entries[0].flow, Flow::StateIndependent);
+        // Get reveals the counter: state-dependent by design.
+        assert_eq!(entries[1].flow, Flow::StateDependent { distinct_responses: 4 });
+    }
+
+    #[test]
+    fn check_flags_only_dependent_commands() {
+        let m = counter_spec();
+        let states = vec![0u32, 7];
+        check_state_independent(&m, &states, &[CounterCmd::Add(1)]).unwrap();
+        let bad = check_state_independent(&m, &states, &[CounterCmd::Get]).unwrap_err();
+        assert_eq!(bad, vec![CounterCmd::Get]);
+    }
+
+    #[test]
+    fn single_state_is_trivially_independent() {
+        let m = counter_spec();
+        let entries = census(&m, &[9u32], &[CounterCmd::Get]);
+        assert_eq!(entries[0].flow, Flow::StateIndependent);
+    }
+}

@@ -1,0 +1,263 @@
+//! Transitivity of IPR — the key contribution of the paper (§3).
+//!
+//! Given `M1 ≈IPR[d12] M2` and `M2 ≈IPR[d23] M3`, the paper's Coq
+//! development proves `M1 ≈IPR[d12 ∘ d23] M3`. This module provides the
+//! two executable constructions that appear in that proof:
+//!
+//! * [`ComposedDriver`] — `d12 ∘ d23`: a spec-level command is mapped by
+//!   `d12` to mid-level operations, each of which is mapped by `d23` to
+//!   low-level operations;
+//! * [`ComposedEmulator`] — `e23 ∘ e12`: a low-level adversary command is
+//!   handled by `e23`, whose mid-level spec queries are answered by
+//!   `e12`, whose queries reach the top-level spec.
+//!
+//! The crate's tests (and the end-to-end HSM tests in `parfait-hsms`)
+//! validate the theorem by checking the composed pair with
+//! [`crate::world::check_ipr`].
+
+use std::marker::PhantomData;
+
+use crate::world::{Driver, Emulator};
+
+/// The composition `d12 ∘ d23` of two drivers.
+pub struct ComposedDriver<D12, D23, CM, RM> {
+    /// Driver between the top and middle levels.
+    pub d12: D12,
+    /// Driver between the middle and bottom levels.
+    pub d23: D23,
+    _marker: PhantomData<fn() -> (CM, RM)>,
+}
+
+impl<D12, D23, CM, RM> ComposedDriver<D12, D23, CM, RM> {
+    /// Compose two drivers across a middle level of abstraction.
+    pub fn new(d12: D12, d23: D23) -> Self {
+        ComposedDriver { d12, d23, _marker: PhantomData }
+    }
+}
+
+impl<CS, RS, CM, RM, CI, RI, D12, D23> Driver<CS, RS, CI, RI>
+    for ComposedDriver<D12, D23, CM, RM>
+where
+    D12: Driver<CS, RS, CM, RM>,
+    D23: Driver<CM, RM, CI, RI>,
+{
+    fn run(&self, cmd: &CS, io: &mut dyn FnMut(&CI) -> RI) -> RS {
+        let d23 = &self.d23;
+        self.d12.run(cmd, &mut |cm: &CM| d23.run(cm, io))
+    }
+}
+
+/// The composition `e23 ∘ e12` of two emulators.
+pub struct ComposedEmulator<E12, E23, CM, RM> {
+    /// Emulator relating the top and middle levels.
+    pub e12: E12,
+    /// Emulator relating the middle and bottom levels.
+    pub e23: E23,
+    _marker: PhantomData<fn() -> (CM, RM)>,
+}
+
+impl<E12, E23, CM, RM> ComposedEmulator<E12, E23, CM, RM> {
+    /// Compose two emulators across a middle level of abstraction.
+    pub fn new(e12: E12, e23: E23) -> Self {
+        ComposedEmulator { e12, e23, _marker: PhantomData }
+    }
+}
+
+impl<CS, RS, CM, RM, CI, RI, E12, E23> Emulator<CS, RS, CI, RI>
+    for ComposedEmulator<E12, E23, CM, RM>
+where
+    E12: Emulator<CS, RS, CM, RM>,
+    E23: Emulator<CM, RM, CI, RI>,
+{
+    fn reset(&mut self) {
+        self.e12.reset();
+        self.e23.reset();
+    }
+
+    fn on_command(&mut self, cmd: &CI, spec: &mut dyn FnMut(&CS) -> RS) -> RI {
+        let e12 = &mut self.e12;
+        self.e23.on_command(cmd, &mut |cm: &CM| e12.on_command(cm, spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::examples::*;
+    use crate::machine::FnMachine;
+    use crate::world::{check_ipr, Op};
+
+    // Three levels: CounterCmd (spec) / bytes (mid) / "wire" where each
+    // wire op carries one byte of a framed message. To keep the test
+    // tractable, the wire level transfers whole 5-byte buffers but with
+    // a parity trailer.
+
+    /// Wire level: commands are 6-byte frames `[cmd[5], checksum]`;
+    /// responses are 5-byte frames `[resp[4], checksum]`. A frame with a
+    /// bad checksum returns all-zero without stepping the machine.
+    fn counter_wire() -> FnMachine<u32, Vec<u8>, Vec<u8>> {
+        FnMachine {
+            init: 0,
+            step: |s, c| {
+                let frame_ok =
+                    c.len() == 6 && c[5] == c[..5].iter().fold(0u8, |a, b| a.wrapping_add(*b));
+                if !frame_ok {
+                    return (*s, vec![0; 5]);
+                }
+                let inner = counter_bytes();
+                let (s2, r) = crate::machine::StateMachine::step(&inner, s, &c[..5].to_vec());
+                let mut out = r.clone();
+                out.push(r.iter().fold(0u8, |a, b| a.wrapping_add(*b)));
+                (s2, out)
+            },
+        }
+    }
+
+    struct SpecToBytes;
+    impl crate::world::Driver<CounterCmd, u32, Vec<u8>, Vec<u8>> for SpecToBytes {
+        fn run(&self, cmd: &CounterCmd, io: &mut dyn FnMut(&Vec<u8>) -> Vec<u8>) -> u32 {
+            let buf = match cmd {
+                CounterCmd::Add(n) => {
+                    let mut b = vec![1];
+                    b.extend_from_slice(&n.to_le_bytes());
+                    b
+                }
+                CounterCmd::Get => vec![2, 0, 0, 0, 0],
+            };
+            let r = io(&buf);
+            u32::from_le_bytes([r[0], r[1], r[2], r[3]])
+        }
+    }
+
+    struct BytesToWire;
+    impl crate::world::Driver<Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>> for BytesToWire {
+        fn run(&self, cmd: &Vec<u8>, io: &mut dyn FnMut(&Vec<u8>) -> Vec<u8>) -> Vec<u8> {
+            let mut framed = cmd.clone();
+            framed.push(cmd.iter().fold(0u8, |a, b| a.wrapping_add(*b)));
+            let r = io(&framed);
+            r[..4].to_vec()
+        }
+    }
+
+    struct SpecToBytesEmu;
+    impl crate::world::Emulator<CounterCmd, u32, Vec<u8>, Vec<u8>> for SpecToBytesEmu {
+        fn reset(&mut self) {}
+        fn on_command(
+            &mut self,
+            cmd: &Vec<u8>,
+            spec: &mut dyn FnMut(&CounterCmd) -> u32,
+        ) -> Vec<u8> {
+            if cmd.len() != 5 {
+                return vec![0xFF; 4];
+            }
+            let arg = u32::from_le_bytes([cmd[1], cmd[2], cmd[3], cmd[4]]);
+            match cmd[0] {
+                1 => {
+                    spec(&CounterCmd::Add(arg));
+                    vec![0, 0, 0, 0]
+                }
+                2 => spec(&CounterCmd::Get).to_le_bytes().to_vec(),
+                _ => vec![0xFF; 4],
+            }
+        }
+    }
+
+    struct BytesToWireEmu;
+    impl crate::world::Emulator<Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>> for BytesToWireEmu {
+        fn reset(&mut self) {}
+        fn on_command(
+            &mut self,
+            cmd: &Vec<u8>,
+            spec: &mut dyn FnMut(&Vec<u8>) -> Vec<u8>,
+        ) -> Vec<u8> {
+            let frame_ok = cmd.len() == 6
+                && cmd[5] == cmd[..5].iter().fold(0u8, |a, b| a.wrapping_add(*b));
+            if !frame_ok {
+                return vec![0; 5];
+            }
+            let r = spec(&cmd[..5].to_vec());
+            let mut out = r.clone();
+            out.push(r.iter().fold(0u8, |a, b| a.wrapping_add(*b)));
+            out
+        }
+    }
+
+    fn frame(buf: &[u8]) -> Vec<u8> {
+        let mut f = buf.to_vec();
+        f.push(buf.iter().fold(0u8, |a, b| a.wrapping_add(*b)));
+        f
+    }
+
+    #[test]
+    fn each_level_satisfies_ipr() {
+        // Level 1≈2.
+        let ops: Vec<Op<CounterCmd, Vec<u8>>> = vec![
+            Op::Spec(CounterCmd::Add(3)),
+            Op::Impl(vec![2, 0, 0, 0, 0]),
+            Op::Impl(vec![7; 5]),
+            Op::Spec(CounterCmd::Get),
+        ];
+        check_ipr(&counter_spec(), &counter_bytes(), &SpecToBytes, &mut SpecToBytesEmu, &ops)
+            .unwrap();
+        // Level 2≈3.
+        let ops: Vec<Op<Vec<u8>, Vec<u8>>> = vec![
+            Op::Spec(vec![1, 9, 0, 0, 0]),
+            Op::Impl(frame(&[2, 0, 0, 0, 0])),
+            Op::Impl(vec![1, 2, 3]), // bad frame
+            Op::Spec(vec![2, 0, 0, 0, 0]),
+        ];
+        check_ipr(&counter_bytes(), &counter_wire(), &BytesToWire, &mut BytesToWireEmu, &ops)
+            .unwrap();
+    }
+
+    #[test]
+    fn transitivity_composes_end_to_end() {
+        // M1 ≈ M3 with the composed driver and emulator — the executable
+        // form of the transitivity theorem.
+        let driver = ComposedDriver::<_, _, Vec<u8>, Vec<u8>>::new(SpecToBytes, BytesToWire);
+        let mut emu =
+            ComposedEmulator::<_, _, Vec<u8>, Vec<u8>>::new(SpecToBytesEmu, BytesToWireEmu);
+        let ops: Vec<Op<CounterCmd, Vec<u8>>> = vec![
+            Op::Spec(CounterCmd::Add(3)),
+            Op::Impl(frame(&[1, 4, 0, 0, 0])),
+            Op::Spec(CounterCmd::Get),
+            Op::Impl(vec![0xde, 0xad]), // bad frame at the wire level
+            Op::Impl(frame(&[9, 9, 9, 9, 9])), // good frame, bad command
+            Op::Impl(frame(&[2, 0, 0, 0, 0])),
+            Op::Spec(CounterCmd::Get),
+        ];
+        check_ipr(&counter_spec(), &counter_wire(), &driver, &mut emu, &ops).unwrap();
+    }
+
+    #[test]
+    fn composition_exposes_lower_level_leak() {
+        // Break the wire level so that bad frames leak the counter; the
+        // composed check must catch it.
+        let leaky_wire: FnMachine<u32, Vec<u8>, Vec<u8>> = FnMachine {
+            init: 0,
+            step: |s, c| {
+                let frame_ok =
+                    c.len() == 6 && c[5] == c[..5].iter().fold(0u8, |a, b| a.wrapping_add(*b));
+                if !frame_ok {
+                    let mut out = s.to_le_bytes().to_vec();
+                    out.push(0);
+                    return (*s, out); // leaks!
+                }
+                let inner = counter_bytes();
+                let (s2, r) = crate::machine::StateMachine::step(&inner, s, &c[..5].to_vec());
+                let mut out = r.clone();
+                out.push(r.iter().fold(0u8, |a, b| a.wrapping_add(*b)));
+                (s2, out)
+            },
+        };
+        let driver = ComposedDriver::<_, _, Vec<u8>, Vec<u8>>::new(SpecToBytes, BytesToWire);
+        let mut emu =
+            ComposedEmulator::<_, _, Vec<u8>, Vec<u8>>::new(SpecToBytesEmu, BytesToWireEmu);
+        let ops: Vec<Op<CounterCmd, Vec<u8>>> = vec![
+            Op::Spec(CounterCmd::Add(41)),
+            Op::Impl(vec![0xde, 0xad]), // bad frame → leak
+        ];
+        let err = check_ipr(&counter_spec(), &leaky_wire, &driver, &mut emu, &ops);
+        assert_eq!(err.unwrap_err().index, 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! The IPR definition: drivers, emulators, and the real/ideal worlds
+//! (fig. 5 of the paper), plus the observational-equivalence checker.
+
+use crate::machine::StateMachine;
+
+/// A driver translates one spec-level command into a program of
+/// implementation-level I/O (paper §3: "a program mapping spec-level
+/// operations to implementation-level I/O", akin to a device driver).
+///
+/// The driver is in the TCB.
+pub trait Driver<CS, RS, CI, RI> {
+    /// Execute the spec-level command `cmd`, performing
+    /// implementation-level operations through `io`, and decode the
+    /// spec-level response.
+    fn run(&self, cmd: &CS, io: &mut dyn FnMut(&CI) -> RI) -> RS;
+}
+
+/// An emulator — the dual of the driver and a proof artifact, *not* in
+/// the TCB. It exposes the implementation-level interface while having
+/// only query access to the specification.
+pub trait Emulator<CS, RS, CI, RI> {
+    /// Return to the initial emulator state.
+    fn reset(&mut self);
+
+    /// Handle one implementation-level command, optionally querying the
+    /// specification through `spec` (each query takes a real spec step).
+    fn on_command(&mut self, cmd: &CI, spec: &mut dyn FnMut(&CS) -> RS) -> RI;
+}
+
+/// One client operation: either a spec-level operation (via the driver
+/// in the real world) or a raw implementation-level operation
+/// (the adversary's interface).
+#[derive(Clone, Debug)]
+pub enum Op<CS, CI> {
+    /// A spec-level operation.
+    Spec(CS),
+    /// A raw implementation-level operation.
+    Impl(CI),
+}
+
+/// The observation a client makes for one [`Op`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Obs<RS, RI> {
+    /// Response of a spec-level operation.
+    Spec(RS),
+    /// Response of an implementation-level operation.
+    Impl(RI),
+}
+
+/// Run the **real world**: the implementation machine, with spec-level
+/// operations translated by the driver.
+pub fn run_real<MI, CS, RS, D>(
+    imp: &MI,
+    driver: &D,
+    ops: &[Op<CS, MI::Command>],
+) -> Vec<Obs<RS, MI::Response>>
+where
+    MI: StateMachine,
+    D: Driver<CS, RS, MI::Command, MI::Response>,
+{
+    let mut state = imp.init();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match op {
+            Op::Spec(cs) => {
+                let mut io = |ci: &MI::Command| {
+                    let (s, r) = imp.step(&state, ci);
+                    state = s;
+                    r
+                };
+                let rs = driver.run(cs, &mut io);
+                out.push(Obs::Spec(rs));
+            }
+            Op::Impl(ci) => {
+                let (s, r) = imp.step(&state, ci);
+                state = s;
+                out.push(Obs::Impl(r));
+            }
+        }
+    }
+    out
+}
+
+/// Run the **ideal world**: the specification machine, with
+/// implementation-level operations answered by the emulator (which may
+/// query the spec).
+pub fn run_ideal<MS, CI, RI, E>(
+    spec: &MS,
+    emu: &mut E,
+    ops: &[Op<MS::Command, CI>],
+) -> Vec<Obs<MS::Response, RI>>
+where
+    MS: StateMachine,
+    E: Emulator<MS::Command, MS::Response, CI, RI>,
+{
+    emu.reset();
+    let mut state = spec.init();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match op {
+            Op::Spec(cs) => {
+                let (s, r) = spec.step(&state, cs);
+                state = s;
+                out.push(Obs::Spec(r));
+            }
+            Op::Impl(ci) => {
+                let mut q = |c: &MS::Command| {
+                    let (s, r) = spec.step(&state, c);
+                    state = s;
+                    r
+                };
+                let ri = emu.on_command(ci, &mut q);
+                out.push(Obs::Impl(ri));
+            }
+        }
+    }
+    out
+}
+
+/// A failed equivalence check: the first operation index at which the
+/// two worlds produced different observations.
+#[derive(Clone, Debug)]
+pub struct Counterexample<RS, RI> {
+    /// Index into the operation sequence.
+    pub index: usize,
+    /// What the real world observed.
+    pub real: Obs<RS, RI>,
+    /// What the ideal world observed.
+    pub ideal: Obs<RS, RI>,
+}
+
+impl<RS: std::fmt::Debug, RI: std::fmt::Debug> std::fmt::Display for Counterexample<RS, RI> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worlds diverge at operation {}: real={:?} ideal={:?}",
+            self.index, self.real, self.ideal
+        )
+    }
+}
+
+/// Check observational equivalence of the real and ideal worlds on one
+/// operation sequence — the executable form of
+/// `M_i ≈ IPR[d] M_s` from fig. 5, restricted to the given trace.
+///
+/// Soundness note: a passing check on finitely many traces is evidence,
+/// not proof; the HSM test suites drive this with both exhaustive small
+/// traces and randomized long ones.
+pub fn check_ipr<MS, MI, D, E>(
+    spec: &MS,
+    imp: &MI,
+    driver: &D,
+    emu: &mut E,
+    ops: &[Op<MS::Command, MI::Command>],
+) -> Result<(), Counterexample<MS::Response, MI::Response>>
+where
+    MS: StateMachine,
+    MI: StateMachine,
+    MS::Command: Clone,
+    MI::Command: Clone,
+    D: Driver<MS::Command, MS::Response, MI::Command, MI::Response>,
+    E: Emulator<MS::Command, MS::Response, MI::Command, MI::Response>,
+{
+    let real = run_real(imp, driver, ops);
+    let ideal = run_ideal(spec, emu, ops);
+    for (i, (r, d)) in real.iter().zip(ideal.iter()).enumerate() {
+        if r != d {
+            return Err(Counterexample { index: i, real: r.clone(), ideal: d.clone() });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::examples::*;
+
+    /// The obvious counter driver: encode command, decode response.
+    struct CounterDriver;
+
+    impl Driver<CounterCmd, u32, Vec<u8>, Vec<u8>> for CounterDriver {
+        fn run(&self, cmd: &CounterCmd, io: &mut dyn FnMut(&Vec<u8>) -> Vec<u8>) -> u32 {
+            let buf = match cmd {
+                CounterCmd::Add(n) => {
+                    let mut b = vec![1];
+                    b.extend_from_slice(&n.to_le_bytes());
+                    b
+                }
+                CounterCmd::Get => vec![2, 0, 0, 0, 0],
+            };
+            let resp = io(&buf);
+            u32::from_le_bytes([resp[0], resp[1], resp[2], resp[3]])
+        }
+    }
+
+    /// The counter emulator: decodes commands, queries the spec, encodes
+    /// responses; invalid commands get the fixed error response.
+    struct CounterEmu;
+
+    impl Emulator<CounterCmd, u32, Vec<u8>, Vec<u8>> for CounterEmu {
+        fn reset(&mut self) {}
+        fn on_command(
+            &mut self,
+            cmd: &Vec<u8>,
+            spec: &mut dyn FnMut(&CounterCmd) -> u32,
+        ) -> Vec<u8> {
+            if cmd.len() != 5 {
+                return vec![0xFF; 4];
+            }
+            let arg = u32::from_le_bytes([cmd[1], cmd[2], cmd[3], cmd[4]]);
+            match cmd[0] {
+                1 => {
+                    spec(&CounterCmd::Add(arg));
+                    vec![0, 0, 0, 0]
+                }
+                2 => spec(&CounterCmd::Get).to_le_bytes().to_vec(),
+                _ => vec![0xFF; 4],
+            }
+        }
+    }
+
+    fn mixed_ops() -> Vec<Op<CounterCmd, Vec<u8>>> {
+        vec![
+            Op::Spec(CounterCmd::Add(5)),
+            Op::Impl(vec![1, 2, 0, 0, 0]),
+            Op::Spec(CounterCmd::Get),
+            Op::Impl(vec![9, 9, 9, 9, 9]), // invalid
+            Op::Impl(vec![2, 0, 0, 0, 0]),
+            Op::Impl(vec![1, 2, 3]), // malformed length
+            Op::Spec(CounterCmd::Get),
+        ]
+    }
+
+    #[test]
+    fn correct_impl_satisfies_ipr() {
+        let spec = counter_spec();
+        let imp = counter_bytes();
+        check_ipr(&spec, &imp, &CounterDriver, &mut CounterEmu, &mixed_ops()).unwrap();
+    }
+
+    #[test]
+    fn leaky_impl_fails_ipr() {
+        // The leaky implementation reveals the counter on invalid input;
+        // no emulator with only spec access could reproduce that, and
+        // this particular emulator certainly doesn't.
+        let spec = counter_spec();
+        let imp = counter_bytes_leaky();
+        let err = check_ipr(&spec, &imp, &CounterDriver, &mut CounterEmu, &mixed_ops());
+        let ce = err.unwrap_err();
+        assert_eq!(ce.index, 3, "diverges at the invalid command");
+    }
+
+    #[test]
+    fn spec_only_traces_always_agree() {
+        let spec = counter_spec();
+        let imp = counter_bytes();
+        let ops: Vec<Op<CounterCmd, Vec<u8>>> = vec![
+            Op::Spec(CounterCmd::Add(1)),
+            Op::Spec(CounterCmd::Add(2)),
+            Op::Spec(CounterCmd::Get),
+        ];
+        check_ipr(&spec, &imp, &CounterDriver, &mut CounterEmu, &ops).unwrap();
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the IPR theory: transitivity on random
+//! operation traces, and lockstep-derived worlds agreeing on random
+//! adversarial inputs.
+
+use proptest::prelude::*;
+
+use parfait::equivalence::{check_equivalence, IdentityDriver, IdentityEmulator};
+use parfait::machine::examples::{counter_bytes, counter_spec, CounterCmd};
+use parfait::machine::StateMachine;
+use parfait::world::{check_ipr, Driver, Emulator, Op};
+
+struct CounterDriver;
+
+impl Driver<CounterCmd, u32, Vec<u8>, Vec<u8>> for CounterDriver {
+    fn run(&self, cmd: &CounterCmd, io: &mut dyn FnMut(&Vec<u8>) -> Vec<u8>) -> u32 {
+        let buf = match cmd {
+            CounterCmd::Add(n) => {
+                let mut b = vec![1];
+                b.extend_from_slice(&n.to_le_bytes());
+                b
+            }
+            CounterCmd::Get => vec![2, 0, 0, 0, 0],
+        };
+        let r = io(&buf);
+        u32::from_le_bytes([r[0], r[1], r[2], r[3]])
+    }
+}
+
+struct CounterEmu;
+
+impl Emulator<CounterCmd, u32, Vec<u8>, Vec<u8>> for CounterEmu {
+    fn reset(&mut self) {}
+    fn on_command(&mut self, cmd: &Vec<u8>, spec: &mut dyn FnMut(&CounterCmd) -> u32) -> Vec<u8> {
+        if cmd.len() != 5 {
+            return vec![0xFF; 4];
+        }
+        let arg = u32::from_le_bytes([cmd[1], cmd[2], cmd[3], cmd[4]]);
+        match cmd[0] {
+            1 => {
+                spec(&CounterCmd::Add(arg));
+                vec![0, 0, 0, 0]
+            }
+            2 => spec(&CounterCmd::Get).to_le_bytes().to_vec(),
+            _ => vec![0xFF; 4],
+        }
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op<CounterCmd, Vec<u8>>> {
+    prop_oneof![
+        any::<u32>().prop_map(|n| Op::Spec(CounterCmd::Add(n))),
+        Just(Op::Spec(CounterCmd::Get)),
+        any::<u32>().prop_map(|n| {
+            let mut b = vec![1];
+            b.extend_from_slice(&n.to_le_bytes());
+            Op::Impl(b)
+        }),
+        Just(Op::Impl(vec![2, 0, 0, 0, 0])),
+        prop::collection::vec(any::<u8>(), 0..8).prop_map(Op::Impl),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The correct implementation satisfies IPR on arbitrary mixed
+    /// adversarial traces.
+    #[test]
+    fn ipr_holds_on_random_traces(ops in prop::collection::vec(arb_op(), 0..32)) {
+        let spec = counter_spec();
+        let imp = counter_bytes();
+        check_ipr(&spec, &imp, &CounterDriver, &mut CounterEmu, &ops)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+
+    /// Identity driver/emulator give IPR between equal machines on any
+    /// trace — equivalence implies IPR.
+    #[test]
+    fn equivalence_implies_ipr(ops in prop::collection::vec(arb_op(), 0..32)) {
+        let a = counter_bytes();
+        let b = counter_bytes();
+        let byte_ops: Vec<Op<Vec<u8>, Vec<u8>>> = ops
+            .into_iter()
+            .map(|op| match op {
+                Op::Spec(CounterCmd::Add(n)) => {
+                    let mut b = vec![1];
+                    b.extend_from_slice(&n.to_le_bytes());
+                    Op::Spec(b)
+                }
+                Op::Spec(CounterCmd::Get) => Op::Spec(vec![2, 0, 0, 0, 0]),
+                Op::Impl(v) => Op::Impl(v),
+            })
+            .collect();
+        check_ipr(&a, &b, &IdentityDriver, &mut IdentityEmulator, &byte_ops)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+
+    /// run() is the fold of step(): prefix responses are stable.
+    #[test]
+    fn machine_run_is_prefix_stable(cmds in prop::collection::vec(any::<u32>(), 0..16)) {
+        let m = counter_spec();
+        let cmds: Vec<CounterCmd> = cmds.into_iter().map(CounterCmd::Add).collect();
+        let full = m.run(&cmds);
+        for n in 0..cmds.len() {
+            let prefix = m.run(&cmds[..n]);
+            prop_assert_eq!(&full[..n], &prefix[..]);
+        }
+    }
+
+    /// check_equivalence is reflexive on random sequences.
+    #[test]
+    fn equivalence_reflexive(seqs in prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..6), 0..6), 0..4)) {
+        let a = counter_bytes();
+        let b = counter_bytes();
+        check_equivalence(&a, &b, &seqs).map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+    }
+}

@@ -1,0 +1,368 @@
+//! An Ibex-like 2-stage pipelined RV32IM core model.
+//!
+//! Timing model (cycle-accurate at the granularity the verification
+//! cares about):
+//!
+//! * 1 instruction per cycle in steady state (IF overlaps ID/EX);
+//! * loads and stores occupy the EX stage for 2 cycles;
+//! * taken branches and jumps squash the fetched instruction (2 cycles);
+//! * multiply is single-cycle (the paper replaces Ibex's multiplier with
+//!   a full-width combinational multiply, §7.1);
+//! * divide is **data-dependent**: `3 + bitlen(dividend)` cycles,
+//!   modeling an iterative divider. This is the hardware-level
+//!   variable-latency instruction of §7.2 that verification must catch
+//!   when it executes on secret data.
+
+use parfait_rtl::W;
+
+use crate::datapath::{execute, Core, Exec, Fault, LeakEvent, MemIf, OpClass};
+
+/// The 2-stage core.
+pub struct IbexCore {
+    regs: [W; 32],
+    /// Fetch PC (next instruction address to fetch).
+    fetch_pc: u32,
+    /// Instruction sitting in ID/EX: (word, its pc).
+    id_ex: Option<(u32, u32)>,
+    /// Remaining stall cycles of a multi-cycle operation.
+    busy: u32,
+    /// Instruction completing when `busy` hits 0: (word, pc).
+    pending: Option<(u32, u32)>,
+    cycles: u64,
+    retired: u64,
+    last_retired: Option<(u32, u32)>,
+    leaks: Vec<LeakEvent>,
+    fault: Option<Fault>,
+}
+
+impl IbexCore {
+    /// A core reset to fetch from `boot_pc`.
+    pub fn new(boot_pc: u32) -> IbexCore {
+        IbexCore {
+            regs: [W::default(); 32],
+            fetch_pc: boot_pc,
+            id_ex: None,
+            busy: 0,
+            pending: None,
+            cycles: 0,
+            retired: 0,
+            last_retired: None,
+            leaks: Vec::new(),
+            fault: None,
+        }
+    }
+
+    /// Latency charged in the EX stage beyond the issuing cycle.
+    fn extra_latency(class: &OpClass) -> u32 {
+        match class {
+            OpClass::Load | OpClass::Store => 1,
+            OpClass::Div { dividend, .. } => 2 + (32 - dividend.leading_zeros()),
+            _ => 0,
+        }
+    }
+}
+
+impl Core for IbexCore {
+    fn step(&mut self, mem: &mut dyn MemIf) {
+        if self.fault.is_some() {
+            self.cycles += 1;
+            self.last_retired = None;
+            return;
+        }
+        self.cycles += 1;
+        self.last_retired = None;
+        // Multi-cycle operation in progress.
+        if self.busy > 0 {
+            self.busy -= 1;
+            if self.busy == 0 {
+                self.last_retired = self.pending.take();
+                self.retired += 1;
+                // Refill the pipeline in the same cycle the op completes.
+                let word = mem.fetch(self.fetch_pc);
+                self.id_ex = Some((word, self.fetch_pc));
+                self.fetch_pc = self.fetch_pc.wrapping_add(4);
+            }
+            return;
+        }
+        match self.id_ex.take() {
+            None => {
+                // Bubble: fetch only.
+                let word = mem.fetch(self.fetch_pc);
+                self.id_ex = Some((word, self.fetch_pc));
+                self.fetch_pc = self.fetch_pc.wrapping_add(4);
+            }
+            Some((word, ipc)) => {
+                let Exec { next_pc, class } = execute(
+                    word,
+                    ipc,
+                    &mut self.regs,
+                    mem,
+                    self.cycles,
+                    &mut self.leaks,
+                    &mut self.fault,
+                );
+                if self.fault.is_some() {
+                    return;
+                }
+                let extra = Self::extra_latency(&class);
+                let redirect = next_pc != ipc.wrapping_add(4);
+                if redirect {
+                    // Squash the would-be fetched instruction.
+                    self.fetch_pc = next_pc;
+                    self.id_ex = None;
+                    self.retired += 1;
+                    self.last_retired = Some((word, ipc));
+                    debug_assert_eq!(extra, 0, "control ops are single-cycle");
+                } else if extra > 0 {
+                    self.busy = extra;
+                    self.pending = Some((word, ipc));
+                    // The pipeline stalls; fetch resumes when busy ends.
+                } else {
+                    self.retired += 1;
+                    self.last_retired = Some((word, ipc));
+                    // Overlapped fetch of the next instruction.
+                    let w = mem.fetch(self.fetch_pc);
+                    self.id_ex = Some((w, self.fetch_pc));
+                    self.fetch_pc = self.fetch_pc.wrapping_add(4);
+                }
+            }
+        }
+    }
+
+    fn regs(&self) -> &[W; 32] {
+        &self.regs
+    }
+
+    fn pc(&self) -> u32 {
+        self.fetch_pc
+    }
+
+    fn instr_in_decode(&self) -> Option<(u32, u32)> {
+        self.id_ex
+    }
+
+    fn last_retired(&self) -> Option<(u32, u32)> {
+        self.last_retired
+    }
+
+    fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn leaks(&self) -> &[LeakEvent] {
+        &self.leaks
+    }
+
+    fn fault(&self) -> Option<&Fault> {
+        self.fault.as_ref()
+    }
+
+    fn reset(&mut self, pc: u32) {
+        *self = IbexCore::new(pc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::tests_support::ProgMem;
+
+    #[test]
+    fn straightline_is_one_per_cycle() {
+        // addi x5, x0, 1 ; addi x6, x0, 2 ; addi x7, x5, 3 (no hazards in
+        // this 2-stage model: EX completes before the next decode).
+        let mut mem = ProgMem::from_asm(
+            "
+            addi t0, zero, 1
+            addi t1, zero, 2
+            addi t2, t0, 3
+            nop
+            nop
+            ",
+        );
+        let mut c = IbexCore::new(0);
+        // Cycle 1 is the initial fetch bubble; then 1 instr/cycle.
+        for _ in 0..4 {
+            c.step(&mut mem);
+        }
+        assert_eq!(c.retired(), 3);
+        assert_eq!(c.regs()[5].v, 1);
+        assert_eq!(c.regs()[6].v, 2);
+        assert_eq!(c.regs()[7].v, 4);
+    }
+
+    #[test]
+    fn taken_branch_costs_extra_cycle() {
+        let mut mem = ProgMem::from_asm(
+            "
+            beq zero, zero, target
+            addi t0, zero, 99
+            target:
+            addi t1, zero, 1
+            nop
+            nop
+            ",
+        );
+        let mut c = IbexCore::new(0);
+        // bubble(1) + branch(1) + bubble(1) + addi(1) = 4 cycles, 2 retired
+        for _ in 0..4 {
+            c.step(&mut mem);
+        }
+        assert_eq!(c.retired(), 2);
+        assert_eq!(c.regs()[5].v, 0, "skipped instruction must not execute");
+        assert_eq!(c.regs()[6].v, 1);
+    }
+
+    #[test]
+    fn load_takes_two_cycles() {
+        let mut mem = ProgMem::from_asm(
+            "
+            lw t0, 16(zero)
+            addi t1, zero, 1
+            nop
+            nop
+            ",
+        );
+        mem.set_word(16, W::pub32(0x1234));
+        let mut c = IbexCore::new(0);
+        // bubble(1) + lw issue(1) + lw complete(1) + addi(1)
+        for _ in 0..4 {
+            c.step(&mut mem);
+        }
+        assert_eq!(c.retired(), 2);
+        assert_eq!(c.regs()[5].v, 0x1234);
+        assert_eq!(c.regs()[6].v, 1);
+    }
+
+    #[test]
+    fn divider_latency_is_data_dependent() {
+        let run = |load_t0: &str| -> u64 {
+            let mut mem = ProgMem::from_asm(&format!(
+                "
+                {load_t0}
+                addi t1, zero, 3
+                divu t2, t0, t1
+                nop
+                nop
+                nop
+                "
+            ));
+            let mut c = IbexCore::new(0);
+            let before_retired = 3; // li, li, divu
+            let mut cycles = 0;
+            while c.retired() < before_retired {
+                c.step(&mut mem);
+                cycles += 1;
+                assert!(cycles < 200);
+            }
+            cycles
+        };
+        let small = run("addi t0, zero, 1");
+        let large = run("lui t0, 0xfffff");
+        assert!(large > small, "divider latency must depend on the dividend: {small} vs {large}");
+    }
+
+    #[test]
+    fn fault_freezes_core() {
+        let mut mem = ProgMem::from_asm("ebreak\nnop\nnop");
+        let mut c = IbexCore::new(0);
+        for _ in 0..5 {
+            c.step(&mut mem);
+        }
+        assert!(matches!(c.fault(), Some(Fault::Env { .. })));
+        assert_eq!(c.retired(), 0);
+    }
+}
+
+#[cfg(test)]
+mod timing_tests {
+    use super::*;
+    use crate::datapath::tests_support::ProgMem;
+
+    fn cycles_to_retire(src: &str, n: u64) -> u64 {
+        let mut mem = ProgMem::from_asm(src);
+        let mut c = IbexCore::new(0);
+        let mut cycles = 0;
+        while c.retired() < n {
+            c.step(&mut mem);
+            cycles += 1;
+            assert!(cycles < 100_000);
+        }
+        cycles
+    }
+
+    #[test]
+    fn store_takes_two_cycles() {
+        // bubble + sw issue + sw complete + addi = 4 cycles for 2 instrs.
+        let c = cycles_to_retire("sw zero, 16(zero)\naddi t0, zero, 1\nnop\nnop", 2);
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn jal_squashes_fetch() {
+        // bubble(1) + jal(1) + bubble(1) + addi(1).
+        let c = cycles_to_retire(
+            "
+            jal zero, target
+            addi t0, zero, 99
+            target:
+            addi t1, zero, 1
+            nop
+            nop
+            ",
+            2,
+        );
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn not_taken_branch_is_single_cycle() {
+        // bubble + bne(not taken) + addi = 3 cycles for 2 instrs.
+        let c = cycles_to_retire(
+            "
+            bne zero, zero, away
+            addi t0, zero, 1
+            away:
+            nop
+            nop
+            ",
+            2,
+        );
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn multiply_is_single_cycle() {
+        // The paper's modified Ibex: full-width single-cycle multiplier.
+        let mul = cycles_to_retire("mul t0, t1, t2\naddi t3, zero, 1\nnop\nnop", 2);
+        let add = cycles_to_retire("add t0, t1, t2\naddi t3, zero, 1\nnop\nnop", 2);
+        assert_eq!(mul, add);
+    }
+
+    #[test]
+    fn divide_latency_exceeds_multiply() {
+        let div = cycles_to_retire(
+            "addi t1, zero, 100\naddi t2, zero, 3\ndivu t0, t1, t2\nnop\nnop",
+            3,
+        );
+        let mul = cycles_to_retire(
+            "addi t1, zero, 100\naddi t2, zero, 3\nmul t0, t1, t2\nnop\nnop",
+            3,
+        );
+        assert!(div > mul, "div {div} vs mul {mul}");
+    }
+
+    #[test]
+    fn fetch_pc_tracks_decode_stage() {
+        let mut mem = ProgMem::from_asm("addi t0, zero, 1\naddi t1, zero, 2\nnop\nnop");
+        let mut c = IbexCore::new(0);
+        c.step(&mut mem); // fetch bubble: first instr now in decode
+        let (word, pc) = c.instr_in_decode().unwrap();
+        assert_eq!(pc, 0);
+        assert_eq!(word & 0x7F, 0x13); // an OP-IMM
+    }
+}

@@ -1,0 +1,381 @@
+//! A PicoRV32-like size-optimized multi-cycle RV32IM core model.
+//!
+//! Every instruction pays a 2-cycle fetch, a 1-cycle decode, and an
+//! execute latency:
+//!
+//! * ALU / branch / jump: 1 cycle;
+//! * load / store: 2 cycles;
+//! * shift: serial shifter, `1 + ceil(amount / 4)` cycles (like
+//!   PicoRV32's small dual-bit shifter, latency depends on the amount);
+//! * multiply: fixed 32-cycle iterative multiplier (data-independent);
+//! * divide: iterative, `2 + bitlen(dividend)` cycles (data-dependent).
+//!
+//! The result is ~4–7 cycles per instruction — substantially slower than
+//! the Ibex-like pipeline, which is exactly the relationship the paper's
+//! Table 4 relies on (apps take more cycles on the PicoRV32, but each
+//! SoC cycle is cheaper to simulate).
+
+use parfait_rtl::W;
+
+use crate::datapath::{execute, Core, Exec, Fault, LeakEvent, LeakKind, MemIf, OpClass};
+
+enum Stage {
+    /// First fetch cycle.
+    Fetch1,
+    /// Second fetch cycle; the word arrives.
+    Fetch2,
+    /// Decode cycle for the fetched (word, pc).
+    Decode(u32, u32),
+    /// Executing (word, pc) with `remaining` cycles to go.
+    Execute(u32, u32, u32),
+}
+
+/// The multi-cycle core.
+pub struct PicoCore {
+    regs: [W; 32],
+    pc: u32,
+    stage: Stage,
+    cycles: u64,
+    retired: u64,
+    last_retired: Option<(u32, u32)>,
+    leaks: Vec<LeakEvent>,
+    fault: Option<Fault>,
+}
+
+impl PicoCore {
+    /// A core reset to fetch from `boot_pc`.
+    pub fn new(boot_pc: u32) -> PicoCore {
+        PicoCore {
+            regs: [W::default(); 32],
+            pc: boot_pc,
+            stage: Stage::Fetch1,
+            cycles: 0,
+            retired: 0,
+            last_retired: None,
+            leaks: Vec::new(),
+            fault: None,
+        }
+    }
+
+    /// Execute-stage latency (total cycles spent in Execute).
+    fn latency(&mut self, class: &OpClass, pc: u32) -> u32 {
+        match class {
+            OpClass::Alu | OpClass::Branch { .. } | OpClass::Jump | OpClass::Fence => 1,
+            OpClass::Load | OpClass::Store => 2,
+            OpClass::Shift { amount, from_reg, amount_tainted } => {
+                if *from_reg && *amount_tainted {
+                    self.leaks.push(LeakEvent {
+                        cycle: self.cycles,
+                        pc,
+                        kind: LeakKind::VarLatencySecret,
+                    });
+                }
+                1 + amount.div_ceil(4)
+            }
+            OpClass::Mul => 32,
+            OpClass::Div { dividend, operand_tainted } => {
+                if *operand_tainted {
+                    self.leaks.push(LeakEvent {
+                        cycle: self.cycles,
+                        pc,
+                        kind: LeakKind::VarLatencySecret,
+                    });
+                }
+                2 + (32 - dividend.leading_zeros())
+            }
+        }
+    }
+}
+
+impl Core for PicoCore {
+    fn step(&mut self, mem: &mut dyn MemIf) {
+        self.cycles += 1;
+        self.last_retired = None;
+        if self.fault.is_some() {
+            return;
+        }
+        match self.stage {
+            Stage::Fetch1 => {
+                self.stage = Stage::Fetch2;
+            }
+            Stage::Fetch2 => {
+                let word = mem.fetch(self.pc);
+                self.stage = Stage::Decode(word, self.pc);
+            }
+            Stage::Decode(word, ipc) => {
+                // Execute the datapath on the *first* execute cycle and
+                // then burn the remaining latency; memory side effects
+                // happen exactly once.
+                let Exec { next_pc, class } = execute(
+                    word,
+                    ipc,
+                    &mut self.regs,
+                    mem,
+                    self.cycles,
+                    &mut self.leaks,
+                    &mut self.fault,
+                );
+                if self.fault.is_some() {
+                    return;
+                }
+                let lat = self.latency(&class, ipc);
+                self.pc = next_pc;
+                self.stage = Stage::Execute(word, ipc, lat);
+                // Fall through to count this as the first execute cycle.
+                if let Stage::Execute(w, p, ref mut rem) = self.stage {
+                    *rem -= 1;
+                    if *rem == 0 {
+                        self.retired += 1;
+                        self.last_retired = Some((w, p));
+                        self.stage = Stage::Fetch1;
+                    }
+                }
+            }
+            Stage::Execute(word, ipc, ref mut remaining) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.retired += 1;
+                    self.last_retired = Some((word, ipc));
+                    self.stage = Stage::Fetch1;
+                }
+            }
+        }
+    }
+
+    fn regs(&self) -> &[W; 32] {
+        &self.regs
+    }
+
+    fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn instr_in_decode(&self) -> Option<(u32, u32)> {
+        match self.stage {
+            Stage::Decode(w, p) | Stage::Execute(w, p, _) => Some((w, p)),
+            _ => None,
+        }
+    }
+
+    fn last_retired(&self) -> Option<(u32, u32)> {
+        self.last_retired
+    }
+
+    fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn leaks(&self) -> &[LeakEvent] {
+        &self.leaks
+    }
+
+    fn fault(&self) -> Option<&Fault> {
+        self.fault.as_ref()
+    }
+
+    fn reset(&mut self, pc: u32) {
+        *self = PicoCore::new(pc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::tests_support::ProgMem;
+    use crate::ibex::IbexCore;
+
+    fn run_until_retired(c: &mut dyn Core, mem: &mut ProgMem, n: u64, max: u64) -> u64 {
+        let mut cycles = 0;
+        while c.retired() < n {
+            c.step(mem);
+            cycles += 1;
+            assert!(cycles < max, "did not retire {n} instructions in {max} cycles");
+        }
+        cycles
+    }
+
+    #[test]
+    fn executes_programs_correctly() {
+        let mut mem = ProgMem::from_asm(
+            "
+            addi t0, zero, 10
+            addi t1, zero, 0
+            loop:
+            add t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            nop
+            nop
+            ",
+        );
+        let mut c = PicoCore::new(0);
+        run_until_retired(&mut c, &mut mem, 2 + 3 * 10, 1000);
+        assert_eq!(c.regs()[6].v, 55);
+    }
+
+    #[test]
+    fn slower_than_ibex() {
+        let src = "
+            addi t0, zero, 50
+            loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            nop
+            nop
+        ";
+        let mut mem_a = ProgMem::from_asm(src);
+        let mut mem_b = ProgMem::from_asm(src);
+        let mut ibex = IbexCore::new(0);
+        let mut pico = PicoCore::new(0);
+        let n = 1 + 2 * 50;
+        let ci = run_until_retired(&mut ibex, &mut mem_a, n, 100_000);
+        let cp = run_until_retired(&mut pico, &mut mem_b, n, 100_000);
+        assert!(cp > 2 * ci, "pico ({cp}) should be much slower than ibex ({ci})");
+    }
+
+    #[test]
+    fn serial_shift_latency_depends_on_amount() {
+        let run = |amt: u32| {
+            let mut mem = ProgMem::from_asm(&format!(
+                "
+                addi t0, zero, 1
+                addi t1, zero, {amt}
+                sll t2, t0, t1
+                nop
+                nop
+                "
+            ));
+            let mut c = PicoCore::new(0);
+            run_until_retired(&mut c, &mut mem, 3, 1000)
+        };
+        assert!(run(31) > run(1));
+    }
+
+    #[test]
+    fn shift_by_tainted_amount_is_flagged() {
+        let mut mem = ProgMem::from_asm(
+            "
+            addi t0, zero, 1
+            sll t2, t0, t1
+            nop
+            nop
+            ",
+        );
+        let mut c = PicoCore::new(0);
+        c.regs[6] = W::secret(13);
+        run_until_retired(&mut c, &mut mem, 2, 1000);
+        assert!(c.leaks().iter().any(|l| l.kind == LeakKind::VarLatencySecret));
+    }
+
+    #[test]
+    fn mul_latency_is_fixed() {
+        let run = |a: u32, b: u32| {
+            let mut mem = ProgMem::from_asm(&format!(
+                "
+                addi t0, zero, {a}
+                addi t1, zero, {b}
+                mul t2, t0, t1
+                nop
+                nop
+                "
+            ));
+            let mut c = PicoCore::new(0);
+            run_until_retired(&mut c, &mut mem, 3, 1000)
+        };
+        assert_eq!(run(0, 0), run(2047, 2047), "multiplier must be constant-latency");
+    }
+
+    #[test]
+    fn matches_riscette_semantics() {
+        // The cycle-accurate core and the ISA-level machine must compute
+        // the same architectural results.
+        let src = "
+            addi t0, zero, 37
+            addi t1, zero, 11
+            mul t2, t0, t1
+            divu t3, t2, t1
+            sub t4, t2, t0
+            slli t5, t1, 3
+            sltu t6, t0, t1
+            nop
+            nop
+        ";
+        let mut mem = ProgMem::from_asm(src);
+        let mut c = PicoCore::new(0);
+        run_until_retired(&mut c, &mut mem, 7, 10_000);
+        let prog = parfait_riscv::asm::assemble(src).unwrap();
+        let mut m = parfait_riscv::machine::Machine::with_program(&prog);
+        for _ in 0..7 {
+            m.step().unwrap();
+        }
+        for i in 0..32 {
+            if i == 2 {
+                continue; // Machine::with_program pre-initializes sp.
+            }
+            assert_eq!(c.regs()[i].v, m.regs[i], "x{i}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod timing_tests {
+    use super::*;
+    use crate::datapath::tests_support::ProgMem;
+
+    fn cycles_to_retire(src: &str, n: u64) -> u64 {
+        let mut mem = ProgMem::from_asm(src);
+        let mut c = PicoCore::new(0);
+        let mut cycles = 0;
+        while c.retired() < n {
+            c.step(&mut mem);
+            cycles += 1;
+            assert!(cycles < 100_000);
+        }
+        cycles
+    }
+
+    #[test]
+    fn alu_instruction_costs_three_cycles() {
+        // fetch(2) + decode/execute(1).
+        assert_eq!(cycles_to_retire("addi t0, zero, 1\nnop\nnop", 1), 3);
+    }
+
+    #[test]
+    fn loads_and_stores_cost_four() {
+        assert_eq!(cycles_to_retire("lw t0, 16(zero)\nnop\nnop", 1), 4);
+        assert_eq!(cycles_to_retire("sw t0, 16(zero)\nnop\nnop", 1), 4);
+    }
+
+    #[test]
+    fn mul_costs_a_fixed_32_cycle_execute() {
+        assert_eq!(cycles_to_retire("mul t0, t1, t2\nnop\nnop", 1), 2 + 32);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken_same_cost() {
+        // Multi-cycle core refetches after every instruction, so branch
+        // direction does not change latency (no pipeline to squash).
+        let taken = cycles_to_retire("beq zero, zero, t\nnop\nt:\nnop\nnop", 1);
+        let not_taken = cycles_to_retire("bne zero, zero, t\nnop\nt:\nnop\nnop", 1);
+        assert_eq!(taken, not_taken);
+    }
+
+    #[test]
+    fn immediate_shift_latency_is_public() {
+        // slli with a constant amount: latency varies with the amount,
+        // but the amount is program text (public), so this is fine.
+        let s1 = cycles_to_retire("slli t0, t1, 1\nnop\nnop", 1);
+        let s31 = cycles_to_retire("slli t0, t1, 31\nnop\nnop", 1);
+        assert!(s31 > s1);
+        let mut mem = ProgMem::from_asm("slli t0, t1, 31\nnop\nnop");
+        let mut c = PicoCore::new(0);
+        while c.retired() < 1 {
+            c.step(&mut mem);
+        }
+        assert!(c.leaks().is_empty(), "constant shift amounts never leak");
+    }
+}

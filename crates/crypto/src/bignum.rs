@@ -1,0 +1,167 @@
+//! Fixed-width 256-bit big-number arithmetic over 8 little-endian
+//! `u32` limbs — the representation the littlec firmware also uses.
+
+/// A 256-bit value as 8 little-endian 32-bit limbs.
+pub type U256 = [u32; 8];
+
+/// `a + b`, returning the sum and the carry-out (0 or 1).
+pub fn add(a: &U256, b: &U256) -> (U256, u32) {
+    let mut out = [0u32; 8];
+    let mut carry = 0u64;
+    for i in 0..8 {
+        let t = a[i] as u64 + b[i] as u64 + carry;
+        out[i] = t as u32;
+        carry = t >> 32;
+    }
+    (out, carry as u32)
+}
+
+/// `a - b`, returning the difference and the borrow-out (0 or 1).
+pub fn sub(a: &U256, b: &U256) -> (U256, u32) {
+    let mut out = [0u32; 8];
+    let mut borrow = 0i64;
+    for i in 0..8 {
+        let t = a[i] as i64 - b[i] as i64 - borrow;
+        out[i] = t as u32;
+        borrow = (t < 0) as i64;
+    }
+    (out, borrow as u32)
+}
+
+/// Unsigned comparison: `a < b`.
+pub fn lt(a: &U256, b: &U256) -> bool {
+    sub(a, b).1 == 1
+}
+
+/// Whether `a` is zero.
+pub fn is_zero(a: &U256) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// Whether `a == b`.
+pub fn eq(a: &U256, b: &U256) -> bool {
+    a == b
+}
+
+/// Full 256×256 → 512-bit product (schoolbook).
+pub fn mul_wide(a: &U256, b: &U256) -> [u32; 16] {
+    let mut out = [0u32; 16];
+    for i in 0..8 {
+        let mut carry = 0u64;
+        for j in 0..8 {
+            let t = out[i + j] as u64 + a[i] as u64 * b[j] as u64 + carry;
+            out[i + j] = t as u32;
+            carry = t >> 32;
+        }
+        out[i + 8] = carry as u32;
+    }
+    out
+}
+
+/// Parse 32 big-endian bytes into limbs.
+pub fn from_be_bytes(bytes: &[u8]) -> U256 {
+    assert_eq!(bytes.len(), 32);
+    let mut out = [0u32; 8];
+    for (i, limb) in out.iter_mut().enumerate() {
+        let o = 32 - 4 * (i + 1);
+        *limb = u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+    }
+    out
+}
+
+/// Serialize limbs to 32 big-endian bytes.
+pub fn to_be_bytes(a: &U256) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, limb) in a.iter().enumerate() {
+        let o = 32 - 4 * (i + 1);
+        out[o..o + 4].copy_from_slice(&limb.to_be_bytes());
+    }
+    out
+}
+
+/// Parse a (possibly shorter) big-endian hex string.
+pub fn from_hex(s: &str) -> U256 {
+    let mut bytes = [0u8; 32];
+    let s = s.trim_start_matches("0x");
+    assert!(s.len() <= 64, "hex too long");
+    let padded = format!("{s:0>64}");
+    for i in 0..32 {
+        bytes[i] = u8::from_str_radix(&padded[2 * i..2 * i + 2], 16).expect("valid hex");
+    }
+    from_be_bytes(&bytes)
+}
+
+/// Bit `i` of `a` (0 = least significant).
+pub fn bit(a: &U256, i: usize) -> u32 {
+    (a[i / 32] >> (i % 32)) & 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+        let b = from_hex("1");
+        let (s, c) = add(&a, &b);
+        assert!(is_zero(&s));
+        assert_eq!(c, 1);
+        let (d, bo) = sub(&s, &b);
+        assert_eq!(d, a);
+        assert_eq!(bo, 1); // wrapped
+    }
+
+    #[test]
+    fn comparison() {
+        let a = from_hex("deadbeef");
+        let b = from_hex("deadbef0");
+        assert!(lt(&a, &b));
+        assert!(!lt(&b, &a));
+        assert!(!lt(&a, &a));
+        assert!(eq(&a, &a));
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let a = from_hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+        let bytes = to_be_bytes(&a);
+        assert_eq!(bytes[0], 0x01);
+        assert_eq!(bytes[31], 0x20);
+        assert_eq!(from_be_bytes(&bytes), a);
+    }
+
+    #[test]
+    fn mul_wide_simple() {
+        let a = from_hex("100000000"); // 2^32
+        let b = from_hex("100000000");
+        let p = mul_wide(&a, &b);
+        // 2^64: limb 2 set.
+        let mut expect = [0u32; 16];
+        expect[2] = 1;
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn mul_wide_max() {
+        let a = [u32::MAX; 8];
+        let p = mul_wide(&a, &a);
+        // (2^256-1)^2 = 2^512 - 2^257 + 1
+        assert_eq!(p[0], 1);
+        for &l in &p[1..8] {
+            assert_eq!(l, 0);
+        }
+        assert_eq!(p[8], 0xFFFF_FFFE);
+        for &l in &p[9..16] {
+            assert_eq!(l, u32::MAX);
+        }
+    }
+
+    #[test]
+    fn bits() {
+        let a = from_hex("8000000000000000000000000000000000000000000000000000000000000001");
+        assert_eq!(bit(&a, 0), 1);
+        assert_eq!(bit(&a, 1), 0);
+        assert_eq!(bit(&a, 255), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! BLAKE2s-256 (RFC 7693), unkeyed.
+
+/// Initialization vector (same words as SHA-256's IV).
+pub const IV: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Message word schedule (SIGMA), rounds 0–9.
+pub const SIGMA: [[usize; 16]; 10] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+];
+
+#[inline]
+fn g(v: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize, x: u32, y: u32) {
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+    v[d] = (v[d] ^ v[a]).rotate_right(16);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(12);
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+    v[d] = (v[d] ^ v[a]).rotate_right(8);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(7);
+}
+
+/// The BLAKE2s compression function.
+///
+/// `t` is the byte counter, `last` marks the final block.
+pub fn compress(h: &mut [u32; 8], block: &[u8], t: u64, last: bool) {
+    debug_assert_eq!(block.len(), 64);
+    let mut m = [0u32; 16];
+    for (i, mi) in m.iter_mut().enumerate() {
+        *mi = u32::from_le_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]]);
+    }
+    let mut v = [0u32; 16];
+    v[..8].copy_from_slice(h);
+    v[8..].copy_from_slice(&IV);
+    v[12] ^= t as u32;
+    v[13] ^= (t >> 32) as u32;
+    if last {
+        v[14] = !v[14];
+    }
+    for s in &SIGMA {
+        g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+        g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+        g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+        g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+        g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+        g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+        g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+        g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+    }
+    for i in 0..8 {
+        h[i] ^= v[i] ^ v[i + 8];
+    }
+}
+
+/// Compute the 32-byte BLAKE2s-256 digest of `data` (unkeyed).
+pub fn blake2s_256(data: &[u8]) -> [u8; 32] {
+    let mut h = IV;
+    // Parameter block: digest length 32, no key, fanout/depth 1.
+    h[0] ^= 0x0101_0020;
+    let mut t: u64 = 0;
+    if data.len() > 64 {
+        // All blocks except the last (data is never empty here).
+        let full = (data.len() - 1) / 64;
+        for i in 0..full {
+            t += 64;
+            compress(&mut h, &data[64 * i..64 * i + 64], t, false);
+        }
+        let rest = &data[64 * full..];
+        let mut last = [0u8; 64];
+        last[..rest.len()].copy_from_slice(rest);
+        t += rest.len() as u64;
+        compress(&mut h, &last, t, true);
+    } else {
+        let mut last = [0u8; 64];
+        last[..data.len()].copy_from_slice(data);
+        t += data.len() as u64;
+        compress(&mut h, &last, t, true);
+    }
+    let mut out = [0u8; 32];
+    for (i, w) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn rfc7693_abc() {
+        // RFC 7693 appendix B.
+        assert_eq!(
+            blake2s_256(b"abc").to_vec(),
+            hex("508c5e8c327c14e2e1a72ba34eeb452f37458b209ed63a294d999b4c86675982")
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        // Known BLAKE2s-256 of the empty string.
+        assert_eq!(
+            blake2s_256(b"").to_vec(),
+            hex("69217a3079908094e11121d042354a7c1f55b6482ca1a51e1b250dfd1ed0eef9")
+        );
+    }
+
+    #[test]
+    fn multi_block_lengths_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..200 {
+            let d = vec![0x5A; len];
+            assert!(seen.insert(blake2s_256(&d)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn block_boundary_exact() {
+        // 64 and 128 bytes exercise the "exact block" paths.
+        let d64 = vec![1u8; 64];
+        let d128 = vec![1u8; 128];
+        assert_ne!(blake2s_256(&d64), blake2s_256(&d128));
+    }
+}

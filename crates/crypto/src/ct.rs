@@ -1,0 +1,87 @@
+//! Constant-time helpers.
+//!
+//! These mirror the idioms the littlec firmware uses so the spec and the
+//! implementation compute bit-identical results: branch-free selection,
+//! all-ones/all-zero masks, and constant-time equality.
+
+/// `0xFFFF_FFFF` when `c` is true, `0` otherwise, without branching.
+#[inline]
+pub fn mask(c: bool) -> u32 {
+    (c as u32).wrapping_neg()
+}
+
+/// Select `a` when `c` is true, `b` otherwise, without branching.
+#[inline]
+pub fn select(c: bool, a: u32, b: u32) -> u32 {
+    let m = mask(c);
+    (a & m) | (b & !m)
+}
+
+/// Constant-time equality of byte slices of equal length.
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    assert_eq!(a.len(), b.len(), "ct::eq requires equal lengths");
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Apply `mask` (0x00 or 0xFF) to every byte of `buf` — the §7.1 idiom:
+/// compute unconditionally, then mask the response.
+pub fn apply_mask(buf: &mut [u8], m: u8) {
+    debug_assert!(m == 0 || m == 0xFF);
+    for b in buf {
+        *b &= m;
+    }
+}
+
+/// Conditionally copy `src` over `dst` (when `c`), without branching.
+pub fn cond_assign(c: bool, dst: &mut [u32], src: &[u32]) {
+    let m = mask(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*s & m) | (*d & !m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_values() {
+        assert_eq!(mask(true), u32::MAX);
+        assert_eq!(mask(false), 0);
+    }
+
+    #[test]
+    fn select_behaviour() {
+        assert_eq!(select(true, 7, 9), 7);
+        assert_eq!(select(false, 7, 9), 9);
+    }
+
+    #[test]
+    fn ct_eq() {
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(eq(b"", b""));
+    }
+
+    #[test]
+    fn masking() {
+        let mut buf = [1, 2, 3, 255];
+        apply_mask(&mut buf, 0xFF);
+        assert_eq!(buf, [1, 2, 3, 255]);
+        apply_mask(&mut buf, 0);
+        assert_eq!(buf, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cond_assign_behaviour() {
+        let mut d = [1, 2, 3];
+        cond_assign(false, &mut d, &[9, 9, 9]);
+        assert_eq!(d, [1, 2, 3]);
+        cond_assign(true, &mut d, &[9, 8, 7]);
+        assert_eq!(d, [9, 8, 7]);
+    }
+}

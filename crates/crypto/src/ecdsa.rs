@@ -1,0 +1,203 @@
+//! ECDSA over P-256 with pre-hashed messages (the paper's `NoHash`
+//! instantiation of HACL\*'s `ecdsa_signature_agile`).
+
+use crate::bignum::{self, U256};
+use crate::p256::{order, Point};
+
+/// An ECDSA signature, big-endian `r || s`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature {
+    /// Big-endian `r`.
+    pub r: [u8; 32],
+    /// Big-endian `s`.
+    pub s: [u8; 32],
+}
+
+impl Signature {
+    /// Serialize as the 64-byte `r || s` wire form.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r);
+        out[32..].copy_from_slice(&self.s);
+        out
+    }
+
+    /// Parse the 64-byte `r || s` wire form.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut r = [0u8; 32];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        Some(Signature { r, s })
+    }
+}
+
+fn scalar_in_range(k: &U256) -> bool {
+    !bignum::is_zero(k) && bignum::lt(k, &order().m)
+}
+
+/// Sign a 32-byte pre-hashed message.
+///
+/// Mirrors HACL\*'s behaviour referenced in §7.1: returns `None` when the
+/// nonce or signing key is not in `[1, n-1]`, or when `r = 0` or `s = 0`.
+/// (The HSM implementation computes the signature unconditionally and
+/// masks the output, so that these error cases are not distinguishable
+/// through timing.)
+pub fn ecdsa_p256_sign(msg: &[u8; 32], private_key: &[u8; 32], nonce: &[u8; 32]) -> Option<Signature> {
+    let n = order();
+    let d = bignum::from_be_bytes(private_key);
+    let k = bignum::from_be_bytes(nonce);
+    if !scalar_in_range(&d) || !scalar_in_range(&k) {
+        return None;
+    }
+    // R = kG; r = R.x mod n.
+    let rp = Point::generator().mul_scalar(&k);
+    let (rx, _) = rp.to_affine().expect("k in [1, n-1] cannot yield infinity");
+    let r = n.reduce_once(&rx);
+    if bignum::is_zero(&r) {
+        return None;
+    }
+    // s = k^-1 (z + r d) mod n.
+    let z = n.reduce_once(&bignum::from_be_bytes(msg));
+    let km = n.to_mont(&k);
+    let kinv = n.inv(&km); // Montgomery form of k^-1
+    let rm = n.to_mont(&r);
+    let dm = n.to_mont(&d);
+    let rd = n.mul(&rm, &dm);
+    let zm = n.to_mont(&z);
+    let sum = n.add(&zm, &rd);
+    let sm = n.mul(&kinv, &sum);
+    let s = n.from_mont(&sm);
+    if bignum::is_zero(&s) {
+        return None;
+    }
+    Some(Signature { r: bignum::to_be_bytes(&r), s: bignum::to_be_bytes(&s) })
+}
+
+/// Verify a signature on a 32-byte pre-hashed message against an affine
+/// public key.
+pub fn ecdsa_p256_verify(
+    msg: &[u8; 32],
+    public_key: &(U256, U256),
+    sig: &Signature,
+) -> bool {
+    let n = order();
+    let r = bignum::from_be_bytes(&sig.r);
+    let s = bignum::from_be_bytes(&sig.s);
+    if !scalar_in_range(&r) || !scalar_in_range(&s) {
+        return false;
+    }
+    let q = Point::from_affine(&public_key.0, &public_key.1);
+    if !q.is_on_curve() {
+        return false;
+    }
+    let z = n.reduce_once(&bignum::from_be_bytes(msg));
+    let sm = n.to_mont(&s);
+    let sinv = n.inv(&sm);
+    let u1 = n.from_mont(&n.mul(&sinv, &n.to_mont(&z)));
+    let u2 = n.from_mont(&n.mul(&sinv, &n.to_mont(&r)));
+    let rp = Point::generator().mul_scalar(&u1).add(&q.mul_scalar(&u2));
+    match rp.to_affine() {
+        Some((x, _)) => n.reduce_once(&x) == r,
+        None => false,
+    }
+}
+
+/// Derive the affine public key for a private key (`None` if the key is
+/// out of range).
+pub fn public_key(private_key: &[u8; 32]) -> Option<(U256, U256)> {
+    let d = bignum::from_be_bytes(private_key);
+    if !scalar_in_range(&d) {
+        return None;
+    }
+    Point::generator().mul_scalar(&d).to_affine()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b32(seed: u8) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = seed.wrapping_add(i as u8).wrapping_mul(31) ^ 0x5A;
+        }
+        out
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = b32(1);
+        let msg = b32(2);
+        let nonce = b32(3);
+        let sig = ecdsa_p256_sign(&msg, &sk, &nonce).unwrap();
+        let pk = public_key(&sk).unwrap();
+        assert!(ecdsa_p256_verify(&msg, &pk, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let sk = b32(1);
+        let msg = b32(2);
+        let nonce = b32(3);
+        let sig = ecdsa_p256_sign(&msg, &sk, &nonce).unwrap();
+        let pk = public_key(&sk).unwrap();
+        let mut bad = msg;
+        bad[0] ^= 1;
+        assert!(!ecdsa_p256_verify(&bad, &pk, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let sk = b32(7);
+        let msg = b32(8);
+        let nonce = b32(9);
+        let sig = ecdsa_p256_sign(&msg, &sk, &nonce).unwrap();
+        let pk = public_key(&sk).unwrap();
+        let mut bad = sig;
+        bad.s[31] ^= 1;
+        assert!(!ecdsa_p256_verify(&msg, &pk, &bad));
+        let mut bad2 = sig;
+        bad2.r[0] ^= 0x80;
+        assert!(!ecdsa_p256_verify(&msg, &pk, &bad2));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let sig = ecdsa_p256_sign(&b32(2), &b32(1), &b32(3)).unwrap();
+        let other = public_key(&b32(4)).unwrap();
+        assert!(!ecdsa_p256_verify(&b32(2), &other, &sig));
+    }
+
+    #[test]
+    fn out_of_range_inputs_rejected() {
+        let zero = [0u8; 32];
+        let big = [0xFFu8; 32]; // >= n
+        let msg = b32(2);
+        let good = b32(1);
+        assert!(ecdsa_p256_sign(&msg, &zero, &good).is_none());
+        assert!(ecdsa_p256_sign(&msg, &big, &good).is_none());
+        assert!(ecdsa_p256_sign(&msg, &good, &zero).is_none());
+        assert!(ecdsa_p256_sign(&msg, &good, &big).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_nonce() {
+        let a = ecdsa_p256_sign(&b32(2), &b32(1), &b32(3)).unwrap();
+        let b = ecdsa_p256_sign(&b32(2), &b32(1), &b32(3)).unwrap();
+        assert_eq!(a, b);
+        let c = ecdsa_p256_sign(&b32(2), &b32(1), &b32(4)).unwrap();
+        assert_ne!(a.to_bytes().to_vec(), c.to_bytes().to_vec());
+    }
+
+    #[test]
+    fn signature_wire_roundtrip() {
+        let sig = ecdsa_p256_sign(&b32(2), &b32(1), &b32(3)).unwrap();
+        let bytes = sig.to_bytes();
+        assert_eq!(Signature::from_bytes(&bytes), Some(sig));
+        assert_eq!(Signature::from_bytes(&bytes[..63]), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! HMAC (RFC 2104) over SHA-256 and BLAKE2s.
+//!
+//! The ECDSA HSM uses `hmac SHA2_256` as the PRF for deterministic nonce
+//! generation (paper fig. 4), and the password hasher uses
+//! `hmac Blake2S` (paper fig. 12) — both reused here as-is.
+
+use crate::blake2s::blake2s_256;
+use crate::sha256::sha256;
+
+const BLOCK: usize = 64;
+
+fn hmac_with(hash: fn(&[u8]) -> [u8; 32], key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..32].copy_from_slice(&hash(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(BLOCK + message.len());
+    for b in &k {
+        inner.push(b ^ 0x36);
+    }
+    inner.extend_from_slice(message);
+    let ih = hash(&inner);
+    let mut outer = Vec::with_capacity(BLOCK + 32);
+    for b in &k {
+        outer.push(b ^ 0x5c);
+    }
+    outer.extend_from_slice(&ih);
+    hash(&outer)
+}
+
+/// HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    hmac_with(sha256, key, message)
+}
+
+/// HMAC-BLAKE2s-256 (BLAKE2s used as a plain hash with a 64-byte block).
+pub fn hmac_blake2s(key: &[u8], message: &[u8]) -> [u8; 32] {
+    hmac_with(blake2s_256, key, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = vec![0x0b; 20];
+        let out = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            out.to_vec(),
+            hex("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let out = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            out.to_vec(),
+            hex("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = vec![0xaa; 20];
+        let data = vec![0xdd; 50];
+        let out = hmac_sha256(&key, &data);
+        assert_eq!(
+            out.to_vec(),
+            hex("773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe")
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Test case 6: key longer than the block size is hashed first.
+        let key = vec![0xaa; 131];
+        let out = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            out.to_vec(),
+            hex("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
+        );
+    }
+
+    #[test]
+    fn hmac_blake2s_properties() {
+        // No published RFC vectors for HMAC-BLAKE2s; check structural
+        // properties: key and message sensitivity, determinism.
+        let a = hmac_blake2s(b"key1", b"message");
+        let b = hmac_blake2s(b"key2", b"message");
+        let c = hmac_blake2s(b"key1", b"messagf");
+        let d = hmac_blake2s(b"key1", b"message");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, d);
+        let long_key = vec![7u8; 100];
+        let _ = hmac_blake2s(&long_key, b"x");
+    }
+}

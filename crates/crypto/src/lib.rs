@@ -1,0 +1,45 @@
+//! parfait-crypto — from-scratch cryptographic algorithms.
+//!
+//! In the Parfait paper, HSM applications reuse specifications,
+//! implementations, and proofs from the HACL\* verified cryptography
+//! library. This crate is the Rust-native stand-in: it provides
+//! *specification-level* implementations of every algorithm the four
+//! case-study HSMs need, written for clarity and tested against
+//! published test vectors. The littlec firmware implementations in
+//! `parfait-hsms` are differentially verified against this crate.
+//!
+//! Algorithms:
+//!
+//! * [`sha256`](mod@sha256) — FIPS 180-4 SHA-256;
+//! * [`blake2s`] — RFC 7693 BLAKE2s-256;
+//! * [`hmac`] — RFC 2104 HMAC over either hash;
+//! * [`p256`] — NIST P-256 field/scalar arithmetic in Montgomery form
+//!   and Jacobian-coordinate group operations;
+//! * [`ecdsa`] — ECDSA-P256 signing and verification (pre-hashed
+//!   messages, the paper's `NoHash` instantiation);
+//! * [`ct`] — constant-time selection/masking helpers mirroring the
+//!   idioms the firmware uses (paper §7.1: "computes a signature
+//!   unconditionally, and then applies a mask to the buffer").
+
+//! ```
+//! // Sign and verify with the specification-level ECDSA.
+//! let sk = [7u8; 32];
+//! let msg = parfait_crypto::sha256(b"hello");
+//! let nonce = parfait_crypto::hmac_sha256(&sk, b"nonce derivation");
+//! let sig = parfait_crypto::ecdsa_p256_sign(&msg, &sk, &nonce).unwrap();
+//! let pk = parfait_crypto::ecdsa::public_key(&sk).unwrap();
+//! assert!(parfait_crypto::ecdsa_p256_verify(&msg, &pk, &sig));
+//! ```
+
+pub mod bignum;
+pub mod blake2s;
+pub mod ct;
+pub mod ecdsa;
+pub mod hmac;
+pub mod p256;
+pub mod sha256;
+
+pub use blake2s::blake2s_256;
+pub use ecdsa::{ecdsa_p256_sign, ecdsa_p256_verify, Signature};
+pub use hmac::{hmac_blake2s, hmac_sha256};
+pub use sha256::sha256;

@@ -1,0 +1,470 @@
+//! NIST P-256 arithmetic: Montgomery-form field and scalar operations,
+//! Jacobian-coordinate group law, and scalar multiplication.
+//!
+//! This is the specification-level counterpart of the littlec firmware's
+//! bignum code (the paper's app developer "represents bignums as arrays
+//! of machine words, implements performance optimizations such as
+//! Montgomery multiplication" at the Low\* level, §3).
+
+use std::sync::OnceLock;
+
+use crate::bignum::{self, U256};
+
+/// Montgomery parameters for a 256-bit odd modulus.
+#[derive(Clone, Debug)]
+pub struct Monty {
+    /// The modulus.
+    pub m: U256,
+    /// `-m^-1 mod 2^32`.
+    pub m_inv32: u32,
+    /// `R^2 mod m` where `R = 2^256`.
+    pub r2: U256,
+    /// `R mod m` (the Montgomery form of 1).
+    pub one: U256,
+}
+
+impl Monty {
+    /// Precompute parameters for modulus `m` (must be odd).
+    pub fn new(m: U256) -> Self {
+        assert!(m[0] & 1 == 1, "modulus must be odd");
+        // Newton iteration for the 32-bit inverse: x_{k+1} = x_k (2 - m x_k).
+        let m0 = m[0];
+        let mut inv = 1u32;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let m_inv32 = inv.wrapping_neg();
+        // R mod m by 256 modular doublings of 1.
+        let mut r = [0u32; 8];
+        r[0] = 1;
+        // Reduce 1 (already < m) then double 256 times.
+        for _ in 0..256 {
+            let (d, carry) = bignum::add(&r, &r);
+            let (sub, borrow) = bignum::sub(&d, &m);
+            r = if carry == 1 || borrow == 0 { sub } else { d };
+        }
+        let one = r;
+        // R^2 mod m by 256 more doublings.
+        let mut r2 = one;
+        for _ in 0..256 {
+            let (d, carry) = bignum::add(&r2, &r2);
+            let (sub, borrow) = bignum::sub(&d, &m);
+            r2 = if carry == 1 || borrow == 0 { sub } else { d };
+        }
+        Monty { m, m_inv32, r2, one }
+    }
+
+    /// Montgomery product `a * b * R^-1 mod m` (CIOS).
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        let mut t = [0u32; 10]; // 8 limbs + 2 carry limbs
+        for i in 0..8 {
+            // t += a * b[i]
+            let bi = b[i] as u64;
+            let mut carry = 0u64;
+            for j in 0..8 {
+                let v = t[j] as u64 + a[j] as u64 * bi + carry;
+                t[j] = v as u32;
+                carry = v >> 32;
+            }
+            let v = t[8] as u64 + carry;
+            t[8] = v as u32;
+            t[9] = (v >> 32) as u32;
+            // u = t[0] * m' mod 2^32; t += u * m; t >>= 32
+            let u = (t[0].wrapping_mul(self.m_inv32)) as u64;
+            let v = t[0] as u64 + u * self.m[0] as u64;
+            let mut carry = v >> 32;
+            for j in 1..8 {
+                let v = t[j] as u64 + u * self.m[j] as u64 + carry;
+                t[j - 1] = v as u32;
+                carry = v >> 32;
+            }
+            let v = t[8] as u64 + carry;
+            t[7] = v as u32;
+            let v2 = t[9] as u64 + (v >> 32);
+            t[8] = v2 as u32;
+            t[9] = (v2 >> 32) as u32;
+        }
+        let mut out = [0u32; 8];
+        out.copy_from_slice(&t[..8]);
+        // Final conditional subtraction: result < 2m.
+        if t[8] != 0 || !bignum::lt(&out, &self.m) {
+            let (d, _) = bignum::sub(&out, &self.m);
+            return d;
+        }
+        out
+    }
+
+    /// Modular addition.
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        let (s, carry) = bignum::add(a, b);
+        let (d, borrow) = bignum::sub(&s, &self.m);
+        if carry == 1 || borrow == 0 {
+            d
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        let (d, borrow) = bignum::sub(a, b);
+        if borrow == 1 {
+            let (r, _) = bignum::add(&d, &self.m);
+            r
+        } else {
+            d
+        }
+    }
+
+    /// Convert into Montgomery form.
+    pub fn to_mont(&self, a: &U256) -> U256 {
+        self.mul(a, &self.r2)
+    }
+
+    /// Convert out of Montgomery form.
+    pub fn from_mont(&self, a: &U256) -> U256 {
+        let one = {
+            let mut o = [0u32; 8];
+            o[0] = 1;
+            o
+        };
+        self.mul(a, &one)
+    }
+
+    /// Montgomery-form exponentiation with a public exponent
+    /// (square-and-multiply over the exponent's fixed bit pattern).
+    pub fn pow(&self, a: &U256, e: &U256) -> U256 {
+        let mut acc = self.one;
+        for i in (0..256).rev() {
+            acc = self.mul(&acc, &acc);
+            if bignum::bit(e, i) == 1 {
+                acc = self.mul(&acc, a);
+            }
+        }
+        acc
+    }
+
+    /// Montgomery-form modular inverse via Fermat (`a^(m-2)`);
+    /// valid for prime moduli only.
+    pub fn inv(&self, a: &U256) -> U256 {
+        let two = {
+            let mut t = [0u32; 8];
+            t[0] = 2;
+            t
+        };
+        let (e, _) = bignum::sub(&self.m, &two);
+        self.pow(a, &e)
+    }
+
+    /// Reduce an arbitrary 256-bit value modulo `m`, assuming `m > 2^255`
+    /// (true for both the P-256 field and group orders), so a single
+    /// conditional subtraction suffices.
+    pub fn reduce_once(&self, a: &U256) -> U256 {
+        let (d, borrow) = bignum::sub(a, &self.m);
+        if borrow == 0 {
+            d
+        } else {
+            *a
+        }
+    }
+}
+
+/// The field modulus p.
+pub fn field() -> &'static Monty {
+    static F: OnceLock<Monty> = OnceLock::new();
+    F.get_or_init(|| {
+        Monty::new(bignum::from_hex(
+            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+        ))
+    })
+}
+
+/// The group order n.
+pub fn order() -> &'static Monty {
+    static N: OnceLock<Monty> = OnceLock::new();
+    N.get_or_init(|| {
+        Monty::new(bignum::from_hex(
+            "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
+        ))
+    })
+}
+
+/// Curve coefficient `b` (affine).
+pub fn coeff_b() -> U256 {
+    bignum::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+}
+
+/// Base point G, affine x.
+pub fn gx() -> U256 {
+    bignum::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+}
+
+/// Base point G, affine y.
+pub fn gy() -> U256 {
+    bignum::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+}
+
+/// A point in Jacobian coordinates, components in Montgomery form.
+/// The point at infinity has `z = 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Point {
+    pub x: U256,
+    pub y: U256,
+    pub z: U256,
+}
+
+impl Point {
+    /// The point at infinity.
+    pub fn infinity() -> Point {
+        let f = field();
+        Point { x: f.one, y: f.one, z: [0u32; 8] }
+    }
+
+    /// The base point G.
+    pub fn generator() -> Point {
+        let f = field();
+        Point { x: f.to_mont(&gx()), y: f.to_mont(&gy()), z: f.one }
+    }
+
+    /// Construct from affine coordinates (not checked for curve
+    /// membership; see [`Point::is_on_curve`]).
+    pub fn from_affine(x: &U256, y: &U256) -> Point {
+        let f = field();
+        Point { x: f.to_mont(x), y: f.to_mont(y), z: f.one }
+    }
+
+    /// Whether this is the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        bignum::is_zero(&self.z)
+    }
+
+    /// Convert to affine coordinates (returns `None` for infinity).
+    pub fn to_affine(&self) -> Option<(U256, U256)> {
+        if self.is_infinity() {
+            return None;
+        }
+        let f = field();
+        let zinv = f.inv(&self.z);
+        let zinv2 = f.mul(&zinv, &zinv);
+        let zinv3 = f.mul(&zinv2, &zinv);
+        let x = f.mul(&self.x, &zinv2);
+        let y = f.mul(&self.y, &zinv3);
+        Some((f.from_mont(&x), f.from_mont(&y)))
+    }
+
+    /// Check the affine curve equation `y^2 = x^3 - 3x + b`.
+    pub fn is_on_curve(&self) -> bool {
+        if self.is_infinity() {
+            return true;
+        }
+        let f = field();
+        let (x, y) = self.to_affine().expect("not infinity");
+        let xm = f.to_mont(&x);
+        let ym = f.to_mont(&y);
+        let y2 = f.mul(&ym, &ym);
+        let x2 = f.mul(&xm, &xm);
+        let x3 = f.mul(&x2, &xm);
+        let three_x = f.add(&f.add(&xm, &xm), &xm);
+        let b = f.to_mont(&coeff_b());
+        let rhs = f.add(&f.sub(&x3, &three_x), &b);
+        y2 == rhs
+    }
+
+    /// Point doubling (dbl-2001-b, a = -3). Doubling infinity yields
+    /// infinity; doubling a point of order 2 (none exist on P-256 since
+    /// the group order is prime) would yield z = 0.
+    pub fn double(&self) -> Point {
+        let f = field();
+        let delta = f.mul(&self.z, &self.z);
+        let gamma = f.mul(&self.y, &self.y);
+        let beta = f.mul(&self.x, &gamma);
+        let t1 = f.sub(&self.x, &delta);
+        let t2 = f.add(&self.x, &delta);
+        let t3 = f.mul(&t1, &t2);
+        let alpha = f.add(&f.add(&t3, &t3), &t3);
+        let alpha2 = f.mul(&alpha, &alpha);
+        let beta2 = f.add(&beta, &beta);
+        let beta4 = f.add(&beta2, &beta2);
+        let beta8 = f.add(&beta4, &beta4);
+        let x3 = f.sub(&alpha2, &beta8);
+        let yz = f.add(&self.y, &self.z);
+        let yz2 = f.mul(&yz, &yz);
+        let z3 = f.sub(&f.sub(&yz2, &gamma), &delta);
+        let g2 = f.mul(&gamma, &gamma);
+        let g2_2 = f.add(&g2, &g2);
+        let g2_4 = f.add(&g2_2, &g2_2);
+        let g2_8 = f.add(&g2_4, &g2_4);
+        let y3 = f.sub(&f.mul(&alpha, &f.sub(&beta4, &x3)), &g2_8);
+        Point { x: x3, y: y3, z: z3 }
+    }
+
+    /// Complete point addition: handles infinity inputs, doubling, and
+    /// inverse points.
+    pub fn add(&self, other: &Point) -> Point {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let f = field();
+        let z1z1 = f.mul(&self.z, &self.z);
+        let z2z2 = f.mul(&other.z, &other.z);
+        let u1 = f.mul(&self.x, &z2z2);
+        let u2 = f.mul(&other.x, &z1z1);
+        let s1 = f.mul(&self.y, &f.mul(&other.z, &z2z2));
+        let s2 = f.mul(&other.y, &f.mul(&self.z, &z1z1));
+        let h = f.sub(&u2, &u1);
+        let r = f.sub(&s2, &s1);
+        if bignum::is_zero(&h) {
+            if bignum::is_zero(&r) {
+                return self.double();
+            }
+            return Point::infinity();
+        }
+        let hh = f.mul(&h, &h);
+        let hhh = f.mul(&h, &hh);
+        let v = f.mul(&u1, &hh);
+        let r2 = f.mul(&r, &r);
+        let v2 = f.add(&v, &v);
+        let x3 = f.sub(&f.sub(&r2, &hhh), &v2);
+        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.mul(&s1, &hhh));
+        let z3 = f.mul(&f.mul(&self.z, &other.z), &h);
+        Point { x: x3, y: y3, z: z3 }
+    }
+
+    /// Scalar multiplication by double-and-add over the scalar's bits
+    /// (most-significant first).
+    pub fn mul_scalar(&self, k: &U256) -> Point {
+        let mut acc = Point::infinity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if bignum::bit(k, i) == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn montgomery_roundtrip() {
+        let f = field();
+        let a = bignum::from_hex("123456789abcdef0fedcba9876543210aabbccddeeff00112233445566778899");
+        let am = f.to_mont(&a);
+        assert_eq!(f.from_mont(&am), a);
+    }
+
+    #[test]
+    fn montgomery_mul_matches_schoolbook() {
+        // (a*b mod p) computed via mont mul vs via wide mul + slow reduce.
+        let f = field();
+        let a = bignum::from_hex("0fedcba987654321");
+        let b = bignum::from_hex("123456789");
+        let am = f.to_mont(&a);
+        let bm = f.to_mont(&b);
+        let prod = f.from_mont(&f.mul(&am, &bm));
+        // a*b < 2^96, fits in 256 bits and is < p, so prod == a*b.
+        let wide = bignum::mul_wide(&a, &b);
+        let mut expect = [0u32; 8];
+        expect.copy_from_slice(&wide[..8]);
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn field_inverse() {
+        let f = field();
+        let a = f.to_mont(&bignum::from_hex("deadbeefcafebabe"));
+        let ainv = f.inv(&a);
+        assert_eq!(f.mul(&a, &ainv), f.one);
+    }
+
+    #[test]
+    fn order_inverse() {
+        let n = order();
+        let a = n.to_mont(&bignum::from_hex("1234567890abcdef"));
+        let ainv = n.inv(&a);
+        assert_eq!(n.mul(&a, &ainv), n.one);
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(Point::generator().is_on_curve());
+    }
+
+    #[test]
+    fn double_generator_known_value() {
+        // 2G, a published P-256 test vector.
+        let g2 = Point::generator().double();
+        let (x, y) = g2.to_affine().unwrap();
+        assert_eq!(
+            x,
+            bignum::from_hex("7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978")
+        );
+        assert_eq!(
+            y,
+            bignum::from_hex("07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1")
+        );
+        assert!(g2.is_on_curve());
+    }
+
+    #[test]
+    fn order_times_generator_is_infinity() {
+        let n = order().m;
+        let p = Point::generator().mul_scalar(&n);
+        assert!(p.is_infinity());
+    }
+
+    #[test]
+    fn one_times_generator_is_generator() {
+        let mut one = [0u32; 8];
+        one[0] = 1;
+        let p = Point::generator().mul_scalar(&one);
+        let (x, y) = p.to_affine().unwrap();
+        assert_eq!(x, gx());
+        assert_eq!(y, gy());
+    }
+
+    #[test]
+    fn scalar_mult_homomorphism() {
+        // (a + b) G == aG + bG for values with a + b < n.
+        let a = bignum::from_hex("1111111111111111111111111111111111111111");
+        let b = bignum::from_hex("2222222222222222222222222222222222222222");
+        let (s, carry) = bignum::add(&a, &b);
+        assert_eq!(carry, 0);
+        let g = Point::generator();
+        let lhs = g.mul_scalar(&s);
+        let rhs = g.mul_scalar(&a).add(&g.mul_scalar(&b));
+        assert_eq!(lhs.to_affine(), rhs.to_affine());
+    }
+
+    #[test]
+    fn add_inverse_is_infinity() {
+        // G + (-G) = infinity; -G has y negated mod p.
+        let g = Point::generator();
+        let f = field();
+        let neg = Point { x: g.x, y: f.sub(&[0u32; 8], &g.y), z: g.z };
+        assert!(g.add(&neg).is_infinity());
+    }
+
+    #[test]
+    fn add_same_point_doubles() {
+        let g = Point::generator();
+        assert_eq!(g.add(&g).to_affine(), g.double().to_affine());
+    }
+
+    #[test]
+    fn mixed_scalar_muls_consistent() {
+        // k(2G) == (2k)G for k small enough not to wrap.
+        let k = bignum::from_hex("abcdef0123456789");
+        let (k2, _) = bignum::add(&k, &k);
+        let g = Point::generator();
+        let lhs = g.double().mul_scalar(&k);
+        let rhs = g.mul_scalar(&k2);
+        assert_eq!(lhs.to_affine(), rhs.to_affine());
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the crypto substrate: algebraic laws of the
+//! bignum/field/scalar arithmetic and ECDSA round-trips.
+
+use proptest::prelude::*;
+
+use parfait_crypto::bignum::{self, U256};
+use parfait_crypto::{ecdsa_p256_sign, ecdsa_p256_verify, p256};
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u32; 8]>()
+}
+
+/// A field element strictly below p.
+fn arb_fe() -> impl Strategy<Value = U256> {
+    arb_u256().prop_map(|mut v| {
+        // Clear the top bits so v < p (p > 2^255).
+        v[7] &= 0x7FFF_FFFF;
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_sub_inverse(a in arb_u256(), b in arb_u256()) {
+        let (s, carry) = bignum::add(&a, &b);
+        let (d, borrow) = bignum::sub(&s, &b);
+        prop_assert_eq!(d, a);
+        // A carry out of the add means the sub must borrow back.
+        prop_assert_eq!(carry, borrow);
+    }
+
+    #[test]
+    fn comparison_is_strict_order(a in arb_u256(), b in arb_u256()) {
+        let lt = bignum::lt(&a, &b);
+        let gt = bignum::lt(&b, &a);
+        let eq = a == b;
+        prop_assert_eq!(lt as u8 + gt as u8 + eq as u8, 1, "exactly one relation");
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(bignum::from_be_bytes(&bignum::to_be_bytes(&a)), a);
+    }
+
+    #[test]
+    fn mont_roundtrip(a in arb_fe()) {
+        let f = p256::field();
+        prop_assert_eq!(f.from_mont(&f.to_mont(&a)), f.reduce_once(&a));
+    }
+
+    #[test]
+    fn field_mul_commutes(a in arb_fe(), b in arb_fe()) {
+        let f = p256::field();
+        let (am, bm) = (f.to_mont(&a), f.to_mont(&b));
+        prop_assert_eq!(f.mul(&am, &bm), f.mul(&bm, &am));
+    }
+
+    #[test]
+    fn field_mul_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        let f = p256::field();
+        let (am, bm, cm) = (f.to_mont(&a), f.to_mont(&b), f.to_mont(&c));
+        prop_assert_eq!(f.mul(&f.mul(&am, &bm), &cm), f.mul(&am, &f.mul(&bm, &cm)));
+    }
+
+    #[test]
+    fn field_distributes(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        let f = p256::field();
+        let (am, bm, cm) = (f.to_mont(&a), f.to_mont(&b), f.to_mont(&c));
+        let lhs = f.mul(&am, &f.add(&bm, &cm));
+        let rhs = f.add(&f.mul(&am, &bm), &f.mul(&am, &cm));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn field_add_sub_inverse(a in arb_fe(), b in arb_fe()) {
+        let f = p256::field();
+        let (am, bm) = (f.to_mont(&a), f.to_mont(&b));
+        prop_assert_eq!(f.sub(&f.add(&am, &bm), &bm), f.reduce_once(&am));
+    }
+
+    #[test]
+    fn field_inverse_law(a in arb_fe()) {
+        let f = p256::field();
+        prop_assume!(!bignum::is_zero(&a));
+        let am = f.to_mont(&f.reduce_once(&a));
+        prop_assume!(!bignum::is_zero(&am));
+        prop_assert_eq!(f.mul(&am, &f.inv(&am)), f.one);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn point_add_commutes(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+        let g = p256::Point::generator();
+        let mut ka = [0u32; 8];
+        ka[0] = a as u32;
+        ka[1] = (a >> 32) as u32;
+        let mut kb = [0u32; 8];
+        kb[0] = b as u32;
+        kb[1] = (b >> 32) as u32;
+        let pa = g.mul_scalar(&ka);
+        let pb = g.mul_scalar(&kb);
+        prop_assert_eq!(pa.add(&pb).to_affine(), pb.add(&pa).to_affine());
+    }
+
+    #[test]
+    fn ecdsa_roundtrip(sk in 1u64..u64::MAX, nonce in 1u64..u64::MAX, msg: [u8; 32]) {
+        let mut sk_bytes = [0u8; 32];
+        sk_bytes[24..].copy_from_slice(&sk.to_be_bytes());
+        let mut nonce_bytes = [0u8; 32];
+        nonce_bytes[24..].copy_from_slice(&nonce.to_be_bytes());
+        let sig = ecdsa_p256_sign(&msg, &sk_bytes, &nonce_bytes).expect("in-range inputs");
+        let pk = parfait_crypto::ecdsa::public_key(&sk_bytes).unwrap();
+        prop_assert!(ecdsa_p256_verify(&msg, &pk, &sig));
+        // A flipped message bit must not verify.
+        let mut bad = msg;
+        bad[0] ^= 1;
+        prop_assert!(!ecdsa_p256_verify(&bad, &pk, &sig));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hashes_are_deterministic_and_length_sensitive(data: Vec<u8>) {
+        let a = parfait_crypto::sha256(&data);
+        prop_assert_eq!(a, parfait_crypto::sha256(&data));
+        let b = parfait_crypto::blake2s_256(&data);
+        prop_assert_eq!(b, parfait_crypto::blake2s_256(&data));
+        // Appending a byte changes both digests.
+        let mut longer = data.clone();
+        longer.push(0);
+        prop_assert_ne!(a, parfait_crypto::sha256(&longer));
+        prop_assert_ne!(b, parfait_crypto::blake2s_256(&longer));
+    }
+
+    #[test]
+    fn hmac_keys_separate(key1: [u8; 32], key2: [u8; 32], msg: [u8; 16]) {
+        prop_assume!(key1 != key2);
+        prop_assert_ne!(
+            parfait_crypto::hmac_sha256(&key1, &msg),
+            parfait_crypto::hmac_sha256(&key2, &msg)
+        );
+    }
+}

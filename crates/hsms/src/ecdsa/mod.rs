@@ -1,0 +1,12 @@
+//! The ECDSA certificate-signing HSM (paper fig. 4 and §7.1).
+
+pub mod spec;
+
+pub use spec::{EcdsaCodec, EcdsaCommand, EcdsaResponse, EcdsaSpec, EcdsaState};
+
+/// Size of the encoded state: prf_key ‖ prf_counter_be ‖ sig_key.
+pub const STATE_SIZE: usize = 72;
+/// Size of an encoded command: tag ‖ 64-byte payload.
+pub const COMMAND_SIZE: usize = 65;
+/// Size of an encoded response: tag ‖ 64-byte payload.
+pub const RESPONSE_SIZE: usize = 65;

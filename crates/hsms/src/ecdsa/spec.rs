@@ -1,0 +1,308 @@
+//! The application specification of the ECDSA-signing HSM.
+//!
+//! This is the Rust transcription of the paper's fig. 4 — the F\* `step`
+//! function — together with the byte-level codec the Starling lockstep
+//! proof uses (encode/decode of commands, responses, and state).
+//! The whole observable behaviour of 2,300 lines of firmware and the
+//! SoC beneath it refines this file.
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_crypto::{ecdsa_p256_sign, hmac_sha256};
+
+use super::{COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+
+/// Spec-level state: `{ prf_key; prf_counter; sig_key }`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EcdsaState {
+    /// HMAC key for the nonce PRF.
+    pub prf_key: [u8; 32],
+    /// Monotone nonce counter; saturates at `u64::MAX`.
+    pub prf_counter: u64,
+    /// ECDSA-P256 signing key (big-endian scalar).
+    pub sig_key: [u8; 32],
+}
+
+/// Spec-level commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EcdsaCommand {
+    /// Configure the HSM with a PRF key and a signing key.
+    Initialize {
+        /// The PRF key.
+        prf_key: [u8; 32],
+        /// The signing key.
+        sig_key: [u8; 32],
+    },
+    /// Sign a 32-byte pre-hashed message.
+    Sign {
+        /// The message (pre-hashed, the `NoHash` instantiation).
+        msg: [u8; 32],
+    },
+    /// Read the public key corresponding to the signing key (safe to
+    /// expose, unlike the signing key itself, which has no read-out
+    /// command).
+    GetPublicKey,
+}
+
+/// Spec-level responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EcdsaResponse {
+    /// Acknowledgement of `Initialize`.
+    Initialized,
+    /// Result of `Sign`: `None` when the counter is exhausted or the
+    /// keys/nonce are out of range — indistinguishable by design.
+    Signature(Option<[u8; 64]>),
+    /// Result of `GetPublicKey`: the affine point `x ‖ y` (big-endian),
+    /// or `None` when the signing key is out of range (uninitialized).
+    PublicKey(Option<[u8; 64]>),
+}
+
+/// The ECDSA HSM specification machine (fig. 4).
+///
+/// There is no command to read the signing key or the PRF key back out,
+/// and nonces are unique across operations: IPR against this machine is
+/// the HSM's entire security statement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EcdsaSpec;
+
+impl StateMachine for EcdsaSpec {
+    type State = EcdsaState;
+    type Command = EcdsaCommand;
+    type Response = EcdsaResponse;
+
+    fn init(&self) -> EcdsaState {
+        EcdsaState { prf_key: [0; 32], prf_counter: 0, sig_key: [0; 32] }
+    }
+
+    fn step(&self, st: &EcdsaState, cmd: &EcdsaCommand) -> (EcdsaState, EcdsaResponse) {
+        match cmd {
+            EcdsaCommand::Initialize { prf_key, sig_key } => (
+                EcdsaState { prf_key: *prf_key, prf_counter: 0, sig_key: *sig_key },
+                EcdsaResponse::Initialized,
+            ),
+            EcdsaCommand::Sign { msg } => {
+                if st.prf_counter == u64::MAX {
+                    return (st.clone(), EcdsaResponse::Signature(None));
+                }
+                let data = st.prf_counter.to_be_bytes();
+                let k = hmac_sha256(&st.prf_key, &data);
+                let sig = ecdsa_p256_sign(msg, &st.sig_key, &k).map(|s| s.to_bytes());
+                (
+                    EcdsaState { prf_counter: st.prf_counter + 1, ..st.clone() },
+                    EcdsaResponse::Signature(sig),
+                )
+            }
+            EcdsaCommand::GetPublicKey => {
+                let q = parfait_crypto::ecdsa::public_key(&st.sig_key).map(|(x, y)| {
+                    let mut out = [0u8; 64];
+                    out[..32].copy_from_slice(&parfait_crypto::bignum::to_be_bytes(&x));
+                    out[32..].copy_from_slice(&parfait_crypto::bignum::to_be_bytes(&y));
+                    out
+                });
+                (st.clone(), EcdsaResponse::PublicKey(q))
+            }
+        }
+    }
+}
+
+/// Byte-level encodings shared by the driver, the emulator, and the
+/// Starling lockstep obligations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EcdsaCodec;
+
+impl Codec for EcdsaCodec {
+    type Spec = EcdsaSpec;
+    type CI = Vec<u8>;
+    type RI = Vec<u8>;
+    type SI = Vec<u8>;
+
+    fn encode_command(&self, c: &EcdsaCommand) -> Vec<u8> {
+        let mut out = vec![0u8; COMMAND_SIZE];
+        match c {
+            EcdsaCommand::Initialize { prf_key, sig_key } => {
+                out[0] = 1;
+                out[1..33].copy_from_slice(prf_key);
+                out[33..65].copy_from_slice(sig_key);
+            }
+            EcdsaCommand::Sign { msg } => {
+                out[0] = 2;
+                out[1..33].copy_from_slice(msg);
+            }
+            EcdsaCommand::GetPublicKey => out[0] = 3,
+        }
+        out
+    }
+
+    fn decode_command(&self, c: &Vec<u8>) -> Option<EcdsaCommand> {
+        if c.len() != COMMAND_SIZE {
+            return None;
+        }
+        match c[0] {
+            1 => {
+                let mut prf_key = [0u8; 32];
+                prf_key.copy_from_slice(&c[1..33]);
+                let mut sig_key = [0u8; 32];
+                sig_key.copy_from_slice(&c[33..65]);
+                Some(EcdsaCommand::Initialize { prf_key, sig_key })
+            }
+            2 => {
+                // Trailing payload bytes are ignored (lenient decode):
+                // several low-level inputs map to the same command.
+                let mut msg = [0u8; 32];
+                msg.copy_from_slice(&c[1..33]);
+                Some(EcdsaCommand::Sign { msg })
+            }
+            3 => Some(EcdsaCommand::GetPublicKey),
+            _ => None,
+        }
+    }
+
+    fn encode_response(&self, r: Option<&EcdsaResponse>) -> Vec<u8> {
+        let mut out = vec![0u8; RESPONSE_SIZE];
+        match r {
+            Some(EcdsaResponse::Initialized) => out[0] = 1,
+            Some(EcdsaResponse::Signature(Some(sig))) => {
+                out[0] = 2;
+                out[1..65].copy_from_slice(sig);
+            }
+            Some(EcdsaResponse::Signature(None)) => out[0] = 3,
+            Some(EcdsaResponse::PublicKey(Some(q))) => {
+                out[0] = 4;
+                out[1..65].copy_from_slice(q);
+            }
+            Some(EcdsaResponse::PublicKey(None)) => out[0] = 5,
+            None => out[0] = 0xFF,
+        }
+        out
+    }
+
+    fn decode_response(&self, r: &Vec<u8>) -> EcdsaResponse {
+        match r.first() {
+            Some(1) => EcdsaResponse::Initialized,
+            Some(2) => {
+                let mut sig = [0u8; 64];
+                sig.copy_from_slice(&r[1..65]);
+                EcdsaResponse::Signature(Some(sig))
+            }
+            Some(4) => {
+                let mut q = [0u8; 64];
+                q.copy_from_slice(&r[1..65]);
+                EcdsaResponse::PublicKey(Some(q))
+            }
+            Some(5) => EcdsaResponse::PublicKey(None),
+            _ => EcdsaResponse::Signature(None),
+        }
+    }
+
+    fn encode_state(&self, s: &EcdsaState) -> Vec<u8> {
+        let mut out = vec![0u8; STATE_SIZE];
+        out[..32].copy_from_slice(&s.prf_key);
+        out[32..40].copy_from_slice(&s.prf_counter.to_be_bytes());
+        out[40..72].copy_from_slice(&s.sig_key);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfait_crypto::ecdsa::public_key;
+    use parfait_crypto::ecdsa_p256_verify;
+    use parfait_crypto::Signature;
+
+    fn b32(seed: u8) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = seed.wrapping_add(i as u8).wrapping_mul(73) ^ 0x3C;
+        }
+        out
+    }
+
+    #[test]
+    fn spec_signs_verifiably() {
+        let spec = EcdsaSpec;
+        let st = spec.init();
+        let (st, r) = spec.step(
+            &st,
+            &EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) },
+        );
+        assert_eq!(r, EcdsaResponse::Initialized);
+        let msg = b32(3);
+        let (st2, r) = spec.step(&st, &EcdsaCommand::Sign { msg });
+        let sig = match r {
+            EcdsaResponse::Signature(Some(s)) => s,
+            other => panic!("expected a signature, got {other:?}"),
+        };
+        assert_eq!(st2.prf_counter, 1);
+        let pk = public_key(&b32(2)).unwrap();
+        assert!(ecdsa_p256_verify(&msg, &pk, &Signature::from_bytes(&sig).unwrap()));
+    }
+
+    #[test]
+    fn nonces_are_unique_across_signs() {
+        let spec = EcdsaSpec;
+        let (st, _) = spec.step(
+            &spec.init(),
+            &EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) },
+        );
+        let msg = b32(3);
+        let (st2, r1) = spec.step(&st, &EcdsaCommand::Sign { msg });
+        let (_, r2) = spec.step(&st2, &EcdsaCommand::Sign { msg });
+        assert_ne!(r1, r2, "same message must get different nonces");
+    }
+
+    #[test]
+    fn uninitialized_hsm_returns_none() {
+        let spec = EcdsaSpec;
+        let (_, r) = spec.step(&spec.init(), &EcdsaCommand::Sign { msg: b32(3) });
+        assert_eq!(r, EcdsaResponse::Signature(None));
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let spec = EcdsaSpec;
+        let st = EcdsaState { prf_key: b32(1), prf_counter: u64::MAX, sig_key: b32(2) };
+        let (st2, r) = spec.step(&st, &EcdsaCommand::Sign { msg: b32(3) });
+        assert_eq!(r, EcdsaResponse::Signature(None));
+        assert_eq!(st2.prf_counter, u64::MAX, "no increment at saturation");
+    }
+
+    #[test]
+    fn get_public_key_matches_library() {
+        let spec = EcdsaSpec;
+        let (st, _) = spec.step(
+            &spec.init(),
+            &EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) },
+        );
+        let (st2, r) = spec.step(&st, &EcdsaCommand::GetPublicKey);
+        assert_eq!(st, st2, "reading the public key must not change state");
+        let q = match r {
+            EcdsaResponse::PublicKey(Some(q)) => q,
+            other => panic!("expected a public key, got {other:?}"),
+        };
+        let (x, y) = parfait_crypto::ecdsa::public_key(&b32(2)).unwrap();
+        assert_eq!(&q[..32], &parfait_crypto::bignum::to_be_bytes(&x));
+        assert_eq!(&q[32..], &parfait_crypto::bignum::to_be_bytes(&y));
+        // Uninitialized device: key out of range.
+        let (_, r) = spec.step(&spec.init(), &EcdsaCommand::GetPublicKey);
+        assert_eq!(r, EcdsaResponse::PublicKey(None));
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let codec = EcdsaCodec;
+        let cmds = [
+            EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) },
+            EcdsaCommand::Sign { msg: b32(3) },
+            EcdsaCommand::GetPublicKey,
+        ];
+        let resps = [
+            EcdsaResponse::Initialized,
+            EcdsaResponse::Signature(Some([7u8; 64])),
+            EcdsaResponse::Signature(None),
+            EcdsaResponse::PublicKey(Some([9u8; 64])),
+            EcdsaResponse::PublicKey(None),
+        ];
+        parfait::lockstep::check_codec_inverse(&codec, &cmds, &resps).unwrap();
+    }
+}

@@ -1,0 +1,84 @@
+//! littlec firmware sources for the case-study HSMs.
+//!
+//! The sources are concatenated into per-app programs by the functions
+//! below; P-256 constants (Montgomery parameters, base point, exponents)
+//! are generated from `parfait-crypto` so the firmware and the spec can
+//! never disagree about them.
+
+use parfait_crypto::{bignum, p256};
+
+/// SHA-256 and HMAC-SHA-256 in littlec.
+pub const SHA256_LC: &str = include_str!("sha256.lc");
+/// BLAKE2s and HMAC-BLAKE2s in littlec.
+pub const BLAKE2S_LC: &str = include_str!("blake2s.lc");
+/// P-256 bignum/field/point arithmetic in littlec.
+pub const P256_LC: &str = include_str!("p256.lc");
+/// The ECDSA HSM `handle` function.
+pub const ECDSA_HANDLE_LC: &str = include_str!("ecdsa_handle.lc");
+/// The password-hasher HSM `handle` function.
+pub const HASHER_HANDLE_LC: &str = include_str!("hasher_handle.lc");
+
+fn const_array(name: &str, limbs: &[u32]) -> String {
+    let body: Vec<String> = limbs.iter().map(|l| format!("{l:#010x}")).collect();
+    format!("const u32 {name}[{}] = {{ {} }};\n", limbs.len(), body.join(", "))
+}
+
+/// Generate the P-256 constant definitions the littlec code expects.
+pub fn p256_constants() -> String {
+    let f = p256::field();
+    let n = p256::order();
+    let mut out = String::new();
+    out.push_str(&const_array("P256_P", &f.m));
+    out.push_str(&const_array("P256_N", &n.m));
+    out.push_str(&format!("const u32 P256_P_INV = {:#010x};\n", f.m_inv32));
+    out.push_str(&format!("const u32 P256_N_INV = {:#010x};\n", n.m_inv32));
+    out.push_str(&const_array("P256_R2_P", &f.r2));
+    out.push_str(&const_array("P256_R2_N", &n.r2));
+    out.push_str(&const_array("P256_ONE_P", &f.one));
+    out.push_str(&const_array("P256_ONE_N", &n.one));
+    out.push_str(&const_array("P256_ONE_RAW", &{
+        let mut one = [0u32; 8];
+        one[0] = 1;
+        one
+    }));
+    // Base point in Montgomery form.
+    out.push_str(&const_array("P256_GX_M", &f.to_mont(&p256::gx())));
+    out.push_str(&const_array("P256_GY_M", &f.to_mont(&p256::gy())));
+    // Public exponents for Fermat inversion.
+    let two = {
+        let mut t = [0u32; 8];
+        t[0] = 2;
+        t
+    };
+    out.push_str(&const_array("P256_P_MINUS_2", &bignum::sub(&f.m, &two).0));
+    out.push_str(&const_array("P256_N_MINUS_2", &bignum::sub(&n.m, &two).0));
+    out
+}
+
+/// The complete ECDSA HSM application program (everything `handle`
+/// needs, no system software).
+pub fn ecdsa_app_source() -> String {
+    let mut s = String::new();
+    s.push_str(&p256_constants());
+    s.push_str(SHA256_LC);
+    s.push_str(P256_LC);
+    s.push_str(ECDSA_HANDLE_LC);
+    s
+}
+
+/// The complete password-hasher application program.
+pub fn hasher_app_source() -> String {
+    let mut s = String::new();
+    s.push_str(BLAKE2S_LC);
+    s.push_str(HASHER_HANDLE_LC);
+    s
+}
+
+#[cfg(test)]
+mod tests_sha256;
+
+#[cfg(test)]
+mod tests_p256;
+
+#[cfg(test)]
+mod tests_blake2s;

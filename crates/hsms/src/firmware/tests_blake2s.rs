@@ -1,0 +1,75 @@
+//! Differential tests: littlec BLAKE2s/HMAC-BLAKE2s vs the Rust spec.
+
+use parfait_littlec::frontend;
+use parfait_littlec::interp::Interp;
+
+use crate::firmware::{hasher_app_source, BLAKE2S_LC};
+
+fn test_source() -> String {
+    let mut s = String::from(BLAKE2S_LC);
+    s.push_str(
+        "
+        void b2s_test(u8* out, u8* data, u8* lenbuf) {
+            blake2s_hash(out, data, lenbuf[0]);
+        }
+        ",
+    );
+    s
+}
+
+#[test]
+fn littlec_blake2s_matches_spec() {
+    let src = test_source();
+    let p = frontend(&src).unwrap();
+    let i = Interp::new(&p);
+    for data in [
+        b"abc".to_vec(),
+        b"".to_vec(),
+        vec![0x5A; 64],
+        vec![0xA5; 96],
+        vec![3; 128],
+        vec![9; 65],
+    ] {
+        let want = parfait_crypto::blake2s_256(&data).to_vec();
+        let out = vec![0u8; 32];
+        let padded = if data.is_empty() { vec![0] } else { data.clone() };
+        let lenbuf = vec![data.len() as u8];
+        let res = i.call_with_buffers("b2s_test", &[&out, &padded, &lenbuf]).unwrap();
+        assert_eq!(res[0], want, "len={}", data.len());
+    }
+}
+
+#[test]
+fn littlec_hasher_handle_matches_spec_machine() {
+    use crate::hasher::{HasherCodec, HasherCommand, HasherSpec, RESPONSE_SIZE};
+    use parfait::lockstep::Codec;
+    use parfait::StateMachine;
+
+    let src = hasher_app_source();
+    let p = frontend(&src).unwrap_or_else(|e| panic!("{e}"));
+    let interp = Interp::new(&p);
+    let spec = HasherSpec;
+    let codec = HasherCodec;
+
+    let mut spec_state = spec.init();
+    let mut impl_state = codec.encode_state(&spec_state);
+    let cmds = vec![
+        HasherCommand::Hash { message: [0x01; 32] }, // pre-initialization
+        HasherCommand::Initialize { secret: [0xAB; 32] },
+        HasherCommand::Hash { message: [0x42; 32] },
+        HasherCommand::Hash { message: [0x43; 32] },
+    ];
+    for cmd in cmds {
+        let ci = codec.encode_command(&cmd);
+        let (s2, r2) = spec.step(&spec_state, &cmd);
+        let (si2, ri) = interp.step(&impl_state, &ci, RESPONSE_SIZE).unwrap();
+        assert_eq!(si2, codec.encode_state(&s2), "state after {cmd:?}");
+        assert_eq!(ri, codec.encode_response(Some(&r2)), "response to {cmd:?}");
+        spec_state = s2;
+        impl_state = si2;
+    }
+    let bad = vec![0x09u8; 33];
+    let (si2, ri) = interp.step(&impl_state, &bad, RESPONSE_SIZE).unwrap();
+    assert_eq!(si2, impl_state);
+    assert_eq!(ri, codec.encode_response(None));
+}

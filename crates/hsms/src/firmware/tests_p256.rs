@@ -1,0 +1,189 @@
+//! Differential tests: littlec P-256/ECDSA vs the Rust specification.
+
+use parfait_crypto::{bignum, p256};
+use parfait_littlec::frontend;
+use parfait_littlec::interp::Interp;
+
+use crate::firmware::{ecdsa_app_source, p256_constants, P256_LC};
+
+/// P-256 code plus small test shims (no handle / hash code).
+fn p256_test_source() -> String {
+    let mut s = p256_constants();
+    s.push_str(P256_LC);
+    s.push_str(
+        "
+        void mont_mul_test(u8* r_be, u8* a_be, u8* b_be) {
+            u32 a[8]; bn_from_be(a, a_be);
+            u32 b[8]; bn_from_be(b, b_be);
+            u32 am[8]; fe_to_mont(am, a);
+            u32 bm[8]; fe_to_mont(bm, b);
+            u32 pm[8]; fe_mul(pm, am, bm);
+            u32 p[8]; fe_from_mont(p, pm);
+            bn_to_be(r_be, p);
+        }
+        void fe_inv_test(u8* r_be, u8* a_be) {
+            u32 a[8]; bn_from_be(a, a_be);
+            u32 am[8]; fe_to_mont(am, a);
+            u32 im[8]; fe_inv(im, am);
+            u32 i[8]; fe_from_mont(i, im);
+            bn_to_be(r_be, i);
+        }
+        void pt_mul_test(u8* x_be, u8* k_be) {
+            u32 g[24];
+            bn_copy(g, P256_GX_M);
+            bn_copy(g + 8, P256_GY_M);
+            bn_copy(g + 16, P256_ONE_P);
+            u32 r[24];
+            pt_mul(r, k_be, g);
+            u32 x[8];
+            pt_affine_x(x, r);
+            bn_to_be(x_be, x);
+        }
+        void ecdsa_test(u8* sig, u8* ok_out, u8* msg, u8* d, u8* k) {
+            u32 ok = ecdsa_sign_ct(sig, msg, d, k);
+            ok_out[0] = (u8)ok;
+        }
+        ",
+    );
+    s
+}
+
+fn be(limbs: &[u32; 8]) -> Vec<u8> {
+    bignum::to_be_bytes(limbs).to_vec()
+}
+
+#[test]
+fn littlec_mont_mul_matches_spec() {
+    let src = p256_test_source();
+    let p = frontend(&src).unwrap_or_else(|e| panic!("{e}"));
+    let i = Interp::new(&p);
+    let f = p256::field();
+    let cases = [
+        ("2", "3"),
+        ("deadbeefcafebabe0123456789abcdef", "fedcba9876543210"),
+        (
+            "ffffffff00000001000000000000000000000000fffffffffffffffffffffffe", // p-1
+            "ffffffff00000001000000000000000000000000fffffffffffffffffffffffe",
+        ),
+    ];
+    for (a_hex, b_hex) in cases {
+        let a = bignum::from_hex(a_hex);
+        let b = bignum::from_hex(b_hex);
+        let want = f.from_mont(&f.mul(&f.to_mont(&a), &f.to_mont(&b)));
+        let out = vec![0u8; 32];
+        let res = i.call_with_buffers("mont_mul_test", &[&out, &be(&a), &be(&b)]).unwrap();
+        assert_eq!(res[0], be(&want), "a={a_hex} b={b_hex}");
+    }
+}
+
+#[test]
+fn littlec_fe_inv_matches_spec() {
+    let src = p256_test_source();
+    let p = frontend(&src).unwrap();
+    let i = Interp::new(&p);
+    let f = p256::field();
+    let a = bignum::from_hex("123456789abcdef0fedcba9876543210");
+    let want = f.from_mont(&f.inv(&f.to_mont(&a)));
+    let out = vec![0u8; 32];
+    let res = i.call_with_buffers("fe_inv_test", &[&out, &be(&a)]).unwrap();
+    assert_eq!(res[0], be(&want));
+}
+
+#[test]
+fn littlec_scalar_mult_matches_spec() {
+    let src = p256_test_source();
+    let p = frontend(&src).unwrap();
+    let i = Interp::new(&p);
+    // k = 2: known 2G x-coordinate.
+    let k = bignum::from_hex("2");
+    let rp = p256::Point::generator().mul_scalar(&k);
+    let (want_x, _) = rp.to_affine().unwrap();
+    let out = vec![0u8; 32];
+    let res = i.call_with_buffers("pt_mul_test", &[&out, &be(&k)]).unwrap();
+    assert_eq!(res[0], be(&want_x), "2G");
+}
+
+#[test]
+fn littlec_scalar_mult_random_scalar() {
+    let src = p256_test_source();
+    let p = frontend(&src).unwrap();
+    let i = Interp::new(&p);
+    let k = bignum::from_hex("4c3b17aa873382b0f24d6129493d8aad60a6e3c57dd01abe90086538398355dd");
+    let rp = p256::Point::generator().mul_scalar(&k);
+    let (want_x, _) = rp.to_affine().unwrap();
+    let out = vec![0u8; 32];
+    let res = i.call_with_buffers("pt_mul_test", &[&out, &be(&k)]).unwrap();
+    assert_eq!(res[0], be(&want_x));
+}
+
+#[test]
+fn littlec_ecdsa_sign_matches_spec() {
+    let src = p256_test_source();
+    let p = frontend(&src).unwrap();
+    let i = Interp::new(&p);
+    let msg = [0x44u8; 32];
+    let mut d = [7u8; 32];
+    d[0] = 0; // keep the scalar comfortably below n
+    let mut k = [9u8; 32];
+    k[0] = 0;
+    let want = parfait_crypto::ecdsa_p256_sign(&msg, &d, &k).expect("valid inputs");
+    let sig = vec![0u8; 64];
+    let ok = vec![0u8; 1];
+    let res = i.call_with_buffers("ecdsa_test", &[&sig, &ok, &msg, &d, &k]).unwrap();
+    assert_eq!(res[1], vec![1], "ok flag");
+    assert_eq!(res[0], want.to_bytes().to_vec());
+}
+
+#[test]
+fn littlec_ecdsa_invalid_inputs_flagged() {
+    let src = p256_test_source();
+    let p = frontend(&src).unwrap();
+    let i = Interp::new(&p);
+    let msg = [0x44u8; 32];
+    let zero = [0u8; 32];
+    let mut k = [9u8; 32];
+    k[0] = 0;
+    let sig = vec![0u8; 64];
+    let ok = vec![0u8; 1];
+    let res = i.call_with_buffers("ecdsa_test", &[&sig, &ok, &msg, &zero, &k]).unwrap();
+    assert_eq!(res[1], vec![0], "zero key must be rejected");
+}
+
+#[test]
+fn littlec_ecdsa_handle_matches_spec_machine() {
+    use crate::ecdsa::{EcdsaCodec, EcdsaCommand, EcdsaSpec, RESPONSE_SIZE};
+    use parfait::lockstep::Codec;
+    use parfait::StateMachine;
+
+    let src = ecdsa_app_source();
+    let p = frontend(&src).unwrap_or_else(|e| panic!("{e}"));
+    let interp = Interp::new(&p);
+    let spec = EcdsaSpec;
+    let codec = EcdsaCodec;
+
+    // Initialize then sign, comparing state and response encodings.
+    let mut spec_state = spec.init();
+    let mut impl_state = codec.encode_state(&spec_state);
+    let cmds = vec![
+        EcdsaCommand::GetPublicKey, // pre-initialization: PublicKey None
+        EcdsaCommand::Initialize { prf_key: [0x11; 32], sig_key: [0x22; 32] },
+        EcdsaCommand::Sign { msg: [0x33; 32] },
+        EcdsaCommand::GetPublicKey,
+    ];
+    for cmd in cmds {
+        let ci = codec.encode_command(&cmd);
+        let (s2, r2) = spec.step(&spec_state, &cmd);
+        let (si2, ri) = interp.step(&impl_state, &ci, RESPONSE_SIZE).unwrap();
+        assert_eq!(si2, codec.encode_state(&s2), "state after {cmd:?}");
+        assert_eq!(ri, codec.encode_response(Some(&r2)), "response to {cmd:?}");
+        spec_state = s2;
+        impl_state = si2;
+    }
+
+    // An invalid command must leave state unchanged and return the
+    // canonical error.
+    let bad = vec![0x77u8; 65];
+    let (si2, ri) = interp.step(&impl_state, &bad, RESPONSE_SIZE).unwrap();
+    assert_eq!(si2, impl_state);
+    assert_eq!(ri, codec.encode_response(None));
+}

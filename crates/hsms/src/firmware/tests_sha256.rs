@@ -1,0 +1,105 @@
+//! Differential tests: littlec SHA-256/HMAC vs the Rust specification.
+
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::frontend;
+use parfait_littlec::interp::Interp;
+
+use crate::firmware::SHA256_LC;
+
+/// A test program exposing hash/hmac through a `handle`-like driver:
+/// `void sha_test(u8* out, u8* data, u8* lenbuf)`.
+fn test_source() -> String {
+    let mut s = String::from(SHA256_LC);
+    s.push_str(
+        "
+        void sha_test(u8* out, u8* data, u8* lenbuf) {
+            u32 len = lenbuf[0];
+            sha256_hash(out, data, len);
+        }
+        void hmac_test(u8* out, u8* key, u8* msg, u8* lens) {
+            hmac_sha256(out, key, lens[0], msg, lens[1]);
+        }
+        ",
+    );
+    s
+}
+
+fn interp_sha(data: &[u8]) -> Vec<u8> {
+    let src = test_source();
+    let p = frontend(&src).unwrap();
+    let i = Interp::new(&p);
+    let out = vec![0u8; 32];
+    let mut padded = data.to_vec();
+    padded.resize(data.len().max(1), 0);
+    let lenbuf = vec![data.len() as u8];
+    let res = i.call_with_buffers("sha_test", &[&out, &padded, &lenbuf]).unwrap();
+    res[0].clone()
+}
+
+#[test]
+fn littlec_sha256_matches_spec() {
+    for data in [
+        b"".to_vec(),
+        b"abc".to_vec(),
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq".to_vec(),
+        vec![0xA5; 64],
+        vec![0x5A; 96],
+        vec![7; 119],
+    ] {
+        let want = parfait_crypto::sha256(&data).to_vec();
+        let got = interp_sha(&data);
+        assert_eq!(got, want, "len={}", data.len());
+    }
+}
+
+#[test]
+fn littlec_hmac_sha256_matches_spec() {
+    let src = test_source();
+    let p = frontend(&src).unwrap();
+    let i = Interp::new(&p);
+    for (key, msg) in [
+        (vec![0x0B; 20], b"Hi There".to_vec()),
+        (b"Jefe".to_vec(), b"what do ya want for nothing?".to_vec()),
+        (vec![0xAA; 64], vec![0xDD; 50]),
+        (vec![1; 32], vec![2; 8]),
+        (vec![9; 32], vec![3; 64]),
+    ] {
+        let want = parfait_crypto::hmac_sha256(&key, &msg).to_vec();
+        let out = vec![0u8; 32];
+        let lens = vec![key.len() as u8, msg.len() as u8];
+        let res = i.call_with_buffers("hmac_test", &[&out, &key, &msg, &lens]).unwrap();
+        assert_eq!(res[0], want, "keylen={} msglen={}", key.len(), msg.len());
+    }
+}
+
+#[test]
+fn littlec_sha256_all_compiler_levels() {
+    // The same program through the full pipeline: interp / IR / asm.
+    let src = test_source();
+    let p = frontend(&src).unwrap();
+    let data = vec![0x42u8; 61];
+    let want = parfait_crypto::sha256(&data).to_vec();
+
+    // IR level.
+    let ir = parfait_littlec::ir::lower(&p).unwrap();
+    let ev = parfait_littlec::ireval::IrEval::new(&ir);
+    let out = vec![0u8; 32];
+    let lenbuf = vec![61u8];
+    let res = ev.call_with_buffers("sha_test", &[&out, &data, &lenbuf]).unwrap();
+    assert_eq!(res[0], want, "IR level");
+
+    // Asm level, all optimization levels.
+    for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        let asm = parfait_littlec::codegen::compile(&p, opt).unwrap();
+        let prog = parfait_riscv::assemble(&asm).unwrap();
+        let mut m = parfait_riscv::Machine::with_program(&prog);
+        let out_ptr = m.alloc(32);
+        let data_ptr = m.alloc(data.len() as u32);
+        m.storebytes(data_ptr, &data);
+        let len_ptr = m.alloc(1);
+        m.storebytes(len_ptr, &[61]);
+        let entry = prog.address_of("sha_test").unwrap();
+        m.call(entry, &[out_ptr, data_ptr, len_ptr], 50_000_000).unwrap();
+        assert_eq!(m.loadbytes(out_ptr, 32), want, "asm {opt}");
+    }
+}

@@ -1,0 +1,12 @@
+//! The HMAC password-hashing HSM (paper fig. 12 and §7.1).
+
+pub mod spec;
+
+pub use spec::{HasherCodec, HasherCommand, HasherResponse, HasherSpec, HasherState};
+
+/// Size of the encoded state: the 32-byte secret.
+pub const STATE_SIZE: usize = 32;
+/// Size of an encoded command: tag ‖ 32-byte payload.
+pub const COMMAND_SIZE: usize = 33;
+/// Size of an encoded response: tag ‖ 32-byte payload.
+pub const RESPONSE_SIZE: usize = 33;

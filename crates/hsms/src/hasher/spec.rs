@@ -1,0 +1,171 @@
+//! The application specification of the password-hashing HSM.
+//!
+//! The Rust transcription of the paper's fig. 12: `Initialize(secret)`
+//! and `Hash(message)` returning `hmac Blake2S secret message`. The HSM
+//! defends password databases against offline brute force: without the
+//! secret (which never leaves the device), candidate passwords cannot be
+//! hashed for comparison.
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_crypto::hmac_blake2s;
+
+use super::{COMMAND_SIZE, RESPONSE_SIZE};
+
+/// Spec-level state: the HMAC secret.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HasherState {
+    /// The device secret.
+    pub secret: [u8; 32],
+}
+
+/// Spec-level commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HasherCommand {
+    /// Install a new secret.
+    Initialize {
+        /// The new secret.
+        secret: [u8; 32],
+    },
+    /// Hash a 32-byte message under the secret.
+    Hash {
+        /// The message (e.g. a pre-hashed password).
+        message: [u8; 32],
+    },
+}
+
+/// Spec-level responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HasherResponse {
+    /// Acknowledgement of `Initialize`.
+    Initialized,
+    /// The HMAC-BLAKE2s digest.
+    Hashed([u8; 32]),
+}
+
+/// The password-hasher specification machine (fig. 12).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HasherSpec;
+
+impl StateMachine for HasherSpec {
+    type State = HasherState;
+    type Command = HasherCommand;
+    type Response = HasherResponse;
+
+    fn init(&self) -> HasherState {
+        HasherState { secret: [0; 32] }
+    }
+
+    fn step(&self, st: &HasherState, cmd: &HasherCommand) -> (HasherState, HasherResponse) {
+        match cmd {
+            HasherCommand::Initialize { secret } => {
+                (HasherState { secret: *secret }, HasherResponse::Initialized)
+            }
+            HasherCommand::Hash { message } => {
+                let digest = hmac_blake2s(&st.secret, message);
+                (st.clone(), HasherResponse::Hashed(digest))
+            }
+        }
+    }
+}
+
+/// Byte-level encodings for the password hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HasherCodec;
+
+impl Codec for HasherCodec {
+    type Spec = HasherSpec;
+    type CI = Vec<u8>;
+    type RI = Vec<u8>;
+    type SI = Vec<u8>;
+
+    fn encode_command(&self, c: &HasherCommand) -> Vec<u8> {
+        let mut out = vec![0u8; COMMAND_SIZE];
+        match c {
+            HasherCommand::Initialize { secret } => {
+                out[0] = 1;
+                out[1..33].copy_from_slice(secret);
+            }
+            HasherCommand::Hash { message } => {
+                out[0] = 2;
+                out[1..33].copy_from_slice(message);
+            }
+        }
+        out
+    }
+
+    fn decode_command(&self, c: &Vec<u8>) -> Option<HasherCommand> {
+        if c.len() != COMMAND_SIZE {
+            return None;
+        }
+        let mut payload = [0u8; 32];
+        payload.copy_from_slice(&c[1..33]);
+        match c[0] {
+            1 => Some(HasherCommand::Initialize { secret: payload }),
+            2 => Some(HasherCommand::Hash { message: payload }),
+            _ => None,
+        }
+    }
+
+    fn encode_response(&self, r: Option<&HasherResponse>) -> Vec<u8> {
+        let mut out = vec![0u8; RESPONSE_SIZE];
+        match r {
+            Some(HasherResponse::Initialized) => out[0] = 1,
+            Some(HasherResponse::Hashed(d)) => {
+                out[0] = 2;
+                out[1..33].copy_from_slice(d);
+            }
+            None => out[0] = 0xFF,
+        }
+        out
+    }
+
+    fn decode_response(&self, r: &Vec<u8>) -> HasherResponse {
+        match r.first() {
+            Some(2) => {
+                let mut d = [0u8; 32];
+                d.copy_from_slice(&r[1..33]);
+                HasherResponse::Hashed(d)
+            }
+            _ => HasherResponse::Initialized,
+        }
+    }
+
+    fn encode_state(&self, s: &HasherState) -> Vec<u8> {
+        s.secret.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_crypto_library() {
+        let spec = HasherSpec;
+        let secret = [9u8; 32];
+        let msg = [3u8; 32];
+        let (st, _) = spec.step(&spec.init(), &HasherCommand::Initialize { secret });
+        let (_, r) = spec.step(&st, &HasherCommand::Hash { message: msg });
+        assert_eq!(r, HasherResponse::Hashed(hmac_blake2s(&secret, &msg)));
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let codec = HasherCodec;
+        let cmds = [
+            HasherCommand::Initialize { secret: [1; 32] },
+            HasherCommand::Hash { message: [2; 32] },
+        ];
+        let resps = [HasherResponse::Initialized, HasherResponse::Hashed([7; 32])];
+        parfait::lockstep::check_codec_inverse(&codec, &cmds, &resps).unwrap();
+    }
+
+    #[test]
+    fn hash_does_not_change_state() {
+        let spec = HasherSpec;
+        let (st, _) = spec.step(&spec.init(), &HasherCommand::Initialize { secret: [5; 32] });
+        let (st2, _) = spec.step(&st, &HasherCommand::Hash { message: [6; 32] });
+        assert_eq!(st, st2);
+    }
+}

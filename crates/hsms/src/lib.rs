@@ -1,0 +1,35 @@
+//! parfait-hsms — the four case-study HSMs (paper §7).
+//!
+//! Two applications × two hardware platforms:
+//!
+//! * [`ecdsa`] — the ECDSA-P256 certificate-signing HSM (fig. 4): a
+//!   40-line-spec HSM whose `Sign` command produces deterministic-nonce
+//!   ECDSA signatures, with no way to read the keys back out;
+//! * [`hasher`] — the HMAC password-hashing HSM (fig. 12);
+//! * [`totp`] — a third app demonstrating §8.1's modularity claim: an
+//!   RFC 4226 one-time-password HSM built by reusing the HMAC-SHA-256
+//!   firmware with a new ~50-line handle and ~60-line spec;
+//! * [`pkcs11`] — a Cryptoki-style host session layer for the ECDSA
+//!   token ("PKCS#11-compatible", §1);
+//! * [`platform`] — the Ibex-like and PicoRV32-like SoC platforms and
+//!   the firmware build pipeline (littlec app code + system software →
+//!   RV32IM assembly → ROM image);
+//! * [`syssw`] — the system software of fig. 1: the five-step execution
+//!   loop, byte I/O over the ready/valid port, and journaled persistence
+//!   (fig. 9: one atomically-written flag word toggling two state
+//!   copies in FRAM);
+//! * [`firmware`] — the littlec sources: SHA-256, BLAKE2s, HMAC, P-256
+//!   Montgomery/Jacobian arithmetic, constant-time ECDSA, and the two
+//!   `handle` functions.
+//!
+//! The littlec crypto code is differentially verified against
+//! `parfait-crypto` (the HACL\*-stand-in specification) at every level
+//! of the compilation pipeline.
+
+pub mod ecdsa;
+pub mod firmware;
+pub mod hasher;
+pub mod pkcs11;
+pub mod platform;
+pub mod syssw;
+pub mod totp;

@@ -1,0 +1,217 @@
+//! A PKCS#11-flavored host-side session API for the ECDSA HSM.
+//!
+//! The paper describes its first case study as "a PKCS#11-compatible
+//! ECDSA certificate-signing HSM" (§1, §7.1). This module provides the
+//! host side of that compatibility: a minimal Cryptoki-style session
+//! layer (`C_Initialize` / `C_OpenSession` / `C_SignInit` / `C_Sign`)
+//! that translates to the HSM's wire protocol. Only the mechanisms the
+//! device implements are exposed: `CKM_ECDSA` over P-256 with pre-hashed
+//! 32-byte inputs.
+//!
+//! This is host software — it sits *outside* the verified boundary
+//! (like the paper's client library) and relies only on the wire-level
+//! driver, which is part of the TCB as the top-level driver's lowest
+//! layer.
+
+use parfait::lockstep::Codec;
+use parfait_knox2::WireDriver;
+use parfait_rtl::Circuit;
+
+use crate::ecdsa::{EcdsaCodec, EcdsaCommand, EcdsaResponse, COMMAND_SIZE, RESPONSE_SIZE};
+
+/// PKCS#11-style return values (the subset this token can produce).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ckr {
+    /// CKR_OK.
+    Ok,
+    /// CKR_CRYPTOKI_NOT_INITIALIZED.
+    CryptokiNotInitialized,
+    /// CKR_OPERATION_NOT_INITIALIZED — `C_Sign` without `C_SignInit`.
+    OperationNotInitialized,
+    /// CKR_MECHANISM_INVALID — only `CKM_ECDSA` is supported.
+    MechanismInvalid,
+    /// CKR_DATA_LEN_RANGE — inputs must be 32-byte pre-hashes.
+    DataLenRange,
+    /// CKR_FUNCTION_FAILED — the device returned `Signature None`
+    /// (uninitialized token or exhausted nonce counter).
+    FunctionFailed,
+    /// CKR_DEVICE_ERROR — wire-protocol failure.
+    DeviceError,
+}
+
+/// Mechanisms (only ECDSA-no-hash exists on this token).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mechanism {
+    /// CKM_ECDSA with externally hashed data.
+    Ecdsa,
+}
+
+/// A Cryptoki-style session owning the transport to one HSM.
+pub struct Pkcs11Session<'c> {
+    device: &'c mut dyn Circuit,
+    wire: WireDriver,
+    initialized: bool,
+    sign_armed: bool,
+}
+
+impl<'c> Pkcs11Session<'c> {
+    /// `C_Initialize` + `C_OpenSession` folded together: bind to a
+    /// device.
+    pub fn open(device: &'c mut dyn Circuit) -> Pkcs11Session<'c> {
+        Pkcs11Session {
+            device,
+            wire: WireDriver::new(COMMAND_SIZE, RESPONSE_SIZE),
+            initialized: true,
+            sign_armed: false,
+        }
+    }
+
+    /// `C_InitToken`-ish: provision the keys (a real PKCS#11 token does
+    /// this via `C_GenerateKeyPair`; this HSM's spec takes keys at
+    /// `Initialize`, fig. 4).
+    pub fn init_token(&mut self, prf_key: [u8; 32], sig_key: [u8; 32]) -> Ckr {
+        if !self.initialized {
+            return Ckr::CryptokiNotInitialized;
+        }
+        let codec = EcdsaCodec;
+        let cmd = EcdsaCommand::Initialize { prf_key, sig_key };
+        match self.wire.run(self.device, &codec.encode_command(&cmd)) {
+            Ok(resp) => match codec.decode_response(&resp) {
+                EcdsaResponse::Initialized => Ckr::Ok,
+                _ => Ckr::DeviceError,
+            },
+            Err(_) => Ckr::DeviceError,
+        }
+    }
+
+    /// `C_SignInit`: arm a signing operation with a mechanism.
+    pub fn sign_init(&mut self, mechanism: Mechanism) -> Ckr {
+        if !self.initialized {
+            return Ckr::CryptokiNotInitialized;
+        }
+        match mechanism {
+            Mechanism::Ecdsa => {
+                self.sign_armed = true;
+                Ckr::Ok
+            }
+        }
+    }
+
+    /// `C_Sign`: sign a 32-byte pre-hash, returning the 64-byte `r‖s`.
+    pub fn sign(&mut self, data: &[u8]) -> Result<[u8; 64], Ckr> {
+        if !self.initialized {
+            return Err(Ckr::CryptokiNotInitialized);
+        }
+        if !self.sign_armed {
+            return Err(Ckr::OperationNotInitialized);
+        }
+        // Single-part operation: disarms regardless of outcome (as the
+        // PKCS#11 state machine requires).
+        self.sign_armed = false;
+        if data.len() != 32 {
+            return Err(Ckr::DataLenRange);
+        }
+        let mut msg = [0u8; 32];
+        msg.copy_from_slice(data);
+        let codec = EcdsaCodec;
+        let cmd = EcdsaCommand::Sign { msg };
+        let resp = self
+            .wire
+            .run(self.device, &codec.encode_command(&cmd))
+            .map_err(|_| Ckr::DeviceError)?;
+        match codec.decode_response(&resp) {
+            EcdsaResponse::Signature(Some(sig)) => Ok(sig),
+            EcdsaResponse::Signature(None) => Err(Ckr::FunctionFailed),
+            _ => Err(Ckr::DeviceError),
+        }
+    }
+
+    /// `C_GetAttributeValue(CKA_EC_POINT)`-ish: fetch the token's public
+    /// key (affine `x‖y`, big-endian) from the device.
+    pub fn get_public_key(&mut self) -> Result<[u8; 64], Ckr> {
+        if !self.initialized {
+            return Err(Ckr::CryptokiNotInitialized);
+        }
+        let codec = EcdsaCodec;
+        let resp = self
+            .wire
+            .run(self.device, &codec.encode_command(&EcdsaCommand::GetPublicKey))
+            .map_err(|_| Ckr::DeviceError)?;
+        match codec.decode_response(&resp) {
+            EcdsaResponse::PublicKey(Some(q)) => Ok(q),
+            EcdsaResponse::PublicKey(None) => Err(Ckr::FunctionFailed),
+            _ => Err(Ckr::DeviceError),
+        }
+    }
+
+    /// `C_CloseSession`.
+    pub fn close(mut self) {
+        self.initialized = false;
+        let _ = self.sign_armed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecdsa::{EcdsaCodec, EcdsaSpec, STATE_SIZE};
+    use crate::firmware::ecdsa_app_source;
+    use crate::platform::{build_firmware, make_soc, AppSizes, Cpu};
+    use parfait::StateMachine;
+    use parfait_crypto::ecdsa::public_key;
+    use parfait_crypto::{ecdsa_p256_verify, Signature};
+    use parfait_littlec::codegen::OptLevel;
+
+    fn device() -> parfait_soc::Soc {
+        let sizes = AppSizes {
+            state: STATE_SIZE,
+            command: COMMAND_SIZE,
+            response: RESPONSE_SIZE,
+        };
+        let fw = build_firmware(&ecdsa_app_source(), sizes, OptLevel::O2).unwrap();
+        make_soc(Cpu::Ibex, fw, &EcdsaCodec.encode_state(&EcdsaSpec.init()))
+    }
+
+    #[test]
+    fn pkcs11_state_machine() {
+        let mut soc = device();
+        let mut session = Pkcs11Session::open(&mut soc);
+        // C_Sign before C_SignInit fails per Cryptoki rules.
+        session.sign_armed = false;
+        assert_eq!(session.sign(&[0u8; 32]).unwrap_err(), Ckr::OperationNotInitialized);
+        // Sign on an uninitialized token: the device answers None.
+        assert_eq!(session.sign_init(Mechanism::Ecdsa), Ckr::Ok);
+        assert_eq!(session.sign(&[3u8; 32]).unwrap_err(), Ckr::FunctionFailed);
+        // Length checks.
+        assert_eq!(session.sign_init(Mechanism::Ecdsa), Ckr::Ok);
+        assert_eq!(session.sign(&[1u8; 31]).unwrap_err(), Ckr::DataLenRange);
+    }
+
+    #[test]
+    fn pkcs11_public_key_comes_from_the_device() {
+        let mut soc = device();
+        let mut session = Pkcs11Session::open(&mut soc);
+        // Uninitialized token: no key to export.
+        assert_eq!(session.get_public_key().unwrap_err(), Ckr::FunctionFailed);
+        let sig_key = *b"pkcs11-token-key-0123456789abcd!";
+        assert_eq!(session.init_token([7; 32], sig_key), Ckr::Ok);
+        let q = session.get_public_key().unwrap();
+        let (x, y) = public_key(&sig_key).unwrap();
+        assert_eq!(&q[..32], &parfait_crypto::bignum::to_be_bytes(&x));
+        assert_eq!(&q[32..], &parfait_crypto::bignum::to_be_bytes(&y));
+    }
+
+    #[test]
+    fn pkcs11_sign_verifies() {
+        let mut soc = device();
+        let mut session = Pkcs11Session::open(&mut soc);
+        let sig_key = *b"pkcs11-token-key-0123456789abcd!";
+        assert_eq!(session.init_token([7; 32], sig_key), Ckr::Ok);
+        assert_eq!(session.sign_init(Mechanism::Ecdsa), Ckr::Ok);
+        let digest = parfait_crypto::sha256(b"to-be-signed certificate data");
+        let sig = session.sign(&digest).unwrap();
+        let pk = public_key(&sig_key).unwrap();
+        assert!(ecdsa_p256_verify(&digest, &pk, &Signature::from_bytes(&sig).unwrap()));
+        session.close();
+    }
+}

@@ -1,0 +1,193 @@
+//! System software — the paper's fig. 1 execution loop plus the
+//! platform library (§2, §5.2): byte I/O over the ready/valid port and
+//! journaled persistence in FRAM (fig. 9).
+//!
+//! Layout of persistent memory:
+//!
+//! ```text
+//! FRAM+0            : u32 flag (0 → slot 0 active, 1 → slot 1 active)
+//! FRAM+4            : state slot 0
+//! FRAM+4+pad(SIZE)  : state slot 1
+//! ```
+//!
+//! `store_state` writes the *inactive* slot, then flips the flag — a
+//! single atomically-writable word — so a crash between any two cycles
+//! leaves a consistent state (the old one before the flip, the new one
+//! after). The flag is public metadata (its value equals the parity of
+//! committed operations, derivable from the wire trace), so the
+//! platform marks its FRAM word untainted; the state slots stay secret.
+
+/// Pad a state size to a 4-byte boundary (slot stride in FRAM).
+pub fn slot_stride(state_size: usize) -> usize {
+    (state_size + 3) & !3
+}
+
+/// Offset of the journal flag within FRAM.
+pub const FLAG_OFFSET: usize = 0;
+/// Offset of slot 0 within FRAM.
+pub const SLOT0_OFFSET: usize = 4;
+
+/// Offset of slot 1 within FRAM.
+pub fn slot1_offset(state_size: usize) -> usize {
+    SLOT0_OFFSET + slot_stride(state_size)
+}
+
+/// The littlec system-software source, specialized to an application's
+/// buffer sizes.
+pub fn syssw_source(state_size: usize, command_size: usize, response_size: usize) -> String {
+    let slot1 = 0x3000_0000u32 + slot1_offset(state_size) as u32;
+    format!(
+        r#"
+// --- system software (generated for sizes S={state_size} C={command_size} R={response_size}) ---
+
+u32 ss_read_byte() {{
+    u32* status = (u32*)0x10000000;
+    while (status[0] == 0) {{ }}
+    u32* data = (u32*)0x10000004;
+    return data[0];
+}}
+
+void ss_write_byte(u32 b) {{
+    u32* status = (u32*)0x10000008;
+    while (status[0] == 0) {{ }}
+    u32* data = (u32*)0x1000000c;
+    data[0] = b;
+}}
+
+void read_command(u8* cmd) {{
+    for (u32 i = 0; i < {command_size}; i = i + 1) {{
+        cmd[i] = (u8)ss_read_byte();
+    }}
+}}
+
+void write_response(u8* resp) {{
+    for (u32 i = 0; i < {response_size}; i = i + 1) {{
+        ss_write_byte(resp[i]);
+    }}
+}}
+
+void load_state(u8* state) {{
+    u32* flag = (u32*)0x30000000;
+    u8* src = (u8*)0x30000004;
+    if (flag[0] != 0) {{
+        src = (u8*){slot1};
+    }}
+    for (u32 i = 0; i < {state_size}; i = i + 1) {{
+        state[i] = src[i];
+    }}
+}}
+
+void store_state(u8* state) {{
+    u32* flag = (u32*)0x30000000;
+    u8* dst = (u8*){slot1};
+    if (flag[0] != 0) {{
+        dst = (u8*)0x30000004;
+    }}
+    for (u32 i = 0; i < {state_size}; i = i + 1) {{
+        dst[i] = state[i];
+    }}
+    // Atomic commit point: flip the single flag word.
+    flag[0] = 1 - flag[0];
+}}
+
+void hsm_main() {{
+    u8 state[{state_size}];
+    u8 cmd[{command_size}];
+    u8 resp[{response_size}];
+    while (1) {{
+        read_command(cmd);
+        load_state(state);
+        handle(state, cmd, resp);
+        store_state(state);
+        write_response(resp);
+    }}
+}}
+"#
+    )
+}
+
+/// A deliberately *unsafe* persistence variant for the design ablation:
+/// `store_state` writes the active slot in place, with no journal flip.
+/// A crash mid-write leaves a torn state — exactly what fig. 9's
+/// journaling exists to prevent. Used only by tests and benches.
+pub fn naive_syssw_source(state_size: usize, command_size: usize, response_size: usize) -> String {
+    let journaled = syssw_source(state_size, command_size, response_size);
+    let naive_store = format!(
+        r#"void store_state(u8* state) {{
+    u32* flag = (u32*)0x30000000;
+    u8* dst = (u8*)0x30000004;
+    if (flag[0] != 0) {{
+        dst = (u8*){slot1};
+    }}
+    for (u32 i = 0; i < {state_size}; i = i + 1) {{
+        dst[i] = state[i];
+    }}
+}}"#,
+        slot1 = 0x3000_0000u32 + slot1_offset(state_size) as u32,
+    );
+    // Replace the journaled store_state with the in-place one.
+    let start = journaled.find("void store_state").expect("store_state present");
+    let end = journaled[start..].find("\n}\n").expect("function end") + start + 3;
+    format!("{}{}{}", &journaled[..start], naive_store, &journaled[end..])
+}
+
+/// The boot shim: set up the stack and enter the main loop. This is the
+/// "startup code written in assembly to boot the processor and set up
+/// the environment for executing C code" of §2.
+pub const BOOT_ASM: &str = "
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+";
+
+/// Build the initial FRAM image for a fresh device with the given
+/// encoded initial state: flag = 0, both slots hold the state.
+pub fn initial_fram(state: &[u8]) -> Vec<u8> {
+    let stride = slot_stride(state.len());
+    let mut img = vec![0u8; SLOT0_OFFSET + 2 * stride];
+    img[SLOT0_OFFSET..SLOT0_OFFSET + state.len()].copy_from_slice(state);
+    let s1 = slot1_offset(state.len());
+    img[s1..s1 + state.len()].copy_from_slice(state);
+    img
+}
+
+/// Read the active state out of an FRAM image (the refinement relation
+/// of fig. 9, as a function).
+pub fn active_state(fram: &[u8], state_size: usize) -> Vec<u8> {
+    let flag = u32::from_le_bytes([fram[0], fram[1], fram[2], fram[3]]);
+    let off = if flag == 0 { SLOT0_OFFSET } else { slot1_offset(state_size) };
+    fram[off..off + state_size].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fram_layout_roundtrip() {
+        let state = vec![7u8; 33];
+        let img = initial_fram(&state);
+        assert_eq!(active_state(&img, 33), state);
+        assert_eq!(slot_stride(33), 36);
+        assert_eq!(slot1_offset(33), 40);
+    }
+
+    #[test]
+    fn active_state_follows_flag() {
+        let mut img = initial_fram(&vec![1u8; 4]);
+        img[slot1_offset(4)..slot1_offset(4) + 4].copy_from_slice(&[9; 4]);
+        assert_eq!(active_state(&img, 4), vec![1; 4]);
+        img[0] = 1; // flip flag
+        assert_eq!(active_state(&img, 4), vec![9; 4]);
+    }
+
+    #[test]
+    fn syssw_source_typechecks_with_a_handle() {
+        let mut src = syssw_source(8, 4, 4);
+        src.push_str("void handle(u8* s, u8* c, u8* r) { r[0] = (u8)(s[0] + c[0]); }");
+        parfait_littlec::frontend(&src).unwrap();
+    }
+}

@@ -1,0 +1,182 @@
+//! The application specification of the one-time-password HSM.
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_crypto::hmac_sha256;
+
+use super::{COMMAND_SIZE, RESPONSE_SIZE};
+
+/// Spec-level state: the OTP seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TotpState {
+    /// The shared secret seed.
+    pub seed: [u8; 32],
+}
+
+/// Spec-level commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TotpCommand {
+    /// Install a new seed.
+    Initialize {
+        /// The new seed.
+        seed: [u8; 32],
+    },
+    /// Produce the HOTP code for a counter value (the host derives the
+    /// counter from time for TOTP).
+    Code {
+        /// The moving factor.
+        counter: u64,
+    },
+}
+
+/// Spec-level responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TotpResponse {
+    /// Acknowledgement of `Initialize`.
+    Initialized,
+    /// A 6-digit one-time password (0..=999999).
+    Code(u32),
+}
+
+/// The OTP specification machine: RFC 4226 HOTP with HMAC-SHA-256.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TotpSpec;
+
+/// RFC 4226 §5.3 over HMAC-SHA-256, on the spec side.
+pub fn hotp_sha256(seed: &[u8; 32], counter: u64) -> u32 {
+    let mac = hmac_sha256(seed, &counter.to_be_bytes());
+    let off = (mac[31] & 15) as usize;
+    let bin = ((mac[off] as u32 & 0x7F) << 24)
+        | ((mac[off + 1] as u32) << 16)
+        | ((mac[off + 2] as u32) << 8)
+        | mac[off + 3] as u32;
+    bin % 1_000_000
+}
+
+impl StateMachine for TotpSpec {
+    type State = TotpState;
+    type Command = TotpCommand;
+    type Response = TotpResponse;
+
+    fn init(&self) -> TotpState {
+        TotpState { seed: [0; 32] }
+    }
+
+    fn step(&self, st: &TotpState, cmd: &TotpCommand) -> (TotpState, TotpResponse) {
+        match cmd {
+            TotpCommand::Initialize { seed } => {
+                (TotpState { seed: *seed }, TotpResponse::Initialized)
+            }
+            TotpCommand::Code { counter } => {
+                (st.clone(), TotpResponse::Code(hotp_sha256(&st.seed, *counter)))
+            }
+        }
+    }
+}
+
+/// Byte-level encodings for the OTP HSM.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TotpCodec;
+
+impl Codec for TotpCodec {
+    type Spec = TotpSpec;
+    type CI = Vec<u8>;
+    type RI = Vec<u8>;
+    type SI = Vec<u8>;
+
+    fn encode_command(&self, c: &TotpCommand) -> Vec<u8> {
+        let mut out = vec![0u8; COMMAND_SIZE];
+        match c {
+            TotpCommand::Initialize { seed } => {
+                out[0] = 1;
+                out[1..33].copy_from_slice(seed);
+            }
+            TotpCommand::Code { counter } => {
+                out[0] = 2;
+                out[1..9].copy_from_slice(&counter.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode_command(&self, c: &Vec<u8>) -> Option<TotpCommand> {
+        if c.len() != COMMAND_SIZE {
+            return None;
+        }
+        match c[0] {
+            1 => {
+                let mut seed = [0u8; 32];
+                seed.copy_from_slice(&c[1..33]);
+                Some(TotpCommand::Initialize { seed })
+            }
+            2 => {
+                // Trailing payload is ignored (lenient decode).
+                let mut ctr = [0u8; 8];
+                ctr.copy_from_slice(&c[1..9]);
+                Some(TotpCommand::Code { counter: u64::from_be_bytes(ctr) })
+            }
+            _ => None,
+        }
+    }
+
+    fn encode_response(&self, r: Option<&TotpResponse>) -> Vec<u8> {
+        let mut out = vec![0u8; RESPONSE_SIZE];
+        match r {
+            Some(TotpResponse::Initialized) => out[0] = 1,
+            Some(TotpResponse::Code(code)) => {
+                out[0] = 2;
+                out[1..5].copy_from_slice(&code.to_be_bytes());
+            }
+            None => out[0] = 0xFF,
+        }
+        out
+    }
+
+    fn decode_response(&self, r: &Vec<u8>) -> TotpResponse {
+        match r.first() {
+            Some(2) => {
+                TotpResponse::Code(u32::from_be_bytes([r[1], r[2], r[3], r[4]]))
+            }
+            _ => TotpResponse::Initialized,
+        }
+    }
+
+    fn encode_state(&self, s: &TotpState) -> Vec<u8> {
+        s.seed.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotp_is_six_digits() {
+        for c in 0..50u64 {
+            let code = hotp_sha256(&[7; 32], c);
+            assert!(code < 1_000_000, "counter {c}: {code}");
+        }
+    }
+
+    #[test]
+    fn codes_vary_with_counter_and_seed() {
+        let a = hotp_sha256(&[1; 32], 0);
+        let b = hotp_sha256(&[1; 32], 1);
+        let c = hotp_sha256(&[2; 32], 0);
+        assert!(a != b || a != c, "codes should vary");
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let codec = TotpCodec;
+        parfait::lockstep::check_codec_inverse(
+            &codec,
+            &[
+                TotpCommand::Initialize { seed: [3; 32] },
+                TotpCommand::Code { counter: 0xDEAD_BEEF_0102_0304 },
+            ],
+            &[TotpResponse::Initialized, TotpResponse::Code(123456)],
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,100 @@
+//! The wire-level driver (paper §5.2).
+
+use parfait_rtl::Circuit;
+use parfait_soc::host;
+
+/// The I/O protocol of the HSM platforms: send the fixed-size command
+/// buffer byte-by-byte over the ready/valid port, then read the
+/// fixed-size response. This is the driver `d` between the assembly and
+/// circuit levels of abstraction; composed with the app codec it forms
+/// the top-level driver of the IPR theorem.
+#[derive(Clone, Copy, Debug)]
+pub struct WireDriver {
+    /// Command buffer size.
+    pub command_size: usize,
+    /// Response buffer size.
+    pub response_size: usize,
+    /// Per-byte handshake timeout (cycles).
+    pub timeout: u64,
+}
+
+impl WireDriver {
+    /// A driver for the given app sizes with a generous timeout.
+    pub fn new(command_size: usize, response_size: usize) -> WireDriver {
+        WireDriver { command_size, response_size, timeout: 2_000_000_000 }
+    }
+
+    /// Run one command against a circuit: returns the response bytes.
+    pub fn run(&self, c: &mut dyn Circuit, cmd: &[u8]) -> Result<Vec<u8>, host::HostTimeout> {
+        assert_eq!(cmd.len(), self.command_size, "command size");
+        host::send_bytes(c, cmd, self.timeout)?;
+        host::recv_bytes(c, self.response_size, self.timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfait_rtl::{Circuit, WireIn, WireOut};
+
+    /// A loopback device: echoes each command byte + 1 as the response.
+    struct Loopback {
+        rx: Vec<u8>,
+        tx: Vec<u8>,
+        cycles: u64,
+        cmd_size: usize,
+        input: WireIn,
+    }
+
+    impl Circuit for Loopback {
+        fn set_input(&mut self, input: WireIn) {
+            self.input = input;
+        }
+        fn get_output(&self) -> WireOut {
+            WireOut {
+                rx_ready: true,
+                tx_valid: !self.tx.is_empty(),
+                tx_data: self.tx.first().copied().unwrap_or(0),
+                tx_taint: false,
+            }
+        }
+        fn tick(&mut self) {
+            self.cycles += 1;
+            if self.input.rx_valid {
+                self.rx.push(self.input.rx_data);
+                self.input.rx_valid = false;
+                if self.rx.len() == self.cmd_size {
+                    self.tx = self.rx.drain(..).map(|b| b.wrapping_add(1)).collect();
+                }
+            }
+            if self.input.tx_ready && !self.tx.is_empty() {
+                self.tx.remove(0);
+                self.input.tx_ready = false;
+            }
+        }
+        fn cycles(&self) -> u64 {
+            self.cycles
+        }
+    }
+
+    #[test]
+    fn driver_runs_one_command() {
+        let mut dev =
+            Loopback { rx: vec![], tx: vec![], cycles: 0, cmd_size: 4, input: WireIn::default() };
+        let d = WireDriver::new(4, 4);
+        let resp = d.run(&mut dev, &[10, 20, 30, 40]).unwrap();
+        assert_eq!(resp, vec![11, 21, 31, 41]);
+        // And again — the driver leaves the device quiescent.
+        let resp = d.run(&mut dev, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(resp, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "command size")]
+    fn driver_rejects_wrong_size() {
+        let mut dev =
+            Loopback { rx: vec![], tx: vec![], cycles: 0, cmd_size: 4, input: WireIn::default() };
+        let d = WireDriver::new(4, 4);
+        let _ = d.run(&mut dev, &[1, 2, 3]);
+    }
+}

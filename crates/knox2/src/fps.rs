@@ -1,0 +1,353 @@
+//! The functional-physical simulation checker.
+//!
+//! IPR at the circuit level demands that the real world (the SoC with
+//! its secret persistent state) and the ideal world (the emulator's
+//! dummy-state SoC with query access to the spec) are observationally
+//! equivalent *at the wire level, at every cycle*. The checker drives
+//! both circuits with identical inputs — a script mixing well-formed
+//! driver commands, adversarial garbage, and idle time — and compares
+//! the output wires cycle by cycle. Any difference in data **or
+//! timing** is a counterexample: correctness bugs, I/O protocol bugs,
+//! compiler-introduced timing leaks, and hardware-level variable-latency
+//! leaks all surface here (paper §7.2's bug catalog).
+//!
+//! In addition the checker validates the fig. 9 refinement relation at
+//! quiescent points (the active FRAM slot must equal the ideal spec
+//! state) and requires the taint tracker to be silent (no secret data
+//! reaching branch conditions, memory addresses, jump targets, or
+//! variable-latency functional units).
+
+use std::time::{Duration, Instant};
+
+use parfait_riscv::model::AsmStateMachine;
+use parfait_rtl::{Circuit, WireIn};
+use parfait_soc::Soc;
+
+use crate::emulator::CircuitEmulator;
+
+/// A whole-command byte-level specification machine — the assembly
+/// level of abstraction, which serves as the spec for hardware
+/// verification (§5.3).
+pub trait ByteSpec {
+    /// One whole-command step.
+    fn step(&self, state: &[u8], cmd: &[u8]) -> (Vec<u8>, Vec<u8>);
+}
+
+impl ByteSpec for AsmStateMachine {
+    fn step(&self, state: &[u8], cmd: &[u8]) -> (Vec<u8>, Vec<u8>) {
+        AsmStateMachine::step(self, state, cmd)
+            .unwrap_or_else(|e| panic!("assembly-level spec failed: {e}"))
+    }
+}
+
+/// One operation of the adversarial host script.
+#[derive(Clone, Debug)]
+pub enum HostOp {
+    /// A well-formed command: send all bytes, then read the response.
+    Command(Vec<u8>),
+    /// Raw bytes pushed at the device (possibly a partial or malformed
+    /// command); no response is read.
+    Garbage(Vec<u8>),
+    /// Idle cycles with no host activity.
+    Idle(u64),
+}
+
+/// Configuration of an FPS run.
+#[derive(Clone, Debug)]
+pub struct FpsConfig {
+    /// Command size (the device consumes input in these units).
+    pub command_size: usize,
+    /// Response size (bytes produced per completed command).
+    pub response_size: usize,
+    /// Per-byte handshake timeout in cycles.
+    pub timeout: u64,
+    /// Size of the encoded application state (for the refinement check).
+    pub state_size: usize,
+}
+
+/// Where the two worlds diverged, or another failure.
+#[derive(Debug)]
+pub enum FpsError {
+    /// Wire outputs differed at a cycle.
+    TraceDivergence {
+        /// Cycle index (since the start of the run).
+        cycle: u64,
+        /// Script operation being executed.
+        op_index: usize,
+        /// Real-world output wires.
+        real: (bool, bool, u8),
+        /// Ideal-world output wires.
+        ideal: (bool, bool, u8),
+        /// Program counter of the real core at the divergence — the
+        /// paper's §8.1 debugging aid ("Knox2 can print out
+        /// user-requested debugging information such as the program
+        /// counter"); look this address up in the assembly listing to
+        /// find the non-constant-time code.
+        real_pc: u32,
+        /// Program counter of the emulator's core at the divergence.
+        ideal_pc: u32,
+    },
+    /// A circuit faulted (illegal instruction, bus error, ...).
+    Fault {
+        /// Which world faulted.
+        world: &'static str,
+        /// Description.
+        detail: String,
+    },
+    /// The host timed out (device hung — itself a timing divergence if
+    /// only one world hangs, but reported distinctly when both do).
+    Timeout {
+        /// Operation index.
+        op_index: usize,
+    },
+    /// The refinement relation of fig. 9 failed at a quiescent point.
+    RefinementViolation {
+        /// Operation index.
+        op_index: usize,
+        /// Active state read from the real device's FRAM.
+        real_state: Vec<u8>,
+        /// Ideal-world spec state.
+        spec_state: Vec<u8>,
+    },
+    /// Secret data reached processor control state (taint report).
+    Leak {
+        /// Human-readable leak events.
+        events: Vec<String>,
+    },
+    /// The wire-level response bytes differ from the spec's response —
+    /// the I/O path mis-encodes (paper §7.2: "I/O code bug in system
+    /// software").
+    ResponseMismatch {
+        /// Which completed command (0-based).
+        command_index: usize,
+        /// Bytes observed on the wire.
+        wire: Vec<u8>,
+        /// Bytes the specification produced.
+        spec: Vec<u8>,
+    },
+}
+
+impl std::fmt::Display for FpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FpsError::TraceDivergence { cycle, op_index, real, ideal, real_pc, ideal_pc } => {
+                write!(
+                    f,
+                    "wire traces diverge at cycle {cycle} (op {op_index}): real={real:?} \
+                     ideal={ideal:?}; real pc={real_pc:#010x} ideal pc={ideal_pc:#010x} — \
+                     check the assembly listing around these addresses"
+                )
+            }
+            FpsError::Fault { world, detail } => write!(f, "{world} circuit fault: {detail}"),
+            FpsError::Timeout { op_index } => write!(f, "host timeout at op {op_index}"),
+            FpsError::RefinementViolation { op_index, .. } => {
+                write!(f, "refinement relation violated after op {op_index}")
+            }
+            FpsError::Leak { events } => {
+                write!(f, "secret data reached control state: {}", events.join("; "))
+            }
+            FpsError::ResponseMismatch { command_index, wire, spec } => write!(
+                f,
+                "response {command_index} differs from the spec: wire={wire:02x?} spec={spec:02x?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FpsError {}
+
+/// Statistics of a successful FPS run (Table 4's measurements).
+#[derive(Clone, Debug, Default)]
+pub struct FpsReport {
+    /// Simulated cycles (both worlds advance together).
+    pub cycles: u64,
+    /// Wall-clock time of the check.
+    pub wall: Duration,
+    /// Commands verified.
+    pub commands: usize,
+    /// Spec queries the emulator made.
+    pub spec_queries: u64,
+}
+
+impl FpsReport {
+    /// Simulated circuit cycles per wall-clock second.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The lock-stepped pair of circuits.
+struct Dual<'a, 's> {
+    real: &'a mut Soc,
+    emu: &'a mut CircuitEmulator<'s>,
+    cycle: u64,
+    divergence: Option<Divergence>,
+}
+
+struct Divergence {
+    cycle: u64,
+    real: (bool, bool, u8),
+    ideal: (bool, bool, u8),
+    real_pc: u32,
+    ideal_pc: u32,
+}
+
+impl Circuit for Dual<'_, '_> {
+    fn set_input(&mut self, input: WireIn) {
+        self.real.set_input(input);
+        self.emu.set_input(input);
+    }
+
+    fn get_output(&self) -> parfait_rtl::WireOut {
+        self.real.get_output()
+    }
+
+    fn tick(&mut self) {
+        // Compare the observable wires *before* the edge, so a timing
+        // divergence is caught at the first differing cycle.
+        let r = self.real.get_output().observable();
+        let i = self.emu.get_output().observable();
+        if r != i && self.divergence.is_none() {
+            self.divergence = Some(Divergence {
+                cycle: self.cycle,
+                real: r,
+                ideal: i,
+                real_pc: self.real.core.pc(),
+                ideal_pc: self.emu.soc.core.pc(),
+            });
+        }
+        self.real.tick();
+        self.emu.tick();
+        self.cycle += 1;
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// Run the FPS check.
+///
+/// * `real` — the SoC with the secret initial state;
+/// * `emu` — the emulator around a dummy-state SoC, holding the ideal
+///   world's spec state;
+/// * `project` — the developer's refinement relation (fig. 9) as a
+///   projection from the real circuit to an encoded spec state;
+/// * `script` — the adversarial host script.
+pub fn check_fps(
+    real: &mut Soc,
+    emu: &mut CircuitEmulator<'_>,
+    cfg: &FpsConfig,
+    project: &dyn Fn(&Soc) -> Vec<u8>,
+    script: &[HostOp],
+) -> Result<FpsReport, FpsError> {
+    let start = Instant::now();
+    let mut report = FpsReport::default();
+    let mut dual = Dual { real, emu, cycle: 0, divergence: None };
+    // The device consumes input in fixed-size commands and answers every
+    // completed one; track framing so adversarial partial traffic keeps
+    // the script aligned (responses are always drained).
+    let mut pending_bytes = 0usize;
+    let mut wire_responses: Vec<Vec<u8>> = Vec::new();
+    for (op_index, op) in script.iter().enumerate() {
+        let io_result = match op {
+            HostOp::Command(cmd) | HostOp::Garbage(cmd) => {
+                if matches!(op, HostOp::Command(_)) {
+                    report.commands += 1;
+                }
+                // Interleave sending with response draining: the device
+                // answers after every COMMAND_SIZE-th byte, and its TX
+                // FIFO is finite, so a host that floods bytes across a
+                // command boundary without reading would deadlock it.
+                let mut send_all = || -> Result<(), parfait_soc::host::HostTimeout> {
+                    for &b in cmd {
+                        parfait_soc::host::send_byte(&mut dual, b, cfg.timeout)?;
+                        pending_bytes += 1;
+                        if pending_bytes == cfg.command_size {
+                            pending_bytes = 0;
+                            let r = parfait_soc::host::recv_bytes(
+                                &mut dual,
+                                cfg.response_size,
+                                cfg.timeout,
+                            )?;
+                            wire_responses.push(r);
+                        }
+                    }
+                    Ok(())
+                };
+                send_all()
+            }
+            HostOp::Idle(n) => {
+                parfait_soc::host::idle(&mut dual, *n);
+                Ok(())
+            }
+        };
+        // Any wire divergence takes precedence over secondary symptoms.
+        if let Some(d) = dual.divergence {
+            return Err(FpsError::TraceDivergence {
+                cycle: d.cycle,
+                op_index,
+                real: d.real,
+                ideal: d.ideal,
+                real_pc: d.real_pc,
+                ideal_pc: d.ideal_pc,
+            });
+        }
+        if let Some(f) = dual.real.fault() {
+            return Err(FpsError::Fault { world: "real", detail: f });
+        }
+        if let Some(f) = dual.emu.soc.fault() {
+            return Err(FpsError::Fault { world: "ideal", detail: f });
+        }
+        if io_result.is_err() {
+            return Err(FpsError::Timeout { op_index });
+        }
+        // Refinement relation at the quiescent point after a command.
+        if pending_bytes == 0 && matches!(op, HostOp::Command(_)) {
+            let real_state = project(dual.real);
+            if real_state != dual.emu.spec_state {
+                return Err(FpsError::RefinementViolation {
+                    op_index,
+                    real_state,
+                    spec_state: dual.emu.spec_state.clone(),
+                });
+            }
+        }
+    }
+    report.cycles = dual.cycle;
+    // Functional binding: every wire response must equal the spec's
+    // response for the corresponding command.
+    let spec_responses = dual.emu.spec_responses.clone();
+    for (i, wire) in wire_responses.iter().enumerate() {
+        match spec_responses.get(i) {
+            Some(spec) if spec == wire => {}
+            Some(spec) => {
+                return Err(FpsError::ResponseMismatch {
+                    command_index: i,
+                    wire: wire.clone(),
+                    spec: spec.clone(),
+                })
+            }
+            None => {
+                return Err(FpsError::ResponseMismatch {
+                    command_index: i,
+                    wire: wire.clone(),
+                    spec: Vec::new(),
+                })
+            }
+        }
+    }
+    // Taint silence: no secret may have reached control state.
+    let leaks = dual.real.core.leaks();
+    if !leaks.is_empty() {
+        let events = leaks
+            .iter()
+            .take(8)
+            .map(|l| format!("{:?} at pc={:#010x} (cycle {})", l.kind, l.pc, l.cycle))
+            .collect();
+        return Err(FpsError::Leak { events });
+    }
+    report.spec_queries = dual.emu.queries;
+    report.wall = start.elapsed();
+    Ok(report)
+}

@@ -1,0 +1,135 @@
+//! Standard adversarial host scripts.
+//!
+//! The FPS checker is only as strong as the traces it explores. This
+//! module packages the script shapes the verification suites use: a
+//! well-behaved session, framing attacks (partial commands completed by
+//! garbage), full-size invalid commands, and idle probing. Scripts are
+//! deterministic given a seed, so failures reproduce.
+
+use crate::fps::HostOp;
+
+/// A tiny deterministic PRNG (xorshift64*), so scripts reproduce without
+/// pulling a dependency into the verification core.
+#[derive(Clone, Debug)]
+pub struct ScriptRng(u64);
+
+impl ScriptRng {
+    /// Seeded constructor; the seed is mixed so that nearby seeds give
+    /// unrelated streams (and zero is mapped away).
+    pub fn new(seed: u64) -> ScriptRng {
+        ScriptRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next_u64() >> 32) as u8
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// Build a mixed adversarial script around a set of well-formed
+/// commands: each command is interleaved with garbage (full-size invalid
+/// commands, partial frames later completed) and idle gaps.
+pub fn adversarial_script(
+    commands: &[Vec<u8>],
+    command_size: usize,
+    seed: u64,
+) -> Vec<HostOp> {
+    let mut rng = ScriptRng::new(seed);
+    let mut ops = Vec::new();
+    for cmd in commands {
+        assert_eq!(cmd.len(), command_size, "well-formed commands only");
+        match rng.below(4) {
+            0 => {
+                // Full-size invalid command first.
+                let mut bad = vec![0u8; command_size];
+                for b in &mut bad {
+                    *b = rng.byte();
+                }
+                bad[0] |= 0x80; // tags >= 0x80 are never valid in our apps
+                ops.push(HostOp::Command(bad));
+            }
+            1 => {
+                // Partial frame + completion (framing attack).
+                let cut = 1 + rng.below(command_size as u64 - 1) as usize;
+                let mut junk = vec![0u8; command_size];
+                for b in &mut junk {
+                    *b = rng.byte();
+                }
+                ops.push(HostOp::Garbage(junk[..cut].to_vec()));
+                ops.push(HostOp::Garbage(junk[cut..].to_vec()));
+            }
+            2 => ops.push(HostOp::Idle(1 + rng.below(500))),
+            _ => {}
+        }
+        ops.push(HostOp::Command(cmd.clone()));
+    }
+    ops.push(HostOp::Idle(100));
+    ops
+}
+
+/// The minimal smoke script: one command and one invalid command.
+pub fn smoke_script(command: Vec<u8>, command_size: usize) -> Vec<HostOp> {
+    vec![HostOp::Command(command), HostOp::Command(vec![0xEE; command_size])]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic() {
+        let cmds = vec![vec![1u8; 5], vec![2u8; 5]];
+        let a = adversarial_script(&cmds, 5, 42);
+        let b = adversarial_script(&cmds, 5, 42);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = adversarial_script(&cmds, 5, 43);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn every_wellformed_command_appears() {
+        let cmds = vec![vec![1u8; 5], vec![2u8; 5], vec![3u8; 5]];
+        let ops = adversarial_script(&cmds, 5, 7);
+        let sent: Vec<&Vec<u8>> = ops
+            .iter()
+            .filter_map(|o| match o {
+                HostOp::Command(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        for c in &cmds {
+            assert!(sent.contains(&c));
+        }
+    }
+
+    #[test]
+    fn partial_frames_always_complete() {
+        // The generator must keep the stream framed: total garbage bytes
+        // per attack sum to a whole command.
+        for seed in 1..20 {
+            let cmds = vec![vec![1u8; 33]];
+            let ops = adversarial_script(&cmds, 33, seed);
+            let total: usize = ops
+                .iter()
+                .map(|o| match o {
+                    HostOp::Command(c) | HostOp::Garbage(c) => c.len(),
+                    HostOp::Idle(_) => 0,
+                })
+                .sum();
+            assert_eq!(total % 33, 0, "seed {seed}");
+        }
+    }
+}

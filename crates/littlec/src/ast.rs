@@ -1,0 +1,218 @@
+//! Abstract syntax tree for littlec.
+
+/// Scalar and pointer types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit unsigned word.
+    U32,
+    /// 8-bit unsigned byte (widens to `u32` in expressions).
+    U8,
+    /// Pointer to `u32`.
+    PtrU32,
+    /// Pointer to `u8`.
+    PtrU8,
+    /// No value (function return only).
+    Void,
+}
+
+impl Ty {
+    /// Whether this type is a pointer.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Ty::PtrU32 | Ty::PtrU8)
+    }
+
+    /// Size in bytes of the pointee (pointers only).
+    pub fn pointee_size(self) -> u32 {
+        match self {
+            Ty::PtrU32 => 4,
+            Ty::PtrU8 => 1,
+            _ => panic!("pointee_size of non-pointer {self:?}"),
+        }
+    }
+
+    /// The pointer type pointing at this scalar type.
+    pub fn ptr_to(self) -> Ty {
+        match self {
+            Ty::U32 => Ty::PtrU32,
+            Ty::U8 => Ty::PtrU8,
+            _ => panic!("ptr_to of {self:?}"),
+        }
+    }
+
+    /// The scalar type a pointer points at.
+    pub fn deref(self) -> Ty {
+        match self {
+            Ty::PtrU32 => Ty::U32,
+            Ty::PtrU8 => Ty::U8,
+            _ => panic!("deref of non-pointer {self:?}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Ty::U32 => "u32",
+            Ty::U8 => "u8",
+            Ty::PtrU32 => "u32*",
+            Ty::PtrU8 => "u8*",
+            Ty::Void => "void",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary operators (all operate on `u32` values; pointers participate in
+/// `+`/`-` with C-style scaling, handled in the type checker/lowering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Short-circuit logical and.
+    LAnd,
+    /// Short-circuit logical or.
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation (two's complement).
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Logical not (`!x` is `x == 0`).
+    LNot,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: usize,
+}
+
+/// Expression kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Num(u32),
+    /// Variable (local, parameter, or global) reference. Array-typed names
+    /// decay to pointers.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Array/pointer indexing: `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Type cast: `(ty)e`.
+    Cast(Ty, Box<Expr>),
+}
+
+/// Assignable places.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Pointer/array element.
+    Index(Expr, Expr),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Scalar declaration with optional initializer.
+    DeclScalar { ty: Ty, name: String, init: Option<Expr>, line: usize },
+    /// Stack array declaration.
+    DeclArray { elem: Ty, name: String, len: u32, line: usize },
+    /// Assignment.
+    Assign { lv: LValue, rhs: Expr, line: usize },
+    /// Conditional.
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, line: usize },
+    /// While loop. `step` statements run after each iteration of `body`,
+    /// including when the body executes `continue` (used by `for` loops).
+    While { cond: Expr, body: Vec<Stmt>, step: Vec<Stmt>, line: usize },
+    /// Return from function.
+    Return { value: Option<Expr>, line: usize },
+    /// Break out of the innermost loop.
+    Break { line: usize },
+    /// Continue the innermost loop.
+    Continue { line: usize },
+    /// Expression statement (function call for effect).
+    ExprStmt { expr: Expr, line: usize },
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    pub ty: Ty,
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub ret: Ty,
+    pub body: Vec<Stmt>,
+    pub line: usize,
+}
+
+/// A global item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Global {
+    /// `const <ty> name[len] = { ... };` — read-only initialized array.
+    ConstArray { elem: Ty, name: String, values: Vec<u32>, line: usize },
+    /// `static <ty> name[len];` — zero-initialized mutable array.
+    StaticArray { elem: Ty, name: String, len: u32, line: usize },
+    /// `const u32 name = value;` — named scalar constant.
+    ConstScalar { name: String, value: u32, line: usize },
+}
+
+impl Global {
+    /// The name of the global.
+    pub fn name(&self) -> &str {
+        match self {
+            Global::ConstArray { name, .. }
+            | Global::StaticArray { name, .. }
+            | Global::ConstScalar { name, .. } => name,
+        }
+    }
+}
+
+/// A full translation unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    pub globals: Vec<Global>,
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Look up a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name() == name)
+    }
+}

@@ -1,0 +1,761 @@
+//! Three-address intermediate representation and AST → IR lowering.
+//!
+//! The IR is the analogue of the paper's C level of abstraction: the
+//! littlec AST is lowered into a control-flow graph of basic blocks over
+//! virtual registers. The IR under the [`crate::ireval`] evaluator is the
+//! "App Impl \[C\]" whole-command state machine; the compiler backend
+//! ([`crate::codegen`]) turns the same IR into RV32IM assembly.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::typeck::{expr_ty, Binding, FnEnv};
+use crate::LcError;
+
+/// A virtual register.
+pub type VReg = u32;
+/// A basic-block index within a function.
+pub type BlockId = usize;
+
+/// Memory access width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Width {
+    /// One byte, zero-extended on load.
+    Byte,
+    /// A 4-byte little-endian word.
+    Word,
+}
+
+/// The second operand of a binary operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// An immediate constant (introduced by the `-O2` folding pass; must
+    /// fit the corresponding RV32IM immediate form).
+    Imm(u32),
+}
+
+/// IR binary operators; a strict subset of RV32IM ALU semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IrOp {
+    Add,
+    Sub,
+    Mul,
+    Divu,
+    Remu,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Upper 32 bits of the unsigned 64-bit product.
+    Mulhu,
+}
+
+impl IrOp {
+    /// Evaluate with RV32IM semantics (shifts mask to 5 bits; division by
+    /// zero follows the RISC-V convention).
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            IrOp::Add => a.wrapping_add(b),
+            IrOp::Sub => a.wrapping_sub(b),
+            IrOp::Mul => a.wrapping_mul(b),
+            IrOp::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
+            IrOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            IrOp::And => a & b,
+            IrOp::Or => a | b,
+            IrOp::Xor => a ^ b,
+            IrOp::Sll => a.wrapping_shl(b & 31),
+            IrOp::Srl => a.wrapping_shr(b & 31),
+            IrOp::Sltu => (a < b) as u32,
+            IrOp::Mulhu => ((a as u64 * b as u64) >> 32) as u32,
+        }
+    }
+}
+
+/// A non-terminator IR instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = value`.
+    Const { dst: VReg, value: u32 },
+    /// `dst = a <op> b`.
+    Bin { op: IrOp, dst: VReg, a: VReg, b: Operand },
+    /// `dst = src`.
+    Copy { dst: VReg, src: VReg },
+    /// `dst = mem[addr]` with the given width (byte loads zero-extend).
+    Load { dst: VReg, addr: VReg, width: Width },
+    /// `mem[addr] = src` with the given width (byte stores truncate).
+    Store { addr: VReg, src: VReg, width: Width },
+    /// `dst = &global`.
+    AddrOfGlobal { dst: VReg, name: String },
+    /// `dst = &frame_slot`.
+    AddrOfLocal { dst: VReg, slot: usize },
+    /// `dst = func(args...)`.
+    Call { dst: Option<VReg>, func: String, args: Vec<VReg> },
+}
+
+/// A block terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Branch on `cond != 0`.
+    Br { cond: VReg, then_b: BlockId, else_b: BlockId },
+    /// Return (value required for non-void functions).
+    Ret { value: Option<VReg> },
+}
+
+/// A basic block.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator; `None` only transiently during construction.
+    pub term: Option<Term>,
+}
+
+/// A stack-frame slot for a local array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameSlot {
+    /// Size in bytes (4-byte aligned).
+    pub size: u32,
+}
+
+/// A function in IR form.
+#[derive(Clone, Debug)]
+pub struct IrFunction {
+    /// Source-level name.
+    pub name: String,
+    /// Parameter virtual registers, in ABI order.
+    pub params: Vec<VReg>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Number of virtual registers used.
+    pub nvregs: u32,
+    /// Local array slots.
+    pub frame: Vec<FrameSlot>,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+}
+
+/// A whole program in IR form. Globals are shared with the AST.
+#[derive(Clone, Debug)]
+pub struct IrProgram {
+    /// Lowered functions.
+    pub functions: Vec<IrFunction>,
+    /// Global definitions (array layout is decided by the consumer).
+    pub globals: Vec<Global>,
+}
+
+impl IrProgram {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&IrFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Lower a type-checked program to IR.
+pub fn lower(program: &Program) -> Result<IrProgram, LcError> {
+    let mut functions = Vec::new();
+    for f in &program.functions {
+        functions.push(lower_function(program, f)?);
+    }
+    Ok(IrProgram { functions, globals: program.globals.clone() })
+}
+
+/// What a name resolves to during lowering.
+#[derive(Clone, Copy)]
+enum LBind {
+    /// Mutable scalar in a virtual register, with its declared type.
+    Reg(VReg, Ty),
+    /// Local array frame slot.
+    Local(usize),
+    /// Global array.
+    GlobalArr,
+    /// Named constant.
+    Const(u32),
+}
+
+struct Lowerer<'p> {
+    program: &'p Program,
+    env: FnEnv<'p>,
+    scopes: Vec<HashMap<String, LBind>>,
+    blocks: Vec<Block>,
+    cur: BlockId,
+    next_vreg: VReg,
+    frame: Vec<FrameSlot>,
+    /// (break target, continue target) stack.
+    loops: Vec<(BlockId, BlockId)>,
+    returns_value: bool,
+}
+
+impl Lowerer<'_> {
+    fn fresh(&mut self) -> VReg {
+        let v = self.next_vreg;
+        self.next_vreg += 1;
+        v
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.blocks[self.cur].insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Term) {
+        if self.blocks[self.cur].term.is_none() {
+            self.blocks[self.cur].term = Some(term);
+        }
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    fn const_reg(&mut self, value: u32) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::Const { dst, value });
+        dst
+    }
+
+    fn bin(&mut self, op: IrOp, a: VReg, b: VReg) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::Bin { op, dst, a, b: Operand::Reg(b) });
+        dst
+    }
+
+    fn lookup(&self, name: &str) -> Option<LBind> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, b: LBind) {
+        self.scopes.last_mut().expect("scope stack never empty").insert(name.to_string(), b);
+    }
+
+    /// The static type of an expression (reusing the type checker).
+    fn ty_of(&self, e: &Expr) -> Result<Ty, LcError> {
+        expr_ty(&self.env, e)
+    }
+
+    /// Lower an expression to a vreg holding its value.
+    fn expr(&mut self, e: &Expr) -> Result<VReg, LcError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Num(v) => Ok(self.const_reg(*v)),
+            ExprKind::Var(name) => match self
+                .lookup(name)
+                .ok_or_else(|| LcError::new(line, format!("undefined variable `{name}`")))?
+            {
+                LBind::Reg(v, _) => Ok(v),
+                LBind::Local(slot) => {
+                    let dst = self.fresh();
+                    self.emit(Inst::AddrOfLocal { dst, slot });
+                    Ok(dst)
+                }
+                LBind::GlobalArr => {
+                    let dst = self.fresh();
+                    self.emit(Inst::AddrOfGlobal { dst, name: name.clone() });
+                    Ok(dst)
+                }
+                LBind::Const(v) => Ok(self.const_reg(v)),
+            },
+            ExprKind::Bin(op, a, b) => self.bin_expr(*op, a, b),
+            ExprKind::Un(op, a) => {
+                let va = self.expr(a)?;
+                match op {
+                    UnOp::Neg => {
+                        let zero = self.const_reg(0);
+                        Ok(self.bin(IrOp::Sub, zero, va))
+                    }
+                    UnOp::Not => {
+                        let ones = self.const_reg(u32::MAX);
+                        Ok(self.bin(IrOp::Xor, va, ones))
+                    }
+                    UnOp::LNot => {
+                        let one = self.const_reg(1);
+                        Ok(self.bin(IrOp::Sltu, va, one))
+                    }
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let elem = self.ty_of(base)?.deref();
+                let addr = self.elem_addr(base, idx)?;
+                let dst = self.fresh();
+                let width = if elem == Ty::U32 { Width::Word } else { Width::Byte };
+                self.emit(Inst::Load { dst, addr, width });
+                Ok(dst)
+            }
+            ExprKind::Call(name, args) => {
+                if name == "mulhu" {
+                    let va = self.expr(&args[0])?;
+                    let vb = self.expr(&args[1])?;
+                    return Ok(self.bin(IrOp::Mulhu, va, vb));
+                }
+                let f = self
+                    .program
+                    .function(name)
+                    .ok_or_else(|| LcError::new(line, format!("undefined function `{name}`")))?;
+                let returns = f.ret != Ty::Void;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.expr(a)?);
+                }
+                let dst = if returns { Some(self.fresh()) } else { None };
+                self.emit(Inst::Call { dst, func: name.clone(), args: argv });
+                // Void calls only appear in statement position; hand back
+                // the scratch register that no one reads.
+                Ok(dst.unwrap_or(0))
+            }
+            ExprKind::Cast(ty, inner) => {
+                let v = self.expr(inner)?;
+                if *ty == Ty::U8 {
+                    let mask = self.const_reg(0xFF);
+                    Ok(self.bin(IrOp::And, v, mask))
+                } else {
+                    Ok(v)
+                }
+            }
+        }
+    }
+
+    /// Lower `base[idx]`'s address computation with element scaling.
+    fn elem_addr(&mut self, base: &Expr, idx: &Expr) -> Result<VReg, LcError> {
+        let elem = self.ty_of(base)?.deref();
+        let b = self.expr(base)?;
+        let i = self.expr(idx)?;
+        let scaled = if elem == Ty::U32 {
+            let two = self.const_reg(2);
+            self.bin(IrOp::Sll, i, two)
+        } else {
+            i
+        };
+        Ok(self.bin(IrOp::Add, b, scaled))
+    }
+
+    fn bin_expr(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<VReg, LcError> {
+        // Short-circuit operators become control flow.
+        if matches!(op, BinOp::LAnd | BinOp::LOr) {
+            return self.short_circuit(op, a, b);
+        }
+        let ta = self.ty_of(a)?;
+        let tb = self.ty_of(b)?;
+        // Pointer arithmetic scaling.
+        if (op == BinOp::Add || op == BinOp::Sub) && (ta.is_ptr() || tb.is_ptr()) {
+            let (pe, ie, pty) = if ta.is_ptr() { (a, b, ta) } else { (b, a, tb) };
+            let p = self.expr(pe)?;
+            let i = self.expr(ie)?;
+            let scaled = if pty.pointee_size() == 4 {
+                let two = self.const_reg(2);
+                self.bin(IrOp::Sll, i, two)
+            } else {
+                i
+            };
+            let irop = if op == BinOp::Add { IrOp::Add } else { IrOp::Sub };
+            return Ok(self.bin(irop, p, scaled));
+        }
+        let va = self.expr(a)?;
+        let vb = self.expr(b)?;
+        let r = match op {
+            BinOp::Add => self.bin(IrOp::Add, va, vb),
+            BinOp::Sub => self.bin(IrOp::Sub, va, vb),
+            BinOp::Mul => self.bin(IrOp::Mul, va, vb),
+            BinOp::Div => self.bin(IrOp::Divu, va, vb),
+            BinOp::Rem => self.bin(IrOp::Remu, va, vb),
+            BinOp::And => self.bin(IrOp::And, va, vb),
+            BinOp::Or => self.bin(IrOp::Or, va, vb),
+            BinOp::Xor => self.bin(IrOp::Xor, va, vb),
+            BinOp::Shl => self.bin(IrOp::Sll, va, vb),
+            BinOp::Shr => self.bin(IrOp::Srl, va, vb),
+            BinOp::Lt => self.bin(IrOp::Sltu, va, vb),
+            BinOp::Gt => self.bin(IrOp::Sltu, vb, va),
+            BinOp::Le => {
+                // a <= b  ==  !(b < a)
+                let gt = self.bin(IrOp::Sltu, vb, va);
+                let one = self.const_reg(1);
+                self.bin(IrOp::Xor, gt, one)
+            }
+            BinOp::Ge => {
+                let lt = self.bin(IrOp::Sltu, va, vb);
+                let one = self.const_reg(1);
+                self.bin(IrOp::Xor, lt, one)
+            }
+            BinOp::Eq => {
+                let x = self.bin(IrOp::Xor, va, vb);
+                let one = self.const_reg(1);
+                self.bin(IrOp::Sltu, x, one)
+            }
+            BinOp::Ne => {
+                let x = self.bin(IrOp::Xor, va, vb);
+                let zero = self.const_reg(0);
+                self.bin(IrOp::Sltu, zero, x)
+            }
+            BinOp::LAnd | BinOp::LOr => unreachable!("handled above"),
+        };
+        Ok(r)
+    }
+
+    fn short_circuit(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<VReg, LcError> {
+        let result = self.fresh();
+        let va = self.expr(a)?;
+        let eval_b = self.new_block();
+        let done = self.new_block();
+        let (short_val, t, f) = match op {
+            BinOp::LAnd => (0u32, eval_b, done),
+            BinOp::LOr => (1u32, done, eval_b),
+            _ => unreachable!("short_circuit only for LAnd/LOr"),
+        };
+        // Set the default (short-circuit) value, then branch.
+        self.emit(Inst::Const { dst: result, value: short_val });
+        self.terminate(Term::Br { cond: va, then_b: t, else_b: f });
+        // Evaluate b, normalize to 0/1.
+        self.switch_to(eval_b);
+        let vb = self.expr(b)?;
+        let zero = self.const_reg(0);
+        let norm = self.bin(IrOp::Sltu, zero, vb);
+        self.emit(Inst::Copy { dst: result, src: norm });
+        self.terminate(Term::Jump(done));
+        self.switch_to(done);
+        Ok(result)
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), LcError> {
+        self.scopes.push(HashMap::new());
+        self.env.push();
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.env.pop();
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LcError> {
+        match s {
+            Stmt::DeclScalar { ty, name, init, line: _ } => {
+                let v = match init {
+                    Some(e) => {
+                        let raw = self.expr(e)?;
+                        // Copy into a dedicated reg so later reassignment
+                        // doesn't clobber the initializer's source.
+                        let dst = self.fresh();
+                        if *ty == Ty::U8 {
+                            let mask = self.const_reg(0xFF);
+                            self.emit(Inst::Bin {
+                                op: IrOp::And,
+                                dst,
+                                a: raw,
+                                b: Operand::Reg(mask),
+                            });
+                        } else {
+                            self.emit(Inst::Copy { dst, src: raw });
+                        }
+                        dst
+                    }
+                    None => self.const_reg(0),
+                };
+                self.declare(name, LBind::Reg(v, *ty));
+                self.env.declare(name, Binding::Scalar(*ty), 0)?;
+                Ok(())
+            }
+            Stmt::DeclArray { elem, name, len, line: _ } => {
+                let size = len * if *elem == Ty::U32 { 4 } else { 1 };
+                let slot = self.frame.len();
+                self.frame.push(FrameSlot { size: (size + 3) & !3 });
+                self.declare(name, LBind::Local(slot));
+                self.env.declare(name, Binding::Array { elem: *elem, len: *len }, 0)?;
+                // Zero-initialize, matching the interpreter semantics.
+                self.zero_slot(slot, size);
+                Ok(())
+            }
+            Stmt::Assign { lv, rhs, line } => {
+                match lv {
+                    LValue::Var(name) => {
+                        let bind = self.lookup(name).ok_or_else(|| {
+                            LcError::new(*line, format!("undefined variable `{name}`"))
+                        })?;
+                        match bind {
+                            LBind::Reg(dst, ty) => {
+                                let v = self.expr(rhs)?;
+                                if ty == Ty::U8 {
+                                    let mask = self.const_reg(0xFF);
+                                    self.emit(Inst::Bin {
+                                        op: IrOp::And,
+                                        dst,
+                                        a: v,
+                                        b: Operand::Reg(mask),
+                                    });
+                                } else {
+                                    self.emit(Inst::Copy { dst, src: v });
+                                }
+                                Ok(())
+                            }
+                            _ => Err(LcError::new(*line, format!("cannot assign to `{name}`"))),
+                        }
+                    }
+                    LValue::Index(base, idx) => {
+                        let elem = self.ty_of(base)?.deref();
+                        let v = self.expr(rhs)?;
+                        let addr = self.elem_addr(base, idx)?;
+                        let width = if elem == Ty::U32 { Width::Word } else { Width::Byte };
+                        self.emit(Inst::Store { addr, src: v, width });
+                        Ok(())
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let c = self.expr(cond)?;
+                let then_b = self.new_block();
+                let else_b = self.new_block();
+                let done = self.new_block();
+                self.terminate(Term::Br { cond: c, then_b, else_b });
+                self.switch_to(then_b);
+                self.stmts(then_body)?;
+                self.terminate(Term::Jump(done));
+                self.switch_to(else_b);
+                self.stmts(else_body)?;
+                self.terminate(Term::Jump(done));
+                self.switch_to(done);
+                Ok(())
+            }
+            Stmt::While { cond, body, step, .. } => {
+                let head = self.new_block();
+                let body_b = self.new_block();
+                let step_b = self.new_block();
+                let done = self.new_block();
+                self.terminate(Term::Jump(head));
+                self.switch_to(head);
+                let c = self.expr(cond)?;
+                self.terminate(Term::Br { cond: c, then_b: body_b, else_b: done });
+                self.switch_to(body_b);
+                self.loops.push((done, step_b));
+                self.stmts(body)?;
+                self.loops.pop();
+                self.terminate(Term::Jump(step_b));
+                self.switch_to(step_b);
+                self.stmts(step)?;
+                self.terminate(Term::Jump(head));
+                self.switch_to(done);
+                Ok(())
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => Some(self.expr(e)?),
+                    None => {
+                        if self.returns_value {
+                            Some(self.const_reg(0))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                self.terminate(Term::Ret { value: v });
+                // Dead block for any trailing statements.
+                let dead = self.new_block();
+                self.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Break { line } => {
+                let (done, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| LcError::new(*line, "break outside of a loop"))?;
+                self.terminate(Term::Jump(done));
+                let dead = self.new_block();
+                self.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Continue { line } => {
+                let (_, step_b) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| LcError::new(*line, "continue outside of a loop"))?;
+                self.terminate(Term::Jump(step_b));
+                let dead = self.new_block();
+                self.switch_to(dead);
+                Ok(())
+            }
+            Stmt::ExprStmt { expr, .. } => {
+                self.expr(expr)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Emit zero-initialization for a freshly declared frame slot.
+    fn zero_slot(&mut self, slot: usize, size: u32) {
+        let base = self.fresh();
+        self.emit(Inst::AddrOfLocal { dst: base, slot });
+        let zero = self.const_reg(0);
+        let words = size / 4;
+        if words <= 16 {
+            for w in 0..words {
+                let off = self.const_reg(w * 4);
+                let addr = self.bin(IrOp::Add, base, off);
+                self.emit(Inst::Store { addr, src: zero, width: Width::Word });
+            }
+            for b in (words * 4)..size {
+                let off = self.const_reg(b);
+                let addr = self.bin(IrOp::Add, base, off);
+                self.emit(Inst::Store { addr, src: zero, width: Width::Byte });
+            }
+        } else {
+            // Word loop + byte tail.
+            let limit = self.const_reg(words * 4);
+            let end = self.bin(IrOp::Add, base, limit);
+            let p = self.fresh();
+            self.emit(Inst::Copy { dst: p, src: base });
+            let head = self.new_block();
+            let body = self.new_block();
+            let done = self.new_block();
+            self.terminate(Term::Jump(head));
+            self.switch_to(head);
+            let c = self.bin(IrOp::Sltu, p, end);
+            self.terminate(Term::Br { cond: c, then_b: body, else_b: done });
+            self.switch_to(body);
+            self.emit(Inst::Store { addr: p, src: zero, width: Width::Word });
+            let four = self.const_reg(4);
+            let p2 = self.bin(IrOp::Add, p, four);
+            self.emit(Inst::Copy { dst: p, src: p2 });
+            self.terminate(Term::Jump(head));
+            self.switch_to(done);
+            for b in (words * 4)..size {
+                let off = self.const_reg(b);
+                let addr = self.bin(IrOp::Add, base, off);
+                self.emit(Inst::Store { addr, src: zero, width: Width::Byte });
+            }
+        }
+    }
+}
+
+fn lower_function(program: &Program, f: &Function) -> Result<IrFunction, LcError> {
+    let env = FnEnv::new(program, f)?;
+    let mut lw = Lowerer {
+        program,
+        env,
+        scopes: vec![HashMap::new()],
+        blocks: vec![Block::default()],
+        cur: 0,
+        next_vreg: 1, // vreg 0 is a scratch "discard" register
+        frame: Vec::new(),
+        loops: Vec::new(),
+        returns_value: f.ret != Ty::Void,
+    };
+    // Seed the outer scope with globals, then open the parameter scope.
+    for g in &program.globals {
+        let b = match g {
+            Global::ConstArray { .. } | Global::StaticArray { .. } => LBind::GlobalArr,
+            Global::ConstScalar { value, .. } => LBind::Const(*value),
+        };
+        lw.declare(g.name(), b);
+    }
+    lw.scopes.push(HashMap::new());
+    let mut params = Vec::new();
+    for p in &f.params {
+        let v = lw.fresh();
+        params.push(v);
+        lw.declare(&p.name, LBind::Reg(v, p.ty));
+    }
+    // Truncate u8 params at entry (matches interpreter semantics).
+    for (p, &v) in f.params.iter().zip(&params) {
+        if p.ty == Ty::U8 {
+            let mask = lw.const_reg(0xFF);
+            lw.emit(Inst::Bin { op: IrOp::And, dst: v, a: v, b: Operand::Reg(mask) });
+        }
+    }
+    lw.stmts(&f.body)?;
+    // Implicit return.
+    let implicit = if f.ret == Ty::Void {
+        Term::Ret { value: None }
+    } else {
+        let z = lw.const_reg(0);
+        Term::Ret { value: Some(z) }
+    };
+    lw.terminate(implicit);
+    // Ensure every (possibly dead) block has a terminator.
+    for b in &mut lw.blocks {
+        if b.term.is_none() {
+            b.term = Some(Term::Ret { value: if f.ret == Ty::Void { None } else { Some(0) } });
+        }
+    }
+    Ok(IrFunction {
+        name: f.name.clone(),
+        params,
+        blocks: lw.blocks,
+        nvregs: lw.next_vreg,
+        frame: lw.frame,
+        returns_value: f.ret != Ty::Void,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+
+    #[test]
+    fn lowers_simple_function() {
+        let p = frontend("u32 f(u32 a, u32 b) { return a + b * 2; }").unwrap();
+        let ir = lower(&p).unwrap();
+        let f = ir.function("f").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert!(f.returns_value);
+        assert!(!f.blocks.is_empty());
+    }
+
+    #[test]
+    fn lowers_control_flow() {
+        let p = frontend(
+            "u32 f(u32 n) {
+                u32 s = 0;
+                for (u32 i = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { s = s + i; }
+                }
+                return s;
+             }",
+        )
+        .unwrap();
+        let ir = lower(&p).unwrap();
+        let f = ir.function("f").unwrap();
+        assert!(f.blocks.len() >= 6, "blocks: {}", f.blocks.len());
+        for b in &f.blocks {
+            assert!(b.term.is_some(), "all blocks terminated");
+        }
+    }
+
+    #[test]
+    fn lowers_arrays_and_calls() {
+        let p = frontend(
+            "
+            void g(u32* p) { p[0] = 1; }
+            u32 f() {
+                u32 a[4];
+                g(a);
+                return a[0];
+            }
+            ",
+        )
+        .unwrap();
+        let ir = lower(&p).unwrap();
+        let f = ir.function("f").unwrap();
+        assert_eq!(f.frame.len(), 1);
+        assert_eq!(f.frame[0].size, 16);
+    }
+}

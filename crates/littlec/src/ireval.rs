@@ -1,0 +1,337 @@
+//! IR evaluator — the "App Impl \[C\]" level of abstraction.
+//!
+//! Executes the CFG-based IR directly over a flat memory, with the same
+//! observable buffer semantics as the AST interpreter above it and the
+//! compiled assembly below it. Translation validation
+//! ([`crate::validate`]) checks all three levels against each other.
+
+use std::collections::HashMap;
+
+use parfait_riscv::machine::Memory;
+
+use crate::ast::{Global, Ty};
+use crate::ir::{Inst, IrFunction, IrProgram, Operand, Term, Width};
+use crate::LcError;
+
+const GLOBAL_BASE: u32 = 0x2000_0000;
+const STACK_BASE: u32 = 0x7000_0000;
+const HEAP_BASE: u32 = 0x4000_0000;
+
+/// An evaluator for one IR program.
+pub struct IrEval<'p> {
+    program: &'p IrProgram,
+    global_addrs: HashMap<String, u32>,
+    consts: HashMap<String, u32>,
+    /// Maximum IR instructions per call.
+    pub fuel: u64,
+}
+
+impl<'p> IrEval<'p> {
+    /// Create an evaluator; computes the global memory layout.
+    pub fn new(program: &'p IrProgram) -> Self {
+        let mut global_addrs = HashMap::new();
+        let mut consts = HashMap::new();
+        let mut next = GLOBAL_BASE;
+        for g in &program.globals {
+            match g {
+                Global::ConstArray { elem, name, values, .. } => {
+                    let size = values.len() as u32 * if *elem == Ty::U32 { 4 } else { 1 };
+                    global_addrs.insert(name.clone(), next);
+                    next = next.wrapping_add((size + 3) & !3);
+                }
+                Global::StaticArray { elem, name, len, .. } => {
+                    let size = len * if *elem == Ty::U32 { 4 } else { 1 };
+                    global_addrs.insert(name.clone(), next);
+                    next = next.wrapping_add((size + 3) & !3);
+                }
+                Global::ConstScalar { name, value, .. } => {
+                    consts.insert(name.clone(), *value);
+                }
+            }
+        }
+        IrEval { program, global_addrs, consts, fuel: 500_000_000 }
+    }
+
+    fn fresh_memory(&self) -> Memory {
+        let mut mem = Memory::default();
+        for g in &self.program.globals {
+            if let Global::ConstArray { elem, name, values, .. } = g {
+                let addr = self.global_addrs[name];
+                match elem {
+                    Ty::U32 => {
+                        for (i, v) in values.iter().enumerate() {
+                            mem.store_u32(addr + 4 * i as u32, *v);
+                        }
+                    }
+                    _ => {
+                        for (i, v) in values.iter().enumerate() {
+                            mem.store_u8(addr + i as u32, *v as u8);
+                        }
+                    }
+                }
+            }
+        }
+        mem
+    }
+
+    /// Call `name` with scalar arguments in a fresh memory.
+    pub fn call(&self, name: &str, args: &[u32]) -> Result<u32, LcError> {
+        let mut st =
+            EvalState { mem: self.fresh_memory(), fuel: self.fuel, ev: self, sp: STACK_BASE };
+        st.call_function(name, args)
+    }
+
+    /// Call `name(buffers...)`; returns final buffer contents.
+    pub fn call_with_buffers(
+        &self,
+        name: &str,
+        buffers: &[&[u8]],
+    ) -> Result<Vec<Vec<u8>>, LcError> {
+        let mut st =
+            EvalState { mem: self.fresh_memory(), fuel: self.fuel, ev: self, sp: STACK_BASE };
+        let mut ptrs = Vec::new();
+        let mut next = HEAP_BASE;
+        for buf in buffers {
+            st.mem.store_bytes(next, buf);
+            ptrs.push(next);
+            next += ((buf.len() as u32) + 15) & !15;
+        }
+        st.call_function(name, &ptrs)?;
+        Ok(ptrs.iter().zip(buffers).map(|(&p, b)| st.mem.load_bytes(p, b.len())).collect())
+    }
+
+    /// Whole-command step (fig. 8 semantics at the C level).
+    pub fn step(
+        &self,
+        state: &[u8],
+        command: &[u8],
+        response_size: usize,
+    ) -> Result<(Vec<u8>, Vec<u8>), LcError> {
+        let resp = vec![0u8; response_size];
+        let mut res = self.call_with_buffers("handle", &[state, command, &resp])?;
+        let response = res.pop().expect("three buffers");
+        let _ = res.pop();
+        let new_state = res.pop().expect("state buffer");
+        Ok((new_state, response))
+    }
+}
+
+struct EvalState<'p> {
+    mem: Memory,
+    fuel: u64,
+    ev: &'p IrEval<'p>,
+    sp: u32,
+}
+
+impl EvalState<'_> {
+    fn call_function(&mut self, name: &str, args: &[u32]) -> Result<u32, LcError> {
+        let f: &IrFunction = self
+            .ev
+            .program
+            .function(name)
+            .ok_or_else(|| LcError::new(0, format!("undefined function `{name}`")))?;
+        if f.params.len() != args.len() {
+            return Err(LcError::new(0, format!("arity mismatch calling `{name}`")));
+        }
+        let saved_sp = self.sp;
+        // Allocate frame slots.
+        let mut slot_addrs = Vec::with_capacity(f.frame.len());
+        for s in &f.frame {
+            slot_addrs.push(self.sp);
+            self.sp = self.sp.wrapping_add(s.size);
+        }
+        let mut regs = vec![0u32; f.nvregs as usize];
+        for (&p, &a) in f.params.iter().zip(args) {
+            regs[p as usize] = a;
+        }
+        let mut block = 0usize;
+        let result = 'run: loop {
+            let b = &f.blocks[block];
+            for inst in &b.insts {
+                if self.fuel == 0 {
+                    return Err(LcError::new(0, "IR evaluator out of fuel"));
+                }
+                self.fuel -= 1;
+                match inst {
+                    Inst::Const { dst, value } => regs[*dst as usize] = *value,
+                    Inst::Bin { op, dst, a, b } => {
+                        let va = regs[*a as usize];
+                        let vb = match b {
+                            Operand::Reg(r) => regs[*r as usize],
+                            Operand::Imm(i) => *i,
+                        };
+                        regs[*dst as usize] = op.eval(va, vb);
+                    }
+                    Inst::Copy { dst, src } => regs[*dst as usize] = regs[*src as usize],
+                    Inst::Load { dst, addr, width } => {
+                        let a = regs[*addr as usize];
+                        regs[*dst as usize] = match width {
+                            Width::Byte => self.mem.load_u8(a) as u32,
+                            Width::Word => {
+                                if a % 4 != 0 {
+                                    return Err(LcError::new(
+                                        0,
+                                        format!("misaligned word load at {a:#x} in `{name}`"),
+                                    ));
+                                }
+                                self.mem.load_u32(a)
+                            }
+                        };
+                    }
+                    Inst::Store { addr, src, width } => {
+                        let a = regs[*addr as usize];
+                        let v = regs[*src as usize];
+                        match width {
+                            Width::Byte => self.mem.store_u8(a, v as u8),
+                            Width::Word => {
+                                if a % 4 != 0 {
+                                    return Err(LcError::new(
+                                        0,
+                                        format!("misaligned word store at {a:#x} in `{name}`"),
+                                    ));
+                                }
+                                self.mem.store_u32(a, v);
+                            }
+                        }
+                    }
+                    Inst::AddrOfGlobal { dst, name } => {
+                        regs[*dst as usize] = match self.ev.global_addrs.get(name) {
+                            Some(&a) => a,
+                            None => *self.ev.consts.get(name).ok_or_else(|| {
+                                LcError::new(0, format!("unknown global `{name}`"))
+                            })?,
+                        };
+                    }
+                    Inst::AddrOfLocal { dst, slot } => {
+                        regs[*dst as usize] = slot_addrs[*slot];
+                    }
+                    Inst::Call { dst, func, args } => {
+                        let argv: Vec<u32> = args.iter().map(|&a| regs[a as usize]).collect();
+                        let r = self.call_function(func, &argv)?;
+                        if let Some(d) = dst {
+                            regs[*d as usize] = r;
+                        }
+                    }
+                }
+            }
+            match b.term.as_ref().expect("lowering terminates every block") {
+                Term::Jump(t) => block = *t,
+                Term::Br { cond, then_b, else_b } => {
+                    if self.fuel == 0 {
+                        return Err(LcError::new(0, "IR evaluator out of fuel"));
+                    }
+                    self.fuel -= 1;
+                    block = if regs[*cond as usize] != 0 { *then_b } else { *else_b };
+                }
+                Term::Ret { value } => {
+                    break 'run value.map(|v| regs[v as usize]).unwrap_or(0);
+                }
+            }
+        };
+        self.sp = saved_sp;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use crate::ir::lower;
+
+    fn run(src: &str, f: &str, args: &[u32]) -> u32 {
+        let p = frontend(src).unwrap();
+        let ir = lower(&p).unwrap();
+        IrEval::new(&ir).call(f, args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run("u32 f(u32 a, u32 b) { return (a + b) * (a - b); }", "f", &[7, 3]), 40);
+    }
+
+    #[test]
+    fn comparisons() {
+        let src = "u32 f(u32 a, u32 b) {
+            return (a < b) + (a <= b)*2 + (a > b)*4 + (a >= b)*8 + (a == b)*16 + (a != b)*32;
+        }";
+        assert_eq!(run(src, "f", &[1, 2]), 1 + 2 + 32);
+        assert_eq!(run(src, "f", &[2, 2]), 2 + 8 + 16);
+        assert_eq!(run(src, "f", &[3, 2]), 4 + 8 + 32);
+    }
+
+    #[test]
+    fn loops_arrays_calls() {
+        let src = "
+            u32 sq(u32 x) { return x * x; }
+            u32 f(u32 n) {
+                u32 a[8];
+                for (u32 i = 0; i < n; i = i + 1) { a[i] = sq(i); }
+                u32 s = 0;
+                for (u32 i = 0; i < n; i = i + 1) { s = s + a[i]; }
+                return s;
+            }
+        ";
+        assert_eq!(run(src, "f", &[5]), 0 + 1 + 4 + 9 + 16);
+    }
+
+    #[test]
+    fn short_circuit_matches_interp() {
+        let src = "
+            u32 f(u32 a) {
+                u32 c = 0;
+                if (a != 0 && 100 / a > 10) { c = 1; }
+                if (a == 0 || a > 9) { c = c + 2; }
+                return c;
+            }
+        ";
+        let p = frontend(src).unwrap();
+        let ir = lower(&p).unwrap();
+        let ev = IrEval::new(&ir);
+        let interp = crate::interp::Interp::new(&p);
+        for a in 0..32 {
+            assert_eq!(ev.call("f", &[a]).unwrap(), interp.call("f", &[a]).unwrap(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn buffers_match_interp() {
+        let src = "
+            void handle(u8* state, u8* cmd, u8* resp) {
+                u32* w = (u32*)cmd;
+                u32 acc = w[0] ^ 0xdeadbeef;
+                u32* r = (u32*)resp;
+                r[0] = acc;
+                state[0] = (u8)(state[0] + 1);
+            }
+        ";
+        let p = frontend(src).unwrap();
+        let ir = lower(&p).unwrap();
+        let ev = IrEval::new(&ir);
+        let interp = crate::interp::Interp::new(&p);
+        let st = [5u8; 4];
+        let cmd = [0x78, 0x56, 0x34, 0x12];
+        let a = interp.step(&st, &cmd, 4).unwrap();
+        let b = ev.step(&st, &cmd, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_arrays() {
+        let src = "
+            const u32 K[3] = {5, 6, 7};
+            static u32 acc[1];
+            u32 f() {
+                acc[0] = K[0] + K[1] + K[2];
+                return acc[0];
+            }
+        ";
+        assert_eq!(run(src, "f", &[]), 18);
+    }
+
+    #[test]
+    fn u8_params_truncate() {
+        let src = "u32 f(u8 b) { return b; }";
+        assert_eq!(run(src, "f", &[0x1FF]), 0xFF);
+    }
+}

@@ -1,0 +1,370 @@
+//! IR optimization passes.
+//!
+//! All passes are semantics-preserving on the observable state (memory,
+//! call effects, returned values). Loads are never removed or reordered —
+//! on the SoC, loads can hit MMIO and must happen exactly as written.
+//!
+//! * [`prune_unreachable`] — drop blocks not reachable from the entry
+//!   (run at every optimization level: lowering creates dead blocks after
+//!   `return`/`break`/`continue`).
+//! * [`optimize`] — the `-O2` pipeline: per-block constant folding,
+//!   copy propagation, immediate fusion, branch folding, and global dead
+//!   code elimination.
+
+use std::collections::HashMap;
+
+use crate::ir::{Inst, IrFunction, IrOp, IrProgram, Operand, Term, VReg};
+
+/// Remove blocks unreachable from the entry and remap block ids.
+pub fn prune_unreachable(f: &mut IrFunction) {
+    let n = f.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![0usize];
+    while let Some(b) = stack.pop() {
+        if reachable[b] {
+            continue;
+        }
+        reachable[b] = true;
+        match f.blocks[b].term.as_ref().expect("terminated") {
+            Term::Jump(t) => stack.push(*t),
+            Term::Br { then_b, else_b, .. } => {
+                stack.push(*then_b);
+                stack.push(*else_b);
+            }
+            Term::Ret { .. } => {}
+        }
+    }
+    let mut remap = vec![usize::MAX; n];
+    let mut kept = Vec::new();
+    for (i, block) in f.blocks.drain(..).enumerate() {
+        if reachable[i] {
+            remap[i] = kept.len();
+            kept.push(block);
+        }
+    }
+    for b in &mut kept {
+        match b.term.as_mut().expect("terminated") {
+            Term::Jump(t) => *t = remap[*t],
+            Term::Br { then_b, else_b, .. } => {
+                *then_b = remap[*then_b];
+                *else_b = remap[*else_b];
+            }
+            Term::Ret { .. } => {}
+        }
+    }
+    f.blocks = kept;
+}
+
+/// Whether `v` fits a 12-bit signed immediate.
+fn fits_imm12(v: u32) -> bool {
+    let s = v as i32;
+    (-2048..2048).contains(&s)
+}
+
+/// Whether `op` has an immediate form with operand `v`.
+fn has_imm_form(op: IrOp, v: u32) -> bool {
+    match op {
+        IrOp::Add | IrOp::And | IrOp::Or | IrOp::Xor | IrOp::Sltu => fits_imm12(v),
+        IrOp::Sll | IrOp::Srl => v < 32,
+        _ => false,
+    }
+}
+
+/// The `-O2` optimization pipeline for one function.
+pub fn optimize(f: &mut IrFunction) {
+    prune_unreachable(f);
+    for _ in 0..3 {
+        fold_block_local(f);
+        dce(f);
+    }
+    prune_unreachable(f);
+}
+
+/// Optimize a whole program at `-O2`.
+pub fn optimize_program(p: &mut IrProgram) {
+    for f in &mut p.functions {
+        optimize(f);
+    }
+}
+
+/// Per-block constant folding, copy propagation, and immediate fusion.
+fn fold_block_local(f: &mut IrFunction) {
+    for block in &mut f.blocks {
+        let mut consts: HashMap<VReg, u32> = HashMap::new();
+        // copy_of[v] = w means v currently holds the same value as w.
+        let mut copy_of: HashMap<VReg, VReg> = HashMap::new();
+
+        // Invalidate all facts that mention `dst`.
+        fn kill(dst: VReg, consts: &mut HashMap<VReg, u32>, copy_of: &mut HashMap<VReg, VReg>) {
+            consts.remove(&dst);
+            copy_of.remove(&dst);
+            copy_of.retain(|_, src| *src != dst);
+        }
+
+        // Resolve a source vreg through the copy map.
+        fn resolve(v: VReg, copy_of: &HashMap<VReg, VReg>) -> VReg {
+            let mut v = v;
+            let mut depth = 0;
+            while let Some(&w) = copy_of.get(&v) {
+                v = w;
+                depth += 1;
+                if depth > 32 {
+                    break;
+                }
+            }
+            v
+        }
+
+        for inst in &mut block.insts {
+            match inst {
+                Inst::Const { dst, value } => {
+                    let (d, v) = (*dst, *value);
+                    kill(d, &mut consts, &mut copy_of);
+                    consts.insert(d, v);
+                }
+                Inst::Copy { dst, src } => {
+                    let s = resolve(*src, &copy_of);
+                    *src = s;
+                    let d = *dst;
+                    let cv = consts.get(&s).copied();
+                    kill(d, &mut consts, &mut copy_of);
+                    if let Some(v) = cv {
+                        *inst = Inst::Const { dst: d, value: v };
+                        consts.insert(d, v);
+                    } else if s != d {
+                        copy_of.insert(d, s);
+                    }
+                }
+                Inst::Bin { op, dst, a, b } => {
+                    *a = resolve(*a, &copy_of);
+                    if let Operand::Reg(r) = b {
+                        let rr = resolve(*r, &copy_of);
+                        *b = Operand::Reg(rr);
+                    }
+                    let ca = consts.get(a).copied();
+                    let cb = match b {
+                        Operand::Reg(r) => consts.get(r).copied(),
+                        Operand::Imm(i) => Some(*i),
+                    };
+                    let (op2, d) = (*op, *dst);
+                    match (ca, cb) {
+                        (Some(x), Some(y)) => {
+                            let v = op2.eval(x, y);
+                            kill(d, &mut consts, &mut copy_of);
+                            *inst = Inst::Const { dst: d, value: v };
+                            consts.insert(d, v);
+                        }
+                        (_, Some(y)) if has_imm_form(op2, y) => {
+                            *b = Operand::Imm(y);
+                            kill(d, &mut consts, &mut copy_of);
+                        }
+                        // a + 0 / a ^ 0 / a | 0 / a << 0 / a >> 0 → copy
+                        (Some(x), None)
+                            if op2 == IrOp::Add && x == 0 =>
+                        {
+                            // 0 + b → copy of b
+                            if let Operand::Reg(r) = *b {
+                                kill(d, &mut consts, &mut copy_of);
+                                *inst = Inst::Copy { dst: d, src: r };
+                                if r != d {
+                                    copy_of.insert(d, r);
+                                }
+                            } else {
+                                kill(d, &mut consts, &mut copy_of);
+                            }
+                        }
+                        _ => {
+                            kill(d, &mut consts, &mut copy_of);
+                        }
+                    }
+                }
+                Inst::Load { dst, addr, .. } => {
+                    *addr = resolve(*addr, &copy_of);
+                    kill(*dst, &mut consts, &mut copy_of);
+                }
+                Inst::Store { addr, src, .. } => {
+                    *addr = resolve(*addr, &copy_of);
+                    *src = resolve(*src, &copy_of);
+                }
+                Inst::AddrOfGlobal { dst, .. } | Inst::AddrOfLocal { dst, .. } => {
+                    kill(*dst, &mut consts, &mut copy_of);
+                }
+                Inst::Call { dst, args, .. } => {
+                    for a in args.iter_mut() {
+                        *a = resolve(*a, &copy_of);
+                    }
+                    if let Some(d) = dst {
+                        kill(*d, &mut consts, &mut copy_of);
+                    }
+                }
+            }
+        }
+        // Branch folding on a locally-known constant condition.
+        if let Some(Term::Br { cond, then_b, else_b }) = block.term.clone() {
+            let c = resolve(cond, &copy_of);
+            if let Some(&v) = consts.get(&c) {
+                block.term = Some(Term::Jump(if v != 0 { then_b } else { else_b }));
+            } else if c != cond {
+                block.term = Some(Term::Br { cond: c, then_b, else_b });
+            }
+        }
+        if let Some(Term::Ret { value: Some(v) }) = block.term.clone() {
+            let r = resolve(v, &copy_of);
+            if r != v {
+                block.term = Some(Term::Ret { value: Some(r) });
+            }
+        }
+    }
+}
+
+/// Remove pure instructions whose destination is never read anywhere.
+///
+/// Because vregs are not SSA, a vreg is "dead" only if no instruction or
+/// terminator in the whole function reads it. Loads, stores, and calls
+/// are never removed.
+fn dce(f: &mut IrFunction) {
+    let mut read = vec![false; f.nvregs as usize];
+    let mark = |v: VReg, read: &mut Vec<bool>| {
+        if (v as usize) < read.len() {
+            read[v as usize] = true;
+        }
+    };
+    for b in &f.blocks {
+        for i in &b.insts {
+            match i {
+                Inst::Const { .. } => {}
+                Inst::Bin { a, b, .. } => {
+                    mark(*a, &mut read);
+                    if let Operand::Reg(r) = b {
+                        mark(*r, &mut read);
+                    }
+                }
+                Inst::Copy { src, .. } => mark(*src, &mut read),
+                Inst::Load { addr, .. } => mark(*addr, &mut read),
+                Inst::Store { addr, src, .. } => {
+                    mark(*addr, &mut read);
+                    mark(*src, &mut read);
+                }
+                Inst::AddrOfGlobal { .. } | Inst::AddrOfLocal { .. } => {}
+                Inst::Call { args, .. } => {
+                    for a in args {
+                        mark(*a, &mut read);
+                    }
+                }
+            }
+        }
+        match b.term.as_ref().expect("terminated") {
+            Term::Br { cond, .. } => mark(*cond, &mut read),
+            Term::Ret { value: Some(v) } => mark(*v, &mut read),
+            _ => {}
+        }
+    }
+    for b in &mut f.blocks {
+        b.insts.retain(|i| match i {
+            Inst::Const { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::AddrOfGlobal { dst, .. }
+            | Inst::AddrOfLocal { dst, .. } => read[*dst as usize],
+            _ => true,
+        });
+    }
+}
+
+/// Count IR instructions (for size/effort reporting).
+pub fn inst_count(f: &IrFunction) -> usize {
+    f.blocks.iter().map(|b| b.insts.len() + 1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use crate::ir::lower;
+    use crate::ireval::IrEval;
+
+    fn both(src: &str, f: &str, args: &[u32]) -> (u32, u32) {
+        let p = frontend(src).unwrap();
+        let ir = lower(&p).unwrap();
+        let plain = IrEval::new(&ir).call(f, args).unwrap();
+        let mut opt_ir = ir.clone();
+        optimize_program(&mut opt_ir);
+        let opt = IrEval::new(&opt_ir).call(f, args).unwrap();
+        (plain, opt)
+    }
+
+    #[test]
+    fn optimization_preserves_semantics() {
+        let src = "
+            u32 f(u32 a, u32 b) {
+                u32 x = a + 1;
+                u32 y = x * 4;
+                u32 z = y - b;
+                if (z > 100 && a < 50) { z = z / 3; }
+                return z ^ 0xff;
+            }
+        ";
+        for (a, b) in [(0, 0), (50, 3), (1000, 7), (u32::MAX, 1)] {
+            let (plain, opt) = both(src, "f", &[a, b]);
+            assert_eq!(plain, opt, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn folding_shrinks_code() {
+        let src = "u32 f(u32 a) { u32 x = 2 + 3; u32 y = x * 4; return a + y; }";
+        let p = frontend(src).unwrap();
+        let ir = lower(&p).unwrap();
+        let before = inst_count(ir.function("f").unwrap());
+        let mut o = ir.clone();
+        optimize_program(&mut o);
+        let after = inst_count(o.function("f").unwrap());
+        assert!(after < before, "{after} !< {before}");
+        let (plain, opt) = both(src, "f", &[10]);
+        assert_eq!(plain, 30);
+        assert_eq!(opt, 30);
+    }
+
+    #[test]
+    fn prune_removes_dead_blocks() {
+        let src = "u32 f(u32 a) { return a; a = a + 1; return a; }";
+        let p = frontend(src).unwrap();
+        let ir = lower(&p).unwrap();
+        let mut f = ir.function("f").unwrap().clone();
+        let before = f.blocks.len();
+        prune_unreachable(&mut f);
+        assert!(f.blocks.len() < before);
+    }
+
+    #[test]
+    fn loops_survive_optimization() {
+        let src = "
+            u32 f(u32 n) {
+                u32 s = 0;
+                for (u32 i = 0; i < n; i = i + 1) { s = s + i * i; }
+                return s;
+            }
+        ";
+        for n in [0, 1, 5, 100] {
+            let (plain, opt) = both(src, "f", &[n]);
+            assert_eq!(plain, opt, "n={n}");
+        }
+    }
+
+    #[test]
+    fn while_true_with_break_folds() {
+        let src = "
+            u32 f(u32 n) {
+                u32 i = 0;
+                while (1) {
+                    if (i >= n) { break; }
+                    i = i + 1;
+                }
+                return i;
+            }
+        ";
+        let (plain, opt) = both(src, "f", &[7]);
+        assert_eq!(plain, 7);
+        assert_eq!(opt, 7);
+    }
+}

@@ -1,0 +1,620 @@
+//! Recursive-descent parser for littlec.
+
+use crate::ast::*;
+use crate::token::{lex, Kw, SpannedTok, Tok};
+use crate::LcError;
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+/// Parse littlec source into a [`Program`] (no type checking).
+pub fn parse(source: &str) -> Result<Program, LcError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LcError {
+        LcError::new(self.line(), msg)
+    }
+
+    fn expect_p(&mut self, p: &'static str) -> Result<(), LcError> {
+        if self.peek() == &Tok::P(p) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, LcError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_num(&mut self) -> Result<u32, LcError> {
+        match self.bump() {
+            Tok::Num(v) => Ok(v as u32),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn eat_p(&mut self, p: &'static str) -> bool {
+        if self.peek() == &Tok::P(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parse a type starting at a type keyword, with optional `*`.
+    fn ty(&mut self) -> Result<Ty, LcError> {
+        let base = match self.bump() {
+            Tok::Kw(Kw::U32) => Ty::U32,
+            Tok::Kw(Kw::U8) => Ty::U8,
+            Tok::Kw(Kw::Void) => Ty::Void,
+            other => return Err(self.err(format!("expected type, found {other:?}"))),
+        };
+        if self.eat_p("*") {
+            if base == Ty::Void {
+                return Err(self.err("`void*` is not supported"));
+            }
+            Ok(base.ptr_to())
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn at_type(&self) -> bool {
+        matches!(self.peek(), Tok::Kw(Kw::U32) | Tok::Kw(Kw::U8) | Tok::Kw(Kw::Void))
+    }
+
+    fn program(&mut self) -> Result<Program, LcError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Kw(Kw::Const) => {
+                    self.bump();
+                    prog.globals.push(self.const_global()?);
+                }
+                Tok::Kw(Kw::Static) => {
+                    self.bump();
+                    prog.globals.push(self.static_global()?);
+                }
+                _ => prog.functions.push(self.function()?),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn const_global(&mut self) -> Result<Global, LcError> {
+        let line = self.line();
+        let ty = self.ty()?;
+        let name = self.expect_ident()?;
+        if self.eat_p("[") {
+            if ty.is_ptr() || ty == Ty::Void {
+                return Err(self.err("array element must be u32 or u8"));
+            }
+            // Either an explicit length or inferred from the initializer.
+            let len = if self.peek() == &Tok::P("]") { None } else { Some(self.expect_num()?) };
+            self.expect_p("]")?;
+            self.expect_p("=")?;
+            self.expect_p("{")?;
+            let mut values = Vec::new();
+            if !self.eat_p("}") {
+                loop {
+                    // Allow negative constants like -1 in initializers.
+                    let neg = self.eat_p("-");
+                    let v = self.expect_num()?;
+                    values.push(if neg { (v as i64).wrapping_neg() as u32 } else { v });
+                    if self.eat_p("}") {
+                        break;
+                    }
+                    self.expect_p(",")?;
+                    // Trailing comma support.
+                    if self.eat_p("}") {
+                        break;
+                    }
+                }
+            }
+            self.expect_p(";")?;
+            if let Some(l) = len {
+                if values.len() != l as usize {
+                    return Err(LcError::new(
+                        line,
+                        format!("array `{name}`: {} initializers for length {l}", values.len()),
+                    ));
+                }
+            }
+            if ty == Ty::U8 {
+                for &v in &values {
+                    if v > 0xFF {
+                        return Err(LcError::new(
+                            line,
+                            format!("array `{name}`: initializer {v:#x} does not fit in u8"),
+                        ));
+                    }
+                }
+            }
+            Ok(Global::ConstArray { elem: ty, name, values, line })
+        } else {
+            if ty != Ty::U32 {
+                return Err(self.err("scalar constants must be u32"));
+            }
+            self.expect_p("=")?;
+            let neg = self.eat_p("-");
+            let v = self.expect_num()?;
+            self.expect_p(";")?;
+            let value = if neg { (v as i64).wrapping_neg() as u32 } else { v };
+            Ok(Global::ConstScalar { name, value, line })
+        }
+    }
+
+    fn static_global(&mut self) -> Result<Global, LcError> {
+        let line = self.line();
+        let ty = self.ty()?;
+        if ty.is_ptr() || ty == Ty::Void {
+            return Err(self.err("static array element must be u32 or u8"));
+        }
+        let name = self.expect_ident()?;
+        self.expect_p("[")?;
+        let len = self.expect_num()?;
+        self.expect_p("]")?;
+        self.expect_p(";")?;
+        Ok(Global::StaticArray { elem: ty, name, len, line })
+    }
+
+    fn function(&mut self) -> Result<Function, LcError> {
+        let line = self.line();
+        let ret = self.ty()?;
+        let name = self.expect_ident()?;
+        self.expect_p("(")?;
+        let mut params = Vec::new();
+        if !self.eat_p(")") {
+            loop {
+                let ty = self.ty()?;
+                if ty == Ty::Void {
+                    return Err(self.err("parameter cannot be void"));
+                }
+                let pname = self.expect_ident()?;
+                params.push(Param { ty, name: pname });
+                if self.eat_p(")") {
+                    break;
+                }
+                self.expect_p(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, ret, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LcError> {
+        self.expect_p("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_p("}") {
+            if self.peek() == &Tok::Eof {
+                return Err(self.err("unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LcError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Kw(Kw::U32) | Tok::Kw(Kw::U8) => {
+                let stmt = self.decl()?;
+                Ok(stmt)
+            }
+            Tok::Kw(Kw::If) => self.if_stmt(),
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.expect_p("(")?;
+                let cond = self.expr()?;
+                self.expect_p(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, step: Vec::new(), line })
+            }
+            Tok::Kw(Kw::For) => self.for_stmt(),
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let value = if self.peek() == &Tok::P(";") { None } else { Some(self.expr()?) };
+                self.expect_p(";")?;
+                Ok(Stmt::Return { value, line })
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.expect_p(";")?;
+                Ok(Stmt::Break { line })
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect_p(";")?;
+                Ok(Stmt::Continue { line })
+            }
+            _ => self.assign_or_expr(),
+        }
+    }
+
+    /// Scalar or array declaration; the type keyword is at the cursor.
+    fn decl(&mut self) -> Result<Stmt, LcError> {
+        let line = self.line();
+        let ty = self.ty()?;
+        let name = self.expect_ident()?;
+        if self.eat_p("[") {
+            if ty.is_ptr() {
+                return Err(self.err("array of pointers is not supported"));
+            }
+            let len = self.expect_num()?;
+            self.expect_p("]")?;
+            self.expect_p(";")?;
+            Ok(Stmt::DeclArray { elem: ty, name, len, line })
+        } else {
+            let init = if self.eat_p("=") { Some(self.expr()?) } else { None };
+            self.expect_p(";")?;
+            Ok(Stmt::DeclScalar { ty, name, init, line })
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LcError> {
+        let line = self.line();
+        self.bump(); // `if`
+        self.expect_p("(")?;
+        let cond = self.expr()?;
+        self.expect_p(")")?;
+        let then_body = self.block()?;
+        let else_body = if self.peek() == &Tok::Kw(Kw::Else) {
+            self.bump();
+            if self.peek() == &Tok::Kw(Kw::If) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then_body, else_body, line })
+    }
+
+    /// `for (init; cond; step) body` desugars to init + while.
+    fn for_stmt(&mut self) -> Result<Stmt, LcError> {
+        let line = self.line();
+        self.bump(); // `for`
+        self.expect_p("(")?;
+        let init: Option<Stmt> = if self.eat_p(";") {
+            None
+        } else if self.at_type() {
+            Some(self.decl()?)
+        } else {
+            Some(self.assign_no_semi(true)?)
+        };
+        let cond = if self.peek() == &Tok::P(";") {
+            Expr { kind: ExprKind::Num(1), line }
+        } else {
+            self.expr()?
+        };
+        self.expect_p(";")?;
+        let step: Option<Stmt> =
+            if self.peek() == &Tok::P(")") { None } else { Some(self.assign_no_semi(false)?) };
+        self.expect_p(")")?;
+        let body = self.block()?;
+        let w = Stmt::While { cond, body, step: step.into_iter().collect(), line };
+        Ok(match init {
+            // Wrap init + while in a synthetic `if (1)` block so the
+            // declaration scopes over the loop only.
+            Some(i) => Stmt::If {
+                cond: Expr { kind: ExprKind::Num(1), line },
+                then_body: vec![i, w],
+                else_body: Vec::new(),
+                line,
+            },
+            None => w,
+        })
+    }
+
+    /// Parse an assignment (without consuming `;` when `semi` is false).
+    fn assign_no_semi(&mut self, semi: bool) -> Result<Stmt, LcError> {
+        let stmt = self.assign_or_expr_inner()?;
+        if semi {
+            self.expect_p(";")?;
+        }
+        Ok(stmt)
+    }
+
+    fn assign_or_expr(&mut self) -> Result<Stmt, LcError> {
+        let s = self.assign_or_expr_inner()?;
+        self.expect_p(";")?;
+        Ok(s)
+    }
+
+    fn assign_or_expr_inner(&mut self) -> Result<Stmt, LcError> {
+        let line = self.line();
+        let e = self.expr()?;
+        if self.eat_p("=") {
+            let rhs = self.expr()?;
+            let lv = match e.kind {
+                ExprKind::Var(name) => LValue::Var(name),
+                ExprKind::Index(base, idx) => LValue::Index(*base, *idx),
+                _ => return Err(LcError::new(line, "invalid assignment target")),
+            };
+            Ok(Stmt::Assign { lv, rhs, line })
+        } else {
+            Ok(Stmt::ExprStmt { expr: e, line })
+        }
+    }
+
+    // --- expressions, precedence climbing ---
+
+    fn expr(&mut self) -> Result<Expr, LcError> {
+        self.lor()
+    }
+
+    fn lor(&mut self) -> Result<Expr, LcError> {
+        let mut lhs = self.land()?;
+        while self.peek() == &Tok::P("||") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.land()?;
+            lhs = Expr { kind: ExprKind::Bin(BinOp::LOr, Box::new(lhs), Box::new(rhs)), line };
+        }
+        Ok(lhs)
+    }
+
+    fn land(&mut self) -> Result<Expr, LcError> {
+        let mut lhs = self.bitor()?;
+        while self.peek() == &Tok::P("&&") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bitor()?;
+            lhs = Expr { kind: ExprKind::Bin(BinOp::LAnd, Box::new(lhs), Box::new(rhs)), line };
+        }
+        Ok(lhs)
+    }
+
+    fn bin_level(
+        &mut self,
+        ops: &[(&'static str, BinOp)],
+        next: fn(&mut Self) -> Result<Expr, LcError>,
+    ) -> Result<Expr, LcError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for &(p, op) in ops {
+                if self.peek() == &Tok::P(p) {
+                    let line = self.line();
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr { kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line };
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn bitor(&mut self) -> Result<Expr, LcError> {
+        self.bin_level(&[("|", BinOp::Or)], Self::bitxor)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, LcError> {
+        self.bin_level(&[("^", BinOp::Xor)], Self::bitand)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, LcError> {
+        self.bin_level(&[("&", BinOp::And)], Self::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, LcError> {
+        self.bin_level(&[("==", BinOp::Eq), ("!=", BinOp::Ne)], Self::relational)
+    }
+
+    fn relational(&mut self) -> Result<Expr, LcError> {
+        self.bin_level(
+            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, LcError> {
+        self.bin_level(&[("<<", BinOp::Shl), (">>", BinOp::Shr)], Self::additive)
+    }
+
+    fn additive(&mut self) -> Result<Expr, LcError> {
+        self.bin_level(&[("+", BinOp::Add), ("-", BinOp::Sub)], Self::multiplicative)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, LcError> {
+        self.bin_level(&[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)], Self::unary)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LcError> {
+        let line = self.line();
+        if self.eat_p("-") {
+            let e = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Un(UnOp::Neg, Box::new(e)), line });
+        }
+        if self.eat_p("~") {
+            let e = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Un(UnOp::Not, Box::new(e)), line });
+        }
+        if self.eat_p("!") {
+            let e = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Un(UnOp::LNot, Box::new(e)), line });
+        }
+        // Cast: `(` type ... `)` unary
+        if self.peek() == &Tok::P("(")
+            && matches!(self.peek2(), Tok::Kw(Kw::U32) | Tok::Kw(Kw::U8))
+        {
+            self.bump(); // (
+            let ty = self.ty()?;
+            self.expect_p(")")?;
+            let e = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Cast(ty, Box::new(e)), line });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LcError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat_p("[") {
+                let idx = self.expr()?;
+                self.expect_p("]")?;
+                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), line };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, LcError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Num(v) => {
+                if v > u32::MAX as u64 {
+                    return Err(LcError::new(line, format!("literal {v} does not fit in u32")));
+                }
+                Ok(Expr { kind: ExprKind::Num(v as u32), line })
+            }
+            Tok::Ident(name) => {
+                if self.eat_p("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_p(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_p(")") {
+                                break;
+                            }
+                            self.expect_p(",")?;
+                        }
+                    }
+                    Ok(Expr { kind: ExprKind::Call(name, args), line })
+                } else {
+                    Ok(Expr { kind: ExprKind::Var(name), line })
+                }
+            }
+            Tok::P("(") => {
+                let e = self.expr()?;
+                self.expect_p(")")?;
+                Ok(e)
+            }
+            other => Err(LcError::new(line, format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_function_and_globals() {
+        let src = "
+            const u32 K[2] = { 0x428a2f98, 0x71374491 };
+            const u32 N = 64;
+            static u8 scratch[16];
+
+            u32 add(u32 a, u32 b) {
+                return a + b;
+            }
+
+            void handle(u8* state, u8* cmd, u8* resp) {
+                u32 i = 0;
+                while (i < N) {
+                    resp[i] = cmd[i];
+                    i = i + 1;
+                }
+            }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.function("handle").unwrap().params.len(), 3);
+        match &p.globals[0] {
+            Global::ConstArray { values, .. } => assert_eq!(values[1], 0x71374491),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_precedence() {
+        let p = parse("u32 f(u32 a, u32 b) { return a + b * 2 == a << 1 & 3; }").unwrap();
+        // Just check it parses; shape: ((a + (b*2)) == (a<<1)) & 3
+        let f = p.function("f").unwrap();
+        match &f.body[0] {
+            Stmt::Return { value: Some(e), .. } => match &e.kind {
+                ExprKind::Bin(BinOp::And, lhs, _) => match &lhs.kind {
+                    ExprKind::Bin(BinOp::Eq, _, _) => {}
+                    other => panic!("expected ==, got {other:?}"),
+                },
+                other => panic!("expected &, got {other:?}"),
+            },
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_for_desugars() {
+        let p = parse("void f() { for (u32 i = 0; i < 4; i = i + 1) { g(i); } }").unwrap();
+        let f = p.function("f").unwrap();
+        assert!(matches!(f.body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parse_if_else_chain() {
+        let p = parse(
+            "u32 f(u32 x) { if (x == 0) { return 1; } else if (x == 1) { return 2; } else { return 3; } }",
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        match &f.body[0] {
+            Stmt::If { else_body, .. } => assert!(matches!(else_body[0], Stmt::If { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_casts_and_index() {
+        let p = parse("void f(u8* p) { u32 x = ((u32*)p)[1]; u8 b = (u8)(x >> 8); p[0] = b; }");
+        assert!(p.is_ok(), "{p:?}");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("u32 f( { }").is_err());
+        assert!(parse("u32 f() { return 1 }").is_err());
+        assert!(parse("u32 f() { 1 = 2; }").is_err());
+        assert!(parse("const u32 A[3] = {1, 2};").is_err());
+        assert!(parse("const u8 A[1] = {256};").is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Register allocation for the littlec backend.
+//!
+//! The allocator is deliberately simple and obviously correct: the most
+//! used virtual registers of a function each get a *dedicated* register,
+//! and every other vreg lives in a stack slot. Because allocated
+//! registers are never shared between vregs, no interference analysis is
+//! needed.
+//!
+//! Non-leaf functions allocate only callee-saved registers (`s0`–`s11`),
+//! so values survive calls without caller-save logic. Leaf functions
+//! (no calls) additionally use caller-saved registers (`t3`–`t5` and the
+//! argument registers beyond the incoming parameters) — these need no
+//! save/restore at all, which matters for the hot inner routines
+//! (Montgomery multiplication is a leaf).
+//!
+//! `-O0` passes `k = 0` (everything in stack slots), which plays the role
+//! of the unoptimized verified-compiler output in the paper's Table 5.
+
+use std::collections::HashMap;
+
+use crate::ir::{Inst, IrFunction, Operand, Term, VReg};
+
+/// Names of allocatable registers; indices 0..12 are callee-saved.
+pub const REG_NAMES: [&str; 20] = [
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", // callee-saved
+    "t3", "t4", "t5", "a3", "a4", "a5", "a6", "a7", // caller-saved (leaf only)
+];
+
+/// Number of callee-saved entries at the front of [`REG_NAMES`].
+pub const CALLEE_SAVED: u8 = 12;
+
+/// Where a virtual register lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// A dedicated register: an index into [`REG_NAMES`].
+    Reg(u8),
+    /// Stack slot index (4 bytes each).
+    Slot(u32),
+}
+
+/// An allocation for one function.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Location of each vreg, indexed by vreg number.
+    pub locs: Vec<Loc>,
+    /// Number of stack slots used.
+    pub nslots: u32,
+    /// The callee-saved register indices in use (sorted; these need a
+    /// save/restore in the prologue/epilogue).
+    pub used_sregs: Vec<u8>,
+}
+
+/// Whether `f` makes no calls (and may therefore use caller-saved
+/// registers for vregs).
+pub fn is_leaf(f: &IrFunction) -> bool {
+    f.blocks.iter().all(|b| b.insts.iter().all(|i| !matches!(i, Inst::Call { .. })))
+}
+
+/// Allocate the most-used vregs of `f` to registers (`k = 0` disables
+/// register allocation entirely).
+pub fn allocate(f: &IrFunction, k: usize) -> Allocation {
+    // Build the register pool: callee-saved always; caller-saved extras
+    // for leaf functions (argument registers beyond the incoming
+    // parameters stay out of the pool so parameter moves cannot
+    // clobber each other).
+    let mut pool: Vec<u8> = Vec::new();
+    if is_leaf(f) {
+        // Prefer caller-saved (free) registers, t-regs first, then
+        // a-regs above the parameter count.
+        pool.extend([12u8, 13, 14]);
+        let nparams = f.params.len() as u8;
+        for a in 15..20u8 {
+            // REG_NAMES[15] is a3 (argument register index 3).
+            let arg_index = a - 12; // a3 -> 3, ...
+            if arg_index >= nparams.max(3) || arg_index >= 8 {
+                pool.push(a);
+            }
+        }
+        pool.extend(0..CALLEE_SAVED);
+    } else {
+        pool.extend(0..CALLEE_SAVED);
+    }
+    allocate_with_pool(f, k.min(pool.len()), &pool)
+}
+
+fn allocate_with_pool(f: &IrFunction, k: usize, pool: &[u8]) -> Allocation {
+    let mut uses: HashMap<VReg, u64> = HashMap::new();
+    let bump = |v: VReg, uses: &mut HashMap<VReg, u64>| {
+        *uses.entry(v).or_insert(0) += 1;
+    };
+    for b in &f.blocks {
+        for i in &b.insts {
+            match i {
+                Inst::Const { dst, .. } => bump(*dst, &mut uses),
+                Inst::Bin { dst, a, b, .. } => {
+                    bump(*dst, &mut uses);
+                    bump(*a, &mut uses);
+                    if let Operand::Reg(r) = b {
+                        bump(*r, &mut uses);
+                    }
+                }
+                Inst::Copy { dst, src } => {
+                    bump(*dst, &mut uses);
+                    bump(*src, &mut uses);
+                }
+                Inst::Load { dst, addr, .. } => {
+                    bump(*dst, &mut uses);
+                    bump(*addr, &mut uses);
+                }
+                Inst::Store { addr, src, .. } => {
+                    bump(*addr, &mut uses);
+                    bump(*src, &mut uses);
+                }
+                Inst::AddrOfGlobal { dst, .. } | Inst::AddrOfLocal { dst, .. } => {
+                    bump(*dst, &mut uses)
+                }
+                Inst::Call { dst, args, .. } => {
+                    if let Some(d) = dst {
+                        bump(*d, &mut uses);
+                    }
+                    for a in args {
+                        bump(*a, &mut uses);
+                    }
+                }
+            }
+        }
+        match b.term.as_ref().expect("terminated") {
+            Term::Br { cond, .. } => bump(*cond, &mut uses),
+            Term::Ret { value: Some(v) } => bump(*v, &mut uses),
+            _ => {}
+        }
+    }
+    // Rank vregs by use count (stable by vreg number for determinism).
+    let mut ranked: Vec<(VReg, u64)> = uses.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let chosen: Vec<VReg> = ranked.into_iter().take(k).map(|(v, _)| v).collect();
+
+    let mut locs = vec![Loc::Slot(0); f.nvregs as usize];
+    let mut used_sregs = Vec::new();
+    for (i, &v) in chosen.iter().enumerate() {
+        let reg = pool[i];
+        locs[v as usize] = Loc::Reg(reg);
+        if reg < CALLEE_SAVED {
+            used_sregs.push(reg);
+        }
+    }
+    used_sregs.sort_unstable();
+    let mut nslots = 0;
+    for (v, loc) in locs.iter_mut().enumerate() {
+        if !chosen.contains(&(v as u32)) {
+            *loc = Loc::Slot(nslots);
+            nslots += 1;
+        }
+    }
+    Allocation { locs, nslots, used_sregs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use crate::ir::lower;
+
+    #[test]
+    fn hot_vregs_get_registers() {
+        let p = frontend(
+            "u32 f(u32 n) {
+                u32 s = 0;
+                for (u32 i = 0; i < n; i = i + 1) { s = s + i; }
+                return s;
+            }",
+        )
+        .unwrap();
+        let ir = lower(&p).unwrap();
+        let f = ir.function("f").unwrap();
+        let alloc = allocate(f, 20);
+        // The loop counter and accumulator must be in registers.
+        let in_regs = alloc.locs.iter().filter(|l| matches!(l, Loc::Reg(_))).count();
+        assert!(in_regs >= 2, "{in_regs}");
+        assert!(alloc.used_sregs.len() <= 12);
+        // `f` contains no calls, so caller-saved registers are in play
+        // and preferred (no save cost).
+        assert!(alloc.locs.iter().any(|l| matches!(l, Loc::Reg(r) if *r >= 12)));
+    }
+
+    #[test]
+    fn o0_uses_only_slots() {
+        let p = frontend("u32 f(u32 a) { return a + 1; }").unwrap();
+        let ir = lower(&p).unwrap();
+        let alloc = allocate(ir.function("f").unwrap(), 0);
+        assert!(alloc.locs.iter().all(|l| matches!(l, Loc::Slot(_))));
+        assert!(alloc.used_sregs.is_empty());
+    }
+
+    #[test]
+    fn dedicated_registers_never_shared() {
+        let p = frontend(
+            "u32 f(u32 a, u32 b, u32 c) {
+                u32 x = a * b;
+                u32 y = b * c;
+                u32 z = x + y;
+                return z * z;
+            }",
+        )
+        .unwrap();
+        let ir = lower(&p).unwrap();
+        let alloc = allocate(ir.function("f").unwrap(), 20);
+        let mut seen = std::collections::HashSet::new();
+        for l in &alloc.locs {
+            if let Loc::Reg(r) = l {
+                assert!(seen.insert(*r), "register s{r} shared");
+            }
+        }
+    }
+}

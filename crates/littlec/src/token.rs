@@ -1,0 +1,202 @@
+//! Lexer for littlec.
+
+use crate::LcError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal (decimal or `0x` hex); value is the raw 64-bit value.
+    Num(u64),
+    /// Identifier or keyword.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    P(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords of the language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kw {
+    U32,
+    U8,
+    Void,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Const,
+    Static,
+}
+
+/// A token together with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenize littlec source text.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LcError> {
+    let mut toks = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LcError::new(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let value = if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    let hs = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if hs == i {
+                        return Err(LcError::new(line, "empty hex literal"));
+                    }
+                    u64::from_str_radix(&source[hs..i], 16)
+                        .map_err(|_| LcError::new(line, "hex literal too large"))?
+                } else {
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    source[start..i]
+                        .parse::<u64>()
+                        .map_err(|_| LcError::new(line, "decimal literal too large"))?
+                };
+                toks.push(SpannedTok { tok: Tok::Num(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "u32" => Tok::Kw(Kw::U32),
+                    "u8" => Tok::Kw(Kw::U8),
+                    "void" => Tok::Kw(Kw::Void),
+                    "if" => Tok::Kw(Kw::If),
+                    "else" => Tok::Kw(Kw::Else),
+                    "while" => Tok::Kw(Kw::While),
+                    "for" => Tok::Kw(Kw::For),
+                    "return" => Tok::Kw(Kw::Return),
+                    "break" => Tok::Kw(Kw::Break),
+                    "continue" => Tok::Kw(Kw::Continue),
+                    "const" => Tok::Kw(Kw::Const),
+                    "static" => Tok::Kw(Kw::Static),
+                    _ => Tok::Ident(word.to_string()),
+                };
+                toks.push(SpannedTok { tok, line });
+            }
+            _ => {
+                // Multi-char operators first, longest match.
+                const OPS: [&str; 30] = [
+                    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&",
+                    "|", "^", "~", "!", "<", ">", "=", ";", ",", "(", ")", "{", "}", "[", "]", "?",
+                ];
+                let rest = &source[i..];
+                let mut matched = None;
+                for op in OPS {
+                    if rest.starts_with(op) {
+                        matched = Some(op);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(op) => {
+                        toks.push(SpannedTok { tok: Tok::P(op), line });
+                        i += op.len();
+                    }
+                    None => {
+                        return Err(LcError::new(line, format!("unexpected character `{c}`")));
+                    }
+                }
+            }
+        }
+    }
+    toks.push(SpannedTok { tok: Tok::Eof, line });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basics() {
+        let ts = lex("u32 x = 0x1F + 10; // comment\nreturn;").unwrap();
+        let kinds: Vec<&Tok> = ts.iter().map(|t| &t.tok).collect();
+        assert_eq!(kinds[0], &Tok::Kw(Kw::U32));
+        assert_eq!(kinds[1], &Tok::Ident("x".into()));
+        assert_eq!(kinds[2], &Tok::P("="));
+        assert_eq!(kinds[3], &Tok::Num(0x1F));
+        assert_eq!(kinds[4], &Tok::P("+"));
+        assert_eq!(kinds[5], &Tok::Num(10));
+        assert_eq!(kinds[6], &Tok::P(";"));
+        assert_eq!(kinds[7], &Tok::Kw(Kw::Return));
+        assert_eq!(ts[7].line, 2);
+    }
+
+    #[test]
+    fn lex_operators_longest_match() {
+        let ts = lex("< << <= == = !=").unwrap();
+        let ps: Vec<&Tok> = ts.iter().map(|t| &t.tok).collect();
+        assert_eq!(ps[0], &Tok::P("<"));
+        assert_eq!(ps[1], &Tok::P("<<"));
+        assert_eq!(ps[2], &Tok::P("<="));
+        assert_eq!(ps[3], &Tok::P("=="));
+        assert_eq!(ps[4], &Tok::P("="));
+        assert_eq!(ps[5], &Tok::P("!="));
+    }
+
+    #[test]
+    fn lex_block_comments() {
+        let ts = lex("a /* multi\nline */ b").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("a".into()));
+        assert_eq!(ts[1].tok, Tok::Ident("b".into()));
+        assert_eq!(ts[1].line, 2);
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn lex_rejects_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("0x").is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! Type checker for littlec.
+//!
+//! The checker validates a parsed [`Program`] and exposes the typing
+//! environment machinery ([`FnEnv`], [`expr_ty`]) that the IR lowering
+//! reuses, so the two phases cannot disagree about expression types.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::LcError;
+
+/// The type and shape of a name visible in an expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Binding {
+    /// A scalar or pointer local/parameter of the given type.
+    Scalar(Ty),
+    /// A local or global array; decays to a pointer to its element type.
+    Array { elem: Ty, len: u32 },
+    /// A named `u32` constant.
+    Const(u32),
+}
+
+impl Binding {
+    /// The type of an expression referencing this binding.
+    pub fn expr_ty(self) -> Ty {
+        match self {
+            Binding::Scalar(t) => t,
+            Binding::Array { elem, .. } => elem.ptr_to(),
+            Binding::Const(_) => Ty::U32,
+        }
+    }
+}
+
+/// Per-function typing environment with lexical scopes.
+pub struct FnEnv<'p> {
+    /// The program, for function and global lookup.
+    pub program: &'p Program,
+    scopes: Vec<HashMap<String, Binding>>,
+}
+
+impl<'p> FnEnv<'p> {
+    /// Create an environment seeded with globals and `f`'s parameters.
+    pub fn new(program: &'p Program, f: &Function) -> Result<Self, LcError> {
+        let mut globals = HashMap::new();
+        for g in &program.globals {
+            let b = match g {
+                Global::ConstArray { elem, values, .. } => {
+                    Binding::Array { elem: *elem, len: values.len() as u32 }
+                }
+                Global::StaticArray { elem, len, .. } => Binding::Array { elem: *elem, len: *len },
+                Global::ConstScalar { value, .. } => Binding::Const(*value),
+            };
+            if globals.insert(g.name().to_string(), b).is_some() {
+                return Err(LcError::new(0, format!("duplicate global `{}`", g.name())));
+            }
+        }
+        let mut params = HashMap::new();
+        for p in &f.params {
+            if params.insert(p.name.clone(), Binding::Scalar(p.ty)).is_some() {
+                return Err(LcError::new(
+                    f.line,
+                    format!("duplicate parameter `{}` in `{}`", p.name, f.name),
+                ));
+            }
+        }
+        Ok(FnEnv { program, scopes: vec![globals, params] })
+    }
+
+    /// Enter a lexical scope.
+    pub fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Leave a lexical scope.
+    pub fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Declare a name in the innermost scope.
+    pub fn declare(&mut self, name: &str, b: Binding, line: usize) -> Result<(), LcError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.to_string(), b).is_some() {
+            return Err(LcError::new(line, format!("duplicate declaration of `{name}`")));
+        }
+        Ok(())
+    }
+
+    /// Resolve a name, innermost scope first.
+    pub fn lookup(&self, name: &str) -> Option<Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+}
+
+fn is_int(t: Ty) -> bool {
+    matches!(t, Ty::U32 | Ty::U8)
+}
+
+/// Compute the type of an expression under `env`.
+pub fn expr_ty(env: &FnEnv<'_>, e: &Expr) -> Result<Ty, LcError> {
+    let line = e.line;
+    match &e.kind {
+        ExprKind::Num(_) => Ok(Ty::U32),
+        ExprKind::Var(name) => env
+            .lookup(name)
+            .map(Binding::expr_ty)
+            .ok_or_else(|| LcError::new(line, format!("undefined variable `{name}`"))),
+        ExprKind::Bin(op, a, b) => {
+            let ta = expr_ty(env, a)?;
+            let tb = expr_ty(env, b)?;
+            match op {
+                BinOp::Add => match (ta.is_ptr(), tb.is_ptr()) {
+                    (true, false) if is_int(tb) => Ok(ta),
+                    (false, true) if is_int(ta) => Ok(tb),
+                    (false, false) => Ok(Ty::U32),
+                    _ => Err(LcError::new(line, format!("cannot add {ta} and {tb}"))),
+                },
+                BinOp::Sub => match (ta.is_ptr(), tb.is_ptr()) {
+                    (true, false) if is_int(tb) => Ok(ta),
+                    (false, false) => Ok(Ty::U32),
+                    _ => Err(LcError::new(line, format!("cannot subtract {tb} from {ta}"))),
+                },
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let ok = (is_int(ta) && is_int(tb)) || ta == tb;
+                    if ok {
+                        Ok(Ty::U32)
+                    } else {
+                        Err(LcError::new(line, format!("cannot compare {ta} with {tb}")))
+                    }
+                }
+                _ => {
+                    if is_int(ta) && is_int(tb) {
+                        Ok(Ty::U32)
+                    } else {
+                        Err(LcError::new(line, format!("operator {op:?} needs integers, got {ta} and {tb}")))
+                    }
+                }
+            }
+        }
+        ExprKind::Un(_, a) => {
+            let ta = expr_ty(env, a)?;
+            if is_int(ta) {
+                Ok(Ty::U32)
+            } else {
+                Err(LcError::new(line, format!("unary operator needs an integer, got {ta}")))
+            }
+        }
+        ExprKind::Index(base, idx) => {
+            let tb = expr_ty(env, base)?;
+            let ti = expr_ty(env, idx)?;
+            if !tb.is_ptr() {
+                return Err(LcError::new(line, format!("cannot index into {tb}")));
+            }
+            if !is_int(ti) {
+                return Err(LcError::new(line, format!("index must be an integer, got {ti}")));
+            }
+            Ok(tb.deref())
+        }
+        ExprKind::Call(name, args) => {
+            // Builtin: mulhu(a, b) — upper 32 bits of the 64-bit product.
+            if name == "mulhu" {
+                if args.len() != 2 {
+                    return Err(LcError::new(line, "mulhu expects 2 arguments"));
+                }
+                for a in args {
+                    let ta = expr_ty(env, a)?;
+                    if !is_int(ta) {
+                        return Err(LcError::new(a.line, "mulhu arguments must be integers"));
+                    }
+                }
+                return Ok(Ty::U32);
+            }
+            let f = env
+                .program
+                .function(name)
+                .ok_or_else(|| LcError::new(line, format!("undefined function `{name}`")))?;
+            if f.params.len() != args.len() {
+                return Err(LcError::new(
+                    line,
+                    format!("`{name}` expects {} arguments, got {}", f.params.len(), args.len()),
+                ));
+            }
+            for (p, a) in f.params.iter().zip(args) {
+                let ta = expr_ty(env, a)?;
+                let ok = if p.ty.is_ptr() { ta == p.ty } else { is_int(ta) };
+                if !ok {
+                    return Err(LcError::new(
+                        a.line,
+                        format!("argument `{}` of `{name}` expects {}, got {ta}", p.name, p.ty),
+                    ));
+                }
+            }
+            Ok(f.ret)
+        }
+        ExprKind::Cast(ty, inner) => {
+            let ti = expr_ty(env, inner)?;
+            if *ty == Ty::Void || ti == Ty::Void {
+                return Err(LcError::new(line, "cannot cast to or from void"));
+            }
+            Ok(*ty)
+        }
+    }
+}
+
+struct Checker<'p> {
+    env: FnEnv<'p>,
+    ret: Ty,
+    loop_depth: usize,
+    fname: String,
+}
+
+impl Checker<'_> {
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), LcError> {
+        self.env.push();
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.env.pop();
+        Ok(())
+    }
+
+    fn assignable(&self, dst: Ty, src: Ty, line: usize) -> Result<(), LcError> {
+        let ok = if dst.is_ptr() { src == dst } else { is_int(src) };
+        if ok {
+            Ok(())
+        } else {
+            Err(LcError::new(line, format!("cannot assign {src} to {dst}")))
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LcError> {
+        match s {
+            Stmt::DeclScalar { ty, name, init, line } => {
+                if *ty == Ty::Void {
+                    return Err(LcError::new(*line, "cannot declare a void variable"));
+                }
+                if let Some(e) = init {
+                    let t = expr_ty(&self.env, e)?;
+                    self.assignable(*ty, t, *line)?;
+                }
+                self.env.declare(name, Binding::Scalar(*ty), *line)
+            }
+            Stmt::DeclArray { elem, name, len, line } => {
+                if *len == 0 {
+                    return Err(LcError::new(*line, format!("array `{name}` has length 0")));
+                }
+                self.env.declare(name, Binding::Array { elem: *elem, len: *len }, *line)
+            }
+            Stmt::Assign { lv, rhs, line } => {
+                let trhs = expr_ty(&self.env, rhs)?;
+                match lv {
+                    LValue::Var(name) => {
+                        let b = self.env.lookup(name).ok_or_else(|| {
+                            LcError::new(*line, format!("undefined variable `{name}`"))
+                        })?;
+                        match b {
+                            Binding::Scalar(t) => self.assignable(t, trhs, *line),
+                            Binding::Array { .. } => {
+                                Err(LcError::new(*line, format!("cannot assign to array `{name}`")))
+                            }
+                            Binding::Const(_) => Err(LcError::new(
+                                *line,
+                                format!("cannot assign to constant `{name}`"),
+                            )),
+                        }
+                    }
+                    LValue::Index(base, idx) => {
+                        let tb = expr_ty(&self.env, base)?;
+                        let ti = expr_ty(&self.env, idx)?;
+                        if !tb.is_ptr() {
+                            return Err(LcError::new(*line, format!("cannot index into {tb}")));
+                        }
+                        if !is_int(ti) {
+                            return Err(LcError::new(*line, "index must be an integer".to_string()));
+                        }
+                        self.assignable(tb.deref(), trhs, *line)
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body, line } => {
+                let t = expr_ty(&self.env, cond)?;
+                if !is_int(t) {
+                    return Err(LcError::new(*line, format!("condition must be an integer, got {t}")));
+                }
+                self.stmts(then_body)?;
+                self.stmts(else_body)
+            }
+            Stmt::While { cond, body, step, line } => {
+                let t = expr_ty(&self.env, cond)?;
+                if !is_int(t) {
+                    return Err(LcError::new(*line, format!("condition must be an integer, got {t}")));
+                }
+                self.loop_depth += 1;
+                let r = self.stmts(body).and_then(|()| self.stmts(step));
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::Return { value, line } => match (self.ret, value) {
+                (Ty::Void, None) => Ok(()),
+                (Ty::Void, Some(_)) => {
+                    Err(LcError::new(*line, format!("`{}` returns void", self.fname)))
+                }
+                (t, Some(e)) => {
+                    let te = expr_ty(&self.env, e)?;
+                    self.assignable(t, te, *line)
+                }
+                (t, None) => {
+                    Err(LcError::new(*line, format!("`{}` must return {t}", self.fname)))
+                }
+            },
+            Stmt::Break { line } | Stmt::Continue { line } => {
+                if self.loop_depth == 0 {
+                    Err(LcError::new(*line, "break/continue outside of a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::ExprStmt { expr, .. } => {
+                expr_ty(&self.env, expr)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Type-check a whole program.
+pub fn typecheck(program: &Program) -> Result<(), LcError> {
+    // Duplicate function names.
+    for (i, f) in program.functions.iter().enumerate() {
+        if program.functions[..i].iter().any(|g| g.name == f.name) {
+            return Err(LcError::new(f.line, format!("duplicate function `{}`", f.name)));
+        }
+        if f.params.len() > 8 {
+            return Err(LcError::new(
+                f.line,
+                format!("`{}` has {} parameters; at most 8 are supported", f.name, f.params.len()),
+            ));
+        }
+    }
+    for f in &program.functions {
+        let env = FnEnv::new(program, f)?;
+        let mut c = Checker { env, ret: f.ret, loop_depth: 0, fname: f.name.clone() };
+        c.stmts(&f.body)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), LcError> {
+        typecheck(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        check(
+            "
+            const u32 K[2] = {1, 2};
+            static u8 buf[8];
+            u32 get(u32 i) { return K[i]; }
+            void f(u8* p, u32 n) {
+                u32 acc = 0;
+                for (u32 i = 0; i < n; i = i + 1) {
+                    acc = acc + p[i];
+                }
+                buf[0] = (u8)acc;
+                u32* w = (u32*)p;
+                w[0] = get(1);
+            }
+            ",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        assert!(check("void f(u8* p) { u32 x = p; }").is_err());
+        assert!(check("void f(u8* p, u32* q) { if (p + q) { } }").is_err());
+        assert!(check("void f() { undefined_var = 1; }").is_err());
+        assert!(check("void f() { g(); }").is_err());
+        assert!(check("u32 f() { return; }").is_err());
+        assert!(check("void f() { return 1; }").is_err());
+        assert!(check("void f() { break; }").is_err());
+        assert!(check("const u32 C = 1; void f() { C = 2; }").is_err());
+        assert!(check("void f() { u32 a[2]; a = 0; }").is_err());
+        assert!(check("void g(u32* p) {} void f(u8* p) { g(p); }").is_err());
+    }
+
+    #[test]
+    fn scoping_rules() {
+        // Shadowing across scopes is allowed; same scope is not.
+        check("void f(u32 x) { if (x) { u32 y = 1; } u32 y = 2; }").unwrap();
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        check("void f(u8* p) { u8* q = p + 4; u32 d = q[0]; }").unwrap();
+        check("void f(u32* p) { u32* q = p + 1; q[0] = 5; }").unwrap();
+        assert!(check("void f(u32* p, u32* q) { u32 r = p - q; }").is_err());
+    }
+}

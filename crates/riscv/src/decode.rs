@@ -1,0 +1,223 @@
+//! Binary decoding of RV32IM instructions.
+
+use crate::isa::{AluOp, BranchOp, Instr, LoadOp, Reg, StoreOp};
+
+/// An instruction word that could not be decoded as RV32IM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub u32);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Decode a 32-bit word into an [`Instr`].
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = word & 0x7F;
+    let rd = Reg(((word >> 7) & 31) as u8);
+    let f3 = (word >> 12) & 7;
+    let rs1 = Reg(((word >> 15) & 31) as u8);
+    let rs2 = Reg(((word >> 20) & 31) as u8);
+    let f7 = word >> 25;
+    let imm_i = sext(word >> 20, 12);
+    match opcode {
+        0x37 => Ok(Instr::Lui { rd, imm: (word >> 12) as i32 }),
+        0x17 => Ok(Instr::Auipc { rd, imm: (word >> 12) as i32 }),
+        0x6F => {
+            let off = ((word >> 21) & 0x3FF) << 1
+                | ((word >> 20) & 1) << 11
+                | ((word >> 12) & 0xFF) << 12
+                | ((word >> 31) & 1) << 20;
+            Ok(Instr::Jal { rd, off: sext(off, 21) })
+        }
+        0x67 if f3 == 0 => Ok(Instr::Jalr { rd, rs1, off: imm_i }),
+        0x63 => {
+            let off = ((word >> 8) & 0xF) << 1
+                | ((word >> 25) & 0x3F) << 5
+                | ((word >> 7) & 1) << 11
+                | ((word >> 31) & 1) << 12;
+            let op = match f3 {
+                0 => BranchOp::Eq,
+                1 => BranchOp::Ne,
+                4 => BranchOp::Lt,
+                5 => BranchOp::Ge,
+                6 => BranchOp::Ltu,
+                7 => BranchOp::Geu,
+                _ => return Err(DecodeError(word)),
+            };
+            Ok(Instr::Branch { op, rs1, rs2, off: sext(off, 13) })
+        }
+        0x03 => {
+            let op = match f3 {
+                0 => LoadOp::Lb,
+                1 => LoadOp::Lh,
+                2 => LoadOp::Lw,
+                4 => LoadOp::Lbu,
+                5 => LoadOp::Lhu,
+                _ => return Err(DecodeError(word)),
+            };
+            Ok(Instr::Load { op, rd, rs1, off: imm_i })
+        }
+        0x23 => {
+            let op = match f3 {
+                0 => StoreOp::Sb,
+                1 => StoreOp::Sh,
+                2 => StoreOp::Sw,
+                _ => return Err(DecodeError(word)),
+            };
+            let off = ((word >> 7) & 0x1F) | (f7 << 5);
+            Ok(Instr::Store { op, rs1, rs2, off: sext(off, 12) })
+        }
+        0x13 => {
+            let op = match f3 {
+                0 => AluOp::Add,
+                1 if f7 == 0 => AluOp::Sll,
+                2 => AluOp::Slt,
+                3 => AluOp::Sltu,
+                4 => AluOp::Xor,
+                5 if f7 == 0 => AluOp::Srl,
+                5 if f7 == 0x20 => AluOp::Sra,
+                6 => AluOp::Or,
+                7 => AluOp::And,
+                _ => return Err(DecodeError(word)),
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => (imm_i & 31) as i32,
+                _ => imm_i,
+            };
+            Ok(Instr::OpImm { op, rd, rs1, imm })
+        }
+        0x33 => {
+            let op = match (f7, f3) {
+                (0, 0) => AluOp::Add,
+                (0x20, 0) => AluOp::Sub,
+                (0, 1) => AluOp::Sll,
+                (0, 2) => AluOp::Slt,
+                (0, 3) => AluOp::Sltu,
+                (0, 4) => AluOp::Xor,
+                (0, 5) => AluOp::Srl,
+                (0x20, 5) => AluOp::Sra,
+                (0, 6) => AluOp::Or,
+                (0, 7) => AluOp::And,
+                (1, 0) => AluOp::Mul,
+                (1, 1) => AluOp::Mulh,
+                (1, 2) => AluOp::Mulhsu,
+                (1, 3) => AluOp::Mulhu,
+                (1, 4) => AluOp::Div,
+                (1, 5) => AluOp::Divu,
+                (1, 6) => AluOp::Rem,
+                (1, 7) => AluOp::Remu,
+                _ => return Err(DecodeError(word)),
+            };
+            Ok(Instr::Op { op, rd, rs1, rs2 })
+        }
+        0x0F => Ok(Instr::Fence),
+        0x73 => match word {
+            0x0000_0073 => Ok(Instr::Ecall),
+            0x0010_0073 => Ok(Instr::Ebreak),
+            _ => Err(DecodeError(word)),
+        },
+        _ => Err(DecodeError(word)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    /// Every encodable instruction must decode back to itself.
+    #[test]
+    fn roundtrip_exhaustive_ops() {
+        let regs = [Reg::ZERO, Reg::RA, Reg::SP, Reg::A0, Reg::A5, Reg::T6, Reg::S11];
+        let alu = [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+            AluOp::Mul,
+            AluOp::Mulh,
+            AluOp::Mulhsu,
+            AluOp::Mulhu,
+            AluOp::Div,
+            AluOp::Divu,
+            AluOp::Rem,
+            AluOp::Remu,
+        ];
+        for &rd in &regs {
+            for &rs1 in &regs {
+                for &rs2 in &regs {
+                    for &op in &alu {
+                        let i = Instr::Op { op, rd, rs1, rs2 };
+                        assert_eq!(decode(encode(i)), Ok(i));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_immediates() {
+        for imm in [-2048, -1, 0, 1, 7, 2047] {
+            for op in [AluOp::Add, AluOp::Slt, AluOp::Sltu, AluOp::Xor, AluOp::Or, AluOp::And] {
+                let i = Instr::OpImm { op, rd: Reg::A0, rs1: Reg::A1, imm };
+                assert_eq!(decode(encode(i)), Ok(i));
+            }
+            let i = Instr::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, off: imm };
+            assert_eq!(decode(encode(i)), Ok(i));
+            let i = Instr::Store { op: StoreOp::Sb, rs1: Reg::SP, rs2: Reg::A0, off: imm };
+            assert_eq!(decode(encode(i)), Ok(i));
+            let i = Instr::Jalr { rd: Reg::RA, rs1: Reg::A0, off: imm };
+            assert_eq!(decode(encode(i)), Ok(i));
+        }
+        for sh in 0..32 {
+            for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+                let i = Instr::OpImm { op, rd: Reg::A0, rs1: Reg::A1, imm: sh };
+                assert_eq!(decode(encode(i)), Ok(i));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_branches_jumps() {
+        for off in [-4096, -2, 0, 2, 4094] {
+            for op in
+                [BranchOp::Eq, BranchOp::Ne, BranchOp::Lt, BranchOp::Ge, BranchOp::Ltu, BranchOp::Geu]
+            {
+                let i = Instr::Branch { op, rs1: Reg::A0, rs2: Reg::A1, off };
+                assert_eq!(decode(encode(i)), Ok(i));
+            }
+        }
+        for off in [-(1 << 20), -2, 0, 2, (1 << 20) - 2] {
+            let i = Instr::Jal { rd: Reg::RA, off };
+            assert_eq!(decode(encode(i)), Ok(i));
+        }
+        for imm in [0, 1, 0xFFFFF] {
+            let i = Instr::Lui { rd: Reg::A0, imm };
+            assert_eq!(decode(encode(i)), Ok(i));
+            let i = Instr::Auipc { rd: Reg::A0, imm };
+            assert_eq!(decode(encode(i)), Ok(i));
+        }
+    }
+
+    #[test]
+    fn illegal_words_rejected() {
+        assert!(decode(0).is_err());
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_00FF).is_err());
+    }
+}

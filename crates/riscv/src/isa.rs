@@ -1,0 +1,410 @@
+//! The RV32IM instruction set: registers, instructions, disassembly.
+
+use std::fmt;
+
+/// An architectural register, `x0`–`x31`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporaries `t0`-`t2`.
+    pub const T0: Reg = Reg(5);
+    pub const T1: Reg = Reg(6);
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer.
+    pub const S0: Reg = Reg(8);
+    pub const S1: Reg = Reg(9);
+    /// Argument registers `a0`-`a7`.
+    pub const A0: Reg = Reg(10);
+    pub const A1: Reg = Reg(11);
+    pub const A2: Reg = Reg(12);
+    pub const A3: Reg = Reg(13);
+    pub const A4: Reg = Reg(14);
+    pub const A5: Reg = Reg(15);
+    pub const A6: Reg = Reg(16);
+    pub const A7: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    pub const S8: Reg = Reg(24);
+    pub const S9: Reg = Reg(25);
+    pub const S10: Reg = Reg(26);
+    pub const S11: Reg = Reg(27);
+    pub const T3: Reg = Reg(28);
+    pub const T4: Reg = Reg(29);
+    pub const T5: Reg = Reg(30);
+    pub const T6: Reg = Reg(31);
+
+    /// ABI name of this register (`zero`, `ra`, `sp`, `a0`, ...).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize & 31]
+    }
+
+    /// Parse a register from either its numeric (`x7`) or ABI (`t2`) name.
+    pub fn parse(s: &str) -> Option<Reg> {
+        if let Some(rest) = s.strip_prefix('x') {
+            let n: u8 = rest.parse().ok()?;
+            if n < 32 {
+                return Some(Reg(n));
+            }
+            return None;
+        }
+        let idx = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ]
+        .iter()
+        .position(|&n| n == s)?;
+        // `fp` is an alias for `s0`.
+        Some(Reg(idx as u8))
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abi_name())
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abi_name())
+    }
+}
+
+/// A decoded RV32IM instruction.
+///
+/// Immediates are stored sign-extended in `i32` exactly as the semantics
+/// consume them; branch/jump offsets are relative to the instruction's own
+/// address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Load upper immediate: `rd = imm << 12`.
+    Lui { rd: Reg, imm: i32 },
+    /// Add upper immediate to PC: `rd = pc + (imm << 12)`.
+    Auipc { rd: Reg, imm: i32 },
+    /// Jump and link: `rd = pc + 4; pc += off`.
+    Jal { rd: Reg, off: i32 },
+    /// Jump and link register: `rd = pc + 4; pc = (rs1 + off) & !1`.
+    Jalr { rd: Reg, rs1: Reg, off: i32 },
+    /// Conditional branch.
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, off: i32 },
+    /// Memory load.
+    Load { op: LoadOp, rd: Reg, rs1: Reg, off: i32 },
+    /// Memory store.
+    Store { op: StoreOp, rs1: Reg, rs2: Reg, off: i32 },
+    /// ALU operation with immediate operand.
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// ALU register-register operation (including the M extension).
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Memory fence (a no-op in this single-hart model).
+    Fence,
+    /// Environment call.
+    Ecall,
+    /// Breakpoint; used as the halt convention by the Riscette machine.
+    Ebreak,
+}
+
+/// Branch comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// Load width/signedness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+}
+
+/// Store width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    Sb,
+    Sh,
+    Sw,
+}
+
+/// ALU operations, shared between register and immediate forms where the
+/// ISA allows, plus the M-extension multiply/divide group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+impl AluOp {
+    /// Whether this is an M-extension operation.
+    pub fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul
+                | AluOp::Mulh
+                | AluOp::Mulhsu
+                | AluOp::Mulhu
+                | AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
+        )
+    }
+
+    /// Evaluate the operation on two 32-bit operands.
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+            AluOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+            AluOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+            AluOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    a
+                } else {
+                    ((a as i32).wrapping_div(b as i32)) as u32
+                }
+            }
+            AluOp::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    0
+                } else {
+                    ((a as i32).wrapping_rem(b as i32)) as u32
+                }
+            }
+            AluOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+impl BranchOp {
+    /// Evaluate the branch condition on two 32-bit operands.
+    pub fn taken(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchOp::Eq => a == b,
+            BranchOp::Ne => a != b,
+            BranchOp::Lt => (a as i32) < (b as i32),
+            BranchOp::Ge => (a as i32) >= (b as i32),
+            BranchOp::Ltu => a < b,
+            BranchOp::Geu => a >= b,
+        }
+    }
+}
+
+impl Instr {
+    /// Whether executing this instruction can redirect control flow.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. }
+        )
+    }
+
+    /// The destination register written by this instruction, if any.
+    pub fn dest(self) -> Option<Reg> {
+        match self {
+            Instr::Lui { rd, .. }
+            | Instr::Auipc { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::OpImm { rd, .. }
+            | Instr::Op { rd, .. } => {
+                if rd == Reg::ZERO {
+                    None
+                } else {
+                    Some(rd)
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
+            Instr::Auipc { rd, imm } => write!(f, "auipc {rd}, {imm:#x}"),
+            Instr::Jal { rd, off } => write!(f, "jal {rd}, {off}"),
+            Instr::Jalr { rd, rs1, off } => write!(f, "jalr {rd}, {off}({rs1})"),
+            Instr::Branch { op, rs1, rs2, off } => {
+                let m = match op {
+                    BranchOp::Eq => "beq",
+                    BranchOp::Ne => "bne",
+                    BranchOp::Lt => "blt",
+                    BranchOp::Ge => "bge",
+                    BranchOp::Ltu => "bltu",
+                    BranchOp::Geu => "bgeu",
+                };
+                write!(f, "{m} {rs1}, {rs2}, {off}")
+            }
+            Instr::Load { op, rd, rs1, off } => {
+                let m = match op {
+                    LoadOp::Lb => "lb",
+                    LoadOp::Lh => "lh",
+                    LoadOp::Lw => "lw",
+                    LoadOp::Lbu => "lbu",
+                    LoadOp::Lhu => "lhu",
+                };
+                write!(f, "{m} {rd}, {off}({rs1})")
+            }
+            Instr::Store { op, rs1, rs2, off } => {
+                let m = match op {
+                    StoreOp::Sb => "sb",
+                    StoreOp::Sh => "sh",
+                    StoreOp::Sw => "sw",
+                };
+                write!(f, "{m} {rs2}, {off}({rs1})")
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let m = match op {
+                    AluOp::Add => "addi",
+                    AluOp::Slt => "slti",
+                    AluOp::Sltu => "sltiu",
+                    AluOp::Xor => "xori",
+                    AluOp::Or => "ori",
+                    AluOp::And => "andi",
+                    AluOp::Sll => "slli",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    _ => "opimm?",
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                    AluOp::Mul => "mul",
+                    AluOp::Mulh => "mulh",
+                    AluOp::Mulhsu => "mulhsu",
+                    AluOp::Mulhu => "mulhu",
+                    AluOp::Div => "div",
+                    AluOp::Divu => "divu",
+                    AluOp::Rem => "rem",
+                    AluOp::Remu => "remu",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Fence => write!(f, "fence"),
+            Instr::Ecall => write!(f, "ecall"),
+            Instr::Ebreak => write!(f, "ebreak"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_names_roundtrip() {
+        for i in 0..32u8 {
+            let r = Reg(i);
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+            assert_eq!(Reg::parse(&format!("x{i}")), Some(r));
+        }
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("bogus"), None);
+    }
+
+    #[test]
+    fn alu_signed_edge_cases() {
+        assert_eq!(AluOp::Div.eval(7, 0), u32::MAX);
+        assert_eq!(AluOp::Div.eval(0x8000_0000, u32::MAX), 0x8000_0000);
+        assert_eq!(AluOp::Rem.eval(7, 0), 7);
+        assert_eq!(AluOp::Rem.eval(0x8000_0000, u32::MAX), 0);
+        assert_eq!(AluOp::Sra.eval(0x8000_0000, 31), 0xFFFF_FFFF);
+        assert_eq!(AluOp::Srl.eval(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Mulh.eval(u32::MAX, u32::MAX), 0); // (-1)*(-1) = 1
+        assert_eq!(AluOp::Mulhu.eval(u32::MAX, u32::MAX), 0xFFFF_FFFE);
+    }
+
+    #[test]
+    fn branch_ops() {
+        assert!(BranchOp::Lt.taken(0xFFFF_FFFF, 0)); // -1 < 0 signed
+        assert!(!BranchOp::Ltu.taken(0xFFFF_FFFF, 0));
+        assert!(BranchOp::Geu.taken(0xFFFF_FFFF, 0));
+        assert!(BranchOp::Eq.taken(5, 5));
+        assert!(BranchOp::Ne.taken(5, 6));
+        assert!(BranchOp::Ge.taken(0, 0xFFFF_FFFF));
+    }
+}

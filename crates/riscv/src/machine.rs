@@ -1,0 +1,518 @@
+//! The Riscette abstract machine: a single-steppable RV32IM interpreter.
+//!
+//! This is the Rust analogue of the paper's *Riscette* (§5.1): an
+//! executable semantics for the assembly level of abstraction that can be
+//! stepped instruction-by-instruction, which Knox2 uses for
+//! assembly-circuit synchronization, and that exposes a CompCert-style
+//! buffer API (`alloc` / `storebytes` / `loadbytes`) used by the
+//! whole-command state machine interpretation (fig. 8).
+//!
+//! Memory is sparse and paged, so images can live at arbitrary addresses
+//! (ROM at 0x0000_0000, RAM at 0x2000_0000, a heap for whole-command
+//! buffers at 0x4000_0000, an abstract stack near 0x7FFF_0000).
+
+use std::collections::HashMap;
+
+use crate::asm::Program;
+use crate::decode::decode;
+use crate::isa::{Instr, Reg};
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: u32 = 1 << PAGE_BITS;
+
+/// Base of the bump-allocated heap used by [`Machine::alloc`].
+pub const HEAP_BASE: u32 = 0x4000_0000;
+/// Initial stack pointer used by [`Machine::setup_stack`].
+pub const STACK_TOP: u32 = 0x7FFF_F000;
+
+/// Sparse paged byte-addressable memory.
+#[derive(Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Read one byte; unwritten memory reads as zero.
+    pub fn load_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr & (PAGE_SIZE - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn store_u8(&mut self, addr: u32, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        page[(addr & (PAGE_SIZE - 1)) as usize] = val;
+    }
+
+    /// Read a little-endian 32-bit word (byte-wise; no alignment demand).
+    pub fn load_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.load_u8(addr),
+            self.load_u8(addr.wrapping_add(1)),
+            self.load_u8(addr.wrapping_add(2)),
+            self.load_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Write a little-endian 32-bit word.
+    pub fn store_u32(&mut self, addr: u32, val: u32) {
+        for (i, b) in val.to_le_bytes().iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    pub fn load_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.load_u8(addr.wrapping_add(i as u32))).collect()
+    }
+
+    /// Write `bytes` starting at `addr`.
+    pub fn store_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+}
+
+/// Why an instruction step trapped instead of completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrapCause {
+    /// The fetched word is not a valid RV32IM instruction.
+    IllegalInstruction { pc: u32, word: u32 },
+    /// A load/store address was not aligned to the access width.
+    MisalignedAccess { pc: u32, addr: u32 },
+    /// Instruction fetch from a non-4-aligned PC.
+    MisalignedFetch { pc: u32 },
+}
+
+impl std::fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TrapCause::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc={pc:#010x}")
+            }
+            TrapCause::MisalignedAccess { pc, addr } => {
+                write!(f, "misaligned access to {addr:#010x} at pc={pc:#010x}")
+            }
+            TrapCause::MisalignedFetch { pc } => write!(f, "misaligned fetch at pc={pc:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for TrapCause {}
+
+/// Result of a successful [`Machine::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An ordinary instruction retired.
+    Continue,
+    /// An `ebreak` retired; by convention the machine halts.
+    Break,
+    /// An `ecall` retired; the environment decides what it means.
+    Ecall,
+}
+
+/// The Riscette abstract machine state.
+#[derive(Clone)]
+pub struct Machine {
+    /// Architectural registers; `regs[0]` is kept at zero.
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Byte-addressable sparse memory.
+    pub mem: Memory,
+    /// Retired-instruction counter.
+    pub instret: u64,
+    /// Whether an `ebreak` has halted the machine.
+    pub halted: bool,
+    heap_next: u32,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Machine {
+    /// Create an empty machine (zeroed registers and memory).
+    pub fn new() -> Self {
+        Machine { regs: [0; 32], pc: 0, mem: Memory::default(), instret: 0, halted: false, heap_next: HEAP_BASE }
+    }
+
+    /// Create a machine loaded with `program`, with the PC at the text base
+    /// and the stack pointer initialized.
+    pub fn with_program(program: &Program) -> Self {
+        let mut m = Machine::new();
+        m.load_program(program);
+        m.setup_stack();
+        m
+    }
+
+    /// Copy a program's text and data images into memory and set the PC.
+    pub fn load_program(&mut self, program: &Program) {
+        self.mem.store_bytes(program.text_base, &program.text_bytes());
+        self.mem.store_bytes(program.data_base, &program.data);
+        self.pc = program.text_base;
+    }
+
+    /// Point `sp` at the abstract stack region.
+    pub fn setup_stack(&mut self) {
+        self.regs[Reg::SP.0 as usize] = STACK_TOP;
+    }
+
+    /// Bump-allocate `size` bytes in the machine heap (16-byte aligned),
+    /// mirroring CompCert's `alloc` in the fig. 8 interpretation.
+    pub fn alloc(&mut self, size: u32) -> u32 {
+        let addr = self.heap_next;
+        self.heap_next = self.heap_next.wrapping_add((size + 15) & !15);
+        addr
+    }
+
+    /// Write bytes into machine memory (fig. 8 `storebytes`).
+    pub fn storebytes(&mut self, addr: u32, bytes: &[u8]) {
+        self.mem.store_bytes(addr, bytes);
+    }
+
+    /// Read bytes from machine memory (fig. 8 `loadbytes`).
+    pub fn loadbytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        self.mem.load_bytes(addr, len)
+    }
+
+    /// Read a register (register 0 always reads zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r == Reg::ZERO {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Write a register (writes to register 0 are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// The instruction the machine would execute next, if decodable.
+    pub fn next_instr(&self) -> Result<Instr, TrapCause> {
+        if self.pc & 3 != 0 {
+            return Err(TrapCause::MisalignedFetch { pc: self.pc });
+        }
+        let word = self.mem.load_u32(self.pc);
+        decode(word).map_err(|e| TrapCause::IllegalInstruction { pc: self.pc, word: e.0 })
+    }
+
+    /// Execute one instruction.
+    pub fn step(&mut self) -> Result<StepOutcome, TrapCause> {
+        let instr = self.next_instr()?;
+        self.execute(instr)
+    }
+
+    /// Execute a pre-decoded instruction as if fetched at the current PC.
+    pub fn execute(&mut self, instr: Instr) -> Result<StepOutcome, TrapCause> {
+        use crate::isa::{LoadOp, StoreOp};
+        let pc = self.pc;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut outcome = StepOutcome::Continue;
+        match instr {
+            Instr::Lui { rd, imm } => self.set_reg(rd, (imm as u32) << 12),
+            Instr::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add((imm as u32) << 12)),
+            Instr::Jal { rd, off } => {
+                self.set_reg(rd, next_pc);
+                next_pc = pc.wrapping_add(off as u32);
+            }
+            Instr::Jalr { rd, rs1, off } => {
+                let target = self.reg(rs1).wrapping_add(off as u32) & !1;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+            }
+            Instr::Branch { op, rs1, rs2, off } => {
+                if op.taken(self.reg(rs1), self.reg(rs2)) {
+                    next_pc = pc.wrapping_add(off as u32);
+                }
+            }
+            Instr::Load { op, rd, rs1, off } => {
+                let addr = self.reg(rs1).wrapping_add(off as u32);
+                let v = match op {
+                    LoadOp::Lb => self.mem.load_u8(addr) as i8 as i32 as u32,
+                    LoadOp::Lbu => self.mem.load_u8(addr) as u32,
+                    LoadOp::Lh | LoadOp::Lhu => {
+                        if addr & 1 != 0 {
+                            return Err(TrapCause::MisalignedAccess { pc, addr });
+                        }
+                        let h = u16::from_le_bytes([
+                            self.mem.load_u8(addr),
+                            self.mem.load_u8(addr.wrapping_add(1)),
+                        ]);
+                        if op == LoadOp::Lh {
+                            h as i16 as i32 as u32
+                        } else {
+                            h as u32
+                        }
+                    }
+                    LoadOp::Lw => {
+                        if addr & 3 != 0 {
+                            return Err(TrapCause::MisalignedAccess { pc, addr });
+                        }
+                        self.mem.load_u32(addr)
+                    }
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Store { op, rs1, rs2, off } => {
+                let addr = self.reg(rs1).wrapping_add(off as u32);
+                let v = self.reg(rs2);
+                match op {
+                    StoreOp::Sb => self.mem.store_u8(addr, v as u8),
+                    StoreOp::Sh => {
+                        if addr & 1 != 0 {
+                            return Err(TrapCause::MisalignedAccess { pc, addr });
+                        }
+                        self.mem.store_u8(addr, v as u8);
+                        self.mem.store_u8(addr.wrapping_add(1), (v >> 8) as u8);
+                    }
+                    StoreOp::Sw => {
+                        if addr & 3 != 0 {
+                            return Err(TrapCause::MisalignedAccess { pc, addr });
+                        }
+                        self.mem.store_u32(addr, v);
+                    }
+                }
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.reg(rs1), imm as u32);
+                self.set_reg(rd, v);
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::Fence => {}
+            Instr::Ecall => outcome = StepOutcome::Ecall,
+            Instr::Ebreak => {
+                self.halted = true;
+                outcome = StepOutcome::Break;
+            }
+        }
+        self.pc = next_pc;
+        self.instret += 1;
+        Ok(outcome)
+    }
+
+    /// Run until `ebreak`, a trap, or `max_steps` instructions retire.
+    ///
+    /// Returns the number of instructions retired. An error is returned on
+    /// a trap or if the step budget is exhausted before `ebreak`.
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, RunError> {
+        let start = self.instret;
+        while !self.halted {
+            if self.instret - start >= max_steps {
+                return Err(RunError::OutOfFuel { steps: max_steps, pc: self.pc });
+            }
+            match self.step() {
+                Ok(StepOutcome::Break) => break,
+                Ok(_) => {}
+                Err(t) => return Err(RunError::Trap(t)),
+            }
+        }
+        Ok(self.instret - start)
+    }
+
+    /// Call the function at `entry` with up to 8 arguments in `a0..a7`,
+    /// running until it returns (to a sentinel `ebreak`).
+    ///
+    /// The machine's stack pointer must already be set up. Returns the
+    /// value left in `a0`.
+    pub fn call(&mut self, entry: u32, args: &[u32], max_steps: u64) -> Result<u32, RunError> {
+        assert!(args.len() <= 8, "at most 8 register arguments");
+        // Plant an `ebreak` at a sentinel return address.
+        let sentinel = STACK_TOP.wrapping_add(0x100);
+        self.mem.store_u32(sentinel, crate::encode::encode(Instr::Ebreak));
+        for (i, &a) in args.iter().enumerate() {
+            self.set_reg(Reg(10 + i as u8), a);
+        }
+        self.set_reg(Reg::RA, sentinel);
+        self.pc = entry;
+        self.halted = false;
+        self.run(max_steps)?;
+        Ok(self.reg(Reg::A0))
+    }
+}
+
+/// Error from [`Machine::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The machine trapped.
+    Trap(TrapCause),
+    /// The step budget was exhausted.
+    OutOfFuel {
+        /// The budget that was exhausted.
+        steps: u64,
+        /// PC at the time the budget ran out.
+        pc: u32,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Trap(t) => write!(f, "{t}"),
+            RunError::OutOfFuel { steps, pc } => {
+                write!(f, "out of fuel after {steps} steps at pc={pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_and_get_a0(src: &str) -> u32 {
+        let p = assemble(src).unwrap();
+        let mut m = Machine::with_program(&p);
+        m.run(1_000_000).unwrap();
+        m.reg(Reg::A0)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let a0 = run_and_get_a0(
+            "
+            li a0, 6
+            li a1, 7
+            mul a0, a0, a1
+            ebreak
+            ",
+        );
+        assert_eq!(a0, 42);
+    }
+
+    #[test]
+    fn loop_sums_one_to_ten() {
+        let a0 = run_and_get_a0(
+            "
+                li a0, 0
+                li a1, 1
+                li a2, 11
+            loop:
+                add a0, a0, a1
+                addi a1, a1, 1
+                bne a1, a2, loop
+                ebreak
+            ",
+        );
+        assert_eq!(a0, 55);
+    }
+
+    #[test]
+    fn function_call_and_stack() {
+        let a0 = run_and_get_a0(
+            "
+            main:
+                li a0, 5
+                call square
+                ebreak
+            square:
+                addi sp, sp, -16
+                sw ra, 12(sp)
+                mul a0, a0, a0
+                lw ra, 12(sp)
+                addi sp, sp, 16
+                ret
+            ",
+        );
+        assert_eq!(a0, 25);
+    }
+
+    #[test]
+    fn loads_stores_all_widths() {
+        let a0 = run_and_get_a0(
+            "
+                la t0, buf
+                li t1, -2
+                sb t1, 0(t0)
+                lbu a0, 0(t0)      # 0xfe
+                lb t2, 0(t0)       # -2
+                add a0, a0, t2     # 0xfe - 2 = 0xfc
+                li t1, 0xbeef
+                sh t1, 2(t0)
+                lhu t3, 2(t0)
+                add a0, a0, t3     # + 0xbeef
+                lh t4, 2(t0)       # sign-extended negative
+                sub a0, a0, t4
+                ebreak
+            .data
+            buf: .zero 8
+            ",
+        );
+        assert_eq!(a0, 0xFCu32.wrapping_add(0xBEEF).wrapping_sub(0xFFFF_BEEF));
+    }
+
+    #[test]
+    fn misaligned_word_access_traps() {
+        let p = assemble("li t0, 2\n lw a0, 0(t0)\n ebreak").unwrap();
+        let mut m = Machine::with_program(&p);
+        let e = m.run(100).unwrap_err();
+        assert!(matches!(e, RunError::Trap(TrapCause::MisalignedAccess { addr: 2, .. })));
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let a0 = run_and_get_a0(
+            "
+            li t0, 99
+            add zero, t0, t0
+            add a0, zero, zero
+            ebreak
+            ",
+        );
+        assert_eq!(a0, 0);
+    }
+
+    #[test]
+    fn out_of_fuel_reported() {
+        let p = assemble("spin: j spin").unwrap();
+        let mut m = Machine::with_program(&p);
+        let e = m.run(10).unwrap_err();
+        assert!(matches!(e, RunError::OutOfFuel { steps: 10, .. }));
+    }
+
+    #[test]
+    fn call_api() {
+        let p = assemble(
+            "
+            add3:
+                add a0, a0, a1
+                add a0, a0, a2
+                ret
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::with_program(&p);
+        let entry = p.address_of("add3").unwrap();
+        let r = m.call(entry, &[1, 2, 3], 100).unwrap();
+        assert_eq!(r, 6);
+    }
+
+    #[test]
+    fn alloc_bump_and_buffers() {
+        let mut m = Machine::new();
+        let a = m.alloc(10);
+        let b = m.alloc(1);
+        assert_eq!(a, HEAP_BASE);
+        assert_eq!(b, HEAP_BASE + 16);
+        m.storebytes(a, &[1, 2, 3]);
+        assert_eq!(m.loadbytes(a, 4), vec![1, 2, 3, 0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! The whole-command state-machine interpretation of assembly code.
+//!
+//! This implements fig. 8 of the paper ("model-Asm"): the invocation of
+//! the `handle` function is treated as a single atomic step of a state
+//! machine whose state is the byte contents of the state buffer and whose
+//! input/output are the command and response buffers.
+
+use crate::asm::Program;
+use crate::machine::{Machine, RunError};
+use crate::isa::Reg;
+
+/// A whole-command state machine backed by an assembled `handle` function.
+///
+/// Each [`AsmStateMachine::step`] spins up a fresh abstract machine,
+/// copies the state and command into machine memory, points `a0`/`a1`/`a2`
+/// at the state, command, and response buffers per the RISC-V calling
+/// convention, runs `handle` to completion, and reads the updated state
+/// and the response back out — exactly the pseudocode of fig. 8.
+#[derive(Clone)]
+pub struct AsmStateMachine {
+    program: Program,
+    handle_addr: u32,
+    /// Size in bytes of the state buffer.
+    pub state_size: usize,
+    /// Size in bytes of the command buffer.
+    pub command_size: usize,
+    /// Size in bytes of the response buffer.
+    pub response_size: usize,
+    /// Maximum instructions a single `handle` invocation may retire.
+    pub fuel: u64,
+}
+
+impl AsmStateMachine {
+    /// Create a model for `program`, whose `handle` symbol implements the
+    /// step function.
+    ///
+    /// Returns `None` if the program has no `handle` symbol.
+    pub fn new(
+        program: Program,
+        state_size: usize,
+        command_size: usize,
+        response_size: usize,
+    ) -> Option<Self> {
+        let handle_addr = program.address_of("handle")?;
+        Some(AsmStateMachine {
+            program,
+            handle_addr,
+            state_size,
+            command_size,
+            response_size,
+            fuel: 200_000_000,
+        })
+    }
+
+    /// The program backing this model.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Address of the `handle` entry point.
+    pub fn handle_addr(&self) -> u32 {
+        self.handle_addr
+    }
+
+    /// Build the machine poised to execute `handle(state, command, resp)`,
+    /// without running it. Returns the machine and the three buffer
+    /// pointers. Knox2 uses this to single-step the assembly level during
+    /// synchronization.
+    pub fn prepare(&self, state: &[u8], command: &[u8]) -> (Machine, u32, u32, u32) {
+        assert_eq!(state.len(), self.state_size, "state buffer size");
+        assert_eq!(command.len(), self.command_size, "command buffer size");
+        let mut m = Machine::new();
+        m.load_program(&self.program);
+        m.setup_stack();
+        let state_ptr = m.alloc(self.state_size as u32);
+        m.storebytes(state_ptr, state);
+        let command_ptr = m.alloc(self.command_size as u32);
+        m.storebytes(command_ptr, command);
+        let response_ptr = m.alloc(self.response_size as u32);
+        m.set_reg(Reg::A0, state_ptr);
+        m.set_reg(Reg::A1, command_ptr);
+        m.set_reg(Reg::A2, response_ptr);
+        // Return to a sentinel ebreak.
+        let sentinel = crate::machine::STACK_TOP.wrapping_add(0x100);
+        m.mem.store_u32(sentinel, crate::encode::encode(crate::isa::Instr::Ebreak));
+        m.set_reg(Reg::RA, sentinel);
+        m.pc = self.handle_addr;
+        (m, state_ptr, command_ptr, response_ptr)
+    }
+
+    /// Execute one whole-command step: `(state, command) -> (state', response)`.
+    pub fn step(&self, state: &[u8], command: &[u8]) -> Result<(Vec<u8>, Vec<u8>), RunError> {
+        let (mut m, state_ptr, _command_ptr, response_ptr) = self.prepare(state, command);
+        m.run(self.fuel)?;
+        let new_state = m.loadbytes(state_ptr, self.state_size);
+        let response = m.loadbytes(response_ptr, self.response_size);
+        Ok((new_state, response))
+    }
+
+    /// Count the instructions retired by one `handle` invocation.
+    ///
+    /// Used by timing-oriented checks: at the assembly level there is no
+    /// notion of cycles, but a data-dependent instruction *count* is a
+    /// strong hint that the circuit level will leak through timing.
+    pub fn step_instret(&self, state: &[u8], command: &[u8]) -> Result<u64, RunError> {
+        let (mut m, _, _, _) = self.prepare(state, command);
+        m.run(self.fuel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    /// A toy handle: state is a 4-byte counter; command byte 0 selects
+    /// increment (1) or read (2); response is 4 bytes.
+    const TOY: &str = "
+        handle:
+            lbu t0, 0(a1)       # command tag
+            lw t1, 0(a0)        # counter
+            li t2, 1
+            beq t0, t2, do_inc
+            # read: response = counter, state unchanged
+            sw t1, 0(a2)
+            ret
+        do_inc:
+            addi t1, t1, 1
+            sw t1, 0(a0)
+            sw zero, 0(a2)
+            ret
+    ";
+
+    #[test]
+    fn whole_command_step() {
+        let p = assemble(TOY).unwrap();
+        let sm = AsmStateMachine::new(p, 4, 1, 4).unwrap();
+        let s0 = vec![0, 0, 0, 0];
+        let (s1, r1) = sm.step(&s0, &[1]).unwrap();
+        assert_eq!(s1, vec![1, 0, 0, 0]);
+        assert_eq!(r1, vec![0, 0, 0, 0]);
+        let (s2, r2) = sm.step(&s1, &[2]).unwrap();
+        assert_eq!(s2, s1, "read must not modify state");
+        assert_eq!(r2, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn steps_are_deterministic_and_isolated() {
+        let p = assemble(TOY).unwrap();
+        let sm = AsmStateMachine::new(p, 4, 1, 4).unwrap();
+        let s = vec![7, 0, 0, 0];
+        let a = sm.step(&s, &[2]).unwrap();
+        let b = sm.step(&s, &[2]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_handle_symbol() {
+        let p = assemble("main: ebreak").unwrap();
+        assert!(AsmStateMachine::new(p, 4, 1, 4).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! The circuit-level state-machine interface and wire traces.
+
+use crate::value::W;
+
+/// Input wires of an HSM SoC, as seen by the adversary/driver
+/// (a byte-parallel abstraction of the paper's 4-wire UART with flow
+/// control).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireIn {
+    /// Host asserts: a byte is offered on `rx_data`.
+    pub rx_valid: bool,
+    /// The offered byte.
+    pub rx_data: u8,
+    /// Host asserts: it can accept a byte on `tx_data`.
+    pub tx_ready: bool,
+}
+
+/// Output wires of an HSM SoC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireOut {
+    /// Device asserts: it can accept the offered byte this cycle.
+    pub rx_ready: bool,
+    /// Device asserts: a byte is offered on `tx_data`.
+    pub tx_valid: bool,
+    /// The offered byte.
+    pub tx_data: u8,
+    /// Taint of the offered byte (diagnostic; not a real wire).
+    pub tx_taint: bool,
+}
+
+impl WireOut {
+    /// The observable (wire-level) portion, ignoring taint metadata.
+    pub fn observable(&self) -> (bool, bool, u8) {
+        (self.rx_ready, self.tx_valid, if self.tx_valid { self.tx_data } else { 0 })
+    }
+}
+
+/// A cycle-precise circuit: the bottom level of abstraction (Table 1).
+///
+/// The three methods correspond exactly to the three commands of the
+/// circuit-level state machine in §3: `set_input(...)`, `get_output()`,
+/// and `tick()`.
+pub trait Circuit {
+    /// Drive the input wires for the upcoming cycle.
+    fn set_input(&mut self, input: WireIn);
+
+    /// Sample the output wires.
+    fn get_output(&self) -> WireOut;
+
+    /// Advance one clock cycle.
+    fn tick(&mut self);
+
+    /// Number of cycles elapsed since construction/reset.
+    fn cycles(&self) -> u64;
+}
+
+/// One sampled cycle of observable wire outputs.
+pub type TraceEvent = (bool, bool, u8);
+
+/// A wire-level trace: the adversary's complete view of an execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Observable outputs, one per cycle.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Record the current outputs of `c`.
+    pub fn sample(&mut self, c: &dyn Circuit) {
+        self.events.push(c.get_output().observable());
+    }
+
+    /// First cycle at which the two traces differ, if any.
+    pub fn first_divergence(&self, other: &Trace) -> Option<usize> {
+        let n = self.events.len().min(other.events.len());
+        for i in 0..n {
+            if self.events[i] != other.events[i] {
+                return Some(i);
+            }
+        }
+        if self.events.len() != other.events.len() {
+            Some(n)
+        } else {
+            None
+        }
+    }
+}
+
+/// Helper: an untainted byte as a word.
+pub fn byte(b: u8) -> W {
+    W::pub32(b as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_divergence() {
+        let a = Trace { events: vec![(true, false, 0), (true, true, 5)] };
+        let b = Trace { events: vec![(true, false, 0), (true, true, 6)] };
+        assert_eq!(a.first_divergence(&b), Some(1));
+        assert_eq!(a.first_divergence(&a), None);
+        let c = Trace { events: vec![(true, false, 0)] };
+        assert_eq!(a.first_divergence(&c), Some(1));
+    }
+
+    #[test]
+    fn observable_masks_invalid_data() {
+        let w = WireOut { rx_ready: true, tx_valid: false, tx_data: 42, tx_taint: false };
+        assert_eq!(w.observable(), (true, false, 0));
+    }
+}

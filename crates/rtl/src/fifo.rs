@@ -1,0 +1,76 @@
+//! A small synchronous FIFO with taint-carrying entries.
+
+use std::collections::VecDeque;
+
+use crate::value::W;
+
+/// A bounded FIFO of tainted bytes (stored as words).
+#[derive(Clone)]
+pub struct Fifo {
+    q: VecDeque<W>,
+    cap: usize,
+}
+
+impl Fifo {
+    /// An empty FIFO with capacity `cap`.
+    pub fn new(cap: usize) -> Fifo {
+        Fifo { q: VecDeque::with_capacity(cap), cap }
+    }
+
+    /// Whether a push would be accepted.
+    pub fn can_push(&self) -> bool {
+        self.q.len() < self.cap
+    }
+
+    /// Whether a pop would succeed.
+    pub fn can_pop(&self) -> bool {
+        !self.q.is_empty()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Push; returns false when full.
+    pub fn push(&mut self, w: W) -> bool {
+        if self.can_push() {
+            self.q.push_back(w);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the oldest entry.
+    pub fn pop(&mut self) -> Option<W> {
+        self.q.pop_front()
+    }
+
+    /// Peek at the oldest entry without removing it.
+    pub fn peek(&self) -> Option<W> {
+        self.q.front().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut f = Fifo::new(2);
+        assert!(f.push(W::pub32(1)));
+        assert!(f.push(W::pub32(2)));
+        assert!(!f.push(W::pub32(3)), "full");
+        assert_eq!(f.pop().unwrap().v, 1);
+        assert_eq!(f.peek().unwrap().v, 2);
+        assert_eq!(f.pop().unwrap().v, 2);
+        assert!(f.pop().is_none());
+    }
+}

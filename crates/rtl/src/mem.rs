@@ -1,0 +1,149 @@
+//! Word-addressed memories with taint tracking.
+
+use crate::value::W;
+
+/// A word-addressed memory of tainted 32-bit words (models RAM, FRAM, or
+/// an initialized ROM block).
+#[derive(Clone)]
+pub struct TaintMem {
+    words: Vec<W>,
+    /// Whether writes are permitted (false for ROM).
+    pub writable: bool,
+}
+
+impl TaintMem {
+    /// A zeroed writable memory with space for `bytes` bytes.
+    pub fn new(bytes: usize) -> TaintMem {
+        TaintMem { words: vec![W::default(); bytes.div_ceil(4)], writable: true }
+    }
+
+    /// A read-only memory initialized from a byte image (untainted).
+    pub fn rom(image: &[u8], bytes: usize) -> TaintMem {
+        let mut m = TaintMem::new(bytes.max(image.len()));
+        m.load_bytes(0, image, false);
+        m.writable = false;
+        m
+    }
+
+    /// Size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Bulk-load a byte image at a word-aligned offset with given taint.
+    pub fn load_bytes(&mut self, offset: usize, bytes: &[u8], taint: bool) {
+        assert_eq!(offset % 4, 0, "word-aligned offsets only");
+        for (i, chunk) in bytes.chunks(4).enumerate() {
+            let mut buf = [0u8; 4];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            // Partial trailing chunk keeps existing upper bytes.
+            let idx = offset / 4 + i;
+            if chunk.len() < 4 {
+                let old = self.words[idx].v.to_le_bytes();
+                buf[chunk.len()..].copy_from_slice(&old[chunk.len()..]);
+            }
+            self.words[idx] = W { v: u32::from_le_bytes(buf), t: taint };
+        }
+    }
+
+    /// Dump `len` bytes starting at a word-aligned offset (values only).
+    pub fn dump_bytes(&self, offset: usize, len: usize) -> Vec<u8> {
+        assert_eq!(offset % 4, 0);
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let w = self.words[(offset + i) / 4];
+            out.push((w.v >> (8 * ((offset + i) % 4))) as u8);
+        }
+        out
+    }
+
+    /// Read the word containing byte offset `off` (must be in range).
+    pub fn read_word(&self, off: u32) -> W {
+        self.words[(off / 4) as usize]
+    }
+
+    /// Write a word with a byte-lane mask (bit i of `mask` enables byte i).
+    pub fn write_word(&mut self, off: u32, val: W, mask: u8) {
+        if !self.writable {
+            return;
+        }
+        let idx = (off / 4) as usize;
+        let old = self.words[idx];
+        if mask == 0xF {
+            self.words[idx] = val;
+            return;
+        }
+        let mut v = old.v;
+        for lane in 0..4 {
+            if mask & (1 << lane) != 0 {
+                let sh = 8 * lane;
+                v = (v & !(0xFF << sh)) | (val.v & (0xFF << sh));
+            }
+        }
+        // A partial write mixes old and new data: join taints.
+        self.words[idx] = W { v, t: old.t || val.t };
+    }
+
+    /// Whether any word in the given byte range is tainted.
+    pub fn any_tainted(&self, offset: usize, len: usize) -> bool {
+        self.words[offset / 4..(offset + len).div_ceil(4)].iter().any(|w| w.t)
+    }
+
+    /// Set the taint of a byte range (word granularity).
+    pub fn set_taint(&mut self, offset: usize, len: usize, taint: bool) {
+        for w in &mut self.words[offset / 4..(offset + len).div_ceil(4)] {
+            w.t = taint;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_dump_roundtrip() {
+        let mut m = TaintMem::new(64);
+        m.load_bytes(8, &[1, 2, 3, 4, 5], false);
+        assert_eq!(m.dump_bytes(8, 5), vec![1, 2, 3, 4, 5]);
+        assert_eq!(m.dump_bytes(12, 4), vec![5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn byte_lane_writes() {
+        let mut m = TaintMem::new(16);
+        m.write_word(0, W::pub32(0xAABBCCDD), 0xF);
+        m.write_word(0, W::pub32(0x0000_0011), 0x1);
+        assert_eq!(m.read_word(0).v, 0xAABBCC11);
+        m.write_word(0, W::pub32(0x2200_0000), 0x8);
+        assert_eq!(m.read_word(0).v, 0x22BBCC11);
+    }
+
+    #[test]
+    fn rom_ignores_writes() {
+        let mut m = TaintMem::rom(&[1, 2, 3, 4], 16);
+        m.write_word(0, W::pub32(0xFFFF_FFFF), 0xF);
+        assert_eq!(m.read_word(0).v, 0x04030201);
+    }
+
+    #[test]
+    fn taint_on_partial_write_joins() {
+        let mut m = TaintMem::new(16);
+        m.write_word(0, W::secret(0xFFFF_FFFF), 0xF);
+        m.write_word(0, W::pub32(0x11), 0x1);
+        assert!(m.read_word(0).t, "old secret bytes remain in the word");
+        m.write_word(0, W::pub32(0), 0xF);
+        assert!(!m.read_word(0).t);
+    }
+
+    #[test]
+    fn taint_ranges() {
+        let mut m = TaintMem::new(64);
+        m.set_taint(16, 8, true);
+        assert!(m.any_tainted(16, 8));
+        assert!(!m.any_tainted(0, 16));
+        assert!(m.any_tainted(20, 4));
+        m.set_taint(16, 8, false);
+        assert!(!m.any_tainted(0, 64));
+    }
+}

@@ -1,0 +1,95 @@
+//! Tainted 32-bit words.
+
+use std::ops;
+
+/// A 32-bit hardware word carrying a taint bit.
+///
+/// Taint marks data derived from HSM secrets (the persistent state).
+/// Taint propagates through every data operation; it stands in for the
+/// symbolic variables Knox2 would track. A word-granularity bit is a
+/// sound over-approximation of bit-level flows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct W {
+    /// The value.
+    pub v: u32,
+    /// Whether the value (possibly) depends on secret data.
+    pub t: bool,
+}
+
+impl W {
+    /// An untainted (public) word.
+    pub fn pub32(v: u32) -> W {
+        W { v, t: false }
+    }
+
+    /// A tainted (secret-derived) word.
+    pub fn secret(v: u32) -> W {
+        W { v, t: true }
+    }
+
+    /// Apply a binary operation, joining taints.
+    pub fn bin(self, other: W, f: impl Fn(u32, u32) -> u32) -> W {
+        W { v: f(self.v, other.v), t: self.t || other.t }
+    }
+
+    /// Apply a unary operation, preserving taint.
+    pub fn map(self, f: impl Fn(u32) -> u32) -> W {
+        W { v: f(self.v), t: self.t }
+    }
+}
+
+impl ops::BitAnd for W {
+    type Output = W;
+    fn bitand(self, rhs: W) -> W {
+        self.bin(rhs, |a, b| a & b)
+    }
+}
+
+impl ops::BitOr for W {
+    type Output = W;
+    fn bitor(self, rhs: W) -> W {
+        self.bin(rhs, |a, b| a | b)
+    }
+}
+
+impl ops::BitXor for W {
+    type Output = W;
+    fn bitxor(self, rhs: W) -> W {
+        self.bin(rhs, |a, b| a ^ b)
+    }
+}
+
+impl ops::Add for W {
+    type Output = W;
+    fn add(self, rhs: W) -> W {
+        self.bin(rhs, u32::wrapping_add)
+    }
+}
+
+impl ops::Sub for W {
+    type Output = W;
+    fn sub(self, rhs: W) -> W {
+        self.bin(rhs, u32::wrapping_sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taint_propagates() {
+        let a = W::secret(1);
+        let b = W::pub32(2);
+        assert!((a + b).t);
+        assert!(!(b + b).t);
+        assert_eq!((a + b).v, 3);
+        assert!((a ^ a).t, "taint is syntactic, not semantic");
+    }
+
+    #[test]
+    fn map_keeps_taint() {
+        assert!(W::secret(4).map(|x| x << 1).t);
+        assert_eq!(W::pub32(4).map(|x| x << 1).v, 8);
+    }
+}

@@ -1,0 +1,396 @@
+//! The Starling verification driver.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use parfait::lockstep::{
+    check_codec_inverse, check_lockstep_simulation, Codec, LockstepDriver, LockstepEmulator,
+};
+use parfait::world::{check_ipr, Op};
+use parfait::StateMachine;
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::ir::lower;
+use parfait_littlec::validate::asm_machine;
+
+use crate::machines::{AsmMachine, InterpMachine, IrMachine};
+
+/// Configuration for a Starling verification run.
+pub struct StarlingConfig {
+    /// Buffer sizes of the application.
+    pub state_size: usize,
+    /// Command buffer size.
+    pub command_size: usize,
+    /// Response buffer size.
+    pub response_size: usize,
+    /// How many adversarial (mutated/garbage) inputs to generate.
+    pub adversarial_inputs: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Optimization levels to validate the compiler pipeline at.
+    pub opt_levels: Vec<OptLevel>,
+}
+
+impl Default for StarlingConfig {
+    fn default() -> Self {
+        StarlingConfig {
+            state_size: 0,
+            command_size: 0,
+            response_size: 0,
+            adversarial_inputs: 16,
+            seed: 0x5747_4C31, // "STGL1"
+            opt_levels: vec![OptLevel::O0, OptLevel::O1, OptLevel::O2],
+        }
+    }
+}
+
+/// Summary of a successful verification run (effort numbers for
+/// Table 3).
+#[derive(Clone, Debug, Default)]
+pub struct StarlingReport {
+    /// Lockstep (state, input) pairs checked.
+    pub lockstep_cases: usize,
+    /// Translation-validation executions across levels.
+    pub validation_cases: usize,
+    /// IPR world-equivalence operations checked.
+    pub ipr_operations: usize,
+}
+
+/// A Starling verification failure.
+#[derive(Debug)]
+pub enum StarlingError {
+    /// Front-end or compiler error.
+    Build(String),
+    /// A lockstep obligation failed.
+    Lockstep(parfait::lockstep::LockstepViolation),
+    /// The compiler pipeline levels disagree.
+    Translation(String),
+    /// The two worlds diverged.
+    Ipr(String),
+}
+
+impl std::fmt::Display for StarlingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StarlingError::Build(e) => write!(f, "build failed: {e}"),
+            StarlingError::Lockstep(v) => write!(f, "{v}"),
+            StarlingError::Translation(e) => write!(f, "translation validation failed: {e}"),
+            StarlingError::Ipr(e) => write!(f, "IPR check failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StarlingError {}
+
+/// Verify an application: spec ≈ littlec `handle` (lockstep), littlec
+/// levels pairwise equivalent (translation validation), and spec ≈ asm
+/// end-to-end (world equivalence).
+///
+/// * `spec`, `codec` — the app developer's specification and encodings;
+/// * `app_source` — littlec source providing `handle`;
+/// * `spec_states` — reachable spec states to check from;
+/// * `spec_commands` — spec commands whose encodings seed the input set;
+/// * `spec_responses` — sample responses for codec inversion.
+pub fn verify_app<C>(
+    codec: &C,
+    spec: &C::Spec,
+    app_source: &str,
+    config: &StarlingConfig,
+    spec_states: &[<C::Spec as StateMachine>::State],
+    spec_commands: &[<C::Spec as StateMachine>::Command],
+    spec_responses: &[<C::Spec as StateMachine>::Response],
+) -> Result<StarlingReport, StarlingError>
+where
+    C: Codec<CI = Vec<u8>, RI = Vec<u8>, SI = Vec<u8>>,
+    <C::Spec as StateMachine>::Command: Clone + PartialEq + std::fmt::Debug,
+    <C::Spec as StateMachine>::State: Clone,
+{
+    let mut report = StarlingReport::default();
+    // Obligation 1: codec inversion.
+    check_codec_inverse(codec, spec_commands, spec_responses)
+        .map_err(StarlingError::Lockstep)?;
+
+    // Build the input set: encoded valid commands + adversarial inputs.
+    let mut inputs: Vec<Vec<u8>> = spec_commands.iter().map(|c| codec.encode_command(c)).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for _ in 0..config.adversarial_inputs {
+        let mut buf = vec![0u8; config.command_size];
+        rng.fill(&mut buf[..]);
+        inputs.push(buf);
+    }
+    // Mutations of valid commands (bit flips), which often hit the
+    // decode boundary cases.
+    for c in spec_commands {
+        let mut enc = codec.encode_command(c);
+        let i = rng.random_range(0..enc.len());
+        enc[i] ^= 1 << rng.random_range(0..8);
+        inputs.push(enc);
+    }
+
+    // Build the littlec levels.
+    let program =
+        parfait_littlec::frontend(app_source).map_err(|e| StarlingError::Build(e.to_string()))?;
+    let interp = InterpMachine::new(&program, config.response_size);
+    let ir = lower(&program).map_err(|e| StarlingError::Build(e.to_string()))?;
+    let irm = IrMachine::new(&ir, config.response_size);
+
+    // Obligation 2: lockstep simulation at the interp (Low*) level.
+    check_lockstep_simulation(codec, spec, &interp, spec_states, &inputs)
+        .map_err(StarlingError::Lockstep)?;
+    report.lockstep_cases = spec_states.len() * inputs.len();
+
+    // Obligation 3: translation validation across the pipeline.
+    for opt in &config.opt_levels {
+        let asm = asm_machine(
+            &program,
+            *opt,
+            config.state_size,
+            config.command_size,
+            config.response_size,
+        )
+        .map_err(|e| StarlingError::Build(e.to_string()))?;
+        let asmm = AsmMachine::new(asm);
+        for st in spec_states {
+            let si = codec.encode_state(st);
+            for input in &inputs {
+                let a = interp.step(&si, input);
+                let b = irm.step(&si, input);
+                if a != b {
+                    return Err(StarlingError::Translation(format!(
+                        "interp vs IR diverge on input {input:02x?}"
+                    )));
+                }
+                let c = asmm.step(&si, input);
+                if a != c {
+                    return Err(StarlingError::Translation(format!(
+                        "IR vs asm ({opt}) diverge on input {input:02x?}"
+                    )));
+                }
+                report.validation_cases += 2;
+            }
+        }
+    }
+
+    // Obligation 4: end-to-end IPR between spec and the O2 assembly with
+    // the lockstep-derived driver/emulator, over a mixed adversarial
+    // trace.
+    let asm = asm_machine(
+        &program,
+        OptLevel::O2,
+        config.state_size,
+        config.command_size,
+        config.response_size,
+    )
+    .map_err(|e| StarlingError::Build(e.to_string()))?;
+    let asmm = AsmWithInit { inner: AsmMachine::new(asm), init: codec.encode_state(&spec.init()) };
+    let spec_with_init = SpecRef(spec);
+    let driver = LockstepDriver(codec);
+    let mut emu = LockstepEmulator(codec);
+    let mut ops: Vec<Op<<C::Spec as StateMachine>::Command, Vec<u8>>> = Vec::new();
+    for (i, c) in spec_commands.iter().enumerate() {
+        ops.push(Op::Spec(c.clone()));
+        if let Some(adv) = inputs.get(spec_commands.len() + i) {
+            ops.push(Op::Impl(adv.clone()));
+        }
+    }
+    for adv in inputs.iter().skip(spec_commands.len()) {
+        ops.push(Op::Impl(adv.clone()));
+    }
+    report.ipr_operations = ops.len();
+    check_ipr(&spec_with_init, &asmm, &driver, &mut emu, &ops)
+        .map_err(|ce| StarlingError::Ipr(ce.to_string()))?;
+    Ok(report)
+}
+
+/// Adapter fixing the asm machine's initial state to the encoded spec
+/// initial state.
+struct AsmWithInit {
+    inner: AsmMachine,
+    init: Vec<u8>,
+}
+
+impl StateMachine for AsmWithInit {
+    type State = Vec<u8>;
+    type Command = Vec<u8>;
+    type Response = Vec<u8>;
+
+    fn init(&self) -> Vec<u8> {
+        self.init.clone()
+    }
+
+    fn step(&self, s: &Vec<u8>, c: &Vec<u8>) -> (Vec<u8>, Vec<u8>) {
+        self.inner.step(s, c)
+    }
+}
+
+/// A by-reference spec wrapper (the generic checker takes machines by
+/// value reference).
+struct SpecRef<'a, M>(&'a M);
+
+impl<M: StateMachine> StateMachine for SpecRef<'_, M> {
+    type State = M::State;
+    type Command = M::Command;
+    type Response = M::Response;
+
+    fn init(&self) -> M::State {
+        self.0.init()
+    }
+
+    fn step(&self, s: &M::State, c: &M::Command) -> (M::State, M::Response) {
+        self.0.step(s, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfait::machine::examples::CounterCmd;
+    use parfait::machine::FnMachine;
+
+    /// A littlec counter `handle`: state 4 bytes LE; commands as in the
+    /// theory-crate examples but sized: [tag, le32] = 5 bytes; response
+    /// 4 bytes.
+    const COUNTER_LC: &str = "
+        void handle(u8* state, u8* cmd, u8* resp) {
+            u32* s = (u32*)state;
+            u32* r = (u32*)resp;
+            u32 arg = cmd[1] | (cmd[2] << 8) | (cmd[3] << 16) | (cmd[4] << 24);
+            if (cmd[0] == 1) {
+                s[0] = s[0] + arg;
+                r[0] = 0;
+                return;
+            }
+            if (cmd[0] == 2) {
+                if (arg == 0) {
+                    r[0] = s[0];
+                    return;
+                }
+            }
+            r[0] = 0xffffffff;
+        }
+    ";
+
+    struct CounterCodec;
+
+    impl Codec for CounterCodec {
+        type Spec = FnMachine<u32, CounterCmd, u32>;
+        type CI = Vec<u8>;
+        type RI = Vec<u8>;
+        type SI = Vec<u8>;
+
+        fn encode_command(&self, c: &CounterCmd) -> Vec<u8> {
+            match c {
+                CounterCmd::Add(n) => {
+                    let mut b = vec![1];
+                    b.extend_from_slice(&n.to_le_bytes());
+                    b
+                }
+                CounterCmd::Get => vec![2, 0, 0, 0, 0],
+            }
+        }
+        fn decode_command(&self, c: &Vec<u8>) -> Option<CounterCmd> {
+            if c.len() != 5 {
+                return None;
+            }
+            let arg = u32::from_le_bytes([c[1], c[2], c[3], c[4]]);
+            match c[0] {
+                1 => Some(CounterCmd::Add(arg)),
+                2 if arg == 0 => Some(CounterCmd::Get),
+                _ => None,
+            }
+        }
+        fn encode_response(&self, r: Option<&u32>) -> Vec<u8> {
+            match r {
+                Some(v) => v.to_le_bytes().to_vec(),
+                None => vec![0xFF; 4],
+            }
+        }
+        fn decode_response(&self, r: &Vec<u8>) -> u32 {
+            u32::from_le_bytes([r[0], r[1], r[2], r[3]])
+        }
+        fn encode_state(&self, s: &u32) -> Vec<u8> {
+            s.to_le_bytes().to_vec()
+        }
+    }
+
+    fn counter_spec() -> FnMachine<u32, CounterCmd, u32> {
+        parfait::machine::examples::counter_spec()
+    }
+
+    fn config() -> StarlingConfig {
+        StarlingConfig {
+            state_size: 4,
+            command_size: 5,
+            response_size: 4,
+            ..StarlingConfig::default()
+        }
+    }
+
+    #[test]
+    fn verifies_correct_counter() {
+        let report = verify_app(
+            &CounterCodec,
+            &counter_spec(),
+            COUNTER_LC,
+            &config(),
+            &[0, 1, 41, u32::MAX],
+            &[CounterCmd::Add(0), CounterCmd::Add(7), CounterCmd::Get],
+            &[0, 7, u32::MAX],
+        )
+        .unwrap();
+        assert!(report.lockstep_cases > 0);
+        assert!(report.validation_cases > 0);
+        assert!(report.ipr_operations > 0);
+    }
+
+    #[test]
+    fn catches_state_leak_on_invalid_input() {
+        // Bug: the error path leaks the counter value (the paper's
+        // "software-level leakage" bug class, §7.2).
+        let leaky = COUNTER_LC.replace("r[0] = 0xffffffff;", "r[0] = s[0];");
+        let err = verify_app(
+            &CounterCodec,
+            &counter_spec(),
+            &leaky,
+            &config(),
+            &[41],
+            &[CounterCmd::Add(1)],
+            &[0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StarlingError::Lockstep(_)), "{err}");
+    }
+
+    #[test]
+    fn catches_logic_bug() {
+        // Bug: Add is off by one (the "software logic bug" class).
+        let buggy = COUNTER_LC.replace("s[0] = s[0] + arg;", "s[0] = s[0] + arg + 1;");
+        let err = verify_app(
+            &CounterCodec,
+            &counter_spec(),
+            &buggy,
+            &config(),
+            &[0, 5],
+            &[CounterCmd::Add(3), CounterCmd::Get],
+            &[0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StarlingError::Lockstep(_)), "{err}");
+    }
+
+    #[test]
+    fn catches_state_mutation_on_invalid_input() {
+        // Bug: invalid commands clobber the state.
+        let buggy = COUNTER_LC.replace("r[0] = 0xffffffff;", "s[0] = 0; r[0] = 0xffffffff;");
+        let err = verify_app(
+            &CounterCodec,
+            &counter_spec(),
+            &buggy,
+            &config(),
+            &[9],
+            &[CounterCmd::Get],
+            &[0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StarlingError::Lockstep(_)), "{err}");
+    }
+}

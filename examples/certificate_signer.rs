@@ -1,0 +1,120 @@
+//! A miniature certificate authority backed by the ECDSA-signing HSM —
+//! the paper's motivating application (§1: "single-function devices
+//! intended to perform security-critical operations such as ECDSA
+//! public-key signatures").
+//!
+//! The CA keeps its signing key inside the HSM; the host only ever sees
+//! certificate hashes and signatures. Certificates are verified against
+//! the CA public key with the specification-level crypto library.
+//!
+//! ```sh
+//! cargo run --release --example certificate_signer
+//! ```
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_crypto::ecdsa::public_key;
+use parfait_crypto::{ecdsa_p256_verify, sha256, Signature};
+use parfait_hsms::ecdsa::{
+    EcdsaCodec, EcdsaCommand, EcdsaResponse, EcdsaSpec, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
+use parfait_hsms::firmware::ecdsa_app_source;
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_knox2::WireDriver;
+use parfait_littlec::codegen::OptLevel;
+use parfait_rtl::Circuit;
+
+/// A toy certificate: subject + public-key fingerprint + validity.
+struct Certificate {
+    subject: String,
+    key_fingerprint: [u8; 32],
+    not_after: u64,
+}
+
+impl Certificate {
+    /// The to-be-signed hash (the `NoHash` pre-hash the HSM consumes).
+    fn tbs_hash(&self) -> [u8; 32] {
+        let mut tbs = Vec::new();
+        tbs.extend_from_slice(self.subject.as_bytes());
+        tbs.extend_from_slice(&self.key_fingerprint);
+        tbs.extend_from_slice(&self.not_after.to_be_bytes());
+        sha256(&tbs)
+    }
+}
+
+fn main() {
+    println!("building the ECDSA certificate-signing HSM firmware...");
+    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
+    let firmware = build_firmware(&ecdsa_app_source(), sizes, OptLevel::O2).unwrap();
+
+    let spec = EcdsaSpec;
+    let codec = EcdsaCodec;
+    let mut spec_state = spec.init();
+    let mut soc = make_soc(Cpu::Ibex, firmware, &codec.encode_state(&spec_state));
+    let wire = WireDriver::new(COMMAND_SIZE, RESPONSE_SIZE);
+
+    // Provision the CA: the signing key enters the HSM once, at
+    // initialization, and can never be read back out (there is no such
+    // command in the 40-line spec — that *is* the security argument).
+    let sig_key = *b"ca-signing-key-0123456789abcdef!";
+    let prf_key = *b"nonce-prf-key-0123456789abcdef!!";
+    let init = EcdsaCommand::Initialize { prf_key, sig_key };
+    let resp = wire.run(&mut soc, &codec.encode_command(&init)).unwrap();
+    let (s2, want) = spec.step(&spec_state, &init);
+    spec_state = s2;
+    assert_eq!(codec.decode_response(&resp), want);
+    println!("CA provisioned (the key now lives only in FRAM)");
+
+    // Fetch the CA public key FROM THE DEVICE (GetPublicKey command) and
+    // cross-check it against the library derivation.
+    let resp = wire
+        .run(&mut soc, &codec.encode_command(&EcdsaCommand::GetPublicKey))
+        .unwrap();
+    let EcdsaResponse::PublicKey(Some(q)) = codec.decode_response(&resp) else {
+        panic!("device must export its public key");
+    };
+    let ca_pub = public_key(&sig_key).expect("valid CA key");
+    let mut expect = [0u8; 64];
+    expect[..32].copy_from_slice(&parfait_crypto::bignum::to_be_bytes(&ca_pub.0));
+    expect[32..].copy_from_slice(&parfait_crypto::bignum::to_be_bytes(&ca_pub.1));
+    assert_eq!(q, expect, "device-exported key matches the derivation");
+    println!("CA public key exported from the device ({} bytes)", q.len());
+
+    let certs = [
+        Certificate {
+            subject: "CN=alice.example.org".into(),
+            key_fingerprint: sha256(b"alice-public-key"),
+            not_after: 1_893_456_000,
+        },
+        Certificate {
+            subject: "CN=bob.example.org".into(),
+            key_fingerprint: sha256(b"bob-public-key"),
+            not_after: 1_893_456_000,
+        },
+    ];
+
+    for cert in &certs {
+        let msg = cert.tbs_hash();
+        let cmd = EcdsaCommand::Sign { msg };
+        let t0 = soc.cycles();
+        let resp_bytes = wire.run(&mut soc, &codec.encode_command(&cmd)).unwrap();
+        let resp = codec.decode_response(&resp_bytes);
+        let (s2, want) = spec.step(&spec_state, &cmd);
+        spec_state = s2;
+        assert_eq!(resp, want, "SoC signature matches the specification");
+        let EcdsaResponse::Signature(Some(sig)) = resp else {
+            panic!("expected a signature");
+        };
+        // Anyone can verify against the CA public key.
+        let ok = ecdsa_p256_verify(&msg, &ca_pub, &Signature::from_bytes(&sig).unwrap());
+        assert!(ok);
+        println!(
+            "issued certificate for {} ({} SoC cycles, signature verifies)",
+            cert.subject,
+            soc.cycles() - t0
+        );
+    }
+
+    assert!(soc.core.leaks().is_empty());
+    println!("\n2 certificates issued; CA key never left the device");
+}

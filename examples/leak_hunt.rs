@@ -1,0 +1,78 @@
+//! Leak hunt: plant a timing side channel in the HSM firmware and watch
+//! the Knox2 verification catch it — the paper's §8.1 development-cycle
+//! story ("Knox2 verification will fail with a mismatch between the real
+//! circuit's execution and the emulator's execution ... this will
+//! generally reveal non-constant-time code, such as `if (secret) ...`").
+//!
+//! ```sh
+//! cargo run --release --example leak_hunt
+//! ```
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{
+    HasherCodec, HasherCommand, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::syssw;
+use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::validate::asm_machine;
+use parfait_soc::Soc;
+
+fn verify(app_source: &str, label: &str) {
+    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
+    let fw = build_firmware(app_source, sizes, OptLevel::O2).unwrap();
+    let program = parfait_littlec::frontend(app_source).unwrap();
+    let spec =
+        asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
+    let codec = HasherCodec;
+    let secret = codec.encode_state(&HasherState { secret: *b"the-secret-the-adversary-wants!!" });
+    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret);
+    let dummy_soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&HasherSpec.init()));
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret, COMMAND_SIZE);
+    let cfg = FpsConfig {
+        command_size: COMMAND_SIZE,
+        response_size: RESPONSE_SIZE,
+        timeout: 50_000_000,
+        state_size: STATE_SIZE,
+    };
+    let project =
+        |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE);
+    let script = vec![HostOp::Command(
+        codec.encode_command(&HasherCommand::Hash { message: [0x11; 32] }),
+    )];
+    print!("{label}: ");
+    match check_fps(&mut real, &mut emu, &cfg, &project, &script) {
+        Ok(report) => println!(
+            "VERIFIED — {} cycles, wire trace of the real device is cycle-identical \
+             to the emulator's (which never saw the secret)",
+            report.cycles
+        ),
+        Err(e) => println!("LEAK FOUND — {e}"),
+    }
+}
+
+fn main() {
+    // The shipped firmware is leakage-free.
+    verify(&hasher_app_source(), "clean firmware      ");
+
+    // Bug 1: an "optimization" that skips work when the first secret
+    // byte is zero — a textbook secret-dependent branch.
+    let branchy = hasher_app_source().replace(
+        "u8 digest[32];",
+        "if (state[0] == 0) { resp[0] = 2; return; }\n        u8 digest[32];",
+    );
+    assert_ne!(branchy, hasher_app_source());
+    verify(&branchy, "secret-branch bug   ");
+
+    // Bug 2: a data-dependent divide on the secret — the hardware's
+    // iterative divider takes a different number of cycles per value.
+    let divy = hasher_app_source().replace(
+        "u8 digest[32];",
+        "u32 pace = (state[0] + 1) / (cmd[1] | 1);\n        resp[0] = (u8)(resp[0] + 0 * pace);\n        u8 digest[32];",
+    );
+    assert_ne!(divy, hasher_app_source());
+    verify(&divy, "variable-latency bug");
+}

@@ -1,0 +1,25 @@
+//! parfait-repro — umbrella crate for the Parfait (SOSP 2024)
+//! reproduction.
+//!
+//! Re-exports every subsystem so examples, integration tests, and
+//! downstream users can depend on a single crate:
+//!
+//! * [`ipr`] — the theory of information-preserving refinement;
+//! * [`riscv`] — RV32IM ISA, assembler, and the Riscette machine;
+//! * [`littlec`] — the C-like language and compiler pipeline;
+//! * [`crypto`] — SHA-256, BLAKE2s, HMAC, P-256 ECDSA;
+//! * [`rtl`] / [`cores`] / [`soc`] — cycle-accurate hardware;
+//! * [`starling`] — software verification (IPR by lockstep);
+//! * [`knox2`] — hardware verification (functional-physical simulation);
+//! * [`hsms`] — the four case-study HSMs.
+
+pub use parfait as ipr;
+pub use parfait_cores as cores;
+pub use parfait_crypto as crypto;
+pub use parfait_hsms as hsms;
+pub use parfait_knox2 as knox2;
+pub use parfait_littlec as littlec;
+pub use parfait_riscv as riscv;
+pub use parfait_rtl as rtl;
+pub use parfait_soc as soc;
+pub use parfait_starling as starling;

@@ -1,0 +1,384 @@
+//! The §7.2 attack catalog: one seeded bug per class, each caught by
+//! the verification layer the paper says catches it.
+//!
+//! | Bug class                          | Caught by        | Test |
+//! |------------------------------------|------------------|------|
+//! | Software logic bug                 | Starling lockstep| `logic_bug_*` |
+//! | Buffer overflow                    | Low\* memory safety | `buffer_overflow_*` |
+//! | Software-level leakage (error path)| Starling lockstep| `error_leak_*` |
+//! | Timing leak (branch on secret)     | Knox2 FPS        | `secret_branch_*` (and knox2_hasher.rs) |
+//! | Compiler-introduced timing leak    | Knox2 FPS        | `compiler_timing_*` |
+//! | HW variable-latency on secret      | Knox2 FPS/taint  | `variable_latency_*` |
+//! | Stack overflow                     | Knox2 (bounded stack) | `stack_overflow_*` |
+//! | I/O bug in system software         | Knox2 FPS (spec binding) | `io_encoding_*` |
+//! | Pipeline hazard in CPU             | Knox2 sync       | knox2_sync.rs |
+//!
+//! The tests use a deliberately tiny "token counter" HSM so that each
+//! SoC run takes only thousands of cycles.
+
+use parfait::lockstep::{check_lockstep_simulation, Codec};
+use parfait::machine::FnMachine;
+use parfait_hsms::platform::{build_firmware_parts, make_soc, Cpu};
+use parfait_hsms::syssw;
+use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, FpsError, HostOp};
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::validate::asm_machine;
+use parfait_soc::Soc;
+
+// ---------------------------------------------------------------------
+// The token HSM: state = [secret(4 LE), counter(4 LE)]; commands are
+// [tag, arg(4 LE)]:
+//   tag 1: set secret := arg           → resp [1, 0...]
+//   tag 2: counter += arg              → resp [2, counter]
+//   tag 3: prove knowledge: resp [3, (secret*2654435761 + counter) ^ arg]
+//   else:  resp [0xff, 0...]
+// ---------------------------------------------------------------------
+
+const STATE: usize = 8;
+const CMD: usize = 5;
+const RESP: usize = 5;
+
+const TOKEN_LC: &str = "
+    u32 ld32(u8* p) {
+        return p[0] | (p[1] << 8) | (p[2] << 16) | (p[3] << 24);
+    }
+    void st32(u8* p, u32 v) {
+        p[0] = (u8)v;
+        p[1] = (u8)(v >> 8);
+        p[2] = (u8)(v >> 16);
+        p[3] = (u8)(v >> 24);
+    }
+    void handle(u8* state, u8* cmd, u8* resp) {
+        for (u32 i = 0; i < 5; i = i + 1) { resp[i] = 0; }
+        u32 arg = ld32(cmd + 1);
+        u32 tag = cmd[0];
+        if (tag == 1) {
+            st32(state, arg);
+            resp[0] = 1;
+            return;
+        }
+        if (tag == 2) {
+            u32 c = ld32(state + 4) + arg;
+            st32(state + 4, c);
+            resp[0] = 2;
+            st32(resp + 1, c);
+            return;
+        }
+        if (tag == 3) {
+            u32 secret = ld32(state);
+            u32 c = ld32(state + 4);
+            resp[0] = 3;
+            st32(resp + 1, (secret * 2654435761 + c) ^ arg);
+            return;
+        }
+        resp[0] = 0xff;
+    }
+";
+
+/// The token spec as a state machine over (secret, counter).
+fn token_spec() -> FnMachine<(u32, u32), Vec<u8>, Vec<u8>> {
+    FnMachine {
+        init: (0, 0),
+        step: |s, c| {
+            let mut resp = vec![0u8; RESP];
+            if c.len() != CMD {
+                resp[0] = 0xFF;
+                return (*s, resp);
+            }
+            let arg = u32::from_le_bytes([c[1], c[2], c[3], c[4]]);
+            match c[0] {
+                1 => {
+                    resp[0] = 1;
+                    ((arg, s.1), resp)
+                }
+                2 => {
+                    let c2 = s.1.wrapping_add(arg);
+                    resp[0] = 2;
+                    resp[1..5].copy_from_slice(&c2.to_le_bytes());
+                    ((s.0, c2), resp)
+                }
+                3 => {
+                    resp[0] = 3;
+                    let v = s.0.wrapping_mul(2654435761).wrapping_add(s.1) ^ arg;
+                    resp[1..5].copy_from_slice(&v.to_le_bytes());
+                    (*s, resp)
+                }
+                _ => {
+                    resp[0] = 0xFF;
+                    (*s, resp)
+                }
+            }
+        },
+    }
+}
+
+struct TokenCodec;
+
+impl Codec for TokenCodec {
+    type Spec = FnMachine<(u32, u32), Vec<u8>, Vec<u8>>;
+    type CI = Vec<u8>;
+    type RI = Vec<u8>;
+    type SI = Vec<u8>;
+
+    fn encode_command(&self, c: &Vec<u8>) -> Vec<u8> {
+        c.clone()
+    }
+    fn decode_command(&self, c: &Vec<u8>) -> Option<Vec<u8>> {
+        (c.len() == CMD && matches!(c[0], 1 | 2 | 3)).then(|| c.clone())
+    }
+    fn encode_response(&self, r: Option<&Vec<u8>>) -> Vec<u8> {
+        match r {
+            Some(v) => v.clone(),
+            None => {
+                let mut e = vec![0u8; RESP];
+                e[0] = 0xFF;
+                e
+            }
+        }
+    }
+    fn decode_response(&self, r: &Vec<u8>) -> Vec<u8> {
+        r.clone()
+    }
+    fn encode_state(&self, s: &(u32, u32)) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8);
+        out.extend_from_slice(&s.0.to_le_bytes());
+        out.extend_from_slice(&s.1.to_le_bytes());
+        out
+    }
+}
+
+fn cfg() -> FpsConfig {
+    FpsConfig { command_size: CMD, response_size: RESP, timeout: 5_000_000, state_size: STATE }
+}
+
+fn project(soc: &Soc) -> Vec<u8> {
+    syssw::active_state(&soc.fram_bytes(0, 64), STATE)
+}
+
+fn cmd(tag: u8, arg: u32) -> Vec<u8> {
+    let mut c = vec![tag];
+    c.extend_from_slice(&arg.to_le_bytes());
+    c
+}
+
+/// Run the FPS check for the given app source (and optional syssw/asm
+/// tampering) against the CORRECT app's assembly spec.
+fn run_fps_with(
+    app_source: &str,
+    syssw_src: Option<&str>,
+    patch: impl FnOnce(String) -> String,
+    script: &[HostOp],
+) -> Result<parfait_knox2::FpsReport, FpsError> {
+    let default_syssw = syssw::syssw_source(STATE, CMD, RESP);
+    let fw = build_firmware_parts(
+        app_source,
+        syssw_src.unwrap_or(&default_syssw),
+        OptLevel::O2,
+        patch,
+    )
+    .unwrap();
+    // Spec: the clean token app at the assembly level.
+    let clean = parfait_littlec::frontend(TOKEN_LC).unwrap();
+    let spec = asm_machine(&clean, OptLevel::O2, STATE, CMD, RESP).unwrap();
+    let secret_state = TokenCodec.encode_state(&(0xDEAD_BEEF, 7));
+    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret_state);
+    let dummy = TokenCodec.encode_state(&(0, 0));
+    let dummy_soc = make_soc(Cpu::Ibex, fw, &dummy);
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret_state, CMD);
+    check_fps(&mut real, &mut emu, &cfg(), &project, script)
+}
+
+fn standard_script() -> Vec<HostOp> {
+    vec![
+        HostOp::Command(cmd(3, 5)),      // prove (touches the secret)
+        HostOp::Command(cmd(2, 10)),     // bump counter
+        HostOp::Command(cmd(0xEE, 0)),   // invalid
+        HostOp::Command(cmd(3, 0)),
+    ]
+}
+
+// --- baseline -----------------------------------------------------------
+
+#[test]
+fn clean_token_hsm_passes_everything() {
+    // Starling lockstep.
+    let spec = token_spec();
+    let program = parfait_littlec::frontend(TOKEN_LC).unwrap();
+    let interp = parfait_starling::machines::InterpMachine::new(&program, RESP);
+    // Physically, commands are always exactly CMD bytes (the system
+    // software reads fixed-size buffers), so lockstep inputs are too.
+    let inputs: Vec<Vec<u8>> =
+        vec![cmd(1, 5), cmd(2, 3), cmd(3, 9), cmd(9, 1), cmd(0, 0), vec![0xFF; CMD]];
+    check_lockstep_simulation(&TokenCodec, &spec, &interp, &[(0, 0), (0xAA55, 3)], &inputs)
+        .unwrap();
+    // Knox2 FPS.
+    let report = run_fps_with(TOKEN_LC, None, |a| a, &standard_script()).unwrap();
+    assert_eq!(report.commands, 4);
+}
+
+// --- software logic bug (Starling) ---------------------------------------
+
+#[test]
+fn logic_bug_caught_by_starling() {
+    // Counter bumps by arg+1.
+    let buggy = TOKEN_LC.replace("ld32(state + 4) + arg", "ld32(state + 4) + arg + 1");
+    assert_ne!(buggy, TOKEN_LC);
+    let program = parfait_littlec::frontend(&buggy).unwrap();
+    let interp = parfait_starling::machines::InterpMachine::new(&program, RESP);
+    let err = check_lockstep_simulation(
+        &TokenCodec,
+        &token_spec(),
+        &interp,
+        &[(0, 0)],
+        &[cmd(2, 3)],
+    )
+    .unwrap_err();
+    assert!(err.obligation.contains("Some"), "{err}");
+}
+
+// --- buffer overflow (Low* memory safety) --------------------------------
+
+#[test]
+fn buffer_overflow_caught_at_lowstar_level() {
+    // Off-by-one response write.
+    let buggy = TOKEN_LC.replace(
+        "for (u32 i = 0; i < 5; i = i + 1) { resp[i] = 0; }",
+        "for (u32 i = 0; i < 6; i = i + 1) { resp[i] = 0; }",
+    );
+    assert_ne!(buggy, TOKEN_LC);
+    let program = parfait_littlec::frontend(&buggy).unwrap();
+    let interp = parfait_littlec::interp::Interp::new(&program);
+    let err = interp.step(&[0u8; STATE], &cmd(2, 1), RESP).unwrap_err();
+    assert!(err.msg.contains("out-of-bounds"), "{err}");
+}
+
+// --- error-path leakage (Starling) ----------------------------------------
+
+#[test]
+fn error_leak_caught_by_starling() {
+    // Invalid commands reveal the secret.
+    let buggy = TOKEN_LC.replace(
+        "resp[0] = 0xff;",
+        "resp[0] = 0xff; st32(resp + 1, ld32(state));",
+    );
+    assert_ne!(buggy, TOKEN_LC);
+    let program = parfait_littlec::frontend(&buggy).unwrap();
+    let interp = parfait_starling::machines::InterpMachine::new(&program, RESP);
+    let err = check_lockstep_simulation(
+        &TokenCodec,
+        &token_spec(),
+        &interp,
+        &[(0x5EC7E7, 0)],
+        &[cmd(0xEE, 0)],
+    )
+    .unwrap_err();
+    assert!(err.obligation.contains("None"), "{err}");
+}
+
+// --- secret-dependent branch (Knox2) --------------------------------------
+
+#[test]
+fn secret_branch_caught_by_knox2() {
+    let buggy = TOKEN_LC.replace(
+        "u32 secret = ld32(state);",
+        "u32 secret = ld32(state); if (secret > 1000) { u32 w = 0; for (u32 i = 0; i < 50; i = i + 1) { w = w + i; } st32(resp + 1, w); }",
+    );
+    assert_ne!(buggy, TOKEN_LC);
+    let err = run_fps_with(&buggy, None, |a| a, &standard_script()).unwrap_err();
+    match err {
+        FpsError::TraceDivergence { .. } | FpsError::Leak { .. } => {}
+        other => panic!("expected a leak symptom, got {other}"),
+    }
+}
+
+// --- compiler-introduced timing bug (Knox2) -------------------------------
+
+#[test]
+fn compiler_timing_bug_caught_by_knox2() {
+    // Tamper with the generated assembly (below the littlec level): at
+    // handle entry, branch on the first state byte.
+    let patch = |asm: String| {
+        asm.replacen(
+            "handle:",
+            "handle:\n    lbu t0, 0(a0)\n    beqz t0, 12\n    nop\n    nop",
+            1,
+        )
+    };
+    let err = run_fps_with(TOKEN_LC, None, patch, &standard_script()).unwrap_err();
+    match err {
+        FpsError::TraceDivergence { .. } | FpsError::Leak { .. } => {}
+        other => panic!("expected a timing divergence, got {other}"),
+    }
+}
+
+// --- hardware variable-latency instruction (Knox2/taint) -------------------
+
+#[test]
+fn variable_latency_div_on_secret_caught() {
+    // `secret / (arg|1)`: the divider's latency depends on the dividend
+    // (the secret) on both cores.
+    let buggy = TOKEN_LC.replace(
+        "st32(resp + 1, (secret * 2654435761 + c) ^ arg);",
+        "st32(resp + 1, (secret / (arg | 1)) + c);",
+    );
+    assert_ne!(buggy, TOKEN_LC);
+    // Spec must match the buggy source (the bug here is *hardware*
+    // latency, not functional behaviour).
+    let program = parfait_littlec::frontend(&buggy).unwrap();
+    let spec = asm_machine(&program, OptLevel::O2, STATE, CMD, RESP).unwrap();
+    let default_syssw = syssw::syssw_source(STATE, CMD, RESP);
+    let fw = build_firmware_parts(&buggy, &default_syssw, OptLevel::O2, |a| a).unwrap();
+    let secret_state = TokenCodec.encode_state(&(0xDEAD_BEEF, 7));
+    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret_state);
+    let dummy_soc = make_soc(Cpu::Ibex, fw, &TokenCodec.encode_state(&(0, 0)));
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret_state, CMD);
+    let err = check_fps(&mut real, &mut emu, &cfg(), &project, &[HostOp::Command(cmd(3, 5))])
+        .unwrap_err();
+    match err {
+        FpsError::TraceDivergence { .. } | FpsError::Leak { .. } => {}
+        other => panic!("expected latency divergence, got {other}"),
+    }
+}
+
+// --- stack overflow (Knox2: bounded stack) ---------------------------------
+
+#[test]
+fn stack_overflow_caught_by_knox2() {
+    // Deep recursion with big frames: fine at the assembly level
+    // (abstract unbounded stack), fatal on the SoC (bounded RAM).
+    let buggy = TOKEN_LC.replace(
+        "u32 secret = ld32(state);",
+        "u32 secret = ld32(state) + burn(400);",
+    ) + "
+    u32 burn(u32 n) {
+        u32 big[256];
+        big[0] = n;
+        if (n == 0) { return 0; }
+        return big[0] + burn(n - 1);
+    }
+    ";
+    let err = run_fps_with(&buggy, None, |a| a, &[HostOp::Command(cmd(3, 1))]).unwrap_err();
+    match err {
+        FpsError::Fault { .. } | FpsError::TraceDivergence { .. } | FpsError::Timeout { .. } => {}
+        other => panic!("expected a fault, got {other}"),
+    }
+}
+
+// --- I/O bug in system software (Knox2 spec binding) -----------------------
+
+#[test]
+fn io_encoding_bug_caught_by_knox2() {
+    // write_response sends the bytes in reverse order. Both circuit
+    // instances share the bug, so their traces agree — the spec-binding
+    // check is what catches it.
+    let buggy_syssw = syssw::syssw_source(STATE, CMD, RESP).replace(
+        "void write_response(u8* resp) {\n    for (u32 i = 0; i < 5; i = i + 1) {\n        ss_write_byte(resp[i]);",
+        "void write_response(u8* resp) {\n    for (u32 i = 0; i < 5; i = i + 1) {\n        ss_write_byte(resp[4 - i]);",
+    );
+    assert!(buggy_syssw.contains("resp[4 - i]"), "injection must apply");
+    let err = run_fps_with(TOKEN_LC, Some(&buggy_syssw), |a| a, &standard_script()).unwrap_err();
+    match err {
+        FpsError::ResponseMismatch { .. } => {}
+        other => panic!("expected a response mismatch, got {other}"),
+    }
+}

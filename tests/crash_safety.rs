@@ -1,0 +1,163 @@
+//! Crash safety of the journaled persistence (fig. 9): power loss at
+//! *any* cycle leaves the device with a consistent state — either the
+//! old one (crash before the flag flip) or the new one (after) — and
+//! the device remains fully functional on reboot.
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{
+    HasherCodec, HasherCommand, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::syssw;
+use parfait_knox2::WireDriver;
+use parfait_littlec::codegen::OptLevel;
+use parfait_rtl::Circuit;
+use parfait_soc::{host, Soc};
+
+fn sizes() -> AppSizes {
+    AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE }
+}
+
+fn active(soc: &Soc) -> Vec<u8> {
+    syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE)
+}
+
+/// Run one Initialize command but cut power after `crash_at` cycles;
+/// then reboot and check consistency.
+fn crash_during_command(crash_at: u64) {
+    let fw = build_firmware(&hasher_app_source(), sizes(), OptLevel::O2).unwrap();
+    let codec = HasherCodec;
+    let old_state = codec.encode_state(&HasherState { secret: [0x0D; 32] });
+    let new_state = codec.encode_state(&HasherState { secret: [0x4E; 32] });
+    let mut soc = make_soc(Cpu::Ibex, fw, &old_state);
+    let cmd = codec.encode_command(&HasherCommand::Initialize { secret: [0x4E; 32] });
+    host::send_bytes(&mut soc, &cmd, 10_000_000).unwrap();
+    // Let the device run for `crash_at` more cycles (it may be anywhere
+    // in load/handle/store/write_response), then cut power.
+    for _ in 0..crash_at {
+        soc.tick();
+    }
+    soc.power_cycle();
+    // Consistency: the active state is EITHER entirely old or entirely
+    // new — never a torn mixture.
+    let state_after = active(&soc);
+    assert!(
+        state_after == old_state || state_after == new_state,
+        "torn state after crash at cycle {crash_at}: {state_after:02x?}"
+    );
+    // Liveness: the device still answers commands correctly from
+    // whichever state survived.
+    let surviving_secret = if state_after == old_state { [0x0D; 32] } else { [0x4E; 32] };
+    let wire = WireDriver::new(COMMAND_SIZE, RESPONSE_SIZE);
+    let hash_cmd = HasherCommand::Hash { message: [0x33; 32] };
+    let resp = wire.run(&mut soc, &codec.encode_command(&hash_cmd)).unwrap();
+    let spec = HasherSpec;
+    let (_, want) = spec.step(&HasherState { secret: surviving_secret }, &hash_cmd);
+    assert_eq!(codec.decode_response(&resp), want, "crash at {crash_at}");
+}
+
+#[test]
+fn crash_at_sampled_cycles_is_atomic() {
+    // Sample crash points across the whole command lifetime, including
+    // points inside read_command, handle, store_state, and
+    // write_response (a full Initialize takes roughly 20k cycles).
+    for crash_at in [
+        0, 1, 10, 100, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10_000,
+        12_000, 15_000, 20_000, 30_000, 50_000,
+    ] {
+        crash_during_command(crash_at);
+    }
+}
+
+#[test]
+fn crash_exactly_around_commit_point() {
+    // Find the commit cycle (flag flip) for this command, then test the
+    // cycles immediately surrounding it — the knife's edge of fig. 9.
+    let fw = build_firmware(&hasher_app_source(), sizes(), OptLevel::O2).unwrap();
+    let codec = HasherCodec;
+    let old_state = codec.encode_state(&HasherState { secret: [0x0D; 32] });
+    let mut soc = make_soc(Cpu::Ibex, fw, &old_state);
+    let cmd = codec.encode_command(&HasherCommand::Initialize { secret: [0x4E; 32] });
+    host::send_bytes(&mut soc, &cmd, 10_000_000).unwrap();
+    let flag0 = soc.fram_bytes(0, 4);
+    let mut commit_cycle = 0u64;
+    for i in 0..10_000_000u64 {
+        soc.tick();
+        if soc.fram_bytes(0, 4) != flag0 {
+            commit_cycle = i;
+            break;
+        }
+    }
+    assert!(commit_cycle > 0, "commit observed");
+    for delta in -3i64..=3 {
+        let crash_at = (commit_cycle as i64 + delta).max(0) as u64;
+        crash_during_command(crash_at);
+    }
+}
+
+#[test]
+fn repeated_crashes_never_wedge_the_device() {
+    // Crash the same device over and over at varied points; it must
+    // keep journaling correctly (flag alternates per completed op).
+    let fw = build_firmware(&hasher_app_source(), sizes(), OptLevel::O2).unwrap();
+    let codec = HasherCodec;
+    let spec = HasherSpec;
+    let mut expected = HasherState { secret: [0x0D; 32] };
+    let mut soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&expected));
+    let wire = WireDriver::new(COMMAND_SIZE, RESPONSE_SIZE);
+    for round in 0u8..6 {
+        // A successful command first.
+        let cmd = HasherCommand::Initialize { secret: [round | 0x40; 32] };
+        let resp = wire.run(&mut soc, &codec.encode_command(&cmd)).unwrap();
+        let (s2, want) = spec.step(&expected, &cmd);
+        assert_eq!(codec.decode_response(&resp), want);
+        expected = s2;
+        // Then a crashed one (cut power mid-way through the next op).
+        let doomed = codec.encode_command(&HasherCommand::Initialize { secret: [0xEE; 32] });
+        host::send_bytes(&mut soc, &doomed, 10_000_000).unwrap();
+        for _ in 0..(500 + round as u64 * 700) {
+            soc.tick();
+        }
+        soc.power_cycle();
+        let st = active(&soc);
+        // Old or the doomed new value; adopt whichever survived.
+        if st != codec.encode_state(&expected) {
+            assert_eq!(st, codec.encode_state(&HasherState { secret: [0xEE; 32] }));
+            expected = HasherState { secret: [0xEE; 32] };
+        }
+    }
+}
+
+/// Design ablation (DESIGN.md §6): replace the journaled store with a
+/// naive in-place store and show that a crash mid-write CAN tear the
+/// state — the failure mode the fig. 9 journal exists to prevent.
+#[test]
+fn naive_persistence_can_tear_state() {
+    use parfait_hsms::platform::build_firmware_parts;
+    let naive = syssw::naive_syssw_source(STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE);
+    assert!(naive.contains("store_state"), "patch applied");
+    let fw = build_firmware_parts(&hasher_app_source(), &naive, OptLevel::O2, |a| a).unwrap();
+    let codec = HasherCodec;
+    let old_state = codec.encode_state(&HasherState { secret: [0x0D; 32] });
+    let new_state = codec.encode_state(&HasherState { secret: [0x4E; 32] });
+    let cmd = codec.encode_command(&HasherCommand::Initialize { secret: [0x4E; 32] });
+    // Sweep crash points; with the in-place store, some crash cycle must
+    // yield a state that is neither fully old nor fully new.
+    let mut tore = false;
+    for crash_at in (0..8000).step_by(13) {
+        let mut soc = make_soc(Cpu::Ibex, fw.clone(), &old_state);
+        host::send_bytes(&mut soc, &cmd, 10_000_000).unwrap();
+        for _ in 0..crash_at {
+            parfait_rtl::Circuit::tick(&mut soc);
+        }
+        soc.power_cycle();
+        let st = active(&soc);
+        if st != old_state && st != new_state {
+            tore = true;
+            break;
+        }
+    }
+    assert!(tore, "the naive store must be crash-unsafe (that is the point of the journal)");
+}

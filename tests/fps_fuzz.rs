@@ -1,0 +1,69 @@
+//! Randomized FPS fuzzing: arbitrary adversarial host scripts against
+//! the password hasher must never distinguish the real device from the
+//! emulator (and must never fault, leak, or wedge either circuit).
+
+use proptest::prelude::*;
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{HasherCodec, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::syssw;
+use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::validate::asm_machine;
+use parfait_soc::{Firmware, Soc};
+
+fn build() -> (Firmware, parfait_riscv::model::AsmStateMachine) {
+    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
+    let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
+    let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
+    let spec =
+        asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
+    (fw, spec)
+}
+
+fn arb_op() -> impl Strategy<Value = HostOp> {
+    prop_oneof![
+        // A full-size command with an arbitrary tag and payload.
+        prop::collection::vec(any::<u8>(), COMMAND_SIZE).prop_map(HostOp::Command),
+        // Partial garbage (framing attacks).
+        prop::collection::vec(any::<u8>(), 1..COMMAND_SIZE).prop_map(HostOp::Garbage),
+        // Idle gaps.
+        (1u64..400).prop_map(HostOp::Idle),
+    ]
+}
+
+proptest! {
+    // Each case simulates up to a few hundred thousand SoC cycles twice,
+    // so keep the count modest; the diversity is in the scripts.
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_scripts_cannot_distinguish_worlds(
+        ops in prop::collection::vec(arb_op(), 1..6),
+        secret: [u8; 32],
+    ) {
+        let (fw, spec) = build();
+        let codec = HasherCodec;
+        let secret_state = codec.encode_state(&HasherState { secret });
+        let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret_state);
+        let dummy_soc =
+            make_soc(Cpu::Ibex, fw, &codec.encode_state(&HasherSpec.init()));
+        let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret_state, COMMAND_SIZE);
+        let cfg = FpsConfig {
+            command_size: COMMAND_SIZE,
+            response_size: RESPONSE_SIZE,
+            timeout: 20_000_000,
+            state_size: STATE_SIZE,
+        };
+        let project =
+            |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE);
+        // Close any dangling partial command so the script ends
+        // quiescent (a trailing partial command is fine for equivalence
+        // but leaves nothing to check).
+        check_fps(&mut real, &mut emu, &cfg, &project, &ops)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+}

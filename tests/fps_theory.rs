@@ -1,0 +1,73 @@
+//! Instantiating the generic forward-simulation obligation of the IPR
+//! theory (`parfait::fps`) on the real HSM stack: the hasher spec
+//! forward-simulates into the compiled assembly machine through the
+//! lockstep-derived driver, with the codec's `encode_state` as the
+//! refinement relation.
+
+use parfait::fps::check_forward_simulation;
+use parfait::lockstep::{Codec, LockstepDriver};
+use parfait::StateMachine;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{HasherCodec, HasherCommand, HasherSpec, HasherState};
+use parfait_hsms::hasher::{COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::validate::asm_machine;
+use parfait_starling::machines::AsmMachine;
+
+#[test]
+fn hasher_spec_forward_simulates_into_asm() {
+    let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
+    let asm = asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE)
+        .unwrap();
+    let asmm = AsmMachine::new(asm);
+    let codec = HasherCodec;
+    let spec = HasherSpec;
+    let related =
+        |ss: &HasherState, si: &Vec<u8>| -> bool { &codec.encode_state(ss) == si };
+    let states: Vec<(HasherState, Vec<u8>)> = [
+        HasherSpec.init(),
+        HasherState { secret: [0x42; 32] },
+        HasherState { secret: [0xFF; 32] },
+    ]
+    .into_iter()
+    .map(|s| {
+        let enc = codec.encode_state(&s);
+        (s, enc)
+    })
+    .collect();
+    let commands = vec![
+        HasherCommand::Initialize { secret: [7; 32] },
+        HasherCommand::Hash { message: [9; 32] },
+    ];
+    check_forward_simulation(
+        &spec,
+        &asmm,
+        &LockstepDriver(&codec),
+        &related,
+        &states,
+        &commands,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn forward_simulation_catches_wrong_relation() {
+    let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
+    let asm = asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE)
+        .unwrap();
+    let asmm = AsmMachine::new(asm);
+    let codec = HasherCodec;
+    // A bogus relation that accepts the initial pair but is violated
+    // after an Initialize (it pins the implementation state to zeros).
+    let related = |_ss: &HasherState, si: &Vec<u8>| -> bool { si.iter().all(|&b| b == 0) };
+    let states = vec![(HasherSpec.init(), codec.encode_state(&HasherSpec.init()))];
+    let err = check_forward_simulation(
+        &HasherSpec,
+        &asmm,
+        &LockstepDriver(&codec),
+        &related,
+        &states,
+        &[HasherCommand::Initialize { secret: [7; 32] }],
+    );
+    assert!(err.is_err());
+}

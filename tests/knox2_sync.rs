@@ -1,0 +1,102 @@
+//! Assembly-circuit synchronization (§5.4) on the password hasher:
+//! stepping Riscette against the cycle-level cores during `handle`.
+
+use parfait::lockstep::Codec;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{HasherCodec, HasherCommand, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_knox2::sync::{run_until_decode, sync_handle_execution, SyncPolicy, SyncWhen};
+use parfait_littlec::codegen::OptLevel;
+use parfait_rtl::Circuit;
+use parfait_soc::host;
+
+fn sizes() -> AppSizes {
+    AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE }
+}
+
+fn prepared_soc(cpu: Cpu) -> parfait_soc::Soc {
+    let fw = build_firmware(&hasher_app_source(), sizes(), OptLevel::O2).unwrap();
+    let codec = HasherCodec;
+    let secret = codec.encode_state(&parfait_hsms::hasher::HasherState { secret: [9; 32] });
+    let mut soc = make_soc(cpu, fw, &secret);
+    // Feed one Hash command; the SoC will reach handle.
+    let cmd = codec.encode_command(&HasherCommand::Hash { message: [5; 32] });
+    host::send_bytes(&mut soc, &cmd, 10_000_000).unwrap();
+    soc
+}
+
+fn sync_on(cpu: Cpu, when: SyncWhen) -> parfait_knox2::SyncStats {
+    let mut soc = prepared_soc(cpu);
+    let handle_addr = soc.firmware().address_of("handle").unwrap();
+    run_until_decode(&mut soc, handle_addr, 50_000_000).unwrap();
+    sync_handle_execution(&mut soc, &SyncPolicy { registers: when, max_instructions: 100_000_000 })
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[test]
+fn sync_passes_on_ibex() {
+    let stats = sync_on(Cpu::Ibex, SyncWhen::ControlAndMem);
+    assert!(stats.instructions > 10_000, "instructions: {}", stats.instructions);
+    assert!(stats.sync_points > 1_000);
+    assert!(stats.cycles >= stats.instructions);
+}
+
+#[test]
+fn sync_passes_on_pico() {
+    let stats = sync_on(Cpu::Pico, SyncWhen::ControlAndMem);
+    assert!(stats.instructions > 10_000);
+    // The multi-cycle core needs several cycles per instruction.
+    assert!(stats.cycles > 3 * stats.instructions);
+}
+
+#[test]
+fn sync_policies_trade_checks_for_coverage() {
+    let every = sync_on(Cpu::Ibex, SyncWhen::EveryInstruction);
+    let fig11 = sync_on(Cpu::Ibex, SyncWhen::ControlAndMem);
+    let never = sync_on(Cpu::Ibex, SyncWhen::Never);
+    assert!(every.component_checks > fig11.component_checks);
+    assert!(fig11.component_checks > never.component_checks);
+    assert_eq!(every.instructions, fig11.instructions);
+    assert_eq!(fig11.instructions, never.instructions);
+}
+
+#[test]
+fn both_platforms_agree_on_instruction_count() {
+    // Porting the platform (§8.1): the same firmware retires the same
+    // instruction stream on both CPUs; only cycle counts differ.
+    let i = sync_on(Cpu::Ibex, SyncWhen::Never);
+    let p = sync_on(Cpu::Pico, SyncWhen::Never);
+    assert_eq!(i.instructions, p.instructions);
+    assert!(p.cycles > i.cycles);
+}
+
+#[test]
+fn sync_detects_microarchitectural_divergence() {
+    // Tamper with the ISA snapshot (stand-in for a pipeline hazard: the
+    // hardware and the ISA model disagree on a register value).
+    use parfait_knox2::sync::snapshot_isa_machine;
+    let mut soc = prepared_soc(Cpu::Ibex);
+    let handle_addr = soc.firmware().address_of("handle").unwrap();
+    run_until_decode(&mut soc, handle_addr, 50_000_000).unwrap();
+    let mut isa = snapshot_isa_machine(&soc);
+    isa.regs[10] ^= 4; // corrupt a0 (the state pointer)
+    // Drive the comparison manually: the first register sync must fail.
+    // (sync_handle_execution snapshots internally, so emulate its loop.)
+    let mut diverged = false;
+    for _ in 0..10_000 {
+        soc.tick();
+        if let Some((_, pc)) = soc.core.last_retired() {
+            if isa.pc == pc {
+                isa.step().unwrap();
+                if soc.core.regs()[10].v != isa.regs[10] {
+                    diverged = true;
+                    break;
+                }
+            } else {
+                diverged = true;
+                break;
+            }
+        }
+    }
+    assert!(diverged, "corrupted ISA state must be detected");
+}

@@ -1,0 +1,128 @@
+//! End-to-end verification of the third (OTP) application — the §8.1
+//! modularity exercise: a brand-new app verified with zero changes to
+//! the platform, the system software, or the frameworks.
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::syssw;
+use parfait_hsms::totp::{
+    totp_app_source, TotpCodec, TotpCommand, TotpResponse, TotpSpec, TotpState, COMMAND_SIZE,
+    RESPONSE_SIZE, STATE_SIZE,
+};
+use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp, WireDriver};
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::validate::asm_machine;
+use parfait_soc::Soc;
+use parfait_starling::{verify_app, StarlingConfig};
+
+fn sizes() -> AppSizes {
+    AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE }
+}
+
+#[test]
+fn starling_verifies_totp() {
+    let config = StarlingConfig {
+        state_size: STATE_SIZE,
+        command_size: COMMAND_SIZE,
+        response_size: RESPONSE_SIZE,
+        adversarial_inputs: 10,
+        ..StarlingConfig::default()
+    };
+    let report = verify_app(
+        &TotpCodec,
+        &TotpSpec,
+        &totp_app_source(),
+        &config,
+        &[TotpSpec.init(), TotpState { seed: [0xAA; 32] }],
+        &[
+            TotpCommand::Initialize { seed: [0x21; 32] },
+            TotpCommand::Code { counter: 0 },
+            TotpCommand::Code { counter: u64::MAX },
+        ],
+        &[TotpResponse::Initialized, TotpResponse::Code(999_999), TotpResponse::Code(0)],
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.lockstep_cases > 0);
+}
+
+#[test]
+fn totp_matches_spec_on_both_socs() {
+    let fw = build_firmware(&totp_app_source(), sizes(), OptLevel::O2).unwrap();
+    let codec = TotpCodec;
+    let spec = TotpSpec;
+    for cpu in [Cpu::Ibex, Cpu::Pico] {
+        let mut st = spec.init();
+        let mut soc = make_soc(cpu, fw.clone(), &codec.encode_state(&st));
+        let wire = WireDriver::new(COMMAND_SIZE, RESPONSE_SIZE);
+        for cmd in [
+            TotpCommand::Initialize { seed: *b"otp-seed-0123456789abcdefghijklm" },
+            TotpCommand::Code { counter: 1 },
+            TotpCommand::Code { counter: 2 },
+            TotpCommand::Code { counter: 0xFFFF_FFFF_FFFF_FFFF },
+        ] {
+            let resp = wire.run(&mut soc, &codec.encode_command(&cmd)).unwrap();
+            let (s2, want) = spec.step(&st, &cmd);
+            st = s2;
+            assert_eq!(codec.decode_response(&resp), want, "{cmd:?} on {cpu}");
+            if let TotpResponse::Code(c) = codec.decode_response(&resp) {
+                assert!(c < 1_000_000);
+            }
+        }
+        assert!(soc.core.leaks().is_empty(), "constant-time truncation: {:?}", soc.core.leaks());
+    }
+}
+
+#[test]
+fn totp_fps_passes() {
+    let fw = build_firmware(&totp_app_source(), sizes(), OptLevel::O2).unwrap();
+    let program = parfait_littlec::frontend(&totp_app_source()).unwrap();
+    let spec =
+        asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
+    let codec = TotpCodec;
+    let secret = codec.encode_state(&TotpState { seed: [0x5C; 32] });
+    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret);
+    let dummy_soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&TotpSpec.init()));
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret.clone(), COMMAND_SIZE);
+    let cfg = FpsConfig {
+        command_size: COMMAND_SIZE,
+        response_size: RESPONSE_SIZE,
+        timeout: 50_000_000,
+        state_size: STATE_SIZE,
+    };
+    let project = |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE);
+    let script = vec![
+        HostOp::Command(codec.encode_command(&TotpCommand::Code { counter: 7 })),
+        HostOp::Command(vec![0xEE; COMMAND_SIZE]),
+        HostOp::Command(codec.encode_command(&TotpCommand::Initialize { seed: [1; 32] })),
+        HostOp::Command(codec.encode_command(&TotpCommand::Code { counter: 8 })),
+    ];
+    let report =
+        check_fps(&mut real, &mut emu, &cfg, &project, &script).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(report.commands, 4);
+}
+
+#[test]
+fn naive_truncation_would_leak() {
+    // The RFC's literal dynamic truncation (secret-indexed load) is
+    // exactly what the taint tracker exists to catch.
+    let naive = totp_app_source().replace(
+        "        u32 bin = 0;",
+        "        u32 bin0 = ((mac[off] & 0x7f) << 24) | (mac[off + 1] << 16) | (mac[off + 2] << 8) | mac[off + 3];\n        u32 bin = bin0 & 0;",
+    );
+    assert_ne!(naive, totp_app_source());
+    let fw = build_firmware(&naive, sizes(), OptLevel::O2).unwrap();
+    let codec = TotpCodec;
+    let mut soc =
+        make_soc(Cpu::Ibex, fw, &codec.encode_state(&TotpState { seed: [0x77; 32] }));
+    let wire = WireDriver::new(COMMAND_SIZE, RESPONSE_SIZE);
+    let _ = wire.run(&mut soc, &codec.encode_command(&TotpCommand::Code { counter: 3 })).unwrap();
+    assert!(
+        soc.core
+            .leaks()
+            .iter()
+            .any(|l| l.kind == parfait_cores::LeakKind::AddrSecret),
+        "secret-indexed load must be flagged: {:?}",
+        soc.core.leaks()
+    );
+}

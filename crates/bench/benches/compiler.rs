@@ -14,7 +14,7 @@ fn bench_compile(c: &mut Criterion) {
     c.bench_function("frontend/hasher", |b| b.iter(|| frontend(black_box(&hasher)).unwrap()));
     let prog = frontend(&ecdsa).unwrap();
     for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
-        c.bench_function(&format!("compile/ecdsa/{opt}"), |b| {
+        c.bench_function(format!("compile/ecdsa/{opt}"), |b| {
             b.iter(|| compile(black_box(&prog), opt).unwrap())
         });
     }

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use parfait::lockstep::Codec;
-use parfait_bench::render_table;
+use parfait_bench::{json_output_path, render_table, write_json};
 use parfait_hsms::firmware::hasher_app_source;
 use parfait_hsms::hasher::{HasherCodec, HasherCommand, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
@@ -15,6 +15,7 @@ use parfait_riscv::decode::decode;
 use parfait_riscv::isa::Instr;
 use parfait_rtl::Circuit;
 use parfait_soc::host;
+use parfait_telemetry::json::Json;
 
 fn class_of(i: Instr) -> (&'static str, &'static str) {
     match i {
@@ -74,4 +75,22 @@ fn main() {
             &rows
         )
     );
+    if let Some(path) = json_output_path() {
+        let json_rows: Vec<Json> = counts
+            .iter()
+            .map(|((class, action), n)| {
+                Json::obj([
+                    ("class", Json::str(*class)),
+                    ("action", Json::str(*action)),
+                    ("retired", Json::Int(*n as i64)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("artifact", Json::str("fig11")),
+            ("rows", Json::Arr(json_rows)),
+        ]);
+        write_json(&path, &doc).expect("write --json output");
+        eprintln!("wrote {}", path.display());
+    }
 }

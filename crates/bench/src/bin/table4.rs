@@ -6,13 +6,14 @@
 
 use std::time::Instant;
 
-use parfait_bench::{loc, render_table, App};
+use parfait_bench::{json_output_path, loc, render_table, write_json, App};
 use parfait_hsms::platform::{make_soc, Cpu};
 use parfait_hsms::syssw;
 use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
 use parfait_littlec::codegen::OptLevel;
 use parfait_littlec::validate::asm_machine;
 use parfait_soc::Soc;
+use parfait_telemetry::json::Json;
 
 fn verify(app: App, cpu: Cpu) -> parfait_knox2::FpsReport {
     let sizes = app.sizes();
@@ -50,6 +51,7 @@ fn main() {
     let mapping_loc = 10; // fig. 10: register/pointer/next-instr mapping
 
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for cpu in [Cpu::Ibex, Cpu::Pico] {
         let apps: &[App] =
             if quick { &[App::Hasher] } else { &[App::Ecdsa, App::Hasher] };
@@ -57,6 +59,15 @@ fn main() {
             let t0 = Instant::now();
             let report = verify(app, cpu);
             let wall = t0.elapsed();
+            json_rows.push(Json::obj([
+                ("platform", Json::str(cpu.to_string())),
+                ("app", Json::str(app.to_string())),
+                ("verify_seconds", Json::Num(wall.as_secs_f64())),
+                ("cycles", Json::Int(report.cycles as i64)),
+                ("cycles_per_second", Json::Num(report.cycles_per_second())),
+                ("commands", Json::Int(report.commands as i64)),
+                ("spec_queries", Json::Int(report.spec_queries as i64)),
+            ]));
             rows.push(vec![
                 cpu.to_string(),
                 emulator_loc.to_string(),
@@ -89,4 +100,15 @@ fn main() {
     println!("Paper shape to check: ECDSA >> hasher verification time; the PicoRV32");
     println!("needs more total cycles (multi-cycle core) while simulating each cycle");
     println!("faster than the pipelined Ibex; porting = only the 10-line mapping.");
+    if let Some(path) = json_output_path() {
+        let doc = Json::obj([
+            ("artifact", Json::str("table4")),
+            ("emulator_loc", Json::Int(emulator_loc as i64)),
+            ("checker_loc", Json::Int(proof_loc as i64)),
+            ("mapping_loc", Json::Int(mapping_loc as i64)),
+            ("rows", Json::Arr(json_rows)),
+        ]);
+        write_json(&path, &doc).expect("write --json output");
+        eprintln!("wrote {}", path.display());
+    }
 }

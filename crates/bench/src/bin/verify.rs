@@ -14,13 +14,19 @@ use std::time::Instant;
 
 use parfait::lockstep::Codec;
 use parfait::StateMachine;
+use parfait_bench::write_json;
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_hsms::{ecdsa, hasher, syssw, totp};
-use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
+use parfait_knox2::{check_fps_traced, CircuitEmulator, FpsConfig, FpsObserver, HostOp};
 use parfait_littlec::codegen::OptLevel;
 use parfait_littlec::validate::asm_machine;
 use parfait_soc::Soc;
-use parfait_starling::{verify_app, StarlingConfig};
+use parfait_starling::{verify_app_traced, StarlingConfig};
+use parfait_telemetry::json::Json;
+use parfait_telemetry::sinks::LogSink;
+use parfait_telemetry::Telemetry;
+
+type StarlingRunner = Box<dyn Fn(&Telemetry) -> Result<parfait_starling::StarlingReport, String>>;
 
 struct AppSpec {
     name: &'static str,
@@ -33,7 +39,7 @@ struct AppSpec {
     /// One representative expensive command.
     workload: Vec<u8>,
     /// Closure running the Starling software verification.
-    run_starling: Box<dyn Fn() -> Result<parfait_starling::StarlingReport, String>>,
+    run_starling: StarlingRunner,
 }
 
 fn app(name: &str) -> Option<AppSpec> {
@@ -53,14 +59,14 @@ fn app(name: &str) -> Option<AppSpec> {
                 dummy_state: codec.encode_state(&hasher::HasherSpec.init()),
                 workload: codec
                     .encode_command(&hasher::HasherCommand::Hash { message: [0x11; 32] }),
-                run_starling: Box::new(|| {
+                run_starling: Box::new(|tel| {
                     let config = StarlingConfig {
                         state_size: hasher::STATE_SIZE,
                         command_size: hasher::COMMAND_SIZE,
                         response_size: hasher::RESPONSE_SIZE,
                         ..StarlingConfig::default()
                     };
-                    verify_app(
+                    verify_app_traced(
                         &hasher::HasherCodec,
                         &hasher::HasherSpec,
                         &parfait_hsms::firmware::hasher_app_source(),
@@ -71,6 +77,7 @@ fn app(name: &str) -> Option<AppSpec> {
                             hasher::HasherCommand::Hash { message: [2; 32] },
                         ],
                         &[hasher::HasherResponse::Initialized],
+                        tel,
                     )
                     .map_err(|e| e.to_string())
                 }),
@@ -89,14 +96,14 @@ fn app(name: &str) -> Option<AppSpec> {
                 secret_state: codec.encode_state(&totp::TotpState { seed: [0x29; 32] }),
                 dummy_state: codec.encode_state(&totp::TotpSpec.init()),
                 workload: codec.encode_command(&totp::TotpCommand::Code { counter: 42 }),
-                run_starling: Box::new(|| {
+                run_starling: Box::new(|tel| {
                     let config = StarlingConfig {
                         state_size: totp::STATE_SIZE,
                         command_size: totp::COMMAND_SIZE,
                         response_size: totp::RESPONSE_SIZE,
                         ..StarlingConfig::default()
                     };
-                    verify_app(
+                    verify_app_traced(
                         &totp::TotpCodec,
                         &totp::TotpSpec,
                         &totp::totp_app_source(),
@@ -107,6 +114,7 @@ fn app(name: &str) -> Option<AppSpec> {
                             totp::TotpCommand::Code { counter: 5 },
                         ],
                         &[totp::TotpResponse::Initialized, totp::TotpResponse::Code(0)],
+                        tel,
                     )
                     .map_err(|e| e.to_string())
                 }),
@@ -130,7 +138,7 @@ fn app(name: &str) -> Option<AppSpec> {
                 dummy_state: codec.encode_state(&ecdsa::EcdsaSpec.init()),
                 workload: codec
                     .encode_command(&ecdsa::EcdsaCommand::Sign { msg: [0x3C; 32] }),
-                run_starling: Box::new(|| {
+                run_starling: Box::new(|tel| {
                     let config = StarlingConfig {
                         state_size: ecdsa::STATE_SIZE,
                         command_size: ecdsa::COMMAND_SIZE,
@@ -139,7 +147,7 @@ fn app(name: &str) -> Option<AppSpec> {
                         opt_levels: vec![OptLevel::O2],
                         ..StarlingConfig::default()
                     };
-                    verify_app(
+                    verify_app_traced(
                         &ecdsa::EcdsaCodec,
                         &ecdsa::EcdsaSpec,
                         &parfait_hsms::firmware::ecdsa_app_source(),
@@ -154,6 +162,7 @@ fn app(name: &str) -> Option<AppSpec> {
                             sig_key: [2; 32],
                         }],
                         &[ecdsa::EcdsaResponse::Initialized],
+                        tel,
                     )
                     .map_err(|e| e.to_string())
                 }),
@@ -163,7 +172,11 @@ fn app(name: &str) -> Option<AppSpec> {
     }
 }
 
-fn verify_hardware(a: &AppSpec, cpu: Cpu) -> Result<parfait_knox2::FpsReport, String> {
+fn verify_hardware(
+    a: &AppSpec,
+    cpu: Cpu,
+    obs: &FpsObserver,
+) -> Result<parfait_knox2::FpsReport, String> {
     let fw = build_firmware(&a.source, a.sizes, OptLevel::O2).map_err(|e| e.to_string())?;
     let program = parfait_littlec::frontend(&a.source).map_err(|e| e.to_string())?;
     let spec = asm_machine(&program, OptLevel::O2, a.sizes.state, a.sizes.command, a.sizes.response)
@@ -183,13 +196,14 @@ fn verify_hardware(a: &AppSpec, cpu: Cpu) -> Result<parfait_knox2::FpsReport, St
         HostOp::Command(a.workload.clone()),
         HostOp::Command(vec![0xEE; a.sizes.command]),
     ];
-    check_fps(&mut real, &mut emu, &cfg, &project, &script).map_err(|e| e.to_string())
+    check_fps_traced(&mut real, &mut emu, &cfg, &project, &script, obs)
+        .map_err(|f| f.to_string())
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: verify --app <ecdsa|hasher|totp> --platform <ibex|pico|both> \
-         [--software-only|--hardware-only]"
+         [--software-only|--hardware-only] [--json <path>] [--trace]"
     );
     ExitCode::FAILURE
 }
@@ -200,6 +214,8 @@ fn main() -> ExitCode {
     let mut platform = "ibex".to_string();
     let mut software = true;
     let mut hardware = true;
+    let mut json_path: Option<String> = None;
+    let mut trace = std::env::var_os("PARFAIT_TRACE").is_some();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -207,6 +223,11 @@ fn main() -> ExitCode {
             "--platform" => platform = it.next().cloned().unwrap_or_default(),
             "--software-only" => hardware = false,
             "--hardware-only" => software = false,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--trace" => trace = true,
             _ => return usage(),
         }
     }
@@ -218,17 +239,42 @@ fn main() -> ExitCode {
         "both" => vec![Cpu::Ibex, Cpu::Pico],
         _ => return usage(),
     };
+    // `--trace` (or PARFAIT_TRACE=1) streams spans, counters, and
+    // periodic FPS heartbeats to stderr while the checks run.
+    let tel = if trace {
+        Telemetry::new(Box::new(LogSink::stderr()))
+    } else {
+        Telemetry::disabled()
+    };
+    // Heartbeat cadence in simulated cycles (PARFAIT_HEARTBEAT
+    // overrides); the hasher check runs a few hundred thousand cycles,
+    // the ECDSA checks tens of millions.
+    let heartbeat_cycles = std::env::var("PARFAIT_HEARTBEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles };
+    let mut json_results: Vec<Json> = Vec::new();
     println!("verifying {} ...", a.name);
     if software {
         let t0 = Instant::now();
-        match (a.run_starling)() {
-            Ok(report) => println!(
-                "  [starling] software OK in {:.1}s: {} lockstep cases, {} validation runs, {} IPR ops",
-                t0.elapsed().as_secs_f64(),
-                report.lockstep_cases,
-                report.validation_cases,
-                report.ipr_operations
-            ),
+        match (a.run_starling)(&tel) {
+            Ok(report) => {
+                println!(
+                    "  [starling] software OK in {:.1}s: {} lockstep cases, {} validation runs, {} IPR ops",
+                    t0.elapsed().as_secs_f64(),
+                    report.lockstep_cases,
+                    report.validation_cases,
+                    report.ipr_operations
+                );
+                json_results.push(Json::obj([
+                    ("stage", Json::str("starling")),
+                    ("seconds", Json::Num(t0.elapsed().as_secs_f64())),
+                    ("lockstep_cases", Json::Int(report.lockstep_cases as i64)),
+                    ("validation_cases", Json::Int(report.validation_cases as i64)),
+                    ("ipr_operations", Json::Int(report.ipr_operations as i64)),
+                ]));
+            }
             Err(e) => {
                 println!("  [starling] FAILED: {e}");
                 return ExitCode::FAILURE;
@@ -238,20 +284,43 @@ fn main() -> ExitCode {
     if hardware {
         for cpu in cpus {
             let t0 = Instant::now();
-            match verify_hardware(&a, cpu) {
-                Ok(report) => println!(
-                    "  [knox2/{cpu}] hardware OK in {:.1}s: {} cycles at {:.2}M cyc/s, {} spec queries",
-                    t0.elapsed().as_secs_f64(),
-                    report.cycles,
-                    report.cycles_per_second() / 1e6,
-                    report.spec_queries
-                ),
+            match verify_hardware(&a, cpu, &obs) {
+                Ok(report) => {
+                    println!(
+                        "  [knox2/{cpu}] hardware OK in {:.1}s: {} cycles at {:.2}M cyc/s, {} spec queries",
+                        t0.elapsed().as_secs_f64(),
+                        report.cycles,
+                        report.cycles_per_second() / 1e6,
+                        report.spec_queries
+                    );
+                    json_results.push(Json::obj([
+                        ("stage", Json::str("knox2")),
+                        ("platform", Json::str(cpu.to_string())),
+                        ("seconds", Json::Num(t0.elapsed().as_secs_f64())),
+                        ("cycles", Json::Int(report.cycles as i64)),
+                        ("cycles_per_second", Json::Num(report.cycles_per_second())),
+                        ("spec_queries", Json::Int(report.spec_queries as i64)),
+                    ]));
+                }
                 Err(e) => {
                     println!("  [knox2/{cpu}] FAILED: {e}");
                     return ExitCode::FAILURE;
                 }
             }
         }
+    }
+    tel.finish();
+    if let Some(path) = json_path {
+        let doc = Json::obj([
+            ("app", Json::str(a.name)),
+            ("results", Json::Arr(json_results)),
+        ]);
+        let path = std::path::PathBuf::from(path);
+        if let Err(e) = write_json(&path, &doc) {
+            eprintln!("could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
     }
     println!("verification complete: the SoC refines the {} specification", a.name);
     ExitCode::SUCCESS

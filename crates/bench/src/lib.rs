@@ -84,9 +84,7 @@ impl App {
                 sig_key: [0x22; 32],
             }),
             App::Hasher => {
-                ecdsa_pad(hasher::HasherCodec.encode_state(&hasher::HasherState {
-                    secret: [0x33; 32],
-                }))
+                hasher::HasherCodec.encode_state(&hasher::HasherState { secret: [0x33; 32] })
             }
         }
     }
@@ -103,8 +101,31 @@ impl App {
     }
 }
 
-fn ecdsa_pad(v: Vec<u8>) -> Vec<u8> {
-    v
+/// Extract `--json <path>` from this process's command line, if given.
+/// The bench binaries use it to emit machine-readable results next to
+/// the human-readable tables.
+pub fn json_output_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path = args.next().map(std::path::PathBuf::from);
+            if path.is_none() {
+                eprintln!("warning: --json given without a path; no JSON will be written");
+            }
+            return path;
+        }
+    }
+    None
+}
+
+/// Write a JSON document to `path` (with a trailing newline).
+pub fn write_json(
+    path: &std::path::Path,
+    value: &parfait_telemetry::json::Json,
+) -> std::io::Result<()> {
+    let mut text = value.to_string();
+    text.push('\n');
+    std::fs::write(path, text)
 }
 
 /// Count the non-blank, non-comment lines of a source string.

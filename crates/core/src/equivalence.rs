@@ -92,7 +92,7 @@ mod tests {
     fn inequivalent_machines_caught() {
         let a = counter_bytes();
         let b = counter_bytes_leaky();
-        let seqs = vec![vec![vec![1, 5, 0, 0, 0], vec![0xAB].to_vec()]];
+        let seqs = vec![vec![vec![1, 5, 0, 0, 0], vec![0xAB]]];
         let err = check_equivalence(&a, &b, &seqs).unwrap_err();
         assert_eq!(err.step, 1);
     }

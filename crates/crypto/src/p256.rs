@@ -57,9 +57,9 @@ impl Monty {
     /// Montgomery product `a * b * R^-1 mod m` (CIOS).
     pub fn mul(&self, a: &U256, b: &U256) -> U256 {
         let mut t = [0u32; 10]; // 8 limbs + 2 carry limbs
-        for i in 0..8 {
-            // t += a * b[i]
-            let bi = b[i] as u64;
+        for &limb in b.iter().take(8) {
+            // t += a * limb
+            let bi = limb as u64;
             let mut carry = 0u64;
             for j in 0..8 {
                 let v = t[j] as u64 + a[j] as u64 * bi + carry;

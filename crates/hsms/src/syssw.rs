@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn active_state_follows_flag() {
-        let mut img = initial_fram(&vec![1u8; 4]);
+        let mut img = initial_fram(&[1u8; 4]);
         img[slot1_offset(4)..slot1_offset(4) + 4].copy_from_slice(&[9; 4]);
         assert_eq!(active_state(&img, 4), vec![1; 4]);
         img[0] = 1; // flip flag

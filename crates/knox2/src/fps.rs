@@ -20,8 +20,9 @@
 use std::time::{Duration, Instant};
 
 use parfait_riscv::model::AsmStateMachine;
-use parfait_rtl::{Circuit, WireIn};
+use parfait_rtl::{Circuit, Trace, WireIn};
 use parfait_soc::Soc;
+use parfait_telemetry::Telemetry;
 
 use crate::emulator::CircuitEmulator;
 
@@ -176,12 +177,60 @@ impl FpsReport {
     }
 }
 
+/// Observability hooks for an FPS run: a telemetry handle plus the
+/// heartbeat cadence. The default observer is disabled and adds no
+/// work on the per-cycle hot path.
+#[derive(Clone, Debug, Default)]
+pub struct FpsObserver {
+    /// Destination for spans, counters, gauges, and heartbeats.
+    pub telemetry: Telemetry,
+    /// Emit an `fps.heartbeat` progress event every this many simulated
+    /// cycles (0 disables heartbeats).
+    pub heartbeat_cycles: u64,
+}
+
+/// An FPS failure together with the statistics accumulated up to the
+/// failure, so a run that times out after millions of cycles still
+/// reports how far it got and at what simulation rate.
+#[derive(Debug)]
+pub struct FpsFailure {
+    /// What went wrong.
+    pub error: FpsError,
+    /// Cycles, wall time, commands, and spec queries up to the failure.
+    pub partial: FpsReport,
+}
+
+impl std::fmt::Display for FpsFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (after {} cycles, {} commands, {:.1?})",
+            self.error, self.partial.cycles, self.partial.commands, self.partial.wall
+        )
+    }
+}
+
+impl std::error::Error for FpsFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// The lock-stepped pair of circuits.
 struct Dual<'a, 's> {
     real: &'a mut Soc,
     emu: &'a mut CircuitEmulator<'s>,
     cycle: u64,
     divergence: Option<Divergence>,
+    commands: usize,
+    op_index: usize,
+    tel: Telemetry,
+    heartbeat_cycles: u64,
+    next_heartbeat: u64,
+    start: Instant,
+    /// Observable wires of both worlds, recorded only when a VCD dump
+    /// was requested via `PARFAIT_VCD_DIR`.
+    vcd: Option<(Trace, Trace)>,
 }
 
 struct Divergence {
@@ -207,6 +256,10 @@ impl Circuit for Dual<'_, '_> {
         // divergence is caught at the first differing cycle.
         let r = self.real.get_output().observable();
         let i = self.emu.get_output().observable();
+        if let Some((real_trace, ideal_trace)) = &mut self.vcd {
+            real_trace.events.push(r);
+            ideal_trace.events.push(i);
+        }
         if r != i && self.divergence.is_none() {
             self.divergence = Some(Divergence {
                 cycle: self.cycle,
@@ -219,6 +272,21 @@ impl Circuit for Dual<'_, '_> {
         self.real.tick();
         self.emu.tick();
         self.cycle += 1;
+        if self.cycle >= self.next_heartbeat {
+            self.next_heartbeat = self.cycle.saturating_add(self.heartbeat_cycles.max(1));
+            let rate = self.cycle as f64 / self.start.elapsed().as_secs_f64().max(1e-9);
+            self.tel.progress(
+                "fps.heartbeat",
+                &[
+                    ("cycles", self.cycle as f64),
+                    ("cycles_per_s", rate),
+                    ("commands", self.commands as f64),
+                    ("op_index", self.op_index as f64),
+                    ("real_pc", self.real.core.pc() as f64),
+                    ("ideal_pc", self.emu.soc.core.pc() as f64),
+                ],
+            );
+        }
     }
 
     fn cycles(&self) -> u64 {
@@ -241,19 +309,126 @@ pub fn check_fps(
     project: &dyn Fn(&Soc) -> Vec<u8>,
     script: &[HostOp],
 ) -> Result<FpsReport, FpsError> {
+    check_fps_traced(real, emu, cfg, project, script, &FpsObserver::default())
+        .map_err(|f| f.error)
+}
+
+/// [`check_fps`] with observability: spans per script op, counters for
+/// spec queries and timeouts, periodic heartbeats, FIFO high-water
+/// gauges, and — on failure — the partial [`FpsReport`] accumulated up
+/// to that point.
+///
+/// When the `PARFAIT_VCD_DIR` environment variable is set, both worlds'
+/// observable wires are recorded and a [`FpsError::TraceDivergence`]
+/// failure writes a dual-scope VCD waveform into that directory.
+pub fn check_fps_traced(
+    real: &mut Soc,
+    emu: &mut CircuitEmulator<'_>,
+    cfg: &FpsConfig,
+    project: &dyn Fn(&Soc) -> Vec<u8>,
+    script: &[HostOp],
+    obs: &FpsObserver,
+) -> Result<FpsReport, FpsFailure> {
     let start = Instant::now();
-    let mut report = FpsReport::default();
-    let mut dual = Dual { real, emu, cycle: 0, divergence: None };
+    let tel = obs.telemetry.clone();
+    let run_span = tel.span("fps.run");
+    let vcd_dir = std::env::var_os("PARFAIT_VCD_DIR");
+    let mut dual = Dual {
+        real,
+        emu,
+        cycle: 0,
+        divergence: None,
+        commands: 0,
+        op_index: 0,
+        tel: tel.clone(),
+        heartbeat_cycles: obs.heartbeat_cycles,
+        next_heartbeat: if obs.heartbeat_cycles == 0 || !tel.enabled() {
+            u64::MAX
+        } else {
+            obs.heartbeat_cycles
+        },
+        start,
+        vcd: vcd_dir.as_ref().map(|_| (Trace::default(), Trace::default())),
+    };
+    let outcome = run_script(&mut dual, cfg, project, script);
+    // The statistics are computed the same way on success and failure,
+    // so an aborted run still reports how far it got.
+    let report = FpsReport {
+        cycles: dual.cycle,
+        wall: start.elapsed(),
+        commands: dual.commands,
+        spec_queries: dual.emu.queries,
+    };
+    tel.count("fps.spec_queries", dual.emu.queries);
+    tel.gauge_max("soc.real.rx_fifo_hwm", dual.real.rx_fifo.high_water() as u64);
+    tel.gauge_max("soc.real.tx_fifo_hwm", dual.real.tx_fifo.high_water() as u64);
+    tel.gauge_max("soc.ideal.rx_fifo_hwm", dual.emu.soc.rx_fifo.high_water() as u64);
+    tel.gauge_max("soc.ideal.tx_fifo_hwm", dual.emu.soc.tx_fifo.high_water() as u64);
+    tel.count("soc.real.instructions_retired", dual.real.instructions_retired());
+    drop(run_span);
+    match outcome {
+        Ok(()) => Ok(report),
+        Err(error) => {
+            if let FpsError::TraceDivergence { cycle, op_index, real_pc, ideal_pc, .. } = &error {
+                tel.progress(
+                    "fps.divergence",
+                    &[
+                        ("cycle", *cycle as f64),
+                        ("op_index", *op_index as f64),
+                        ("real_pc", *real_pc as f64),
+                        ("ideal_pc", *ideal_pc as f64),
+                    ],
+                );
+                if let (Some(dir), Some((real_trace, ideal_trace))) =
+                    (vcd_dir.as_ref(), dual.vcd.take())
+                {
+                    let doc = parfait_rtl::vcd::dual_trace_to_vcd(
+                        "real",
+                        &real_trace,
+                        "ideal",
+                        &ideal_trace,
+                    );
+                    let path = std::path::Path::new(dir)
+                        .join(format!("fps-divergence-cycle{cycle}.vcd"));
+                    if let Err(e) = std::fs::write(&path, doc) {
+                        eprintln!(
+                            "parfait: could not write divergence VCD to {}: {e}",
+                            path.display()
+                        );
+                    }
+                }
+            }
+            tel.count("fps.failures", 1);
+            Err(FpsFailure { error, partial: report })
+        }
+    }
+}
+
+/// Drive the script against the lock-stepped pair, returning the first
+/// failure. Statistics live in `dual` so the caller can read them on
+/// both the success and failure paths.
+fn run_script(
+    dual: &mut Dual<'_, '_>,
+    cfg: &FpsConfig,
+    project: &dyn Fn(&Soc) -> Vec<u8>,
+    script: &[HostOp],
+) -> Result<(), FpsError> {
     // The device consumes input in fixed-size commands and answers every
     // completed one; track framing so adversarial partial traffic keeps
     // the script aligned (responses are always drained).
     let mut pending_bytes = 0usize;
     let mut wire_responses: Vec<Vec<u8>> = Vec::new();
     for (op_index, op) in script.iter().enumerate() {
+        dual.op_index = op_index;
+        let _op_span = dual.tel.span(match op {
+            HostOp::Command(_) => "fps.command",
+            HostOp::Garbage(_) => "fps.garbage",
+            HostOp::Idle(_) => "fps.idle",
+        });
         let io_result = match op {
             HostOp::Command(cmd) | HostOp::Garbage(cmd) => {
                 if matches!(op, HostOp::Command(_)) {
-                    report.commands += 1;
+                    dual.commands += 1;
                 }
                 // Interleave sending with response draining: the device
                 // answers after every COMMAND_SIZE-th byte, and its TX
@@ -261,12 +436,12 @@ pub fn check_fps(
                 // command boundary without reading would deadlock it.
                 let mut send_all = || -> Result<(), parfait_soc::host::HostTimeout> {
                     for &b in cmd {
-                        parfait_soc::host::send_byte(&mut dual, b, cfg.timeout)?;
+                        parfait_soc::host::send_byte(&mut *dual, b, cfg.timeout)?;
                         pending_bytes += 1;
                         if pending_bytes == cfg.command_size {
                             pending_bytes = 0;
                             let r = parfait_soc::host::recv_bytes(
-                                &mut dual,
+                                &mut *dual,
                                 cfg.response_size,
                                 cfg.timeout,
                             )?;
@@ -278,12 +453,12 @@ pub fn check_fps(
                 send_all()
             }
             HostOp::Idle(n) => {
-                parfait_soc::host::idle(&mut dual, *n);
+                parfait_soc::host::idle(dual, *n);
                 Ok(())
             }
         };
         // Any wire divergence takes precedence over secondary symptoms.
-        if let Some(d) = dual.divergence {
+        if let Some(d) = dual.divergence.take() {
             return Err(FpsError::TraceDivergence {
                 cycle: d.cycle,
                 op_index,
@@ -300,6 +475,7 @@ pub fn check_fps(
             return Err(FpsError::Fault { world: "ideal", detail: f });
         }
         if io_result.is_err() {
+            dual.tel.count("fps.timeouts", 1);
             return Err(FpsError::Timeout { op_index });
         }
         // Refinement relation at the quiescent point after a command.
@@ -314,7 +490,6 @@ pub fn check_fps(
             }
         }
     }
-    report.cycles = dual.cycle;
     // Functional binding: every wire response must equal the spec's
     // response for the corresponding command.
     let spec_responses = dual.emu.spec_responses.clone();
@@ -347,7 +522,5 @@ pub fn check_fps(
             .collect();
         return Err(FpsError::Leak { events });
     }
-    report.spec_queries = dual.emu.queries;
-    report.wall = start.elapsed();
-    Ok(report)
+    Ok(())
 }

@@ -35,6 +35,12 @@ pub mod sync;
 
 pub use driver::WireDriver;
 pub use emulator::CircuitEmulator;
-pub use fps::{check_fps, ByteSpec, FpsConfig, FpsError, FpsReport, HostOp};
+pub use fps::{
+    check_fps, check_fps_traced, ByteSpec, FpsConfig, FpsError, FpsFailure, FpsObserver,
+    FpsReport, HostOp,
+};
 pub use script::{adversarial_script, smoke_script};
-pub use sync::{sync_handle_execution, SyncError, SyncPolicy, SyncStats, SyncWhen};
+pub use sync::{
+    sync_handle_execution, sync_handle_execution_traced, SyncError, SyncPolicy, SyncStats,
+    SyncWhen,
+};

@@ -51,22 +51,46 @@ impl std::fmt::Display for OptLevel {
 
 /// Compile a type-checked program to RV32IM assembly text.
 pub fn compile(program: &Program, opt: OptLevel) -> Result<String, LcError> {
-    let ir = lower(program)?;
-    Ok(compile_ir(ir, opt))
+    compile_traced(program, opt, &parfait_telemetry::Telemetry::disabled())
+}
+
+/// [`compile`] with telemetry: per-pass spans (`littlec.lower`,
+/// `littlec.opt`, `littlec.codegen` — the latter covers register
+/// allocation and emission) under a `littlec.compile` parent.
+pub fn compile_traced(
+    program: &Program,
+    opt: OptLevel,
+    tel: &parfait_telemetry::Telemetry,
+) -> Result<String, LcError> {
+    let _span = tel.span("littlec.compile");
+    let ir = {
+        let _span = tel.span("littlec.lower");
+        lower(program)?
+    };
+    Ok(compile_ir_traced(ir, opt, tel))
 }
 
 /// Compile an already-lowered IR program to assembly text.
-pub fn compile_ir(mut ir: IrProgram, opt: OptLevel) -> String {
-    for f in &mut ir.functions {
-        prune_unreachable(f);
-    }
-    if opt == OptLevel::O2 {
-        optimize_program(&mut ir);
+pub fn compile_ir(ir: IrProgram, opt: OptLevel) -> String {
+    compile_ir_traced(ir, opt, &parfait_telemetry::Telemetry::disabled())
+}
+
+/// [`compile_ir`] with per-pass telemetry spans.
+pub fn compile_ir_traced(mut ir: IrProgram, opt: OptLevel, tel: &parfait_telemetry::Telemetry) -> String {
+    {
+        let _span = tel.span("littlec.opt");
+        for f in &mut ir.functions {
+            prune_unreachable(f);
+        }
+        if opt == OptLevel::O2 {
+            optimize_program(&mut ir);
+        }
     }
     let k = match opt {
         OptLevel::O0 => 0,
         _ => 20,
     };
+    let _span = tel.span("littlec.codegen");
     emit_program(&ir, k, opt == OptLevel::O2)
 }
 

@@ -423,7 +423,7 @@ impl State<'_> {
             ));
         }
         let eaddr = eaddr64 as u32;
-        if elem == Ty::U32 && eaddr % 4 != 0 {
+        if elem == Ty::U32 && !eaddr.is_multiple_of(4) {
             return Err(LcError::new(line, format!("misaligned u32 access at {eaddr:#x}")));
         }
         Ok((eaddr, elem))

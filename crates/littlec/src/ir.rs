@@ -63,20 +63,8 @@ impl IrOp {
             IrOp::Add => a.wrapping_add(b),
             IrOp::Sub => a.wrapping_sub(b),
             IrOp::Mul => a.wrapping_mul(b),
-            IrOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
-            IrOp::Remu => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            IrOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+            IrOp::Remu => a.checked_rem(b).unwrap_or(a),
             IrOp::And => a & b,
             IrOp::Or => a | b,
             IrOp::Xor => a ^ b,

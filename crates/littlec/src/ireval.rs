@@ -168,7 +168,7 @@ impl EvalState<'_> {
                         regs[*dst as usize] = match width {
                             Width::Byte => self.mem.load_u8(a) as u32,
                             Width::Word => {
-                                if a % 4 != 0 {
+                                if !a.is_multiple_of(4) {
                                     return Err(LcError::new(
                                         0,
                                         format!("misaligned word load at {a:#x} in `{name}`"),
@@ -184,7 +184,7 @@ impl EvalState<'_> {
                         match width {
                             Width::Byte => self.mem.store_u8(a, v as u8),
                             Width::Word => {
-                                if a % 4 != 0 {
+                                if !a.is_multiple_of(4) {
                                     return Err(LcError::new(
                                         0,
                                         format!("misaligned word store at {a:#x} in `{name}`"),
@@ -272,7 +272,7 @@ mod tests {
                 return s;
             }
         ";
-        assert_eq!(run(src, "f", &[5]), 0 + 1 + 4 + 9 + 16);
+        assert_eq!(run(src, "f", &[5]), 1 + 4 + 9 + 16);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod typeck;
 pub mod validate;
 
 pub use ast::Program;
-pub use codegen::{compile, OptLevel};
+pub use codegen::{compile, compile_traced, OptLevel};
 pub use interp::Interp;
 pub use parser::parse;
 pub use typeck::typecheck;
@@ -81,7 +81,22 @@ impl std::error::Error for LcError {}
 /// assert_eq!(m.call(entry, &[21], 1000).unwrap(), 42);
 /// ```
 pub fn frontend(source: &str) -> Result<Program, LcError> {
-    let program = parser::parse(source)?;
-    typeck::typecheck(&program)?;
+    frontend_traced(source, &parfait_telemetry::Telemetry::disabled())
+}
+
+/// [`frontend`] with telemetry: `littlec.parse` and `littlec.typecheck`
+/// spans around the two front-end phases.
+pub fn frontend_traced(
+    source: &str,
+    tel: &parfait_telemetry::Telemetry,
+) -> Result<Program, LcError> {
+    let program = {
+        let _span = tel.span("littlec.parse");
+        parser::parse(source)?
+    };
+    {
+        let _span = tel.span("littlec.typecheck");
+        typeck::typecheck(&program)?;
+    }
     Ok(program)
 }

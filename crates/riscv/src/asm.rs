@@ -139,7 +139,7 @@ pub fn assemble_with(source: &str, layout: Layout) -> Result<Program, AsmError> 
             }
             Item::Bytes(b) => data.extend_from_slice(b),
             Item::Align(a) => {
-                while data.len() as u32 % a != 0 {
+                while !(data.len() as u32).is_multiple_of(*a) {
                     data.push(0);
                 }
             }

@@ -90,7 +90,7 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 _ => return Err(DecodeError(word)),
             };
             let imm = match op {
-                AluOp::Sll | AluOp::Srl | AluOp::Sra => (imm_i & 31) as i32,
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm_i & 31,
                 _ => imm_i,
             };
             Ok(Instr::OpImm { op, rd, rs1, imm })

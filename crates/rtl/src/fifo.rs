@@ -9,12 +9,13 @@ use crate::value::W;
 pub struct Fifo {
     q: VecDeque<W>,
     cap: usize,
+    hwm: usize,
 }
 
 impl Fifo {
     /// An empty FIFO with capacity `cap`.
     pub fn new(cap: usize) -> Fifo {
-        Fifo { q: VecDeque::with_capacity(cap), cap }
+        Fifo { q: VecDeque::with_capacity(cap), cap, hwm: 0 }
     }
 
     /// Whether a push would be accepted.
@@ -41,10 +42,16 @@ impl Fifo {
     pub fn push(&mut self, w: W) -> bool {
         if self.can_push() {
             self.q.push_back(w);
+            self.hwm = self.hwm.max(self.q.len());
             true
         } else {
             false
         }
+    }
+
+    /// Highest occupancy ever reached (for sizing/telemetry).
+    pub fn high_water(&self) -> usize {
+        self.hwm
     }
 
     /// Pop the oldest entry.
@@ -72,5 +79,21 @@ mod tests {
         assert_eq!(f.peek().unwrap().v, 2);
         assert_eq!(f.pop().unwrap().v, 2);
         assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn high_water_persists_across_drain() {
+        let mut f = Fifo::new(4);
+        assert_eq!(f.high_water(), 0);
+        f.push(W::pub32(1));
+        f.push(W::pub32(2));
+        f.push(W::pub32(3));
+        f.pop();
+        f.pop();
+        f.pop();
+        assert!(f.is_empty());
+        assert_eq!(f.high_water(), 3, "mark survives the drain");
+        f.push(W::pub32(4));
+        assert_eq!(f.high_water(), 3, "refilling below the mark keeps it");
     }
 }

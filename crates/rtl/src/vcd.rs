@@ -14,37 +14,75 @@ use crate::circuit::Trace;
 /// scope (e.g. `"real"` or `"ideal"`).
 pub fn trace_to_vcd(name: &str, trace: &Trace) -> String {
     let mut out = String::new();
+    write_header(&mut out);
+    write_scope_vars(&mut out, name, ['r', 'v', 'd']);
+    let _ = writeln!(out, "$enddefinitions $end");
+    write_changes(&mut out, &[(trace, ['r', 'v', 'd'])], trace.events.len());
+    out
+}
+
+/// Render two traces of the same run — conventionally the real SoC and
+/// the ideal (emulated) world — as sibling scopes in one VCD document,
+/// so a waveform viewer shows them stacked and the divergence cycle is
+/// visible at a glance.
+pub fn dual_trace_to_vcd(name_a: &str, trace_a: &Trace, name_b: &str, trace_b: &Trace) -> String {
+    let mut out = String::new();
+    write_header(&mut out);
+    // Distinct id chars per scope: lower-case for the first world,
+    // upper-case for the second.
+    write_scope_vars(&mut out, name_a, ['r', 'v', 'd']);
+    write_scope_vars(&mut out, name_b, ['R', 'V', 'D']);
+    let _ = writeln!(out, "$enddefinitions $end");
+    let len = trace_a.events.len().max(trace_b.events.len());
+    write_changes(&mut out, &[(trace_a, ['r', 'v', 'd']), (trace_b, ['R', 'V', 'D'])], len);
+    out
+}
+
+fn write_header(out: &mut String) {
     let _ = writeln!(out, "$date reproduction run $end");
     let _ = writeln!(out, "$version parfait-rtl $end");
     let _ = writeln!(out, "$timescale 1ns $end");
+}
+
+fn write_scope_vars(out: &mut String, name: &str, ids: [char; 3]) {
     let _ = writeln!(out, "$scope module {name} $end");
-    let _ = writeln!(out, "$var wire 1 r rx_ready $end");
-    let _ = writeln!(out, "$var wire 1 v tx_valid $end");
-    let _ = writeln!(out, "$var wire 8 d tx_data [7:0] $end");
+    let _ = writeln!(out, "$var wire 1 {} rx_ready $end", ids[0]);
+    let _ = writeln!(out, "$var wire 1 {} tx_valid $end", ids[1]);
+    let _ = writeln!(out, "$var wire 8 {} tx_data [7:0] $end", ids[2]);
     let _ = writeln!(out, "$upscope $end");
-    let _ = writeln!(out, "$enddefinitions $end");
-    let mut prev: Option<(bool, bool, u8)> = None;
-    for (cycle, &(rx_ready, tx_valid, tx_data)) in trace.events.iter().enumerate() {
-        let changed = match prev {
-            None => (true, true, true),
-            Some((pr, pv, pd)) => (pr != rx_ready, pv != tx_valid, pd != tx_data),
-        };
-        if changed.0 || changed.1 || changed.2 {
-            let _ = writeln!(out, "#{cycle}");
+}
+
+/// Emit change-only value sections (`#cycle` plus changed signals) for
+/// any number of traces sharing the timeline, closing at `#len`.
+fn write_changes(out: &mut String, traces: &[(&Trace, [char; 3])], len: usize) {
+    let mut prev: Vec<Option<(bool, bool, u8)>> = vec![None; traces.len()];
+    for cycle in 0..len {
+        let mut section = String::new();
+        for (slot, (trace, ids)) in traces.iter().enumerate() {
+            let Some(&(rx_ready, tx_valid, tx_data)) = trace.events.get(cycle) else {
+                continue;
+            };
+            let changed = match prev[slot] {
+                None => (true, true, true),
+                Some((pr, pv, pd)) => (pr != rx_ready, pv != tx_valid, pd != tx_data),
+            };
             if changed.0 {
-                let _ = writeln!(out, "{}r", rx_ready as u8);
+                let _ = writeln!(section, "{}{}", rx_ready as u8, ids[0]);
             }
             if changed.1 {
-                let _ = writeln!(out, "{}v", tx_valid as u8);
+                let _ = writeln!(section, "{}{}", tx_valid as u8, ids[1]);
             }
             if changed.2 {
-                let _ = writeln!(out, "b{tx_data:08b} d");
+                let _ = writeln!(section, "b{tx_data:08b} {}", ids[2]);
             }
+            prev[slot] = Some((rx_ready, tx_valid, tx_data));
         }
-        prev = Some((rx_ready, tx_valid, tx_data));
+        if !section.is_empty() {
+            let _ = writeln!(out, "#{cycle}");
+            out.push_str(&section);
+        }
     }
-    let _ = writeln!(out, "#{}", trace.events.len());
-    out
+    let _ = writeln!(out, "#{len}");
 }
 
 /// Record a trace while running a closure over a circuit.
@@ -92,5 +130,30 @@ mod tests {
         let vcd = trace_to_vcd("x", &Trace::default());
         assert!(vcd.contains("$enddefinitions"));
         assert!(vcd.ends_with("#0\n"));
+    }
+
+    #[test]
+    fn dual_trace_sibling_scopes() {
+        let real = Trace { events: vec![(true, false, 0), (true, true, 0xAA)] };
+        let ideal = Trace { events: vec![(true, false, 0), (true, false, 0)] };
+        let vcd = dual_trace_to_vcd("real", &real, "ideal", &ideal);
+        assert!(vcd.contains("$scope module real $end"));
+        assert!(vcd.contains("$scope module ideal $end"));
+        // Both worlds' initial values share the #0 section; the ids are
+        // disjoint between scopes.
+        assert!(vcd.contains("#0\n1r\n0v\nb00000000 d\n1R\n0V\nb00000000 D\n"));
+        // Only the real world changes at cycle 1.
+        assert!(vcd.contains("#1\n1v\nb10101010 d\n#2\n"));
+        assert!(!vcd.contains("1V\nb10101010 D"));
+        assert!(vcd.ends_with("#2\n"));
+    }
+
+    #[test]
+    fn dual_trace_handles_unequal_lengths() {
+        let a = Trace { events: vec![(true, false, 1), (true, false, 2), (true, false, 3)] };
+        let b = Trace { events: vec![(false, false, 1)] };
+        let vcd = dual_trace_to_vcd("real", &a, "ideal", &b);
+        assert!(vcd.ends_with("#3\n"), "closes at the longer trace");
+        assert!(vcd.contains("b00000011 d"), "real's cycle-2 data present");
     }
 }

@@ -105,6 +105,7 @@ pub struct Soc {
     firmware: Firmware,
     input: WireIn,
     cycles: u64,
+    instructions_retired: u64,
 }
 
 struct Bus<'a> {
@@ -189,7 +190,15 @@ impl Soc {
             firmware,
             input: WireIn::default(),
             cycles: 0,
+            instructions_retired: 0,
         }
+    }
+
+    /// How many instructions the core has retired since construction
+    /// (power cycles do not reset this; it tracks total simulation
+    /// work, the denominator of instructions-per-cycle telemetry).
+    pub fn instructions_retired(&self) -> u64 {
+        self.instructions_retired
     }
 
     /// The firmware loaded in this SoC.
@@ -282,6 +291,9 @@ impl Circuit for Soc {
             bus_fault: &mut self.bus_fault,
         };
         self.core.step(&mut bus);
+        if self.core.last_retired().is_some() {
+            self.instructions_retired += 1;
+        }
     }
 
     fn cycles(&self) -> u64 {

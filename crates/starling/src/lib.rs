@@ -22,4 +22,4 @@
 pub mod machines;
 pub mod verify;
 
-pub use verify::{verify_app, StarlingConfig, StarlingError, StarlingReport};
+pub use verify::{verify_app, verify_app_traced, StarlingConfig, StarlingError, StarlingReport};

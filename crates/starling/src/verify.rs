@@ -11,6 +11,7 @@ use parfait::StateMachine;
 use parfait_littlec::codegen::OptLevel;
 use parfait_littlec::ir::lower;
 use parfait_littlec::validate::asm_machine;
+use parfait_telemetry::Telemetry;
 
 use crate::machines::{AsmMachine, InterpMachine, IrMachine};
 
@@ -104,10 +105,47 @@ where
     <C::Spec as StateMachine>::Command: Clone + PartialEq + std::fmt::Debug,
     <C::Spec as StateMachine>::State: Clone,
 {
+    verify_app_traced(
+        codec,
+        spec,
+        app_source,
+        config,
+        spec_states,
+        spec_commands,
+        spec_responses,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`verify_app`] with telemetry: one span per proof obligation
+/// (`starling.codec_inverse`, `starling.lockstep`,
+/// `starling.translation`, `starling.ipr`), littlec per-pass compile
+/// spans nested underneath, and counters for the Table 3 effort
+/// numbers.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_app_traced<C>(
+    codec: &C,
+    spec: &C::Spec,
+    app_source: &str,
+    config: &StarlingConfig,
+    spec_states: &[<C::Spec as StateMachine>::State],
+    spec_commands: &[<C::Spec as StateMachine>::Command],
+    spec_responses: &[<C::Spec as StateMachine>::Response],
+    tel: &Telemetry,
+) -> Result<StarlingReport, StarlingError>
+where
+    C: Codec<CI = Vec<u8>, RI = Vec<u8>, SI = Vec<u8>>,
+    <C::Spec as StateMachine>::Command: Clone + PartialEq + std::fmt::Debug,
+    <C::Spec as StateMachine>::State: Clone,
+{
+    let _run_span = tel.span("starling.verify");
     let mut report = StarlingReport::default();
     // Obligation 1: codec inversion.
-    check_codec_inverse(codec, spec_commands, spec_responses)
-        .map_err(StarlingError::Lockstep)?;
+    {
+        let _span = tel.span("starling.codec_inverse");
+        check_codec_inverse(codec, spec_commands, spec_responses)
+            .map_err(StarlingError::Lockstep)?;
+    }
 
     // Build the input set: encoded valid commands + adversarial inputs.
     let mut inputs: Vec<Vec<u8>> = spec_commands.iter().map(|c| codec.encode_command(c)).collect();
@@ -122,23 +160,28 @@ where
     for c in spec_commands {
         let mut enc = codec.encode_command(c);
         let i = rng.random_range(0..enc.len());
-        enc[i] ^= 1 << rng.random_range(0..8);
+        enc[i] ^= 1u8 << rng.random_range(0..8u8);
         inputs.push(enc);
     }
 
     // Build the littlec levels.
-    let program =
-        parfait_littlec::frontend(app_source).map_err(|e| StarlingError::Build(e.to_string()))?;
+    let program = parfait_littlec::frontend_traced(app_source, tel)
+        .map_err(|e| StarlingError::Build(e.to_string()))?;
     let interp = InterpMachine::new(&program, config.response_size);
     let ir = lower(&program).map_err(|e| StarlingError::Build(e.to_string()))?;
     let irm = IrMachine::new(&ir, config.response_size);
 
     // Obligation 2: lockstep simulation at the interp (Low*) level.
-    check_lockstep_simulation(codec, spec, &interp, spec_states, &inputs)
-        .map_err(StarlingError::Lockstep)?;
+    {
+        let _span = tel.span("starling.lockstep");
+        check_lockstep_simulation(codec, spec, &interp, spec_states, &inputs)
+            .map_err(StarlingError::Lockstep)?;
+    }
     report.lockstep_cases = spec_states.len() * inputs.len();
+    tel.count("starling.lockstep_cases", report.lockstep_cases as u64);
 
     // Obligation 3: translation validation across the pipeline.
+    let translation_span = tel.span("starling.translation");
     for opt in &config.opt_levels {
         let asm = asm_machine(
             &program,
@@ -169,7 +212,10 @@ where
             }
         }
     }
+    drop(translation_span);
+    tel.count("starling.validation_cases", report.validation_cases as u64);
 
+    let _ipr_span = tel.span("starling.ipr");
     // Obligation 4: end-to-end IPR between spec and the O2 assembly with
     // the lockstep-derived driver/emulator, over a mixed adversarial
     // trace.
@@ -196,6 +242,7 @@ where
         ops.push(Op::Impl(adv.clone()));
     }
     report.ipr_operations = ops.len();
+    tel.count("starling.ipr_operations", report.ipr_operations as u64);
     check_ipr(&spec_with_init, &asmm, &driver, &mut emu, &ops)
         .map_err(|ce| StarlingError::Ipr(ce.to_string()))?;
     Ok(report)

@@ -1,0 +1,411 @@
+//! # parfait-telemetry
+//!
+//! Structured tracing, metrics, and progress reporting for the Parfait
+//! proof pipeline. Zero external dependencies.
+//!
+//! The pipeline's long-running phases (FPS simulation of tens of
+//! millions of cycles, translation validation over hundreds of
+//! state×input pairs, compilation passes) report through a shared
+//! [`Telemetry`] handle:
+//!
+//! - **Spans** — nested, wall-clock-timed regions
+//!   (`tel.span("fps.command")`); ended by RAII drop.
+//! - **Counters** — monotonic totals (`tel.count("fps.spec_queries", 1)`).
+//! - **Gauges / high-water marks** — instantaneous values
+//!   (`tel.gauge(...)`) and maxima that only emit on a raise
+//!   (`tel.gauge_max("soc.rx_fifo.hwm", depth)`).
+//! - **Progress** — periodic heartbeats with numeric fields
+//!   (`tel.progress("fps.heartbeat", &[("cycles", c), ...])`).
+//!
+//! Events flow to a [`Recorder`]; three sinks are provided in
+//! [`sinks`]: a human-readable indented log, a JSONL event stream, and
+//! Chrome trace-event JSON loadable in Perfetto / `chrome://tracing`.
+//!
+//! The disabled handle (`Telemetry::disabled()`, also `Default`) is a
+//! `None` behind the `Clone`: every instrumentation call is a single
+//! branch on the hot path and no recorder, clock, or lock is touched.
+
+pub mod json;
+pub mod sinks;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One telemetry event, passed by reference to [`Recorder::record`].
+///
+/// Timestamps (`t_us`) are microseconds since the handle was created;
+/// `tid` is a small per-thread integer (Chrome-trace lane).
+#[derive(Clone, Debug)]
+pub enum Event<'a> {
+    SpanBegin {
+        id: u64,
+        parent: u64,
+        depth: usize,
+        tid: u64,
+        name: &'a str,
+        t_us: u64,
+    },
+    SpanEnd {
+        id: u64,
+        parent: u64,
+        depth: usize,
+        tid: u64,
+        name: &'a str,
+        t_us: u64,
+        dur_us: u64,
+    },
+    Count {
+        name: &'a str,
+        delta: u64,
+        total: u64,
+        tid: u64,
+        t_us: u64,
+    },
+    Gauge {
+        name: &'a str,
+        value: u64,
+        tid: u64,
+        t_us: u64,
+    },
+    Progress {
+        name: &'a str,
+        fields: &'a [(&'a str, f64)],
+        tid: u64,
+        t_us: u64,
+    },
+}
+
+/// A sink for telemetry events.
+///
+/// Recorders are driven under a lock from the [`Telemetry`] handle, so
+/// implementations are free to keep mutable state without their own
+/// synchronization.
+pub trait Recorder: Send {
+    /// Consume one event.
+    fn record(&mut self, event: &Event<'_>);
+
+    /// Flush and close the sink (write trailers, final brackets, …).
+    /// Called once by [`Telemetry::finish`]; must be idempotent.
+    fn finish(&mut self) {}
+}
+
+struct Inner {
+    epoch: Instant,
+    next_span: AtomicU64,
+    recorder: Mutex<RecorderState>,
+}
+
+struct RecorderState {
+    recorder: Box<dyn Recorder>,
+    /// Monotonic counter totals, keyed by counter name.
+    counters: std::collections::BTreeMap<String, u64>,
+    /// High-water marks for `gauge_max`.
+    maxima: std::collections::BTreeMap<String, u64>,
+    finished: bool,
+}
+
+// Per-thread compact id for trace lanes, and the active-span stack for
+// parentage. Spans are RAII guards, so per thread they strictly nest.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// The shared instrumentation handle.
+///
+/// Cloning is cheap (an `Option<Arc>`), and clones feed the same
+/// recorder — hand them to every layer that should report. The
+/// [`disabled`](Telemetry::disabled) handle makes every call a no-op
+/// behind one branch.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl Telemetry {
+    /// The no-op handle: all instrumentation compiles down to an
+    /// `is_none` check.
+    pub fn disabled() -> Telemetry {
+        Telemetry(None)
+    }
+
+    /// A handle recording into `recorder`.
+    pub fn new(recorder: Box<dyn Recorder>) -> Telemetry {
+        Telemetry(Some(Arc::new(Inner {
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            recorder: Mutex::new(RecorderState {
+                recorder,
+                counters: Default::default(),
+                maxima: Default::default(),
+                finished: false,
+            }),
+        })))
+    }
+
+    /// Whether events are being recorded. Callers can gate *expensive
+    /// context computation* (not the calls themselves) on this.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn t_us(inner: &Inner) -> u64 {
+        inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Open a nested, wall-clock-timed span. Closed when the returned
+    /// guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = &self.0 else {
+            return Span { tel: Telemetry(None), id: 0, parent: 0, depth: 0, name: String::new(), begin_us: 0 };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let tid = current_tid();
+        let (parent, depth) = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied().unwrap_or(0);
+            let depth = s.len();
+            s.push(id);
+            (parent, depth)
+        });
+        let t_us = Self::t_us(inner);
+        {
+            let mut state = inner.recorder.lock().unwrap();
+            state.recorder.record(&Event::SpanBegin { id, parent, depth, tid, name, t_us });
+        }
+        Span { tel: self.clone(), id, parent, depth, name: name.to_string(), begin_us: t_us }
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.0 else { return };
+        let t_us = Self::t_us(inner);
+        let tid = current_tid();
+        let mut state = inner.recorder.lock().unwrap();
+        let total = {
+            let slot = state.counters.entry(name.to_string()).or_insert(0);
+            *slot += delta;
+            *slot
+        };
+        state.recorder.record(&Event::Count { name, delta, total, tid, t_us });
+    }
+
+    /// Record an instantaneous value.
+    pub fn gauge(&self, name: &str, value: u64) {
+        let Some(inner) = &self.0 else { return };
+        let t_us = Self::t_us(inner);
+        let tid = current_tid();
+        let mut state = inner.recorder.lock().unwrap();
+        state.recorder.record(&Event::Gauge { name, value, tid, t_us });
+    }
+
+    /// Record a high-water mark: emits only when `value` exceeds the
+    /// previously recorded maximum for `name`.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        let Some(inner) = &self.0 else { return };
+        let t_us = Self::t_us(inner);
+        let tid = current_tid();
+        let mut state = inner.recorder.lock().unwrap();
+        let raised = match state.maxima.get(name) {
+            Some(&prev) => value > prev,
+            None => true,
+        };
+        if raised {
+            state.maxima.insert(name.to_string(), value);
+            state.recorder.record(&Event::Gauge { name, value, tid, t_us });
+        }
+    }
+
+    /// Emit a progress/heartbeat event with named numeric fields.
+    pub fn progress(&self, name: &str, fields: &[(&str, f64)]) {
+        let Some(inner) = &self.0 else { return };
+        let t_us = Self::t_us(inner);
+        let tid = current_tid();
+        let mut state = inner.recorder.lock().unwrap();
+        state.recorder.record(&Event::Progress { name, fields, tid, t_us });
+    }
+
+    /// Flush and close the underlying recorder. Safe to call more than
+    /// once; later telemetry calls on the handle still no-op through
+    /// the recorder's own idempotence.
+    pub fn finish(&self) {
+        let Some(inner) = &self.0 else { return };
+        let mut state = inner.recorder.lock().unwrap();
+        if !state.finished {
+            state.finished = true;
+            state.recorder.finish();
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").field("enabled", &self.enabled()).finish()
+    }
+}
+
+/// RAII guard for an open span; emits `SpanEnd` on drop.
+///
+/// Spans must be dropped in reverse order of creation within a thread
+/// (the natural result of scoping them), or parentage of later spans
+/// will be misattributed.
+pub struct Span {
+    tel: Telemetry,
+    id: u64,
+    parent: u64,
+    depth: usize,
+    name: String,
+    begin_us: u64,
+}
+
+impl Span {
+    /// The span's id, usable for correlating external context.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = &self.tel.0 else { return };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop back to (and including) this span; tolerates a
+            // mis-nested drop rather than corrupting the stack.
+            if let Some(pos) = s.iter().rposition(|&id| id == self.id) {
+                s.truncate(pos);
+            }
+        });
+        let t_us = Telemetry::t_us(inner);
+        let tid = current_tid();
+        let mut state = inner.recorder.lock().unwrap();
+        state.recorder.record(&Event::SpanEnd {
+            id: self.id,
+            parent: self.parent,
+            depth: self.depth,
+            tid,
+            name: &self.name,
+            t_us,
+            dur_us: t_us.saturating_sub(self.begin_us),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sinks::SharedBuf;
+    use super::*;
+
+    /// Recorder that captures a flat description of each event.
+    struct Capture(std::sync::Arc<Mutex<Vec<String>>>);
+
+    impl Recorder for Capture {
+        fn record(&mut self, event: &Event<'_>) {
+            let line = match event {
+                Event::SpanBegin { id, parent, name, depth, .. } => {
+                    format!("B {name} id={id} parent={parent} depth={depth}")
+                }
+                Event::SpanEnd { id, parent, name, depth, .. } => {
+                    format!("E {name} id={id} parent={parent} depth={depth}")
+                }
+                Event::Count { name, delta, total, .. } => format!("C {name} +{delta}={total}"),
+                Event::Gauge { name, value, .. } => format!("G {name}={value}"),
+                Event::Progress { name, fields, .. } => {
+                    format!("P {name} n_fields={}", fields.len())
+                }
+            };
+            self.0.lock().unwrap().push(line);
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.enabled());
+        let _outer = tel.span("a");
+        tel.count("c", 1);
+        tel.gauge("g", 2);
+        tel.gauge_max("m", 3);
+        tel.progress("p", &[("x", 1.0)]);
+        tel.finish();
+    }
+
+    #[test]
+    fn nested_spans_report_parentage_and_depth() {
+        let log = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let tel = Telemetry::new(Box::new(Capture(log.clone())));
+        {
+            let _a = tel.span("outer");
+            {
+                let _b = tel.span("mid");
+                let _c = tel.span("leaf");
+            }
+            let _d = tel.span("sibling");
+        }
+        let lines = log.lock().unwrap().clone();
+        assert_eq!(
+            lines,
+            vec![
+                "B outer id=1 parent=0 depth=0",
+                "B mid id=2 parent=1 depth=1",
+                "B leaf id=3 parent=2 depth=2",
+                "E leaf id=3 parent=2 depth=2",
+                "E mid id=2 parent=1 depth=1",
+                "B sibling id=4 parent=1 depth=1",
+                "E sibling id=4 parent=1 depth=1",
+                "E outer id=1 parent=0 depth=0",
+            ]
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauge_max_filters() {
+        let log = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let tel = Telemetry::new(Box::new(Capture(log.clone())));
+        tel.count("q", 1);
+        tel.count("q", 4);
+        tel.gauge_max("hwm", 3);
+        tel.gauge_max("hwm", 2); // not a raise: suppressed
+        tel.gauge_max("hwm", 7);
+        let lines = log.lock().unwrap().clone();
+        assert_eq!(lines, vec!["C q +1=1", "C q +4=5", "G hwm=3", "G hwm=7"]);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        struct CountFinish(std::sync::Arc<AtomicU64>);
+        impl Recorder for CountFinish {
+            fn record(&mut self, _: &Event<'_>) {}
+            fn finish(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let n = std::sync::Arc::new(AtomicU64::new(0));
+        let tel = Telemetry::new(Box::new(CountFinish(n.clone())));
+        tel.finish();
+        tel.finish();
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let buf = SharedBuf::new();
+        let tel = Telemetry::new(Box::new(sinks::JsonlSink::new(buf.writer())));
+        let tel2 = tel.clone();
+        tel.count("a", 1);
+        tel2.count("a", 1);
+        tel.finish();
+        let text = buf.take_string();
+        let totals: Vec<i64> = text
+            .lines()
+            .map(|l| json::parse(l).unwrap().get("total").unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(totals, vec![1, 2], "clones must accumulate into one counter");
+    }
+
+    use super::sinks;
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Full local CI gate: release build, tier-1 tests, workspace tests, and
+# clippy with warnings promoted to errors. Run from the repo root.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

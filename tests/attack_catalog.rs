@@ -124,7 +124,7 @@ impl Codec for TokenCodec {
         c.clone()
     }
     fn decode_command(&self, c: &Vec<u8>) -> Option<Vec<u8>> {
-        (c.len() == CMD && matches!(c[0], 1 | 2 | 3)).then(|| c.clone())
+        (c.len() == CMD && matches!(c[0], 1..=3)).then(|| c.clone())
     }
     fn encode_response(&self, r: Option<&Vec<u8>>) -> Vec<u8> {
         match r {

@@ -1,0 +1,189 @@
+//! End-to-end observability of the proof pipeline: `check_fps_traced`
+//! against the real password-hasher SoC must emit heartbeats at the
+//! configured cycle interval, attach a partial report to failures, and
+//! dump a dual-scope VCD on wire divergence when asked.
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{
+    HasherCodec, HasherCommand, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::syssw;
+use parfait_knox2::{
+    check_fps_traced, CircuitEmulator, FpsConfig, FpsError, FpsObserver, HostOp,
+};
+use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::validate::asm_machine;
+use parfait_soc::{Firmware, Soc};
+use parfait_telemetry::json;
+use parfait_telemetry::sinks::{Fanout, JsonlSink, LogSink, SharedBuf};
+use parfait_telemetry::Telemetry;
+
+fn build(opt: OptLevel) -> (Firmware, parfait_riscv::model::AsmStateMachine) {
+    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
+    let fw = build_firmware(&hasher_app_source(), sizes, opt).unwrap();
+    let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
+    let spec =
+        asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
+    (fw, spec)
+}
+
+fn cfg(timeout: u64) -> FpsConfig {
+    FpsConfig {
+        command_size: COMMAND_SIZE,
+        response_size: RESPONSE_SIZE,
+        timeout,
+        state_size: STATE_SIZE,
+    }
+}
+
+fn project(soc: &Soc) -> Vec<u8> {
+    syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE)
+}
+
+fn hash_script() -> Vec<HostOp> {
+    let cmd = HasherCodec.encode_command(&HasherCommand::Hash { message: [0x11; 32] });
+    vec![HostOp::Command(cmd)]
+}
+
+#[test]
+fn heartbeats_fire_at_the_configured_interval() {
+    const INTERVAL: u64 = 10_000;
+    let (fw, spec) = build(OptLevel::O2);
+    let secret_state = HasherCodec.encode_state(&HasherState { secret: [0x42; 32] });
+    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret_state);
+    let dummy_soc = make_soc(Cpu::Ibex, fw, &HasherCodec.encode_state(&HasherSpec.init()));
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret_state, COMMAND_SIZE);
+
+    let jsonl = SharedBuf::new();
+    let log = SharedBuf::new();
+    let tel = Telemetry::new(Box::new(Fanout::new(vec![
+        Box::new(JsonlSink::new(jsonl.writer())),
+        Box::new(LogSink::new(log.writer())),
+    ])));
+    let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles: INTERVAL };
+    let report =
+        check_fps_traced(&mut real, &mut emu, &cfg(20_000_000), &project, &hash_script(), &obs)
+            .expect("the hasher verifies");
+    tel.finish();
+
+    // The JSONL stream carries one fps.heartbeat progress event per
+    // full INTERVAL of simulated cycles, stamped with the cycle count.
+    let text = jsonl.take_string();
+    let heartbeat_cycles: Vec<u64> = text
+        .lines()
+        .map(|line| json::parse(line).expect("each JSONL line parses"))
+        .filter(|e| {
+            e.get("ev").and_then(|v| v.as_str()) == Some("progress")
+                && e.get("name").and_then(|v| v.as_str()) == Some("fps.heartbeat")
+        })
+        .map(|e| e.get("fields").unwrap().get("cycles").unwrap().as_f64().unwrap() as u64)
+        .collect();
+    assert!(!heartbeat_cycles.is_empty(), "a {}-cycle run must heartbeat", report.cycles);
+    assert_eq!(
+        heartbeat_cycles.len() as u64,
+        report.cycles / INTERVAL,
+        "one heartbeat per {INTERVAL} cycles over {} cycles",
+        report.cycles
+    );
+    for (i, c) in heartbeat_cycles.iter().enumerate() {
+        assert_eq!(*c, (i as u64 + 1) * INTERVAL, "heartbeats land on the interval grid");
+    }
+    // Rate and progress context ride along on every heartbeat.
+    let first = text
+        .lines()
+        .map(|l| json::parse(l).unwrap())
+        .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("fps.heartbeat"))
+        .unwrap();
+    let fields = first.get("fields").unwrap();
+    assert!(fields.get("cycles_per_s").unwrap().as_f64().unwrap() > 0.0);
+    assert!(fields.get("real_pc").is_some() && fields.get("ideal_pc").is_some());
+
+    // The human-readable log shows the same heartbeat with a rate.
+    let log_text = log.take_string();
+    let hb_line = log_text
+        .lines()
+        .find(|l| l.contains("* fps.heartbeat"))
+        .expect("log sink prints heartbeats");
+    assert!(hb_line.contains("cycles_per_s="), "{hb_line}");
+    // FIFO high-water gauges were recorded at the end of the run.
+    assert!(log_text.contains("~ soc.real.rx_fifo_hwm"), "{log_text}");
+}
+
+#[test]
+fn timeout_failure_carries_partial_report() {
+    let (fw, spec) = build(OptLevel::O2);
+    let secret_state = HasherCodec.encode_state(&HasherState { secret: [0x42; 32] });
+    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret_state);
+    let dummy_soc = make_soc(Cpu::Ibex, fw, &HasherCodec.encode_state(&HasherSpec.init()));
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret_state, COMMAND_SIZE);
+
+    let jsonl = SharedBuf::new();
+    let tel = Telemetry::new(Box::new(JsonlSink::new(jsonl.writer())));
+    let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles: 0 };
+    // A Hash command needs far more than 100 cycles of compute, so the
+    // host's per-byte handshake budget is guaranteed to run out.
+    let failure =
+        check_fps_traced(&mut real, &mut emu, &cfg(100), &project, &hash_script(), &obs)
+            .expect_err("a 100-cycle timeout cannot complete a hash");
+    tel.finish();
+
+    assert!(matches!(failure.error, FpsError::Timeout { .. }), "{}", failure.error);
+    // The partial report still says how far the run got (the satellite
+    // fix: previously cycles/wall were only filled in on success).
+    assert!(failure.partial.cycles > 0, "cycles survive the failure");
+    assert_eq!(failure.partial.commands, 1);
+    assert!(failure.partial.wall.as_nanos() > 0);
+    // The Display form surfaces the context too.
+    assert!(format!("{failure}").contains("cycles"), "{failure}");
+    // And the timeout was counted.
+    let text = jsonl.take_string();
+    assert!(
+        text.lines().map(|l| json::parse(l).unwrap()).any(|e| {
+            e.get("ev").and_then(|v| v.as_str()) == Some("count")
+                && e.get("name").and_then(|v| v.as_str()) == Some("fps.timeouts")
+        }),
+        "fps.timeouts counter emitted"
+    );
+}
+
+#[test]
+fn divergence_dumps_dual_scope_vcd() {
+    // Real world at -O0, ideal world at -O2: the timing difference is a
+    // wire-level divergence the checker must catch — and, with
+    // PARFAIT_VCD_DIR set, dump as a dual-scope waveform.
+    let dir = std::env::temp_dir().join(format!("parfait-vcd-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("PARFAIT_VCD_DIR", &dir);
+
+    let (fw_real, spec) = build(OptLevel::O0);
+    let (fw_ideal, _) = build(OptLevel::O2);
+    let secret_state = HasherCodec.encode_state(&HasherState { secret: [0x42; 32] });
+    let mut real = make_soc(Cpu::Ibex, fw_real, &secret_state);
+    let dummy_soc = make_soc(Cpu::Ibex, fw_ideal, &HasherCodec.encode_state(&HasherSpec.init()));
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret_state, COMMAND_SIZE);
+
+    let failure = check_fps_traced(
+        &mut real,
+        &mut emu,
+        &cfg(20_000_000),
+        &project,
+        &hash_script(),
+        &FpsObserver::default(),
+    )
+    .expect_err("-O0 vs -O2 must diverge at the wire level");
+    std::env::remove_var("PARFAIT_VCD_DIR");
+    let FpsError::TraceDivergence { cycle, .. } = failure.error else {
+        panic!("expected TraceDivergence, got {}", failure.error);
+    };
+
+    let vcd_path = dir.join(format!("fps-divergence-cycle{cycle}.vcd"));
+    let vcd = std::fs::read_to_string(&vcd_path).expect("divergence VCD written");
+    assert!(vcd.contains("$scope module real $end"));
+    assert!(vcd.contains("$scope module ideal $end"));
+    assert!(vcd.contains("$var wire 8 d tx_data"));
+    assert!(vcd.contains("$var wire 8 D tx_data"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

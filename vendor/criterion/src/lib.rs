@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides a minimal wall-clock bench harness with criterion's
+//! surface API as used by this workspace: `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size` / `throughput` /
+//! `bench_function` / `finish`, `Throughput::Elements`, the
+//! `criterion_group!` / `criterion_main!` macros, and `black_box`.
+//!
+//! It reports the median ns/iter over `sample_size` samples (no
+//! statistical analysis, no HTML reports, no saved baselines).
+
+pub use std::hint::black_box;
+
+use std::time::Instant;
+
+/// Work-per-iteration declaration, used to derive a rate column.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `f`, called `self.iters` times back to back.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn run_samples(sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> f64 {
+    // Calibrate the per-sample iteration count so one sample takes
+    // roughly 10ms (bounded so huge benches still finish).
+    let mut calib = Bencher { iters: 1, elapsed_ns: 0 };
+    f(&mut calib);
+    let per_iter = calib.elapsed_ns.max(1);
+    let iters = (10_000_000 / per_iter).clamp(1, 1_000_000) as u64;
+
+    let mut medians: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed_ns: 0 };
+        f(&mut b);
+        medians.push(b.elapsed_ns as f64 / iters as f64);
+    }
+    medians.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    medians[medians.len() / 2]
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 * 1e9 / ns_per_iter;
+            println!("{name:<40} {ns_per_iter:>14.1} ns/iter {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 * 1e9 / ns_per_iter;
+            println!("{name:<40} {ns_per_iter:>14.1} ns/iter {rate:>14.0} B/s");
+        }
+        None => println!("{name:<40} {ns_per_iter:>14.1} ns/iter"),
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let median = run_samples(self.default_sample_size, &mut f);
+        report(name.as_ref(), median, None);
+        self
+    }
+
+    /// Open a named group sharing sample-size/throughput settings.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks (`soc-cycles/ibex`, `soc-cycles/pico`, …).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work so a rate column is printed.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let median = run_samples(self.sample_size, &mut f);
+        report(&format!("{}/{}", self.name, name.as_ref()), median, self.throughput);
+        self
+    }
+
+    /// End the group (accepted for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("tiny-group");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(String::from("fmt-name"), |b| b.iter(|| black_box(7u32).wrapping_mul(3)));
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

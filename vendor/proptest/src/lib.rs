@@ -1,0 +1,734 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate re-implements the subset of proptest this workspace uses:
+//! the `proptest!` / `prop_oneof!` / `prop_assert*!` / `prop_assume!`
+//! macros, `Strategy` with `prop_map` / `prop_recursive` / `boxed`,
+//! `any::<T>()` over an `Arbitrary` trait, integer-range strategies,
+//! tuple strategies, `prop::collection::vec`, and a `TestRunner` with
+//! `ProptestConfig`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) and the case seed, but is not minimized.
+//! - **Deterministic seeds.** Every run draws the same cases, seeded
+//!   from a fixed constant plus the case index, so CI is reproducible.
+//! - Strategies are generation functions, not value trees.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! Config, error type, and the case-driving runner.
+
+    /// Run-time configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections across the whole
+        /// run before the test aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default config with a specific case count.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion — the whole test fails.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` — draw another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection (assumption not met) with the given message.
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Deterministic per-case random source (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n` must be non-zero).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    /// Drives a strategy through `config.cases` successful executions.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner { config }
+        }
+
+        /// Run `test` on fresh inputs until `cases` successes. Panics
+        /// (failing the enclosing `#[test]`) on the first failure.
+        pub fn run<S: crate::strategy::Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+        ) {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let mut case = 0u64;
+            while passed < self.config.cases {
+                // Fixed base seed: runs are reproducible and a failure
+                // report's case index identifies the exact inputs.
+                let seed = 0x50_52_4F_50_54_45_53_54u64 ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                case += 1;
+                let mut rng = TestRng::new(seed);
+                let value = strategy.generate(&mut rng);
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            panic!(
+                                "proptest: too many prop_assume! rejections \
+                                 ({rejected} rejects for {passed} passes)"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case #{case} failed (seed {seed:#x}, no shrinking): {msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::Rc;
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase into a clonable, shareable strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+
+        /// Build a recursive strategy: at each of `depth` levels,
+        /// choose between staying at the current depth and one
+        /// application of `f` (which receives the shallower strategy).
+        ///
+        /// `_desired_size` and `_expected_branch_size` are accepted for
+        /// proptest API compatibility; depth alone bounds the values
+        /// here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                let deeper = f(strat.clone()).boxed();
+                strat = Union::new(vec![strat, deeper]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// A type-erased, reference-counted strategy (clonable so it can be
+    /// reused inside recursive definitions).
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies for the same type
+    /// (backs `prop_oneof!`; arms are unweighted).
+    #[derive(Clone)]
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                    let off = (rng.next_u64() as u128 % span) as $wide;
+                    (self.start as $wide).wrapping_add(off) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u128 + 1;
+                    let off = (rng.next_u64() as u128 % span) as $wide;
+                    (lo as $wide).wrapping_add(off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! tuple_strategy {
+        ($($S:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($S,)+) = self;
+                    ($($S.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` over a small `Arbitrary` universe.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+            // Length skews small but crosses typical block/word
+            // boundaries (hash block = 64 bytes).
+            let len = (rng.next_u64() % 96) as usize;
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A size specification: either exact or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a
+    /// [`SizeRange`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    /// `prop::collection::vec(...)` etc. resolve through this alias.
+    pub use crate as prop;
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies. Matches real proptest's surface syntax: an optional
+/// `#![proptest_config(...)]` header, then functions whose parameters
+/// are either `name in strategy` or `name: Type` (sugar for
+/// `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_params! {
+                cfg = ($cfg);
+                pats = [];
+                strats = [];
+                body = $body;
+                rest = [$($params)*];
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // name in strategy, ...
+    (cfg = ($cfg:expr); pats = [$(($p:pat))*]; strats = [$(($s:expr))*]; body = $body:block;
+     rest = [$name:ident in $strat:expr, $($rest:tt)*];) => {
+        $crate::__proptest_params! {
+            cfg = ($cfg);
+            pats = [$(($p))* ($name)];
+            strats = [$(($s))* ($strat)];
+            body = $body;
+            rest = [$($rest)*];
+        }
+    };
+    // name in strategy  (final, no trailing comma)
+    (cfg = ($cfg:expr); pats = [$(($p:pat))*]; strats = [$(($s:expr))*]; body = $body:block;
+     rest = [$name:ident in $strat:expr];) => {
+        $crate::__proptest_params! {
+            cfg = ($cfg);
+            pats = [$(($p))* ($name)];
+            strats = [$(($s))* ($strat)];
+            body = $body;
+            rest = [];
+        }
+    };
+    // name: Type, ...
+    (cfg = ($cfg:expr); pats = [$(($p:pat))*]; strats = [$(($s:expr))*]; body = $body:block;
+     rest = [$name:ident : $ty:ty, $($rest:tt)*];) => {
+        $crate::__proptest_params! {
+            cfg = ($cfg);
+            pats = [$(($p))* ($name)];
+            strats = [$(($s))* ($crate::arbitrary::any::<$ty>())];
+            body = $body;
+            rest = [$($rest)*];
+        }
+    };
+    // name: Type  (final, no trailing comma)
+    (cfg = ($cfg:expr); pats = [$(($p:pat))*]; strats = [$(($s:expr))*]; body = $body:block;
+     rest = [$name:ident : $ty:ty];) => {
+        $crate::__proptest_params! {
+            cfg = ($cfg);
+            pats = [$(($p))* ($name)];
+            strats = [$(($s))* ($crate::arbitrary::any::<$ty>())];
+            body = $body;
+            rest = [];
+        }
+    };
+    // All parameters consumed: emit the runner invocation.
+    (cfg = ($cfg:expr); pats = [$(($p:pat))+]; strats = [$(($s:expr))+]; body = $body:block;
+     rest = [];) => {
+        let config = $cfg;
+        let mut runner = $crate::test_runner::TestRunner::new(config);
+        let strategy = ($($s,)+);
+        runner.run(&strategy, |($($p,)+)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            ::core::result::Result::Ok(())
+        });
+    };
+}
+
+/// Uniform (unweighted) choice among strategy arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails only the current case (with its inputs
+/// reported) rather than unwinding past the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", lhs, rhs, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", lhs, rhs, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Reject the current case (it is redrawn, not failed) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mixed `in`/`:` parameter forms, trailing comma, and `?` in
+        /// the body.
+        #[test]
+        fn params_and_ranges(x in 1u32..100, y: u8, flip: bool,) {
+            prop_assert!((1..100).contains(&x));
+            let _ = y;
+            if flip {
+                Ok::<(), &str>(()).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            }
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(any::<u8>(), 3..7), exact in prop::collection::vec(any::<u32>(), 4usize)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert_eq!(exact.len(), 4);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u32..10).prop_map(|n| n * 2),
+            Just(1u32),
+        ]) {
+            prop_assert!(v == 1 || (v % 2 == 0 && v < 20));
+        }
+
+        #[test]
+        fn signed_ranges(v in -2048i32..2048) {
+            prop_assert!((-2048..2048).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects_not_fails(v: u8) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0, "only even values reach the body");
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum E {
+        Leaf(u32),
+        Neg(Box<E>),
+        Add(Box<E>, Box<E>),
+    }
+
+    fn depth(e: &E) -> u32 {
+        match e {
+            E::Leaf(_) => 0,
+            E::Neg(a) => 1 + depth(a),
+            E::Add(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// `prop_recursive` bounds nesting by its depth argument and
+        /// produces non-leaf values.
+        #[test]
+        fn recursive_depth_bounded(e in any::<u32>().prop_map(E::Leaf).prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+                inner.prop_map(|a| E::Neg(Box::new(a))),
+            ]
+        })) {
+            prop_assert!(depth(&e) <= 4, "depth {} too deep: {:?}", depth(&e), e);
+        }
+    }
+
+    #[test]
+    fn recursion_actually_recurses() {
+        // Over many deterministic draws, at least one non-leaf must
+        // appear, or the Union weighting is broken.
+        let strat = any::<u32>()
+            .prop_map(E::Leaf)
+            .prop_recursive(4, 32, 2, |inner| inner.prop_map(|a| E::Neg(Box::new(a))));
+        let mut rng = crate::test_runner::TestRng::new(99);
+        let saw_nested = (0..200).any(|_| depth(&strat.generate(&mut rng)) > 0);
+        assert!(saw_nested);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        // No #[test] meta: driven manually by the should_panic test
+        // below.
+        fn always_fails(v: u32) {
+            prop_assert!(v.count_ones() > 32, "forced failure");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_info() {
+        always_fails();
+    }
+}

@@ -12,7 +12,9 @@ fn bench_hashes(c: &mut Criterion) {
     c.bench_function("blake2s/96B", |b| b.iter(|| blake2s_256(black_box(&data))));
     let key = [7u8; 32];
     let msg = [9u8; 8];
-    c.bench_function("hmac_sha256/8B", |b| b.iter(|| hmac_sha256(black_box(&key), black_box(&msg))));
+    c.bench_function("hmac_sha256/8B", |b| {
+        b.iter(|| hmac_sha256(black_box(&key), black_box(&msg)))
+    });
 }
 
 fn bench_p256(c: &mut Criterion) {

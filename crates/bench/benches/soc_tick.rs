@@ -1,0 +1,56 @@
+//! Criterion benches for the SoC's per-cycle hot path: `tick` plus
+//! `get_output`, on both cores. The FPS checker samples the output
+//! wires of both worlds every cycle, so `get_output` sits directly on
+//! the simulation's critical path — it must stay a field read (the
+//! cached-output fast path), not a FIFO peek.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use parfait::lockstep::Codec;
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::hasher::{HasherCodec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_littlec::codegen::OptLevel;
+use parfait_rtl::Circuit;
+
+const CYCLES: u64 = 10_000;
+
+fn bench_tick_and_sample(c: &mut Criterion) {
+    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
+    let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
+    let state = HasherCodec.encode_state(&HasherState { secret: [5; 32] });
+    let mut group = c.benchmark_group("soc-tick");
+    group.throughput(Throughput::Elements(CYCLES));
+    for cpu in [Cpu::Ibex, Cpu::Pico] {
+        // The checker's per-cycle loop: sample the observable output
+        // wires, then advance. The firmware idles polling RX, the
+        // steady state the fast idle path targets.
+        group.bench_function(format!("{cpu}/tick+get_output"), |b| {
+            let mut soc = make_soc(cpu, fw.clone(), &state);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..CYCLES {
+                    let out = soc.get_output().observable();
+                    acc = acc.wrapping_add(out.2 as u64);
+                    soc.tick();
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(format!("{cpu}/get_output-only"), |b| {
+            let soc = make_soc(cpu, fw.clone(), &state);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..CYCLES {
+                    acc = acc.wrapping_add(black_box(&soc).get_output().tx_data as u64);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tick_and_sample);
+criterion_main!(benches);

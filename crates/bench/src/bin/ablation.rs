@@ -8,7 +8,9 @@ use std::time::Instant;
 use parfait::lockstep::Codec;
 use parfait_bench::render_table;
 use parfait_hsms::firmware::hasher_app_source;
-use parfait_hsms::hasher::{HasherCodec, HasherCommand, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::hasher::{
+    HasherCodec, HasherCommand, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_knox2::sync::{run_until_decode, sync_handle_execution, SyncPolicy, SyncWhen};
 use parfait_littlec::codegen::OptLevel;
@@ -18,8 +20,7 @@ fn run(policy: SyncWhen) -> (parfait_knox2::SyncStats, f64) {
     let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
     let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
     let codec = HasherCodec;
-    let mut soc =
-        make_soc(Cpu::Ibex, fw, &codec.encode_state(&HasherState { secret: [9; 32] }));
+    let mut soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&HasherState { secret: [9; 32] }));
     let cmd = codec.encode_command(&HasherCommand::Hash { message: [5; 32] });
     host::send_bytes(&mut soc, &cmd, 10_000_000).unwrap();
     let handle_addr = soc.firmware().address_of("handle").unwrap();

@@ -7,10 +7,13 @@ use std::collections::BTreeMap;
 use parfait::lockstep::Codec;
 use parfait_bench::{json_output_path, render_table, write_json};
 use parfait_hsms::firmware::hasher_app_source;
-use parfait_hsms::hasher::{HasherCodec, HasherCommand, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::hasher::{
+    HasherCodec, HasherCommand, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_knox2::sync::{run_until_decode, snapshot_isa_machine};
 use parfait_littlec::codegen::OptLevel;
+use parfait_parallel::parallel_map;
 use parfait_riscv::decode::decode;
 use parfait_riscv::isa::Instr;
 use parfait_rtl::Circuit;
@@ -20,7 +23,9 @@ use parfait_telemetry::json::Json;
 fn class_of(i: Instr) -> (&'static str, &'static str) {
     match i {
         Instr::Branch { .. } => ("branch (beq/bne/blt/...)", "sync registers + buffers"),
-        Instr::Jal { .. } | Instr::Jalr { .. } => ("call/return (jal/jalr)", "sync registers + buffers"),
+        Instr::Jal { .. } | Instr::Jalr { .. } => {
+            ("call/return (jal/jalr)", "sync registers + buffers")
+        }
         Instr::Load { .. } => ("load (lw/lbu/...)", "sync registers + buffers"),
         Instr::Store { .. } => ("store (sw/sb/...)", "sync registers + buffers"),
         Instr::Op { op, .. } if op.is_muldiv() => ("mul/div", "sync registers"),
@@ -31,12 +36,13 @@ fn class_of(i: Instr) -> (&'static str, &'static str) {
     }
 }
 
-fn main() {
+/// Walk one verified Hash command on `cpu`, classifying the
+/// instructions `handle` retires.
+fn profile(cpu: Cpu) -> BTreeMap<(&'static str, &'static str), u64> {
     let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
     let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
     let codec = HasherCodec;
-    let mut soc =
-        make_soc(Cpu::Ibex, fw, &codec.encode_state(&HasherState { secret: [9; 32] }));
+    let mut soc = make_soc(cpu, fw, &codec.encode_state(&HasherState { secret: [9; 32] }));
     let cmd = codec.encode_command(&HasherCommand::Hash { message: [5; 32] });
     host::send_bytes(&mut soc, &cmd, 10_000_000).unwrap();
     let handle_addr = soc.firmware().address_of("handle").unwrap();
@@ -63,33 +69,37 @@ fn main() {
             }
         }
     }
-    let rows: Vec<Vec<String>> = counts
-        .iter()
-        .map(|((class, action), n)| vec![class.to_string(), action.to_string(), n.to_string()])
-        .collect();
+    counts
+}
+
+fn main() {
+    // Both platforms profile concurrently (each is an independent SoC
+    // run); one thread each is plenty for this figure.
+    let cpus = [Cpu::Ibex, Cpu::Pico];
+    let profiles = parallel_map(cpus.len(), cpus.to_vec(), |_, cpu| (cpu, profile(cpu)));
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    for (cpu, counts) in &profiles {
+        for ((class, action), n) in counts {
+            rows.push(vec![cpu.to_string(), class.to_string(), action.to_string(), n.to_string()]);
+            json_rows.push(Json::obj([
+                ("platform", Json::str(cpu.to_string())),
+                ("class", Json::str(*class)),
+                ("action", Json::str(*action)),
+                ("retired", Json::Int(*n as i64)),
+            ]));
+        }
+    }
     println!(
         "{}",
         render_table(
             "Figure 11 (realized): sync points during one verified Hash command",
-            &["Instruction class", "Knox2 action", "Retired"],
+            &["Platform", "Instruction class", "Knox2 action", "Retired"],
             &rows
         )
     );
     if let Some(path) = json_output_path() {
-        let json_rows: Vec<Json> = counts
-            .iter()
-            .map(|((class, action), n)| {
-                Json::obj([
-                    ("class", Json::str(*class)),
-                    ("action", Json::str(*action)),
-                    ("retired", Json::Int(*n as i64)),
-                ])
-            })
-            .collect();
-        let doc = Json::obj([
-            ("artifact", Json::str("fig11")),
-            ("rows", Json::Arr(json_rows)),
-        ]);
+        let doc = Json::obj([("artifact", Json::str("fig11")), ("rows", Json::Arr(json_rows))]);
         write_json(&path, &doc).expect("write --json output");
         eprintln!("wrote {}", path.display());
     }

@@ -68,8 +68,11 @@ fn main() {
         "ECDSA signer".into(),
         format!("{ecdsa_proof} LoC"),
         "- (co-developed)".into(),
-        format!("{:.1}s ({} obligations)", ecdsa_time.as_secs_f64(),
-            report.lockstep_cases + report.validation_cases + report.ipr_operations),
+        format!(
+            "{:.1}s ({} obligations)",
+            ecdsa_time.as_secs_f64(),
+            report.lockstep_cases + report.validation_cases + report.ipr_operations
+        ),
     ]);
 
     // Password hasher (the Δ2-hours second app of the paper).
@@ -87,10 +90,7 @@ fn main() {
         &hasher_app_source(),
         &config,
         &[hasher_spec_init(), HasherState { secret: [0xAB; 32] }],
-        &[
-            HasherCommand::Initialize { secret: [1; 32] },
-            HasherCommand::Hash { message: [2; 32] },
-        ],
+        &[HasherCommand::Initialize { secret: [1; 32] }, HasherCommand::Hash { message: [2; 32] }],
         &[HasherResponse::Initialized, HasherResponse::Hashed([9; 32])],
     )
     .expect("hasher verifies");
@@ -101,8 +101,11 @@ fn main() {
         "Password hasher".into(),
         format!("{hasher_proof} LoC"),
         "Δ small (reuses the framework)".into(),
-        format!("{:.1}s ({} obligations)", hasher_time.as_secs_f64(),
-            report.lockstep_cases + report.validation_cases + report.ipr_operations),
+        format!(
+            "{:.1}s ({} obligations)",
+            hasher_time.as_secs_f64(),
+            report.lockstep_cases + report.validation_cases + report.ipr_operations
+        ),
     ]);
 
     println!(
@@ -116,10 +119,7 @@ fn main() {
     println!("Paper shape: proof is hundreds of lines; machine verification runs in");
     println!("under a minute (paper: ECDSA 500 LoC, hasher 200 LoC / Δ2 hours).");
     if let Some(path) = json_output_path() {
-        let doc = Json::obj([
-            ("artifact", Json::str("table3")),
-            ("rows", Json::Arr(json_rows)),
-        ]);
+        let doc = Json::obj([("artifact", Json::str("table3")), ("rows", Json::Arr(json_rows))]);
         write_json(&path, &doc).expect("write --json output");
         eprintln!("wrote {}", path.display());
     }

@@ -1,84 +1,72 @@
 //! Table 4: hardware (Knox2) verification effort — wall-clock time and
 //! symbolic-circuit-simulation speed for each platform × app.
 //!
+//! The platform × app matrix fans out across the thread budget
+//! (`--threads <n>`, or `PARFAIT_THREADS`, default: available
+//! parallelism), and each case's FPS check runs with its share of the
+//! budget via the snapshot-fork parallel checker.
+//!
 //! `--quick` verifies only the password hasher (the ECDSA runs take
 //! minutes, like the paper's 80-100 core-hour runs took hours).
 
 use std::time::Instant;
 
-use parfait_bench::{json_output_path, loc, render_table, write_json, App};
-use parfait_hsms::platform::{make_soc, Cpu};
-use parfait_hsms::syssw;
-use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
-use parfait_littlec::codegen::OptLevel;
-use parfait_littlec::validate::asm_machine;
-use parfait_soc::Soc;
+use parfait_bench::{
+    json_output_path, loc, render_table, threads_arg, verify_app_hardware, write_json, App,
+};
+use parfait_hsms::platform::Cpu;
+use parfait_knox2::FpsObserver;
+use parfait_parallel::parallel_map;
 use parfait_telemetry::json::Json;
-
-fn verify(app: App, cpu: Cpu) -> parfait_knox2::FpsReport {
-    let sizes = app.sizes();
-    let fw = app.firmware(OptLevel::O2);
-    let program = parfait_littlec::frontend(&app.source()).unwrap();
-    let spec =
-        asm_machine(&program, OptLevel::O2, sizes.state, sizes.command, sizes.response).unwrap();
-    let secret = app.secret_state();
-    let mut real = make_soc(cpu, fw.clone(), &secret);
-    let dummy = vec![0u8; sizes.state];
-    let dummy_soc = make_soc(cpu, fw, &dummy);
-    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret, sizes.command);
-    let cfg = FpsConfig {
-        command_size: sizes.command,
-        response_size: sizes.response,
-        timeout: 8_000_000_000,
-        state_size: sizes.state,
-    };
-    let state_size = sizes.state;
-    let project =
-        move |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), state_size);
-    let script = vec![
-        HostOp::Command(app.workload_command()),
-        HostOp::Command(vec![0xEE; sizes.command]),
-    ];
-    check_fps(&mut real, &mut emu, &cfg, &project, &script).expect("verification passes")
-}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = threads_arg();
     // Platform proof sizes: emulator + checker code the platform
     // developer maintains, and the 10-line state mapping.
     let emulator_loc = loc(include_str!("../../../knox2/src/emulator.rs"));
     let proof_loc = loc(include_str!("../../../knox2/src/fps.rs"));
     let mapping_loc = 10; // fig. 10: register/pointer/next-instr mapping
 
+    let apps: &[App] = if quick { &[App::Hasher] } else { &[App::Ecdsa, App::Hasher] };
+    let matrix: Vec<(Cpu, App)> = [Cpu::Ibex, Cpu::Pico]
+        .into_iter()
+        .flat_map(|cpu| apps.iter().map(move |&app| (cpu, app)))
+        .collect();
+    let cases = matrix.len();
+    let threads_per_case = (threads / cases).max(1);
+    let obs = FpsObserver::default();
+    let obs = &obs;
+    let outcomes = parallel_map(cases.min(threads), matrix, move |_, (cpu, app)| {
+        let t0 = Instant::now();
+        let report =
+            verify_app_hardware(app, cpu, obs, threads_per_case).expect("verification passes");
+        (cpu, app, report, t0.elapsed())
+    });
+
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
-    for cpu in [Cpu::Ibex, Cpu::Pico] {
-        let apps: &[App] =
-            if quick { &[App::Hasher] } else { &[App::Ecdsa, App::Hasher] };
-        for &app in apps {
-            let t0 = Instant::now();
-            let report = verify(app, cpu);
-            let wall = t0.elapsed();
-            json_rows.push(Json::obj([
-                ("platform", Json::str(cpu.to_string())),
-                ("app", Json::str(app.to_string())),
-                ("verify_seconds", Json::Num(wall.as_secs_f64())),
-                ("cycles", Json::Int(report.cycles as i64)),
-                ("cycles_per_second", Json::Num(report.cycles_per_second())),
-                ("commands", Json::Int(report.commands as i64)),
-                ("spec_queries", Json::Int(report.spec_queries as i64)),
-            ]));
-            rows.push(vec![
-                cpu.to_string(),
-                emulator_loc.to_string(),
-                proof_loc.to_string(),
-                mapping_loc.to_string(),
-                app.to_string(),
-                format!("{:.1}s", wall.as_secs_f64()),
-                format!("{} cycles", report.cycles),
-                format!("{:.2}M cyc/s", report.cycles_per_second() / 1e6),
-            ]);
-        }
+    for (cpu, app, report, wall) in outcomes {
+        json_rows.push(Json::obj([
+            ("platform", Json::str(cpu.to_string())),
+            ("app", Json::str(app.to_string())),
+            ("verify_seconds", Json::Num(wall.as_secs_f64())),
+            ("cpu_seconds", Json::Num(report.cpu.as_secs_f64())),
+            ("cycles", Json::Int(report.cycles as i64)),
+            ("cycles_per_second", Json::Num(report.cycles_per_second())),
+            ("commands", Json::Int(report.commands as i64)),
+            ("spec_queries", Json::Int(report.spec_queries as i64)),
+        ]));
+        rows.push(vec![
+            cpu.to_string(),
+            emulator_loc.to_string(),
+            proof_loc.to_string(),
+            mapping_loc.to_string(),
+            app.to_string(),
+            format!("{:.1}s", wall.as_secs_f64()),
+            format!("{} cycles", report.cycles),
+            format!("{:.2}M cyc/s", report.cycles_per_second() / 1e6),
+        ]);
     }
     println!(
         "{}",
@@ -97,12 +85,17 @@ fn main() {
             &rows
         )
     );
+    println!(
+        "({} case(s) across {} thread(s), {} FPS thread(s) per case)",
+        cases, threads, threads_per_case
+    );
     println!("Paper shape to check: ECDSA >> hasher verification time; the PicoRV32");
     println!("needs more total cycles (multi-cycle core) while simulating each cycle");
     println!("faster than the pipelined Ibex; porting = only the 10-line mapping.");
     if let Some(path) = json_output_path() {
         let doc = Json::obj([
             ("artifact", Json::str("table4")),
+            ("threads", Json::Int(threads as i64)),
             ("emulator_loc", Json::Int(emulator_loc as i64)),
             ("checker_loc", Json::Int(proof_loc as i64)),
             ("mapping_loc", Json::Int(mapping_loc as i64)),

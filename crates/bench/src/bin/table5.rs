@@ -20,7 +20,11 @@ fn cycles_per_sign(opt: OptLevel) -> u64 {
     let sizes = app.sizes();
     let fw = app.firmware(opt);
     let mut soc = make_soc(Cpu::Ibex, fw, &app.secret_state());
-    let wire = WireDriver { command_size: sizes.command, response_size: sizes.response, timeout: 20_000_000_000 };
+    let wire = WireDriver {
+        command_size: sizes.command,
+        response_size: sizes.response,
+        timeout: 20_000_000_000,
+    };
     let cmd = EcdsaCodec.encode_command(&EcdsaCommand::Sign { msg: [0x3C; 32] });
     let before = soc.cycles();
     let resp = wire.run(&mut soc, &cmd).expect("sign completes");

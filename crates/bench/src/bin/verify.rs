@@ -14,19 +14,21 @@ use std::time::Instant;
 
 use parfait::lockstep::Codec;
 use parfait::StateMachine;
-use parfait_bench::write_json;
+use parfait_bench::{threads_from, write_json};
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_hsms::{ecdsa, hasher, syssw, totp};
-use parfait_knox2::{check_fps_traced, CircuitEmulator, FpsConfig, FpsObserver, HostOp};
+use parfait_knox2::{check_fps_parallel, CircuitEmulator, FpsConfig, FpsObserver, HostOp};
 use parfait_littlec::codegen::OptLevel;
 use parfait_littlec::validate::asm_machine;
+use parfait_parallel::parallel_map;
 use parfait_soc::Soc;
 use parfait_starling::{verify_app_traced, StarlingConfig};
 use parfait_telemetry::json::Json;
 use parfait_telemetry::sinks::LogSink;
 use parfait_telemetry::Telemetry;
 
-type StarlingRunner = Box<dyn Fn(&Telemetry) -> Result<parfait_starling::StarlingReport, String>>;
+type StarlingRunner =
+    Box<dyn Fn(&Telemetry) -> Result<parfait_starling::StarlingReport, String> + Send + Sync>;
 
 struct AppSpec {
     name: &'static str,
@@ -54,8 +56,7 @@ fn app(name: &str) -> Option<AppSpec> {
                     command: hasher::COMMAND_SIZE,
                     response: hasher::RESPONSE_SIZE,
                 },
-                secret_state: codec
-                    .encode_state(&hasher::HasherState { secret: [0x61; 32] }),
+                secret_state: codec.encode_state(&hasher::HasherState { secret: [0x61; 32] }),
                 dummy_state: codec.encode_state(&hasher::HasherSpec.init()),
                 workload: codec
                     .encode_command(&hasher::HasherCommand::Hash { message: [0x11; 32] }),
@@ -136,8 +137,7 @@ fn app(name: &str) -> Option<AppSpec> {
                     sig_key: [0x57; 32],
                 }),
                 dummy_state: codec.encode_state(&ecdsa::EcdsaSpec.init()),
-                workload: codec
-                    .encode_command(&ecdsa::EcdsaCommand::Sign { msg: [0x3C; 32] }),
+                workload: codec.encode_command(&ecdsa::EcdsaCommand::Sign { msg: [0x3C; 32] }),
                 run_starling: Box::new(|tel| {
                     let config = StarlingConfig {
                         state_size: ecdsa::STATE_SIZE,
@@ -152,15 +152,8 @@ fn app(name: &str) -> Option<AppSpec> {
                         &ecdsa::EcdsaSpec,
                         &parfait_hsms::firmware::ecdsa_app_source(),
                         &config,
-                        &[ecdsa::EcdsaState {
-                            prf_key: [7; 32],
-                            prf_counter: 0,
-                            sig_key: [9; 32],
-                        }],
-                        &[ecdsa::EcdsaCommand::Initialize {
-                            prf_key: [1; 32],
-                            sig_key: [2; 32],
-                        }],
+                        &[ecdsa::EcdsaState { prf_key: [7; 32], prf_counter: 0, sig_key: [9; 32] }],
+                        &[ecdsa::EcdsaCommand::Initialize { prf_key: [1; 32], sig_key: [2; 32] }],
                         &[ecdsa::EcdsaResponse::Initialized],
                         tel,
                     )
@@ -176,11 +169,13 @@ fn verify_hardware(
     a: &AppSpec,
     cpu: Cpu,
     obs: &FpsObserver,
+    threads: usize,
 ) -> Result<parfait_knox2::FpsReport, String> {
     let fw = build_firmware(&a.source, a.sizes, OptLevel::O2).map_err(|e| e.to_string())?;
     let program = parfait_littlec::frontend(&a.source).map_err(|e| e.to_string())?;
-    let spec = asm_machine(&program, OptLevel::O2, a.sizes.state, a.sizes.command, a.sizes.response)
-        .map_err(|e| e.to_string())?;
+    let spec =
+        asm_machine(&program, OptLevel::O2, a.sizes.state, a.sizes.command, a.sizes.response)
+            .map_err(|e| e.to_string())?;
     let mut real = make_soc(cpu, fw.clone(), &a.secret_state);
     let dummy_soc = make_soc(cpu, fw, &a.dummy_state);
     let mut emu = CircuitEmulator::new(dummy_soc, &spec, a.secret_state.clone(), a.sizes.command);
@@ -192,18 +187,16 @@ fn verify_hardware(
     };
     let state_size = a.sizes.state;
     let project = move |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), state_size);
-    let script = vec![
-        HostOp::Command(a.workload.clone()),
-        HostOp::Command(vec![0xEE; a.sizes.command]),
-    ];
-    check_fps_traced(&mut real, &mut emu, &cfg, &project, &script, obs)
+    let script =
+        vec![HostOp::Command(a.workload.clone()), HostOp::Command(vec![0xEE; a.sizes.command])];
+    check_fps_parallel(&mut real, &mut emu, &cfg, &project, &script, obs, threads)
         .map_err(|f| f.to_string())
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: verify --app <ecdsa|hasher|totp> --platform <ibex|pico|both> \
-         [--software-only|--hardware-only] [--json <path>] [--trace]"
+         [--software-only|--hardware-only] [--threads <n>] [--json <path>] [--trace]"
     );
     ExitCode::FAILURE
 }
@@ -228,9 +221,23 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--trace" => trace = true,
+            "--threads" => {
+                // Validated below by threads_from over the full args.
+                if it.next().is_none() {
+                    return usage();
+                }
+            }
             _ => return usage(),
         }
     }
+    let threads = match threads_from(args.iter().cloned()) {
+        Ok(Some(n)) => n,
+        Ok(None) => parfait_parallel::default_threads(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     let Some(name) = app_name else { return usage() };
     let Some(a) = app(&name) else { return usage() };
     let cpus: Vec<Cpu> = match platform.as_str() {
@@ -241,18 +248,13 @@ fn main() -> ExitCode {
     };
     // `--trace` (or PARFAIT_TRACE=1) streams spans, counters, and
     // periodic FPS heartbeats to stderr while the checks run.
-    let tel = if trace {
-        Telemetry::new(Box::new(LogSink::stderr()))
-    } else {
-        Telemetry::disabled()
-    };
+    let tel =
+        if trace { Telemetry::new(Box::new(LogSink::stderr())) } else { Telemetry::disabled() };
     // Heartbeat cadence in simulated cycles (PARFAIT_HEARTBEAT
     // overrides); the hasher check runs a few hundred thousand cycles,
     // the ECDSA checks tens of millions.
-    let heartbeat_cycles = std::env::var("PARFAIT_HEARTBEAT")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100_000);
+    let heartbeat_cycles =
+        std::env::var("PARFAIT_HEARTBEAT").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000);
     let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles };
     let mut json_results: Vec<Json> = Vec::new();
     println!("verifying {} ...", a.name);
@@ -282,13 +284,25 @@ fn main() -> ExitCode {
         }
     }
     if hardware {
-        for cpu in cpus {
+        // The matrix level of the parallel pipeline: independent
+        // platform checks fan out across the thread budget, and each
+        // check splits its share across FPS segment workers.
+        let cases = cpus.len();
+        let threads_per_case = (threads / cases).max(1);
+        let a = &a;
+        let obs = &obs;
+        let outcomes = parallel_map(cases.min(threads), cpus, move |_, cpu| {
             let t0 = Instant::now();
-            match verify_hardware(&a, cpu, &obs) {
+            (cpu, verify_hardware(a, cpu, obs, threads_per_case), t0.elapsed())
+        });
+        for (cpu, outcome, wall) in outcomes {
+            match outcome {
                 Ok(report) => {
                     println!(
-                        "  [knox2/{cpu}] hardware OK in {:.1}s: {} cycles at {:.2}M cyc/s, {} spec queries",
-                        t0.elapsed().as_secs_f64(),
+                        "  [knox2/{cpu}] hardware OK in {:.1}s ({:.1}s cpu, {} threads): {} cycles at {:.2}M cyc/s, {} spec queries",
+                        wall.as_secs_f64(),
+                        report.cpu.as_secs_f64(),
+                        threads_per_case,
                         report.cycles,
                         report.cycles_per_second() / 1e6,
                         report.spec_queries
@@ -296,7 +310,9 @@ fn main() -> ExitCode {
                     json_results.push(Json::obj([
                         ("stage", Json::str("knox2")),
                         ("platform", Json::str(cpu.to_string())),
-                        ("seconds", Json::Num(t0.elapsed().as_secs_f64())),
+                        ("seconds", Json::Num(wall.as_secs_f64())),
+                        ("cpu_seconds", Json::Num(report.cpu.as_secs_f64())),
+                        ("threads", Json::Int(threads_per_case as i64)),
                         ("cycles", Json::Int(report.cycles as i64)),
                         ("cycles_per_second", Json::Num(report.cycles_per_second())),
                         ("spec_queries", Json::Int(report.spec_queries as i64)),
@@ -311,10 +327,7 @@ fn main() -> ExitCode {
     }
     tel.finish();
     if let Some(path) = json_path {
-        let doc = Json::obj([
-            ("app", Json::str(a.name)),
-            ("results", Json::Arr(json_results)),
-        ]);
+        let doc = Json::obj([("app", Json::str(a.name)), ("results", Json::Arr(json_results))]);
         let path = std::path::PathBuf::from(path);
         if let Err(e) = write_json(&path, &doc) {
             eprintln!("could not write {}: {e}", path.display());

@@ -16,8 +16,12 @@
 //! Criterion micro-benchmarks live in `benches/`.
 
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
-use parfait_hsms::{ecdsa, firmware, hasher};
+use parfait_hsms::{ecdsa, firmware, hasher, syssw};
+use parfait_knox2::{
+    check_fps_parallel, CircuitEmulator, FpsConfig, FpsFailure, FpsObserver, FpsReport, HostOp,
+};
 use parfait_littlec::codegen::OptLevel;
+use parfait_littlec::validate::asm_machine;
 use parfait_soc::{Firmware, Soc};
 
 /// Which case-study application.
@@ -93,29 +97,117 @@ impl App {
     pub fn workload_command(self) -> Vec<u8> {
         use parfait::lockstep::Codec;
         match self {
-            App::Ecdsa => ecdsa::EcdsaCodec
-                .encode_command(&ecdsa::EcdsaCommand::Sign { msg: [0x3C; 32] }),
+            App::Ecdsa => {
+                ecdsa::EcdsaCodec.encode_command(&ecdsa::EcdsaCommand::Sign { msg: [0x3C; 32] })
+            }
             App::Hasher => hasher::HasherCodec
                 .encode_command(&hasher::HasherCommand::Hash { message: [0x3C; 32] }),
         }
     }
 }
 
-/// Extract `--json <path>` from this process's command line, if given.
-/// The bench binaries use it to emit machine-readable results next to
-/// the human-readable tables.
-pub fn json_output_path() -> Option<std::path::PathBuf> {
-    let mut args = std::env::args().skip(1);
+/// The standard FPS verification run the bench binaries measure: one
+/// expensive workload command followed by one invalid command, checked
+/// with `threads` worker threads (`<= 1` = the sequential checker).
+pub fn verify_app_hardware(
+    app: App,
+    cpu: Cpu,
+    obs: &FpsObserver,
+    threads: usize,
+) -> Result<FpsReport, FpsFailure> {
+    let sizes = app.sizes();
+    let fw = app.firmware(OptLevel::O2);
+    let program = parfait_littlec::frontend(&app.source()).expect("app source parses");
+    let spec = asm_machine(&program, OptLevel::O2, sizes.state, sizes.command, sizes.response)
+        .expect("assembly spec builds");
+    let secret = app.secret_state();
+    let mut real = make_soc(cpu, fw.clone(), &secret);
+    let dummy = vec![0u8; sizes.state];
+    let dummy_soc = make_soc(cpu, fw, &dummy);
+    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret, sizes.command);
+    let cfg = FpsConfig {
+        command_size: sizes.command,
+        response_size: sizes.response,
+        timeout: 8_000_000_000,
+        state_size: sizes.state,
+    };
+    let state_size = sizes.state;
+    let project = move |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), state_size);
+    let script =
+        vec![HostOp::Command(app.workload_command()), HostOp::Command(vec![0xEE; sizes.command])];
+    check_fps_parallel(&mut real, &mut emu, &cfg, &project, &script, obs, threads)
+}
+
+/// Extract `--json <path>` from an argument list. Distinguishes the
+/// flag being absent (`Ok(None)`) from it being malformed — missing its
+/// path, or followed by another flag (`Err`), so a typo'd invocation
+/// can't silently drop the artifact the caller asked for.
+pub fn json_output_path_from<I>(args: I) -> Result<Option<std::path::PathBuf>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
     while let Some(a) = args.next() {
         if a == "--json" {
-            let path = args.next().map(std::path::PathBuf::from);
-            if path.is_none() {
-                eprintln!("warning: --json given without a path; no JSON will be written");
-            }
-            return path;
+            return match args.next() {
+                Some(p) if !p.starts_with("--") => Ok(Some(std::path::PathBuf::from(p))),
+                Some(p) => {
+                    Err(format!("--json expects a file path, but got the flag-like argument {p:?}"))
+                }
+                None => Err("--json expects a file path".to_string()),
+            };
         }
     }
-    None
+    Ok(None)
+}
+
+/// Extract `--json <path>` from this process's command line, if given.
+/// The bench binaries use it to emit machine-readable results next to
+/// the human-readable tables. Malformed usage (no path, or a flag in
+/// the path position) is a hard error: exiting loudly beats a CI run
+/// that "succeeds" without the requested artifact.
+pub fn json_output_path() -> Option<std::path::PathBuf> {
+    match json_output_path_from(std::env::args().skip(1)) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Extract `--threads <n>` from an argument list; `Ok(None)` when the
+/// flag is absent (callers fall back to
+/// [`parfait_parallel::default_threads`], which honors
+/// `PARFAIT_THREADS`).
+pub fn threads_from<I>(args: I) -> Result<Option<usize>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => Ok(Some(n)),
+                Some(_) => Err("--threads expects a positive integer".to_string()),
+                None => Err("--threads expects a thread count".to_string()),
+            };
+        }
+    }
+    Ok(None)
+}
+
+/// `--threads <n>` from this process's command line, defaulting to
+/// [`parfait_parallel::default_threads`]. Malformed usage exits loudly.
+pub fn threads_arg() -> usize {
+    match threads_from(std::env::args().skip(1)) {
+        Ok(Some(n)) => n,
+        Ok(None) => parfait_parallel::default_threads(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Write a JSON document to `path` (with a trailing newline).
@@ -193,5 +285,44 @@ mod tests {
     #[test]
     fn apps_build() {
         let _ = App::Hasher.firmware(OptLevel::O2);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn json_flag_absent_is_none() {
+        assert_eq!(json_output_path_from(args(&["--quick"])).unwrap(), None);
+        assert_eq!(json_output_path_from(args(&[])).unwrap(), None);
+    }
+
+    #[test]
+    fn json_flag_with_path_parses() {
+        assert_eq!(
+            json_output_path_from(args(&["--quick", "--json", "out.json"])).unwrap(),
+            Some(std::path::PathBuf::from("out.json"))
+        );
+    }
+
+    #[test]
+    fn json_flag_without_path_is_a_loud_error() {
+        assert!(json_output_path_from(args(&["--json"])).is_err());
+    }
+
+    #[test]
+    fn json_flag_swallowing_another_flag_is_a_loud_error() {
+        // The old implementation silently wrote to a file named
+        // "--quick" here; now it is rejected.
+        assert!(json_output_path_from(args(&["--json", "--quick"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_garbage() {
+        assert_eq!(threads_from(args(&[])).unwrap(), None);
+        assert_eq!(threads_from(args(&["--threads", "4"])).unwrap(), Some(4));
+        assert!(threads_from(args(&["--threads"])).is_err());
+        assert!(threads_from(args(&["--threads", "zero"])).is_err());
+        assert!(threads_from(args(&["--threads", "0"])).is_err());
     }
 }

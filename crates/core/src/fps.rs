@@ -173,8 +173,9 @@ mod tests {
         let spec = counter_spec();
         let imp = journal_machine();
         // Claim the *inactive* slot holds the value: fails immediately.
-        let wrong = |s: &u32, i: &J| i.slots[!i.flag as usize % 2] == *s
-            && i.slots[if i.flag { 0 } else { 1 }] == *s;
+        let wrong = |s: &u32, i: &J| {
+            i.slots[!i.flag as usize % 2] == *s && i.slots[if i.flag { 0 } else { 1 }] == *s
+        };
         let states = vec![(7u32, J { flag: true, slots: [3, 7] })];
         let err = check_forward_simulation(
             &spec,

@@ -49,12 +49,8 @@ pub trait Codec {
 pub struct LockstepDriver<'c, C: ?Sized>(pub &'c C);
 
 impl<C>
-    Driver<
-        <C::Spec as StateMachine>::Command,
-        <C::Spec as StateMachine>::Response,
-        C::CI,
-        C::RI,
-    > for LockstepDriver<'_, C>
+    Driver<<C::Spec as StateMachine>::Command, <C::Spec as StateMachine>::Response, C::CI, C::RI>
+    for LockstepDriver<'_, C>
 where
     C: Codec + ?Sized,
 {
@@ -73,12 +69,8 @@ where
 pub struct LockstepEmulator<'c, C: ?Sized>(pub &'c C);
 
 impl<C>
-    Emulator<
-        <C::Spec as StateMachine>::Command,
-        <C::Spec as StateMachine>::Response,
-        C::CI,
-        C::RI,
-    > for LockstepEmulator<'_, C>
+    Emulator<<C::Spec as StateMachine>::Command, <C::Spec as StateMachine>::Response, C::CI, C::RI>
+    for LockstepEmulator<'_, C>
 where
     C: Codec + ?Sized,
 {
@@ -206,7 +198,9 @@ where
                     if o1 != want {
                         return Err(LockstepViolation {
                             obligation: "lockstep simulation (None): deterministic error",
-                            detail: format!("impl response {o1:?} != encode_response(None) {want:?}"),
+                            detail: format!(
+                                "impl response {o1:?} != encode_response(None) {want:?}"
+                            ),
                         });
                     }
                 }

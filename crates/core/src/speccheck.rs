@@ -38,7 +38,11 @@ pub struct CensusEntry<C> {
 
 /// Run the census: for each command, step it from every sampled state
 /// and classify the response's dependence on the state.
-pub fn census<M>(machine: &M, states: &[M::State], commands: &[M::Command]) -> Vec<CensusEntry<M::Command>>
+pub fn census<M>(
+    machine: &M,
+    states: &[M::State],
+    commands: &[M::Command],
+) -> Vec<CensusEntry<M::Command>>
 where
     M: StateMachine,
     M::Command: Clone,
@@ -94,8 +98,7 @@ mod tests {
     fn census_classifies_counter_commands() {
         let m = counter_spec();
         let states = vec![0u32, 1, 41, u32::MAX];
-        let entries =
-            census(&m, &states, &[CounterCmd::Add(5), CounterCmd::Get]);
+        let entries = census(&m, &states, &[CounterCmd::Add(5), CounterCmd::Get]);
         // Add's response is always 0: state-independent.
         assert_eq!(entries[0].flow, Flow::StateIndependent);
         // Get reveals the counter: state-dependent by design.

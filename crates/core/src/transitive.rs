@@ -35,8 +35,7 @@ impl<D12, D23, CM, RM> ComposedDriver<D12, D23, CM, RM> {
     }
 }
 
-impl<CS, RS, CM, RM, CI, RI, D12, D23> Driver<CS, RS, CI, RI>
-    for ComposedDriver<D12, D23, CM, RM>
+impl<CS, RS, CM, RM, CI, RI, D12, D23> Driver<CS, RS, CI, RI> for ComposedDriver<D12, D23, CM, RM>
 where
     D12: Driver<CS, RS, CM, RM>,
     D23: Driver<CM, RM, CI, RI>,
@@ -170,8 +169,8 @@ mod tests {
             cmd: &Vec<u8>,
             spec: &mut dyn FnMut(&Vec<u8>) -> Vec<u8>,
         ) -> Vec<u8> {
-            let frame_ok = cmd.len() == 6
-                && cmd[5] == cmd[..5].iter().fold(0u8, |a, b| a.wrapping_add(*b));
+            let frame_ok =
+                cmd.len() == 6 && cmd[5] == cmd[..5].iter().fold(0u8, |a, b| a.wrapping_add(*b));
             if !frame_ok {
                 return vec![0; 5];
             }

@@ -54,9 +54,15 @@ pub enum Fault {
 }
 
 /// The cycle-steppable CPU interface the SoC and Knox2 use.
-pub trait Core {
+///
+/// Cores are plain data (`Send`) and cheaply snapshottable via
+/// [`Core::clone_box`], so the parallel FPS checker can fork a SoC at a
+/// quiescent point and verify segments on worker threads.
+pub trait Core: Send {
     /// Advance one clock cycle.
     fn step(&mut self, mem: &mut dyn MemIf);
+    /// Snapshot this core (the object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn Core>;
     /// Architectural register file (with taint).
     fn regs(&self) -> &[W; 32];
     /// Current fetch PC.
@@ -76,6 +82,12 @@ pub trait Core {
     fn fault(&self) -> Option<&Fault>;
     /// Reset to the boot PC with cleared registers.
     fn reset(&mut self, pc: u32);
+}
+
+impl Clone for Box<dyn Core> {
+    fn clone(&self) -> Box<dyn Core> {
+        self.clone_box()
+    }
 }
 
 /// Classification of an executed instruction, for per-core latency
@@ -262,11 +274,9 @@ pub fn execute(
             let v = W { v: op.eval(a.v, b.v), t: a.t || b.t };
             rd_write(regs, rd, v);
             match op {
-                AluOp::Sll | AluOp::Srl | AluOp::Sra => OpClass::Shift {
-                    amount: b.v & 31,
-                    from_reg: true,
-                    amount_tainted: b.t,
-                },
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    OpClass::Shift { amount: b.v & 31, from_reg: true, amount_tainted: b.t }
+                }
                 AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu => OpClass::Mul,
                 AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => {
                     OpClass::Div { dividend: a.v, operand_tainted: a.t || b.t }
@@ -365,8 +375,7 @@ mod tests {
         let mut regs = [W::default(); 32];
         regs[5] = W::secret(100);
         regs[6] = W::pub32(7);
-        let word =
-            encode(Instr::Op { op: AluOp::Divu, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+        let word = encode(Instr::Op { op: AluOp::Divu, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
         let (e, _, _) = exec1(word, &mut regs);
         match e.class {
             OpClass::Div { dividend, operand_tainted } => {

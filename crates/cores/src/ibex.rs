@@ -18,6 +18,7 @@ use parfait_rtl::W;
 use crate::datapath::{execute, Core, Exec, Fault, LeakEvent, MemIf, OpClass};
 
 /// The 2-stage core.
+#[derive(Clone)]
 pub struct IbexCore {
     regs: [W; 32],
     /// Fetch PC (next instruction address to fetch).
@@ -63,6 +64,10 @@ impl IbexCore {
 }
 
 impl Core for IbexCore {
+    fn clone_box(&self) -> Box<dyn Core> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, mem: &mut dyn MemIf) {
         if self.fault.is_some() {
             self.cycles += 1;
@@ -345,14 +350,10 @@ mod timing_tests {
 
     #[test]
     fn divide_latency_exceeds_multiply() {
-        let div = cycles_to_retire(
-            "addi t1, zero, 100\naddi t2, zero, 3\ndivu t0, t1, t2\nnop\nnop",
-            3,
-        );
-        let mul = cycles_to_retire(
-            "addi t1, zero, 100\naddi t2, zero, 3\nmul t0, t1, t2\nnop\nnop",
-            3,
-        );
+        let div =
+            cycles_to_retire("addi t1, zero, 100\naddi t2, zero, 3\ndivu t0, t1, t2\nnop\nnop", 3);
+        let mul =
+            cycles_to_retire("addi t1, zero, 100\naddi t2, zero, 3\nmul t0, t1, t2\nnop\nnop", 3);
         assert!(div > mul, "div {div} vs mul {mul}");
     }
 

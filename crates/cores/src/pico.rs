@@ -19,6 +19,7 @@ use parfait_rtl::W;
 
 use crate::datapath::{execute, Core, Exec, Fault, LeakEvent, LeakKind, MemIf, OpClass};
 
+#[derive(Clone)]
 enum Stage {
     /// First fetch cycle.
     Fetch1,
@@ -31,6 +32,7 @@ enum Stage {
 }
 
 /// The multi-cycle core.
+#[derive(Clone)]
 pub struct PicoCore {
     regs: [W; 32],
     pc: u32,
@@ -88,6 +90,10 @@ impl PicoCore {
 }
 
 impl Core for PicoCore {
+    fn clone_box(&self) -> Box<dyn Core> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, mem: &mut dyn MemIf) {
         self.cycles += 1;
         self.last_retired = None;

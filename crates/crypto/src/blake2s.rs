@@ -38,7 +38,12 @@ pub fn compress(h: &mut [u32; 8], block: &[u8], t: u64, last: bool) {
     debug_assert_eq!(block.len(), 64);
     let mut m = [0u32; 16];
     for (i, mi) in m.iter_mut().enumerate() {
-        *mi = u32::from_le_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]]);
+        *mi = u32::from_le_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
     }
     let mut v = [0u32; 16];
     v[..8].copy_from_slice(h);

@@ -46,7 +46,11 @@ fn scalar_in_range(k: &U256) -> bool {
 /// (The HSM implementation computes the signature unconditionally and
 /// masks the output, so that these error cases are not distinguishable
 /// through timing.)
-pub fn ecdsa_p256_sign(msg: &[u8; 32], private_key: &[u8; 32], nonce: &[u8; 32]) -> Option<Signature> {
+pub fn ecdsa_p256_sign(
+    msg: &[u8; 32],
+    private_key: &[u8; 32],
+    nonce: &[u8; 32],
+) -> Option<Signature> {
     let n = order();
     let d = bignum::from_be_bytes(private_key);
     let k = bignum::from_be_bytes(nonce);
@@ -79,11 +83,7 @@ pub fn ecdsa_p256_sign(msg: &[u8; 32], private_key: &[u8; 32], nonce: &[u8; 32])
 
 /// Verify a signature on a 32-byte pre-hashed message against an affine
 /// public key.
-pub fn ecdsa_p256_verify(
-    msg: &[u8; 32],
-    public_key: &(U256, U256),
-    sig: &Signature,
-) -> bool {
+pub fn ecdsa_p256_verify(msg: &[u8; 32], public_key: &(U256, U256), sig: &Signature) -> bool {
     let n = order();
     let r = bignum::from_be_bytes(&sig.r);
     let s = bignum::from_be_bytes(&sig.s);

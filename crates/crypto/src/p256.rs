@@ -354,7 +354,8 @@ mod tests {
     #[test]
     fn montgomery_roundtrip() {
         let f = field();
-        let a = bignum::from_hex("123456789abcdef0fedcba9876543210aabbccddeeff00112233445566778899");
+        let a =
+            bignum::from_hex("123456789abcdef0fedcba9876543210aabbccddeeff00112233445566778899");
         let am = f.to_mont(&a);
         assert_eq!(f.from_mont(&am), a);
     }

@@ -222,10 +222,8 @@ mod tests {
     fn spec_signs_verifiably() {
         let spec = EcdsaSpec;
         let st = spec.init();
-        let (st, r) = spec.step(
-            &st,
-            &EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) },
-        );
+        let (st, r) =
+            spec.step(&st, &EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) });
         assert_eq!(r, EcdsaResponse::Initialized);
         let msg = b32(3);
         let (st2, r) = spec.step(&st, &EcdsaCommand::Sign { msg });
@@ -241,10 +239,8 @@ mod tests {
     #[test]
     fn nonces_are_unique_across_signs() {
         let spec = EcdsaSpec;
-        let (st, _) = spec.step(
-            &spec.init(),
-            &EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) },
-        );
+        let (st, _) =
+            spec.step(&spec.init(), &EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) });
         let msg = b32(3);
         let (st2, r1) = spec.step(&st, &EcdsaCommand::Sign { msg });
         let (_, r2) = spec.step(&st2, &EcdsaCommand::Sign { msg });
@@ -270,10 +266,8 @@ mod tests {
     #[test]
     fn get_public_key_matches_library() {
         let spec = EcdsaSpec;
-        let (st, _) = spec.step(
-            &spec.init(),
-            &EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) },
-        );
+        let (st, _) =
+            spec.step(&spec.init(), &EcdsaCommand::Initialize { prf_key: b32(1), sig_key: b32(2) });
         let (st2, r) = spec.step(&st, &EcdsaCommand::GetPublicKey);
         assert_eq!(st, st2, "reading the public key must not change state");
         let q = match r {

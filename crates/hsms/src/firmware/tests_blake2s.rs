@@ -22,14 +22,9 @@ fn littlec_blake2s_matches_spec() {
     let src = test_source();
     let p = frontend(&src).unwrap();
     let i = Interp::new(&p);
-    for data in [
-        b"abc".to_vec(),
-        b"".to_vec(),
-        vec![0x5A; 64],
-        vec![0xA5; 96],
-        vec![3; 128],
-        vec![9; 65],
-    ] {
+    for data in
+        [b"abc".to_vec(), b"".to_vec(), vec![0x5A; 64], vec![0xA5; 96], vec![3; 128], vec![9; 65]]
+    {
         let want = parfait_crypto::blake2s_256(&data).to_vec();
         let out = vec![0u8; 32];
         let padded = if data.is_empty() { vec![0] } else { data.clone() };

@@ -163,11 +163,7 @@ mod tests {
     use parfait_littlec::codegen::OptLevel;
 
     fn device() -> parfait_soc::Soc {
-        let sizes = AppSizes {
-            state: STATE_SIZE,
-            command: COMMAND_SIZE,
-            response: RESPONSE_SIZE,
-        };
+        let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
         let fw = build_firmware(&ecdsa_app_source(), sizes, OptLevel::O2).unwrap();
         make_soc(Cpu::Ibex, fw, &EcdsaCodec.encode_state(&EcdsaSpec.init()))
     }

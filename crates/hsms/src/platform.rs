@@ -128,12 +128,9 @@ mod tests {
 
     #[test]
     fn hasher_on_ibex_soc_end_to_end() {
-        let fw = build_firmware(
-            &crate::firmware::hasher_app_source(),
-            hasher_sizes(),
-            OptLevel::O2,
-        )
-        .unwrap();
+        let fw =
+            build_firmware(&crate::firmware::hasher_app_source(), hasher_sizes(), OptLevel::O2)
+                .unwrap();
         let spec = hasher::HasherSpec;
         let codec = hasher::HasherCodec;
         let st0 = spec.init();
@@ -159,12 +156,9 @@ mod tests {
 
     #[test]
     fn hasher_on_pico_soc_end_to_end() {
-        let fw = build_firmware(
-            &crate::firmware::hasher_app_source(),
-            hasher_sizes(),
-            OptLevel::O2,
-        )
-        .unwrap();
+        let fw =
+            build_firmware(&crate::firmware::hasher_app_source(), hasher_sizes(), OptLevel::O2)
+                .unwrap();
         let spec = hasher::HasherSpec;
         let codec = hasher::HasherCodec;
         let st0 = spec.init();
@@ -181,12 +175,9 @@ mod tests {
 
     #[test]
     fn state_persists_in_fram_across_power_cycles() {
-        let fw = build_firmware(
-            &crate::firmware::hasher_app_source(),
-            hasher_sizes(),
-            OptLevel::O2,
-        )
-        .unwrap();
+        let fw =
+            build_firmware(&crate::firmware::hasher_app_source(), hasher_sizes(), OptLevel::O2)
+                .unwrap();
         let spec = hasher::HasherSpec;
         let codec = hasher::HasherCodec;
         let st0 = spec.init();
@@ -205,12 +196,9 @@ mod tests {
 
     #[test]
     fn journal_flag_toggles_per_command() {
-        let fw = build_firmware(
-            &crate::firmware::hasher_app_source(),
-            hasher_sizes(),
-            OptLevel::O1,
-        )
-        .unwrap();
+        let fw =
+            build_firmware(&crate::firmware::hasher_app_source(), hasher_sizes(), OptLevel::O1)
+                .unwrap();
         let codec = hasher::HasherCodec;
         let spec = hasher::HasherSpec;
         let mut soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&spec.init()));
@@ -221,19 +209,15 @@ mod tests {
         run_command(&mut soc, &codec.encode_command(&cmd), hasher::RESPONSE_SIZE);
         assert_eq!(soc.fram_bytes(0, 4), vec![0, 0, 0, 0]);
         // The active state tracks the journal (fig. 9).
-        let active =
-            crate::syssw::active_state(&soc.fram_bytes(0, 80), hasher::STATE_SIZE);
+        let active = crate::syssw::active_state(&soc.fram_bytes(0, 80), hasher::STATE_SIZE);
         assert_eq!(active, codec.encode_state(&hasher::HasherState { secret: [1; 32] }));
     }
 
     #[test]
     fn idle_device_stays_quiet() {
-        let fw = build_firmware(
-            &crate::firmware::hasher_app_source(),
-            hasher_sizes(),
-            OptLevel::O2,
-        )
-        .unwrap();
+        let fw =
+            build_firmware(&crate::firmware::hasher_app_source(), hasher_sizes(), OptLevel::O2)
+                .unwrap();
         let codec = hasher::HasherCodec;
         let spec = hasher::HasherSpec;
         let mut soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&spec.init()));

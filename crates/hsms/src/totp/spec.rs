@@ -134,9 +134,7 @@ impl Codec for TotpCodec {
 
     fn decode_response(&self, r: &Vec<u8>) -> TotpResponse {
         match r.first() {
-            Some(2) => {
-                TotpResponse::Code(u32::from_be_bytes([r[1], r[2], r[3], r[4]]))
-            }
+            Some(2) => TotpResponse::Code(u32::from_be_bytes([r[1], r[2], r[3], r[4]])),
             _ => TotpResponse::Initialized,
         }
     }

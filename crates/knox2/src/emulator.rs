@@ -25,12 +25,19 @@ use parfait_soc::Soc;
 use crate::fps::ByteSpec;
 
 /// Saved injection context between `handle` entry and the commit point.
+#[derive(Clone)]
 struct Pending {
     resp_addr: u32,
     resp: Vec<u8>,
 }
 
 /// The emulator: a dummy-state SoC plus the injection state machine.
+///
+/// `Clone` snapshots the whole ideal world (circuit instance, spec
+/// state, injection state machine); the specification itself is shared
+/// by reference. The parallel FPS checker forks these snapshots onto
+/// worker threads.
+#[derive(Clone)]
 pub struct CircuitEmulator<'s> {
     /// The emulator's own circuit instance (dummy persistent state).
     pub soc: Soc,
@@ -63,12 +70,9 @@ impl<'s> CircuitEmulator<'s> {
         spec_initial: Vec<u8>,
         command_size: usize,
     ) -> Self {
-        let handle_addr = dummy_soc
-            .firmware()
-            .address_of("handle")
-            .expect("firmware must define `handle`");
-        let prev_flag =
-            u32::from_le_bytes(dummy_soc.fram_bytes(0, 4).try_into().expect("4 bytes"));
+        let handle_addr =
+            dummy_soc.firmware().address_of("handle").expect("firmware must define `handle`");
+        let prev_flag = dummy_soc.fram_word(0);
         CircuitEmulator {
             soc: dummy_soc,
             spec,
@@ -100,8 +104,9 @@ impl<'s> CircuitEmulator<'s> {
                 self.pending = Some(Pending { resp_addr, resp });
             }
         }
-        // (2) commit point: the journal flag flipped.
-        let flag = u32::from_le_bytes(self.soc.fram_bytes(0, 4).try_into().expect("4 bytes"));
+        // (2) commit point: the journal flag flipped. (Read as a word:
+        // this poll happens every cycle and must not allocate.)
+        let flag = self.soc.fram_word(0);
         if flag != self.prev_flag {
             self.prev_flag = flag;
             if let Some(p) = self.pending.take() {

@@ -20,7 +20,7 @@
 use std::time::{Duration, Instant};
 
 use parfait_riscv::model::AsmStateMachine;
-use parfait_rtl::{Circuit, Trace, WireIn};
+use parfait_rtl::{Circuit, RingTrace, WireIn};
 use parfait_soc::Soc;
 use parfait_telemetry::Telemetry;
 
@@ -29,7 +29,10 @@ use crate::emulator::CircuitEmulator;
 /// A whole-command byte-level specification machine — the assembly
 /// level of abstraction, which serves as the spec for hardware
 /// verification (§5.3).
-pub trait ByteSpec {
+///
+/// Specs are `Sync`: the parallel checker shares one spec by reference
+/// across emulator snapshots on worker threads.
+pub trait ByteSpec: Sync {
     /// One whole-command step.
     fn step(&self, state: &[u8], cmd: &[u8]) -> (Vec<u8>, Vec<u8>);
 }
@@ -67,7 +70,10 @@ pub struct FpsConfig {
 }
 
 /// Where the two worlds diverged, or another failure.
-#[derive(Debug)]
+///
+/// `PartialEq` supports the differential tests that prove the parallel
+/// checker reports byte-identical errors to the sequential oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FpsError {
     /// Wire outputs differed at a cycle.
     TraceDivergence {
@@ -164,6 +170,10 @@ pub struct FpsReport {
     pub cycles: u64,
     /// Wall-clock time of the check.
     pub wall: Duration,
+    /// Aggregate busy time across all workers. Equal to `wall` for the
+    /// sequential checker; for the parallel checker `cpu / wall` is the
+    /// realized parallel efficiency.
+    pub cpu: Duration,
     /// Commands verified.
     pub commands: usize,
     /// Spec queries the emulator made.
@@ -216,29 +226,87 @@ impl std::error::Error for FpsFailure {
     }
 }
 
-/// The lock-stepped pair of circuits.
-struct Dual<'a, 's> {
-    real: &'a mut Soc,
-    emu: &'a mut CircuitEmulator<'s>,
-    cycle: u64,
-    divergence: Option<Divergence>,
-    commands: usize,
-    op_index: usize,
-    tel: Telemetry,
-    heartbeat_cycles: u64,
-    next_heartbeat: u64,
-    start: Instant,
-    /// Observable wires of both worlds, recorded only when a VCD dump
-    /// was requested via `PARFAIT_VCD_DIR`.
-    vcd: Option<(Trace, Trace)>,
+/// The lock-stepped pair of circuits. `pub(crate)` so the parallel
+/// checker can run the exact same per-op machinery over forked
+/// snapshots — observational identity with the oracle is by shared
+/// code, not by re-implementation.
+pub(crate) struct Dual<'a, 's> {
+    pub(crate) real: &'a mut Soc,
+    pub(crate) emu: &'a mut CircuitEmulator<'s>,
+    /// Absolute cycle index; segment workers start from their base.
+    pub(crate) cycle: u64,
+    pub(crate) divergence: Option<Divergence>,
+    /// Absolute completed-command count (base included).
+    pub(crate) commands: usize,
+    pub(crate) op_index: usize,
+    pub(crate) tel: Telemetry,
+    pub(crate) heartbeat_cycles: u64,
+    pub(crate) next_heartbeat: u64,
+    pub(crate) start: Instant,
+    /// Which checker thread this pair runs on (0 = sequential/producer;
+    /// heartbeats carry it so trace lanes separate per worker).
+    pub(crate) worker: u64,
+    /// Observable wires of both worlds over a sliding window
+    /// (`PARFAIT_VCD_WINDOW` cycles), recorded only when a VCD dump was
+    /// requested via `PARFAIT_VCD_DIR`.
+    pub(crate) vcd: Option<(RingTrace, RingTrace)>,
 }
 
-struct Divergence {
+pub(crate) struct Divergence {
     cycle: u64,
     real: (bool, bool, u8),
     ideal: (bool, bool, u8),
     real_pc: u32,
     ideal_pc: u32,
+}
+
+/// The VCD capture window: the most recent `PARFAIT_VCD_WINDOW` cycles
+/// (default 2^16) are retained, so capture on multi-day runs holds a
+/// bounded buffer instead of the whole execution.
+pub(crate) fn vcd_window() -> usize {
+    std::env::var("PARFAIT_VCD_WINDOW")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(1 << 16)
+}
+
+impl<'a, 's> Dual<'a, 's> {
+    /// A fresh pair over the given worlds, counting from the given
+    /// bases (all zero for a whole-script sequential run).
+    pub(crate) fn new(
+        real: &'a mut Soc,
+        emu: &'a mut CircuitEmulator<'s>,
+        obs: &FpsObserver,
+        cycle_base: u64,
+        commands_base: usize,
+        worker: u64,
+        capture_vcd: bool,
+    ) -> Self {
+        let tel = obs.telemetry.clone();
+        let next_heartbeat = if obs.heartbeat_cycles == 0 || !tel.enabled() {
+            u64::MAX
+        } else {
+            cycle_base.saturating_add(obs.heartbeat_cycles)
+        };
+        Dual {
+            real,
+            emu,
+            cycle: cycle_base,
+            divergence: None,
+            commands: commands_base,
+            op_index: 0,
+            tel,
+            heartbeat_cycles: obs.heartbeat_cycles,
+            next_heartbeat,
+            start: Instant::now(),
+            worker,
+            vcd: capture_vcd.then(|| {
+                let w = vcd_window();
+                (RingTrace::new(w), RingTrace::new(w))
+            }),
+        }
+    }
 }
 
 impl Circuit for Dual<'_, '_> {
@@ -257,8 +325,8 @@ impl Circuit for Dual<'_, '_> {
         let r = self.real.get_output().observable();
         let i = self.emu.get_output().observable();
         if let Some((real_trace, ideal_trace)) = &mut self.vcd {
-            real_trace.events.push(r);
-            ideal_trace.events.push(i);
+            real_trace.push(r);
+            ideal_trace.push(i);
         }
         if r != i && self.divergence.is_none() {
             self.divergence = Some(Divergence {
@@ -282,6 +350,7 @@ impl Circuit for Dual<'_, '_> {
                     ("cycles_per_s", rate),
                     ("commands", self.commands as f64),
                     ("op_index", self.op_index as f64),
+                    ("worker", self.worker as f64),
                     ("real_pc", self.real.core.pc() as f64),
                     ("ideal_pc", self.emu.soc.core.pc() as f64),
                 ],
@@ -309,8 +378,7 @@ pub fn check_fps(
     project: &dyn Fn(&Soc) -> Vec<u8>,
     script: &[HostOp],
 ) -> Result<FpsReport, FpsError> {
-    check_fps_traced(real, emu, cfg, project, script, &FpsObserver::default())
-        .map_err(|f| f.error)
+    check_fps_traced(real, emu, cfg, project, script, &FpsObserver::default()).map_err(|f| f.error)
 }
 
 /// [`check_fps`] with observability: spans per script op, counters for
@@ -333,29 +401,17 @@ pub fn check_fps_traced(
     let tel = obs.telemetry.clone();
     let run_span = tel.span("fps.run");
     let vcd_dir = std::env::var_os("PARFAIT_VCD_DIR");
-    let mut dual = Dual {
-        real,
-        emu,
-        cycle: 0,
-        divergence: None,
-        commands: 0,
-        op_index: 0,
-        tel: tel.clone(),
-        heartbeat_cycles: obs.heartbeat_cycles,
-        next_heartbeat: if obs.heartbeat_cycles == 0 || !tel.enabled() {
-            u64::MAX
-        } else {
-            obs.heartbeat_cycles
-        },
-        start,
-        vcd: vcd_dir.as_ref().map(|_| (Trace::default(), Trace::default())),
-    };
-    let outcome = run_script(&mut dual, cfg, project, script);
+    let mut dual = Dual::new(real, emu, obs, 0, 0, 0, vcd_dir.is_some());
+    dual.start = start;
+    let mut wire_responses: Vec<Vec<u8>> = Vec::new();
+    let outcome = run_ops(&mut dual, cfg, project, script, 0, &mut wire_responses)
+        .and_then(|()| end_of_script_checks(dual.real, &dual.emu.spec_responses, &wire_responses));
     // The statistics are computed the same way on success and failure,
     // so an aborted run still reports how far it got.
     let report = FpsReport {
         cycles: dual.cycle,
         wall: start.elapsed(),
+        cpu: start.elapsed(),
         commands: dual.commands,
         spec_queries: dual.emu.queries,
     };
@@ -369,94 +425,122 @@ pub fn check_fps_traced(
     match outcome {
         Ok(()) => Ok(report),
         Err(error) => {
-            if let FpsError::TraceDivergence { cycle, op_index, real_pc, ideal_pc, .. } = &error {
-                tel.progress(
-                    "fps.divergence",
-                    &[
-                        ("cycle", *cycle as f64),
-                        ("op_index", *op_index as f64),
-                        ("real_pc", *real_pc as f64),
-                        ("ideal_pc", *ideal_pc as f64),
-                    ],
-                );
-                if let (Some(dir), Some((real_trace, ideal_trace))) =
-                    (vcd_dir.as_ref(), dual.vcd.take())
-                {
-                    let doc = parfait_rtl::vcd::dual_trace_to_vcd(
-                        "real",
-                        &real_trace,
-                        "ideal",
-                        &ideal_trace,
-                    );
-                    let path = std::path::Path::new(dir)
-                        .join(format!("fps-divergence-cycle{cycle}.vcd"));
-                    if let Err(e) = std::fs::write(&path, doc) {
-                        eprintln!(
-                            "parfait: could not write divergence VCD to {}: {e}",
-                            path.display()
-                        );
-                    }
-                }
-            }
-            tel.count("fps.failures", 1);
+            report_failure(&tel, &error, dual.vcd.take());
             Err(FpsFailure { error, partial: report })
         }
     }
 }
 
-/// Drive the script against the lock-stepped pair, returning the first
-/// failure. Statistics live in `dual` so the caller can read them on
-/// both the success and failure paths.
-fn run_script(
+/// Failure-path telemetry, shared by the sequential checker and the
+/// parallel segment workers: the divergence progress event, the VCD
+/// window dump into `PARFAIT_VCD_DIR`, and the failure counter.
+pub(crate) fn report_failure(
+    tel: &Telemetry,
+    error: &FpsError,
+    vcd: Option<(RingTrace, RingTrace)>,
+) {
+    if let FpsError::TraceDivergence { cycle, op_index, real_pc, ideal_pc, .. } = error {
+        tel.progress(
+            "fps.divergence",
+            &[
+                ("cycle", *cycle as f64),
+                ("op_index", *op_index as f64),
+                ("real_pc", *real_pc as f64),
+                ("ideal_pc", *ideal_pc as f64),
+            ],
+        );
+        if let (Some(dir), Some((real_ring, ideal_ring))) =
+            (std::env::var_os("PARFAIT_VCD_DIR"), vcd)
+        {
+            let doc = parfait_rtl::vcd::dual_trace_to_vcd(
+                "real",
+                &real_ring.to_trace(),
+                "ideal",
+                &ideal_ring.to_trace(),
+            );
+            let dir = std::path::Path::new(&dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("parfait: could not create VCD dir {}: {e}", dir.display());
+            }
+            let path = dir.join(format!("fps-divergence-cycle{cycle}.vcd"));
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("parfait: could not write divergence VCD to {}: {e}", path.display());
+            }
+        }
+    }
+    tel.count("fps.failures", 1);
+}
+
+/// Drive one host operation against a circuit, mirroring the wire-level
+/// protocol exactly: command/garbage bytes are interleaved with response
+/// draining (the device answers after every `command_size`-th byte, and
+/// its TX FIFO is finite, so a host that floods bytes across a command
+/// boundary without reading would deadlock it). `pending_bytes` carries
+/// the framing position across ops; completed responses are appended to
+/// `wire_responses`.
+///
+/// This is the single source of truth for the I/O schedule: the
+/// sequential checker drives the lock-stepped [`Dual`] with it, and the
+/// parallel checker's pre-pass drives the real SoC alone with it —
+/// which yields the identical schedule, because every host decision
+/// depends only on the real world's output wires.
+pub(crate) fn drive_op(
+    c: &mut dyn Circuit,
+    op: &HostOp,
+    cfg: &FpsConfig,
+    pending_bytes: &mut usize,
+    wire_responses: &mut Vec<Vec<u8>>,
+) -> Result<(), parfait_soc::host::HostTimeout> {
+    match op {
+        HostOp::Command(cmd) | HostOp::Garbage(cmd) => {
+            for &b in cmd {
+                parfait_soc::host::send_byte(c, b, cfg.timeout)?;
+                *pending_bytes += 1;
+                if *pending_bytes == cfg.command_size {
+                    *pending_bytes = 0;
+                    let r = parfait_soc::host::recv_bytes(c, cfg.response_size, cfg.timeout)?;
+                    wire_responses.push(r);
+                }
+            }
+            Ok(())
+        }
+        HostOp::Idle(n) => {
+            parfait_soc::host::idle(c, *n);
+            Ok(())
+        }
+    }
+}
+
+/// Drive a slice of script ops against the lock-stepped pair, returning
+/// the first failure. `op_base` is the absolute index of `ops[0]` in the
+/// whole script, so errors from a parallel segment report the same
+/// indices as the sequential oracle. The slice must start at a quiescent
+/// point (framing-aligned, `pending_bytes == 0`), which every segment
+/// boundary is by construction.
+pub(crate) fn run_ops(
     dual: &mut Dual<'_, '_>,
     cfg: &FpsConfig,
     project: &dyn Fn(&Soc) -> Vec<u8>,
-    script: &[HostOp],
+    ops: &[HostOp],
+    op_base: usize,
+    wire_responses: &mut Vec<Vec<u8>>,
 ) -> Result<(), FpsError> {
     // The device consumes input in fixed-size commands and answers every
     // completed one; track framing so adversarial partial traffic keeps
     // the script aligned (responses are always drained).
     let mut pending_bytes = 0usize;
-    let mut wire_responses: Vec<Vec<u8>> = Vec::new();
-    for (op_index, op) in script.iter().enumerate() {
+    for (i, op) in ops.iter().enumerate() {
+        let op_index = op_base + i;
         dual.op_index = op_index;
         let _op_span = dual.tel.span(match op {
             HostOp::Command(_) => "fps.command",
             HostOp::Garbage(_) => "fps.garbage",
             HostOp::Idle(_) => "fps.idle",
         });
-        let io_result = match op {
-            HostOp::Command(cmd) | HostOp::Garbage(cmd) => {
-                if matches!(op, HostOp::Command(_)) {
-                    dual.commands += 1;
-                }
-                // Interleave sending with response draining: the device
-                // answers after every COMMAND_SIZE-th byte, and its TX
-                // FIFO is finite, so a host that floods bytes across a
-                // command boundary without reading would deadlock it.
-                let mut send_all = || -> Result<(), parfait_soc::host::HostTimeout> {
-                    for &b in cmd {
-                        parfait_soc::host::send_byte(&mut *dual, b, cfg.timeout)?;
-                        pending_bytes += 1;
-                        if pending_bytes == cfg.command_size {
-                            pending_bytes = 0;
-                            let r = parfait_soc::host::recv_bytes(
-                                &mut *dual,
-                                cfg.response_size,
-                                cfg.timeout,
-                            )?;
-                            wire_responses.push(r);
-                        }
-                    }
-                    Ok(())
-                };
-                send_all()
-            }
-            HostOp::Idle(n) => {
-                parfait_soc::host::idle(dual, *n);
-                Ok(())
-            }
-        };
+        if matches!(op, HostOp::Command(_)) {
+            dual.commands += 1;
+        }
+        let io_result = drive_op(&mut *dual, op, cfg, &mut pending_bytes, wire_responses);
         // Any wire divergence takes precedence over secondary symptoms.
         if let Some(d) = dual.divergence.take() {
             return Err(FpsError::TraceDivergence {
@@ -490,9 +574,19 @@ fn run_script(
             }
         }
     }
+    Ok(())
+}
+
+/// The whole-script checks that run only after every op passed:
+/// functional binding of the wire responses to the spec's responses, and
+/// taint silence of the real core.
+pub(crate) fn end_of_script_checks(
+    real: &Soc,
+    spec_responses: &[Vec<u8>],
+    wire_responses: &[Vec<u8>],
+) -> Result<(), FpsError> {
     // Functional binding: every wire response must equal the spec's
     // response for the corresponding command.
-    let spec_responses = dual.emu.spec_responses.clone();
     for (i, wire) in wire_responses.iter().enumerate() {
         match spec_responses.get(i) {
             Some(spec) if spec == wire => {}
@@ -513,7 +607,7 @@ fn run_script(
         }
     }
     // Taint silence: no secret may have reached control state.
-    let leaks = dual.real.core.leaks();
+    let leaks = real.core.leaks();
     if !leaks.is_empty() {
         let events = leaks
             .iter()

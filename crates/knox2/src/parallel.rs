@@ -1,0 +1,504 @@
+//! Parallel FPS checking: snapshot-fork segment verification.
+//!
+//! The sequential checker spends almost all of its time lock-stepping
+//! *two* circuit instances (the real SoC and the emulator's dummy SoC).
+//! This module splits that work across threads without changing what is
+//! checked:
+//!
+//! 1. A cheap sequential **pre-pass** (the *producer*) drives only the
+//!    real SoC through the host script — the host schedule depends only
+//!    on the real world's output wires, so this replays the exact wire
+//!    schedule of the sequential checker at roughly half its cost. At
+//!    quiescent op boundaries (command framing aligned) it snapshots the
+//!    real SoC (`Clone`) and cuts the script into segments, recording
+//!    the per-cycle input schedule of each segment as a run-length
+//!    encoded [`InputTrace`].
+//! 2. An **α-chain** replays each segment's recorded inputs onto the
+//!    caller's emulator, snapshotting it *before* each replay. Replay is
+//!    input-driven, so the emulator passes through exactly the states it
+//!    has in the sequential run — including after a divergence, where
+//!    its own outputs would no longer agree with the schedule.
+//! 3. **Segment workers** re-run the expensive dual-world check — the
+//!    exact same [`run_ops`] the sequential checker uses — over each
+//!    (real snapshot, emulator snapshot, ops) triple, in parallel.
+//! 4. The **merge** picks the failure from the earliest segment, which
+//!    is the sequential checker's first failure: segments partition the
+//!    script, each worker checks only its own op range with shared code
+//!    and identical absolute cycle/op/command numbering, so the reported
+//!    error is byte-identical to the sequential oracle's.
+//!
+//! Soundness rests on two facts. First, segments are cut only at
+//! quiescent points (no partial command in flight), so a worker's
+//! `pending_bytes = 0` assumption holds by construction. Second, every
+//! world a worker sees is a bit-exact snapshot of the corresponding
+//! sequential state: the real snapshots come from replaying the
+//! identical schedule, and the emulator snapshots come from replaying
+//! the identical inputs. Nothing about the property being checked is
+//! weakened — the same comparisons run over the same states.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use parfait_rtl::{Circuit, RingTrace, WireIn, WireOut};
+use parfait_soc::Soc;
+
+use crate::emulator::CircuitEmulator;
+use crate::fps::{
+    check_fps_traced, drive_op, end_of_script_checks, report_failure, run_ops, Dual, FpsConfig,
+    FpsError, FpsFailure, FpsObserver, FpsReport, HostOp,
+};
+
+/// A run-length encoded per-cycle input schedule.
+///
+/// The host protocol holds each input for many consecutive cycles
+/// (offering a byte, waiting for `tx_valid`, idling), so the encoded
+/// trace is tiny compared to the cycle count it covers.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct InputTrace {
+    runs: Vec<(WireIn, u32)>,
+}
+
+impl InputTrace {
+    fn push(&mut self, w: WireIn) {
+        match self.runs.last_mut() {
+            Some((last, n)) if *last == w && *n < u32::MAX => *n += 1,
+            _ => self.runs.push((w, 1)),
+        }
+    }
+
+    /// Apply the schedule to a circuit. The input is re-asserted before
+    /// every tick because the SoC self-clears latched handshake wires;
+    /// this matches the effective per-cycle input of the original run
+    /// exactly (the host drivers also re-assert before every tick, or
+    /// hold the all-false idle input which self-clearing cannot change).
+    fn replay(&self, c: &mut dyn Circuit) {
+        for &(w, n) in &self.runs {
+            for _ in 0..n {
+                c.set_input(w);
+                c.tick();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn len_cycles(&self) -> u64 {
+        self.runs.iter().map(|&(_, n)| n as u64).sum()
+    }
+}
+
+/// A [`Circuit`] wrapper that records the effective input of every
+/// cycle (for the α-chain replay) and counts ticks (for absolute cycle
+/// numbering of segments).
+struct RecordingCircuit<'a> {
+    soc: &'a mut Soc,
+    input: WireIn,
+    inputs: InputTrace,
+    ticks: u64,
+}
+
+impl Circuit for RecordingCircuit<'_> {
+    fn set_input(&mut self, input: WireIn) {
+        self.input = input;
+        self.soc.set_input(input);
+    }
+
+    fn get_output(&self) -> WireOut {
+        self.soc.get_output()
+    }
+
+    fn tick(&mut self) {
+        self.inputs.push(self.input);
+        self.soc.tick();
+        self.ticks += 1;
+    }
+
+    fn cycles(&self) -> u64 {
+        self.soc.cycles()
+    }
+}
+
+/// One verifiable slice of the script, with everything a worker needs
+/// to reproduce the sequential checker's behavior over it.
+struct Segment {
+    index: usize,
+    /// Absolute op indices covered (half-open).
+    op_start: usize,
+    op_end: usize,
+    /// The real SoC at the segment's start.
+    real_snap: Soc,
+    /// Cycles elapsed before the segment (absolute numbering base).
+    cycle_base: u64,
+    /// Commands completed before the segment.
+    commands_base: usize,
+    /// The per-cycle inputs the producer applied during the segment.
+    inputs: InputTrace,
+}
+
+/// A segment paired with the emulator snapshot at its start.
+struct WorkItem<'s> {
+    seg: Segment,
+    emu: CircuitEmulator<'s>,
+}
+
+/// What the producer learned from its pre-pass.
+struct ProducerOut {
+    wire_responses: Vec<Vec<u8>>,
+    cycles: u64,
+    commands: usize,
+    busy: Duration,
+}
+
+/// A worker's verdict on one segment.
+struct SegDone {
+    index: usize,
+    busy: Duration,
+    failure: Option<SegFailure>,
+}
+
+/// A failure with the statistics the sequential checker would have
+/// accumulated at the same point (the emulator snapshot carries
+/// cumulative counters, so these are absolute, not per-segment).
+struct SegFailure {
+    error: FpsError,
+    cycles: u64,
+    commands: usize,
+    queries: u64,
+    vcd: Option<(RingTrace, RingTrace)>,
+}
+
+/// Minimum cycles per segment before the producer cuts at the next
+/// quiescent boundary (`PARFAIT_SEGMENT_CYCLES`, default 100k). Smaller
+/// segments expose more parallelism; each segment costs one SoC and one
+/// emulator snapshot (~1 MiB for the reference SoC).
+fn segment_cycles() -> u64 {
+    std::env::var("PARFAIT_SEGMENT_CYCLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n: &u64| n > 0)
+        .unwrap_or(100_000)
+}
+
+/// [`check_fps_traced`][crate::fps::check_fps_traced] distributed over
+/// `threads` threads (0 = [`parfait_parallel::default_threads`]).
+///
+/// Observationally identical to the sequential checker: it returns the
+/// same `Ok` report (modulo `wall`/`cpu` timings) and, on failure, the
+/// byte-identical first [`FpsError`] with the same partial statistics.
+/// On success `real` and `emu` are left in the same final states the
+/// sequential checker leaves them in. `threads <= 1` simply delegates
+/// to the sequential checker.
+pub fn check_fps_parallel(
+    real: &mut Soc,
+    emu: &mut CircuitEmulator<'_>,
+    cfg: &FpsConfig,
+    project: &(dyn Fn(&Soc) -> Vec<u8> + Sync),
+    script: &[HostOp],
+    obs: &FpsObserver,
+    threads: usize,
+) -> Result<FpsReport, FpsFailure> {
+    let threads = if threads == 0 { parfait_parallel::default_threads() } else { threads };
+    if threads <= 1 {
+        return check_fps_traced(real, emu, cfg, project, script, obs);
+    }
+    let start = Instant::now();
+    let tel = obs.telemetry.clone();
+    let run_span = tel.span("fps.run");
+    let capture_vcd = std::env::var_os("PARFAIT_VCD_DIR").is_some();
+    let min_seg_cycles = segment_cycles();
+
+    let (producer_out, alpha_busy, dones) = parfait_parallel::scope(threads, |pool| {
+        // Producer -> α: bounded, so in-flight real-SoC snapshots stay
+        // proportional to the thread count, not the script length.
+        let (seg_tx, seg_rx) = mpsc::sync_channel::<Segment>(threads * 2);
+        // α -> main: work items carrying both snapshots.
+        let (item_tx, item_rx) = mpsc::channel::<WorkItem<'_>>();
+        let (res_tx, res_rx) = mpsc::channel::<SegDone>();
+        let (prod_tx, prod_rx) = mpsc::channel::<ProducerOut>();
+        let (alpha_tx, alpha_rx) = mpsc::channel::<Duration>();
+
+        // The pre-pass: drive the real world alone, record inputs, cut
+        // and snapshot segments.
+        let prod_tel = tel.clone();
+        let real = &mut *real;
+        pool.spawn(move |_worker| {
+            let busy_start = Instant::now();
+            let _span = prod_tel.span("fps.scan");
+            let mut rec = RecordingCircuit {
+                soc: real,
+                input: WireIn::default(),
+                inputs: InputTrace::default(),
+                ticks: 0,
+            };
+            let mut pending_bytes = 0usize;
+            let mut wire_responses: Vec<Vec<u8>> = Vec::new();
+            let mut commands = 0usize;
+            let mut index = 0usize;
+            let mut seg_start_op = 0usize;
+            let mut seg_cycle_base = 0u64;
+            let mut seg_commands_base = 0usize;
+            let mut seg_snap = rec.soc.clone();
+            for (op_i, op) in script.iter().enumerate() {
+                if matches!(op, HostOp::Command(_)) {
+                    commands += 1;
+                }
+                let io = drive_op(&mut rec, op, cfg, &mut pending_bytes, &mut wire_responses);
+                // The pre-pass stops where the sequential checker could
+                // not have continued driving: a hung or faulted real
+                // world. The worker for this terminal segment re-runs
+                // it with the full dual-world checks and reports the
+                // precise error (which may be an earlier divergence in
+                // the same segment rather than the fault itself).
+                let terminal = io.is_err() || rec.soc.fault().is_some();
+                let boundary = pending_bytes == 0
+                    && rec.ticks.saturating_sub(seg_cycle_base) >= min_seg_cycles;
+                let last = op_i + 1 == script.len();
+                if terminal || boundary || last {
+                    let seg = Segment {
+                        index,
+                        op_start: seg_start_op,
+                        op_end: op_i + 1,
+                        real_snap: std::mem::replace(&mut seg_snap, rec.soc.clone()),
+                        cycle_base: seg_cycle_base,
+                        commands_base: seg_commands_base,
+                        inputs: std::mem::take(&mut rec.inputs),
+                    };
+                    prod_tel.progress(
+                        "fps.segment",
+                        &[
+                            ("segment", seg.index as f64),
+                            ("op_start", seg.op_start as f64),
+                            ("ops", (seg.op_end - seg.op_start) as f64),
+                            ("cycle_base", seg.cycle_base as f64),
+                            ("cycles", (rec.ticks - seg.cycle_base) as f64),
+                        ],
+                    );
+                    index += 1;
+                    seg_start_op = op_i + 1;
+                    seg_cycle_base = rec.ticks;
+                    seg_commands_base = commands;
+                    if seg_tx.send(seg).is_err() || terminal {
+                        break;
+                    }
+                }
+            }
+            let _ = prod_tx.send(ProducerOut {
+                wire_responses,
+                cycles: rec.ticks,
+                commands,
+                busy: busy_start.elapsed(),
+            });
+        });
+
+        // The α-chain: snapshot the emulator before each segment, then
+        // advance it by replaying the recorded inputs.
+        let alpha_tel = tel.clone();
+        let emu = &mut *emu;
+        pool.spawn(move |_worker| {
+            let busy_start = Instant::now();
+            let _span = alpha_tel.span("fps.alpha");
+            for seg in seg_rx.iter() {
+                let inputs = seg.inputs.clone();
+                if item_tx.send(WorkItem { seg, emu: emu.clone() }).is_err() {
+                    break;
+                }
+                inputs.replay(emu);
+            }
+            let _ = alpha_tx.send(busy_start.elapsed());
+        });
+
+        // Main thread: fan work items out to the pool, keeping the
+        // number of outstanding (snapshot-holding) jobs bounded.
+        let mut dones: Vec<SegDone> = Vec::new();
+        let mut spawned = 0usize;
+        for item in item_rx.iter() {
+            while spawned - dones.len() >= threads * 2 {
+                match res_rx.recv() {
+                    Ok(d) => dones.push(d),
+                    Err(_) => break,
+                }
+            }
+            let res_tx = res_tx.clone();
+            pool.spawn(move |_worker| {
+                let _ = res_tx.send(verify_segment(item, cfg, project, script, obs, capture_vcd));
+            });
+            spawned += 1;
+        }
+        drop(res_tx);
+        while dones.len() < spawned {
+            match res_rx.recv() {
+                Ok(d) => dones.push(d),
+                Err(_) => break,
+            }
+        }
+        (prod_rx.recv().ok(), alpha_rx.recv().ok(), dones)
+    });
+
+    // All jobs are done and the scope's borrows have ended; the caller's
+    // `real` and `emu` now hold the same final states a sequential run
+    // produces (the producer drove `real`, the α-chain replayed `emu`).
+    let producer_out = producer_out.expect("FPS producer terminated without a result");
+    let wall = start.elapsed();
+    let cpu = producer_out.busy
+        + alpha_busy.unwrap_or_default()
+        + dones.iter().map(|d| d.busy).sum::<Duration>();
+    tel.count("fps.spec_queries", emu.queries);
+    tel.gauge_max("soc.real.rx_fifo_hwm", real.rx_fifo.high_water() as u64);
+    tel.gauge_max("soc.real.tx_fifo_hwm", real.tx_fifo.high_water() as u64);
+    tel.gauge_max("soc.ideal.rx_fifo_hwm", emu.soc.rx_fifo.high_water() as u64);
+    tel.gauge_max("soc.ideal.tx_fifo_hwm", emu.soc.tx_fifo.high_water() as u64);
+    tel.count("soc.real.instructions_retired", real.instructions_retired());
+    tel.gauge("fps.threads", threads as u64);
+    drop(run_span);
+
+    // The first failing segment holds the sequential checker's first
+    // error: op ranges are disjoint and each worker only reports errors
+    // from its own range.
+    let first_failure = dones
+        .into_iter()
+        .filter(|d| d.failure.is_some())
+        .min_by_key(|d| d.index)
+        .and_then(|d| d.failure);
+    if let Some(f) = first_failure {
+        report_failure(&tel, &f.error, f.vcd);
+        return Err(FpsFailure {
+            error: f.error,
+            partial: FpsReport {
+                cycles: f.cycles,
+                wall,
+                cpu,
+                commands: f.commands,
+                spec_queries: f.queries,
+            },
+        });
+    }
+    let report = FpsReport {
+        cycles: producer_out.cycles,
+        wall,
+        cpu,
+        commands: producer_out.commands,
+        spec_queries: emu.queries,
+    };
+    match end_of_script_checks(real, &emu.spec_responses, &producer_out.wire_responses) {
+        Ok(()) => Ok(report),
+        Err(error) => {
+            report_failure(&tel, &error, None);
+            Err(FpsFailure { error, partial: report })
+        }
+    }
+}
+
+/// Re-run the full dual-world check over one segment's snapshots. This
+/// is the exact sequential per-op machinery ([`run_ops`]) with absolute
+/// bases, so any error carries sequential-identical coordinates.
+fn verify_segment(
+    item: WorkItem<'_>,
+    cfg: &FpsConfig,
+    project: &(dyn Fn(&Soc) -> Vec<u8> + Sync),
+    script: &[HostOp],
+    obs: &FpsObserver,
+    capture_vcd: bool,
+) -> SegDone {
+    let busy_start = Instant::now();
+    let WorkItem { seg, mut emu } = item;
+    let mut real = seg.real_snap;
+    let _span = obs.telemetry.span("fps.segment_verify");
+    let mut dual = Dual::new(
+        &mut real,
+        &mut emu,
+        obs,
+        seg.cycle_base,
+        seg.commands_base,
+        // Worker lane for heartbeats: 0 = sequential/producer, 1 = α.
+        2 + seg.index as u64,
+        capture_vcd,
+    );
+    // The worker's own response collection is discarded: the producer's
+    // full-script collection (same schedule) feeds the end-of-script
+    // checks.
+    let mut wire_responses = Vec::new();
+    let outcome = run_ops(
+        &mut dual,
+        cfg,
+        project,
+        &script[seg.op_start..seg.op_end],
+        seg.op_start,
+        &mut wire_responses,
+    );
+    let failure = match outcome {
+        Ok(()) => None,
+        Err(error) => {
+            let cycles = dual.cycle;
+            let commands = dual.commands;
+            let vcd = dual.vcd.take();
+            drop(dual);
+            Some(SegFailure { error, cycles, commands, queries: emu.queries, vcd })
+        }
+    };
+    SegDone { index: seg.index, busy: busy_start.elapsed(), failure }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_trace_run_length_encodes() {
+        let a = WireIn { rx_valid: true, rx_data: 7, tx_ready: false };
+        let b = WireIn::default();
+        let mut t = InputTrace::default();
+        for _ in 0..1000 {
+            t.push(a);
+        }
+        for _ in 0..500 {
+            t.push(b);
+        }
+        t.push(a);
+        assert_eq!(t.runs.len(), 3);
+        assert_eq!(t.len_cycles(), 1501);
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_schedule() {
+        /// A circuit that remembers the input it saw at every tick.
+        #[derive(Default)]
+        struct Probe {
+            input: WireIn,
+            seen: Vec<WireIn>,
+        }
+        impl Circuit for Probe {
+            fn set_input(&mut self, input: WireIn) {
+                self.input = input;
+            }
+            fn get_output(&self) -> WireOut {
+                WireOut::default()
+            }
+            fn tick(&mut self) {
+                self.seen.push(self.input);
+            }
+            fn cycles(&self) -> u64 {
+                self.seen.len() as u64
+            }
+        }
+        let schedule = [
+            WireIn { rx_valid: true, rx_data: 1, tx_ready: false },
+            WireIn { rx_valid: true, rx_data: 1, tx_ready: false },
+            WireIn::default(),
+            WireIn { rx_valid: false, rx_data: 0, tx_ready: true },
+        ];
+        let mut trace = InputTrace::default();
+        let mut original = Probe::default();
+        for w in schedule {
+            original.set_input(w);
+            trace.push(w);
+            original.tick();
+        }
+        let mut replayed = Probe::default();
+        trace.replay(&mut replayed);
+        assert_eq!(original.seen, replayed.seen);
+    }
+
+    #[test]
+    fn segment_cycles_has_a_positive_default() {
+        assert!(segment_cycles() > 0);
+    }
+}

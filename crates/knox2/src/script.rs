@@ -42,11 +42,7 @@ impl ScriptRng {
 /// Build a mixed adversarial script around a set of well-formed
 /// commands: each command is interleaved with garbage (full-size invalid
 /// commands, partial frames later completed) and idle gaps.
-pub fn adversarial_script(
-    commands: &[Vec<u8>],
-    command_size: usize,
-    seed: u64,
-) -> Vec<HostOp> {
+pub fn adversarial_script(commands: &[Vec<u8>], command_size: usize, seed: u64) -> Vec<HostOp> {
     let mut rng = ScriptRng::new(seed);
     let mut ops = Vec::new();
     for cmd in commands {

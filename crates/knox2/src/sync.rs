@@ -150,11 +150,7 @@ pub fn snapshot_isa_machine(soc: &Soc) -> Machine {
     for (i, w) in soc.core.regs().iter().enumerate() {
         m.regs[i] = w.v;
     }
-    m.pc = soc
-        .core
-        .instr_in_decode()
-        .map(|(_, pc)| pc)
-        .unwrap_or_else(|| soc.core.pc());
+    m.pc = soc.core.instr_in_decode().map(|(_, pc)| pc).unwrap_or_else(|| soc.core.pc());
     // Copy the memories at their mapped addresses.
     m.mem.store_bytes(ROM_BASE, &soc.rom.dump_bytes(0, soc.rom.len_bytes()));
     m.mem.store_bytes(RAM_BASE, &soc.ram.dump_bytes(0, RAM_SIZE as usize));
@@ -190,10 +186,7 @@ pub fn run_until_decode(soc: &mut Soc, addr: u32, max_cycles: u64) -> Result<u64
 /// `handle` returns (the ISA PC comes back to the entry `ra`), stepping
 /// the ISA machine at every hardware retirement and checking the state
 /// correspondence per `policy`.
-pub fn sync_handle_execution(
-    soc: &mut Soc,
-    policy: &SyncPolicy,
-) -> Result<SyncStats, SyncError> {
+pub fn sync_handle_execution(soc: &mut Soc, policy: &SyncPolicy) -> Result<SyncStats, SyncError> {
     sync_handle_execution_traced(soc, policy, &Telemetry::disabled())
 }
 

@@ -76,7 +76,11 @@ pub fn compile_ir(ir: IrProgram, opt: OptLevel) -> String {
 }
 
 /// [`compile_ir`] with per-pass telemetry spans.
-pub fn compile_ir_traced(mut ir: IrProgram, opt: OptLevel, tel: &parfait_telemetry::Telemetry) -> String {
+pub fn compile_ir_traced(
+    mut ir: IrProgram,
+    opt: OptLevel,
+    tel: &parfait_telemetry::Telemetry,
+) -> String {
     {
         let _span = tel.span("littlec.opt");
         for f in &mut ir.functions {
@@ -378,9 +382,7 @@ impl Emitter {
                 for (i, &a) in args.iter().enumerate() {
                     let areg = format!("a{i}");
                     match self.alloc.locs[a as usize] {
-                        Loc::Reg(r) => {
-                            self.line(&format!("mv {areg}, {}", REG_NAMES[r as usize]))
-                        }
+                        Loc::Reg(r) => self.line(&format!("mv {areg}, {}", REG_NAMES[r as usize])),
                         Loc::Slot(n) => {
                             let off = self.slot_off(n);
                             self.lw_sp(&areg, off);
@@ -392,9 +394,7 @@ impl Emitter {
                 self.cache_clear();
                 if let Some(d) = dst {
                     match self.alloc.locs[*d as usize] {
-                        Loc::Reg(r) => {
-                            self.line(&format!("mv {}, a0", REG_NAMES[r as usize]))
-                        }
+                        Loc::Reg(r) => self.line(&format!("mv {}, a0", REG_NAMES[r as usize])),
                         Loc::Slot(n) => {
                             let off = self.slot_off(n);
                             self.sw_sp("a0", off);
@@ -586,7 +586,12 @@ mod tests {
     #[test]
     fn simple_arithmetic_all_levels() {
         for opt in ALL {
-            let r = compile_and_run("u32 f(u32 a, u32 b) { return (a + b) * (a - b); }", opt, "f", &[7, 3]);
+            let r = compile_and_run(
+                "u32 f(u32 a, u32 b) { return (a + b) * (a - b); }",
+                opt,
+                "f",
+                &[7, 3],
+            );
             assert_eq!(r, 40, "{opt}");
         }
     }

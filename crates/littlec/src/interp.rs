@@ -95,9 +95,7 @@ impl<'p> Interp<'p> {
                 Global::ConstArray { elem, values, .. } => {
                     values.len() as u32 * if *elem == Ty::U32 { 4 } else { 1 }
                 }
-                Global::StaticArray { elem, len, .. } => {
-                    len * if *elem == Ty::U32 { 4 } else { 1 }
-                }
+                Global::StaticArray { elem, len, .. } => len * if *elem == Ty::U32 { 4 } else { 1 },
                 Global::ConstScalar { .. } => continue,
             };
             global_addrs.insert(g.name().to_string(), (next, size));
@@ -320,11 +318,8 @@ impl State<'_> {
                         let slot = self.lookup(frame, name, *line)?;
                         let new = match slot {
                             Slot::Scalar { ty, .. } => {
-                                let v = if ty == Ty::U8 {
-                                    Value::Int(v.int(*line)? & 0xFF)
-                                } else {
-                                    v
-                                };
+                                let v =
+                                    if ty == Ty::U8 { Value::Int(v.int(*line)? & 0xFF) } else { v };
                                 Slot::Scalar { v, ty }
                             }
                             Slot::Array { .. } => {
@@ -431,12 +426,7 @@ impl State<'_> {
 
     /// Determine the pointee type of a pointer-typed expression from its
     /// syntactic shape (the program is type-checked, so this is total).
-    fn static_ptr_elem(
-        &mut self,
-        e: &Expr,
-        frame: &mut Frame,
-        line: usize,
-    ) -> Result<Ty, LcError> {
+    fn static_ptr_elem(&mut self, e: &Expr, frame: &mut Frame, line: usize) -> Result<Ty, LcError> {
         match &e.kind {
             ExprKind::Var(name) => match self.lookup(frame, name, line)? {
                 Slot::Scalar { ty, .. } if ty.is_ptr() => Ok(ty.deref()),
@@ -502,12 +492,20 @@ impl State<'_> {
                     | (BinOp::Add, Value::Int(n), Value::Ptr { addr, lo, hi }) => {
                         let elem = self.static_ptr_elem(e, frame, line)?;
                         let size = if elem == Ty::U32 { 4 } else { 1 };
-                        return Ok(Value::Ptr { addr: addr.wrapping_add(n.wrapping_mul(size)), lo, hi });
+                        return Ok(Value::Ptr {
+                            addr: addr.wrapping_add(n.wrapping_mul(size)),
+                            lo,
+                            hi,
+                        });
                     }
                     (BinOp::Sub, Value::Ptr { addr, lo, hi }, Value::Int(n)) => {
                         let elem = self.static_ptr_elem(e, frame, line)?;
                         let size = if elem == Ty::U32 { 4 } else { 1 };
-                        return Ok(Value::Ptr { addr: addr.wrapping_sub(n.wrapping_mul(size)), lo, hi });
+                        return Ok(Value::Ptr {
+                            addr: addr.wrapping_sub(n.wrapping_mul(size)),
+                            lo,
+                            hi,
+                        });
                     }
                     _ => {}
                 }

@@ -473,41 +473,39 @@ impl Lowerer<'_> {
                 self.zero_slot(slot, size);
                 Ok(())
             }
-            Stmt::Assign { lv, rhs, line } => {
-                match lv {
-                    LValue::Var(name) => {
-                        let bind = self.lookup(name).ok_or_else(|| {
-                            LcError::new(*line, format!("undefined variable `{name}`"))
-                        })?;
-                        match bind {
-                            LBind::Reg(dst, ty) => {
-                                let v = self.expr(rhs)?;
-                                if ty == Ty::U8 {
-                                    let mask = self.const_reg(0xFF);
-                                    self.emit(Inst::Bin {
-                                        op: IrOp::And,
-                                        dst,
-                                        a: v,
-                                        b: Operand::Reg(mask),
-                                    });
-                                } else {
-                                    self.emit(Inst::Copy { dst, src: v });
-                                }
-                                Ok(())
+            Stmt::Assign { lv, rhs, line } => match lv {
+                LValue::Var(name) => {
+                    let bind = self.lookup(name).ok_or_else(|| {
+                        LcError::new(*line, format!("undefined variable `{name}`"))
+                    })?;
+                    match bind {
+                        LBind::Reg(dst, ty) => {
+                            let v = self.expr(rhs)?;
+                            if ty == Ty::U8 {
+                                let mask = self.const_reg(0xFF);
+                                self.emit(Inst::Bin {
+                                    op: IrOp::And,
+                                    dst,
+                                    a: v,
+                                    b: Operand::Reg(mask),
+                                });
+                            } else {
+                                self.emit(Inst::Copy { dst, src: v });
                             }
-                            _ => Err(LcError::new(*line, format!("cannot assign to `{name}`"))),
+                            Ok(())
                         }
-                    }
-                    LValue::Index(base, idx) => {
-                        let elem = self.ty_of(base)?.deref();
-                        let v = self.expr(rhs)?;
-                        let addr = self.elem_addr(base, idx)?;
-                        let width = if elem == Ty::U32 { Width::Word } else { Width::Byte };
-                        self.emit(Inst::Store { addr, src: v, width });
-                        Ok(())
+                        _ => Err(LcError::new(*line, format!("cannot assign to `{name}`"))),
                     }
                 }
-            }
+                LValue::Index(base, idx) => {
+                    let elem = self.ty_of(base)?.deref();
+                    let v = self.expr(rhs)?;
+                    let addr = self.elem_addr(base, idx)?;
+                    let width = if elem == Ty::U32 { Width::Word } else { Width::Byte };
+                    self.emit(Inst::Store { addr, src: v, width });
+                    Ok(())
+                }
+            },
             Stmt::If { cond, then_body, else_body, .. } => {
                 let c = self.expr(cond)?;
                 let then_b = self.new_block();

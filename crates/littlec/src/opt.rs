@@ -159,9 +159,7 @@ fn fold_block_local(f: &mut IrFunction) {
                             kill(d, &mut consts, &mut copy_of);
                         }
                         // a + 0 / a ^ 0 / a | 0 / a << 0 / a >> 0 → copy
-                        (Some(x), None)
-                            if op2 == IrOp::Add && x == 0 =>
-                        {
+                        (Some(x), None) if op2 == IrOp::Add && x == 0 => {
                             // 0 + b → copy of b
                             if let Operand::Reg(r) = *b {
                                 kill(d, &mut consts, &mut copy_of);

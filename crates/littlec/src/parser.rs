@@ -470,8 +470,7 @@ impl Parser {
             return Ok(Expr { kind: ExprKind::Un(UnOp::LNot, Box::new(e)), line });
         }
         // Cast: `(` type ... `)` unary
-        if self.peek() == &Tok::P("(")
-            && matches!(self.peek2(), Tok::Kw(Kw::U32) | Tok::Kw(Kw::U8))
+        if self.peek() == &Tok::P("(") && matches!(self.peek2(), Tok::Kw(Kw::U32) | Tok::Kw(Kw::U8))
         {
             self.bump(); // (
             let ty = self.ty()?;

@@ -131,7 +131,10 @@ pub fn expr_ty(env: &FnEnv<'_>, e: &Expr) -> Result<Ty, LcError> {
                     if is_int(ta) && is_int(tb) {
                         Ok(Ty::U32)
                     } else {
-                        Err(LcError::new(line, format!("operator {op:?} needs integers, got {ta} and {tb}")))
+                        Err(LcError::new(
+                            line,
+                            format!("operator {op:?} needs integers, got {ta} and {tb}"),
+                        ))
                     }
                 }
             }
@@ -270,7 +273,10 @@ impl Checker<'_> {
                             return Err(LcError::new(*line, format!("cannot index into {tb}")));
                         }
                         if !is_int(ti) {
-                            return Err(LcError::new(*line, "index must be an integer".to_string()));
+                            return Err(LcError::new(
+                                *line,
+                                "index must be an integer".to_string(),
+                            ));
                         }
                         self.assignable(tb.deref(), trhs, *line)
                     }
@@ -279,7 +285,10 @@ impl Checker<'_> {
             Stmt::If { cond, then_body, else_body, line } => {
                 let t = expr_ty(&self.env, cond)?;
                 if !is_int(t) {
-                    return Err(LcError::new(*line, format!("condition must be an integer, got {t}")));
+                    return Err(LcError::new(
+                        *line,
+                        format!("condition must be an integer, got {t}"),
+                    ));
                 }
                 self.stmts(then_body)?;
                 self.stmts(else_body)
@@ -287,7 +296,10 @@ impl Checker<'_> {
             Stmt::While { cond, body, step, line } => {
                 let t = expr_ty(&self.env, cond)?;
                 if !is_int(t) {
-                    return Err(LcError::new(*line, format!("condition must be an integer, got {t}")));
+                    return Err(LcError::new(
+                        *line,
+                        format!("condition must be an integer, got {t}"),
+                    ));
                 }
                 self.loop_depth += 1;
                 let r = self.stmts(body).and_then(|()| self.stmts(step));
@@ -303,9 +315,7 @@ impl Checker<'_> {
                     let te = expr_ty(&self.env, e)?;
                     self.assignable(t, te, *line)
                 }
-                (t, None) => {
-                    Err(LcError::new(*line, format!("`{}` must return {t}", self.fname)))
-                }
+                (t, None) => Err(LcError::new(*line, format!("`{}` must return {t}", self.fname))),
             },
             Stmt::Break { line } | Stmt::Continue { line } => {
                 if self.loop_depth == 0 {

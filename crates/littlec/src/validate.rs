@@ -117,9 +117,7 @@ pub fn validate_handle(
                 ),
             }));
         }
-        let c = asm
-            .step(state, command)
-            .map_err(|e| ValidateError::Exec(format!("asm: {e}")))?;
+        let c = asm.step(state, command).map_err(|e| ValidateError::Exec(format!("asm: {e}")))?;
         if a != c {
             return Err(ValidateError::Diverged(Divergence {
                 levels: "ireval (C) vs asm".into(),
@@ -146,12 +144,10 @@ pub fn validate_function(
     let asm_text = compile(program, opt)?;
     let prog = assemble(&asm_text)
         .map_err(|e| ValidateError::Exec(format!("generated assembly does not assemble: {e}")))?;
-    let entry = prog
-        .address_of(name)
-        .ok_or_else(|| ValidateError::Exec(format!("no symbol `{name}`")))?;
+    let entry =
+        prog.address_of(name).ok_or_else(|| ValidateError::Exec(format!("no symbol `{name}`")))?;
     for args in cases {
-        let a =
-            interp.call(name, args).map_err(|e| ValidateError::Exec(format!("interp: {e}")))?;
+        let a = interp.call(name, args).map_err(|e| ValidateError::Exec(format!("interp: {e}")))?;
         let b = ireval.call(name, args).map_err(|e| ValidateError::Exec(format!("ireval: {e}")))?;
         if a != b {
             return Err(ValidateError::Diverged(Divergence {

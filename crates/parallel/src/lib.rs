@@ -1,0 +1,265 @@
+//! parfait-parallel — a zero-dependency scoped work-stealing thread
+//! pool for the verification pipeline.
+//!
+//! The workspace rule is "no external dependencies", so this is built
+//! entirely on `std`: [`scope`] creates a pool of worker threads inside
+//! a [`std::thread::scope`], which lets jobs borrow from the caller's
+//! stack (snapshots, scripts, configuration) without `'static` bounds or
+//! reference counting. Each worker owns a deque; [`Pool::spawn`] pushes
+//! to the least recently used deque, a worker pops its own deque LIFO
+//! (cache-warm), and an idle worker steals FIFO from a victim (oldest
+//! job first, the classic stealing discipline). Jobs here are coarse —
+//! whole verification segments or whole case studies, milliseconds to
+//! minutes each — so the queues share one mutex; the stealing structure
+//! is about load balance, not about shaving nanoseconds off `push`.
+//!
+//! Panics inside jobs do not poison the pool: the first panic payload is
+//! captured, remaining queued jobs still run, and the panic is resumed
+//! on the caller's thread once the scope ends (mirroring
+//! `std::thread::scope` semantics).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// The parallelism degree to use when the user did not pick one: the
+/// `PARFAIT_THREADS` environment variable if set and positive, else the
+/// machine's available parallelism, else 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PARFAIT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A job: runs once on some worker, receiving that worker's index.
+type Job<'env> = Box<dyn FnOnce(usize) + Send + 'env>;
+
+struct State<'env> {
+    /// One deque per worker; `spawn` round-robins across them.
+    deques: Vec<VecDeque<Job<'env>>>,
+    /// Next deque `spawn` pushes to.
+    next: usize,
+    /// Jobs spawned but not yet completed.
+    pending: usize,
+    /// Set once the owning scope is finished and drained.
+    shutdown: bool,
+    /// First captured panic payload from a job.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Shared<'env> {
+    state: Mutex<State<'env>>,
+    /// Signaled on spawn (work available) and on completion (possibly
+    /// idle) and on shutdown.
+    cv: Condvar,
+}
+
+/// A scoped thread pool handle; obtained from [`scope`].
+pub struct Pool<'env> {
+    shared: Shared<'env>,
+    threads: usize,
+}
+
+impl<'env> Pool<'env> {
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submit a job. It may borrow anything that outlives the [`scope`]
+    /// call and runs on some worker thread before `scope` returns.
+    pub fn spawn(&self, job: impl FnOnce(usize) + Send + 'env) {
+        let mut st = self.shared.state.lock().unwrap();
+        let slot = st.next % st.deques.len();
+        st.next = st.next.wrapping_add(1);
+        st.pending += 1;
+        st.deques[slot].push_back(Box::new(job));
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+}
+
+impl<'env> Shared<'env> {
+    /// Pop a job for worker `id`: own deque from the back (LIFO), else
+    /// steal the oldest job of the most loaded victim (FIFO).
+    fn find_job(st: &mut State<'env>, id: usize) -> Option<Job<'env>> {
+        if let Some(job) = st.deques[id].pop_back() {
+            return Some(job);
+        }
+        let victim = (0..st.deques.len())
+            .filter(|&v| v != id && !st.deques[v].is_empty())
+            .max_by_key(|&v| st.deques[v].len())?;
+        st.deques[victim].pop_front()
+    }
+
+    fn worker_loop(&self, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = Self::find_job(&mut st, id) {
+                drop(st);
+                let result = catch_unwind(AssertUnwindSafe(|| job(id)));
+                st = self.state.lock().unwrap();
+                st.pending -= 1;
+                if let Err(payload) = result {
+                    if st.panic.is_none() {
+                        st.panic = Some(payload);
+                    }
+                }
+                self.cv.notify_all();
+                continue;
+            }
+            if st.shutdown {
+                return;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// Run `f` with a pool of `threads` workers (clamped to at least 1).
+/// Returns after every spawned job has completed and every worker has
+/// exited. If any job panicked, the first panic is resumed here.
+pub fn scope<'env, R>(threads: usize, f: impl FnOnce(&Pool<'env>) -> R) -> R {
+    let threads = threads.max(1);
+    let pool = Pool {
+        shared: Shared {
+            state: Mutex::new(State {
+                deques: (0..threads).map(|_| VecDeque::new()).collect(),
+                next: 0,
+                pending: 0,
+                shutdown: false,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        },
+        threads,
+    };
+    let result = std::thread::scope(|s| {
+        for id in 0..threads {
+            let shared = &pool.shared;
+            s.spawn(move || shared.worker_loop(id));
+        }
+        let r = f(&pool);
+        // Wait for the queues to drain, then release the workers.
+        let mut st = pool.shared.state.lock().unwrap();
+        while st.pending > 0 {
+            st = pool.shared.cv.wait(st).unwrap();
+        }
+        st.shutdown = true;
+        drop(st);
+        pool.shared.cv.notify_all();
+        r
+    });
+    if let Some(payload) = pool.shared.state.lock().unwrap().panic.take() {
+        resume_unwind(payload);
+    }
+    result
+}
+
+/// Apply `f` to every item on the pool, preserving input order in the
+/// output. With `threads <= 1` this runs inline on the caller's thread
+/// (no pool, deterministic scheduling) — the common oracle path.
+pub fn parallel_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    scope(threads, |pool| {
+        for (i, item) in items.into_iter().enumerate() {
+            let f = &f;
+            let slots = &slots;
+            pool.spawn(move |_w| {
+                let out = f(i, item);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.into_inner().unwrap().expect("job completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_jobs_with_borrows() {
+        let data: Vec<usize> = (0..100).collect();
+        let sum = AtomicUsize::new(0);
+        scope(4, |pool| {
+            for chunk in data.chunks(7) {
+                let sum = &sum;
+                pool.spawn(move |_w| {
+                    sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        for threads in [1, 2, 8] {
+            let out = parallel_map(threads, (0..50).collect(), |i, x: i32| {
+                assert_eq!(i as i32, x);
+                x * 2
+            });
+            assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_ids_are_in_range() {
+        let max_id = AtomicUsize::new(0);
+        scope(3, |pool| {
+            for _ in 0..64 {
+                let max_id = &max_id;
+                pool.spawn(move |w| {
+                    max_id.fetch_max(w, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                });
+            }
+        });
+        assert!(max_id.load(Ordering::Relaxed) < 3);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let completed = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            scope(2, |pool| {
+                pool.spawn(|_| panic!("boom"));
+                for _ in 0..8 {
+                    let completed = &completed;
+                    pool.spawn(move |_| {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic must cross the scope");
+        // Sibling jobs are not cancelled by a panicking one.
+        assert_eq!(completed.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_scope_terminates() {
+        let r = scope(4, |_pool| 42);
+        assert_eq!(r, 42);
+    }
+}

@@ -86,13 +86,31 @@ impl Program {
 #[derive(Clone, Debug)]
 enum Item {
     /// A concrete instruction, possibly with a label operand to patch.
-    Instr { instr: Instr, target: Option<String>, line: usize },
+    Instr {
+        instr: Instr,
+        target: Option<String>,
+        line: usize,
+    },
     /// `li rd, imm` — expands to 1 or 2 instructions (size fixed at parse).
-    Li { rd: Reg, imm: i64 },
+    Li {
+        rd: Reg,
+        imm: i64,
+    },
     /// `la rd, sym` — always lui+addi.
-    La { rd: Reg, sym: String, line: usize },
+    La {
+        rd: Reg,
+        sym: String,
+        line: usize,
+    },
     /// A conditional branch to a label, subject to relaxation.
-    CondBranch { op: BranchOp, rs1: Reg, rs2: Reg, target: String, line: usize, relaxed: bool },
+    CondBranch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        target: String,
+        line: usize,
+        relaxed: bool,
+    },
     /// Raw data bytes.
     Bytes(Vec<u8>),
     /// Alignment padding to a power-of-two boundary.
@@ -244,12 +262,7 @@ pub fn assemble_with(source: &str, layout: Layout) -> Result<Program, AsmError> 
                 }
                 // `la` is always 2 instructions for stable layout.
                 if expand_li(*rd, target as i32).len() == 1 {
-                    text.push(encode(Instr::OpImm {
-                        op: AluOp::Add,
-                        rd: *rd,
-                        rs1: *rd,
-                        imm: 0,
-                    }));
+                    text.push(encode(Instr::OpImm { op: AluOp::Add, rd: *rd, rs1: *rd, imm: 0 }));
                     addr += 4;
                 }
             }
@@ -373,7 +386,8 @@ fn parse(source: &str) -> Result<(Vec<Item>, Vec<Item>), AsmError> {
             match directive {
                 "text" => section = Section::Text,
                 "data" => section = Section::Data,
-                "globl" | "global" | "section" | "type" | "size" | "option" | "file" | "attribute" => {}
+                "globl" | "global" | "section" | "type" | "size" | "option" | "file"
+                | "attribute" => {}
                 "word" => {
                     let mut bytes = Vec::new();
                     for part in split_operands(rest) {
@@ -394,7 +408,13 @@ fn parse(source: &str) -> Result<(Vec<Item>, Vec<Item>), AsmError> {
                 }
                 "zero" | "space" => {
                     let n = parse_imm(rest).ok_or_else(|| err(format!("bad .zero `{rest}`")))?;
-                    push_data(section, &mut text, &mut data, Item::Bytes(vec![0; n as usize]), line)?;
+                    push_data(
+                        section,
+                        &mut text,
+                        &mut data,
+                        Item::Bytes(vec![0; n as usize]),
+                        line,
+                    )?;
                 }
                 "align" | "balign" => {
                     let n = parse_imm(rest).ok_or_else(|| err(format!("bad .align `{rest}`")))?;
@@ -476,7 +496,8 @@ fn parse_mem(s: &str, line: usize) -> Result<(i32, Reg), AsmError> {
     let off = if off_str.is_empty() {
         0
     } else {
-        parse_imm(off_str).ok_or_else(|| AsmError { line, msg: format!("bad offset `{off_str}`") })?
+        parse_imm(off_str)
+            .ok_or_else(|| AsmError { line, msg: format!("bad offset `{off_str}`") })?
             as i32
     };
     let reg = parse_reg(&s[open + 1..close], line)?;
@@ -501,30 +522,22 @@ fn parse_instr(mnemonic: &str, rest: &str, line: usize) -> Result<Vec<Item>, Asm
         parse_imm(&ops[i]).ok_or_else(|| AsmError { line, msg: format!("bad imm `{}`", ops[i]) })
     };
     let simple = |instr: Instr| Ok(vec![Item::Instr { instr, target: None, line }]);
-    let jump_to =
-        |rd: Reg, t: &str| {
-            if let Some(v) = parse_imm(t) {
-                simple(Instr::Jal { rd, off: v as i32 })
-            } else {
-                Ok(vec![Item::Instr {
-                    instr: Instr::Jal { rd, off: 0 },
-                    target: Some(t.to_string()),
-                    line,
-                }])
-            }
-        };
+    let jump_to = |rd: Reg, t: &str| {
+        if let Some(v) = parse_imm(t) {
+            simple(Instr::Jal { rd, off: v as i32 })
+        } else {
+            Ok(vec![Item::Instr {
+                instr: Instr::Jal { rd, off: 0 },
+                target: Some(t.to_string()),
+                line,
+            }])
+        }
+    };
     let branch = |op: BranchOp, rs1: Reg, rs2: Reg, t: &str| -> Result<Vec<Item>, AsmError> {
         if let Some(v) = parse_imm(t) {
             simple(Instr::Branch { op, rs1, rs2, off: v as i32 })
         } else {
-            Ok(vec![Item::CondBranch {
-                op,
-                rs1,
-                rs2,
-                target: t.to_string(),
-                line,
-                relaxed: false,
-            }])
+            Ok(vec![Item::CondBranch { op, rs1, rs2, target: t.to_string(), line, relaxed: false }])
         }
     };
 
@@ -841,8 +854,7 @@ mod pseudo_tests {
 
     #[test]
     fn swapped_branch_forms() {
-        let m = run(
-            "
+        let m = run("
                 li t0, 5
                 li t1, 3
                 li a0, 0
@@ -860,15 +872,13 @@ mod pseudo_tests {
                 ori a0, a0, 8
             end:
                 ebreak
-            ",
-        );
+            ");
         assert_eq!(m.reg(Reg::A0), 0b1111);
     }
 
     #[test]
     fn zero_compare_pseudos() {
-        let m = run(
-            "
+        let m = run("
                 li t0, 0
                 li t1, -7
                 seqz a0, t0        # 1
@@ -890,8 +900,7 @@ mod pseudo_tests {
                 ori a2, a2, 8
             end:
                 ebreak
-            ",
-        );
+            ");
         assert_eq!(m.reg(Reg::A0), 1);
         assert_eq!(m.reg(Reg::A1), 1);
         assert_eq!(m.reg(Reg::A2), 0b1111);
@@ -899,15 +908,13 @@ mod pseudo_tests {
 
     #[test]
     fn not_neg_mv() {
-        let m = run(
-            "
+        let m = run("
             li t0, 0x0f0f0f0f
             not a0, t0
             neg a1, t0
             mv a2, t0
             ebreak
-            ",
-        );
+            ");
         assert_eq!(m.reg(Reg::A0), 0xF0F0F0F0);
         assert_eq!(m.reg(Reg::A1), 0x0F0F0F0Fu32.wrapping_neg());
         assert_eq!(m.reg(Reg::A2), 0x0F0F0F0F);
@@ -915,8 +922,7 @@ mod pseudo_tests {
 
     #[test]
     fn tail_and_jr() {
-        let m = run(
-            "
+        let m = run("
             main:
                 la t0, target
                 jr t0
@@ -924,15 +930,13 @@ mod pseudo_tests {
             target:
                 li a0, 42
                 ebreak
-            ",
-        );
+            ");
         assert_eq!(m.reg(Reg::A0), 42);
     }
 
     #[test]
     fn jalr_memory_operand_form() {
-        let m = run(
-            "
+        let m = run("
             main:
                 la t0, fn_minus4
                 jalr ra, 4(t0)
@@ -941,8 +945,7 @@ mod pseudo_tests {
                 nop
                 li a0, 7
                 ret
-            ",
-        );
+            ");
         // jalr to t0+4 skips the nop.
         assert_eq!(m.reg(Reg::A0), 7);
     }

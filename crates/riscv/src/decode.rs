@@ -195,9 +195,14 @@ mod tests {
     #[test]
     fn roundtrip_branches_jumps() {
         for off in [-4096, -2, 0, 2, 4094] {
-            for op in
-                [BranchOp::Eq, BranchOp::Ne, BranchOp::Lt, BranchOp::Ge, BranchOp::Ltu, BranchOp::Geu]
-            {
+            for op in [
+                BranchOp::Eq,
+                BranchOp::Ne,
+                BranchOp::Lt,
+                BranchOp::Ge,
+                BranchOp::Ltu,
+                BranchOp::Geu,
+            ] {
                 let i = Instr::Branch { op, rs1: Reg::A0, rs2: Reg::A1, off };
                 assert_eq!(decode(encode(i)), Ok(i));
             }

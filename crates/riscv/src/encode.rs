@@ -3,7 +3,10 @@
 use crate::isa::{AluOp, BranchOp, Instr, LoadOp, Reg, StoreOp};
 
 fn r(op: u32, rd: Reg, f3: u32, rs1: Reg, rs2: Reg, f7: u32) -> u32 {
-    op | ((rd.0 as u32) << 7) | (f3 << 12) | ((rs1.0 as u32) << 15) | ((rs2.0 as u32) << 20)
+    op | ((rd.0 as u32) << 7)
+        | (f3 << 12)
+        | ((rs1.0 as u32) << 15)
+        | ((rs2.0 as u32) << 20)
         | (f7 << 25)
 }
 

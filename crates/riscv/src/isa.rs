@@ -257,10 +257,7 @@ impl BranchOp {
 impl Instr {
     /// Whether executing this instruction can redirect control flow.
     pub fn is_control(self) -> bool {
-        matches!(
-            self,
-            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. }
-        )
+        matches!(self, Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. })
     }
 
     /// The destination register written by this instruction, if any.

@@ -142,7 +142,14 @@ impl Default for Machine {
 impl Machine {
     /// Create an empty machine (zeroed registers and memory).
     pub fn new() -> Self {
-        Machine { regs: [0; 32], pc: 0, mem: Memory::default(), instret: 0, halted: false, heap_next: HEAP_BASE }
+        Machine {
+            regs: [0; 32],
+            pc: 0,
+            mem: Memory::default(),
+            instret: 0,
+            halted: false,
+            heap_next: HEAP_BASE,
+        }
     }
 
     /// Create a machine loaded with `program`, with the PC at the text base

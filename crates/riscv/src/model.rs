@@ -6,8 +6,8 @@
 //! input/output are the command and response buffers.
 
 use crate::asm::Program;
-use crate::machine::{Machine, RunError};
 use crate::isa::Reg;
+use crate::machine::{Machine, RunError};
 
 /// A whole-command state machine backed by an assembled `handle` function.
 ///

@@ -53,10 +53,18 @@ fn arb_alu() -> impl Strategy<Value = AluOp> {
 /// execute blindly.
 fn arb_alu_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
-        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, imm)| Instr::OpImm { op: AluOp::Add, rd, rs1, imm }),
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rd, rs1, imm)| Instr::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm
+        }),
         (arb_reg(), 0i32..0x100000).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
     ]
 }

@@ -86,6 +86,58 @@ impl Trace {
     }
 }
 
+/// A bounded wire-level trace: keeps only the most recent `capacity`
+/// cycles, overwriting the oldest. Long FPS runs record into this
+/// instead of an unbounded [`Trace`], so a week-long check with VCD
+/// capture enabled holds a fixed window of history rather than the
+/// whole execution.
+#[derive(Clone, Debug)]
+pub struct RingTrace {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the next write (== oldest element once full).
+    head: usize,
+    /// Total events ever pushed.
+    total: u64,
+}
+
+impl RingTrace {
+    /// An empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingTrace {
+        let capacity = capacity.max(1);
+        RingTrace { buf: Vec::with_capacity(capacity.min(1 << 16)), capacity, head: 0, total: 0 }
+    }
+
+    /// Record one cycle, evicting the oldest if full.
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+
+    /// Total events ever pushed (≥ the retained count).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cycle index of the oldest retained event.
+    pub fn first_cycle(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The retained window, oldest first, as a [`Trace`].
+    pub fn to_trace(&self) -> Trace {
+        let mut events = Vec::with_capacity(self.buf.len());
+        events.extend_from_slice(&self.buf[self.head..]);
+        events.extend_from_slice(&self.buf[..self.head]);
+        Trace { events }
+    }
+}
+
 /// Helper: an untainted byte as a word.
 pub fn byte(b: u8) -> W {
     W::pub32(b as u32)
@@ -103,6 +155,30 @@ mod tests {
         assert_eq!(a.first_divergence(&a), None);
         let c = Trace { events: vec![(true, false, 0)] };
         assert_eq!(a.first_divergence(&c), Some(1));
+    }
+
+    #[test]
+    fn ring_trace_keeps_a_sliding_window() {
+        let mut r = RingTrace::new(4);
+        for i in 0..10u8 {
+            r.push((false, true, i));
+        }
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.first_cycle(), 6);
+        let t = r.to_trace();
+        assert_eq!(
+            t.events,
+            vec![(false, true, 6), (false, true, 7), (false, true, 8), (false, true, 9)]
+        );
+    }
+
+    #[test]
+    fn ring_trace_below_capacity_is_complete() {
+        let mut r = RingTrace::new(8);
+        r.push((true, false, 0));
+        r.push((true, true, 1));
+        assert_eq!(r.first_cycle(), 0);
+        assert_eq!(r.to_trace().events, vec![(true, false, 0), (true, true, 1)]);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod mem;
 pub mod value;
 pub mod vcd;
 
-pub use circuit::{Circuit, Trace, TraceEvent, WireIn, WireOut};
+pub use circuit::{Circuit, RingTrace, Trace, TraceEvent, WireIn, WireOut};
 pub use fifo::Fifo;
 pub use mem::TaintMem;
 pub use value::W;

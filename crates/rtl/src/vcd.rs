@@ -86,10 +86,7 @@ fn write_changes(out: &mut String, traces: &[(&Trace, [char; 3])], len: usize) {
 }
 
 /// Record a trace while running a closure over a circuit.
-pub fn record<C: crate::circuit::Circuit>(
-    circuit: &mut C,
-    cycles: u64,
-) -> Trace {
+pub fn record<C: crate::circuit::Circuit>(circuit: &mut C, cycles: u64) -> Trace {
     let mut t = Trace::default();
     for _ in 0..cycles {
         t.sample(circuit);

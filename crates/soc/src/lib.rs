@@ -27,6 +27,7 @@
 //! (write pushes).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parfait_cores::{Core, Fault, MemIf};
 use parfait_riscv::asm::Program;
@@ -87,11 +88,17 @@ impl Firmware {
 }
 
 /// The complete HSM SoC.
+///
+/// The SoC is `Clone`: a snapshot is cheap because the read-only parts
+/// (ROM image, firmware) are behind `Arc` and everything else is plain
+/// data. The parallel FPS checker forks verification segments from such
+/// snapshots.
+#[derive(Clone)]
 pub struct Soc {
     /// The CPU core.
     pub core: Box<dyn Core>,
-    /// Firmware ROM.
-    pub rom: TaintMem,
+    /// Firmware ROM (read-only, shared between snapshots).
+    pub rom: Arc<TaintMem>,
     /// Working RAM.
     pub ram: TaintMem,
     /// Persistent memory; its contents are tainted (secret).
@@ -102,14 +109,18 @@ pub struct Soc {
     pub tx_fifo: Fifo,
     /// A bus access outside any mapped region.
     pub bus_fault: Option<u32>,
-    firmware: Firmware,
+    firmware: Arc<Firmware>,
     input: WireIn,
     cycles: u64,
     instructions_retired: u64,
+    /// Output wires as of the end of the last `tick` (cached so the
+    /// host-protocol and checker hot paths read a field instead of
+    /// re-deriving the wires from FIFO state several times per cycle).
+    output: WireOut,
 }
 
 struct Bus<'a> {
-    rom: &'a mut TaintMem,
+    rom: &'a TaintMem,
     ram: &'a mut TaintMem,
     fram: &'a mut TaintMem,
     rx_fifo: &'a mut Fifo,
@@ -174,12 +185,12 @@ impl Soc {
     /// into control state.
     pub fn new(core: Box<dyn Core>, firmware: Firmware, fram_image: &[u8]) -> Soc {
         assert!(fram_image.len() <= FRAM_SIZE as usize, "FRAM image too large");
-        let rom = TaintMem::rom(&firmware.rom, ROM_SIZE as usize);
+        let rom = Arc::new(TaintMem::rom(&firmware.rom, ROM_SIZE as usize));
         let mut ram = TaintMem::new(RAM_SIZE as usize);
         ram.load_bytes(0, &firmware.ram_init, false);
         let mut fram = TaintMem::new(FRAM_SIZE as usize);
         fram.load_bytes(0, fram_image, true);
-        Soc {
+        let mut soc = Soc {
             core,
             rom,
             ram,
@@ -187,11 +198,31 @@ impl Soc {
             rx_fifo: Fifo::new(16),
             tx_fifo: Fifo::new(16),
             bus_fault: None,
-            firmware,
+            firmware: Arc::new(firmware),
             input: WireIn::default(),
             cycles: 0,
             instructions_retired: 0,
-        }
+            output: WireOut::default(),
+        };
+        soc.refresh_output();
+        soc
+    }
+
+    /// Recompute the cached output wires from the FIFO state.
+    fn refresh_output(&mut self) {
+        let tx = self.tx_fifo.peek();
+        self.output = WireOut {
+            rx_ready: self.rx_fifo.can_push(),
+            tx_valid: tx.is_some(),
+            tx_data: tx.map(|w| w.v as u8).unwrap_or(0),
+            tx_taint: tx.map(|w| w.t).unwrap_or(false),
+        };
+    }
+
+    /// Read the FRAM word at byte `offset` (values only, no allocation —
+    /// the emulator polls the journal flag with this every cycle).
+    pub fn fram_word(&self, offset: u32) -> u32 {
+        self.fram.read_word(offset).v
     }
 
     /// How many instructions the core has retired since construction
@@ -250,6 +281,7 @@ impl Soc {
         self.tx_fifo = Fifo::new(16);
         self.input = WireIn::default();
         self.bus_fault = None;
+        self.refresh_output();
     }
 }
 
@@ -259,18 +291,13 @@ impl Circuit for Soc {
     }
 
     fn get_output(&self) -> WireOut {
-        let tx = self.tx_fifo.peek();
-        WireOut {
-            rx_ready: self.rx_fifo.can_push(),
-            tx_valid: tx.is_some(),
-            tx_data: tx.map(|w| w.v as u8).unwrap_or(0),
-            tx_taint: tx.map(|w| w.t).unwrap_or(false),
-        }
+        self.output
     }
 
     fn tick(&mut self) {
         self.cycles += 1;
         // Host-side handshakes commit at the clock edge.
+        let host_idle = !self.input.rx_valid && !self.input.tx_ready;
         if self.input.rx_valid && self.rx_fifo.can_push() {
             self.rx_fifo.push(W::pub32(self.input.rx_data as u32));
             // A transferred byte is consumed; the host must re-assert
@@ -283,7 +310,7 @@ impl Circuit for Soc {
         }
         // One CPU cycle.
         let mut bus = Bus {
-            rom: &mut self.rom,
+            rom: &self.rom,
             ram: &mut self.ram,
             fram: &mut self.fram,
             rx_fifo: &mut self.rx_fifo,
@@ -293,6 +320,15 @@ impl Circuit for Soc {
         self.core.step(&mut bus);
         if self.core.last_retired().is_some() {
             self.instructions_retired += 1;
+        }
+        // Fast idle path: with no host activity and both FIFOs empty
+        // after the core stepped, the wires are pinned at the idle
+        // pattern (ready to receive, nothing to send) — skip the
+        // reconstruction.
+        if host_idle && self.rx_fifo.is_empty() && self.tx_fifo.is_empty() {
+            self.output = WireOut { rx_ready: true, tx_valid: false, tx_data: 0, tx_taint: false };
+        } else {
+            self.refresh_output();
         }
     }
 
@@ -308,8 +344,7 @@ mod tests {
     use parfait_riscv::asm::{assemble_with, Layout};
 
     fn firmware(src: &str) -> Firmware {
-        let p =
-            assemble_with(src, Layout { text_base: ROM_BASE, data_base: RAM_BASE }).unwrap();
+        let p = assemble_with(src, Layout { text_base: ROM_BASE, data_base: RAM_BASE }).unwrap();
         Firmware::from_program(&p)
     }
 
@@ -465,8 +500,7 @@ mod backpressure_tests {
 
     #[test]
     fn tx_backpressure_blocks_device_without_loss() {
-        let p = assemble_with(FLOOD, Layout { text_base: ROM_BASE, data_base: RAM_BASE })
-            .unwrap();
+        let p = assemble_with(FLOOD, Layout { text_base: ROM_BASE, data_base: RAM_BASE }).unwrap();
         let fw = Firmware::from_program(&p);
         let mut soc = Soc::new(Box::new(IbexCore::new(ROM_BASE)), fw, &[]);
         // Let the device run with no host: FIFO fills to 16 and it spins.

@@ -94,8 +94,6 @@ impl StateMachine for AsmMachine {
     }
 
     fn step(&self, state: &Vec<u8>, cmd: &Vec<u8>) -> (Vec<u8>, Vec<u8>) {
-        self.model
-            .step(state, cmd)
-            .unwrap_or_else(|e| panic!("asm-level handle failed: {e}"))
+        self.model.step(state, cmd).unwrap_or_else(|e| panic!("asm-level handle failed: {e}"))
     }
 }

@@ -38,42 +38,11 @@ use std::time::Instant;
 /// `tid` is a small per-thread integer (Chrome-trace lane).
 #[derive(Clone, Debug)]
 pub enum Event<'a> {
-    SpanBegin {
-        id: u64,
-        parent: u64,
-        depth: usize,
-        tid: u64,
-        name: &'a str,
-        t_us: u64,
-    },
-    SpanEnd {
-        id: u64,
-        parent: u64,
-        depth: usize,
-        tid: u64,
-        name: &'a str,
-        t_us: u64,
-        dur_us: u64,
-    },
-    Count {
-        name: &'a str,
-        delta: u64,
-        total: u64,
-        tid: u64,
-        t_us: u64,
-    },
-    Gauge {
-        name: &'a str,
-        value: u64,
-        tid: u64,
-        t_us: u64,
-    },
-    Progress {
-        name: &'a str,
-        fields: &'a [(&'a str, f64)],
-        tid: u64,
-        t_us: u64,
-    },
+    SpanBegin { id: u64, parent: u64, depth: usize, tid: u64, name: &'a str, t_us: u64 },
+    SpanEnd { id: u64, parent: u64, depth: usize, tid: u64, name: &'a str, t_us: u64, dur_us: u64 },
+    Count { name: &'a str, delta: u64, total: u64, tid: u64, t_us: u64 },
+    Gauge { name: &'a str, value: u64, tid: u64, t_us: u64 },
+    Progress { name: &'a str, fields: &'a [(&'a str, f64)], tid: u64, t_us: u64 },
 }
 
 /// A sink for telemetry events.
@@ -161,7 +130,14 @@ impl Telemetry {
     /// guard drops.
     pub fn span(&self, name: &str) -> Span {
         let Some(inner) = &self.0 else {
-            return Span { tel: Telemetry(None), id: 0, parent: 0, depth: 0, name: String::new(), begin_us: 0 };
+            return Span {
+                tel: Telemetry(None),
+                id: 0,
+                parent: 0,
+                depth: 0,
+                name: String::new(),
+                begin_us: 0,
+            };
         };
         let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
         let tid = current_tid();

@@ -232,11 +232,7 @@ impl<W: Write + Send> Recorder for ChromeTraceSink<W> {
             return;
         }
         self.closed = true;
-        let _ = if self.wrote_any {
-            writeln!(self.out, "]")
-        } else {
-            writeln!(self.out, "[]")
-        };
+        let _ = if self.wrote_any { writeln!(self.out, "]") } else { writeln!(self.out, "[]") };
         let _ = self.out.flush();
     }
 }
@@ -326,10 +322,7 @@ mod tests {
         let doc = json::parse(&text).expect("chrome trace must be one valid JSON document");
         let entries = doc.as_array().expect("array form");
         let phase = |p: &str| {
-            entries
-                .iter()
-                .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some(p))
-                .count()
+            entries.iter().filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some(p)).count()
         };
         assert_eq!(phase("B"), 4, "demo.run + 3×demo.op");
         assert_eq!(phase("B"), phase("E"), "every span closes");
@@ -391,10 +384,7 @@ mod tests {
             .iter()
             .find(|e| e.get("ev").and_then(|v| v.as_str()) == Some("progress"))
             .unwrap();
-        assert_eq!(
-            hb.get("fields").unwrap().get("cycles_per_s").unwrap().as_f64(),
-            Some(2.5e6)
-        );
+        assert_eq!(hb.get("fields").unwrap().get("cycles_per_s").unwrap().as_f64(), Some(2.5e6));
     }
 
     #[test]

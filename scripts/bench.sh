@@ -1,0 +1,17 @@
+#!/bin/sh
+# FPS-throughput benchmark: sequential oracle vs. the snapshot-fork
+# parallel checker over the Table 4 matrix. Emits BENCH_fps.json at the
+# repo root. Run from the repo root.
+#
+#   scripts/bench.sh            # quick matrix (hasher on both cores)
+#   FULL=1 scripts/bench.sh     # full matrix (adds the ECDSA runs)
+#   THREADS=8 scripts/bench.sh  # override the thread budget
+set -eux
+
+cargo build --release -p parfait-bench
+
+QUICK="--quick"
+[ "${FULL:-0}" = "1" ] && QUICK=""
+THREADS="${THREADS:-$(nproc 2>/dev/null || echo 4)}"
+
+./target/release/bench_fps $QUICK --threads "$THREADS" --json BENCH_fps.json

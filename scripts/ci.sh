@@ -1,9 +1,23 @@
 #!/bin/sh
-# Full local CI gate: release build, tier-1 tests, workspace tests, and
-# clippy with warnings promoted to errors. Run from the repo root.
+# Full local CI gate: formatting, release build, tier-1 tests, workspace
+# tests, the differential parallel-checker test under a fixed thread
+# budget, and clippy with warnings promoted to errors. Run from the
+# repo root.
 set -eux
+
+# rustfmt's ignore option is nightly-only, so enumerate our packages
+# instead of formatting the vendored ones.
+for pkg in parfait parfait-telemetry parfait-riscv parfait-littlec \
+    parfait-crypto parfait-rtl parfait-parallel parfait-cores \
+    parfait-soc parfait-starling parfait-knox2 parfait-hsms \
+    parfait-bench; do
+    cargo fmt --check -p "$pkg"
+done
 
 cargo build --release
 cargo test -q
 cargo test -q --workspace
+# The parallel FPS checker must be observationally identical to the
+# sequential oracle regardless of the ambient thread budget.
+PARFAIT_THREADS=2 cargo test -q --release --test fps_parallel
 cargo clippy --workspace --all-targets -- -D warnings

@@ -16,150 +16,12 @@
 //! The tests use a deliberately tiny "token counter" HSM so that each
 //! SoC run takes only thousands of cycles.
 
-use parfait::lockstep::{check_lockstep_simulation, Codec};
-use parfait::machine::FnMachine;
-use parfait_hsms::platform::{build_firmware_parts, make_soc, Cpu};
-use parfait_hsms::syssw;
-use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, FpsError, HostOp};
-use parfait_littlec::codegen::OptLevel;
-use parfait_littlec::validate::asm_machine;
-use parfait_soc::Soc;
+use parfait::lockstep::check_lockstep_simulation;
+use parfait_knox2::{FpsError, HostOp};
 
-// ---------------------------------------------------------------------
-// The token HSM: state = [secret(4 LE), counter(4 LE)]; commands are
-// [tag, arg(4 LE)]:
-//   tag 1: set secret := arg           → resp [1, 0...]
-//   tag 2: counter += arg              → resp [2, counter]
-//   tag 3: prove knowledge: resp [3, (secret*2654435761 + counter) ^ arg]
-//   else:  resp [0xff, 0...]
-// ---------------------------------------------------------------------
+mod common;
 
-const STATE: usize = 8;
-const CMD: usize = 5;
-const RESP: usize = 5;
-
-const TOKEN_LC: &str = "
-    u32 ld32(u8* p) {
-        return p[0] | (p[1] << 8) | (p[2] << 16) | (p[3] << 24);
-    }
-    void st32(u8* p, u32 v) {
-        p[0] = (u8)v;
-        p[1] = (u8)(v >> 8);
-        p[2] = (u8)(v >> 16);
-        p[3] = (u8)(v >> 24);
-    }
-    void handle(u8* state, u8* cmd, u8* resp) {
-        for (u32 i = 0; i < 5; i = i + 1) { resp[i] = 0; }
-        u32 arg = ld32(cmd + 1);
-        u32 tag = cmd[0];
-        if (tag == 1) {
-            st32(state, arg);
-            resp[0] = 1;
-            return;
-        }
-        if (tag == 2) {
-            u32 c = ld32(state + 4) + arg;
-            st32(state + 4, c);
-            resp[0] = 2;
-            st32(resp + 1, c);
-            return;
-        }
-        if (tag == 3) {
-            u32 secret = ld32(state);
-            u32 c = ld32(state + 4);
-            resp[0] = 3;
-            st32(resp + 1, (secret * 2654435761 + c) ^ arg);
-            return;
-        }
-        resp[0] = 0xff;
-    }
-";
-
-/// The token spec as a state machine over (secret, counter).
-fn token_spec() -> FnMachine<(u32, u32), Vec<u8>, Vec<u8>> {
-    FnMachine {
-        init: (0, 0),
-        step: |s, c| {
-            let mut resp = vec![0u8; RESP];
-            if c.len() != CMD {
-                resp[0] = 0xFF;
-                return (*s, resp);
-            }
-            let arg = u32::from_le_bytes([c[1], c[2], c[3], c[4]]);
-            match c[0] {
-                1 => {
-                    resp[0] = 1;
-                    ((arg, s.1), resp)
-                }
-                2 => {
-                    let c2 = s.1.wrapping_add(arg);
-                    resp[0] = 2;
-                    resp[1..5].copy_from_slice(&c2.to_le_bytes());
-                    ((s.0, c2), resp)
-                }
-                3 => {
-                    resp[0] = 3;
-                    let v = s.0.wrapping_mul(2654435761).wrapping_add(s.1) ^ arg;
-                    resp[1..5].copy_from_slice(&v.to_le_bytes());
-                    (*s, resp)
-                }
-                _ => {
-                    resp[0] = 0xFF;
-                    (*s, resp)
-                }
-            }
-        },
-    }
-}
-
-struct TokenCodec;
-
-impl Codec for TokenCodec {
-    type Spec = FnMachine<(u32, u32), Vec<u8>, Vec<u8>>;
-    type CI = Vec<u8>;
-    type RI = Vec<u8>;
-    type SI = Vec<u8>;
-
-    fn encode_command(&self, c: &Vec<u8>) -> Vec<u8> {
-        c.clone()
-    }
-    fn decode_command(&self, c: &Vec<u8>) -> Option<Vec<u8>> {
-        (c.len() == CMD && matches!(c[0], 1..=3)).then(|| c.clone())
-    }
-    fn encode_response(&self, r: Option<&Vec<u8>>) -> Vec<u8> {
-        match r {
-            Some(v) => v.clone(),
-            None => {
-                let mut e = vec![0u8; RESP];
-                e[0] = 0xFF;
-                e
-            }
-        }
-    }
-    fn decode_response(&self, r: &Vec<u8>) -> Vec<u8> {
-        r.clone()
-    }
-    fn encode_state(&self, s: &(u32, u32)) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8);
-        out.extend_from_slice(&s.0.to_le_bytes());
-        out.extend_from_slice(&s.1.to_le_bytes());
-        out
-    }
-}
-
-fn cfg() -> FpsConfig {
-    FpsConfig { command_size: CMD, response_size: RESP, timeout: 5_000_000, state_size: STATE }
-}
-
-fn project(soc: &Soc) -> Vec<u8> {
-    syssw::active_state(&soc.fram_bytes(0, 64), STATE)
-}
-
-fn cmd(tag: u8, arg: u32) -> Vec<u8> {
-    let mut c = vec![tag];
-    c.extend_from_slice(&arg.to_le_bytes());
-    c
-}
+use common::{cmd, standard_script, token_spec, TokenCodec, TokenFps, CMD, RESP, STATE, TOKEN_LC};
 
 /// Run the FPS check for the given app source (and optional syssw/asm
 /// tampering) against the CORRECT app's assembly spec.
@@ -169,32 +31,7 @@ fn run_fps_with(
     patch: impl FnOnce(String) -> String,
     script: &[HostOp],
 ) -> Result<parfait_knox2::FpsReport, FpsError> {
-    let default_syssw = syssw::syssw_source(STATE, CMD, RESP);
-    let fw = build_firmware_parts(
-        app_source,
-        syssw_src.unwrap_or(&default_syssw),
-        OptLevel::O2,
-        patch,
-    )
-    .unwrap();
-    // Spec: the clean token app at the assembly level.
-    let clean = parfait_littlec::frontend(TOKEN_LC).unwrap();
-    let spec = asm_machine(&clean, OptLevel::O2, STATE, CMD, RESP).unwrap();
-    let secret_state = TokenCodec.encode_state(&(0xDEAD_BEEF, 7));
-    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret_state);
-    let dummy = TokenCodec.encode_state(&(0, 0));
-    let dummy_soc = make_soc(Cpu::Ibex, fw, &dummy);
-    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret_state, CMD);
-    check_fps(&mut real, &mut emu, &cfg(), &project, script)
-}
-
-fn standard_script() -> Vec<HostOp> {
-    vec![
-        HostOp::Command(cmd(3, 5)),      // prove (touches the secret)
-        HostOp::Command(cmd(2, 10)),     // bump counter
-        HostOp::Command(cmd(0xEE, 0)),   // invalid
-        HostOp::Command(cmd(3, 0)),
-    ]
+    TokenFps::build(app_source, syssw_src, None, patch).run(script, 1).result.map_err(|f| f.error)
 }
 
 // --- baseline -----------------------------------------------------------
@@ -324,16 +161,8 @@ fn variable_latency_div_on_secret_caught() {
     assert_ne!(buggy, TOKEN_LC);
     // Spec must match the buggy source (the bug here is *hardware*
     // latency, not functional behaviour).
-    let program = parfait_littlec::frontend(&buggy).unwrap();
-    let spec = asm_machine(&program, OptLevel::O2, STATE, CMD, RESP).unwrap();
-    let default_syssw = syssw::syssw_source(STATE, CMD, RESP);
-    let fw = build_firmware_parts(&buggy, &default_syssw, OptLevel::O2, |a| a).unwrap();
-    let secret_state = TokenCodec.encode_state(&(0xDEAD_BEEF, 7));
-    let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret_state);
-    let dummy_soc = make_soc(Cpu::Ibex, fw, &TokenCodec.encode_state(&(0, 0)));
-    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret_state, CMD);
-    let err = check_fps(&mut real, &mut emu, &cfg(), &project, &[HostOp::Command(cmd(3, 5))])
-        .unwrap_err();
+    let fps = TokenFps::build(&buggy, None, Some(&buggy), |a| a);
+    let err = fps.run(&[HostOp::Command(cmd(3, 5))], 1).result.map_err(|f| f.error).unwrap_err();
     match err {
         FpsError::TraceDivergence { .. } | FpsError::Leak { .. } => {}
         other => panic!("expected latency divergence, got {other}"),
@@ -371,7 +200,7 @@ fn io_encoding_bug_caught_by_knox2() {
     // write_response sends the bytes in reverse order. Both circuit
     // instances share the bug, so their traces agree — the spec-binding
     // check is what catches it.
-    let buggy_syssw = syssw::syssw_source(STATE, CMD, RESP).replace(
+    let buggy_syssw = parfait_hsms::syssw::syssw_source(STATE, CMD, RESP).replace(
         "void write_response(u8* resp) {\n    for (u32 i = 0; i < 5; i = i + 1) {\n        ss_write_byte(resp[i]);",
         "void write_response(u8* resp) {\n    for (u32 i = 0; i < 5; i = i + 1) {\n        ss_write_byte(resp[4 - i]);",
     );

@@ -18,12 +18,12 @@
 
 use std::time::{Duration, Instant};
 
-use parfait_bench::{
-    json_output_path, render_table, threads_arg, verify_app_hardware, write_json, App,
-};
+use parfait_bench::{json_output_path, render_table, threads_arg, write_json, App};
 use parfait_hsms::platform::Cpu;
-use parfait_knox2::{FpsObserver, FpsReport};
+use parfait_knox2::{FpsConfig, FpsObserver, FpsReport};
+use parfait_littlec::codegen::OptLevel;
 use parfait_parallel::parallel_map;
+use parfait_pipeline::{CertCache, Pipeline};
 use parfait_telemetry::json::Json;
 
 struct Case {
@@ -43,6 +43,12 @@ fn main() {
         .collect();
     let cases = matrix.len();
     let threads_per_case = (threads / cases).max(1);
+    // This benchmark measures *checking* throughput, so it deliberately
+    // bypasses the certificate cache (run_fps): a cache hit would
+    // measure a file read, not the checker.
+    let pipeline = Pipeline::new(CertCache::disabled(), parfait_telemetry::Telemetry::disabled());
+    let pipeline = &pipeline;
+    let timeout = FpsConfig::default_timeout();
     let obs = FpsObserver::default();
     let obs = &obs;
 
@@ -51,7 +57,9 @@ fn main() {
     let t_seq = Instant::now();
     for &(cpu, app) in &matrix {
         let t0 = Instant::now();
-        let report = verify_app_hardware(app, cpu, obs, 1).expect("verification passes");
+        let report = pipeline
+            .run_fps(&app.pipeline(), cpu, OptLevel::O2, obs, 1, timeout)
+            .expect("verification passes");
         seq.push((report, t0.elapsed()));
     }
     let seq_total = t_seq.elapsed();
@@ -60,8 +68,9 @@ fn main() {
     let t_par = Instant::now();
     let par = parallel_map(cases.min(threads), matrix.clone(), move |_, (cpu, app)| {
         let t0 = Instant::now();
-        let report =
-            verify_app_hardware(app, cpu, obs, threads_per_case).expect("verification passes");
+        let report = pipeline
+            .run_fps(&app.pipeline(), cpu, OptLevel::O2, obs, threads_per_case, timeout)
+            .expect("verification passes");
         (report, t0.elapsed())
     });
     let par_total = t_par.elapsed();

@@ -4,13 +4,8 @@
 
 use std::collections::BTreeMap;
 
-use parfait::lockstep::Codec;
-use parfait_bench::{json_output_path, render_table, write_json};
-use parfait_hsms::firmware::hasher_app_source;
-use parfait_hsms::hasher::{
-    HasherCodec, HasherCommand, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
-};
-use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_bench::{json_output_path, render_table, write_json, App};
+use parfait_hsms::platform::Cpu;
 use parfait_knox2::sync::{run_until_decode, snapshot_isa_machine};
 use parfait_littlec::codegen::OptLevel;
 use parfait_parallel::parallel_map;
@@ -39,11 +34,10 @@ fn class_of(i: Instr) -> (&'static str, &'static str) {
 /// Walk one verified Hash command on `cpu`, classifying the
 /// instructions `handle` retires.
 fn profile(cpu: Cpu) -> BTreeMap<(&'static str, &'static str), u64> {
-    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
-    let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
-    let codec = HasherCodec;
-    let mut soc = make_soc(cpu, fw, &codec.encode_state(&HasherState { secret: [9; 32] }));
-    let cmd = codec.encode_command(&HasherCommand::Hash { message: [5; 32] });
+    // The pipeline's app description is the single source of firmware,
+    // provisioned state, and workload encodings.
+    let mut soc = App::Hasher.soc(cpu, OptLevel::O2);
+    let cmd = App::Hasher.workload_command();
     host::send_bytes(&mut soc, &cmd, 10_000_000).unwrap();
     let handle_addr = soc.firmware().address_of("handle").unwrap();
     run_until_decode(&mut soc, handle_addr, 50_000_000).unwrap();

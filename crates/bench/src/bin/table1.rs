@@ -1,41 +1,17 @@
 //! Table 1: the levels of abstraction used to verify the case-study
-//! HSMs, printed from the live system's types.
+//! HSMs, printed from the live registry (`parfait::levels`) — the same
+//! one the proof pipeline's stage certificates label their claims with.
 
+use parfait::levels::registry;
 use parfait_bench::render_table;
 
 fn main() {
-    let rows = vec![
-        vec![
-            "App Spec [Rust]".into(),
-            "EcdsaState / HasherState".into(),
-            "Command / Response enums".into(),
-            "StateMachine::step()".into(),
-        ],
-        vec![
-            "App Impl [littlec interp]".into(),
-            "bytes".into(),
-            "bytes".into(),
-            "handle() under interp::Interp".into(),
-        ],
-        vec![
-            "App Impl [IR]".into(),
-            "bytes".into(),
-            "bytes".into(),
-            "handle() under ireval::IrEval".into(),
-        ],
-        vec![
-            "App Impl [Asm]".into(),
-            "bytes".into(),
-            "bytes".into(),
-            "handle() under riscv::AsmStateMachine".into(),
-        ],
-        vec![
-            "System-on-a-Chip".into(),
-            "registers & memories".into(),
-            "wires".into(),
-            "rtl::Circuit::tick()".into(),
-        ],
-    ];
+    let rows: Vec<Vec<String>> = registry()
+        .iter()
+        .map(|info| {
+            vec![info.title.to_string(), info.state.into(), info.io.into(), info.step.into()]
+        })
+        .collect();
     println!(
         "{}",
         render_table(

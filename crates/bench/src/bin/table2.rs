@@ -10,6 +10,7 @@ fn spec_loc(app: App) -> usize {
     let src = match app {
         App::Ecdsa => include_str!("../../../hsms/src/ecdsa/spec.rs"),
         App::Hasher => include_str!("../../../hsms/src/hasher/spec.rs"),
+        App::Totp => include_str!("../../../hsms/src/totp/spec.rs"),
     };
     let spec_part = src.split("/// Byte-level encodings").next().unwrap_or(src);
     loc(spec_part)
@@ -20,6 +21,7 @@ fn driver_loc(app: App) -> usize {
     let src = match app {
         App::Ecdsa => include_str!("../../../hsms/src/ecdsa/spec.rs"),
         App::Hasher => include_str!("../../../hsms/src/hasher/spec.rs"),
+        App::Totp => include_str!("../../../hsms/src/totp/spec.rs"),
     };
     let codec_part = src
         .split("/// Byte-level encodings")
@@ -53,7 +55,7 @@ fn hardware_loc(cpu: &str) -> usize {
 
 fn main() {
     let mut rows = Vec::new();
-    for app in [App::Ecdsa, App::Hasher] {
+    for app in [App::Ecdsa, App::Hasher, App::Totp] {
         for cpu in ["Ibex", "PicoRV32"] {
             rows.push(vec![
                 app.to_string(),

@@ -1,27 +1,15 @@
 //! Table 3: software (Starling) verification effort — proof size and
-//! machine-verification runtime for both apps.
+//! machine-verification runtime for both apps, produced by the unified
+//! proof pipeline (speccheck → lockstep → equivalence). With
+//! `PARFAIT_CACHE_DIR` set, a re-run is a cache hit and the table says
+//! so.
 
 use std::time::Instant;
 
-use parfait_bench::{json_output_path, loc, render_table, write_json};
-use parfait_hsms::ecdsa::{EcdsaCodec, EcdsaCommand, EcdsaResponse, EcdsaSpec, EcdsaState};
-use parfait_hsms::firmware::{ecdsa_app_source, hasher_app_source};
-use parfait_hsms::hasher::{HasherCodec, HasherCommand, HasherResponse, HasherSpec, HasherState};
-use parfait_hsms::{ecdsa, hasher};
+use parfait_bench::{json_output_path, loc, render_table, write_json, App};
 use parfait_littlec::codegen::OptLevel;
-use parfait_starling::{verify_app, StarlingConfig};
+use parfait_pipeline::{Pipeline, StageOutcome};
 use parfait_telemetry::json::Json;
-
-fn json_row(app: &str, proof: usize, secs: f64, r: &parfait_starling::StarlingReport) -> Json {
-    Json::obj([
-        ("app", Json::str(app)),
-        ("proof_loc", Json::Int(proof as i64)),
-        ("verify_seconds", Json::Num(secs)),
-        ("lockstep_cases", Json::Int(r.lockstep_cases as i64)),
-        ("validation_cases", Json::Int(r.validation_cases as i64)),
-        ("ipr_operations", Json::Int(r.ipr_operations as i64)),
-    ])
-}
 
 /// "Proof LoC": the codec (the lockstep proof's encode/decode artifacts)
 /// the app developer writes.
@@ -34,79 +22,62 @@ fn proof_loc(src: &str) -> usize {
     loc(codec)
 }
 
+fn stat(stages: &[StageOutcome], key: &str) -> i64 {
+    stages
+        .iter()
+        .flat_map(|s| s.certificate.stats.iter())
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
 fn main() {
+    let pipeline = Pipeline::from_env(parfait_telemetry::Telemetry::disabled());
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
 
-    // ECDSA signer (co-developed with the framework, like the paper).
-    let t0 = Instant::now();
-    let config = StarlingConfig {
-        state_size: ecdsa::STATE_SIZE,
-        command_size: ecdsa::COMMAND_SIZE,
-        response_size: ecdsa::RESPONSE_SIZE,
-        adversarial_inputs: 3,
-        opt_levels: vec![OptLevel::O2],
-        ..StarlingConfig::default()
-    };
-    let report = verify_app(
-        &EcdsaCodec,
-        &EcdsaSpec,
-        &ecdsa_app_source(),
-        &config,
-        &[EcdsaState { prf_key: [7; 32], prf_counter: 1, sig_key: [9; 32] }],
-        &[
-            EcdsaCommand::Initialize { prf_key: [1; 32], sig_key: [2; 32] },
-            EcdsaCommand::Sign { msg: [3; 32] },
-        ],
-        &[EcdsaResponse::Initialized, EcdsaResponse::Signature(None)],
-    )
-    .expect("ECDSA verifies");
-    let ecdsa_time = t0.elapsed();
-    let ecdsa_proof = proof_loc(include_str!("../../../hsms/src/ecdsa/spec.rs"));
-    let mut json_rows =
-        vec![json_row("ECDSA signer", ecdsa_proof, ecdsa_time.as_secs_f64(), &report)];
-    rows.push(vec![
-        "ECDSA signer".into(),
-        format!("{ecdsa_proof} LoC"),
-        "- (co-developed)".into(),
-        format!(
-            "{:.1}s ({} obligations)",
-            ecdsa_time.as_secs_f64(),
-            report.lockstep_cases + report.validation_cases + report.ipr_operations
+    let specs = [
+        (
+            App::Ecdsa,
+            proof_loc(include_str!("../../../hsms/src/ecdsa/spec.rs")),
+            "- (co-developed)",
         ),
-    ]);
-
-    // Password hasher (the Δ2-hours second app of the paper).
-    let t0 = Instant::now();
-    let config = StarlingConfig {
-        state_size: hasher::STATE_SIZE,
-        command_size: hasher::COMMAND_SIZE,
-        response_size: hasher::RESPONSE_SIZE,
-        adversarial_inputs: 12,
-        ..StarlingConfig::default()
-    };
-    let report = verify_app(
-        &HasherCodec,
-        &HasherSpec,
-        &hasher_app_source(),
-        &config,
-        &[hasher_spec_init(), HasherState { secret: [0xAB; 32] }],
-        &[HasherCommand::Initialize { secret: [1; 32] }, HasherCommand::Hash { message: [2; 32] }],
-        &[HasherResponse::Initialized, HasherResponse::Hashed([9; 32])],
-    )
-    .expect("hasher verifies");
-    let hasher_time = t0.elapsed();
-    let hasher_proof = proof_loc(include_str!("../../../hsms/src/hasher/spec.rs"));
-    json_rows.push(json_row("Password hasher", hasher_proof, hasher_time.as_secs_f64(), &report));
-    rows.push(vec![
-        "Password hasher".into(),
-        format!("{hasher_proof} LoC"),
-        "Δ small (reuses the framework)".into(),
-        format!(
-            "{:.1}s ({} obligations)",
-            hasher_time.as_secs_f64(),
-            report.lockstep_cases + report.validation_cases + report.ipr_operations
+        (
+            App::Hasher,
+            proof_loc(include_str!("../../../hsms/src/hasher/spec.rs")),
+            "Δ small (reuses the framework)",
         ),
-    ]);
+    ];
+    for (app, proof, dev_time) in specs {
+        let p = app.pipeline();
+        let t0 = Instant::now();
+        let stages = pipeline.software_stages(&p, OptLevel::O2).expect("software stages verify");
+        let wall = t0.elapsed();
+        let cached = stages.iter().all(|s| s.cache_hit);
+        let obligations = stat(&stages, "lockstep_cases")
+            + stat(&stages, "validation_cases")
+            + stat(&stages, "ipr_operations");
+        json_rows.push(Json::obj([
+            ("app", Json::str(app.to_string())),
+            ("proof_loc", Json::Int(proof as i64)),
+            ("verify_seconds", Json::Num(wall.as_secs_f64())),
+            ("cached", Json::Bool(cached)),
+            ("lockstep_cases", Json::Int(stat(&stages, "lockstep_cases"))),
+            ("validation_cases", Json::Int(stat(&stages, "validation_cases"))),
+            ("ipr_operations", Json::Int(stat(&stages, "ipr_operations"))),
+        ]));
+        rows.push(vec![
+            app.to_string(),
+            format!("{proof} LoC"),
+            dev_time.into(),
+            format!(
+                "{:.1}s ({} obligations){}",
+                wall.as_secs_f64(),
+                obligations,
+                if cached { " [cached]" } else { "" }
+            ),
+        ]);
+    }
 
     println!(
         "{}",
@@ -123,9 +94,4 @@ fn main() {
         write_json(&path, &doc).expect("write --json output");
         eprintln!("wrote {}", path.display());
     }
-}
-
-fn hasher_spec_init() -> HasherState {
-    use parfait::StateMachine;
-    HasherSpec.init()
 }

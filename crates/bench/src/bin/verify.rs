@@ -3,6 +3,12 @@
 //! (§8.1: "the only requirement is to run Knox2 on the new
 //! software/hardware combination").
 //!
+//! Runs the unified proof pipeline: `speccheck → lockstep →
+//! equivalence → fps`, composing the per-stage certificates into one
+//! end-to-end IPR claim per platform. With `PARFAIT_CACHE_DIR` set,
+//! stages whose inputs are unchanged are near-instant cache hits, so
+//! re-verifying an unchanged app costs milliseconds.
+//!
 //! ```sh
 //! cargo run -p parfait-bench --release --bin verify -- --app hasher --platform ibex
 //! cargo run -p parfait-bench --release --bin verify -- --app ecdsa  --platform pico --software-only
@@ -10,188 +16,16 @@
 //! ```
 
 use std::process::ExitCode;
-use std::time::Instant;
 
-use parfait::lockstep::Codec;
-use parfait::StateMachine;
 use parfait_bench::{threads_from, write_json};
-use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
-use parfait_hsms::{ecdsa, hasher, syssw, totp};
-use parfait_knox2::{check_fps_parallel, CircuitEmulator, FpsConfig, FpsObserver, HostOp};
+use parfait_hsms::platform::Cpu;
+use parfait_knox2::FpsObserver;
 use parfait_littlec::codegen::OptLevel;
-use parfait_littlec::validate::asm_machine;
 use parfait_parallel::parallel_map;
-use parfait_soc::Soc;
-use parfait_starling::{verify_app_traced, StarlingConfig};
+use parfait_pipeline::{compose, Pipeline, StageCertificate, StageOutcome, StdApp};
 use parfait_telemetry::json::Json;
 use parfait_telemetry::sinks::LogSink;
 use parfait_telemetry::Telemetry;
-
-type StarlingRunner =
-    Box<dyn Fn(&Telemetry) -> Result<parfait_starling::StarlingReport, String> + Send + Sync>;
-
-struct AppSpec {
-    name: &'static str,
-    source: String,
-    sizes: AppSizes,
-    /// Encoded secret initial state for the hardware check.
-    secret_state: Vec<u8>,
-    /// Encoded public default state for the emulator's dummy circuit.
-    dummy_state: Vec<u8>,
-    /// One representative expensive command.
-    workload: Vec<u8>,
-    /// Closure running the Starling software verification.
-    run_starling: StarlingRunner,
-}
-
-fn app(name: &str) -> Option<AppSpec> {
-    match name {
-        "hasher" => {
-            let codec = hasher::HasherCodec;
-            Some(AppSpec {
-                name: "password hasher",
-                source: parfait_hsms::firmware::hasher_app_source(),
-                sizes: AppSizes {
-                    state: hasher::STATE_SIZE,
-                    command: hasher::COMMAND_SIZE,
-                    response: hasher::RESPONSE_SIZE,
-                },
-                secret_state: codec.encode_state(&hasher::HasherState { secret: [0x61; 32] }),
-                dummy_state: codec.encode_state(&hasher::HasherSpec.init()),
-                workload: codec
-                    .encode_command(&hasher::HasherCommand::Hash { message: [0x11; 32] }),
-                run_starling: Box::new(|tel| {
-                    let config = StarlingConfig {
-                        state_size: hasher::STATE_SIZE,
-                        command_size: hasher::COMMAND_SIZE,
-                        response_size: hasher::RESPONSE_SIZE,
-                        ..StarlingConfig::default()
-                    };
-                    verify_app_traced(
-                        &hasher::HasherCodec,
-                        &hasher::HasherSpec,
-                        &parfait_hsms::firmware::hasher_app_source(),
-                        &config,
-                        &[hasher::HasherSpec.init(), hasher::HasherState { secret: [7; 32] }],
-                        &[
-                            hasher::HasherCommand::Initialize { secret: [1; 32] },
-                            hasher::HasherCommand::Hash { message: [2; 32] },
-                        ],
-                        &[hasher::HasherResponse::Initialized],
-                        tel,
-                    )
-                    .map_err(|e| e.to_string())
-                }),
-            })
-        }
-        "totp" => {
-            let codec = totp::TotpCodec;
-            Some(AppSpec {
-                name: "one-time password",
-                source: totp::totp_app_source(),
-                sizes: AppSizes {
-                    state: totp::STATE_SIZE,
-                    command: totp::COMMAND_SIZE,
-                    response: totp::RESPONSE_SIZE,
-                },
-                secret_state: codec.encode_state(&totp::TotpState { seed: [0x29; 32] }),
-                dummy_state: codec.encode_state(&totp::TotpSpec.init()),
-                workload: codec.encode_command(&totp::TotpCommand::Code { counter: 42 }),
-                run_starling: Box::new(|tel| {
-                    let config = StarlingConfig {
-                        state_size: totp::STATE_SIZE,
-                        command_size: totp::COMMAND_SIZE,
-                        response_size: totp::RESPONSE_SIZE,
-                        ..StarlingConfig::default()
-                    };
-                    verify_app_traced(
-                        &totp::TotpCodec,
-                        &totp::TotpSpec,
-                        &totp::totp_app_source(),
-                        &config,
-                        &[totp::TotpSpec.init(), totp::TotpState { seed: [7; 32] }],
-                        &[
-                            totp::TotpCommand::Initialize { seed: [1; 32] },
-                            totp::TotpCommand::Code { counter: 5 },
-                        ],
-                        &[totp::TotpResponse::Initialized, totp::TotpResponse::Code(0)],
-                        tel,
-                    )
-                    .map_err(|e| e.to_string())
-                }),
-            })
-        }
-        "ecdsa" => {
-            let codec = ecdsa::EcdsaCodec;
-            Some(AppSpec {
-                name: "ECDSA signer",
-                source: parfait_hsms::firmware::ecdsa_app_source(),
-                sizes: AppSizes {
-                    state: ecdsa::STATE_SIZE,
-                    command: ecdsa::COMMAND_SIZE,
-                    response: ecdsa::RESPONSE_SIZE,
-                },
-                secret_state: codec.encode_state(&ecdsa::EcdsaState {
-                    prf_key: [0x13; 32],
-                    prf_counter: 0,
-                    sig_key: [0x57; 32],
-                }),
-                dummy_state: codec.encode_state(&ecdsa::EcdsaSpec.init()),
-                workload: codec.encode_command(&ecdsa::EcdsaCommand::Sign { msg: [0x3C; 32] }),
-                run_starling: Box::new(|tel| {
-                    let config = StarlingConfig {
-                        state_size: ecdsa::STATE_SIZE,
-                        command_size: ecdsa::COMMAND_SIZE,
-                        response_size: ecdsa::RESPONSE_SIZE,
-                        adversarial_inputs: 3,
-                        opt_levels: vec![OptLevel::O2],
-                        ..StarlingConfig::default()
-                    };
-                    verify_app_traced(
-                        &ecdsa::EcdsaCodec,
-                        &ecdsa::EcdsaSpec,
-                        &parfait_hsms::firmware::ecdsa_app_source(),
-                        &config,
-                        &[ecdsa::EcdsaState { prf_key: [7; 32], prf_counter: 0, sig_key: [9; 32] }],
-                        &[ecdsa::EcdsaCommand::Initialize { prf_key: [1; 32], sig_key: [2; 32] }],
-                        &[ecdsa::EcdsaResponse::Initialized],
-                        tel,
-                    )
-                    .map_err(|e| e.to_string())
-                }),
-            })
-        }
-        _ => None,
-    }
-}
-
-fn verify_hardware(
-    a: &AppSpec,
-    cpu: Cpu,
-    obs: &FpsObserver,
-    threads: usize,
-) -> Result<parfait_knox2::FpsReport, String> {
-    let fw = build_firmware(&a.source, a.sizes, OptLevel::O2).map_err(|e| e.to_string())?;
-    let program = parfait_littlec::frontend(&a.source).map_err(|e| e.to_string())?;
-    let spec =
-        asm_machine(&program, OptLevel::O2, a.sizes.state, a.sizes.command, a.sizes.response)
-            .map_err(|e| e.to_string())?;
-    let mut real = make_soc(cpu, fw.clone(), &a.secret_state);
-    let dummy_soc = make_soc(cpu, fw, &a.dummy_state);
-    let mut emu = CircuitEmulator::new(dummy_soc, &spec, a.secret_state.clone(), a.sizes.command);
-    let cfg = FpsConfig {
-        command_size: a.sizes.command,
-        response_size: a.sizes.response,
-        timeout: 8_000_000_000,
-        state_size: a.sizes.state,
-    };
-    let state_size = a.sizes.state;
-    let project = move |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), state_size);
-    let script =
-        vec![HostOp::Command(a.workload.clone()), HostOp::Command(vec![0xEE; a.sizes.command])];
-    check_fps_parallel(&mut real, &mut emu, &cfg, &project, &script, obs, threads)
-        .map_err(|f| f.to_string())
-}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -199,6 +33,32 @@ fn usage() -> ExitCode {
          [--software-only|--hardware-only] [--threads <n>] [--json <path>] [--trace]"
     );
     ExitCode::FAILURE
+}
+
+/// One stage outcome as a table/JSON row: name, stats, cache flag.
+fn describe(outcome: &StageOutcome, platform: Option<Cpu>) -> (String, Json) {
+    let cert = &outcome.certificate;
+    let stats = cert.stats.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(", ");
+    let line = format!(
+        "  [{}{}] OK in {:.2}s{}: {stats}",
+        cert.stage,
+        platform.map(|c| format!("/{c}")).unwrap_or_default(),
+        outcome.wall.as_secs_f64(),
+        if outcome.cache_hit { " [cached]" } else { "" },
+    );
+    let mut fields = vec![
+        ("stage".to_string(), Json::str(cert.stage.as_str())),
+        ("claim_from".to_string(), Json::str(&cert.claim.0)),
+        ("claim_to".to_string(), Json::str(&cert.claim.1)),
+        ("inputs".to_string(), Json::str(cert.inputs.to_string())),
+        ("cached".to_string(), Json::Bool(outcome.cache_hit)),
+        ("seconds".to_string(), Json::Num(outcome.wall.as_secs_f64())),
+    ];
+    if let Some(cpu) = platform {
+        fields.insert(1, ("platform".to_string(), Json::str(cpu.to_string())));
+    }
+    fields.extend(cert.stats.iter().map(|(k, v)| (k.clone(), Json::Int(*v))));
+    (line, Json::Obj(fields))
 }
 
 fn main() -> ExitCode {
@@ -239,7 +99,7 @@ fn main() -> ExitCode {
         }
     };
     let Some(name) = app_name else { return usage() };
-    let Some(a) = app(&name) else { return usage() };
+    let Some(app) = StdApp::from_slug(&name) else { return usage() };
     let cpus: Vec<Cpu> = match platform.as_str() {
         "ibex" => vec![Cpu::Ibex],
         "pico" => vec![Cpu::Pico],
@@ -256,26 +116,30 @@ fn main() -> ExitCode {
     let heartbeat_cycles =
         std::env::var("PARFAIT_HEARTBEAT").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000);
     let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles };
+    let opt = OptLevel::O2;
+    let pipeline = Pipeline::from_env(tel.clone());
+    let a = app.pipeline();
+
     let mut json_results: Vec<Json> = Vec::new();
-    println!("verifying {} ...", a.name);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    println!(
+        "verifying {} ... (cache: {})",
+        a.name,
+        pipeline.cache.dir().map_or("per-process memo".into(), |d| d.display().to_string())
+    );
+    let mut software_certs: Vec<StageCertificate> = Vec::new();
     if software {
-        let t0 = Instant::now();
-        match (a.run_starling)(&tel) {
-            Ok(report) => {
-                println!(
-                    "  [starling] software OK in {:.1}s: {} lockstep cases, {} validation runs, {} IPR ops",
-                    t0.elapsed().as_secs_f64(),
-                    report.lockstep_cases,
-                    report.validation_cases,
-                    report.ipr_operations
-                );
-                json_results.push(Json::obj([
-                    ("stage", Json::str("starling")),
-                    ("seconds", Json::Num(t0.elapsed().as_secs_f64())),
-                    ("lockstep_cases", Json::Int(report.lockstep_cases as i64)),
-                    ("validation_cases", Json::Int(report.validation_cases as i64)),
-                    ("ipr_operations", Json::Int(report.ipr_operations as i64)),
-                ]));
+        match pipeline.software_stages(&a, opt) {
+            Ok(stages) => {
+                for s in &stages {
+                    let (line, json) = describe(s, None);
+                    println!("{line}");
+                    json_results.push(json);
+                    hits += s.cache_hit as usize;
+                    total += 1;
+                }
+                software_certs = stages.into_iter().map(|s| s.certificate).collect();
             }
             Err(e) => {
                 println!("  [starling] FAILED: {e}");
@@ -289,34 +153,47 @@ fn main() -> ExitCode {
         // check splits its share across FPS segment workers.
         let cases = cpus.len();
         let threads_per_case = (threads / cases).max(1);
-        let a = &a;
-        let obs = &obs;
+        let (a, obs, pipeline) = (&a, &obs, &pipeline);
         let outcomes = parallel_map(cases.min(threads), cpus, move |_, cpu| {
-            let t0 = Instant::now();
-            (cpu, verify_hardware(a, cpu, obs, threads_per_case), t0.elapsed())
+            (cpu, pipeline.fps_stage(a, cpu, opt, obs, threads_per_case))
         });
-        for (cpu, outcome, wall) in outcomes {
+        for (cpu, outcome) in outcomes {
             match outcome {
-                Ok(report) => {
-                    println!(
-                        "  [knox2/{cpu}] hardware OK in {:.1}s ({:.1}s cpu, {} threads): {} cycles at {:.2}M cyc/s, {} spec queries",
-                        wall.as_secs_f64(),
-                        report.cpu.as_secs_f64(),
-                        threads_per_case,
-                        report.cycles,
-                        report.cycles_per_second() / 1e6,
-                        report.spec_queries
-                    );
-                    json_results.push(Json::obj([
-                        ("stage", Json::str("knox2")),
-                        ("platform", Json::str(cpu.to_string())),
-                        ("seconds", Json::Num(wall.as_secs_f64())),
-                        ("cpu_seconds", Json::Num(report.cpu.as_secs_f64())),
-                        ("threads", Json::Int(threads_per_case as i64)),
-                        ("cycles", Json::Int(report.cycles as i64)),
-                        ("cycles_per_second", Json::Num(report.cycles_per_second())),
-                        ("spec_queries", Json::Int(report.spec_queries as i64)),
-                    ]));
+                Ok(s) => {
+                    let (line, json) = describe(&s, Some(cpu));
+                    println!("{line}");
+                    json_results.push(json);
+                    hits += s.cache_hit as usize;
+                    total += 1;
+                    if software {
+                        // Chain the cell's four certificates into the
+                        // end-to-end claim (the transitivity theorem).
+                        let mut certs = software_certs.clone();
+                        certs.push(s.certificate);
+                        match compose(&certs) {
+                            Ok(c) => {
+                                println!(
+                                    "  [composed/{cpu}] {} ≈IPR {} ({} stages, inputs {})",
+                                    c.claim.0,
+                                    c.claim.1,
+                                    c.stages.len(),
+                                    c.inputs.short()
+                                );
+                                json_results.push(Json::obj([
+                                    ("stage", Json::str("composed")),
+                                    ("platform", Json::str(cpu.to_string())),
+                                    ("claim_from", Json::str(&c.claim.0)),
+                                    ("claim_to", Json::str(&c.claim.1)),
+                                    ("inputs", Json::str(c.inputs.to_string())),
+                                    ("stages", Json::Int(c.stages.len() as i64)),
+                                ]));
+                            }
+                            Err(e) => {
+                                println!("  [composed/{cpu}] FAILED: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
                 }
                 Err(e) => {
                     println!("  [knox2/{cpu}] FAILED: {e}");
@@ -327,7 +204,12 @@ fn main() -> ExitCode {
     }
     tel.finish();
     if let Some(path) = json_path {
-        let doc = Json::obj([("app", Json::str(a.name)), ("results", Json::Arr(json_results))]);
+        let doc = Json::obj([
+            ("app", Json::str(&a.name)),
+            ("cache_hits", Json::Int(hits as i64)),
+            ("stages", Json::Int(total as i64)),
+            ("results", Json::Arr(json_results)),
+        ]);
         let path = std::path::PathBuf::from(path);
         if let Err(e) = write_json(&path, &doc) {
             eprintln!("could not write {}: {e}", path.display());
@@ -335,6 +217,9 @@ fn main() -> ExitCode {
         }
         eprintln!("wrote {}", path.display());
     }
-    println!("verification complete: the SoC refines the {} specification", a.name);
+    println!(
+        "verification complete: the SoC refines the {} specification ({hits}/{total} stages cached)",
+        a.name
+    );
     ExitCode::SUCCESS
 }

@@ -15,133 +15,19 @@
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
-use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
-use parfait_hsms::{ecdsa, firmware, hasher, syssw};
-use parfait_knox2::{
-    check_fps_parallel, CircuitEmulator, FpsConfig, FpsFailure, FpsObserver, FpsReport, HostOp,
-};
-use parfait_littlec::codegen::OptLevel;
-use parfait_littlec::validate::asm_machine;
-use parfait_soc::{Firmware, Soc};
-
-/// Which case-study application.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum App {
-    /// The ECDSA certificate signer.
-    Ecdsa,
-    /// The password hasher.
-    Hasher,
-}
-
-impl std::fmt::Display for App {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            App::Ecdsa => f.write_str("ECDSA signer"),
-            App::Hasher => f.write_str("Password hasher"),
-        }
-    }
-}
-
-impl App {
-    /// The app's littlec source.
-    pub fn source(self) -> String {
-        match self {
-            App::Ecdsa => firmware::ecdsa_app_source(),
-            App::Hasher => firmware::hasher_app_source(),
-        }
-    }
-
-    /// Buffer sizes.
-    pub fn sizes(self) -> AppSizes {
-        match self {
-            App::Ecdsa => AppSizes {
-                state: ecdsa::STATE_SIZE,
-                command: ecdsa::COMMAND_SIZE,
-                response: ecdsa::RESPONSE_SIZE,
-            },
-            App::Hasher => AppSizes {
-                state: hasher::STATE_SIZE,
-                command: hasher::COMMAND_SIZE,
-                response: hasher::RESPONSE_SIZE,
-            },
-        }
-    }
-
-    /// Build firmware at the given optimization level.
-    pub fn firmware(self, opt: OptLevel) -> Firmware {
-        build_firmware(&self.source(), self.sizes(), opt).expect("firmware builds")
-    }
-
-    /// A provisioned SoC with a fixed secret state.
-    pub fn soc(self, cpu: Cpu, opt: OptLevel) -> Soc {
-        let state = self.secret_state();
-        make_soc(cpu, self.firmware(opt), &state)
-    }
-
-    /// A fixed "provisioned" state encoding for benchmarking.
-    pub fn secret_state(self) -> Vec<u8> {
-        use parfait::lockstep::Codec;
-        match self {
-            App::Ecdsa => ecdsa::EcdsaCodec.encode_state(&ecdsa::EcdsaState {
-                prf_key: [0x11; 32],
-                prf_counter: 0,
-                sig_key: [0x22; 32],
-            }),
-            App::Hasher => {
-                hasher::HasherCodec.encode_state(&hasher::HasherState { secret: [0x33; 32] })
-            }
-        }
-    }
-
-    /// One representative command encoding (the expensive operation).
-    pub fn workload_command(self) -> Vec<u8> {
-        use parfait::lockstep::Codec;
-        match self {
-            App::Ecdsa => {
-                ecdsa::EcdsaCodec.encode_command(&ecdsa::EcdsaCommand::Sign { msg: [0x3C; 32] })
-            }
-            App::Hasher => hasher::HasherCodec
-                .encode_command(&hasher::HasherCommand::Hash { message: [0x3C; 32] }),
-        }
-    }
-}
-
-/// The standard FPS verification run the bench binaries measure: one
-/// expensive workload command followed by one invalid command, checked
-/// with `threads` worker threads (`<= 1` = the sequential checker).
-pub fn verify_app_hardware(
-    app: App,
-    cpu: Cpu,
-    obs: &FpsObserver,
-    threads: usize,
-) -> Result<FpsReport, FpsFailure> {
-    let sizes = app.sizes();
-    let fw = app.firmware(OptLevel::O2);
-    let program = parfait_littlec::frontend(&app.source()).expect("app source parses");
-    let spec = asm_machine(&program, OptLevel::O2, sizes.state, sizes.command, sizes.response)
-        .expect("assembly spec builds");
-    let secret = app.secret_state();
-    let mut real = make_soc(cpu, fw.clone(), &secret);
-    let dummy = vec![0u8; sizes.state];
-    let dummy_soc = make_soc(cpu, fw, &dummy);
-    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret, sizes.command);
-    let cfg = FpsConfig {
-        command_size: sizes.command,
-        response_size: sizes.response,
-        timeout: 8_000_000_000,
-        state_size: sizes.state,
-    };
-    let state_size = sizes.state;
-    let project = move |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), state_size);
-    let script =
-        vec![HostOp::Command(app.workload_command()), HostOp::Command(vec![0xEE; sizes.command])];
-    check_fps_parallel(&mut real, &mut emu, &cfg, &project, &script, obs, threads)
-}
+/// The case-study applications, re-exported from the proof pipeline —
+/// the single home of app sources, sizes, sample states, and build
+/// plumbing (`parfait_pipeline::Pipeline` replaces the per-binary
+/// firmware/spec/SoC construction this crate used to duplicate).
+pub use parfait_pipeline::apps::StdApp as App;
 
 /// Extract `--json <path>` from an argument list. Distinguishes the
 /// flag being absent (`Ok(None)`) from it being malformed — missing its
 /// path, or followed by another flag (`Err`), so a typo'd invocation
-/// can't silently drop the artifact the caller asked for.
+/// can't silently drop the artifact the caller asked for. Both
+/// malformed shapes (`--json --whatever` and a trailing lone `--json`)
+/// produce the same error text, so callers and CI greps see one
+/// diagnostic for one mistake.
 pub fn json_output_path_from<I>(args: I) -> Result<Option<std::path::PathBuf>, String>
 where
     I: IntoIterator<Item = String>,
@@ -151,10 +37,7 @@ where
         if a == "--json" {
             return match args.next() {
                 Some(p) if !p.starts_with("--") => Ok(Some(std::path::PathBuf::from(p))),
-                Some(p) => {
-                    Err(format!("--json expects a file path, but got the flag-like argument {p:?}"))
-                }
-                None => Err("--json expects a file path".to_string()),
+                _ => Err("--json expects a file path".to_string()),
             };
         }
     }
@@ -284,7 +167,7 @@ mod tests {
 
     #[test]
     fn apps_build() {
-        let _ = App::Hasher.firmware(OptLevel::O2);
+        let _ = App::Hasher.firmware(parfait_littlec::codegen::OptLevel::O2);
     }
 
     fn args(list: &[&str]) -> Vec<String> {
@@ -315,6 +198,19 @@ mod tests {
         // The old implementation silently wrote to a file named
         // "--quick" here; now it is rejected.
         assert!(json_output_path_from(args(&["--json", "--quick"])).is_err());
+    }
+
+    #[test]
+    fn json_flag_errors_share_one_text_path() {
+        // `--json --` style and a trailing lone `--json` are the same
+        // user mistake (no path given) and must produce the same error
+        // text, so one grep in CI catches both shapes.
+        let trailing = json_output_path_from(args(&["--json"])).unwrap_err();
+        let flag_like = json_output_path_from(args(&["--json", "--quick"])).unwrap_err();
+        let bare_dashes = json_output_path_from(args(&["--json", "--"])).unwrap_err();
+        assert_eq!(trailing, flag_like);
+        assert_eq!(trailing, bare_dashes);
+        assert_eq!(trailing, "--json expects a file path");
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! The live registry of abstraction levels (paper Table 1).
+//!
+//! Every proof artifact in the pipeline relates two adjacent levels of
+//! this chain; the transitivity theorem ([`crate::transitive`]) is what
+//! lets the per-level claims compose into the end-to-end statement
+//!
+//! ```text
+//! App Spec  ≈IPR  App Impl [Low*]  ≈IPR  ... ≈IPR  SoC
+//! ```
+//!
+//! The registry is data, not prose: `table1` renders it, and the proof
+//! pipeline (`parfait-pipeline`) uses [`Level`] labels in its stage
+//! certificates so a composed certificate's claim chain can be checked
+//! mechanically against this ordering.
+
+/// One level of abstraction in the IPR chain, ordered from the
+/// application specification down to the circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The application specification (a Rust `StateMachine`).
+    Spec,
+    /// The application implementation under the littlec interpreter
+    /// (the paper's Low* level).
+    LowStar,
+    /// The implementation lowered to the three-address IR (the paper's
+    /// C level).
+    Ir,
+    /// The compiled RV32IM assembly under the Riscette machine.
+    Asm,
+    /// The complete system-on-a-chip at the wire level.
+    Soc,
+}
+
+impl Level {
+    /// The full chain, top to bottom.
+    pub const CHAIN: [Level; 5] = [Level::Spec, Level::LowStar, Level::Ir, Level::Asm, Level::Soc];
+
+    /// Stable machine-readable name (used in certificates).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Spec => "app-spec",
+            Level::LowStar => "app-impl-lowstar",
+            Level::Ir => "app-impl-ir",
+            Level::Asm => "app-impl-asm",
+            Level::Soc => "soc",
+        }
+    }
+
+    /// Position in the chain (0 = specification).
+    pub fn index(self) -> usize {
+        Level::CHAIN.iter().position(|l| *l == self).unwrap()
+    }
+
+    /// A qualified label for certificates, e.g. `app-impl-asm(-O2)` or
+    /// `soc(Ibex)`; `None` yields the bare [`Level::name`].
+    pub fn label(self, qualifier: Option<&str>) -> String {
+        match qualifier {
+            Some(q) => format!("{}({q})", self.name()),
+            None => self.name().to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of Table 1: how a level is realized in this repo.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelInfo {
+    /// Which level.
+    pub level: Level,
+    /// Human-readable title (Table 1's first column).
+    pub title: &'static str,
+    /// What the state is at this level.
+    pub state: &'static str,
+    /// What I/O looks like at this level.
+    pub io: &'static str,
+    /// The executable step function realizing the level.
+    pub step: &'static str,
+}
+
+/// The registry, in chain order.
+pub fn registry() -> [LevelInfo; 5] {
+    [
+        LevelInfo {
+            level: Level::Spec,
+            title: "App Spec [Rust]",
+            state: "EcdsaState / HasherState",
+            io: "Command / Response enums",
+            step: "StateMachine::step()",
+        },
+        LevelInfo {
+            level: Level::LowStar,
+            title: "App Impl [littlec interp]",
+            state: "bytes",
+            io: "bytes",
+            step: "handle() under interp::Interp",
+        },
+        LevelInfo {
+            level: Level::Ir,
+            title: "App Impl [IR]",
+            state: "bytes",
+            io: "bytes",
+            step: "handle() under ireval::IrEval",
+        },
+        LevelInfo {
+            level: Level::Asm,
+            title: "App Impl [Asm]",
+            state: "bytes",
+            io: "bytes",
+            step: "handle() under riscv::AsmStateMachine",
+        },
+        LevelInfo {
+            level: Level::Soc,
+            title: "System-on-a-Chip",
+            state: "registers & memories",
+            io: "wires",
+            step: "rtl::Circuit::tick()",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_ordered_and_named() {
+        for (i, l) in Level::CHAIN.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+        assert_eq!(Level::Asm.label(Some("-O2")), "app-impl-asm(-O2)");
+        assert_eq!(Level::Spec.label(None), "app-spec");
+    }
+
+    #[test]
+    fn registry_matches_chain() {
+        let reg = registry();
+        assert_eq!(reg.len(), Level::CHAIN.len());
+        for (info, level) in reg.iter().zip(Level::CHAIN) {
+            assert_eq!(info.level, level);
+        }
+    }
+}

@@ -25,14 +25,17 @@
 //! | IPR by equivalence | [`equivalence`] |
 //! | IPR by functional-physical simulation | [`fps`] |
 //! | spec-level non-leakage (§9 complement) | [`speccheck`] |
+//! | levels of abstraction (Table 1) | [`levels`] |
 
 pub mod equivalence;
 pub mod fps;
+pub mod levels;
 pub mod lockstep;
 pub mod machine;
 pub mod speccheck;
 pub mod transitive;
 pub mod world;
 
+pub use levels::Level;
 pub use machine::StateMachine;
 pub use world::{check_ipr, Counterexample, Driver, Emulator, Obs, Op};

@@ -69,6 +69,42 @@ pub struct FpsConfig {
     pub state_size: usize,
 }
 
+impl FpsConfig {
+    /// The built-in per-byte handshake timeout: generous enough for the
+    /// slowest operation in the evaluation (a full ECDSA signature on
+    /// the multi-cycle PicoRV32) with an order of magnitude to spare.
+    pub const BASE_TIMEOUT: u64 = 8_000_000_000;
+
+    /// Parse a `PARFAIT_TIMEOUT` value (cycles; `_` separators
+    /// allowed). `None` — the variable is unset — yields
+    /// [`Self::BASE_TIMEOUT`].
+    pub fn parse_timeout(raw: Option<&str>) -> Result<u64, String> {
+        match raw {
+            None => Ok(Self::BASE_TIMEOUT),
+            Some(v) => match v.trim().replace('_', "").parse::<u64>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!("PARFAIT_TIMEOUT expects a positive cycle count, got {v:?}")),
+            },
+        }
+    }
+
+    /// The FPS handshake timeout: [`Self::BASE_TIMEOUT`], overridable
+    /// via the `PARFAIT_TIMEOUT` environment variable. A malformed
+    /// value is a hard error (stderr + exit 2, matching the bench
+    /// binaries' `--threads`/`--json` style): exiting loudly beats a
+    /// multi-hour verification run with a silently wrong timeout.
+    pub fn default_timeout() -> u64 {
+        let raw = std::env::var_os("PARFAIT_TIMEOUT").map(|v| v.to_string_lossy().into_owned());
+        match Self::parse_timeout(raw.as_deref()) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// Where the two worlds diverged, or another failure.
 ///
 /// `PartialEq` supports the differential tests that prove the parallel
@@ -617,4 +653,32 @@ pub(crate) fn end_of_script_checks(
         return Err(FpsError::Leak { events });
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_unset_is_the_base_default() {
+        assert_eq!(FpsConfig::parse_timeout(None).unwrap(), FpsConfig::BASE_TIMEOUT);
+    }
+
+    #[test]
+    fn timeout_parses_plain_and_underscored_values() {
+        assert_eq!(FpsConfig::parse_timeout(Some("12345")).unwrap(), 12345);
+        assert_eq!(FpsConfig::parse_timeout(Some("8_000_000_000")).unwrap(), 8_000_000_000);
+        assert_eq!(FpsConfig::parse_timeout(Some(" 42 ")).unwrap(), 42);
+    }
+
+    #[test]
+    fn timeout_rejects_garbage_zero_and_negative() {
+        assert!(FpsConfig::parse_timeout(Some("eight")).is_err());
+        assert!(FpsConfig::parse_timeout(Some("0")).is_err());
+        assert!(FpsConfig::parse_timeout(Some("-1")).is_err());
+        assert!(FpsConfig::parse_timeout(Some("")).is_err());
+        // The error names the variable so the fix is obvious.
+        let e = FpsConfig::parse_timeout(Some("1e9")).unwrap_err();
+        assert!(e.contains("PARFAIT_TIMEOUT"), "{e}");
+    }
 }

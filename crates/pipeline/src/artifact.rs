@@ -1,0 +1,141 @@
+//! Content-addressed artifact identities.
+//!
+//! Every proof stage consumes artifacts — littlec source, buffer sizes,
+//! spec behavior, verification configs — and the cache is keyed by a
+//! single hash over *all* of them. The hasher is deliberately strict
+//! about framing: each field is tagged and length-prefixed, so two
+//! different sequences of fields can only collide if SHA-256 itself
+//! collides (the cache-soundness argument in DESIGN.md §9).
+
+use std::fmt;
+
+use parfait_crypto::sha256;
+
+/// The identity of an artifact (or of a stage's full input set): a
+/// SHA-256 digest rendered as lowercase hex.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArtifactId(pub [u8; 32]);
+
+impl ArtifactId {
+    /// Parse the 64-hex-digit form produced by `Display`.
+    pub fn from_hex(s: &str) -> Option<ArtifactId> {
+        let s = s.as_bytes();
+        if s.len() != 64 {
+            return None;
+        }
+        let nib = |c: u8| match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            _ => None,
+        };
+        let mut out = [0u8; 32];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = nib(s[2 * i])? << 4 | nib(s[2 * i + 1])?;
+        }
+        Some(ArtifactId(out))
+    }
+
+    /// An abbreviated form for logs and tables.
+    pub fn short(&self) -> String {
+        self.to_string()[..12].to_string()
+    }
+}
+
+impl fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArtifactId({self})")
+    }
+}
+
+/// Accumulates tagged, length-prefixed fields into one digest.
+///
+/// The injective framing (`len(domain) ‖ domain` then, per field,
+/// `len(tag) ‖ tag ‖ len(data) ‖ data`, all lengths as 8-byte
+/// little-endian) guarantees distinct field sequences produce distinct
+/// pre-images; a stale cache hit therefore requires a SHA-256 collision.
+pub struct ArtifactHasher {
+    buf: Vec<u8>,
+}
+
+impl ArtifactHasher {
+    /// Start a hash in a named domain (e.g. `"stage:fps"`), so digests
+    /// from different stages can never be confused for one another.
+    pub fn new(domain: &str) -> ArtifactHasher {
+        let mut h = ArtifactHasher { buf: Vec::new() };
+        h.frame(domain.as_bytes());
+        h
+    }
+
+    fn frame(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Add a tagged byte-string field.
+    pub fn field(&mut self, tag: &str, data: &[u8]) -> &mut Self {
+        self.frame(tag.as_bytes());
+        self.frame(data);
+        self
+    }
+
+    /// Add a tagged UTF-8 string field.
+    pub fn field_str(&mut self, tag: &str, data: &str) -> &mut Self {
+        self.field(tag, data.as_bytes())
+    }
+
+    /// Add a tagged integer field.
+    pub fn field_u64(&mut self, tag: &str, value: u64) -> &mut Self {
+        self.field(tag, &value.to_le_bytes())
+    }
+
+    /// Finish: the SHA-256 of everything accumulated.
+    pub fn finish(&self) -> ArtifactId {
+        ArtifactId(sha256(&self.buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrips() {
+        let id = ArtifactHasher::new("test").field_str("k", "v").finish();
+        let text = id.to_string();
+        assert_eq!(text.len(), 64);
+        assert_eq!(ArtifactId::from_hex(&text), Some(id));
+        assert_eq!(id.short().len(), 12);
+        assert!(ArtifactId::from_hex("zz").is_none());
+    }
+
+    #[test]
+    fn framing_is_injective() {
+        // Concatenation ambiguity: ("ab","c") vs ("a","bc") must differ.
+        let a = ArtifactHasher::new("d").field_str("t", "ab").field_str("t", "c").finish();
+        let b = ArtifactHasher::new("d").field_str("t", "a").field_str("t", "bc").finish();
+        assert_ne!(a, b);
+        // Tag/value ambiguity.
+        let c = ArtifactHasher::new("d").field_str("tx", "y").finish();
+        let d = ArtifactHasher::new("d").field_str("t", "xy").finish();
+        assert_ne!(c, d);
+        // Domain separation.
+        let e = ArtifactHasher::new("d1").field_str("t", "v").finish();
+        let f = ArtifactHasher::new("d2").field_str("t", "v").finish();
+        assert_ne!(e, f);
+    }
+
+    #[test]
+    fn same_inputs_same_digest() {
+        let mk = || ArtifactHasher::new("d").field_u64("n", 42).field("b", &[1, 2, 3]).finish();
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,162 @@
+//! The on-disk certificate cache.
+//!
+//! Keys are `"{stage}-{inputs}"` where `inputs` is the hex
+//! [`ArtifactId`](crate::artifact::ArtifactId) over every stage input —
+//! so a hit means "this exact stage already ran on these exact inputs",
+//! and a stale hit requires a SHA-256 collision (DESIGN.md §9). Values
+//! are pretty-printed certificate JSON (`*.cert.json`), human-greppable
+//! on disk; lookups re-verify stage, schema, and input hash and treat
+//! any mismatch or corruption as a miss.
+//!
+//! The cache directory comes from `PARFAIT_CACHE_DIR`; without it the
+//! cache degrades to per-process memoization, so a single `verify` run
+//! still shares work across its matrix cells.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::artifact::ArtifactId;
+use crate::certificate::{StageCertificate, StageKind, SCHEMA};
+
+/// A two-tier (in-memory + optional on-disk) certificate store.
+pub struct CertCache {
+    dir: Option<PathBuf>,
+    memo: Mutex<BTreeMap<String, StageCertificate>>,
+}
+
+impl CertCache {
+    /// The cache at `PARFAIT_CACHE_DIR`, or memoization-only when the
+    /// variable is unset. The directory is created on first use; an
+    /// uncreatable directory is a hard error (a silently disabled cache
+    /// would defeat the observable cold/warm contract).
+    pub fn from_env() -> CertCache {
+        match std::env::var_os("PARFAIT_CACHE_DIR") {
+            Some(dir) if !dir.is_empty() => CertCache::at(PathBuf::from(dir)),
+            _ => CertCache::disabled(),
+        }
+    }
+
+    /// A cache rooted at an explicit directory.
+    pub fn at(dir: PathBuf) -> CertCache {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("error: cannot create cache directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        CertCache { dir: Some(dir), memo: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Memoization-only (no disk persistence).
+    pub fn disabled() -> CertCache {
+        CertCache { dir: None, memo: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Whether this cache persists across processes.
+    pub fn persistent(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The directory, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn key(stage: StageKind, inputs: ArtifactId) -> String {
+        format!("{}-{}", stage.as_str(), inputs)
+    }
+
+    fn path(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key}.cert.json")))
+    }
+
+    /// Look up the certificate for a (stage, inputs) pair. Corrupt or
+    /// mismatched entries are misses, never errors.
+    pub fn lookup(&self, stage: StageKind, inputs: ArtifactId) -> Option<StageCertificate> {
+        let key = Self::key(stage, inputs);
+        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            return Some(hit.clone());
+        }
+        let path = self.path(&key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let json = parfait_telemetry::json::parse(&text).ok()?;
+        let cert = StageCertificate::from_json(&json)?;
+        // Re-verify the name→content binding: a renamed, truncated, or
+        // hand-edited file must not satisfy a different query.
+        if cert.stage != stage || cert.inputs != inputs || cert.schema != SCHEMA {
+            return None;
+        }
+        self.memo.lock().unwrap().insert(key, cert.clone());
+        Some(cert)
+    }
+
+    /// Store a freshly computed certificate. Disk writes go through a
+    /// temp file + rename so concurrent verifiers never observe a
+    /// partial certificate; write failures are reported but non-fatal
+    /// (the verification result itself is unaffected).
+    pub fn store(&self, cert: &StageCertificate) {
+        let key = Self::key(cert.stage, cert.inputs);
+        if let Some(path) = self.path(&key) {
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            let text = cert.to_json().to_pretty_string() + "\n";
+            let written = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, &path));
+            if let Err(e) = written {
+                eprintln!("warning: cache write failed for {}: {e}", path.display());
+            }
+        }
+        self.memo.lock().unwrap().insert(key, cert.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ArtifactHasher;
+
+    fn cert(tag: &str) -> StageCertificate {
+        StageCertificate {
+            schema: SCHEMA,
+            stage: StageKind::Lockstep,
+            app: "t".into(),
+            claim: ("app-spec".into(), "app-impl-lowstar".into()),
+            inputs: ArtifactHasher::new("cache-test").field_str("tag", tag).finish(),
+            stats: vec![("cases".into(), 3)],
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("parfait-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn memo_only_hits_within_process() {
+        let cache = CertCache::disabled();
+        let c = cert("memo");
+        assert!(cache.lookup(c.stage, c.inputs).is_none());
+        cache.store(&c);
+        assert_eq!(cache.lookup(c.stage, c.inputs), Some(c));
+    }
+
+    #[test]
+    fn disk_cache_survives_a_fresh_handle_and_rejects_corruption() {
+        let dir = temp_dir("cert-cache");
+        let c = cert("disk");
+        CertCache::at(dir.clone()).store(&c);
+
+        // A brand-new handle (fresh memo) must hit from disk...
+        let cache = CertCache::at(dir.clone());
+        assert_eq!(cache.lookup(c.stage, c.inputs), Some(c.clone()));
+        // ...but never satisfy a different query.
+        let other = cert("other");
+        assert!(cache.lookup(other.stage, other.inputs).is_none());
+        assert!(cache.lookup(StageKind::Fps, c.inputs).is_none());
+
+        // Corrupt the file under a *fresh* handle: miss, not error.
+        let file = dir.join(format!("lockstep-{}.cert.json", c.inputs));
+        std::fs::write(&file, "{ not json").unwrap();
+        assert!(CertCache::at(dir.clone()).lookup(c.stage, c.inputs).is_none());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,317 @@
+//! Serializable per-stage certificates and their composition.
+//!
+//! A [`StageCertificate`] records what one proof stage established: a
+//! claim `from ≈IPR to` between two abstraction-level labels
+//! ([`parfait::levels::Level`]), the content hash of everything the
+//! stage consumed, and the stage's summary statistics. Certificates
+//! deliberately carry **no timing fields**, so a cached certificate is
+//! byte-identical to a freshly computed one.
+//!
+//! [`compose`] is the executable shadow of the transitivity theorem
+//! ([`parfait::transitive`]): it checks that the claims chain
+//! end-to-end (`certᵢ.to == certᵢ₊₁.from`) exactly the way
+//! `ComposedDriver`/`ComposedEmulator` stack per-level refinements, and
+//! produces one [`ComposedCertificate`] for the whole (app × cpu × opt)
+//! cell.
+
+use std::fmt;
+
+use parfait_telemetry::json::Json;
+
+use crate::artifact::{ArtifactHasher, ArtifactId};
+
+/// Certificate schema version, bumped on any change to the serialized
+/// form (a bump invalidates every cache entry, which is the point).
+pub const SCHEMA: i64 = 1;
+
+/// The four proof stages, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageKind {
+    /// Spec-level non-leakage (`parfait::speccheck` census).
+    SpecCheck,
+    /// IPR by lockstep: app spec vs littlec implementation (Starling).
+    Lockstep,
+    /// Translation validation across optimization levels (littlec).
+    Equivalence,
+    /// Functional-physical simulation at the wire level (Knox2).
+    Fps,
+}
+
+impl StageKind {
+    /// All stages in order.
+    pub const ALL: [StageKind; 4] =
+        [StageKind::SpecCheck, StageKind::Lockstep, StageKind::Equivalence, StageKind::Fps];
+
+    /// Stable machine-readable name (cache keys, JSON, telemetry).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageKind::SpecCheck => "speccheck",
+            StageKind::Lockstep => "lockstep",
+            StageKind::Equivalence => "equivalence",
+            StageKind::Fps => "fps",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<StageKind> {
+        StageKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What one stage established, in cacheable form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageCertificate {
+    /// Serialized-form version ([`SCHEMA`]).
+    pub schema: i64,
+    /// Which stage produced this.
+    pub stage: StageKind,
+    /// Application slug (e.g. `"hasher"`).
+    pub app: String,
+    /// The IPR claim: (from-level label, to-level label), e.g.
+    /// `("app-impl-asm(-O2)", "soc(Ibex)")`.
+    pub claim: (String, String),
+    /// Content hash of every input the stage consumed.
+    pub inputs: ArtifactId,
+    /// Summary statistics (cases checked, cycles simulated, ...) —
+    /// deterministic counters only, never wall-clock times.
+    pub stats: Vec<(String, i64)>,
+}
+
+impl StageCertificate {
+    /// Serialize with a fixed key order.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Int(self.schema)),
+            ("stage", Json::str(self.stage.as_str())),
+            ("app", Json::str(&self.app)),
+            (
+                "claim",
+                Json::obj([("from", Json::str(&self.claim.0)), ("to", Json::str(&self.claim.1))]),
+            ),
+            ("inputs", Json::str(self.inputs.to_string())),
+            (
+                "stats",
+                Json::Obj(self.stats.iter().map(|(k, v)| (k.clone(), Json::Int(*v))).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize; `None` on any structural mismatch (treated by the
+    /// cache as a miss, never an error).
+    pub fn from_json(v: &Json) -> Option<StageCertificate> {
+        let cert = StageCertificate {
+            schema: v.get("schema")?.as_i64()?,
+            stage: StageKind::from_str(v.get("stage")?.as_str()?)?,
+            app: v.get("app")?.as_str()?.to_string(),
+            claim: {
+                let c = v.get("claim")?;
+                (c.get("from")?.as_str()?.to_string(), c.get("to")?.as_str()?.to_string())
+            },
+            inputs: ArtifactId::from_hex(v.get("inputs")?.as_str()?)?,
+            stats: v
+                .get("stats")?
+                .as_object()?
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_i64()?)))
+                .collect::<Option<Vec<_>>>()?,
+        };
+        Some(cert)
+    }
+
+    /// The canonical byte form: compact JSON plus a trailing newline.
+    /// Cached and fresh certificates compare equal on exactly these
+    /// bytes.
+    pub fn canonical(&self) -> String {
+        let mut s = self.to_json().to_string();
+        s.push('\n');
+        s
+    }
+}
+
+/// Why [`compose`] rejected a certificate sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ComposeError {
+    /// No certificates to compose.
+    Empty,
+    /// Certificates for different applications.
+    AppMismatch {
+        /// The first app seen.
+        expected: String,
+        /// The offending app.
+        found: String,
+    },
+    /// Adjacent claims don't chain.
+    BrokenChain {
+        /// Index of the earlier certificate.
+        at: usize,
+        /// Its `to` label.
+        to: String,
+        /// The next certificate's `from` label.
+        from: String,
+    },
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::Empty => f.write_str("no stage certificates to compose"),
+            ComposeError::AppMismatch { expected, found } => {
+                write!(f, "certificates mix apps: {expected:?} vs {found:?}")
+            }
+            ComposeError::BrokenChain { at, to, from } => write!(
+                f,
+                "claim chain breaks after stage {at}: {to:?} does not meet {from:?} — \
+                 transitivity needs adjacent levels"
+            ),
+        }
+    }
+}
+
+/// The end-to-end claim: every stage certificate, chained by
+/// transitivity into one statement `from ≈IPR to`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComposedCertificate {
+    /// Serialized-form version.
+    pub schema: i64,
+    /// Application slug.
+    pub app: String,
+    /// The composed claim — the first stage's `from` to the last
+    /// stage's `to`.
+    pub claim: (String, String),
+    /// Hash of the concatenated canonical stage certificates.
+    pub inputs: ArtifactId,
+    /// The chained stages, in order.
+    pub stages: Vec<StageCertificate>,
+}
+
+impl ComposedCertificate {
+    /// Serialize with a fixed key order.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Int(self.schema)),
+            ("app", Json::str(&self.app)),
+            (
+                "claim",
+                Json::obj([("from", Json::str(&self.claim.0)), ("to", Json::str(&self.claim.1))]),
+            ),
+            ("inputs", Json::str(self.inputs.to_string())),
+            ("stages", Json::Arr(self.stages.iter().map(StageCertificate::to_json).collect())),
+        ])
+    }
+
+    /// The canonical byte form (compact JSON + newline).
+    pub fn canonical(&self) -> String {
+        let mut s = self.to_json().to_string();
+        s.push('\n');
+        s
+    }
+}
+
+/// Chain stage certificates into one end-to-end claim, enforcing the
+/// side conditions of the transitivity theorem: same application, and
+/// each certificate's `to` level is the next one's `from` level.
+///
+/// Self-loop claims (`from == to`, e.g. the spec-level non-leakage
+/// check) compose trivially, mirroring how a reflexive refinement
+/// stacks under `parfait::transitive`.
+pub fn compose(stages: &[StageCertificate]) -> Result<ComposedCertificate, ComposeError> {
+    let first = stages.first().ok_or(ComposeError::Empty)?;
+    for (i, pair) in stages.windows(2).enumerate() {
+        if pair[1].app != first.app {
+            return Err(ComposeError::AppMismatch {
+                expected: first.app.clone(),
+                found: pair[1].app.clone(),
+            });
+        }
+        if pair[0].claim.1 != pair[1].claim.0 {
+            return Err(ComposeError::BrokenChain {
+                at: i,
+                to: pair[0].claim.1.clone(),
+                from: pair[1].claim.0.clone(),
+            });
+        }
+    }
+    let last = stages.last().unwrap();
+    let mut h = ArtifactHasher::new("composed-certificate");
+    for cert in stages {
+        h.field(cert.stage.as_str(), cert.canonical().as_bytes());
+    }
+    Ok(ComposedCertificate {
+        schema: SCHEMA,
+        app: first.app.clone(),
+        claim: (first.claim.0.clone(), last.claim.1.clone()),
+        inputs: h.finish(),
+        stages: stages.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cert(stage: StageKind, app: &str, from: &str, to: &str) -> StageCertificate {
+        StageCertificate {
+            schema: SCHEMA,
+            stage,
+            app: app.into(),
+            claim: (from.into(), to.into()),
+            inputs: ArtifactHasher::new("test").field_str("app", app).finish(),
+            stats: vec![("cases".into(), 7)],
+        }
+    }
+
+    #[test]
+    fn certificate_roundtrips_through_json() {
+        let c = cert(StageKind::Lockstep, "hasher", "app-spec", "app-impl-lowstar");
+        let text = c.canonical();
+        let back =
+            StageCertificate::from_json(&parfait_telemetry::json::parse(text.trim()).unwrap())
+                .unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.canonical(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_structural_garbage() {
+        let good = cert(StageKind::Fps, "a", "x", "y").to_json();
+        assert!(StageCertificate::from_json(&good).is_some());
+        assert!(StageCertificate::from_json(&Json::Null).is_none());
+        let bad_stage = Json::obj([("schema", Json::Int(1)), ("stage", Json::str("warp"))]);
+        assert!(StageCertificate::from_json(&bad_stage).is_none());
+    }
+
+    #[test]
+    fn compose_chains_adjacent_claims() {
+        let chain = [
+            cert(StageKind::SpecCheck, "hasher", "app-spec", "app-spec"),
+            cert(StageKind::Lockstep, "hasher", "app-spec", "app-impl-lowstar"),
+            cert(StageKind::Equivalence, "hasher", "app-impl-lowstar", "app-impl-asm(-O2)"),
+            cert(StageKind::Fps, "hasher", "app-impl-asm(-O2)", "soc(Ibex)"),
+        ];
+        let composed = compose(&chain).unwrap();
+        assert_eq!(composed.claim, ("app-spec".to_string(), "soc(Ibex)".to_string()));
+        assert_eq!(composed.stages.len(), 4);
+        // Deterministic: same chain, same composed hash.
+        assert_eq!(composed, compose(&chain).unwrap());
+    }
+
+    #[test]
+    fn compose_rejects_broken_chains() {
+        assert_eq!(compose(&[]), Err(ComposeError::Empty));
+        let gap = [
+            cert(StageKind::Lockstep, "hasher", "app-spec", "app-impl-lowstar"),
+            cert(StageKind::Fps, "hasher", "app-impl-asm(-O2)", "soc(Ibex)"),
+        ];
+        assert!(matches!(compose(&gap), Err(ComposeError::BrokenChain { at: 0, .. })));
+        let mixed = [
+            cert(StageKind::Lockstep, "hasher", "a", "b"),
+            cert(StageKind::Equivalence, "ecdsa", "b", "c"),
+        ];
+        assert!(matches!(compose(&mixed), Err(ComposeError::AppMismatch { .. })));
+    }
+}

@@ -77,6 +77,54 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Render with 2-space indentation. Deterministic (object key order
+    /// is insertion order, and the scalar forms match [`Display`]), so
+    /// two structurally equal values always pretty-print to identical
+    /// bytes — the proof pipeline relies on this when it writes
+    /// certificates to the artifact cache.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.pretty_into(&mut out, 0);
+        out
+    }
+
+    fn pretty_into(&self, out: &mut String, depth: usize) {
+        const INDENT: &str = "  ";
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    item.pretty_into(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\": ");
+                    v.pretty_into(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push('}');
+            }
+            // Scalars and empty containers use the compact form.
+            other => out.push_str(&other.to_string()),
+        }
+    }
 }
 
 fn escape_into(out: &mut String, s: &str) {
@@ -356,5 +404,22 @@ mod tests {
     fn integers_stay_exact() {
         let v = parse("9007199254740993").unwrap();
         assert_eq!(v.as_i64(), Some(9_007_199_254_740_993));
+    }
+
+    #[test]
+    fn pretty_roundtrips_and_is_deterministic() {
+        let v = Json::obj([
+            ("stage", Json::str("fps")),
+            ("stats", Json::obj([("cycles", Json::Int(42))])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("items", Json::Arr(vec![Json::Int(1), Json::str("two")])),
+        ]);
+        let pretty = v.to_pretty_string();
+        assert_eq!(parse(&pretty).unwrap(), v);
+        assert_eq!(pretty, v.to_pretty_string());
+        assert!(pretty.contains("\"empty_arr\": []"));
+        assert!(pretty.contains("  \"stage\": \"fps\""));
+        assert!(pretty.contains("    \"cycles\": 42"));
     }
 }

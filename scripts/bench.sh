@@ -1,10 +1,12 @@
 #!/bin/sh
-# FPS-throughput benchmark: sequential oracle vs. the snapshot-fork
-# parallel checker over the Table 4 matrix. Emits BENCH_fps.json at the
-# repo root. Run from the repo root.
+# Benchmarks. Emits BENCH_fps.json (FPS-throughput: sequential oracle
+# vs. the snapshot-fork parallel checker over the Table 4 matrix) and
+# BENCH_pipeline.json (proof pipeline: cold vs. warm verification via
+# the content-addressed certificate cache) at the repo root. Run from
+# the repo root.
 #
-#   scripts/bench.sh            # quick matrix (hasher on both cores)
-#   FULL=1 scripts/bench.sh     # full matrix (adds the ECDSA runs)
+#   scripts/bench.sh            # quick matrices (hasher-only)
+#   FULL=1 scripts/bench.sh     # full matrices (adds the ECDSA runs)
 #   THREADS=8 scripts/bench.sh  # override the thread budget
 set -eux
 
@@ -15,3 +17,4 @@ QUICK="--quick"
 THREADS="${THREADS:-$(nproc 2>/dev/null || echo 4)}"
 
 ./target/release/bench_fps $QUICK --threads "$THREADS" --json BENCH_fps.json
+./target/release/bench_pipeline $QUICK --threads "$THREADS" --json BENCH_pipeline.json

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Full local CI gate: formatting, release build, tier-1 tests, workspace
-# tests, the differential parallel-checker test under a fixed thread
-# budget, and clippy with warnings promoted to errors. Run from the
-# repo root.
+# tests, all examples built and the quickstart run end-to-end, the
+# differential parallel-checker test under a fixed thread budget, the
+# pipeline cache differential test run twice against one shared
+# PARFAIT_CACHE_DIR (cold pass then warm pass — proving warm-run
+# determinism), and clippy with warnings promoted to errors. Run from
+# the repo root.
 set -eux
 
 # rustfmt's ignore option is nightly-only, so enumerate our packages
@@ -10,14 +13,24 @@ set -eux
 for pkg in parfait parfait-telemetry parfait-riscv parfait-littlec \
     parfait-crypto parfait-rtl parfait-parallel parfait-cores \
     parfait-soc parfait-starling parfait-knox2 parfait-hsms \
-    parfait-bench; do
+    parfait-pipeline parfait-bench; do
     cargo fmt --check -p "$pkg"
 done
 
 cargo build --release
 cargo test -q
 cargo test -q --workspace
+# Every example must build, and the quickstart must run end-to-end.
+cargo build --release --examples
+cargo run --release --example quickstart
 # The parallel FPS checker must be observationally identical to the
 # sequential oracle regardless of the ambient thread budget.
 PARFAIT_THREADS=2 cargo test -q --release --test fps_parallel
+# The certificate cache must be deterministic across processes: the
+# same test suite against the same cache directory, first cold then
+# warm, must pass both times with byte-identical certificates.
+PIPELINE_CACHE_DIR="${PARFAIT_CACHE_DIR:-target/ci-pipeline-cache}"
+rm -rf "$PIPELINE_CACHE_DIR"
+PARFAIT_CACHE_DIR="$PIPELINE_CACHE_DIR" cargo test -q --release --test pipeline_cache
+PARFAIT_CACHE_DIR="$PIPELINE_CACHE_DIR" cargo test -q --release --test pipeline_cache
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,273 @@
+//! Differential tests for the proof pipeline's content-addressed
+//! certificate cache.
+//!
+//! The contract under test (ISSUE 3 / DESIGN.md §9):
+//!
+//! 1. a fresh cache is cold: every stage runs and stores a certificate;
+//! 2. a warm re-run through a brand-new pipeline handle hits the
+//!    on-disk cache in every stage, and the certificates are
+//!    **byte-identical** to the cold run's;
+//! 3. mutating one byte of an app's littlec source re-runs exactly the
+//!    stages downstream of the source (lockstep, equivalence, FPS)
+//!    while the behavior-keyed spec census stays cached — and a second
+//!    app sharing the cache directory stays fully cached throughout;
+//! 4. cached certificates are byte-identical to what a cache-disabled
+//!    pipeline computes from scratch.
+//!
+//! The fixture is the tiny token HSM (see `tests/common`), whose FPS
+//! runs take only thousands of cycles, parameterized by its `prove`
+//! multiplier so two behaviorally distinct apps share one definition.
+
+mod common;
+
+use std::path::PathBuf;
+
+use common::{cmd, CMD, RESP, STATE, TOKEN_LC};
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_hsms::platform::{AppSizes, Cpu};
+use parfait_knox2::FpsObserver;
+use parfait_littlec::codegen::OptLevel;
+use parfait_pipeline::{app_from_codec, AppPipeline, CertCache, Pipeline, StageKind, StdApp};
+use parfait_starling::StarlingConfig;
+
+/// The token spec as a real struct (not `FnMachine`, whose step is a
+/// plain fn pointer) so the `prove` multiplier can be a parameter.
+#[derive(Clone)]
+struct TokenSpec {
+    mult: u32,
+}
+
+impl StateMachine for TokenSpec {
+    type State = (u32, u32);
+    type Command = Vec<u8>;
+    type Response = Vec<u8>;
+
+    fn init(&self) -> (u32, u32) {
+        (0, 0)
+    }
+
+    fn step(&self, s: &(u32, u32), c: &Vec<u8>) -> ((u32, u32), Vec<u8>) {
+        let mut resp = vec![0u8; RESP];
+        if c.len() != CMD {
+            resp[0] = 0xFF;
+            return (*s, resp);
+        }
+        let arg = u32::from_le_bytes([c[1], c[2], c[3], c[4]]);
+        match c[0] {
+            1 => {
+                resp[0] = 1;
+                ((arg, s.1), resp)
+            }
+            2 => {
+                let c2 = s.1.wrapping_add(arg);
+                resp[0] = 2;
+                resp[1..5].copy_from_slice(&c2.to_le_bytes());
+                ((s.0, c2), resp)
+            }
+            3 => {
+                resp[0] = 3;
+                let v = s.0.wrapping_mul(self.mult).wrapping_add(s.1) ^ arg;
+                resp[1..5].copy_from_slice(&v.to_le_bytes());
+                (*s, resp)
+            }
+            _ => {
+                resp[0] = 0xFF;
+                (*s, resp)
+            }
+        }
+    }
+}
+
+struct TokenCodec;
+
+impl Codec for TokenCodec {
+    type Spec = TokenSpec;
+    type CI = Vec<u8>;
+    type RI = Vec<u8>;
+    type SI = Vec<u8>;
+
+    fn encode_command(&self, c: &Vec<u8>) -> Vec<u8> {
+        c.clone()
+    }
+    fn decode_command(&self, c: &Vec<u8>) -> Option<Vec<u8>> {
+        (c.len() == CMD && matches!(c[0], 1..=3)).then(|| c.clone())
+    }
+    fn encode_response(&self, r: Option<&Vec<u8>>) -> Vec<u8> {
+        match r {
+            Some(v) => v.clone(),
+            None => {
+                let mut e = vec![0u8; RESP];
+                e[0] = 0xFF;
+                e
+            }
+        }
+    }
+    fn decode_response(&self, r: &Vec<u8>) -> Vec<u8> {
+        r.clone()
+    }
+    fn encode_state(&self, s: &(u32, u32)) -> Vec<u8> {
+        let mut out = Vec::with_capacity(STATE);
+        out.extend_from_slice(&s.0.to_le_bytes());
+        out.extend_from_slice(&s.1.to_le_bytes());
+        out
+    }
+}
+
+const MULT_A: u32 = 2654435761; // the multiplier baked into TOKEN_LC
+const MULT_B: u32 = 1013904223;
+
+/// A token app pipeline: `slug` names the cache entries, `source` is
+/// the littlec implementation, `mult` parameterizes the matching spec.
+fn token_app(slug: &str, source: String, mult: u32) -> AppPipeline {
+    app_from_codec(
+        "token HSM",
+        slug,
+        source,
+        AppSizes { state: STATE, command: CMD, response: RESP },
+        TokenCodec,
+        TokenSpec { mult },
+        (0xDEAD_BEEF, 7),
+        cmd(3, 5),
+        vec![(0, 0), (0xDEAD_BEEF, 7)],
+        vec![cmd(1, 5), cmd(2, 10), cmd(3, 5)],
+        vec![vec![1, 0, 0, 0, 0]],
+        StarlingConfig {
+            state_size: STATE,
+            command_size: CMD,
+            response_size: RESP,
+            adversarial_inputs: 4,
+            ..StarlingConfig::default()
+        },
+    )
+}
+
+fn token_a() -> AppPipeline {
+    token_app("token-a", TOKEN_LC.to_string(), MULT_A)
+}
+
+fn token_b() -> AppPipeline {
+    let source_b = TOKEN_LC.replace(&MULT_A.to_string(), &MULT_B.to_string());
+    assert_ne!(source_b, TOKEN_LC, "multiplier substitution must change the source");
+    token_app("token-b", source_b, MULT_B)
+}
+
+fn private_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parfait-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn verify(pipeline: &Pipeline, app: &AppPipeline) -> parfait_pipeline::CellReport {
+    pipeline
+        .verify_cell(app, Cpu::Ibex, OptLevel::O2, &FpsObserver::default(), 2)
+        .expect("token app verifies")
+}
+
+fn hits_by_stage(cell: &parfait_pipeline::CellReport) -> Vec<(StageKind, bool)> {
+    cell.stages.iter().map(|s| (s.certificate.stage, s.cache_hit)).collect()
+}
+
+#[test]
+fn one_byte_source_change_reruns_only_downstream_stages() {
+    let dir = private_dir("pipeline-cache-diff");
+    let a = token_a();
+    let b = token_b();
+
+    // Cold: every stage of both apps runs and is stored.
+    let cold = Pipeline::new(CertCache::at(dir.clone()), Default::default());
+    let cell_a = verify(&cold, &a);
+    let cell_b = verify(&cold, &b);
+    assert!(cell_a.stages.iter().all(|s| !s.cache_hit), "fresh cache must be cold");
+    assert!(cell_b.stages.iter().all(|s| !s.cache_hit));
+    assert_eq!(cell_a.composed.claim.0, "app-spec");
+    assert_eq!(cell_a.composed.claim.1, "soc(Ibex)");
+    // Distinct sources ⇒ distinct cache entries throughout.
+    assert_ne!(cell_a.composed.inputs, cell_b.composed.inputs);
+
+    // Warm, through a brand-new handle (empty memo ⇒ on-disk path):
+    // every stage hits, and certificates are byte-identical.
+    let warm = Pipeline::new(CertCache::at(dir.clone()), Default::default());
+    let cell_a2 = verify(&warm, &a);
+    assert!(cell_a2.fully_cached(), "unchanged app must be fully cached: {:?}", hits_by_stage(&cell_a2));
+    assert_eq!(cell_a2.composed.canonical(), cell_a.composed.canonical());
+    for (fresh, cached) in cell_a.stages.iter().zip(&cell_a2.stages) {
+        assert_eq!(cached.certificate.canonical(), fresh.certificate.canonical());
+    }
+
+    // Mutate one byte of A's source (behavior-preserving whitespace):
+    // the behavior-keyed spec census stays cached; every source-keyed
+    // stage (lockstep, equivalence, FPS) re-runs.
+    let mutated_source = TOKEN_LC.replace("u32 arg", "u32  arg");
+    assert_eq!(mutated_source.len(), TOKEN_LC.len() + 1);
+    let a_mut = token_app("token-a", mutated_source, MULT_A);
+    let cell_a3 = verify(&warm, &a_mut);
+    assert_eq!(
+        hits_by_stage(&cell_a3),
+        vec![
+            (StageKind::SpecCheck, true),
+            (StageKind::Lockstep, false),
+            (StageKind::Equivalence, false),
+            (StageKind::Fps, false),
+        ],
+        "a source-only change must re-run exactly the stages downstream of the source"
+    );
+
+    // The untouched app's cells stay cache hits.
+    let cell_b2 = verify(&warm, &b);
+    assert!(cell_b2.fully_cached(), "untouched app must stay cached: {:?}", hits_by_stage(&cell_b2));
+    assert_eq!(cell_b2.composed.canonical(), cell_b.composed.canonical());
+
+    // Cached certificates are byte-identical to a cache-disabled
+    // from-scratch computation.
+    let scratch = Pipeline::new(CertCache::disabled(), Default::default());
+    let cell_fresh = verify(&scratch, &a_mut);
+    assert!(!cell_fresh.stages.iter().any(|s| s.cache_hit));
+    assert_eq!(cell_fresh.composed.canonical(), cell_a3.composed.canonical());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Warm-run determinism across *processes*: run against a shared cache
+/// directory (`PARFAIT_CACHE_DIR` when set — CI invokes this test twice
+/// with the same value to prove it — else a private dir), and check the
+/// result is byte-identical to a cache-disabled from-scratch run
+/// whether the shared cache was cold or pre-populated.
+#[test]
+fn shared_cache_runs_are_deterministic() {
+    let (dir, ephemeral) = match std::env::var_os("PARFAIT_CACHE_DIR") {
+        Some(d) if !d.is_empty() => (PathBuf::from(d), false),
+        _ => (private_dir("pipeline-cache-shared"), true),
+    };
+    let a = token_a();
+
+    let shared = Pipeline::new(CertCache::at(dir.clone()), Default::default());
+    let cell = verify(&shared, &a);
+
+    let scratch = Pipeline::new(CertCache::disabled(), Default::default());
+    let fresh = verify(&scratch, &a);
+    assert_eq!(cell.composed.canonical(), fresh.composed.canonical());
+    for (c, f) in cell.stages.iter().zip(&fresh.stages) {
+        assert_eq!(c.certificate.canonical(), f.certificate.canonical());
+    }
+
+    // A second pass in the same process must be fully cached either way.
+    let again = verify(&shared, &a);
+    assert!(again.fully_cached());
+
+    if ephemeral {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The standard apps expose distinct, stable cache identities (guards
+/// against a refactor accidentally collapsing app slugs, which would
+/// alias their cache entries).
+#[test]
+fn std_app_slugs_are_distinct() {
+    let slugs: Vec<&str> = StdApp::ALL.iter().map(|a| a.slug()).collect();
+    let mut unique = slugs.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), slugs.len());
+}

@@ -1,0 +1,881 @@
+//! Abstract taint interpretation over assembled RV32IM firmware.
+//!
+//! The IR-layer analysis cannot see leaks *introduced by* the
+//! compiler: `opt` rewrites branches, `regalloc` spills secrets to the
+//! stack and reloads them, codegen materializes addresses. This module
+//! re-checks the constant-time rules on the final instruction words,
+//! recovering control flow with [`parfait_riscv::decode`] and running
+//! a per-instruction dataflow fixpoint.
+//!
+//! The abstract machine tracks, per register: secrecy (with
+//! provenance) and a *kind* — known constant, stack-pointer offset,
+//! pointer into a named memory region, or unknown. The stack is
+//! modeled byte-granularly relative to the entry `sp`, so spills and
+//! reloads (including mixed-width `(u32*)` reads of byte arrays)
+//! round-trip precisely. Calls (`jal ra`) are analyzed by inlining:
+//! the callee runs on the caller's abstract state and its joined
+//! return states continue at the call's fall-through, which makes the
+//! single stack coordinate system work across frames. Indirect jumps
+//! other than the `jalr x0, ra, 0` return idiom are outside the
+//! fragment and reported as [`LintError::Unsupported`].
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+use parfait_littlec::diag::{Diagnostic, Span};
+use parfait_riscv::asm::Program;
+use parfait_riscv::decode::decode;
+use parfait_riscv::isa::{AluOp, Instr, LoadOp, Reg, StoreOp};
+
+use crate::{Finding, Layer, LintError, RuleId};
+
+/// A memory region, the granularity of the content-taint summary.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum MRegion {
+    /// The secret state buffer (`a0` at entry; content pinned secret).
+    State,
+    /// The attacker-chosen command buffer (`a1` at entry).
+    Cmd,
+    /// The response buffer (`a2` at entry).
+    Resp,
+    /// A global in the data section, by symbol name.
+    Global(String),
+}
+
+impl MRegion {
+    fn describe(&self) -> String {
+        match self {
+            MRegion::State => "state".into(),
+            MRegion::Cmd => "cmd".into(),
+            MRegion::Resp => "resp".into(),
+            MRegion::Global(g) => format!("global `{g}`"),
+        }
+    }
+}
+
+/// What a register value *is*, beyond its secrecy.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Kind {
+    /// Nothing known.
+    Top,
+    /// A known 32-bit constant (from `lui`/`li`/`auipc` folding).
+    Const(u32),
+    /// `entry_sp + offset` — a resolvable stack address.
+    Sp(i32),
+    /// Somewhere on the stack, offset unknown (variable array index).
+    SpAny,
+    /// A pointer into one of these regions, at any offset.
+    Mem(BTreeSet<MRegion>),
+}
+
+/// The abstract value of a register or stack slot.
+#[derive(Clone, Debug)]
+struct AVal {
+    /// `Some(provenance)` when the value may be secret-derived.
+    /// Shared: provenance strings are cloned on every join.
+    secret: Option<Rc<str>>,
+    kind: Kind,
+}
+
+impl Default for AVal {
+    fn default() -> AVal {
+        AVal { secret: None, kind: Kind::Top }
+    }
+}
+
+impl AVal {
+    fn konst(v: u32) -> AVal {
+        AVal { secret: None, kind: Kind::Const(v) }
+    }
+
+    fn join(&self, other: &AVal) -> AVal {
+        AVal {
+            secret: self.secret.clone().or_else(|| other.secret.clone()),
+            kind: join_kind(&self.kind, &other.kind),
+        }
+    }
+
+    fn same_lattice(&self, other: &AVal) -> bool {
+        self.secret.is_some() == other.secret.is_some() && self.kind == other.kind
+    }
+}
+
+fn join_kind(a: &Kind, b: &Kind) -> Kind {
+    match (a, b) {
+        _ if a == b => a.clone(),
+        (Kind::Sp(_) | Kind::SpAny, Kind::Sp(_) | Kind::SpAny) => Kind::SpAny,
+        (Kind::Mem(x), Kind::Mem(y)) => Kind::Mem(x.union(y).cloned().collect()),
+        _ => Kind::Top,
+    }
+}
+
+/// One tracked stack byte: the abstract value of the store that wrote
+/// it plus which *world* it belongs to. Spill/temp slots are addressed
+/// directly off `sp`; local-array bytes are addressed through
+/// materialized `sp+K` pointers. Variable-index accesses (unknown
+/// stack offset) can only hit array bytes — littlec has no
+/// address-taken spill slots and the analyzer assumes in-bounds
+/// indexing (spatial memory safety is the other stages' job) — so
+/// variable reads join array bytes and the blob, never spills.
+///
+/// A multi-byte store replicates its value across the covered bytes; a
+/// load whose bytes all agree on one lattice value reconstructs it
+/// (spill/reload round-trips, including across joins, stay precise),
+/// anything else degrades to an unknown with the joined secrecy. Byte
+/// reassembly of *numeric* constants written at a different width can
+/// therefore be imprecise, but never in a way that drops taint.
+#[derive(Clone, Debug)]
+struct SByte {
+    val: AVal,
+    /// True when written through a pointer (array world) rather than
+    /// directly off `sp` (spill/temp world).
+    array: bool,
+}
+
+/// The abstract machine state at one program point.
+#[derive(Clone, Debug)]
+struct MState {
+    regs: Vec<AVal>,
+    /// Bytes relative to the *entry* `sp` of the linted handler; one
+    /// coordinate system across inlined callees. Shared copy-on-write:
+    /// most instructions don't touch the stack, so cloning a state is
+    /// cheap.
+    stack: Rc<BTreeMap<i32, SByte>>,
+    /// Join of everything stored at an unresolved stack address; reads
+    /// at any stack address must also observe it.
+    blob: Option<AVal>,
+}
+
+/// Provenance-free lattice shape of a state, for memoization and
+/// change detection.
+type StateKey = (Vec<(bool, Kind)>, Vec<(i32, bool, bool, Kind)>, Option<(bool, Kind)>);
+
+impl MState {
+    fn entry() -> MState {
+        let mut regs = vec![AVal::default(); 32];
+        regs[Reg::ZERO.0 as usize] = AVal::konst(0);
+        regs[Reg::SP.0 as usize] = AVal { secret: None, kind: Kind::Sp(0) };
+        for (r, region) in
+            [(Reg::A0, MRegion::State), (Reg::A1, MRegion::Cmd), (Reg::A2, MRegion::Resp)]
+        {
+            regs[r.0 as usize] = AVal { secret: None, kind: Kind::Mem(BTreeSet::from([region])) };
+        }
+        MState { regs, stack: Rc::new(BTreeMap::new()), blob: None }
+    }
+
+    fn reg(&self, r: Reg) -> &AVal {
+        &self.regs[r.0 as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: AVal) {
+        if r != Reg::ZERO {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    fn key(&self) -> StateKey {
+        (
+            self.regs.iter().map(|v| (v.secret.is_some(), v.kind.clone())).collect(),
+            self.stack
+                .iter()
+                .map(|(o, b)| (*o, b.array, b.val.secret.is_some(), b.val.kind.clone()))
+                .collect(),
+            self.blob.as_ref().map(|v| (v.secret.is_some(), v.kind.clone())),
+        )
+    }
+}
+
+/// Join `from` into `into`; true when `into`'s lattice shape changed.
+fn join_state(into: &mut MState, from: &MState) -> bool {
+    let mut changed = false;
+    for i in 0..32 {
+        let j = into.regs[i].join(&from.regs[i]);
+        if !j.same_lattice(&into.regs[i]) {
+            into.regs[i] = j;
+            changed = true;
+        }
+    }
+    // A byte missing on one side was never written there: clean,
+    // unknown contents. The join keeps the other side's secrecy but
+    // degrades the exact-store shape.
+    if !Rc::ptr_eq(&into.stack, &from.stack) {
+        let keys: BTreeSet<i32> = into.stack.keys().chain(from.stack.keys()).copied().collect();
+        let mut updates: Vec<(i32, SByte)> = Vec::new();
+        for o in keys {
+            match (into.stack.get(&o), from.stack.get(&o)) {
+                (Some(a), Some(b)) => {
+                    let world = a.array || b.array;
+                    let merged = a.val.join(&b.val);
+                    if a.array == world && a.val.same_lattice(&merged) {
+                        continue;
+                    }
+                    updates.push((o, SByte { val: merged, array: world }));
+                }
+                (Some(a), None) => {
+                    // Missing on one side: never written there — clean,
+                    // unknown contents.
+                    if a.val.kind != Kind::Top {
+                        updates.push((
+                            o,
+                            SByte {
+                                val: AVal { secret: a.val.secret.clone(), kind: Kind::Top },
+                                array: a.array,
+                            },
+                        ));
+                    }
+                }
+                (None, Some(b)) => {
+                    updates.push((
+                        o,
+                        SByte {
+                            val: AVal { secret: b.val.secret.clone(), kind: Kind::Top },
+                            array: b.array,
+                        },
+                    ));
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        if !updates.is_empty() {
+            let stack = Rc::make_mut(&mut into.stack);
+            for (o, b) in updates {
+                stack.insert(o, b);
+            }
+            changed = true;
+        }
+    }
+    match (&mut into.blob, &from.blob) {
+        (_, None) => {}
+        (Some(a), Some(b)) => {
+            let j = a.join(b);
+            if !j.same_lattice(a) {
+                *a = j;
+                changed = true;
+            }
+        }
+        (into_blob @ None, Some(b)) => {
+            *into_blob = Some(b.clone());
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Drop stack bytes below offset `s` (the current stack pointer):
+/// they belong to frames that have returned. Real code never reads
+/// below `sp`, and keeping the stale bytes makes call memoization
+/// keys needlessly unique.
+fn prune_below(st: &mut MState, s: i32) {
+    if st.stack.keys().next().is_some_and(|&lo| lo < s) {
+        Rc::make_mut(&mut st.stack).retain(|&o, _| o >= s);
+    }
+}
+
+/// Where a memory access lands.
+enum Target {
+    Stack(i32),
+    StackAny,
+    Regions(BTreeSet<MRegion>),
+    Untracked,
+}
+
+struct AsmLint<'p> {
+    prog: &'p Program,
+    /// Pre-decoded text section (parallel to `prog.text`).
+    code: Vec<Result<Instr, String>>,
+    /// Function symbols (text labels not starting with `.`), sorted by
+    /// address; used to name findings.
+    funcs: Vec<(u32, String)>,
+    /// Data-section symbol ranges, sorted by start address.
+    globals: Vec<(u32, u32, String)>,
+    /// Region → provenance of its secret content. Absent = clean.
+    content: BTreeMap<MRegion, String>,
+    /// Set when a secret was stored through an untracked pointer: all
+    /// loads must then be considered secret.
+    escaped: Option<Rc<str>>,
+    /// Bumped when `content`/`escaped` grow; the outer loop reruns
+    /// until stable.
+    epoch: u64,
+    memo: HashMap<(u32, StateKey, u64), Option<MState>>,
+    call_stack: Vec<u32>,
+    findings: BTreeMap<(RuleId, u32), Finding>,
+}
+
+impl<'p> AsmLint<'p> {
+    fn new(prog: &'p Program) -> AsmLint<'p> {
+        let code: Vec<Result<Instr, String>> =
+            prog.text.iter().map(|&w| decode(w).map_err(|e| format!("{e:?}"))).collect();
+        let text_end = prog.text_base + 4 * prog.text.len() as u32;
+        let mut funcs: Vec<(u32, String)> = prog
+            .symbols
+            .iter()
+            .filter(|(name, &a)| !name.starts_with('.') && a >= prog.text_base && a < text_end)
+            .map(|(name, &a)| (a, name.clone()))
+            .collect();
+        funcs.sort();
+        let data_end = prog.data_base + prog.data.len() as u32;
+        let mut starts: Vec<(u32, String)> = prog
+            .symbols
+            .iter()
+            .filter(|(_, &a)| a >= prog.data_base && a < data_end)
+            .map(|(name, &a)| (a, name.clone()))
+            .collect();
+        starts.sort();
+        let mut globals = Vec::with_capacity(starts.len());
+        for (i, (start, name)) in starts.iter().enumerate() {
+            let end = starts.get(i + 1).map(|(s, _)| *s).unwrap_or(data_end);
+            globals.push((*start, end, name.clone()));
+        }
+        let mut content = BTreeMap::new();
+        content.insert(MRegion::State, "secret handler state".to_string());
+        AsmLint {
+            prog,
+            code,
+            funcs,
+            globals,
+            content,
+            escaped: None,
+            epoch: 0,
+            memo: HashMap::new(),
+            call_stack: Vec::new(),
+            findings: BTreeMap::new(),
+        }
+    }
+
+    fn func_of(&self, addr: u32) -> String {
+        match self.funcs.iter().rev().find(|(a, _)| *a <= addr) {
+            Some((_, name)) => name.clone(),
+            None => format!("{addr:#010x}"),
+        }
+    }
+
+    fn data_region(&self, addr: u32) -> Option<MRegion> {
+        self.globals
+            .iter()
+            .find(|(s, e, _)| addr >= *s && addr < *e)
+            .map(|(_, _, name)| MRegion::Global(name.clone()))
+    }
+
+    fn fetch(&self, addr: u32) -> Result<Instr, LintError> {
+        if addr < self.prog.text_base || !addr.is_multiple_of(4) {
+            return Err(LintError::Asm(format!("control flow leaves text at {addr:#010x}")));
+        }
+        let idx = ((addr - self.prog.text_base) / 4) as usize;
+        match self.code.get(idx) {
+            Some(Ok(i)) => Ok(*i),
+            Some(Err(e)) => Err(LintError::Asm(format!("undecodable word at {addr:#010x}: {e}"))),
+            None => Err(LintError::Asm(format!("control flow leaves text at {addr:#010x}"))),
+        }
+    }
+
+    fn taint_region(&mut self, r: MRegion, why: String) {
+        if r != MRegion::State && !self.content.contains_key(&r) {
+            self.content.insert(r, why);
+            self.epoch += 1;
+        }
+    }
+
+    fn record(&mut self, rule: RuleId, addr: u32, instr: Instr, why: &str, sink: &str) {
+        if self.findings.contains_key(&(rule, addr)) {
+            return;
+        }
+        let func = self.func_of(addr);
+        let finding = Finding {
+            rule,
+            layer: Layer::Asm,
+            diagnostic: Diagnostic::new(
+                rule.id(),
+                Span::new(func.clone(), 0),
+                format!("{sink} at {addr:#010x} (`{instr}`) in `{func}`"),
+            ),
+            taint: vec![why.to_string(), format!("{sink} at {addr:#010x}")],
+        };
+        self.findings.insert((rule, addr), finding);
+    }
+
+    /// Classify the address `base + off` for a memory access.
+    fn target(&self, base: &AVal, off: i32) -> Target {
+        match &base.kind {
+            Kind::Sp(o) => Target::Stack(o + off),
+            Kind::SpAny => Target::StackAny,
+            Kind::Mem(rs) => Target::Regions(rs.clone()),
+            Kind::Const(a) => {
+                let addr = a.wrapping_add(off as u32);
+                match self.data_region(addr) {
+                    Some(r) => Target::Regions(BTreeSet::from([r])),
+                    None => Target::Untracked,
+                }
+            }
+            Kind::Top => Target::Untracked,
+        }
+    }
+
+    fn read_stack(&self, st: &MState, o: i32, w: u8) -> AVal {
+        let bytes: Vec<Option<&SByte>> = (0..w as i32).map(|k| st.stack.get(&(o + k))).collect();
+        let agree = bytes.iter().all(|b| match b {
+            Some(b) => b.val.same_lattice(&bytes[0].as_ref().unwrap().val),
+            None => false,
+        });
+        if agree {
+            bytes[0].unwrap().val.clone()
+        } else {
+            let secret = bytes.iter().flatten().find_map(|b| b.val.secret.clone());
+            AVal { secret, kind: Kind::Top }
+        }
+    }
+
+    fn write_stack(&self, st: &mut MState, o: i32, w: u8, val: &AVal, array: bool) {
+        let stack = Rc::make_mut(&mut st.stack);
+        for k in 0..w {
+            stack.insert(o + k as i32, SByte { val: val.clone(), array });
+        }
+    }
+
+    /// The abstract value loaded from `target`.
+    fn load_value(&self, st: &MState, target: &Target, w: u8, addr: u32) -> AVal {
+        let mut v = match target {
+            Target::Stack(o) => self.read_stack(st, *o, w),
+            Target::StackAny => {
+                let mut v = AVal::default();
+                for b in st.stack.values().filter(|b| b.array) {
+                    v.secret = v.secret.or_else(|| b.val.secret.clone());
+                }
+                if let Some(blob) = &st.blob {
+                    v = v.join(blob);
+                }
+                v.kind = Kind::Top;
+                v
+            }
+            Target::Regions(rs) => {
+                let secret = rs.iter().find_map(|r| {
+                    self.content
+                        .get(r)
+                        .map(|why| Rc::from(format!("{why}, loaded from {}", r.describe())))
+                });
+                AVal { secret, kind: Kind::Top }
+            }
+            Target::Untracked => AVal {
+                secret: Some(Rc::from(format!("load via untracked address at {addr:#010x}"))),
+                kind: Kind::Top,
+            },
+        };
+        if v.secret.is_none() {
+            v.secret = self.escaped.clone();
+        }
+        v
+    }
+
+    fn store_value(&mut self, st: &mut MState, target: Target, w: u8, val: &AVal, array: bool) {
+        match target {
+            Target::Stack(o) => self.write_stack(st, o, w, val, array),
+            Target::StackAny => {
+                let joined = match &st.blob {
+                    Some(b) => b.join(val),
+                    None => val.clone(),
+                };
+                st.blob = Some(joined);
+            }
+            Target::Regions(rs) => {
+                if let Some(why) = &val.secret {
+                    for r in rs {
+                        self.taint_region(r, why.to_string());
+                    }
+                }
+            }
+            Target::Untracked => {
+                if let Some(why) = &val.secret {
+                    if self.escaped.is_none() {
+                        self.escaped =
+                            Some(Rc::from(format!("{why}, escaped via untracked store")));
+                        self.epoch += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// ALU result kind; keeps constants, stack offsets, and region
+    /// pointers alive through address arithmetic.
+    fn alu_kind(&self, op: AluOp, a: &Kind, b: &Kind) -> Kind {
+        use Kind::*;
+        if let (Const(x), Const(y)) = (a, b) {
+            let v = op.eval(*x, *y);
+            // A data-section address that survives constant arithmetic
+            // is still a pointer into that symbol; classify it as a
+            // region now so per-iteration element addresses join to
+            // the region instead of collapsing (as unequal constants)
+            // to Top at the loop head.
+            if matches!(op, AluOp::Add | AluOp::Sub) {
+                if let Some(r) = self.data_region(v) {
+                    return Mem(BTreeSet::from([r]));
+                }
+            }
+            return Const(v);
+        }
+        match (op, a, b) {
+            (AluOp::Add, Sp(o), Const(c)) | (AluOp::Add, Const(c), Sp(o)) => {
+                Sp(o.wrapping_add(*c as i32))
+            }
+            (AluOp::Sub, Sp(o), Const(c)) => Sp(o.wrapping_sub(*c as i32)),
+            (AluOp::Add, Sp(_) | SpAny, _) | (AluOp::Add, _, Sp(_) | SpAny) => SpAny,
+            (AluOp::Sub, Sp(_) | SpAny, _) => SpAny,
+            (AluOp::Add | AluOp::Sub, Mem(rs), _) | (AluOp::Add, _, Mem(rs)) => Mem(rs.clone()),
+            // A constant pointing into the data section, indexed by a
+            // variable, is still a pointer into that symbol's range.
+            (AluOp::Add, Const(c), _) | (AluOp::Add, _, Const(c)) => match self.data_region(*c) {
+                Some(r) => Mem(BTreeSet::from([r])),
+                None => Top,
+            },
+            _ => Top,
+        }
+    }
+
+    /// Analyze the function entered at `entry` with state `st`.
+    /// Returns the join of its return-point states, or `None` when no
+    /// path returns.
+    fn analyze_function(&mut self, entry: u32, st: MState) -> Result<Option<MState>, LintError> {
+        if self.call_stack.contains(&entry) {
+            return Err(LintError::Unsupported(format!(
+                "recursive call to `{}`",
+                self.func_of(entry)
+            )));
+        }
+        let memo_key = (entry, st.key(), self.epoch);
+        if let Some(ret) = self.memo.get(&memo_key) {
+            return Ok(ret.clone());
+        }
+        self.call_stack.push(entry);
+        let result = self.function_fixpoint(entry, st);
+        self.call_stack.pop();
+        let ret = result?;
+        self.memo.insert(memo_key, ret.clone());
+        Ok(ret)
+    }
+
+    fn function_fixpoint(&mut self, entry: u32, st: MState) -> Result<Option<MState>, LintError> {
+        let mut states: HashMap<u32, MState> = HashMap::new();
+        states.insert(entry, st);
+        // Address-ordered worklist: for the compiler's layout this
+        // approximates reverse postorder, which converges in far fewer
+        // visits than LIFO order. Per-instruction states double as an
+        // early propagation cutoff — a re-entered path stops as soon as
+        // its join stops changing.
+        let mut work: BTreeSet<u32> = BTreeSet::from([entry]);
+        let mut ret: Option<MState> = None;
+        while let Some(addr) = work.pop_first() {
+            let Some(st) = states.get(&addr).cloned() else { continue };
+            let (succs, returned) = self.step(addr, st)?;
+            if let Some(r) = returned {
+                match &mut ret {
+                    Some(acc) => {
+                        join_state(acc, &r);
+                    }
+                    None => ret = Some(r),
+                }
+            }
+            for (succ, out) in succs {
+                match states.get_mut(&succ) {
+                    Some(old) => {
+                        if join_state(old, &out) {
+                            work.insert(succ);
+                        }
+                    }
+                    None => {
+                        states.insert(succ, out);
+                        work.insert(succ);
+                    }
+                }
+            }
+        }
+        Ok(ret)
+    }
+
+    /// Execute one instruction abstractly. Returns the successor
+    /// states within this function and, for return paths, the state
+    /// handed back to the caller.
+    #[allow(clippy::type_complexity)]
+    fn step(
+        &mut self,
+        addr: u32,
+        mut st: MState,
+    ) -> Result<(Vec<(u32, MState)>, Option<MState>), LintError> {
+        let instr = self.fetch(addr)?;
+        let next = addr.wrapping_add(4);
+        match instr {
+            Instr::Lui { rd, imm } => {
+                st.set_reg(rd, AVal::konst((imm as u32).wrapping_shl(12)));
+            }
+            Instr::Auipc { rd, imm } => {
+                st.set_reg(rd, AVal::konst(addr.wrapping_add((imm as u32).wrapping_shl(12))));
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let a = st.reg(rs1).clone();
+                let b = AVal::konst(imm as u32);
+                self.check_latency(op, addr, instr, &a, &b);
+                let kind = self.alu_kind(op, &a.kind, &b.kind);
+                st.set_reg(rd, AVal { secret: a.secret, kind });
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let a = st.reg(rs1).clone();
+                let b = st.reg(rs2).clone();
+                self.check_latency(op, addr, instr, &a, &b);
+                let kind = self.alu_kind(op, &a.kind, &b.kind);
+                st.set_reg(rd, AVal { secret: a.secret.or(b.secret), kind });
+            }
+            Instr::Load { op, rd, rs1, off } => {
+                let base = st.reg(rs1).clone();
+                if let Some(why) = &base.secret {
+                    self.record(
+                        RuleId::SecretIndex,
+                        addr,
+                        instr,
+                        why,
+                        "load at secret-dependent address",
+                    );
+                }
+                let w = load_width(op);
+                let target = self.target(&base, off);
+                let v = self.load_value(&st, &target, w, addr);
+                st.set_reg(rd, v);
+            }
+            Instr::Store { op, rs1, rs2, off } => {
+                let base = st.reg(rs1).clone();
+                let val = st.reg(rs2).clone();
+                if let Some(why) = &base.secret {
+                    self.record(
+                        RuleId::SecretIndex,
+                        addr,
+                        instr,
+                        why,
+                        "store at secret-dependent address",
+                    );
+                }
+                let w = store_width(op);
+                let target = self.target(&base, off);
+                self.store_value(&mut st, target, w, &val, rs1 != Reg::SP);
+            }
+            Instr::Branch { rs1, rs2, off, .. } => {
+                for rs in [rs1, rs2] {
+                    if let Some(why) = &st.reg(rs).secret {
+                        self.record(
+                            RuleId::SecretBranch,
+                            addr,
+                            instr,
+                            why,
+                            "branch on secret-derived value",
+                        );
+                        break;
+                    }
+                }
+                let taken = addr.wrapping_add(off as u32);
+                return Ok((vec![(taken, st.clone()), (next, st)], None));
+            }
+            Instr::Jal { rd, off } => {
+                let dest = addr.wrapping_add(off as u32);
+                if rd == Reg::ZERO {
+                    return Ok((vec![(dest, st)], None));
+                }
+                if rd == Reg::RA {
+                    st.set_reg(Reg::RA, AVal::konst(next));
+                    // Stack bytes below `sp` are dead (leftovers of
+                    // returned callees); drop them so the callee's
+                    // memo key only covers live memory.
+                    if let Kind::Sp(s) = st.reg(Reg::SP).kind {
+                        prune_below(&mut st, s);
+                    }
+                    return match self.analyze_function(dest, st)? {
+                        Some(mut ret_state) => {
+                            if let Kind::Sp(s) = ret_state.reg(Reg::SP).kind {
+                                prune_below(&mut ret_state, s);
+                            }
+                            Ok((vec![(next, ret_state)], None))
+                        }
+                        None => Ok((vec![], None)),
+                    };
+                }
+                return Err(LintError::Unsupported(format!(
+                    "jal with link register {rd:?} at {addr:#010x}"
+                )));
+            }
+            Instr::Jalr { rd, rs1, off } => {
+                if rd == Reg::ZERO && rs1 == Reg::RA && off == 0 {
+                    return Ok((vec![], Some(st)));
+                }
+                return Err(LintError::Unsupported(format!(
+                    "indirect jump `{instr}` at {addr:#010x}"
+                )));
+            }
+            Instr::Fence => {}
+            // Halt conventions: no successor.
+            Instr::Ecall | Instr::Ebreak => return Ok((vec![], None)),
+        }
+        Ok((vec![(next, st)], None))
+    }
+
+    fn check_latency(&mut self, op: AluOp, addr: u32, instr: Instr, a: &AVal, b: &AVal) {
+        if matches!(op, AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu) {
+            if let Some(why) = a.secret.as_ref().or(b.secret.as_ref()) {
+                self.record(
+                    RuleId::SecretLatency,
+                    addr,
+                    instr,
+                    why,
+                    "secret operand to variable-latency division",
+                );
+            }
+        }
+    }
+}
+
+fn load_width(op: LoadOp) -> u8 {
+    match op {
+        LoadOp::Lb | LoadOp::Lbu => 1,
+        LoadOp::Lh | LoadOp::Lhu => 2,
+        LoadOp::Lw => 4,
+    }
+}
+
+fn store_width(op: StoreOp) -> u8 {
+    match op {
+        StoreOp::Sb => 1,
+        StoreOp::Sh => 2,
+        StoreOp::Sw => 4,
+    }
+}
+
+/// Run the assembly-layer constant-time analysis on an assembled
+/// firmware image, starting from the `entry` symbol with the Parfait
+/// handler ABI (`a0` = secret state, `a1` = public command, `a2` =
+/// response buffer).
+///
+/// Returns the sorted findings; [`LintError`] when control flow cannot
+/// be recovered (indirect jumps, recursion, undecodable words).
+pub fn lint_asm(prog: &Program, entry: &str) -> Result<Vec<Finding>, LintError> {
+    let entry_addr = prog.address_of(entry).ok_or_else(|| LintError::NoEntry(entry.to_string()))?;
+    let mut lint = AsmLint::new(prog);
+    // Outer fixpoint over the region content table (stores into
+    // globals may feed loads analyzed earlier); content only grows
+    // clean → secret, so this terminates.
+    loop {
+        let epoch0 = lint.epoch;
+        lint.findings.clear();
+        lint.memo.clear();
+        lint.analyze_function(entry_addr, MState::entry())?;
+        if lint.epoch == epoch0 {
+            break;
+        }
+    }
+    let mut findings: Vec<Finding> = lint.findings.into_values().collect();
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfait_littlec::codegen::OptLevel;
+
+    fn lint_src(src: &str, opt: OptLevel) -> Vec<Finding> {
+        let program = parfait_littlec::frontend(src).unwrap();
+        let asm = parfait_littlec::compile(&program, opt).unwrap();
+        let prog = parfait_riscv::assemble(&asm).unwrap();
+        lint_asm(&prog, "handle").unwrap()
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<RuleId> {
+        let mut r: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+        r.sort();
+        r.dedup();
+        r
+    }
+
+    #[test]
+    fn masked_select_is_clean_at_both_opt_levels() {
+        let src = "void handle(u8* state, u8* cmd, u8* resp) {
+            u32 s = state[0];
+            u32 m = 0 - (cmd[0] & 1);
+            resp[0] = (u8)(s & m);
+        }";
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let f = lint_src(src, opt);
+            assert!(f.is_empty(), "{opt:?}: {f:#?}");
+        }
+    }
+
+    #[test]
+    fn secret_branch_fires_with_function_name() {
+        let f = lint_src(
+            "void handle(u8* state, u8* cmd, u8* resp) {
+                if (state[0]) { resp[0] = 1; }
+            }",
+            OptLevel::O2,
+        );
+        assert_eq!(rules(&f), vec![RuleId::SecretBranch]);
+        assert_eq!(f[0].diagnostic.span.function, "handle");
+        assert_eq!(f[0].layer, Layer::Asm);
+    }
+
+    #[test]
+    fn secret_index_into_global_table_fires() {
+        let f = lint_src(
+            "const u8 T[4] = {7, 7, 7, 7};
+            void handle(u8* state, u8* cmd, u8* resp) {
+                resp[0] = T[state[0] & 3];
+            }",
+            OptLevel::O2,
+        );
+        assert_eq!(rules(&f), vec![RuleId::SecretIndex]);
+    }
+
+    #[test]
+    fn public_index_into_global_table_is_clean() {
+        let f = lint_src(
+            "const u8 T[4] = {7, 7, 7, 7};
+            void handle(u8* state, u8* cmd, u8* resp) {
+                u32 i = 0;
+                u32 acc = state[0];
+                while (i < 4) { acc = acc + T[i]; i = i + 1; }
+                resp[0] = (u8)acc;
+            }",
+            OptLevel::O2,
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn division_by_secret_fires_through_spills() {
+        // Enough live values to force register pressure at -O0.
+        let f = lint_src(
+            "void handle(u8* state, u8* cmd, u8* resp) {
+                u32 s = state[0];
+                resp[0] = (u8)(100 / (s + 1));
+            }",
+            OptLevel::O0,
+        );
+        assert_eq!(rules(&f), vec![RuleId::SecretLatency]);
+    }
+
+    #[test]
+    fn taint_survives_call_and_stack_roundtrip() {
+        let f = lint_src(
+            "u32 pick(u8* p) { return p[0]; }
+            void handle(u8* state, u8* cmd, u8* resp) {
+                u32 buf[2];
+                buf[0] = pick(state);
+                buf[1] = pick(cmd);
+                if (buf[0]) { resp[0] = 1; }
+            }",
+            OptLevel::O2,
+        );
+        assert_eq!(rules(&f), vec![RuleId::SecretBranch]);
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let program = parfait_littlec::frontend("u32 f() { return 1; }").unwrap();
+        let asm = parfait_littlec::compile(&program, OptLevel::O0).unwrap();
+        let prog = parfait_riscv::assemble(&asm).unwrap();
+        assert!(matches!(lint_asm(&prog, "handle"), Err(LintError::NoEntry(_))));
+    }
+}

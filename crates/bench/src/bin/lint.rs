@@ -1,0 +1,179 @@
+//! `lint` — the standalone constant-time lint driver.
+//!
+//! Runs the `parfait-analyzer` static leakage analysis (IR taint +
+//! assembly abstract interpretation, DESIGN.md §10) over the standard
+//! applications and exits nonzero on any finding not recorded in the
+//! baseline. The baseline (`lint_baseline.json`) is a ratchet: CI runs
+//! with `--baseline lint_baseline.json`, so new findings fail loudly
+//! while the recorded set can only shrink.
+//!
+//! ```sh
+//! cargo run -p parfait-bench --release --bin lint -- --baseline lint_baseline.json
+//! cargo run -p parfait-bench --release --bin lint -- --app hasher --opt O0 --json lint.json
+//! ```
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use parfait_analyzer::{lint_source, Finding};
+use parfait_bench::{render_table, write_json, App};
+use parfait_littlec::codegen::OptLevel;
+use parfait_telemetry::json::Json;
+use parfait_telemetry::Telemetry;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lint [--app <ecdsa|hasher|totp>]... [--opt <O0|O1|O2>] \
+         [--baseline <path>] [--json <path>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_opt(s: &str) -> Option<OptLevel> {
+    match s {
+        "O0" | "o0" | "0" => Some(OptLevel::O0),
+        "O1" | "o1" | "1" => Some(OptLevel::O1),
+        "O2" | "o2" | "2" => Some(OptLevel::O2),
+        _ => None,
+    }
+}
+
+/// Parse a baseline document: `{"ruleset": ..., "findings": [key...]}`.
+/// A ruleset mismatch invalidates every recorded key (the rules that
+/// justified them changed), so it is treated as an empty baseline.
+fn read_baseline(path: &str) -> Result<BTreeSet<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parfait_telemetry::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let ruleset = doc.get("ruleset").and_then(|v| v.as_str()).unwrap_or("");
+    if ruleset != parfait_analyzer::RULESET_VERSION {
+        eprintln!(
+            "warning: baseline {path} is for rule set {ruleset:?}, current is {:?}; \
+             treating as empty",
+            parfait_analyzer::RULESET_VERSION
+        );
+        return Ok(BTreeSet::new());
+    }
+    let keys = doc
+        .get("findings")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{path}: missing findings array"))?;
+    keys.iter()
+        .map(|k| k.as_str().map(str::to_string).ok_or_else(|| format!("{path}: non-string key")))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut apps: Vec<App> = Vec::new();
+    let mut opt = OptLevel::O2;
+    let mut baseline_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--app" => match it.next().and_then(|s| App::from_slug(s)) {
+                Some(app) => apps.push(app),
+                None => return usage(),
+            },
+            "--opt" => match it.next().and_then(|s| parse_opt(s)) {
+                Some(o) => opt = o,
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if apps.is_empty() {
+        apps = App::ALL.to_vec();
+    }
+
+    let tel = Telemetry::disabled();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut findings: Vec<(App, Finding)> = Vec::new();
+    for &app in &apps {
+        eprintln!("linting {} at {opt}...", app.slug());
+        let report = match lint_source(&app.source(), opt, &tel) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: {e}", app.slug());
+                return ExitCode::FAILURE;
+            }
+        };
+        rows.push(vec![
+            app.slug().to_string(),
+            opt.to_string(),
+            report.ir_insts.to_string(),
+            report.asm_instrs.to_string(),
+            report.findings.len().to_string(),
+        ]);
+        json_rows.push(Json::obj([
+            ("app", Json::str(app.slug())),
+            ("opt", Json::str(opt.to_string())),
+            ("ir_insts", Json::Int(report.ir_insts as i64)),
+            ("asm_instrs", Json::Int(report.asm_instrs as i64)),
+            ("findings", Json::Arr(report.findings.iter().map(Finding::to_json).collect())),
+        ]));
+        findings.extend(report.findings.into_iter().map(|f| (app, f)));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "parfait-lint: constant-time analysis ({})",
+                parfait_analyzer::RULESET_VERSION
+            ),
+            &["App", "Opt", "IR insts", "Asm instrs", "Findings"],
+            &rows
+        )
+    );
+
+    if let Some(path) = &json_path {
+        let doc = Json::obj([
+            ("artifact", Json::str("lint")),
+            ("ruleset", Json::str(parfait_analyzer::RULESET_VERSION)),
+            ("opt", Json::str(opt.to_string())),
+            ("rows", Json::Arr(json_rows)),
+        ]);
+        if let Err(e) = write_json(std::path::Path::new(path), &doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    let allowed = match &baseline_path {
+        Some(p) => match read_baseline(p) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => BTreeSet::new(),
+    };
+    let fresh: Vec<&(App, Finding)> =
+        findings.iter().filter(|(_, f)| !allowed.contains(&f.baseline_key())).collect();
+    let seen: BTreeSet<String> = findings.iter().map(|(_, f)| f.baseline_key()).collect();
+    for key in allowed.difference(&seen) {
+        eprintln!("note: baseline entry no longer fires (ratchet it out): {key}");
+    }
+    if !fresh.is_empty() {
+        eprintln!("error: {} constant-time finding(s) not in the baseline:", fresh.len());
+        for (app, f) in &fresh {
+            eprintln!("  [{}] {f}", app.slug());
+            eprintln!("    baseline key: {}", f.baseline_key());
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("constant-time: clean ({} apps at {opt}, 0 non-baseline findings)", apps.len());
+    ExitCode::SUCCESS
+}

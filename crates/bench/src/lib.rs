@@ -15,6 +15,8 @@
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
+#![forbid(unsafe_code)]
+
 /// The case-study applications, re-exported from the proof pipeline —
 /// the single home of app sources, sizes, sample states, and build
 /// plumbing (`parfait_pipeline::Pipeline` replaces the per-binary

@@ -27,6 +27,8 @@
 //! | spec-level non-leakage (§9 complement) | [`speccheck`] |
 //! | levels of abstraction (Table 1) | [`levels`] |
 
+#![forbid(unsafe_code)]
+
 pub mod equivalence;
 pub mod fps;
 pub mod levels;

@@ -23,6 +23,8 @@
 //! analogue of Knox2 detecting "secret data entering the control state
 //! of the circuit" (§8.1).
 
+#![forbid(unsafe_code)]
+
 pub mod datapath;
 pub mod ibex;
 pub mod pico;

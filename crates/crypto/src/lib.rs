@@ -31,6 +31,8 @@
 //! assert!(parfait_crypto::ecdsa_p256_verify(&msg, &pk, &sig));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bignum;
 pub mod blake2s;
 pub mod ct;

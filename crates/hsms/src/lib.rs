@@ -26,6 +26,8 @@
 //! `parfait-crypto` (the HACL\*-stand-in specification) at every level
 //! of the compilation pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod ecdsa;
 pub mod firmware;
 pub mod hasher;

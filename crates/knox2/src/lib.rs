@@ -31,6 +31,8 @@
 //!   hazards) that whole-command comparison would attribute to the
 //!   wrong place.
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod emulator;
 pub mod fps;

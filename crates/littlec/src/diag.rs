@@ -1,0 +1,94 @@
+//! Structured, span-carrying diagnostics.
+//!
+//! [`Diagnostic`] is the shared currency between the littlec front end
+//! (e.g. the shadowed-local rejection in [`crate::typeck`]) and external
+//! analyses over littlec programs (the `parfait-lint` constant-time
+//! analyzer embeds one per finding): a stable machine-readable code, a
+//! source span, and a human-readable message. Front-end phases convert
+//! diagnostics into [`LcError`] at their boundary so existing callers
+//! keep a single error type.
+
+use std::fmt;
+
+use crate::LcError;
+
+/// Where a diagnostic points in littlec source.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// The enclosing function, or empty when not inside one.
+    pub function: String,
+    /// 1-based source line (0 when the location is synthetic, e.g. a
+    /// finding on generated assembly).
+    pub line: usize,
+}
+
+impl Span {
+    /// A span inside `function` at `line`.
+    pub fn new(function: impl Into<String>, line: usize) -> Span {
+        Span { function: function.into(), line }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.function.is_empty(), self.line) {
+            (true, 0) => f.write_str("<unknown>"),
+            (true, l) => write!(f, "line {l}"),
+            (false, 0) => write!(f, "{}", self.function),
+            (false, l) => write!(f, "{}:{}", self.function, l),
+        }
+    }
+}
+
+/// A machine-readable diagnostic with a source span.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `shadowed-local` or a lint rule id like
+    /// `CT-BRANCH`.
+    pub code: String,
+    /// Where the diagnostic points.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Create a diagnostic.
+    pub fn new(code: impl Into<String>, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code: code.into(), span, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.code, self.span, self.message)
+    }
+}
+
+impl From<Diagnostic> for LcError {
+    fn from(d: Diagnostic) -> LcError {
+        LcError::new(d.span.line, format!("[{}] {}", d.code, d.message))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::new("shadowed-local", Span::new("f", 3), "`x` shadows a local");
+        assert_eq!(d.to_string(), "[shadowed-local] f:3: `x` shadows a local");
+        assert_eq!(Span::default().to_string(), "<unknown>");
+        assert_eq!(Span::new("", 7).to_string(), "line 7");
+        assert_eq!(Span::new("g", 0).to_string(), "g");
+    }
+
+    #[test]
+    fn converts_to_lc_error_keeping_line() {
+        let d = Diagnostic::new("shadowed-local", Span::new("f", 3), "msg");
+        let e = LcError::from(d);
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("shadowed-local"));
+    }
+}

@@ -113,8 +113,22 @@ pub enum Term {
 pub struct Block {
     /// Straight-line instructions.
     pub insts: Vec<Inst>,
+    /// 1-based source line for each instruction in `insts` (parallel
+    /// vector, same length; 0 = no source location). Lowering records
+    /// the nearest enclosing statement/expression line so analyses can
+    /// report source spans.
+    pub lines: Vec<usize>,
     /// The terminator; `None` only transiently during construction.
     pub term: Option<Term>,
+    /// Source line of the terminator (0 = unknown / synthetic).
+    pub term_line: usize,
+}
+
+impl Block {
+    /// The source line of instruction `i`, or 0 when untracked.
+    pub fn line_of(&self, i: usize) -> usize {
+        self.lines.get(i).copied().unwrap_or(0)
+    }
 }
 
 /// A stack-frame slot for a local array.
@@ -190,6 +204,9 @@ struct Lowerer<'p> {
     /// (break target, continue target) stack.
     loops: Vec<(BlockId, BlockId)>,
     returns_value: bool,
+    /// Source line attached to emitted instructions (the innermost
+    /// statement/expression being lowered).
+    cur_line: usize,
 }
 
 impl Lowerer<'_> {
@@ -205,12 +222,16 @@ impl Lowerer<'_> {
     }
 
     fn emit(&mut self, inst: Inst) {
-        self.blocks[self.cur].insts.push(inst);
+        let b = &mut self.blocks[self.cur];
+        b.insts.push(inst);
+        b.lines.push(self.cur_line);
     }
 
     fn terminate(&mut self, term: Term) {
-        if self.blocks[self.cur].term.is_none() {
-            self.blocks[self.cur].term = Some(term);
+        let b = &mut self.blocks[self.cur];
+        if b.term.is_none() {
+            b.term = Some(term);
+            b.term_line = self.cur_line;
         }
     }
 
@@ -246,6 +267,9 @@ impl Lowerer<'_> {
     /// Lower an expression to a vreg holding its value.
     fn expr(&mut self, e: &Expr) -> Result<VReg, LcError> {
         let line = e.line;
+        if line != 0 {
+            self.cur_line = line;
+        }
         match &e.kind {
             ExprKind::Num(v) => Ok(self.const_reg(*v)),
             ExprKind::Var(name) => match self
@@ -436,6 +460,17 @@ impl Lowerer<'_> {
     }
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), LcError> {
+        self.cur_line = match s {
+            Stmt::DeclScalar { line, .. }
+            | Stmt::DeclArray { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line }
+            | Stmt::ExprStmt { line, .. } => *line,
+        };
         match s {
             Stmt::DeclScalar { ty, name, init, line: _ } => {
                 let v = match init {
@@ -643,6 +678,7 @@ fn lower_function(program: &Program, f: &Function) -> Result<IrFunction, LcError
         frame: Vec::new(),
         loops: Vec::new(),
         returns_value: f.ret != Ty::Void,
+        cur_line: f.line,
     };
     // Seed the outer scope with globals, then open the parameter scope.
     for g in &program.globals {
@@ -724,6 +760,27 @@ mod tests {
         for b in &f.blocks {
             assert!(b.term.is_some(), "all blocks terminated");
         }
+    }
+
+    #[test]
+    fn lowering_records_source_lines() {
+        let p = frontend("u32 f(u32 a) {\n  u32 x = a + 1;\n  if (x) { x = 2; }\n  return x;\n}")
+            .unwrap();
+        let ir = lower(&p).unwrap();
+        let f = ir.function("f").unwrap();
+        for b in &f.blocks {
+            assert_eq!(b.insts.len(), b.lines.len(), "lines stay parallel to insts");
+        }
+        // The branch on `x` carries the `if` condition's source line.
+        let br_line = f
+            .blocks
+            .iter()
+            .find_map(|b| match b.term {
+                Some(Term::Br { .. }) => Some(b.term_line),
+                _ => None,
+            })
+            .expect("one branch");
+        assert_eq!(br_line, 3);
     }
 
     #[test]

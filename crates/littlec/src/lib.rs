@@ -22,8 +22,11 @@
 //!   observational equivalence of the three levels (the executable
 //!   analogue of the compiler-correctness theorems Parfait leans on).
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod codegen;
+pub mod diag;
 pub mod interp;
 pub mod ir;
 pub mod ireval;

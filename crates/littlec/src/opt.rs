@@ -258,14 +258,24 @@ fn dce(f: &mut IrFunction) {
         }
     }
     for b in &mut f.blocks {
-        b.insts.retain(|i| match i {
-            Inst::Const { dst, .. }
-            | Inst::Bin { dst, .. }
-            | Inst::Copy { dst, .. }
-            | Inst::AddrOfGlobal { dst, .. }
-            | Inst::AddrOfLocal { dst, .. } => read[*dst as usize],
-            _ => true,
-        });
+        // Keep the parallel source-line vector aligned with the
+        // surviving instructions.
+        let keep: Vec<bool> = b
+            .insts
+            .iter()
+            .map(|i| match i {
+                Inst::Const { dst, .. }
+                | Inst::Bin { dst, .. }
+                | Inst::Copy { dst, .. }
+                | Inst::AddrOfGlobal { dst, .. }
+                | Inst::AddrOfLocal { dst, .. } => read[*dst as usize],
+                _ => true,
+            })
+            .collect();
+        let mut it = keep.iter();
+        b.insts.retain(|_| *it.next().expect("keep mask covers insts"));
+        let mut it = keep.iter();
+        b.lines.retain(|_| *it.next().expect("keep mask covers lines"));
     }
 }
 
@@ -321,6 +331,17 @@ mod tests {
         let (plain, opt) = both(src, "f", &[10]);
         assert_eq!(plain, 30);
         assert_eq!(opt, 30);
+    }
+
+    #[test]
+    fn dce_keeps_source_lines_aligned() {
+        let src = "u32 f(u32 a) { u32 x = 2 + 3; u32 y = x * 4; return a + y; }";
+        let p = frontend(src).unwrap();
+        let mut ir = lower(&p).unwrap();
+        optimize_program(&mut ir);
+        for b in &ir.function("f").unwrap().blocks {
+            assert_eq!(b.insts.len(), b.lines.len(), "dce must retain lines in lockstep");
+        }
     }
 
     #[test]

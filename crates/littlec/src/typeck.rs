@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 
 use crate::ast::*;
+use crate::diag::{Diagnostic, Span};
 use crate::LcError;
 
 /// The type and shape of a name visible in an expression.
@@ -35,6 +36,8 @@ impl Binding {
 pub struct FnEnv<'p> {
     /// The program, for function and global lookup.
     pub program: &'p Program,
+    /// The enclosing function's name, for diagnostic spans.
+    fname: String,
     scopes: Vec<HashMap<String, Binding>>,
 }
 
@@ -63,7 +66,7 @@ impl<'p> FnEnv<'p> {
                 ));
             }
         }
-        Ok(FnEnv { program, scopes: vec![globals, params] })
+        Ok(FnEnv { program, fname: f.name.clone(), scopes: vec![globals, params] })
     }
 
     /// Enter a lexical scope.
@@ -77,7 +80,24 @@ impl<'p> FnEnv<'p> {
     }
 
     /// Declare a name in the innermost scope.
+    ///
+    /// Redeclaring a name visible from an enclosing scope is rejected:
+    /// a shadowed parameter or local silently changes which storage
+    /// later statements touch, which is exactly the kind of ambiguity
+    /// a verified-firmware language should not allow. Globals (scope 0)
+    /// may still be shadowed — a handler-local `tmp` must not collide
+    /// with an unrelated table elsewhere in the program.
     pub fn declare(&mut self, name: &str, b: Binding, line: usize) -> Result<(), LcError> {
+        let last = self.scopes.len() - 1;
+        if self.scopes[1..last].iter().any(|s| s.contains_key(name)) {
+            let what = if last == 1 { "parameter" } else { "parameter or enclosing local" };
+            return Err(Diagnostic::new(
+                "shadowed-local",
+                Span::new(self.fname.clone(), line),
+                format!("declaration of `{name}` shadows a {what}"),
+            )
+            .into());
+        }
         let scope = self.scopes.last_mut().expect("scope stack never empty");
         if scope.insert(name.to_string(), b).is_some() {
             return Err(LcError::new(line, format!("duplicate declaration of `{name}`")));
@@ -400,8 +420,40 @@ mod tests {
 
     #[test]
     fn scoping_rules() {
-        // Shadowing across scopes is allowed; same scope is not.
+        // Sequential reuse in sibling scopes is fine: the inner `y` is
+        // gone by the time the outer one is declared.
         check("void f(u32 x) { if (x) { u32 y = 1; } u32 y = 2; }").unwrap();
+        // Sequential loops may reuse an index variable.
+        check(
+            "void f(u32 n) {
+                for (u32 i = 0; i < n; i = i + 1) { }
+                for (u32 i = 0; i < n; i = i + 1) { }
+            }",
+        )
+        .unwrap();
+        // Globals may be shadowed by locals.
+        check("const u32 K = 3; void f() { u32 K = 4; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_shadowed_locals() {
+        // A nested block shadowing an enclosing local is rejected with a
+        // span-carrying diagnostic.
+        let e = check("void f(u32 x) { u32 y = 1; if (x) { u32 y = 2; } }").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("shadowed-local"), "{}", e.msg);
+        assert!(e.msg.contains('y'), "{}", e.msg);
+        // Shadowing a parameter is rejected too.
+        assert!(check("void f(u32 x) { if (x) { u32 x = 2; } }").is_err());
+        // A loop variable shadowed by an inner loop is rejected.
+        assert!(check(
+            "void f(u32 n) {
+                for (u32 i = 0; i < n; i = i + 1) {
+                    for (u32 i = 0; i < n; i = i + 1) { }
+                }
+            }",
+        )
+        .is_err());
     }
 
     #[test]

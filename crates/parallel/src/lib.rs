@@ -18,6 +18,8 @@
 //! on the caller's thread once the scope ends (mirroring
 //! `std::thread::scope` semantics).
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};

@@ -24,7 +24,7 @@ use crate::artifact::{ArtifactHasher, ArtifactId};
 /// form (a bump invalidates every cache entry, which is the point).
 pub const SCHEMA: i64 = 1;
 
-/// The four proof stages, in pipeline order.
+/// The five proof stages, in pipeline order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StageKind {
     /// Spec-level non-leakage (`parfait::speccheck` census).
@@ -33,14 +33,22 @@ pub enum StageKind {
     Lockstep,
     /// Translation validation across optimization levels (littlec).
     Equivalence,
+    /// Static constant-time lint over IR and assembly
+    /// (`parfait-analyzer`).
+    CtCheck,
     /// Functional-physical simulation at the wire level (Knox2).
     Fps,
 }
 
 impl StageKind {
     /// All stages in order.
-    pub const ALL: [StageKind; 4] =
-        [StageKind::SpecCheck, StageKind::Lockstep, StageKind::Equivalence, StageKind::Fps];
+    pub const ALL: [StageKind; 5] = [
+        StageKind::SpecCheck,
+        StageKind::Lockstep,
+        StageKind::Equivalence,
+        StageKind::CtCheck,
+        StageKind::Fps,
+    ];
 
     /// Stable machine-readable name (cache keys, JSON, telemetry).
     pub fn as_str(self) -> &'static str {
@@ -48,6 +56,7 @@ impl StageKind {
             StageKind::SpecCheck => "speccheck",
             StageKind::Lockstep => "lockstep",
             StageKind::Equivalence => "equivalence",
+            StageKind::CtCheck => "ctcheck",
             StageKind::Fps => "fps",
         }
     }
@@ -291,11 +300,12 @@ mod tests {
             cert(StageKind::SpecCheck, "hasher", "app-spec", "app-spec"),
             cert(StageKind::Lockstep, "hasher", "app-spec", "app-impl-lowstar"),
             cert(StageKind::Equivalence, "hasher", "app-impl-lowstar", "app-impl-asm(-O2)"),
+            cert(StageKind::CtCheck, "hasher", "app-impl-asm(-O2)", "app-impl-asm(-O2)"),
             cert(StageKind::Fps, "hasher", "app-impl-asm(-O2)", "soc(Ibex)"),
         ];
         let composed = compose(&chain).unwrap();
         assert_eq!(composed.claim, ("app-spec".to_string(), "soc(Ibex)".to_string()));
-        assert_eq!(composed.stages.len(), 4);
+        assert_eq!(composed.stages.len(), 5);
         // Deterministic: same chain, same composed hash.
         assert_eq!(composed, compose(&chain).unwrap());
     }

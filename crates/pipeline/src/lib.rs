@@ -4,7 +4,7 @@
 //! (§3): the end-to-end statement "the SoC leaks nothing beyond the
 //! application specification" decomposes into independent per-level
 //! obligations. This crate makes that decomposition operational. The
-//! whole proof is modeled as four typed stages
+//! whole proof is modeled as five typed stages
 //!
 //! ```text
 //! SpecCheck → Lockstep (Starling) → Equivalence (littlec) → FPS (Knox2)
@@ -23,6 +23,8 @@
 //! source re-runs only the stages downstream of the source (lockstep,
 //! equivalence, FPS) while the spec-level census stays cached. A stale
 //! hit would require a SHA-256 collision (see DESIGN.md §9).
+
+#![forbid(unsafe_code)]
 
 pub mod apps;
 pub mod artifact;

@@ -1,13 +1,14 @@
 //! The staged proof pipeline.
 //!
-//! Four typed stages — `SpecCheck → Lockstep → Equivalence → FPS` —
-//! each hash their complete input set ([`crate::artifact`]), consult
-//! the certificate cache ([`crate::cache`]), and on a miss run the
-//! underlying checker (speccheck census, Starling, littlec translation
-//! validation, Knox2) and mint a [`StageCertificate`]. A verified
-//! (app × cpu × opt) cell composes its four certificates into one
-//! end-to-end claim via [`crate::certificate::compose`] — the
-//! executable form of the paper's transitivity theorem.
+//! Five typed stages — `SpecCheck → Lockstep → Equivalence → CtCheck
+//! → FPS` — each hash their complete input set ([`crate::artifact`]),
+//! consult the certificate cache ([`crate::cache`]), and on a miss run
+//! the underlying checker (speccheck census, Starling, littlec
+//! translation validation, the `parfait-analyzer` constant-time lint,
+//! Knox2) and mint a [`StageCertificate`]. A verified (app × cpu ×
+//! opt) cell composes its five certificates into one end-to-end claim
+//! via [`crate::certificate::compose`] — the executable form of the
+//! paper's transitivity theorem.
 //!
 //! This module is the **single** home of the firmware/spec/SoC build
 //! plumbing the bench binaries used to duplicate: [`Pipeline::run_fps`]
@@ -83,7 +84,7 @@ impl Pipeline {
         Pipeline { cache, tel }
     }
 
-    /// Cache-check-run-store skeleton shared by all four stages.
+    /// Cache-check-run-store skeleton shared by all five stages.
     fn run_stage(
         &self,
         stage: StageKind,
@@ -226,7 +227,54 @@ impl Pipeline {
         })
     }
 
-    /// Stage 4 — FPS: wire-level functional-physical simulation on a
+    /// Stage 4 — static constant-time lint: secret-taint analysis over
+    /// the littlec IR and abstract interpretation over the assembled
+    /// firmware (`parfait-analyzer`), gating the pipeline on zero
+    /// findings. The claim is a self-loop at the asm level: the lint
+    /// adds no refinement step, it certifies a leakage *hygiene*
+    /// property of the artifact FPS is about to simulate.
+    ///
+    /// Keyed by the lowered IR, the generated assembly, and the rule
+    /// set version — an optimizer change that leaves the assembly
+    /// byte-identical stays cached; a rule-set bump re-lints the world.
+    pub fn ctcheck_stage(&self, app: &AppPipeline, opt: OptLevel) -> Result<StageOutcome, String> {
+        let program = parfait_littlec::frontend(&app.source).map_err(|e| e.to_string())?;
+        let ir = parfait_littlec::ir::lower(&program).map_err(|e| e.to_string())?;
+        let asm = parfait_littlec::compile(&program, opt).map_err(|e| e.to_string())?;
+        let inputs = ArtifactHasher::new("stage:ctcheck")
+            .field_u64("schema", SCHEMA as u64)
+            .field_str("app", &app.slug)
+            .field_str("ruleset", parfait_analyzer::RULESET_VERSION)
+            .field_str("opt", &opt.to_string())
+            .field_str("ir", &format!("{ir:?}"))
+            .field_str("asm", &asm)
+            .finish();
+        let opt_label = opt.to_string();
+        let asm_level = Level::Asm.label(Some(&opt_label));
+        let claim = (asm_level.clone(), asm_level);
+        self.run_stage(StageKind::CtCheck, &app.slug, claim, inputs, || {
+            let report = parfait_analyzer::lint_source(&app.source, opt, &self.tel)
+                .map_err(|e| e.to_string())?;
+            if !report.is_clean() {
+                let mut msg = format!("{} constant-time violation(s):", report.findings.len());
+                for f in &report.findings {
+                    msg.push_str("\n  ");
+                    msg.push_str(&f.to_string());
+                }
+                return Err(msg);
+            }
+            Ok((
+                vec![
+                    ("findings".into(), 0),
+                    ("ir_insts".into(), report.ir_insts as i64),
+                    ("asm_instrs".into(), report.asm_instrs as i64),
+                ],
+                None,
+            ))
+        })
+    }
+
+    /// Stage 5 — FPS: wire-level functional-physical simulation on a
     /// real platform (cached per (app × cpu × opt) cell).
     pub fn fps_stage(
         &self,
@@ -304,8 +352,9 @@ impl Pipeline {
             .map_err(|f| f.to_string())
     }
 
-    /// The three software stages (speccheck, lockstep, equivalence at
-    /// `opt`), in order. Fails fast on the first failing stage.
+    /// The four software stages (speccheck, lockstep, equivalence and
+    /// ctcheck at `opt`), in order. Fails fast on the first failing
+    /// stage.
     pub fn software_stages(
         &self,
         app: &AppPipeline,
@@ -315,10 +364,11 @@ impl Pipeline {
             self.speccheck_stage(app)?,
             self.lockstep_stage(app)?,
             self.equivalence_stage(app, opt)?,
+            self.ctcheck_stage(app, opt)?,
         ])
     }
 
-    /// Verify one full (app × cpu × opt) cell: all four stages plus
+    /// Verify one full (app × cpu × opt) cell: all five stages plus
     /// the composed end-to-end certificate.
     pub fn verify_cell(
         &self,

@@ -119,7 +119,11 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             };
             Ok(Instr::Op { op, rd, rs1, rs2 })
         }
-        0x0F => Ok(Instr::Fence),
+        // Only the toolchain's canonical fence word: `Instr::Fence`
+        // carries no fields, so accepting arbitrary fm/pred/succ bits
+        // here would silently normalize them (breaking
+        // encode(decode(w)) == w for the lint's CFG recovery).
+        0x0F if word == 0x0000_000F => Ok(Instr::Fence),
         0x73 => match word {
             0x0000_0073 => Ok(Instr::Ecall),
             0x0010_0073 => Ok(Instr::Ebreak),

@@ -20,6 +20,8 @@
 //!   one invocation of `handle` as a single whole-command state-machine
 //!   step.
 
+#![forbid(unsafe_code)]
+
 pub mod asm;
 pub mod decode;
 pub mod encode;

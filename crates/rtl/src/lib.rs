@@ -14,6 +14,8 @@
 //! processor's control state — and backs it with two-run trace
 //! equivalence (see `parfait-knox2`).
 
+#![forbid(unsafe_code)]
+
 pub mod circuit;
 pub mod fifo;
 pub mod mem;

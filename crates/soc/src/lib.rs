@@ -26,6 +26,8 @@
 //! (read pops), `+8` TX_STATUS (1 = space available), `+12` TX_DATA
 //! (write pushes).
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -19,6 +19,8 @@
 //! The [`machines`] module provides the whole-command state-machine
 //! adapters for the littlec levels (Table 1's middle rows).
 
+#![forbid(unsafe_code)]
+
 pub mod machines;
 pub mod verify;
 

@@ -25,6 +25,8 @@
 //! `None` behind the `Clone`: every instrumentation call is a single
 //! branch on the hot path and no recorder, clock, or lock is touched.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod sinks;
 

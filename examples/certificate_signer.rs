@@ -67,9 +67,7 @@ fn main() {
 
     // Fetch the CA public key FROM THE DEVICE (GetPublicKey command) and
     // cross-check it against the library derivation.
-    let resp = wire
-        .run(&mut soc, &codec.encode_command(&EcdsaCommand::GetPublicKey))
-        .unwrap();
+    let resp = wire.run(&mut soc, &codec.encode_command(&EcdsaCommand::GetPublicKey)).unwrap();
     let EcdsaResponse::PublicKey(Some(q)) = codec.decode_response(&resp) else {
         panic!("device must export its public key");
     };

@@ -38,11 +38,9 @@ fn verify(app_source: &str, label: &str) {
         timeout: 50_000_000,
         state_size: STATE_SIZE,
     };
-    let project =
-        |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE);
-    let script = vec![HostOp::Command(
-        codec.encode_command(&HasherCommand::Hash { message: [0x11; 32] }),
-    )];
+    let project = |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE);
+    let script =
+        vec![HostOp::Command(codec.encode_command(&HasherCommand::Hash { message: [0x11; 32] }))];
     print!("{label}: ");
     match check_fps(&mut real, &mut emu, &cfg, &project, &script) {
         Ok(report) => println!(

@@ -14,8 +14,7 @@ use parfait::StateMachine;
 use parfait_crypto::sha256;
 use parfait_hsms::firmware::hasher_app_source;
 use parfait_hsms::hasher::{
-    HasherCodec, HasherCommand, HasherResponse, HasherSpec, COMMAND_SIZE, RESPONSE_SIZE,
-    STATE_SIZE,
+    HasherCodec, HasherCommand, HasherResponse, HasherSpec, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
 };
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_knox2::WireDriver;
@@ -31,8 +30,7 @@ struct Vault {
 
 impl Vault {
     fn new(device_secret: [u8; 32]) -> Vault {
-        let sizes =
-            AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
+        let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
         let firmware =
             build_firmware(&hasher_app_source(), sizes, OptLevel::O2).expect("firmware builds");
         let codec = HasherCodec;

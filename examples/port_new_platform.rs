@@ -17,7 +17,9 @@ use std::time::Instant;
 use parfait::lockstep::Codec;
 use parfait::StateMachine;
 use parfait_hsms::firmware::hasher_app_source;
-use parfait_hsms::hasher::{HasherCodec, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::hasher::{
+    HasherCodec, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_hsms::syssw;
 use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
@@ -42,9 +44,9 @@ fn main() {
     };
     let project = |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE);
     let script = vec![
-        HostOp::Command(codec.encode_command(&parfait_hsms::hasher::HasherCommand::Hash {
-            message: [7; 32],
-        })),
+        HostOp::Command(
+            codec.encode_command(&parfait_hsms::hasher::HasherCommand::Hash { message: [7; 32] }),
+        ),
         HostOp::Command(vec![0xEE; COMMAND_SIZE]),
     ];
 

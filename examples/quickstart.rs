@@ -8,7 +8,9 @@
 use parfait::lockstep::Codec;
 use parfait::StateMachine;
 use parfait_hsms::firmware::hasher_app_source;
-use parfait_hsms::hasher::{HasherCodec, HasherCommand, HasherSpec, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::hasher::{
+    HasherCodec, HasherCommand, HasherSpec, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_knox2::WireDriver;
 use parfait_littlec::codegen::OptLevel;
@@ -18,10 +20,13 @@ fn main() {
     // 1. Compile the littlec application + system software into a
     //    RISC-V firmware image (the paper's App Impl → Asm pipeline).
     let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
-    let firmware = build_firmware(&hasher_app_source(), sizes, OptLevel::O2)
-        .expect("firmware builds");
-    println!("firmware: {} bytes of ROM, {} bytes of initialized data",
-        firmware.rom.len(), firmware.ram_init.len());
+    let firmware =
+        build_firmware(&hasher_app_source(), sizes, OptLevel::O2).expect("firmware builds");
+    println!(
+        "firmware: {} bytes of ROM, {} bytes of initialized data",
+        firmware.rom.len(),
+        firmware.ram_init.len()
+    );
 
     // 2. Instantiate the SoC: CPU + ROM + RAM + FRAM + wire I/O port.
     let spec = HasherSpec;

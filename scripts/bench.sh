@@ -1,9 +1,10 @@
 #!/bin/sh
 # Benchmarks. Emits BENCH_fps.json (FPS-throughput: sequential oracle
-# vs. the snapshot-fork parallel checker over the Table 4 matrix) and
+# vs. the snapshot-fork parallel checker over the Table 4 matrix),
 # BENCH_pipeline.json (proof pipeline: cold vs. warm verification via
-# the content-addressed certificate cache) at the repo root. Run from
-# the repo root.
+# the content-addressed certificate cache), and BENCH_lint.json (static
+# constant-time lint wall time, the contrast to a cold FPS run) at the
+# repo root. Run from the repo root.
 #
 #   scripts/bench.sh            # quick matrices (hasher-only)
 #   FULL=1 scripts/bench.sh     # full matrices (adds the ECDSA runs)
@@ -18,3 +19,4 @@ THREADS="${THREADS:-$(nproc 2>/dev/null || echo 4)}"
 
 ./target/release/bench_fps $QUICK --threads "$THREADS" --json BENCH_fps.json
 ./target/release/bench_pipeline $QUICK --threads "$THREADS" --json BENCH_pipeline.json
+./target/release/bench_lint $QUICK --json BENCH_lint.json

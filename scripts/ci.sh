@@ -1,11 +1,12 @@
 #!/bin/sh
-# Full local CI gate: formatting, release build, tier-1 tests, workspace
-# tests, all examples built and the quickstart run end-to-end, the
-# differential parallel-checker test under a fixed thread budget, the
-# pipeline cache differential test run twice against one shared
-# PARFAIT_CACHE_DIR (cold pass then warm pass — proving warm-run
-# determinism), and clippy with warnings promoted to errors. Run from
-# the repo root.
+# Full local CI gate: formatting, the unsafe-code ban, release build,
+# tier-1 tests, workspace tests, all examples built and the quickstart
+# run end-to-end, the constant-time lint against its findings baseline,
+# the differential parallel-checker test under a fixed thread budget,
+# the pipeline cache differential test (now including the ctcheck
+# stage) run twice against one shared PARFAIT_CACHE_DIR (cold pass then
+# warm pass — proving warm-run determinism), and clippy with warnings
+# promoted to errors. Run from the repo root.
 set -eux
 
 # rustfmt's ignore option is nightly-only, so enumerate our packages
@@ -13,8 +14,15 @@ set -eux
 for pkg in parfait parfait-telemetry parfait-riscv parfait-littlec \
     parfait-crypto parfait-rtl parfait-parallel parfait-cores \
     parfait-soc parfait-starling parfait-knox2 parfait-hsms \
-    parfait-pipeline parfait-bench; do
+    parfait-analyzer parfait-pipeline parfait-bench parfait-repro; do
     cargo fmt --check -p "$pkg"
+done
+
+# Every crate forbids unsafe code at the root; a new crate (or a
+# removed attribute) must fail here, not in review.
+for lib in src/lib.rs crates/*/src/lib.rs; do
+    grep -q '#!\[forbid(unsafe_code)\]' "$lib" \
+        || { echo "missing #![forbid(unsafe_code)] in $lib" >&2; exit 1; }
 done
 
 cargo build --release
@@ -23,6 +31,9 @@ cargo test -q --workspace
 # Every example must build, and the quickstart must run end-to-end.
 cargo build --release --examples
 cargo run --release --example quickstart
+# Static constant-time lint: any finding not recorded in the baseline
+# ratchet fails the build loudly.
+cargo run --release -p parfait-bench --bin lint -- --baseline lint_baseline.json
 # The parallel FPS checker must be observationally identical to the
 # sequential oracle regardless of the ambient thread budget.
 PARFAIT_THREADS=2 cargo test -q --release --test fps_parallel

@@ -13,6 +13,8 @@
 //! * [`knox2`] — hardware verification (functional-physical simulation);
 //! * [`hsms`] — the four case-study HSMs.
 
+#![forbid(unsafe_code)]
+
 pub use parfait as ipr;
 pub use parfait_cores as cores;
 pub use parfait_crypto as crypto;

@@ -62,14 +62,9 @@ fn logic_bug_caught_by_starling() {
     assert_ne!(buggy, TOKEN_LC);
     let program = parfait_littlec::frontend(&buggy).unwrap();
     let interp = parfait_starling::machines::InterpMachine::new(&program, RESP);
-    let err = check_lockstep_simulation(
-        &TokenCodec,
-        &token_spec(),
-        &interp,
-        &[(0, 0)],
-        &[cmd(2, 3)],
-    )
-    .unwrap_err();
+    let err =
+        check_lockstep_simulation(&TokenCodec, &token_spec(), &interp, &[(0, 0)], &[cmd(2, 3)])
+            .unwrap_err();
     assert!(err.obligation.contains("Some"), "{err}");
 }
 
@@ -94,10 +89,7 @@ fn buffer_overflow_caught_at_lowstar_level() {
 #[test]
 fn error_leak_caught_by_starling() {
     // Invalid commands reveal the secret.
-    let buggy = TOKEN_LC.replace(
-        "resp[0] = 0xff;",
-        "resp[0] = 0xff; st32(resp + 1, ld32(state));",
-    );
+    let buggy = TOKEN_LC.replace("resp[0] = 0xff;", "resp[0] = 0xff; st32(resp + 1, ld32(state));");
     assert_ne!(buggy, TOKEN_LC);
     let program = parfait_littlec::frontend(&buggy).unwrap();
     let interp = parfait_starling::machines::InterpMachine::new(&program, RESP);
@@ -135,11 +127,7 @@ fn compiler_timing_bug_caught_by_knox2() {
     // Tamper with the generated assembly (below the littlec level): at
     // handle entry, branch on the first state byte.
     let patch = |asm: String| {
-        asm.replacen(
-            "handle:",
-            "handle:\n    lbu t0, 0(a0)\n    beqz t0, 12\n    nop\n    nop",
-            1,
-        )
+        asm.replacen("handle:", "handle:\n    lbu t0, 0(a0)\n    beqz t0, 12\n    nop\n    nop", 1)
     };
     let err = run_fps_with(TOKEN_LC, None, patch, &standard_script()).unwrap_err();
     match err {
@@ -175,10 +163,9 @@ fn variable_latency_div_on_secret_caught() {
 fn stack_overflow_caught_by_knox2() {
     // Deep recursion with big frames: fine at the assembly level
     // (abstract unbounded stack), fatal on the SoC (bounded RAM).
-    let buggy = TOKEN_LC.replace(
-        "u32 secret = ld32(state);",
-        "u32 secret = ld32(state) + burn(400);",
-    ) + "
+    let buggy = TOKEN_LC
+        .replace("u32 secret = ld32(state);", "u32 secret = ld32(state) + burn(400);")
+        + "
     u32 burn(u32 n) {
         u32 big[256];
         big[0] = n;

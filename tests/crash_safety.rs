@@ -64,8 +64,8 @@ fn crash_at_sampled_cycles_is_atomic() {
     // points inside read_command, handle, store_state, and
     // write_response (a full Initialize takes roughly 20k cycles).
     for crash_at in [
-        0, 1, 10, 100, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10_000,
-        12_000, 15_000, 20_000, 30_000, 50_000,
+        0, 1, 10, 100, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10_000, 12_000,
+        15_000, 20_000, 30_000, 50_000,
     ] {
         crash_during_command(crash_at);
     }

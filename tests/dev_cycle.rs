@@ -56,7 +56,8 @@ fn fps_cycles(app_source: &str) -> u64 {
 #[test]
 fn loop_bound_reduction_speeds_up_verification() {
     let full = hasher_app_source();
-    let reduced = full.replace("for (u32 r = 0; r < 10; r = r + 1) {", "for (u32 r = 0; r < 2; r = r + 1) {");
+    let reduced =
+        full.replace("for (u32 r = 0; r < 10; r = r + 1) {", "for (u32 r = 0; r < 2; r = r + 1) {");
     assert_ne!(reduced, full, "loop bound injection must apply");
     let cycles_full = fps_cycles(&full);
     let cycles_reduced = fps_cycles(&reduced);

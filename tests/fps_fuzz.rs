@@ -7,7 +7,9 @@ use proptest::prelude::*;
 use parfait::lockstep::Codec;
 use parfait::StateMachine;
 use parfait_hsms::firmware::hasher_app_source;
-use parfait_hsms::hasher::{HasherCodec, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
+use parfait_hsms::hasher::{
+    HasherCodec, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
+};
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_hsms::syssw;
 use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};

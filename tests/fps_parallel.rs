@@ -124,11 +124,7 @@ fn secret_branch_divergence_is_identical() {
 fn compiler_timing_divergence_is_identical() {
     setup();
     let patch = |asm: String| {
-        asm.replacen(
-            "handle:",
-            "handle:\n    lbu t0, 0(a0)\n    beqz t0, 12\n    nop\n    nop",
-            1,
-        )
+        asm.replacen("handle:", "handle:\n    lbu t0, 0(a0)\n    beqz t0, 12\n    nop\n    nop", 1)
     };
     let fps = TokenFps::build(TOKEN_LC, None, None, patch);
     let err = differential_fail(&fps, &standard_script(), "compiler-timing");

@@ -17,44 +17,31 @@ use parfait_starling::machines::AsmMachine;
 #[test]
 fn hasher_spec_forward_simulates_into_asm() {
     let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
-    let asm = asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE)
-        .unwrap();
+    let asm = asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
     let asmm = AsmMachine::new(asm);
     let codec = HasherCodec;
     let spec = HasherSpec;
-    let related =
-        |ss: &HasherState, si: &Vec<u8>| -> bool { &codec.encode_state(ss) == si };
-    let states: Vec<(HasherState, Vec<u8>)> = [
-        HasherSpec.init(),
-        HasherState { secret: [0x42; 32] },
-        HasherState { secret: [0xFF; 32] },
-    ]
-    .into_iter()
-    .map(|s| {
-        let enc = codec.encode_state(&s);
-        (s, enc)
-    })
-    .collect();
+    let related = |ss: &HasherState, si: &Vec<u8>| -> bool { &codec.encode_state(ss) == si };
+    let states: Vec<(HasherState, Vec<u8>)> =
+        [HasherSpec.init(), HasherState { secret: [0x42; 32] }, HasherState { secret: [0xFF; 32] }]
+            .into_iter()
+            .map(|s| {
+                let enc = codec.encode_state(&s);
+                (s, enc)
+            })
+            .collect();
     let commands = vec![
         HasherCommand::Initialize { secret: [7; 32] },
         HasherCommand::Hash { message: [9; 32] },
     ];
-    check_forward_simulation(
-        &spec,
-        &asmm,
-        &LockstepDriver(&codec),
-        &related,
-        &states,
-        &commands,
-    )
-    .unwrap_or_else(|e| panic!("{e}"));
+    check_forward_simulation(&spec, &asmm, &LockstepDriver(&codec), &related, &states, &commands)
+        .unwrap_or_else(|e| panic!("{e}"));
 }
 
 #[test]
 fn forward_simulation_catches_wrong_relation() {
     let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
-    let asm = asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE)
-        .unwrap();
+    let asm = asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
     let asmm = AsmMachine::new(asm);
     let codec = HasherCodec;
     // A bogus relation that accepts the initial pair but is violated

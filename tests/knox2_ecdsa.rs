@@ -55,8 +55,8 @@ fn ecdsa_fps_passes_on_ibex() {
         // An invalid command between operations.
         HostOp::Command(vec![0xEE; COMMAND_SIZE]),
     ];
-    let report = check_fps(&mut real, &mut emu, &cfg, &project, &script)
-        .unwrap_or_else(|e| panic!("{e}"));
+    let report =
+        check_fps(&mut real, &mut emu, &cfg, &project, &script).unwrap_or_else(|e| panic!("{e}"));
     assert!(
         report.cycles > 100_000_000,
         "a Sign takes hundreds of millions of cycles, got {}",

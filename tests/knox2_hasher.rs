@@ -63,9 +63,7 @@ fn script() -> Vec<HostOp> {
         HostOp::Command(codec.encode_command(&HasherCommand::Hash { message: [0x42; 32] })),
         HostOp::Idle(500),
         // Re-initialize.
-        HostOp::Command(
-            codec.encode_command(&HasherCommand::Initialize { secret: [0x5A; 32] }),
-        ),
+        HostOp::Command(codec.encode_command(&HasherCommand::Initialize { secret: [0x5A; 32] })),
         // Invalid full-size command.
         HostOp::Command(vec![0xEE; COMMAND_SIZE]),
         // Adversarial partial command, later completed by garbage.
@@ -106,19 +104,13 @@ fn pico_needs_more_cycles_than_ibex() {
     let spec = hasher_asm_spec();
     let codec = HasherCodec;
     let secret = codec.encode_state(&parfait_hsms::hasher::HasherState { secret: [1; 32] });
-    let ops = vec![HostOp::Command(
-        codec.encode_command(&HasherCommand::Hash { message: [2; 32] }),
-    )];
+    let ops =
+        vec![HostOp::Command(codec.encode_command(&HasherCommand::Hash { message: [2; 32] }))];
     let (mut real_i, mut emu_i) = worlds(Cpu::Ibex, &spec, &secret);
     let ri = check_fps(&mut real_i, &mut emu_i, &cfg(), &project, &ops).unwrap();
     let (mut real_p, mut emu_p) = worlds(Cpu::Pico, &spec, &secret);
     let rp = check_fps(&mut real_p, &mut emu_p, &cfg(), &project, &ops).unwrap();
-    assert!(
-        rp.cycles > 2 * ri.cycles,
-        "pico {} should need >2x ibex {}",
-        rp.cycles,
-        ri.cycles
-    );
+    assert!(rp.cycles > 2 * ri.cycles, "pico {} should need >2x ibex {}", rp.cycles, ri.cycles);
 }
 
 #[test]
@@ -158,10 +150,8 @@ fn fps_catches_state_corruption() {
     // (no journaling), so the refinement relation of fig. 9 breaks...
     // actually the observable state still matches; instead inject a
     // handle bug that corrupts the state on Hash commands.
-    let buggy = hasher_app_source().replace(
-        "resp[0] = 2;",
-        "state[0] = (u8)(state[0] + 1); resp[0] = 2;",
-    );
+    let buggy =
+        hasher_app_source().replace("resp[0] = 2;", "state[0] = (u8)(state[0] + 1); resp[0] = 2;");
     assert_ne!(buggy, hasher_app_source());
     let fw = build_firmware(&buggy, sizes(), OptLevel::O2).unwrap();
     // Spec = the CORRECT app's assembly model.
@@ -197,8 +187,7 @@ fn seeded_adversarial_scripts_pass_on_both_platforms() {
     ];
     for cpu in [Cpu::Ibex, Cpu::Pico] {
         for seed in [1u64, 99, 0xDEAD_BEEF] {
-            let script =
-                parfait_knox2::adversarial_script(&commands, COMMAND_SIZE, seed);
+            let script = parfait_knox2::adversarial_script(&commands, COMMAND_SIZE, seed);
             let (mut real, mut emu) = worlds(cpu, &spec, &secret);
             check_fps(&mut real, &mut emu, &cfg(), &project, &script)
                 .unwrap_or_else(|e| panic!("{cpu} seed {seed}: {e}"));

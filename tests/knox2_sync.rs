@@ -80,8 +80,8 @@ fn sync_detects_microarchitectural_divergence() {
     run_until_decode(&mut soc, handle_addr, 50_000_000).unwrap();
     let mut isa = snapshot_isa_machine(&soc);
     isa.regs[10] ^= 4; // corrupt a0 (the state pointer)
-    // Drive the comparison manually: the first register sync must fail.
-    // (sync_handle_execution snapshots internally, so emulate its loop.)
+                       // Drive the comparison manually: the first register sync must fail.
+                       // (sync_handle_execution snapshots internally, so emulate its loop.)
     let mut diverged = false;
     for _ in 0..10_000 {
         soc.tick();

@@ -8,9 +8,11 @@
 //!    on-disk cache in every stage, and the certificates are
 //!    **byte-identical** to the cold run's;
 //! 3. mutating one byte of an app's littlec source re-runs exactly the
-//!    stages downstream of the source (lockstep, equivalence, FPS)
-//!    while the behavior-keyed spec census stays cached — and a second
-//!    app sharing the cache directory stays fully cached throughout;
+//!    source-keyed stages (lockstep, equivalence, FPS) while the
+//!    behavior-keyed spec census and the artifact-keyed ctcheck
+//!    (whitespace compiles to identical IR/asm) stay cached — and a
+//!    second app sharing the cache directory stays fully cached
+//!    throughout;
 //! 4. cached certificates are byte-identical to what a cache-disabled
 //!    pipeline computes from scratch.
 //!
@@ -189,15 +191,25 @@ fn one_byte_source_change_reruns_only_downstream_stages() {
     // every stage hits, and certificates are byte-identical.
     let warm = Pipeline::new(CertCache::at(dir.clone()), Default::default());
     let cell_a2 = verify(&warm, &a);
-    assert!(cell_a2.fully_cached(), "unchanged app must be fully cached: {:?}", hits_by_stage(&cell_a2));
+    assert!(
+        cell_a2.fully_cached(),
+        "unchanged app must be fully cached: {:?}",
+        hits_by_stage(&cell_a2)
+    );
+    assert!(
+        cell_a2.stages.iter().any(|s| s.certificate.stage == StageKind::CtCheck),
+        "the cell must include a ctcheck certificate"
+    );
     assert_eq!(cell_a2.composed.canonical(), cell_a.composed.canonical());
     for (fresh, cached) in cell_a.stages.iter().zip(&cell_a2.stages) {
         assert_eq!(cached.certificate.canonical(), fresh.certificate.canonical());
     }
 
     // Mutate one byte of A's source (behavior-preserving whitespace):
-    // the behavior-keyed spec census stays cached; every source-keyed
-    // stage (lockstep, equivalence, FPS) re-runs.
+    // the behavior-keyed spec census stays cached, and so does the
+    // artifact-keyed ctcheck (identical source modulo whitespace
+    // compiles to identical IR and asm); every source-keyed stage
+    // (lockstep, equivalence, FPS) re-runs.
     let mutated_source = TOKEN_LC.replace("u32 arg", "u32  arg");
     assert_eq!(mutated_source.len(), TOKEN_LC.len() + 1);
     let a_mut = token_app("token-a", mutated_source, MULT_A);
@@ -208,14 +220,19 @@ fn one_byte_source_change_reruns_only_downstream_stages() {
             (StageKind::SpecCheck, true),
             (StageKind::Lockstep, false),
             (StageKind::Equivalence, false),
+            (StageKind::CtCheck, true),
             (StageKind::Fps, false),
         ],
-        "a source-only change must re-run exactly the stages downstream of the source"
+        "a source-only change must re-run exactly the stages keyed on the source"
     );
 
     // The untouched app's cells stay cache hits.
     let cell_b2 = verify(&warm, &b);
-    assert!(cell_b2.fully_cached(), "untouched app must stay cached: {:?}", hits_by_stage(&cell_b2));
+    assert!(
+        cell_b2.fully_cached(),
+        "untouched app must stay cached: {:?}",
+        hits_by_stage(&cell_b2)
+    );
     assert_eq!(cell_b2.composed.canonical(), cell_b.composed.canonical());
 
     // Cached certificates are byte-identical to a cache-disabled

@@ -1,0 +1,74 @@
+//! Encoder/decoder round-trip properties for the RV32IM model.
+//!
+//! `encode(decode(word)) == word` must hold for every word the
+//! toolchain can emit — checked exhaustively over the assembled
+//! production firmware at both ends of the optimization range, which
+//! exercises every instruction class the firmwares use — and for every
+//! *decodable* word at all, checked by property test over random
+//! words. Undecodable words must be rejected, not mangled: the
+//! assembly-layer lint recovers control flow by decoding the text
+//! section, so a decoder that silently guessed would undermine it.
+
+use proptest::prelude::*;
+
+use parfait_littlec::codegen::OptLevel;
+use parfait_pipeline::apps::StdApp;
+use parfait_riscv::decode::decode;
+use parfait_riscv::encode::encode;
+
+/// Every word of every production firmware decodes, and re-encodes to
+/// the identical word.
+#[test]
+fn production_firmware_words_roundtrip() {
+    let mut words = 0usize;
+    for app in StdApp::ALL {
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let program = parfait_littlec::frontend(&app.source()).unwrap();
+            let asm = parfait_littlec::compile(&program, opt).unwrap();
+            let prog = parfait_riscv::assemble(&asm).unwrap();
+            for (i, &word) in prog.text.iter().enumerate() {
+                let addr = prog.text_base + 4 * i as u32;
+                let instr = decode(word).unwrap_or_else(|e| {
+                    panic!("{} {opt}: undecodable word at {addr:#010x}: {e}", app.slug())
+                });
+                assert_eq!(
+                    encode(instr),
+                    word,
+                    "{} {opt}: {addr:#010x}: `{instr}` re-encodes differently",
+                    app.slug()
+                );
+                words += 1;
+            }
+        }
+    }
+    assert!(words > 1000, "expected substantial firmware coverage, got {words} words");
+}
+
+/// Known-illegal encodings are rejected loudly.
+#[test]
+fn illegal_encodings_are_rejected() {
+    let illegal = [
+        0x0000_0000u32, // all zeros (defined illegal in RISC-V)
+        0xFFFF_FFFF,    // all ones
+        0x0000_2063,    // branch with reserved funct3 = 2
+        0x0000_707F,    // opcode 0x7f: not a base-ISA major opcode
+        0x8000_405B,    // reserved major opcode 0x5b
+        0x0FF0_000F,    // non-canonical fence (fields our Fence can't carry)
+    ];
+    for word in illegal {
+        assert!(decode(word).is_err(), "{word:#010x} must not decode");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4096, .. ProptestConfig::default() })]
+
+    /// Any word that decodes at all must re-encode to itself: the
+    /// decoder never normalizes, truncates, or aliases fields.
+    #[test]
+    fn decodable_words_roundtrip(word: u32) {
+        if let Ok(instr) = decode(word) {
+            prop_assert_eq!(encode(instr), word, "`{}` loses bits", instr);
+        }
+    }
+}

@@ -11,9 +11,7 @@ use parfait_hsms::hasher::{
 };
 use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_hsms::syssw;
-use parfait_knox2::{
-    check_fps_traced, CircuitEmulator, FpsConfig, FpsError, FpsObserver, HostOp,
-};
+use parfait_knox2::{check_fps_traced, CircuitEmulator, FpsConfig, FpsError, FpsObserver, HostOp};
 use parfait_littlec::codegen::OptLevel;
 use parfait_littlec::validate::asm_machine;
 use parfait_soc::{Firmware, Soc};
@@ -125,9 +123,8 @@ fn timeout_failure_carries_partial_report() {
     let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles: 0 };
     // A Hash command needs far more than 100 cycles of compute, so the
     // host's per-byte handshake budget is guaranteed to run out.
-    let failure =
-        check_fps_traced(&mut real, &mut emu, &cfg(100), &project, &hash_script(), &obs)
-            .expect_err("a 100-cycle timeout cannot complete a hash");
+    let failure = check_fps_traced(&mut real, &mut emu, &cfg(100), &project, &hash_script(), &obs)
+        .expect_err("a 100-cycle timeout cannot complete a hash");
     tel.finish();
 
     assert!(matches!(failure.error, FpsError::Timeout { .. }), "{}", failure.error);

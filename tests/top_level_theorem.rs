@@ -139,12 +139,8 @@ fn spec_level_flow_census() {
         parfait_hsms::hasher::HasherState { secret: [1; 32] },
         parfait_hsms::hasher::HasherState { secret: [0xFF; 32] },
     ];
-    check_state_independent(
-        &spec,
-        &states,
-        &[HasherCommand::Initialize { secret: [9; 32] }],
-    )
-    .unwrap();
+    check_state_independent(&spec, &states, &[HasherCommand::Initialize { secret: [9; 32] }])
+        .unwrap();
     let entries = census(&spec, &states, &[HasherCommand::Hash { message: [5; 32] }]);
     assert!(matches!(entries[0].flow, Flow::StateDependent { distinct_responses: 3 }));
     // The byte-level error path: run the codec's encode_response(None)

@@ -113,15 +113,11 @@ fn naive_truncation_would_leak() {
     assert_ne!(naive, totp_app_source());
     let fw = build_firmware(&naive, sizes(), OptLevel::O2).unwrap();
     let codec = TotpCodec;
-    let mut soc =
-        make_soc(Cpu::Ibex, fw, &codec.encode_state(&TotpState { seed: [0x77; 32] }));
+    let mut soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&TotpState { seed: [0x77; 32] }));
     let wire = WireDriver::new(COMMAND_SIZE, RESPONSE_SIZE);
     let _ = wire.run(&mut soc, &codec.encode_command(&TotpCommand::Code { counter: 3 })).unwrap();
     assert!(
-        soc.core
-            .leaks()
-            .iter()
-            .any(|l| l.kind == parfait_cores::LeakKind::AddrSecret),
+        soc.core.leaks().iter().any(|l| l.kind == parfait_cores::LeakKind::AddrSecret),
         "secret-indexed load must be flagged: {:?}",
         soc.core.leaks()
     );

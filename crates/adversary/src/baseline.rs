@@ -1,0 +1,239 @@
+//! The ratcheted mutation baseline.
+//!
+//! `mutation_baseline.json` records, for every catalog class, which
+//! stage killed it on the last accepted run — and that every control
+//! survived. CI re-runs the (sampled) catalog and diffs against the
+//! baseline:
+//!
+//! * a **survivor** that the baseline says should die fails the build —
+//!   a checker stopped catching a bug class it used to catch;
+//! * a **stage shift** (killed, but by a *later* or different stage
+//!   than recorded) fails the build — detection regressed to a weaker
+//!   point in the pipeline, or changed without review;
+//! * a catalog class **missing from the baseline** fails the build with
+//!   a pointer at `--update` — new mutations must be enrolled
+//!   deliberately;
+//! * a baseline class missing from the catalog is reported as stale
+//!   (ratchet it out with `--update`) but does not fail a `--quick`
+//!   run, which by design samples a subset.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use parfait_telemetry::json::{parse, Json};
+
+use crate::runner::MutantReport;
+
+/// Baseline file schema tag.
+pub const SCHEMA: &str = "parfait-mutation-baseline-v1";
+
+/// The recorded verdicts: class → `"killed:<stage>"` / `"survived"`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    /// Expected verdict per mutation class (including controls, which
+    /// expect `"survived"`).
+    pub expected: BTreeMap<String, String>,
+}
+
+impl Baseline {
+    /// Build a baseline from a full run's reports.
+    pub fn from_reports(reports: &[MutantReport]) -> Baseline {
+        Baseline { expected: reports.iter().map(|r| (r.class.clone(), r.verdict())).collect() }
+    }
+
+    /// Serialize with a stable key order.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            (
+                "expected",
+                Json::Obj(self.expected.iter().map(|(k, v)| (k.clone(), Json::str(v))).collect()),
+            ),
+        ])
+    }
+
+    /// Parse baseline text; `Err` explains what is malformed.
+    pub fn from_text(text: &str) -> Result<Baseline, String> {
+        let v = parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or_default();
+        if schema != SCHEMA {
+            return Err(format!(
+                "baseline schema {schema:?} (expected {SCHEMA:?}) — regenerate with --update"
+            ));
+        }
+        let obj = v
+            .get("expected")
+            .and_then(Json::as_object)
+            .ok_or("baseline has no `expected` object")?;
+        let mut expected = BTreeMap::new();
+        for (k, val) in obj {
+            let verdict = val.as_str().ok_or_else(|| format!("expected[{k:?}] is not a string"))?;
+            expected.insert(k.clone(), verdict.to_string());
+        }
+        Ok(Baseline { expected })
+    }
+
+    /// Load from disk.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Baseline::from_text(&text)
+    }
+
+    /// Write to disk (compact JSON + newline).
+    pub fn store(&self, path: &Path) -> Result<(), String> {
+        let mut text = self.to_json().to_string();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// One baseline violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A mutant survived the whole pipeline.
+    Survivor {
+        /// The mutation class.
+        class: String,
+        /// What the baseline expected.
+        expected: String,
+    },
+    /// Killed, but not by the recorded stage.
+    StageShift {
+        /// The mutation class.
+        class: String,
+        /// What the baseline expected.
+        expected: String,
+        /// What this run produced.
+        got: String,
+    },
+    /// A catalog class the baseline has never seen.
+    Unenrolled {
+        /// The mutation class.
+        class: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Survivor { class, expected } => write!(
+                f,
+                "{class}: SURVIVED the full pipeline (baseline: {expected}) — a checker \
+                 stopped catching this bug class"
+            ),
+            Violation::StageShift { class, expected, got } => write!(
+                f,
+                "{class}: {got} but baseline records {expected} — detection moved; review \
+                 and re-ratchet with --update if intended"
+            ),
+            Violation::Unenrolled { class } => {
+                write!(f, "{class}: not in the baseline — enroll new mutations with --update")
+            }
+        }
+    }
+}
+
+/// The diff between a run and the baseline.
+pub struct Diff {
+    /// Violations that must fail the build.
+    pub violations: Vec<Violation>,
+    /// Baseline classes the run did not exercise (informational: either
+    /// a sampled `--quick` run, or stale entries to ratchet out).
+    pub unexercised: Vec<String>,
+}
+
+/// Diff a run against the baseline. A control surviving is expected
+/// (`"survived"` recorded); a control being *killed* shows up as a
+/// stage shift, which is exactly right — the fixture broke.
+pub fn diff(baseline: &Baseline, reports: &[MutantReport]) -> Diff {
+    let mut violations = Vec::new();
+    for r in reports {
+        let got = r.verdict();
+        match baseline.expected.get(&r.class) {
+            None => violations.push(Violation::Unenrolled { class: r.class.clone() }),
+            Some(expected) if *expected == got => {}
+            Some(expected) => {
+                if r.killed_by.is_none() {
+                    violations.push(Violation::Survivor {
+                        class: r.class.clone(),
+                        expected: expected.clone(),
+                    });
+                } else {
+                    violations.push(Violation::StageShift {
+                        class: r.class.clone(),
+                        expected: expected.clone(),
+                        got,
+                    });
+                }
+            }
+        }
+    }
+    let ran: std::collections::BTreeSet<&str> = reports.iter().map(|r| r.class.as_str()).collect();
+    let unexercised =
+        baseline.expected.keys().filter(|k| !ran.contains(k.as_str())).cloned().collect();
+    Diff { violations, unexercised }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Level;
+    use parfait_pipeline::StageKind;
+    use std::time::Duration;
+
+    fn report(class: &str, killed_by: Option<StageKind>) -> MutantReport {
+        MutantReport {
+            class: class.into(),
+            level: Level::Crypto,
+            killed_by,
+            detail: String::new(),
+            wall: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let reports = [report("a", Some(StageKind::Lockstep)), report("clean-x", None)];
+        let b = Baseline::from_reports(&reports);
+        assert_eq!(b.expected["a"], "killed:lockstep");
+        assert_eq!(b.expected["clean-x"], "survived");
+        let back = Baseline::from_text(&b.to_json().to_string()).unwrap();
+        assert_eq!(back, b);
+        assert!(Baseline::from_text("{\"schema\":\"v0\"}").is_err());
+        assert!(Baseline::from_text("not json").is_err());
+    }
+
+    #[test]
+    fn diff_flags_survivors_shifts_and_unenrolled() {
+        let baseline = Baseline::from_reports(&[
+            report("a", Some(StageKind::Lockstep)),
+            report("b", Some(StageKind::Fps)),
+            report("stale", Some(StageKind::Fps)),
+        ]);
+        let run = [
+            report("a", None),                         // survivor
+            report("b", Some(StageKind::Equivalence)), // stage shift
+            report("new", Some(StageKind::Fps)),       // unenrolled
+        ];
+        let d = diff(&baseline, &run);
+        assert_eq!(d.violations.len(), 3);
+        assert!(matches!(&d.violations[0], Violation::Survivor { class, .. } if class == "a"));
+        assert!(matches!(&d.violations[1], Violation::StageShift { class, got, .. }
+                if class == "b" && got == "killed:equivalence"));
+        assert!(matches!(&d.violations[2], Violation::Unenrolled { class } if class == "new"));
+        assert_eq!(d.unexercised, vec!["stale".to_string()]);
+        for v in &d.violations {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn clean_diff_is_quiet() {
+        let reports = [report("a", Some(StageKind::Lockstep)), report("clean-x", None)];
+        let baseline = Baseline::from_reports(&reports);
+        let d = diff(&baseline, &reports);
+        assert!(d.violations.is_empty());
+        assert!(d.unexercised.is_empty());
+    }
+}

@@ -1,0 +1,622 @@
+//! The mutation catalog: one entry per fault *class*, each a concrete
+//! seeded bug at one level of the stack, paired with the pipeline stage
+//! that is supposed to kill it.
+//!
+//! The catalog spans all six implementation levels the pipeline makes
+//! claims about. Crypto-level mutations edit the littlec source itself
+//! (the bug exists at every level below the spec, so the *first*
+//! software stage that can see it must kill it). Codegen mutations
+//! rewrite the compiled assembly through [`Tamper::patch_asm`] — a
+//! seeded miscompilation. ISA mutations re-encode linked ROM words
+//! through [`Tamper::patch_firmware`]. Core, SoC, and emulator
+//! mutations seed the corresponding hardware/emulator fault.
+//!
+//! Nothing here is killed by the speccheck stage: every mutation is
+//! *below* the specification by construction (the spec census runs on
+//! the Rust spec alone, which mutations never touch). The detection
+//! matrix records this as an empty speccheck column — the stage earns
+//! its keep on spec-level leakage, not implementation bugs.
+
+use parfait_hsms::platform::Cpu;
+use parfait_littlec::codegen::OptLevel;
+use parfait_pipeline::{AppPipeline, Tamper};
+use parfait_riscv::isa::{Instr, LoadOp, Reg};
+use parfait_riscv::{decode, encode};
+use parfait_soc::{Firmware, SeededBug};
+use std::sync::Arc;
+
+use crate::fixtures::{
+    fieldmul_app, fieldmul_source, prfmask_app, prfmask_source, token_app, token_cmd,
+};
+
+/// The implementation level a mutation strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Cryptographic routine in the littlec source.
+    Crypto,
+    /// Compiler / optimizer output (assembly text).
+    Codegen,
+    /// Instruction encoding in the linked ROM image.
+    Isa,
+    /// Core micro-architecture.
+    Core,
+    /// SoC peripherals and memory system.
+    Soc,
+    /// The verifier's own emulator template.
+    Emulator,
+}
+
+impl Level {
+    /// All levels, in stack order (highest first).
+    pub const ALL: [Level; 6] =
+        [Level::Crypto, Level::Codegen, Level::Isa, Level::Core, Level::Soc, Level::Emulator];
+
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Crypto => "crypto",
+            Level::Codegen => "codegen",
+            Level::Isa => "isa",
+            Level::Core => "core",
+            Level::Soc => "soc",
+            Level::Emulator => "emulator",
+        }
+    }
+
+    /// Parse a stable name back to the level.
+    pub fn from_name(s: &str) -> Option<Level> {
+        Level::ALL.into_iter().find(|l| l.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One mutation class: a seeded fault plus where it lives and how to
+/// build the mutated app.
+pub struct Mutation {
+    /// Stable class name (baseline key, JSON, CLI filter).
+    pub class: &'static str,
+    /// Which level the fault strikes.
+    pub level: Level,
+    /// What the bug is, in one sentence.
+    pub description: &'static str,
+    /// The platform the mutant runs FPS on.
+    pub cpu: Cpu,
+    /// The optimization level the mutant is verified at.
+    pub opt: OptLevel,
+    /// Included in `--quick` sampled mode (one per level).
+    pub quick: bool,
+    /// Build the mutated application pipeline.
+    pub build: fn() -> AppPipeline,
+}
+
+// --- assembly text patches (seeded miscompilations) --------------------
+
+/// Split an asm listing at the first line following `label:`, returning
+/// (head incl. label line, tail). Panics if the label is missing —
+/// a mutation that fails to apply must never silently produce a clean
+/// binary.
+fn split_after_label(asm: &str, label: &str) -> (String, String) {
+    let needle = format!("{label}:");
+    let mut head = String::new();
+    let mut lines = asm.lines();
+    for line in lines.by_ref() {
+        head.push_str(line);
+        head.push('\n');
+        if line.trim() == needle {
+            let tail: String = lines.flat_map(|l| [l, "\n"]).collect();
+            return (head, tail);
+        }
+    }
+    panic!("mutation anchor `{needle}` not found in generated assembly");
+}
+
+/// Rewrite the first line after `label:` for which `edit` returns a
+/// replacement. Panics if no line matched.
+fn edit_first_after(asm: String, label: &str, edit: impl Fn(&str) -> Option<String>) -> String {
+    let (head, tail) = split_after_label(&asm, label);
+    let mut out = head;
+    let mut done = false;
+    for line in tail.lines() {
+        match (done, edit(line)) {
+            (false, Some(replacement)) => {
+                out.push_str(&replacement);
+                done = true;
+            }
+            _ => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    assert!(done, "no mutable instruction found after `{label}:`");
+    out
+}
+
+/// Flip the polarity of the first conditional branch after `label:`
+/// (`beq` ↔ `bne`, `beqz` ↔ `bnez`, `blt` ↔ `bge`, `bltu` ↔ `bgeu`).
+fn flip_branch_after(asm: String, label: &str) -> String {
+    const FLIPS: [(&str, &str); 8] = [
+        ("beqz ", "bnez "),
+        ("bnez ", "beqz "),
+        ("beq ", "bne "),
+        ("bne ", "beq "),
+        ("blt ", "bge "),
+        ("bge ", "blt "),
+        ("bltu ", "bgeu "),
+        ("bgeu ", "bltu "),
+    ];
+    edit_first_after(asm, label, |line| {
+        let t = line.trim_start();
+        FLIPS.iter().find_map(|(from, to)| {
+            t.starts_with(from).then(|| format!("    {to}{}", &t[from.len()..]))
+        })
+    })
+}
+
+/// Replace the first *byte* store after `label:` with a `nop` — the
+/// classic over-eager dead-store elimination. Byte stores only: the
+/// first `sw` after a function label is the prologue's `ra` spill,
+/// whose loss is a different (control-flow) bug class.
+fn drop_store_after(asm: String, label: &str) -> String {
+    edit_first_after(asm, label, |line| {
+        line.trim_start().starts_with("sb ").then(|| "    nop".to_string())
+    })
+}
+
+/// Insert raw instruction lines right after `label:`.
+fn insert_after_label(asm: String, label: &str, snippet: &str) -> String {
+    let (head, tail) = split_after_label(&asm, label);
+    format!("{head}{snippet}{tail}")
+}
+
+/// [`insert_after_label`], but the identity when the label is absent.
+/// For anchors that only exist in the fully linked image (system
+/// software): the equivalence and ctcheck stages compile the app
+/// source alone and must see an unmodified listing — the bug is
+/// invisible above the wire level *by construction*.
+fn insert_after_label_if_present(asm: String, label: &str, snippet: &str) -> String {
+    if asm.lines().any(|l| l.trim() == format!("{label}:")) {
+        insert_after_label(asm, label, snippet)
+    } else {
+        asm
+    }
+}
+
+// --- ROM word patches (seeded encoder bugs) ----------------------------
+
+/// Decode ROM words from the `start` symbol onward, rewriting the
+/// first one the editor accepts. Panics if nothing matched.
+fn rewrite_rom_word(fw: &mut Firmware, start: &str, edit: impl Fn(Instr) -> Option<Instr>) {
+    let start =
+        fw.address_of(start).unwrap_or_else(|| panic!("firmware exports `{start}`")) as usize;
+    let mut at = start;
+    while at + 4 <= fw.rom.len() {
+        let word = u32::from_le_bytes([fw.rom[at], fw.rom[at + 1], fw.rom[at + 2], fw.rom[at + 3]]);
+        if let Ok(instr) = decode::decode(word) {
+            if let Some(mutated) = edit(instr) {
+                fw.rom[at..at + 4].copy_from_slice(&encode::encode(mutated).to_le_bytes());
+                return;
+            }
+        }
+        at += 4;
+    }
+    panic!("no ROM instruction matched the mutation from `handle` onward");
+}
+
+/// Swap base and value operands of the first store after `handle` whose
+/// operands are distinct and whose value register is not `x0`.
+fn swap_store_operands(fw: &mut Firmware) {
+    rewrite_rom_word(fw, "handle", |i| match i {
+        Instr::Store { op, rs1, rs2, off } if rs1 != rs2 && rs2 != Reg::ZERO => {
+            Some(Instr::Store { op, rs1: rs2, rs2: rs1, off })
+        }
+        _ => None,
+    });
+}
+
+/// Re-encode the first unsigned byte load in `ld32` as a signed one —
+/// a one-bit funct3 encoder slip (`lbu` → `lb`) that corrupts every
+/// 32-bit value assembled from bytes ≥ 0x80.
+fn unsign_first_byte_load(fw: &mut Firmware) {
+    rewrite_rom_word(fw, "ld32", |i| match i {
+        Instr::Load { op: LoadOp::Lbu, rd, rs1, off } => {
+            Some(Instr::Load { op: LoadOp::Lb, rd, rs1, off })
+        }
+        _ => None,
+    });
+}
+
+// --- mutant builders ---------------------------------------------------
+
+/// Apply one exact-match source replacement, panicking if the needle is
+/// absent (so a refactor cannot silently defuse a mutation).
+fn mutate_source(source: String, from: &str, to: &str) -> String {
+    assert!(source.contains(from), "mutation needle {from:?} not found in fixture source");
+    source.replacen(from, to, 1)
+}
+
+fn build_mont_carry_drop() -> AppPipeline {
+    // Drop the c1 carry in the CIOS inner reduction: the classic
+    // "works on sparse test vectors" Montgomery bug.
+    fieldmul_app(mutate_source(fieldmul_source(), "carry2 = hi2 + c1 + c2;", "carry2 = hi2 + c2;"))
+}
+
+fn build_prf_mask_skip() -> AppPipeline {
+    // Release the derived key unmasked — exactly the ECDSA
+    // nonce-exhaustion mask the paper's spec-level argument rests on.
+    prfmask_app(mutate_source(
+        prfmask_source(),
+        "resp[1 + i] = (u8)(k[i] & bmask);",
+        "resp[1 + i] = (u8)k[i];",
+    ))
+}
+
+fn build_secret_branch() -> AppPipeline {
+    // Functionally equivalent (resp is pre-zeroed) but branches on the
+    // secret-derived `ok`: invisible to every functional stage,
+    // constant-time analysis must object.
+    prfmask_app(mutate_source(
+        prfmask_source(),
+        "        u32 mask = 0 - ok;
+        u32 bmask = mask & 0xff;
+        resp[0] = (u8)(2 - ok);
+        for (u32 i = 0; i < 32; i = i + 1) {
+            resp[1 + i] = (u8)(k[i] & bmask);
+        }",
+        "        resp[0] = (u8)(2 - ok);
+        if (ok) {
+            for (u32 i = 0; i < 32; i = i + 1) {
+                resp[1 + i] = (u8)k[i];
+            }
+        }",
+    ))
+}
+
+fn build_branch_polarity() -> AppPipeline {
+    let mut tamper = Tamper::new("cc-branch-polarity");
+    tamper.patch_asm = Some(Arc::new(|asm| flip_branch_after(asm, "handle")));
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_dead_store() -> AppPipeline {
+    // Delete the first store in st32 (the LSB write): counter updates
+    // and 32-bit response fields lose their low byte.
+    let mut tamper = Tamper::new("cc-dead-store");
+    tamper.patch_asm = Some(Arc::new(|asm| drop_store_after(asm, "st32")));
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_syssw_reg_clobber() -> AppPipeline {
+    // Offset the response-pointer argument at `write_response` entry:
+    // a register-allocation slip in the one function that puts bytes on
+    // the wire. The app-only compile (equivalence, ctcheck) does not
+    // even contain this system-software function — only the wire-level
+    // check sees the full linked image. (A pure callee-saved-register
+    // clobber is unkillable here by construction: this syssw keeps no
+    // value live in an s-register across any call — DESIGN.md §12.)
+    let mut tamper = Tamper::new("cc-syssw-reg-clobber");
+    tamper.patch_asm = Some(Arc::new(|asm| {
+        insert_after_label_if_present(asm, "write_response", "    addi a0, a0, 1\n")
+    }));
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_secret_latency() -> AppPipeline {
+    // Prepend a branch on the first secret state byte to `handle`:
+    // output-equivalent on every input, but the timing now depends on
+    // the secret.
+    let mut tamper = Tamper::new("cc-secret-latency");
+    tamper.patch_asm = Some(Arc::new(|asm| {
+        insert_after_label(
+            asm,
+            "handle",
+            "    lbu t0, 0(a0)\n    beqz t0, adv_ct_skip\n    nop\n    nop\nadv_ct_skip:\n",
+        )
+    }));
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_store_operand_swap() -> AppPipeline {
+    let mut tamper = Tamper::new("isa-store-operand-swap");
+    tamper.patch_firmware = Some(Arc::new(swap_store_operands));
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_load_sign_extend() -> AppPipeline {
+    // The workload must read the secret (tag 3): 0xDEADBEEF has bytes
+    // ≥ 0x80, so the signed load corrupts the proof value.
+    let mut tamper = Tamper::new("isa-load-sign-extend");
+    tamper.patch_firmware = Some(Arc::new(unsign_first_byte_load));
+    token_app(token_cmd(3, 5)).with_tamper(tamper)
+}
+
+fn build_ibex_stale_forwarding() -> AppPipeline {
+    let mut tamper = Tamper::new("core-ibex-stale-forwarding");
+    tamper.core_fault = Some(parfait_cores::SeededFault::StaleForwarding);
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_pico_mul_early_exit() -> AppPipeline {
+    // The workload must execute the secret multiply (tag 3) for the
+    // variable-latency path to be reachable.
+    let mut tamper = Tamper::new("core-pico-mul-early-exit");
+    tamper.core_fault = Some(parfait_cores::SeededFault::MulEarlyExit);
+    token_app(token_cmd(3, 5)).with_tamper(tamper)
+}
+
+fn build_journal_write_drop() -> AppPipeline {
+    // The workload must *change* state (tag 2) for the lost journal
+    // commit to matter.
+    let mut tamper = Tamper::new("soc-journal-write-drop");
+    tamper.soc_bug = Some(SeededBug::DropJournalWrite);
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_tx_double_commit() -> AppPipeline {
+    let mut tamper = Tamper::new("soc-tx-double-commit");
+    tamper.soc_bug = Some(SeededBug::TxDoubleCommit);
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_emulator_desync() -> AppPipeline {
+    let mut tamper = Tamper::new("emu-response-desync");
+    tamper.emulator_desync = true;
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+/// The full mutation catalog. Order is stable (stack order, highest
+/// level first) — reports, baselines, and the detection matrix all
+/// follow it.
+pub fn catalog() -> Vec<Mutation> {
+    vec![
+        Mutation {
+            class: "crypto-mont-carry-drop",
+            level: Level::Crypto,
+            description: "Montgomery CIOS reduction drops a carry term",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: true,
+            build: build_mont_carry_drop,
+        },
+        Mutation {
+            class: "crypto-prf-mask-skip",
+            level: Level::Crypto,
+            description: "exhaustion mask skipped; derived PRF key released unmasked",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_prf_mask_skip,
+        },
+        Mutation {
+            class: "crypto-secret-branch",
+            level: Level::Crypto,
+            description: "branch-free masking rewritten as a secret-dependent branch",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_secret_branch,
+        },
+        Mutation {
+            class: "cc-branch-polarity",
+            level: Level::Codegen,
+            description: "codegen flips the polarity of a conditional branch",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: true,
+            build: build_branch_polarity,
+        },
+        Mutation {
+            class: "cc-dead-store",
+            level: Level::Codegen,
+            description: "optimizer deletes a live store as dead",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_dead_store,
+        },
+        Mutation {
+            class: "cc-syssw-reg-clobber",
+            level: Level::Codegen,
+            description: "system software response writer gets its buffer register off by one",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_syssw_reg_clobber,
+        },
+        Mutation {
+            class: "cc-secret-latency",
+            level: Level::Codegen,
+            description: "behavior-preserving branch on a secret byte (timing leak)",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_secret_latency,
+        },
+        Mutation {
+            class: "isa-store-operand-swap",
+            level: Level::Isa,
+            description: "ROM store word re-encoded with base/value registers swapped",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: true,
+            build: build_store_operand_swap,
+        },
+        Mutation {
+            class: "isa-load-sign-extend",
+            level: Level::Isa,
+            description: "ROM byte load re-encoded signed (lbu → lb funct3 slip)",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_load_sign_extend,
+        },
+        Mutation {
+            class: "core-ibex-stale-forwarding",
+            level: Level::Core,
+            description: "Ibex EX stage reads stale values on the forwarding path",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: true,
+            build: build_ibex_stale_forwarding,
+        },
+        Mutation {
+            class: "core-pico-mul-early-exit",
+            level: Level::Core,
+            description: "Pico multiplier exits early on operand bit-length (secret latency)",
+            cpu: Cpu::Pico,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_pico_mul_early_exit,
+        },
+        Mutation {
+            class: "soc-journal-write-drop",
+            level: Level::Soc,
+            description: "FRAM silently drops journal flag-word writes",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: true,
+            build: build_journal_write_drop,
+        },
+        Mutation {
+            class: "soc-tx-double-commit",
+            level: Level::Soc,
+            description: "TX handshake commits every wire byte twice",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_tx_double_commit,
+        },
+        Mutation {
+            class: "emu-response-desync",
+            level: Level::Emulator,
+            description: "emulator template injects ideal responses rotated by one bit",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: true,
+            build: build_emulator_desync,
+        },
+    ]
+}
+
+/// The clean (unmutated) fixtures, run as controls: each must survive
+/// the full pipeline, proving the kills above are not vacuous fixture
+/// failures.
+pub fn controls() -> Vec<Mutation> {
+    fn clean_token() -> AppPipeline {
+        token_app(token_cmd(2, 9))
+    }
+    fn clean_fieldmul() -> AppPipeline {
+        fieldmul_app(fieldmul_source())
+    }
+    fn clean_prfmask() -> AppPipeline {
+        prfmask_app(prfmask_source())
+    }
+    vec![
+        Mutation {
+            class: "clean-token",
+            level: Level::Crypto,
+            description: "unmutated token fixture (control)",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: clean_token,
+        },
+        Mutation {
+            class: "clean-fieldmul",
+            level: Level::Crypto,
+            description: "unmutated field-oracle fixture (control)",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: clean_fieldmul,
+        },
+        Mutation {
+            class: "clean-prfmask",
+            level: Level::Crypto,
+            description: "unmutated masked-PRF fixture (control)",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: clean_prfmask,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_spans_every_level_with_unique_classes() {
+        let cat = catalog();
+        assert!(cat.len() >= 12, "ISSUE floor: at least 12 classes");
+        let mut classes: Vec<_> = cat.iter().map(|m| m.class).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(classes.len(), cat.len(), "class names must be unique");
+        for level in Level::ALL {
+            assert!(cat.iter().any(|m| m.level == level), "no mutation at level {level}");
+        }
+    }
+
+    #[test]
+    fn quick_sample_covers_every_level() {
+        let cat = catalog();
+        for level in Level::ALL {
+            assert!(
+                cat.iter().any(|m| m.quick && m.level == level),
+                "--quick must sample level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_mutant_builds_and_differs_from_clean() {
+        for m in catalog() {
+            let app = (m.build)();
+            let is_source_mutation = app.tamper.is_none();
+            if is_source_mutation {
+                // Crypto mutations rewrite the source; everything else
+                // must carry a tamper with a matching fingerprint.
+                assert_eq!(
+                    m.level,
+                    Level::Crypto,
+                    "{}: tamper-free mutant must be crypto",
+                    m.class
+                );
+            } else {
+                let t = app.tamper.as_ref().unwrap();
+                assert_eq!(t.fingerprint, m.class, "{}: fingerprint mirrors the class", m.class);
+            }
+        }
+        for c in controls() {
+            assert!((c.build)().tamper.is_none(), "{}: controls carry no tamper", c.class);
+        }
+    }
+
+    #[test]
+    fn level_names_roundtrip() {
+        for l in Level::ALL {
+            assert_eq!(Level::from_name(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::from_name("warp"), None);
+    }
+
+    #[test]
+    fn asm_patch_helpers_edit_exactly_one_site() {
+        let asm = "handle:\n    addi sp, sp, -16\n    beq a0, x0, .L1\n    sb a1, 0(a0)\n    \
+                   bne a2, x0, .L2\n"
+            .to_string();
+        let flipped = flip_branch_after(asm.clone(), "handle");
+        assert!(flipped.contains("bne a0, x0, .L1"), "first branch flipped");
+        assert!(flipped.contains("bne a2, x0, .L2"), "second branch untouched");
+        let dropped = drop_store_after(asm.clone(), "handle");
+        assert!(!dropped.contains("sb a1"), "store replaced");
+        assert!(dropped.contains("    nop\n"), "with a nop");
+        let inserted = insert_after_label(asm, "handle", "    nop\n");
+        assert!(inserted.starts_with("handle:\n    nop\n    addi sp"), "insert lands after label");
+    }
+}

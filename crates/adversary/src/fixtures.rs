@@ -1,0 +1,603 @@
+//! The mutation subjects: three small HSM applications, each with a
+//! Rust specification, chosen so every fault class in the catalog has a
+//! subject where the fault both *matters* and is cheap to exercise.
+//!
+//! * [`token_app`] — the 8-byte token counter also used by the repo's
+//!   differential tests. Its FPS runs take only thousands of cycles, so
+//!   it hosts every below-source tamper (codegen, ISA, core, SoC,
+//!   emulator). The workload command is a parameter because different
+//!   tampers need different behavior to manifest: a dropped journal
+//!   write only shows on a state-*changing* command, a variable-latency
+//!   multiplier only on the `prove` command that multiplies the secret.
+//! * [`fieldmul_app`] — a P-256 field-arithmetic oracle over the real
+//!   `p256.lc` Montgomery code, specified against `parfait_crypto`'s
+//!   Montgomery implementation. Hosts the dropped-carry reduction bug.
+//! * [`prfmask_app`] — an HMAC-SHA-256 PRF with the ECDSA app's
+//!   masked-output idiom (paper §7.1), specified against
+//!   `parfait_crypto::hmac_sha256`. Hosts the skipped-nonce-mask bug
+//!   and its branchy (leaky but functionally equivalent) variant.
+
+use parfait::lockstep::Codec;
+use parfait::StateMachine;
+use parfait_crypto::{bignum, hmac_sha256, p256};
+use parfait_hsms::firmware::{p256_constants, P256_LC, SHA256_LC};
+use parfait_hsms::platform::AppSizes;
+use parfait_littlec::codegen::OptLevel;
+use parfait_pipeline::{app_from_codec, AppPipeline};
+use parfait_starling::StarlingConfig;
+
+// --- token fixture -----------------------------------------------------
+
+/// Token state size: secret(4 LE) | counter(4 LE).
+pub const TOKEN_STATE: usize = 8;
+/// Token command size: tag | arg(4 LE).
+pub const TOKEN_CMD: usize = 5;
+/// Token response size.
+pub const TOKEN_RESP: usize = 5;
+
+/// The token HSM's `prove` multiplier (Knuth's multiplicative hash).
+pub const TOKEN_MULT: u32 = 2654435761;
+
+/// The token HSM implementation (same app as `tests/common`):
+///   tag 1: set secret := arg           → resp [1, 0...]
+///   tag 2: counter += arg              → resp [2, counter]
+///   tag 3: prove: resp [3, (secret*TOKEN_MULT + counter) ^ arg]
+pub const TOKEN_LC: &str = "
+    u32 ld32(u8* p) {
+        return p[0] | (p[1] << 8) | (p[2] << 16) | (p[3] << 24);
+    }
+    void st32(u8* p, u32 v) {
+        p[0] = (u8)v;
+        p[1] = (u8)(v >> 8);
+        p[2] = (u8)(v >> 16);
+        p[3] = (u8)(v >> 24);
+    }
+    void handle(u8* state, u8* cmd, u8* resp) {
+        for (u32 i = 0; i < 5; i = i + 1) { resp[i] = 0; }
+        u32 arg = ld32(cmd + 1);
+        u32 tag = cmd[0];
+        if (tag == 1) {
+            st32(state, arg);
+            resp[0] = 1;
+            return;
+        }
+        if (tag == 2) {
+            u32 c = ld32(state + 4) + arg;
+            st32(state + 4, c);
+            resp[0] = 2;
+            st32(resp + 1, c);
+            return;
+        }
+        if (tag == 3) {
+            u32 secret = ld32(state);
+            u32 c = ld32(state + 4);
+            resp[0] = 3;
+            st32(resp + 1, (secret * 2654435761 + c) ^ arg);
+            return;
+        }
+        resp[0] = 0xff;
+    }
+";
+
+/// Encode a token command.
+pub fn token_cmd(tag: u8, arg: u32) -> Vec<u8> {
+    let mut c = vec![tag];
+    c.extend_from_slice(&arg.to_le_bytes());
+    c
+}
+
+/// The token spec over (secret, counter).
+#[derive(Clone)]
+pub struct TokenSpec;
+
+impl StateMachine for TokenSpec {
+    type State = (u32, u32);
+    type Command = Vec<u8>;
+    type Response = Vec<u8>;
+
+    fn init(&self) -> (u32, u32) {
+        (0, 0)
+    }
+
+    fn step(&self, s: &(u32, u32), c: &Vec<u8>) -> ((u32, u32), Vec<u8>) {
+        let mut resp = vec![0u8; TOKEN_RESP];
+        if c.len() != TOKEN_CMD {
+            resp[0] = 0xFF;
+            return (*s, resp);
+        }
+        let arg = u32::from_le_bytes([c[1], c[2], c[3], c[4]]);
+        match c[0] {
+            1 => {
+                resp[0] = 1;
+                ((arg, s.1), resp)
+            }
+            2 => {
+                let c2 = s.1.wrapping_add(arg);
+                resp[0] = 2;
+                resp[1..5].copy_from_slice(&c2.to_le_bytes());
+                ((s.0, c2), resp)
+            }
+            3 => {
+                resp[0] = 3;
+                let v = s.0.wrapping_mul(TOKEN_MULT).wrapping_add(s.1) ^ arg;
+                resp[1..5].copy_from_slice(&v.to_le_bytes());
+                (*s, resp)
+            }
+            _ => {
+                resp[0] = 0xFF;
+                (*s, resp)
+            }
+        }
+    }
+}
+
+/// Byte-transparent token codec.
+pub struct TokenCodec;
+
+impl Codec for TokenCodec {
+    type Spec = TokenSpec;
+    type CI = Vec<u8>;
+    type RI = Vec<u8>;
+    type SI = Vec<u8>;
+
+    fn encode_command(&self, c: &Vec<u8>) -> Vec<u8> {
+        c.clone()
+    }
+    fn decode_command(&self, c: &Vec<u8>) -> Option<Vec<u8>> {
+        (c.len() == TOKEN_CMD && matches!(c[0], 1..=3)).then(|| c.clone())
+    }
+    fn encode_response(&self, r: Option<&Vec<u8>>) -> Vec<u8> {
+        match r {
+            Some(v) => v.clone(),
+            None => {
+                let mut e = vec![0u8; TOKEN_RESP];
+                e[0] = 0xFF;
+                e
+            }
+        }
+    }
+    fn decode_response(&self, r: &Vec<u8>) -> Vec<u8> {
+        r.clone()
+    }
+    fn encode_state(&self, s: &(u32, u32)) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TOKEN_STATE);
+        out.extend_from_slice(&s.0.to_le_bytes());
+        out.extend_from_slice(&s.1.to_le_bytes());
+        out
+    }
+}
+
+/// The token app with a caller-chosen FPS workload command. All token
+/// mutants share the slug (and thus the clean software-stage cache
+/// entries); tamper fingerprints and the workload separate the rest.
+pub fn token_app(workload: Vec<u8>) -> AppPipeline {
+    app_from_codec(
+        "adversary token HSM",
+        "adv-token",
+        TOKEN_LC.to_string(),
+        AppSizes { state: TOKEN_STATE, command: TOKEN_CMD, response: TOKEN_RESP },
+        TokenCodec,
+        TokenSpec,
+        (0xDEAD_BEEF, 7),
+        workload,
+        vec![(0, 0), (0xDEAD_BEEF, 7)],
+        vec![token_cmd(1, 5), token_cmd(2, 10), token_cmd(3, 5)],
+        vec![vec![1, 0, 0, 0, 0]],
+        StarlingConfig {
+            state_size: TOKEN_STATE,
+            command_size: TOKEN_CMD,
+            response_size: TOKEN_RESP,
+            adversarial_inputs: 4,
+            ..StarlingConfig::default()
+        },
+    )
+}
+
+// --- fieldmul fixture --------------------------------------------------
+
+/// fieldmul state size: one P-256 field element, big-endian.
+pub const FIELD_STATE: usize = 32;
+/// fieldmul command size: tag | operand(32 BE).
+pub const FIELD_CMD: usize = 33;
+/// fieldmul response size: tag | result(32 BE).
+pub const FIELD_RESP: usize = 33;
+
+/// The fieldmul `handle`: a field-arithmetic oracle over the secret
+/// element `a` held in the state. Tag 1 answers `a*b mod p`, tag 2
+/// answers `a+b mod p`. The operand is validated as a canonical field
+/// element in the firmware *and* the codec, so the spec and the
+/// implementation agree on the accepted domain.
+pub const FIELD_HANDLE_LC: &str = "
+    void handle(u8* state, u8* cmd, u8* resp) {
+        for (u32 i = 0; i < 33; i = i + 1) { resp[i] = 0; }
+        u32 tag = cmd[0];
+        u32 b[8];
+        bn_from_be(b, cmd + 1);
+        u32 in_range = bn_lt(b, P256_P);
+        if (in_range == 0) {
+            resp[0] = 0xff;
+            return;
+        }
+        u32 a[8];
+        bn_from_be(a, state);
+        if (tag == 1) {
+            u32 am[8];
+            fe_to_mont(am, a);
+            u32 r[8];
+            fe_mul(r, am, b);
+            resp[0] = 1;
+            bn_to_be(resp + 1, r);
+            return;
+        }
+        if (tag == 2) {
+            u32 r[8];
+            fe_add(r, a, b);
+            resp[0] = 2;
+            bn_to_be(resp + 1, r);
+            return;
+        }
+        resp[0] = 0xff;
+    }
+";
+
+/// The complete fieldmul littlec program (P-256 constants + the real
+/// `p256.lc` + the oracle handle).
+pub fn fieldmul_source() -> String {
+    let mut s = p256_constants();
+    s.push_str(P256_LC);
+    s.push_str(FIELD_HANDLE_LC);
+    s
+}
+
+/// Encode a fieldmul command.
+pub fn field_cmd(tag: u8, b: &bignum::U256) -> Vec<u8> {
+    let mut c = vec![tag];
+    c.extend_from_slice(&bignum::to_be_bytes(b));
+    c
+}
+
+/// The fieldmul spec: the state is the secret element (big-endian
+/// bytes); responses come from `parfait_crypto`'s Montgomery field.
+#[derive(Clone)]
+pub struct FieldSpec;
+
+impl StateMachine for FieldSpec {
+    type State = [u8; 32];
+    type Command = Vec<u8>;
+    type Response = Vec<u8>;
+
+    fn init(&self) -> [u8; 32] {
+        [0; 32]
+    }
+
+    fn step(&self, s: &[u8; 32], c: &Vec<u8>) -> ([u8; 32], Vec<u8>) {
+        let mut resp = vec![0u8; FIELD_RESP];
+        resp[0] = 0xFF;
+        if c.len() != FIELD_CMD {
+            return (*s, resp);
+        }
+        let f = p256::field();
+        let b = bignum::from_be_bytes(&c[1..33]);
+        if !bignum::lt(&b, &f.m) {
+            return (*s, resp);
+        }
+        let a = bignum::from_be_bytes(s);
+        let r = match c[0] {
+            // a*R * b * R^-1 = a*b mod p.
+            1 => f.mul(&f.to_mont(&a), &b),
+            2 => f.add(&a, &b),
+            _ => return (*s, resp),
+        };
+        resp[0] = c[0];
+        resp[1..33].copy_from_slice(&bignum::to_be_bytes(&r));
+        (*s, resp)
+    }
+}
+
+/// Byte-transparent fieldmul codec; commands with an out-of-range
+/// operand or unknown tag are rejected (mirroring the firmware check).
+pub struct FieldCodec;
+
+impl Codec for FieldCodec {
+    type Spec = FieldSpec;
+    type CI = Vec<u8>;
+    type RI = Vec<u8>;
+    type SI = Vec<u8>;
+
+    fn encode_command(&self, c: &Vec<u8>) -> Vec<u8> {
+        c.clone()
+    }
+    fn decode_command(&self, c: &Vec<u8>) -> Option<Vec<u8>> {
+        if c.len() != FIELD_CMD || !matches!(c[0], 1..=2) {
+            return None;
+        }
+        let b = bignum::from_be_bytes(&c[1..33]);
+        bignum::lt(&b, &p256::field().m).then(|| c.clone())
+    }
+    fn encode_response(&self, r: Option<&Vec<u8>>) -> Vec<u8> {
+        match r {
+            Some(v) => v.clone(),
+            None => {
+                let mut e = vec![0u8; FIELD_RESP];
+                e[0] = 0xFF;
+                e
+            }
+        }
+    }
+    fn decode_response(&self, r: &Vec<u8>) -> Vec<u8> {
+        r.clone()
+    }
+    fn encode_state(&self, s: &[u8; 32]) -> Vec<u8> {
+        s.to_vec()
+    }
+}
+
+/// A fieldmul app over the given source (clean or mutated).
+pub fn fieldmul_app(source: String) -> AppPipeline {
+    let f = p256::field();
+    // Dense operands: p-2 and p-3 keep every carry chain in the
+    // Montgomery reduction live, so a dropped carry cannot hide.
+    let two = {
+        let mut t = [0u32; 8];
+        t[0] = 2;
+        t
+    };
+    let three = {
+        let mut t = [0u32; 8];
+        t[0] = 3;
+        t
+    };
+    let p_minus_2 = bignum::sub(&f.m, &two).0;
+    let p_minus_3 = bignum::sub(&f.m, &three).0;
+    let secret = bignum::to_be_bytes(&p_minus_2);
+    app_from_codec(
+        "adversary P-256 field oracle",
+        "adv-fieldmul",
+        source,
+        AppSizes { state: FIELD_STATE, command: FIELD_CMD, response: FIELD_RESP },
+        FieldCodec,
+        FieldSpec,
+        secret,
+        field_cmd(1, &p_minus_3),
+        vec![[0; 32], secret, {
+            let mut small = [0u8; 32];
+            small[31] = 5;
+            small
+        }],
+        vec![field_cmd(1, &p_minus_3), field_cmd(2, &p_minus_2), field_cmd(1, &three)],
+        vec![{
+            let mut r = vec![1u8];
+            r.extend_from_slice(&[0; 32]);
+            r
+        }],
+        StarlingConfig {
+            state_size: FIELD_STATE,
+            command_size: FIELD_CMD,
+            response_size: FIELD_RESP,
+            adversarial_inputs: 2,
+            opt_levels: vec![OptLevel::O2],
+            ..StarlingConfig::default()
+        },
+    )
+}
+
+// --- prfmask fixture ---------------------------------------------------
+
+/// prfmask state size: prf_key(32) | counter(8 BE).
+pub const PRF_STATE: usize = 40;
+/// prfmask command size: tag | pad.
+pub const PRF_CMD: usize = 2;
+/// prfmask response size: tag | key(32, masked).
+pub const PRF_RESP: usize = 33;
+
+/// The prfmask `handle`: derive k = HMAC-SHA256(prf_key, counter) and
+/// release it *masked* — all zeros once the counter is exhausted —
+/// using the ECDSA app's branch-free idiom (paper §7.1). The counter
+/// increments with a constant-time carry chain.
+pub const PRF_HANDLE_LC: &str = "
+    void handle(u8* state, u8* cmd, u8* resp) {
+        for (u32 i = 0; i < 33; i = i + 1) { resp[i] = 0; }
+        u32 tag = cmd[0];
+        if (tag != 1) {
+            resp[0] = 0xff;
+            return;
+        }
+        u32 allff = 1;
+        for (u32 i = 0; i < 8; i = i + 1) {
+            allff = allff & (state[32 + i] == 0xff);
+        }
+        u8 ctr[8];
+        for (u32 i = 0; i < 8; i = i + 1) {
+            ctr[i] = state[32 + i];
+        }
+        u8 k[32];
+        hmac_sha256(k, state, 32, ctr, 8);
+        u32 ok = 1 - allff;
+        u32 carry = 1 - allff;
+        for (u32 i = 0; i < 8; i = i + 1) {
+            u32 v = state[39 - i] + carry;
+            state[39 - i] = (u8)v;
+            carry = v >> 8;
+        }
+        u32 mask = 0 - ok;
+        u32 bmask = mask & 0xff;
+        resp[0] = (u8)(2 - ok);
+        for (u32 i = 0; i < 32; i = i + 1) {
+            resp[1 + i] = (u8)(k[i] & bmask);
+        }
+    }
+";
+
+/// The complete prfmask littlec program.
+pub fn prfmask_source() -> String {
+    let mut s = String::from(SHA256_LC);
+    s.push_str(PRF_HANDLE_LC);
+    s
+}
+
+/// The prfmask spec state.
+#[derive(Clone, Copy, PartialEq)]
+pub struct PrfState {
+    /// The PRF key (secret).
+    pub key: [u8; 32],
+    /// The big-endian derivation counter.
+    pub counter: u64,
+}
+
+/// The prfmask spec over (key, counter).
+#[derive(Clone)]
+pub struct PrfSpec;
+
+impl StateMachine for PrfSpec {
+    type State = PrfState;
+    type Command = Vec<u8>;
+    type Response = Vec<u8>;
+
+    fn init(&self) -> PrfState {
+        PrfState { key: [0; 32], counter: 0 }
+    }
+
+    fn step(&self, s: &PrfState, c: &Vec<u8>) -> (PrfState, Vec<u8>) {
+        let mut resp = vec![0u8; PRF_RESP];
+        if c.len() != PRF_CMD || c[0] != 1 {
+            resp[0] = 0xFF;
+            return (*s, resp);
+        }
+        let exhausted = s.counter == u64::MAX;
+        let k = hmac_sha256(&s.key, &s.counter.to_be_bytes());
+        if exhausted {
+            resp[0] = 2;
+            return (*s, resp);
+        }
+        resp[0] = 1;
+        resp[1..33].copy_from_slice(&k);
+        (PrfState { key: s.key, counter: s.counter + 1 }, resp)
+    }
+}
+
+/// Byte-transparent prfmask codec.
+pub struct PrfCodec;
+
+impl Codec for PrfCodec {
+    type Spec = PrfSpec;
+    type CI = Vec<u8>;
+    type RI = Vec<u8>;
+    type SI = Vec<u8>;
+
+    fn encode_command(&self, c: &Vec<u8>) -> Vec<u8> {
+        c.clone()
+    }
+    fn decode_command(&self, c: &Vec<u8>) -> Option<Vec<u8>> {
+        // Any 2-byte command is a spec command: the spec itself answers
+        // unknown tags with the error marker, mirroring the firmware.
+        (c.len() == PRF_CMD).then(|| c.clone())
+    }
+    fn encode_response(&self, r: Option<&Vec<u8>>) -> Vec<u8> {
+        match r {
+            Some(v) => v.clone(),
+            None => {
+                let mut e = vec![0u8; PRF_RESP];
+                e[0] = 0xFF;
+                e
+            }
+        }
+    }
+    fn decode_response(&self, r: &Vec<u8>) -> Vec<u8> {
+        r.clone()
+    }
+    fn encode_state(&self, s: &PrfState) -> Vec<u8> {
+        let mut out = Vec::with_capacity(PRF_STATE);
+        out.extend_from_slice(&s.key);
+        out.extend_from_slice(&s.counter.to_be_bytes());
+        out
+    }
+}
+
+/// A prfmask app over the given source (clean or mutated). The sample
+/// states include the exhausted counter — the only state on which the
+/// mask matters — so a skipped mask cannot survive the lockstep grid.
+pub fn prfmask_app(source: String) -> AppPipeline {
+    app_from_codec(
+        "adversary masked PRF",
+        "adv-prfmask",
+        source,
+        AppSizes { state: PRF_STATE, command: PRF_CMD, response: PRF_RESP },
+        PrfCodec,
+        PrfSpec,
+        PrfState { key: [0x13; 32], counter: 5 },
+        vec![1, 0],
+        vec![
+            PrfState { key: [0; 32], counter: 0 },
+            PrfState { key: [0x4B; 32], counter: u64::MAX },
+        ],
+        vec![vec![1, 0], vec![9, 9]],
+        vec![{
+            let mut r = vec![2u8];
+            r.extend_from_slice(&[0; 32]);
+            r
+        }],
+        StarlingConfig {
+            state_size: PRF_STATE,
+            command_size: PRF_CMD,
+            response_size: PRF_RESP,
+            adversarial_inputs: 2,
+            opt_levels: vec![OptLevel::O2],
+            ..StarlingConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_spec_matches_sizes() {
+        let app = token_app(token_cmd(3, 5));
+        assert_eq!(app.secret_state.len(), TOKEN_STATE);
+        assert_eq!(app.workload.len(), TOKEN_CMD);
+    }
+
+    #[test]
+    fn field_spec_multiplies_in_the_field() {
+        // a * a^-1 = 1 through the spec's own path.
+        let f = p256::field();
+        let a =
+            bignum::from_hex("123456789abcdef0fedcba9876543210ffffffff00000001aa55aa55deadbeef");
+        let inv = f.from_mont(&f.inv(&f.to_mont(&a)));
+        let spec = FieldSpec;
+        let st = bignum::to_be_bytes(&a);
+        let (_, resp) = spec.step(&st, &field_cmd(1, &inv));
+        assert_eq!(resp[0], 1);
+        let mut one = [0u8; 32];
+        one[31] = 1;
+        assert_eq!(&resp[1..33], &one);
+    }
+
+    #[test]
+    fn field_codec_rejects_out_of_range_operands() {
+        let c = FieldCodec;
+        let p = p256::field().m;
+        assert!(c.decode_command(&field_cmd(1, &p)).is_none(), "b = p must be rejected");
+        let mut big = [0xFFu8; 33];
+        big[0] = 1;
+        assert!(c.decode_command(&big.to_vec()).is_none(), "b > p must be rejected");
+        let ok = field_cmd(2, &bignum::from_hex("5"));
+        assert!(c.decode_command(&ok).is_some());
+    }
+
+    #[test]
+    fn prf_spec_masks_exhausted_counter() {
+        let spec = PrfSpec;
+        let exhausted = PrfState { key: [7; 32], counter: u64::MAX };
+        let (next, resp) = spec.step(&exhausted, &vec![1, 0]);
+        assert_eq!(resp[0], 2);
+        assert!(resp[1..].iter().all(|&b| b == 0), "exhausted PRF must release nothing");
+        assert!(next == exhausted, "exhausted counter must not wrap");
+        let fresh = PrfState { key: [7; 32], counter: 3 };
+        let (next, resp) = spec.step(&fresh, &vec![1, 0]);
+        assert_eq!(resp[0], 1);
+        assert_eq!(next.counter, 4);
+        assert_eq!(&resp[1..33], &hmac_sha256(&[7; 32], &3u64.to_be_bytes()));
+    }
+}

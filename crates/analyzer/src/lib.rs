@@ -228,6 +228,20 @@ impl LintReport {
 /// Emits `lint.ir` / `lint.asm` telemetry spans and a `lint.findings`
 /// counter.
 pub fn lint_source(source: &str, opt: OptLevel, tel: &Telemetry) -> Result<LintReport, LintError> {
+    lint_source_with(source, opt, tel, |a| a)
+}
+
+/// [`lint_source`] with a hook applied to the compiled assembly text
+/// before the asm layer analyzes it. Production callers pass the
+/// identity; the `parfait-adversary` mutation harness (DESIGN.md §12)
+/// seeds compiler-introduced leaks through it to prove the asm layer
+/// catches what the IR layer cannot see.
+pub fn lint_source_with(
+    source: &str,
+    opt: OptLevel,
+    tel: &Telemetry,
+    patch_asm: impl FnOnce(String) -> String,
+) -> Result<LintReport, LintError> {
     let program = parfait_littlec::frontend(source)?;
     let ir = parfait_littlec::ir::lower(&program)?;
     let ir_findings = {
@@ -235,7 +249,7 @@ pub fn lint_source(source: &str, opt: OptLevel, tel: &Telemetry) -> Result<LintR
         lint_ir(&ir, HANDLER_ENTRY)?
     };
     let ir_insts = ir.functions.iter().map(parfait_littlec::opt::inst_count).sum();
-    let asm = parfait_littlec::compile(&program, opt)?;
+    let asm = patch_asm(parfait_littlec::compile(&program, opt)?);
     let prog = parfait_riscv::assemble(&asm)
         .map_err(|e| LintError::Asm(format!("generated assembly does not assemble: {e}")))?;
     let asm_findings = {

@@ -90,6 +90,26 @@ impl Clone for Box<dyn Core> {
     }
 }
 
+/// A deliberately seeded micro-architectural bug, used by the
+/// `parfait-adversary` mutation harness (DESIGN.md §12) to prove the
+/// FPS check catches hardware-level faults. A core constructed
+/// `with_fault` misbehaves in one specific, classified way; `None`
+/// (the only value production code ever passes) leaves the model
+/// bit-for-bit identical to the unseeded one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeededFault {
+    /// Ibex: the EX stage reads a stale register value for any source
+    /// that the immediately preceding instruction wrote — a broken
+    /// forwarding/bypass path.
+    StaleForwarding,
+    /// Pico: the iterative multiplier exits early once the smaller
+    /// operand runs out of bits — the variable-latency multiplier the
+    /// paper's modified Ibex removed (§7.1) — and the taint check on
+    /// that latency path is missing, so only the dual-world timing
+    /// comparison can see it.
+    MulEarlyExit,
+}
+
 /// Classification of an executed instruction, for per-core latency
 /// tables.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,8 +125,16 @@ pub enum OpClass {
         /// Whether the amount was tainted.
         amount_tainted: bool,
     },
-    /// Multiply.
-    Mul,
+    /// Multiply; operand values carried for latency models that
+    /// (incorrectly) depend on them.
+    Mul {
+        /// First operand value.
+        a: u32,
+        /// Second operand value.
+        b: u32,
+        /// Whether an operand was tainted.
+        operands_tainted: bool,
+    },
     /// Divide / remainder.
     Div {
         /// Dividend value (latency models depend on it).
@@ -277,7 +305,9 @@ pub fn execute(
                 AluOp::Sll | AluOp::Srl | AluOp::Sra => {
                     OpClass::Shift { amount: b.v & 31, from_reg: true, amount_tainted: b.t }
                 }
-                AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu => OpClass::Mul,
+                AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu => {
+                    OpClass::Mul { a: a.v, b: b.v, operands_tainted: a.t || b.t }
+                }
                 AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => {
                     OpClass::Div { dividend: a.v, operand_tainted: a.t || b.t }
                 }
@@ -291,6 +321,36 @@ pub fn execute(
         }
     };
     Exec { next_pc, class }
+}
+
+/// Source registers an instruction reads (for the seeded stale-forwarding
+/// fault, which needs to know whether the EX stage consumes the previous
+/// instruction's result).
+pub(crate) fn instr_sources(i: &Instr) -> (Option<Reg>, Option<Reg>) {
+    match *i {
+        Instr::Jalr { rs1, .. } | Instr::Load { rs1, .. } | Instr::OpImm { rs1, .. } => {
+            (Some(rs1), None)
+        }
+        Instr::Branch { rs1, rs2, .. }
+        | Instr::Store { rs1, rs2, .. }
+        | Instr::Op { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+        _ => (None, None),
+    }
+}
+
+/// Destination register an instruction writes, if architecturally
+/// visible (`x0` writes are discarded).
+pub(crate) fn instr_dest(i: &Instr) -> Option<Reg> {
+    match *i {
+        Instr::Lui { rd, .. }
+        | Instr::Auipc { rd, .. }
+        | Instr::Jal { rd, .. }
+        | Instr::Jalr { rd, .. }
+        | Instr::Load { rd, .. }
+        | Instr::OpImm { rd, .. }
+        | Instr::Op { rd, .. } => (rd != Reg::ZERO).then_some(rd),
+        _ => None,
+    }
 }
 
 #[cfg(test)]

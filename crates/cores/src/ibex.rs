@@ -13,9 +13,12 @@
 //!   variable-latency instruction of §7.2 that verification must catch
 //!   when it executes on secret data.
 
+use parfait_riscv::decode::decode;
 use parfait_rtl::W;
 
-use crate::datapath::{execute, Core, Exec, Fault, LeakEvent, MemIf, OpClass};
+use crate::datapath::{
+    execute, instr_dest, instr_sources, Core, Exec, Fault, LeakEvent, MemIf, OpClass, SeededFault,
+};
 
 /// The 2-stage core.
 #[derive(Clone)]
@@ -34,11 +37,23 @@ pub struct IbexCore {
     last_retired: Option<(u32, u32)>,
     leaks: Vec<LeakEvent>,
     fault: Option<Fault>,
+    /// Seeded micro-architectural bug (mutation testing only).
+    seeded: Option<SeededFault>,
+    /// With `StaleForwarding` seeded: the register the previous executed
+    /// instruction wrote and its value *before* that write.
+    stale: Option<(usize, W)>,
 }
 
 impl IbexCore {
     /// A core reset to fetch from `boot_pc`.
     pub fn new(boot_pc: u32) -> IbexCore {
+        IbexCore::with_fault(boot_pc, None)
+    }
+
+    /// A core with a deliberately seeded bug (see [`SeededFault`]);
+    /// `None` is exactly [`IbexCore::new`]. The seed survives `reset`,
+    /// like a silicon bug survives a power cycle.
+    pub fn with_fault(boot_pc: u32, seeded: Option<SeededFault>) -> IbexCore {
         IbexCore {
             regs: [W::default(); 32],
             fetch_pc: boot_pc,
@@ -50,6 +65,8 @@ impl IbexCore {
             last_retired: None,
             leaks: Vec::new(),
             fault: None,
+            seeded,
+            stale: None,
         }
     }
 
@@ -97,6 +114,24 @@ impl Core for IbexCore {
                 self.fetch_pc = self.fetch_pc.wrapping_add(4);
             }
             Some((word, ipc)) => {
+                // Seeded forwarding bug: if this instruction reads the
+                // register the previous one wrote, the EX stage sees the
+                // pre-write (stale) value instead of the forwarded one.
+                let mut unstale: Option<(usize, W)> = None;
+                let mut wrote: Option<usize> = None;
+                if self.seeded == Some(SeededFault::StaleForwarding) {
+                    if let Ok(i) = decode(word) {
+                        wrote = instr_dest(&i).map(|r| r.0 as usize);
+                        if let Some((idx, old)) = self.stale {
+                            let (s1, s2) = instr_sources(&i);
+                            if [s1, s2].iter().flatten().any(|r| r.0 as usize == idx) {
+                                unstale = Some((idx, self.regs[idx]));
+                                self.regs[idx] = old;
+                            }
+                        }
+                    }
+                    self.stale = wrote.map(|d| (d, self.regs[d]));
+                }
                 let Exec { next_pc, class } = execute(
                     word,
                     ipc,
@@ -106,6 +141,14 @@ impl Core for IbexCore {
                     &mut self.leaks,
                     &mut self.fault,
                 );
+                if let Some((idx, fresh)) = unstale {
+                    // The write-back of the *current* instruction (if it
+                    // targeted the same register) wins; otherwise undo
+                    // the stale substitution in the register file.
+                    if wrote != Some(idx) {
+                        self.regs[idx] = fresh;
+                    }
+                }
                 if self.fault.is_some() {
                     return;
                 }
@@ -167,7 +210,7 @@ impl Core for IbexCore {
     }
 
     fn reset(&mut self, pc: u32) {
-        *self = IbexCore::new(pc);
+        *self = IbexCore::with_fault(pc, self.seeded);
     }
 }
 

@@ -29,6 +29,6 @@ pub mod datapath;
 pub mod ibex;
 pub mod pico;
 
-pub use datapath::{Core, Fault, LeakEvent, LeakKind, MemIf};
+pub use datapath::{Core, Fault, LeakEvent, LeakKind, MemIf, SeededFault};
 pub use ibex::IbexCore;
 pub use pico::PicoCore;

@@ -17,7 +17,9 @@
 
 use parfait_rtl::W;
 
-use crate::datapath::{execute, Core, Exec, Fault, LeakEvent, LeakKind, MemIf, OpClass};
+use crate::datapath::{
+    execute, Core, Exec, Fault, LeakEvent, LeakKind, MemIf, OpClass, SeededFault,
+};
 
 #[derive(Clone)]
 enum Stage {
@@ -42,11 +44,20 @@ pub struct PicoCore {
     last_retired: Option<(u32, u32)>,
     leaks: Vec<LeakEvent>,
     fault: Option<Fault>,
+    /// Seeded micro-architectural bug (mutation testing only).
+    seeded: Option<SeededFault>,
 }
 
 impl PicoCore {
     /// A core reset to fetch from `boot_pc`.
     pub fn new(boot_pc: u32) -> PicoCore {
+        PicoCore::with_fault(boot_pc, None)
+    }
+
+    /// A core with a deliberately seeded bug (see [`SeededFault`]);
+    /// `None` is exactly [`PicoCore::new`]. The seed survives `reset`,
+    /// like a silicon bug survives a power cycle.
+    pub fn with_fault(boot_pc: u32, seeded: Option<SeededFault>) -> PicoCore {
         PicoCore {
             regs: [W::default(); 32],
             pc: boot_pc,
@@ -56,6 +67,7 @@ impl PicoCore {
             last_retired: None,
             leaks: Vec::new(),
             fault: None,
+            seeded,
         }
     }
 
@@ -74,7 +86,19 @@ impl PicoCore {
                 }
                 1 + amount.div_ceil(4)
             }
-            OpClass::Mul => 32,
+            OpClass::Mul { a, b, .. } => {
+                if self.seeded == Some(SeededFault::MulEarlyExit) {
+                    // The early-exit iterative multiplier the paper's
+                    // modified core removed (§7.1): cycles track the
+                    // smaller operand's bit-length, and the (buggy)
+                    // latency path performs no taint check — only the
+                    // dual-world timing comparison can observe it.
+                    let bits = (32 - a.leading_zeros()).min(32 - b.leading_zeros());
+                    2 + bits
+                } else {
+                    32
+                }
+            }
             OpClass::Div { dividend, operand_tainted } => {
                 if *operand_tainted {
                     self.leaks.push(LeakEvent {
@@ -184,7 +208,7 @@ impl Core for PicoCore {
     }
 
     fn reset(&mut self, pc: u32) {
-        *self = PicoCore::new(pc);
+        *self = PicoCore::with_fault(pc, self.seeded);
     }
 }
 

@@ -88,10 +88,23 @@ pub fn build_firmware_parts(
 /// state, flag = 0); the state slots are tainted as secrets, while the
 /// journal flag word — public metadata — is untainted.
 pub fn make_soc(cpu: Cpu, firmware: Firmware, initial_state: &[u8]) -> Soc {
+    make_soc_with(cpu, firmware, initial_state, None)
+}
+
+/// [`make_soc`] with an optional deliberately seeded core fault
+/// ([`parfait_cores::SeededFault`]). Production callers pass `None`;
+/// the `parfait-adversary` mutation harness (DESIGN.md §12) seeds
+/// micro-architectural bugs here to prove the FPS check rejects them.
+pub fn make_soc_with(
+    cpu: Cpu,
+    firmware: Firmware,
+    initial_state: &[u8],
+    fault: Option<parfait_cores::SeededFault>,
+) -> Soc {
     let fram = syssw::initial_fram(initial_state);
     let core: Box<dyn parfait_cores::Core> = match cpu {
-        Cpu::Ibex => Box::new(IbexCore::new(ROM_BASE)),
-        Cpu::Pico => Box::new(PicoCore::new(ROM_BASE)),
+        Cpu::Ibex => Box::new(IbexCore::with_fault(ROM_BASE, fault)),
+        Cpu::Pico => Box::new(PicoCore::with_fault(ROM_BASE, fault)),
     };
     let mut soc = Soc::new(core, firmware, &fram);
     // The journal flag is public.

@@ -56,6 +56,10 @@ pub struct CircuitEmulator<'s> {
     /// response-encoding bugs in the system software that both circuit
     /// instances would otherwise share).
     pub spec_responses: Vec<Vec<u8>>,
+    /// Seeded template bug (mutation testing, DESIGN.md §12): inject the
+    /// spec response rotated by one byte, desynchronizing the ideal
+    /// world's wires from the real circuit's.
+    desync: bool,
 }
 
 impl<'s> CircuitEmulator<'s> {
@@ -83,7 +87,15 @@ impl<'s> CircuitEmulator<'s> {
             pending: None,
             queries: 0,
             spec_responses: Vec::new(),
+            desync: false,
         }
+    }
+
+    /// Seed the desync bug: every injected response is rotated left by
+    /// one byte. The harness uses this to prove the FPS check is not
+    /// vacuous — a broken emulator template must make it fail.
+    pub fn seed_desync(&mut self) {
+        self.desync = true;
     }
 
     /// Advance the emulator's circuit one cycle, performing the
@@ -109,7 +121,10 @@ impl<'s> CircuitEmulator<'s> {
         let flag = self.soc.fram_word(0);
         if flag != self.prev_flag {
             self.prev_flag = flag;
-            if let Some(p) = self.pending.take() {
+            if let Some(mut p) = self.pending.take() {
+                if self.desync && !p.resp.is_empty() {
+                    p.resp.rotate_left(1);
+                }
                 // Inject the spec response over the dummy-computed one.
                 self.soc.ram_store(p.resp_addr, &p.resp, false);
             }

@@ -79,7 +79,22 @@ pub fn asm_machine(
     command_size: usize,
     response_size: usize,
 ) -> Result<AsmStateMachine, ValidateError> {
-    let asm = compile(program, opt)?;
+    asm_machine_patched(program, opt, state_size, command_size, response_size, |a| a)
+}
+
+/// [`asm_machine`] with a hook applied to the compiled assembly text
+/// before it is assembled. Production callers pass the identity; the
+/// `parfait-adversary` mutation harness (DESIGN.md §12) injects
+/// "miscompilations" here to prove the validator rejects them.
+pub fn asm_machine_patched(
+    program: &Program,
+    opt: OptLevel,
+    state_size: usize,
+    command_size: usize,
+    response_size: usize,
+    patch_asm: impl FnOnce(String) -> String,
+) -> Result<AsmStateMachine, ValidateError> {
+    let asm = patch_asm(compile(program, opt)?);
     let prog = assemble(&asm)
         .map_err(|e| ValidateError::Exec(format!("generated assembly does not assemble: {e}")))?;
     AsmStateMachine::new(prog, state_size, command_size, response_size)
@@ -96,11 +111,25 @@ pub fn validate_handle(
     response_size: usize,
     cases: &[(Vec<u8>, Vec<u8>)],
 ) -> Result<(), ValidateError> {
+    validate_handle_patched(program, opt, response_size, cases, |a| a)
+}
+
+/// [`validate_handle`] with a hook applied to the compiled assembly
+/// before the asm-level machine is built (identity in production; the
+/// mutation harness seeds codegen bugs through it).
+pub fn validate_handle_patched(
+    program: &Program,
+    opt: OptLevel,
+    response_size: usize,
+    cases: &[(Vec<u8>, Vec<u8>)],
+    patch_asm: impl FnOnce(String) -> String,
+) -> Result<(), ValidateError> {
     let interp = Interp::new(program);
     let ir = lower(program)?;
     let ireval = IrEval::new(&ir);
     let first = cases.first().expect("at least one validation case");
-    let asm = asm_machine(program, opt, first.0.len(), first.1.len(), response_size)?;
+    let asm =
+        asm_machine_patched(program, opt, first.0.len(), first.1.len(), response_size, patch_asm)?;
     for (state, command) in cases {
         let a = interp
             .step(state, command, response_size)

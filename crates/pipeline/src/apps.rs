@@ -59,6 +59,46 @@ impl SpecTrace {
 /// A closure running the Starling software verification.
 pub type StarlingRunner = Box<dyn Fn(&Telemetry) -> Result<StarlingReport, String> + Send + Sync>;
 
+/// A seeded rewrite of the compiled assembly text ([`Tamper::patch_asm`]).
+pub type AsmPatch = Arc<dyn Fn(String) -> String + Send + Sync>;
+
+/// A seeded mutation of the linked firmware image ([`Tamper::patch_firmware`]).
+pub type FirmwarePatch = Arc<dyn Fn(&mut parfait_soc::Firmware) + Send + Sync>;
+
+/// A deliberately seeded below-source fault, attached to an app by the
+/// `parfait-adversary` mutation harness (DESIGN.md §12).
+///
+/// Production apps carry `None`. When set, the stages that build or
+/// simulate below-source artifacts (equivalence, ctcheck, FPS) apply
+/// the tamper and fold [`Tamper::fingerprint`] into their cache keys,
+/// so a mutant can never alias the clean app's certificates. The
+/// speccheck and lockstep stages deliberately ignore tampering: they
+/// operate entirely above the tampered layers.
+#[derive(Clone, Default)]
+pub struct Tamper {
+    /// Distinguishes this mutant's cache identity (and labels output).
+    pub fingerprint: String,
+    /// Rewrite the compiled assembly text before it is assembled
+    /// (a seeded codegen/optimizer bug).
+    pub patch_asm: Option<AsmPatch>,
+    /// Mutate the linked firmware image (ROM bytes) before the SoC is
+    /// built (a seeded encoder/ROM bug). FPS only.
+    pub patch_firmware: Option<FirmwarePatch>,
+    /// Seed a core micro-architectural fault in both worlds. FPS only.
+    pub core_fault: Option<parfait_cores::SeededFault>,
+    /// Seed a SoC/peripheral bug in both worlds. FPS only.
+    pub soc_bug: Option<parfait_soc::SeededBug>,
+    /// Seed the emulator-template desync bug (ideal world only).
+    pub emulator_desync: bool,
+}
+
+impl Tamper {
+    /// An empty tamper with the given cache-distinguishing fingerprint.
+    pub fn new(fingerprint: &str) -> Tamper {
+        Tamper { fingerprint: fingerprint.to_string(), ..Tamper::default() }
+    }
+}
+
 /// Everything the pipeline needs to verify one application.
 pub struct AppPipeline {
     /// Human-readable name (e.g. `"Password hasher"`).
@@ -87,9 +127,17 @@ pub struct AppPipeline {
     pub spec_probe: Box<dyn Fn() -> SpecTrace + Send + Sync>,
     /// Run the Starling software verification.
     pub starling: StarlingRunner,
+    /// Seeded below-source fault (`None` on every production app).
+    pub tamper: Option<Tamper>,
 }
 
 impl AppPipeline {
+    /// Attach a seeded fault (mutation testing only).
+    pub fn with_tamper(mut self, tamper: Tamper) -> AppPipeline {
+        self.tamper = Some(tamper);
+        self
+    }
+
     /// The standard adversarial host script the bench binaries measure:
     /// one expensive workload command followed by one invalid command.
     pub fn fps_script(&self) -> Vec<HostOp> {
@@ -209,6 +257,7 @@ where
         starling_fingerprint,
         spec_probe,
         starling,
+        tamper: None,
     }
 }
 

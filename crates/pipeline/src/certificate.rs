@@ -61,7 +61,9 @@ impl StageKind {
         }
     }
 
-    fn from_str(s: &str) -> Option<StageKind> {
+    /// Parse a stable stage name back to the kind (cache filenames,
+    /// the adversary harness's kill-stage attribution).
+    pub fn from_name(s: &str) -> Option<StageKind> {
         StageKind::ALL.into_iter().find(|k| k.as_str() == s)
     }
 }
@@ -115,7 +117,7 @@ impl StageCertificate {
     pub fn from_json(v: &Json) -> Option<StageCertificate> {
         let cert = StageCertificate {
             schema: v.get("schema")?.as_i64()?,
-            stage: StageKind::from_str(v.get("stage")?.as_str()?)?,
+            stage: StageKind::from_name(v.get("stage")?.as_str()?)?,
             app: v.get("app")?.as_str()?.to_string(),
             claim: {
                 let c = v.get("claim")?;

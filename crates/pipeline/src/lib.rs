@@ -32,7 +32,7 @@ pub mod cache;
 pub mod certificate;
 pub mod pipeline;
 
-pub use apps::{app_from_codec, AppPipeline, SpecRow, SpecTrace, StdApp};
+pub use apps::{app_from_codec, AppPipeline, SpecRow, SpecTrace, StdApp, Tamper};
 pub use artifact::{ArtifactHasher, ArtifactId};
 pub use cache::CertCache;
 pub use certificate::{

@@ -17,11 +17,11 @@
 use std::time::{Duration, Instant};
 
 use parfait::levels::Level;
-use parfait_hsms::platform::{build_firmware, make_soc, Cpu};
+use parfait_hsms::platform::{build_firmware_parts, make_soc_with, Cpu};
 use parfait_hsms::syssw;
 use parfait_knox2::{check_fps_parallel, CircuitEmulator, FpsConfig, FpsObserver, FpsReport};
 use parfait_littlec::codegen::OptLevel;
-use parfait_littlec::validate::{asm_machine, validate_handle};
+use parfait_littlec::validate::{asm_machine, validate_handle_patched};
 use parfait_parallel::parallel_map;
 use parfait_soc::Soc;
 use parfait_telemetry::Telemetry;
@@ -208,14 +208,24 @@ impl Pipeline {
         for (state, cmd) in &cases {
             h.field("case-state", state).field("case-cmd", cmd);
         }
+        if let Some(t) = &app.tamper {
+            h.field_str("tamper", &t.fingerprint);
+        }
         let inputs = h.finish();
         let opt_label = opt.to_string();
         let claim = (Level::LowStar.label(None), Level::Asm.label(Some(&opt_label)));
         self.run_stage(StageKind::Equivalence, &app.slug, claim, inputs, || {
             let program = parfait_littlec::frontend(&app.source).map_err(|e| e.to_string())?;
+            let patch = app.tamper.as_ref().and_then(|t| t.patch_asm.clone());
             for level in &levels {
-                validate_handle(&program, *level, app.sizes.response, &cases)
-                    .map_err(|e| format!("{level}: {e}"))?;
+                let patch = patch.clone();
+                validate_handle_patched(&program, *level, app.sizes.response, &cases, |a| {
+                    match patch {
+                        Some(p) => p(a),
+                        None => a,
+                    }
+                })
+                .map_err(|e| format!("{level}: {e}"))?;
             }
             Ok((
                 vec![
@@ -240,20 +250,31 @@ impl Pipeline {
     pub fn ctcheck_stage(&self, app: &AppPipeline, opt: OptLevel) -> Result<StageOutcome, String> {
         let program = parfait_littlec::frontend(&app.source).map_err(|e| e.to_string())?;
         let ir = parfait_littlec::ir::lower(&program).map_err(|e| e.to_string())?;
-        let asm = parfait_littlec::compile(&program, opt).map_err(|e| e.to_string())?;
-        let inputs = ArtifactHasher::new("stage:ctcheck")
-            .field_u64("schema", SCHEMA as u64)
+        let patch = app.tamper.as_ref().and_then(|t| t.patch_asm.clone());
+        let mut asm = parfait_littlec::compile(&program, opt).map_err(|e| e.to_string())?;
+        if let Some(p) = &patch {
+            asm = p(asm); // key the stage on the artifact it actually lints
+        }
+        let mut h = ArtifactHasher::new("stage:ctcheck");
+        h.field_u64("schema", SCHEMA as u64)
             .field_str("app", &app.slug)
             .field_str("ruleset", parfait_analyzer::RULESET_VERSION)
             .field_str("opt", &opt.to_string())
             .field_str("ir", &format!("{ir:?}"))
-            .field_str("asm", &asm)
-            .finish();
+            .field_str("asm", &asm);
+        if let Some(t) = &app.tamper {
+            h.field_str("tamper", &t.fingerprint);
+        }
+        let inputs = h.finish();
         let opt_label = opt.to_string();
         let asm_level = Level::Asm.label(Some(&opt_label));
         let claim = (asm_level.clone(), asm_level);
         self.run_stage(StageKind::CtCheck, &app.slug, claim, inputs, || {
-            let report = parfait_analyzer::lint_source(&app.source, opt, &self.tel)
+            let report =
+                parfait_analyzer::lint_source_with(&app.source, opt, &self.tel, |a| match patch {
+                    Some(p) => p(a),
+                    None => a,
+                })
                 .map_err(|e| e.to_string())?;
             if !report.is_clean() {
                 let mut msg = format!("{} constant-time violation(s):", report.findings.len());
@@ -300,6 +321,9 @@ impl Pipeline {
         for op in app.fps_script() {
             h.field_str("script-op", &format!("{op:?}"));
         }
+        if let Some(t) = &app.tamper {
+            h.field_str("tamper", &t.fingerprint);
+        }
         let inputs = h.finish();
         let opt_label = opt.to_string();
         let cpu_label = cpu.to_string();
@@ -331,14 +355,35 @@ impl Pipeline {
         timeout: u64,
     ) -> Result<FpsReport, String> {
         let sizes = app.sizes;
-        let fw = build_firmware(&app.source, sizes, opt).map_err(|e| e.to_string())?;
+        let tamper = app.tamper.as_ref();
+        // Tampering strikes the *built artifacts and hardware*; the spec
+        // the emulator queries stays derived from the clean compile, so a
+        // tampered device is held against the untampered contract.
+        let syssw_src = syssw::syssw_source(sizes.state, sizes.command, sizes.response);
+        let patch = tamper.and_then(|t| t.patch_asm.clone());
+        let mut fw = build_firmware_parts(&app.source, &syssw_src, opt, |a| match patch {
+            Some(p) => p(a),
+            None => a,
+        })
+        .map_err(|e| e.to_string())?;
+        if let Some(pf) = tamper.and_then(|t| t.patch_firmware.clone()) {
+            pf(&mut fw);
+        }
         let program = parfait_littlec::frontend(&app.source).map_err(|e| e.to_string())?;
         let spec = asm_machine(&program, opt, sizes.state, sizes.command, sizes.response)
             .map_err(|e| e.to_string())?;
-        let mut real = make_soc(cpu, fw.clone(), &app.secret_state);
-        let dummy_soc = make_soc(cpu, fw, &app.dummy_state);
+        let core_fault = tamper.and_then(|t| t.core_fault);
+        let mut real = make_soc_with(cpu, fw.clone(), &app.secret_state, core_fault);
+        let mut dummy_soc = make_soc_with(cpu, fw, &app.dummy_state, core_fault);
+        if let Some(bug) = tamper.and_then(|t| t.soc_bug) {
+            real.seed_bug(bug);
+            dummy_soc.seed_bug(bug);
+        }
         let mut emu =
             CircuitEmulator::new(dummy_soc, &spec, app.secret_state.clone(), sizes.command);
+        if tamper.is_some_and(|t| t.emulator_desync) {
+            emu.seed_desync();
+        }
         let cfg = FpsConfig {
             command_size: sizes.command,
             response_size: sizes.response,

@@ -61,6 +61,22 @@ pub const IO_TX_STATUS: u32 = IO_BASE + 8;
 /// TX data register address (write pushes into the FIFO).
 pub const IO_TX_DATA: u32 = IO_BASE + 12;
 
+/// A deliberately seeded SoC/peripheral bug, used by the
+/// `parfait-adversary` mutation harness (DESIGN.md §12). `None` (the
+/// only value production code ever passes) leaves the SoC bit-for-bit
+/// identical to the unseeded one; a seed survives [`Soc::power_cycle`],
+/// like a silicon bug survives power loss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeededBug {
+    /// The FRAM write port silently drops stores to the journal flag
+    /// word (offset 0), so a completed command never commits its state.
+    DropJournalWrite,
+    /// The TX ready/valid handshake deasserts `valid` one transfer too
+    /// late, so every byte the firmware sends is committed to the wire
+    /// FIFO twice.
+    TxDoubleCommit,
+}
+
 /// A linked firmware image: ROM text, initial RAM data, symbols.
 #[derive(Clone, Debug)]
 pub struct Firmware {
@@ -111,6 +127,8 @@ pub struct Soc {
     pub tx_fifo: Fifo,
     /// A bus access outside any mapped region.
     pub bus_fault: Option<u32>,
+    /// Seeded hardware bug (mutation testing only).
+    seeded: Option<SeededBug>,
     firmware: Arc<Firmware>,
     input: WireIn,
     cycles: u64,
@@ -128,6 +146,7 @@ struct Bus<'a> {
     rx_fifo: &'a mut Fifo,
     tx_fifo: &'a mut Fifo,
     bus_fault: &'a mut Option<u32>,
+    seeded: Option<SeededBug>,
 }
 
 impl MemIf for Bus<'_> {
@@ -163,11 +182,17 @@ impl MemIf for Bus<'_> {
                 self.ram.write_word(a - RAM_BASE, val, mask)
             }
             a if (FRAM_BASE..FRAM_BASE + FRAM_SIZE).contains(&a) => {
+                if a - FRAM_BASE < 4 && self.seeded == Some(SeededBug::DropJournalWrite) {
+                    return; // the journal flag word never reaches the FRAM
+                }
                 self.fram.write_word(a - FRAM_BASE, val, mask)
             }
             IO_TX_DATA => {
                 // Byte-wide register; lane 0 carries the data.
                 self.tx_fifo.push(W { v: val.v & 0xFF, t: val.t });
+                if self.seeded == Some(SeededBug::TxDoubleCommit) {
+                    self.tx_fifo.push(W { v: val.v & 0xFF, t: val.t });
+                }
             }
             a if (ROM_BASE..ROM_BASE + ROM_SIZE).contains(&a) => {
                 // Writes to ROM are silently ignored (as in hardware).
@@ -200,6 +225,7 @@ impl Soc {
             rx_fifo: Fifo::new(16),
             tx_fifo: Fifo::new(16),
             bus_fault: None,
+            seeded: None,
             firmware: Arc::new(firmware),
             input: WireIn::default(),
             cycles: 0,
@@ -208,6 +234,12 @@ impl Soc {
         };
         soc.refresh_output();
         soc
+    }
+
+    /// Seed a deliberate hardware bug (see [`SeededBug`]). Mutation
+    /// testing only; the seed survives power cycles.
+    pub fn seed_bug(&mut self, bug: SeededBug) {
+        self.seeded = Some(bug);
     }
 
     /// Recompute the cached output wires from the FIFO state.
@@ -318,6 +350,7 @@ impl Circuit for Soc {
             rx_fifo: &mut self.rx_fifo,
             tx_fifo: &mut self.tx_fifo,
             bus_fault: &mut self.bus_fault,
+            seeded: self.seeded,
         };
         self.core.step(&mut bus);
         if self.core.last_retired().is_some() {

@@ -3,8 +3,9 @@
 # vs. the snapshot-fork parallel checker over the Table 4 matrix),
 # BENCH_pipeline.json (proof pipeline: cold vs. warm verification via
 # the content-addressed certificate cache), and BENCH_lint.json (static
-# constant-time lint wall time, the contrast to a cold FPS run) at the
-# repo root. Run from the repo root.
+# constant-time lint wall time, the contrast to a cold FPS run), and
+# BENCH_mutatest.json (adversary catalog: time from seeded fault to
+# stage rejection) at the repo root. Run from the repo root.
 #
 #   scripts/bench.sh            # quick matrices (hasher-only)
 #   FULL=1 scripts/bench.sh     # full matrices (adds the ECDSA runs)
@@ -20,3 +21,4 @@ THREADS="${THREADS:-$(nproc 2>/dev/null || echo 4)}"
 ./target/release/bench_fps $QUICK --threads "$THREADS" --json BENCH_fps.json
 ./target/release/bench_pipeline $QUICK --threads "$THREADS" --json BENCH_pipeline.json
 ./target/release/bench_lint $QUICK --json BENCH_lint.json
+./target/release/bench_mutatest --threads "$THREADS" --json BENCH_mutatest.json

@@ -14,7 +14,8 @@ set -eux
 for pkg in parfait parfait-telemetry parfait-riscv parfait-littlec \
     parfait-crypto parfait-rtl parfait-parallel parfait-cores \
     parfait-soc parfait-starling parfait-knox2 parfait-hsms \
-    parfait-analyzer parfait-pipeline parfait-bench parfait-repro; do
+    parfait-analyzer parfait-pipeline parfait-adversary parfait-bench \
+    parfait-repro; do
     cargo fmt --check -p "$pkg"
 done
 
@@ -44,4 +45,9 @@ PIPELINE_CACHE_DIR="${PARFAIT_CACHE_DIR:-target/ci-pipeline-cache}"
 rm -rf "$PIPELINE_CACHE_DIR"
 PARFAIT_CACHE_DIR="$PIPELINE_CACHE_DIR" cargo test -q --release --test pipeline_cache
 PARFAIT_CACHE_DIR="$PIPELINE_CACHE_DIR" cargo test -q --release --test pipeline_cache
+# Adversarial mutation smoke gate: one seeded fault per level must die
+# at exactly the stage the ratcheted baseline records (DESIGN.md §12).
+# The full catalog runs in the nightly path (drop --quick).
+cargo run --release -p parfait-bench --bin mutatest -- \
+    --quick --baseline mutation_baseline.json
 cargo clippy --workspace --all-targets -- -D warnings

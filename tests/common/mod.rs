@@ -10,9 +10,12 @@
 //!   else:  resp [0xff, 0...]
 #![allow(dead_code)]
 
+use std::sync::OnceLock;
+
 use parfait::lockstep::Codec;
 use parfait::machine::FnMachine;
-use parfait_hsms::platform::{build_firmware_parts, make_soc, Cpu};
+use parfait_hsms::firmware::hasher_app_source;
+use parfait_hsms::platform::{build_firmware, build_firmware_parts, make_soc, AppSizes, Cpu};
 use parfait_hsms::syssw;
 use parfait_knox2::{
     check_fps_parallel, check_fps_traced, CircuitEmulator, FpsConfig, FpsFailure, FpsObserver,
@@ -134,6 +137,50 @@ impl Codec for TokenCodec {
         out.extend_from_slice(&s.1.to_le_bytes());
         out
     }
+}
+
+/// The production password-hasher firmware at `-O2`, compiled and
+/// linked exactly once per test binary. The suites need a clean image
+/// per scenario (cloning one is microseconds); rebuilding it inside
+/// every `#[test]` made firmware compilation a visible fraction of
+/// suite wall time (EXPERIMENTS.md "test-fixture caching").
+pub fn hasher_fw() -> Firmware {
+    static FW: OnceLock<Firmware> = OnceLock::new();
+    FW.get_or_init(|| {
+        let sizes = AppSizes {
+            state: parfait_hsms::hasher::STATE_SIZE,
+            command: parfait_hsms::hasher::COMMAND_SIZE,
+            response: parfait_hsms::hasher::RESPONSE_SIZE,
+        };
+        build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap()
+    })
+    .clone()
+}
+
+/// The hasher's assembly-level spec machine (`asm_machine` over the
+/// clean app source at `-O2`), built once per test binary.
+pub fn hasher_asm_spec() -> AsmStateMachine {
+    static SPEC: OnceLock<AsmStateMachine> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
+        asm_machine(
+            &program,
+            OptLevel::O2,
+            parfait_hsms::hasher::STATE_SIZE,
+            parfait_hsms::hasher::COMMAND_SIZE,
+            parfait_hsms::hasher::RESPONSE_SIZE,
+        )
+        .unwrap()
+    })
+    .clone()
+}
+
+/// The clean token-HSM FPS scenario, built once per test binary and
+/// shared by reference (`TokenFps::run` already starts each run from
+/// fresh worlds, so sharing the built image is sound).
+pub fn token_fps() -> &'static TokenFps {
+    static FPS: OnceLock<TokenFps> = OnceLock::new();
+    FPS.get_or_init(|| TokenFps::build(TOKEN_LC, None, None, |a| a))
 }
 
 pub fn cfg() -> FpsConfig {

@@ -9,16 +9,14 @@ use parfait_hsms::firmware::hasher_app_source;
 use parfait_hsms::hasher::{
     HasherCodec, HasherCommand, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
 };
-use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::platform::{make_soc, Cpu};
 use parfait_hsms::syssw;
+
+mod common;
 use parfait_knox2::WireDriver;
 use parfait_littlec::codegen::OptLevel;
 use parfait_rtl::Circuit;
 use parfait_soc::{host, Soc};
-
-fn sizes() -> AppSizes {
-    AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE }
-}
 
 fn active(soc: &Soc) -> Vec<u8> {
     syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE)
@@ -27,7 +25,7 @@ fn active(soc: &Soc) -> Vec<u8> {
 /// Run one Initialize command but cut power after `crash_at` cycles;
 /// then reboot and check consistency.
 fn crash_during_command(crash_at: u64) {
-    let fw = build_firmware(&hasher_app_source(), sizes(), OptLevel::O2).unwrap();
+    let fw = common::hasher_fw();
     let codec = HasherCodec;
     let old_state = codec.encode_state(&HasherState { secret: [0x0D; 32] });
     let new_state = codec.encode_state(&HasherState { secret: [0x4E; 32] });
@@ -75,7 +73,7 @@ fn crash_at_sampled_cycles_is_atomic() {
 fn crash_exactly_around_commit_point() {
     // Find the commit cycle (flag flip) for this command, then test the
     // cycles immediately surrounding it — the knife's edge of fig. 9.
-    let fw = build_firmware(&hasher_app_source(), sizes(), OptLevel::O2).unwrap();
+    let fw = common::hasher_fw();
     let codec = HasherCodec;
     let old_state = codec.encode_state(&HasherState { secret: [0x0D; 32] });
     let mut soc = make_soc(Cpu::Ibex, fw, &old_state);
@@ -101,7 +99,7 @@ fn crash_exactly_around_commit_point() {
 fn repeated_crashes_never_wedge_the_device() {
     // Crash the same device over and over at varied points; it must
     // keep journaling correctly (flag alternates per completed op).
-    let fw = build_firmware(&hasher_app_source(), sizes(), OptLevel::O2).unwrap();
+    let fw = common::hasher_fw();
     let codec = HasherCodec;
     let spec = HasherSpec;
     let mut expected = HasherState { secret: [0x0D; 32] };
@@ -160,4 +158,63 @@ fn naive_persistence_can_tear_state() {
         }
     }
     assert!(tore, "the naive store must be crash-unsafe (that is the point of the journal)");
+}
+
+/// Bounded-exhaustive coverage: instead of sampling crash cycles, cut
+/// power after *every byte* the journaled store writes. One probe run
+/// records each cycle at which FRAM changed during an Initialize — the
+/// byte-level offsets of the journal's write sequence — then a forked
+/// SoC crashes at each offset (and one cycle before it, the mid-write
+/// edge). Recovery must always yield the entirely-old or entirely-new
+/// state, never a torn mixture, and the device must stay functional.
+#[test]
+fn crash_after_every_journal_write_is_atomic() {
+    let codec = HasherCodec;
+    let old_state = codec.encode_state(&HasherState { secret: [0x0D; 32] });
+    let new_state = codec.encode_state(&HasherState { secret: [0x4E; 32] });
+    let mut soc = make_soc(Cpu::Ibex, common::hasher_fw(), &old_state);
+    let cmd = codec.encode_command(&HasherCommand::Initialize { secret: [0x4E; 32] });
+    host::send_bytes(&mut soc, &cmd, 10_000_000).unwrap();
+    let base = soc; // command delivered, handler not yet run
+                    // Probe pass: find every FRAM-mutation cycle until the device is
+                    // quiescent again (well past the final flag flip).
+    let mut probe = base.clone();
+    let mut fram = probe.fram_bytes(0, 256);
+    let mut cut_points: Vec<u64> = Vec::new();
+    for cycle in 1..=200_000u64 {
+        probe.tick();
+        let now = probe.fram_bytes(0, 256);
+        if now != fram {
+            cut_points.push(cycle);
+            fram = now;
+        }
+    }
+    // Exhaustiveness: the journal writes the 32-byte state into the
+    // inactive slot plus the commit flag, so the sweep must have seen
+    // at least one write per state byte.
+    assert!(cut_points.len() > 32, "observed only {} journal writes", cut_points.len());
+    assert_eq!(active(&probe), new_state, "probe run must commit the new state");
+    for &at in &cut_points {
+        // `at` is the edge where a write just landed; `at - 1` is the
+        // cycle mid-flight before it. Both must recover atomically.
+        for crash_at in [at - 1, at] {
+            let mut soc = base.clone();
+            for _ in 0..crash_at {
+                soc.tick();
+            }
+            soc.power_cycle();
+            let st = active(&soc);
+            assert!(
+                st == old_state || st == new_state,
+                "torn state after power cut at cycle {crash_at}: {st:02x?}"
+            );
+            // Liveness: the recovered device still answers correctly.
+            let secret = if st == old_state { [0x0D; 32] } else { [0x4E; 32] };
+            let wire = WireDriver::new(COMMAND_SIZE, RESPONSE_SIZE);
+            let hash = HasherCommand::Hash { message: [0x77; 32] };
+            let resp = wire.run(&mut soc, &codec.encode_command(&hash)).unwrap();
+            let (_, want) = HasherSpec.step(&HasherState { secret }, &hash);
+            assert_eq!(codec.decode_response(&resp), want, "crash at {crash_at}");
+        }
+    }
 }

@@ -11,7 +11,10 @@ use parfait_hsms::syssw;
 use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
 use parfait_littlec::codegen::OptLevel;
 use parfait_littlec::validate::asm_machine;
+use parfait_riscv::model::AsmStateMachine;
 use parfait_soc::Soc;
+
+mod common;
 
 fn sizes() -> AppSizes {
     AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE }
@@ -26,16 +29,12 @@ fn cfg() -> FpsConfig {
     }
 }
 
-fn fps_cycles(app_source: &str) -> u64 {
-    let fw = build_firmware(app_source, sizes(), OptLevel::O2).unwrap();
-    let program = parfait_littlec::frontend(app_source).unwrap();
-    let spec =
-        asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
+fn fps_cycles(fw: parfait_soc::Firmware, spec: &AsmStateMachine) -> u64 {
     let codec = HasherCodec;
     let secret = codec.encode_state(&HasherState { secret: [0x3D; 32] });
     let mut real = make_soc(Cpu::Ibex, fw.clone(), &secret);
     let dummy_soc = make_soc(Cpu::Ibex, fw, &codec.encode_state(&HasherSpec.init()));
-    let mut emu = CircuitEmulator::new(dummy_soc, &spec, secret, COMMAND_SIZE);
+    let mut emu = CircuitEmulator::new(dummy_soc, spec, secret, COMMAND_SIZE);
     let project = |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), STATE_SIZE);
     let script =
         vec![HostOp::Command(codec.encode_command(&HasherCommand::Hash { message: [1; 32] }))];
@@ -59,8 +58,16 @@ fn loop_bound_reduction_speeds_up_verification() {
     let reduced =
         full.replace("for (u32 r = 0; r < 10; r = r + 1) {", "for (u32 r = 0; r < 2; r = r + 1) {");
     assert_ne!(reduced, full, "loop bound injection must apply");
-    let cycles_full = fps_cycles(&full);
-    let cycles_reduced = fps_cycles(&reduced);
+    let build = |src: &str| {
+        let fw = build_firmware(src, sizes(), OptLevel::O2).unwrap();
+        let program = parfait_littlec::frontend(src).unwrap();
+        let spec =
+            asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
+        (fw, spec)
+    };
+    let cycles_full = fps_cycles(common::hasher_fw(), &common::hasher_asm_spec());
+    let (fw_reduced, spec_reduced) = build(&reduced);
+    let cycles_reduced = fps_cycles(fw_reduced, &spec_reduced);
     assert!(
         cycles_reduced < cycles_full * 3 / 4,
         "reduced bounds should verify substantially faster: {cycles_reduced} vs {cycles_full}"

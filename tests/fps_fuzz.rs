@@ -6,24 +6,18 @@ use proptest::prelude::*;
 
 use parfait::lockstep::Codec;
 use parfait::StateMachine;
-use parfait_hsms::firmware::hasher_app_source;
 use parfait_hsms::hasher::{
     HasherCodec, HasherSpec, HasherState, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
 };
-use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::platform::{make_soc, Cpu};
 use parfait_hsms::syssw;
 use parfait_knox2::{check_fps, CircuitEmulator, FpsConfig, HostOp};
-use parfait_littlec::codegen::OptLevel;
-use parfait_littlec::validate::asm_machine;
 use parfait_soc::{Firmware, Soc};
 
+mod common;
+
 fn build() -> (Firmware, parfait_riscv::model::AsmStateMachine) {
-    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
-    let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
-    let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
-    let spec =
-        asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
-    (fw, spec)
+    (common::hasher_fw(), common::hasher_asm_spec())
 }
 
 fn arb_op() -> impl Strategy<Value = HostOp> {

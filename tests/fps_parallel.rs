@@ -10,7 +10,7 @@
 
 mod common;
 
-use common::{cmd, standard_script, RunOutcome, TokenFps, TOKEN_LC};
+use common::{cmd, standard_script, token_fps, RunOutcome, TokenFps, TOKEN_LC};
 use parfait_knox2::{FpsError, HostOp};
 
 const THREADS: [usize; 2] = [2, 8];
@@ -69,14 +69,14 @@ fn differential_fail(fps: &TokenFps, script: &[HostOp], label: &str) -> FpsError
 #[test]
 fn clean_standard_script_is_identical() {
     setup();
-    let fps = TokenFps::build(TOKEN_LC, None, None, |a| a);
-    differential_pass(&fps, &standard_script(), "standard");
+    let fps = token_fps();
+    differential_pass(fps, &standard_script(), "standard");
 }
 
 #[test]
 fn garbage_and_idle_boundaries_are_identical() {
     setup();
-    let fps = TokenFps::build(TOKEN_LC, None, None, |a| a);
+    let fps = token_fps();
     // A partial command split across two Garbage ops leaves bytes
     // pending at an op boundary — the producer must *not* cut a segment
     // there (the framing is mid-command), and the completed garbage
@@ -91,15 +91,15 @@ fn garbage_and_idle_boundaries_are_identical() {
         HostOp::Idle(1),
         HostOp::Command(cmd(3, 0)),
     ];
-    differential_pass(&fps, &script, "garbage+idle");
+    differential_pass(fps, &script, "garbage+idle");
 }
 
 #[test]
 fn trivial_scripts_are_identical() {
     setup();
-    let fps = TokenFps::build(TOKEN_LC, None, None, |a| a);
-    differential_pass(&fps, &[], "empty");
-    differential_pass(&fps, &[HostOp::Idle(2_000)], "idle-only");
+    let fps = token_fps();
+    differential_pass(fps, &[], "empty");
+    differential_pass(fps, &[HostOp::Idle(2_000)], "idle-only");
 }
 
 // --- injected divergences (the §7.2 catalog) -------------------------------

@@ -15,6 +15,8 @@ use parfait_littlec::validate::asm_machine;
 use parfait_riscv::model::AsmStateMachine;
 use parfait_soc::Soc;
 
+mod common;
+
 fn sizes() -> AppSizes {
     AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE }
 }
@@ -28,10 +30,10 @@ fn cfg() -> FpsConfig {
     }
 }
 
-/// The assembly-level whole-command spec for the hasher app.
+/// The assembly-level whole-command spec for the hasher app (shared
+/// per-binary cache; see tests/common).
 fn hasher_asm_spec() -> AsmStateMachine {
-    let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
-    asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap()
+    common::hasher_asm_spec()
 }
 
 /// Build (real SoC with secret state, emulator with dummy state).
@@ -40,7 +42,7 @@ fn worlds<'s>(
     spec: &'s AsmStateMachine,
     secret_state: &[u8],
 ) -> (Soc, CircuitEmulator<'s>) {
-    let fw = build_firmware(&hasher_app_source(), sizes(), OptLevel::O2).unwrap();
+    let fw = common::hasher_fw();
     let real = make_soc(cpu, fw.clone(), secret_state);
     // The emulator's circuit runs on PUBLIC dummy state (the app's
     // well-known initial state); it never sees `secret_state`.

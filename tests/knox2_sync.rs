@@ -2,20 +2,16 @@
 //! stepping Riscette against the cycle-level cores during `handle`.
 
 use parfait::lockstep::Codec;
-use parfait_hsms::firmware::hasher_app_source;
-use parfait_hsms::hasher::{HasherCodec, HasherCommand, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE};
-use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::hasher::{HasherCodec, HasherCommand};
+use parfait_hsms::platform::{make_soc, Cpu};
 use parfait_knox2::sync::{run_until_decode, sync_handle_execution, SyncPolicy, SyncWhen};
-use parfait_littlec::codegen::OptLevel;
 use parfait_rtl::Circuit;
 use parfait_soc::host;
 
-fn sizes() -> AppSizes {
-    AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE }
-}
+mod common;
 
 fn prepared_soc(cpu: Cpu) -> parfait_soc::Soc {
-    let fw = build_firmware(&hasher_app_source(), sizes(), OptLevel::O2).unwrap();
+    let fw = common::hasher_fw();
     let codec = HasherCodec;
     let secret = codec.encode_state(&parfait_hsms::hasher::HasherState { secret: [9; 32] });
     let mut soc = make_soc(cpu, fw, &secret);

@@ -277,6 +277,60 @@ fn shared_cache_runs_are_deterministic() {
     }
 }
 
+/// Adversary mutants never pollute the clean firmware's cache: after a
+/// mutant run through the same warm pipeline, the clean app's
+/// certificates still hit and are byte-identical to the pre-mutant warm
+/// snapshot. The mutants chosen here are the sharpest case — tamper-only
+/// mutations of the *same source and slug* as the clean fixture, so a
+/// keying bug that ignored the tamper fingerprint would alias them onto
+/// the clean entries.
+#[test]
+fn mutant_runs_leave_clean_certificates_intact() {
+    use parfait_adversary::{catalog, controls, run_mutant};
+
+    let dir = private_dir("pipeline-cache-adversary");
+    let clean = controls()
+        .into_iter()
+        .find(|c| c.class == "clean-token")
+        .expect("clean-token control exists");
+    let clean_app = (clean.build)();
+
+    // Warm the cache with the clean fixture, then snapshot.
+    let cold = Pipeline::new(CertCache::at(dir.clone()), Default::default());
+    let cell_cold = verify(&cold, &clean_app);
+    assert!(cell_cold.stages.iter().all(|s| !s.cache_hit));
+    let warm = Pipeline::new(CertCache::at(dir.clone()), Default::default());
+    let cell_warm = verify(&warm, &clean_app);
+    assert!(
+        cell_warm.fully_cached(),
+        "clean fixture must be warm: {:?}",
+        hits_by_stage(&cell_warm)
+    );
+    let snapshot: Vec<String> =
+        cell_warm.stages.iter().map(|s| s.certificate.canonical()).collect();
+
+    // Run tamper-only mutants of the same source through the same
+    // pipeline handle (one killed at the wire, one at equivalence).
+    for class in ["soc-tx-double-commit", "cc-dead-store"] {
+        let m = catalog().into_iter().find(|m| m.class == class).unwrap();
+        let r = run_mutant(&warm, &m, 1);
+        assert!(r.killed_by.is_some(), "{class} must be killed, got: {}", r.detail);
+    }
+
+    // The clean firmware's certificates: still hitting, still identical.
+    let cell_after = verify(&warm, &clean_app);
+    assert!(
+        cell_after.fully_cached(),
+        "mutant runs evicted clean certificates: {:?}",
+        hits_by_stage(&cell_after)
+    );
+    let after: Vec<String> = cell_after.stages.iter().map(|s| s.certificate.canonical()).collect();
+    assert_eq!(after, snapshot, "mutant runs corrupted clean certificates");
+    assert_eq!(cell_after.composed.canonical(), cell_warm.composed.canonical());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The standard apps expose distinct, stable cache identities (guards
 /// against a refactor accidentally collapsing app slugs, which would
 /// alias their cache entries).

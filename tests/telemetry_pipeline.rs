@@ -13,19 +13,22 @@ use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
 use parfait_hsms::syssw;
 use parfait_knox2::{check_fps_traced, CircuitEmulator, FpsConfig, FpsError, FpsObserver, HostOp};
 use parfait_littlec::codegen::OptLevel;
-use parfait_littlec::validate::asm_machine;
 use parfait_soc::{Firmware, Soc};
 use parfait_telemetry::json;
 use parfait_telemetry::sinks::{Fanout, JsonlSink, LogSink, SharedBuf};
 use parfait_telemetry::Telemetry;
 
+mod common;
+
 fn build(opt: OptLevel) -> (Firmware, parfait_riscv::model::AsmStateMachine) {
+    // The common -O2 image and spec come from the per-binary cache; the
+    // -O0 divergence scenario still compiles its own image.
+    if opt == OptLevel::O2 {
+        return (common::hasher_fw(), common::hasher_asm_spec());
+    }
     let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
     let fw = build_firmware(&hasher_app_source(), sizes, opt).unwrap();
-    let program = parfait_littlec::frontend(&hasher_app_source()).unwrap();
-    let spec =
-        asm_machine(&program, OptLevel::O2, STATE_SIZE, COMMAND_SIZE, RESPONSE_SIZE).unwrap();
-    (fw, spec)
+    (fw, common::hasher_asm_spec())
 }
 
 fn cfg(timeout: u64) -> FpsConfig {

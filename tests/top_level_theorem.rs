@@ -14,15 +14,15 @@
 
 use parfait::lockstep::Codec;
 use parfait::StateMachine;
-use parfait_hsms::firmware::hasher_app_source;
 use parfait_hsms::hasher::{
     HasherCodec, HasherCommand, HasherSpec, COMMAND_SIZE, RESPONSE_SIZE, STATE_SIZE,
 };
-use parfait_hsms::platform::{build_firmware, make_soc, AppSizes, Cpu};
+use parfait_hsms::platform::{make_soc, Cpu};
 use parfait_hsms::syssw;
 use parfait_knox2::WireDriver;
-use parfait_littlec::codegen::OptLevel;
 use parfait_soc::host;
+
+mod common;
 
 #[derive(Clone, Debug)]
 enum TopOp {
@@ -31,8 +31,7 @@ enum TopOp {
 }
 
 fn run_against(cpu: Cpu) {
-    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
-    let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
+    let fw = common::hasher_fw();
     let codec = HasherCodec;
     let spec = HasherSpec;
     let mut spec_state = spec.init();
@@ -93,8 +92,7 @@ fn different_secrets_same_timing() {
     // Self-composition: two devices with different secrets, same public
     // script, must produce responses at exactly the same cycles (the
     // essence of non-leakage through timing).
-    let sizes = AppSizes { state: STATE_SIZE, command: COMMAND_SIZE, response: RESPONSE_SIZE };
-    let fw = build_firmware(&hasher_app_source(), sizes, OptLevel::O2).unwrap();
+    let fw = common::hasher_fw();
     let codec = HasherCodec;
     let mk = |secret: [u8; 32]| {
         make_soc(

@@ -70,7 +70,7 @@ fn parse_kill(err: &str) -> (Option<StageKind>, String) {
 pub fn run_mutant(pipeline: &Pipeline, m: &Mutation, threads: usize) -> MutantReport {
     let t0 = Instant::now();
     let app = (m.build)();
-    let obs = FpsObserver { telemetry: pipeline.tel.clone(), heartbeat_cycles: 0 };
+    let obs = FpsObserver { telemetry: pipeline.tel.clone(), heartbeat_cycles: 0, cell: 0 };
     let outcome = pipeline.software_stages(&app, m.opt).and_then(|_| {
         pipeline
             .run_fps(&app, m.cpu, m.opt, &obs, threads, MUTANT_FPS_TIMEOUT)

@@ -299,6 +299,11 @@ struct AsmLint<'p> {
     memo: HashMap<(u32, StateKey, u64), Option<MState>>,
     call_stack: Vec<u32>,
     findings: BTreeMap<(RuleId, u32), Finding>,
+    /// Worklist pops across every function fixpoint (flushed to the
+    /// metrics registry by [`lint_asm`], not per-pop).
+    fixpoint_iters: u64,
+    /// Summary-memo hits in `analyze_function`.
+    memo_hits: u64,
 }
 
 impl<'p> AsmLint<'p> {
@@ -339,6 +344,8 @@ impl<'p> AsmLint<'p> {
             memo: HashMap::new(),
             call_stack: Vec::new(),
             findings: BTreeMap::new(),
+            fixpoint_iters: 0,
+            memo_hits: 0,
         }
     }
 
@@ -542,10 +549,15 @@ impl<'p> AsmLint<'p> {
         }
         let memo_key = (entry, st.key(), self.epoch);
         if let Some(ret) = self.memo.get(&memo_key) {
+            self.memo_hits += 1;
             return Ok(ret.clone());
         }
         self.call_stack.push(entry);
+        let t0 = std::time::Instant::now();
         let result = self.function_fixpoint(entry, st);
+        parfait_telemetry::metrics::Metrics::global()
+            .histogram_with("analyzer_fn_lint_us", &[("layer", "asm")])
+            .record_duration(t0.elapsed());
         self.call_stack.pop();
         let ret = result?;
         self.memo.insert(memo_key, ret.clone());
@@ -563,6 +575,7 @@ impl<'p> AsmLint<'p> {
         let mut work: BTreeSet<u32> = BTreeSet::from([entry]);
         let mut ret: Option<MState> = None;
         while let Some(addr) = work.pop_first() {
+            self.fixpoint_iters += 1;
             let Some(st) = states.get(&addr).cloned() else { continue };
             let (succs, returned) = self.step(addr, st)?;
             if let Some(r) = returned {
@@ -765,6 +778,11 @@ pub fn lint_asm(prog: &Program, entry: &str) -> Result<Vec<Finding>, LintError> 
             break;
         }
     }
+    let metrics = parfait_telemetry::metrics::Metrics::global();
+    metrics
+        .counter_with("analyzer_fixpoint_iterations_total", &[("layer", "asm")])
+        .add(lint.fixpoint_iters);
+    metrics.counter_with("analyzer_memo_hits_total", &[("layer", "asm")]).add(lint.memo_hits);
     let mut findings: Vec<Finding> = lint.findings.into_values().collect();
     findings.sort();
     findings.dedup();

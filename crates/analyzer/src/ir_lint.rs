@@ -113,6 +113,11 @@ struct IrLint<'p> {
     /// (rule, function, block, site) → finding; dedup across fixpoint
     /// iterations (values are monotone, so early firings stay valid).
     findings: BTreeMap<(RuleId, String, usize, usize), Finding>,
+    /// Worklist pops across every function fixpoint (flushed to the
+    /// metrics registry by [`lint_ir`], not per-pop).
+    fixpoint_iters: u64,
+    /// Summary-memo hits in `analyze_function`.
+    memo_hits: u64,
 }
 
 impl<'p> IrLint<'p> {
@@ -160,11 +165,16 @@ impl<'p> IrLint<'p> {
             self.epoch,
         );
         if let Some(ret) = self.memo.get(&key) {
+            self.memo_hits += 1;
             return Ok(ret.clone());
         }
         let f = self.prog.function(name).ok_or_else(|| LintError::NoEntry(name.to_string()))?;
         self.call_stack.push(name.to_string());
+        let t0 = std::time::Instant::now();
         let result = self.function_fixpoint(f, args);
+        parfait_telemetry::metrics::Metrics::global()
+            .histogram_with("analyzer_fn_lint_us", &[("layer", "ir")])
+            .record_duration(t0.elapsed());
         self.call_stack.pop();
         let ret = result?;
         self.memo.insert(key, ret.clone());
@@ -186,6 +196,7 @@ impl<'p> IrLint<'p> {
         let mut work = vec![0usize];
         let mut ret = AbsVal::default();
         while let Some(bi) = work.pop() {
+            self.fixpoint_iters += 1;
             let Some(mut st) = in_states[bi].clone() else { continue };
             self.transfer(f, bi, &mut st)?;
             let block = &f.blocks[bi];
@@ -369,6 +380,8 @@ pub fn lint_ir(prog: &IrProgram, entry: &str) -> Result<Vec<Finding>, LintError>
         memo: HashMap::new(),
         call_stack: Vec::new(),
         findings: BTreeMap::new(),
+        fixpoint_iters: 0,
+        memo_hits: 0,
     };
     // Outer fixpoint over the region content table: stores may taint a
     // region that earlier loads already read; re-run until stable
@@ -383,6 +396,11 @@ pub fn lint_ir(prog: &IrProgram, entry: &str) -> Result<Vec<Finding>, LintError>
             break;
         }
     }
+    let metrics = parfait_telemetry::metrics::Metrics::global();
+    metrics
+        .counter_with("analyzer_fixpoint_iterations_total", &[("layer", "ir")])
+        .add(lint.fixpoint_iters);
+    metrics.counter_with("analyzer_memo_hits_total", &[("layer", "ir")]).add(lint.memo_hits);
     let mut findings: Vec<Finding> = lint.findings.into_values().collect();
     findings.sort();
     findings.dedup();

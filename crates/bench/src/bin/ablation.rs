@@ -61,4 +61,7 @@ fn main() {
     println!("The fig. 11 policy checks at control/memory boundaries only — a");
     println!("fraction of the per-instruction cost, while still localizing any");
     println!("divergence to a small window (end-only gives no localization).");
+    // `--metrics <path>` writes the run manifest (bin, build id,
+    // env knobs, metrics snapshot); absent flag is a no-op.
+    parfait_bench::emit_manifest("ablation", 1, 0);
 }

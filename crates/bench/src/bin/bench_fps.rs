@@ -152,4 +152,7 @@ fn main() {
         write_json(&path, &doc).expect("write --json output");
         eprintln!("wrote {}", path.display());
     }
+    // `--metrics <path>` writes the run manifest (bin, build id,
+    // env knobs, metrics snapshot); absent flag is a no-op.
+    parfait_bench::emit_manifest("bench_fps", threads, 0);
 }

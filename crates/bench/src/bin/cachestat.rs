@@ -1,0 +1,220 @@
+//! `cachestat` — introspection for the on-disk certificate cache and
+//! for metrics snapshots.
+//!
+//! Lists every `*.cert.json` entry under the cache directory
+//! (`PARFAIT_CACHE_DIR`, or `--dir <path>`): stage kind, key prefix,
+//! byte size, and age, with per-stage and grand totals. The listing is
+//! read-only — unlike the verifiers, `cachestat` never creates or
+//! probes the directory.
+//!
+//! `--check-metrics <path>` instead loads a metrics snapshot (bare, or
+//! wrapped in a `RunManifest` as written by `--metrics`) and asserts it
+//! parses and contains the expected metric families — the CI gate that
+//! an instrumented run actually recorded what it claims to.
+//!
+//! ```sh
+//! PARFAIT_CACHE_DIR=/tmp/certs cachestat
+//! cachestat --dir /tmp/certs --json
+//! cachestat --check-metrics /tmp/m.json --require pipeline_stage_,certcache_
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::SystemTime;
+
+use parfait_bench::render_table;
+use parfait_telemetry::json::Json;
+
+fn usage() -> u8 {
+    eprintln!(
+        "usage: cachestat [--dir <path>] [--json <path>] | \
+         cachestat --check-metrics <path> [--require <prefix,prefix,...>]"
+    );
+    1
+}
+
+/// One on-disk cache entry, parsed from its file name and metadata.
+struct Entry {
+    stage: String,
+    key_prefix: String,
+    bytes: u64,
+    age_secs: u64,
+}
+
+fn scan(dir: &PathBuf) -> Result<Vec<Entry>, String> {
+    let listing =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let now = SystemTime::now();
+    let mut entries = Vec::new();
+    for item in listing {
+        let item = item.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = item.file_name().to_string_lossy().into_owned();
+        let Some(key) = name.strip_suffix(".cert.json") else { continue };
+        // Keys are "{stage}-{input-hash-hex}".
+        let (stage, hash) = key.split_once('-').unwrap_or((key, ""));
+        let meta = item.metadata().map_err(|e| format!("{name}: {e}"))?;
+        let age_secs = meta
+            .modified()
+            .ok()
+            .and_then(|m| now.duration_since(m).ok())
+            .map_or(0, |d| d.as_secs());
+        entries.push(Entry {
+            stage: stage.to_string(),
+            key_prefix: hash.chars().take(12).collect(),
+            bytes: meta.len(),
+            age_secs,
+        });
+    }
+    entries.sort_by(|a, b| (&a.stage, &a.key_prefix).cmp(&(&b.stage, &b.key_prefix)));
+    Ok(entries)
+}
+
+fn human_age(secs: u64) -> String {
+    match secs {
+        0..=119 => format!("{secs}s"),
+        120..=7199 => format!("{}m", secs / 60),
+        7200..=172_799 => format!("{}h", secs / 3600),
+        _ => format!("{}d", secs / 86_400),
+    }
+}
+
+/// Default metric families a `--check-metrics` snapshot must contain.
+const DEFAULT_FAMILIES: &str = "pipeline_stage_,certcache_";
+
+fn check_metrics(path: &str, require: &str) -> u8 {
+    let snap = match parfait_telemetry::manifest::snapshot_from_file(std::path::Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let mut missing = Vec::new();
+    for prefix in require.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        if snap.has_family(prefix) {
+            println!("ok: snapshot has {prefix}* metrics");
+        } else {
+            missing.push(prefix.to_string());
+        }
+    }
+    if missing.is_empty() {
+        println!(
+            "{path}: snapshot ok ({} counters, {} gauges, {} histograms)",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.hists.len()
+        );
+        0
+    } else {
+        eprintln!("error: {path}: missing metric families: {}", missing.join(", "));
+        1
+    }
+}
+
+fn main() -> ExitCode {
+    ExitCode::from(run())
+}
+
+fn run() -> u8 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut json = false;
+    let mut check: Option<String> = None;
+    let mut require = DEFAULT_FAMILIES.to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => match it.next() {
+                Some(p) => dir = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--json" => json = true,
+            "--check-metrics" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => return usage(),
+            },
+            "--require" => match it.next() {
+                Some(p) => require = p.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if let Some(path) = check {
+        return check_metrics(&path, &require);
+    }
+    // Listing mode. Resolve the directory without creating it: a
+    // cachestat must never mutate the cache it reports on.
+    let dir = match dir.or_else(parfait_telemetry::env::cache_dir_loud) {
+        Some(d) => d,
+        None => {
+            eprintln!("error: no cache directory (set PARFAIT_CACHE_DIR or pass --dir)");
+            return 1;
+        }
+    };
+    let entries = match scan(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let total_bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+    if json {
+        let doc = Json::obj([
+            ("artifact", Json::str("cachestat")),
+            ("dir", Json::str(dir.display().to_string())),
+            ("entries", Json::Int(entries.len() as i64)),
+            ("total_bytes", Json::Int(total_bytes as i64)),
+            (
+                "certs",
+                Json::Arr(
+                    entries
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("stage", Json::str(&e.stage)),
+                                ("key_prefix", Json::str(&e.key_prefix)),
+                                ("bytes", Json::Int(e.bytes as i64)),
+                                ("age_secs", Json::Int(e.age_secs as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{doc}");
+        return 0;
+    }
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![e.stage.clone(), e.key_prefix.clone(), e.bytes.to_string(), human_age(e.age_secs)]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("certificate cache: {}", dir.display()),
+            &["Stage", "Key", "Bytes", "Age"],
+            &rows
+        )
+    );
+    // Per-stage totals, in stage order of first appearance (entries
+    // are sorted, so this groups correctly).
+    let mut by_stage: Vec<(String, usize, u64)> = Vec::new();
+    for e in &entries {
+        match by_stage.last_mut() {
+            Some((s, n, b)) if *s == e.stage => {
+                *n += 1;
+                *b += e.bytes;
+            }
+            _ => by_stage.push((e.stage.clone(), 1, e.bytes)),
+        }
+    }
+    for (stage, n, bytes) in &by_stage {
+        println!("  {stage}: {n} cert(s), {bytes} bytes");
+    }
+    println!("total: {} cert(s), {} bytes", entries.len(), total_bytes);
+    0
+}

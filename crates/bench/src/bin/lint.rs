@@ -16,17 +16,18 @@ use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 use parfait_analyzer::{lint_source, Finding};
+use parfait_bench::emit_manifest;
 use parfait_bench::{render_table, write_json, App};
 use parfait_littlec::codegen::OptLevel;
 use parfait_telemetry::json::Json;
 use parfait_telemetry::Telemetry;
 
-fn usage() -> ExitCode {
+fn usage() -> u8 {
     eprintln!(
         "usage: lint [--app <ecdsa|hasher|totp>]... [--opt <O0|O1|O2>] \
-         [--baseline <path>] [--json <path>]"
+         [--baseline <path>] [--json <path>] [--metrics <path>]"
     );
-    ExitCode::FAILURE
+    1
 }
 
 fn parse_opt(s: &str) -> Option<OptLevel> {
@@ -63,6 +64,14 @@ fn read_baseline(path: &str) -> Result<BTreeSet<String>, String> {
 }
 
 fn main() -> ExitCode {
+    let code = run();
+    // Manifest (only with `--metrics`) records the exit status, so
+    // failed lints leave an artifact too.
+    emit_manifest("lint", 1, i32::from(code));
+    ExitCode::from(code)
+}
+
+fn run() -> u8 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut apps: Vec<App> = Vec::new();
     let mut opt = OptLevel::O2;
@@ -87,8 +96,18 @@ fn main() -> ExitCode {
                 Some(p) => json_path = Some(p.clone()),
                 None => return usage(),
             },
+            "--metrics" => {
+                // Validated below by metrics_path_from over the full args.
+                if it.next().is_none() {
+                    return usage();
+                }
+            }
             _ => return usage(),
         }
+    }
+    if let Err(e) = parfait_bench::metrics_path_from(args.iter().cloned()) {
+        eprintln!("error: {e}");
+        return usage();
     }
     if apps.is_empty() {
         apps = App::ALL.to_vec();
@@ -104,7 +123,7 @@ fn main() -> ExitCode {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {}: {e}", app.slug());
-                return ExitCode::FAILURE;
+                return 1;
             }
         };
         rows.push(vec![
@@ -145,7 +164,7 @@ fn main() -> ExitCode {
         ]);
         if let Err(e) = write_json(std::path::Path::new(path), &doc) {
             eprintln!("error: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return 1;
         }
         eprintln!("wrote {path}");
     }
@@ -155,7 +174,7 @@ fn main() -> ExitCode {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+                return 1;
             }
         },
         None => BTreeSet::new(),
@@ -172,8 +191,8 @@ fn main() -> ExitCode {
             eprintln!("  [{}] {f}", app.slug());
             eprintln!("    baseline key: {}", f.baseline_key());
         }
-        return ExitCode::FAILURE;
+        return 1;
     }
     println!("constant-time: clean ({} apps at {opt}, 0 non-baseline findings)", apps.len());
-    ExitCode::SUCCESS
+    0
 }

@@ -17,19 +17,28 @@
 use std::process::ExitCode;
 
 use parfait_adversary::{catalog, controls, diff, reports_to_json, run_catalog, Baseline, Level};
-use parfait_bench::write_json;
+use parfait_bench::{emit_manifest, write_json};
 use parfait_pipeline::{CertCache, Pipeline};
 use parfait_telemetry::Telemetry;
 
-fn usage() -> ExitCode {
+fn usage() -> u8 {
     eprintln!(
         "usage: mutatest [--quick] [--level <crypto|codegen|isa|core|soc|emulator>]... \
-         [--baseline <path>] [--update] [--threads N] [--json <path>]"
+         [--baseline <path>] [--update] [--threads N] [--json <path>] [--metrics <path>]"
     );
-    ExitCode::FAILURE
+    1
 }
 
 fn main() -> ExitCode {
+    let mut threads_used = 1usize;
+    let code = run(&mut threads_used);
+    // Manifest (only with `--metrics`) records the exit status, so
+    // failed runs leave an artifact too.
+    emit_manifest("mutatest", threads_used, i32::from(code));
+    ExitCode::from(code)
+}
+
+fn run(threads_used: &mut usize) -> u8 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut update = false;
@@ -58,8 +67,19 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => threads = n,
                 _ => return usage(),
             },
+            "--metrics" => {
+                // Validated below by metrics_path_from over the full args.
+                if it.next().is_none() {
+                    return usage();
+                }
+            }
             _ => return usage(),
         }
+    }
+    *threads_used = threads;
+    if let Err(e) = parfait_bench::metrics_path_from(args.iter().cloned()) {
+        eprintln!("error: {e}");
+        return usage();
     }
     if update && baseline_path.is_none() {
         eprintln!("error: --update needs --baseline <path>");
@@ -82,7 +102,7 @@ fn main() -> ExitCode {
     }
     if muts.is_empty() {
         eprintln!("error: no mutations selected");
-        return ExitCode::FAILURE;
+        return 1;
     }
 
     let pipeline = Pipeline::new(CertCache::from_env(), Telemetry::default());
@@ -122,7 +142,7 @@ fn main() -> ExitCode {
         if let Err(e) = write_json(std::path::Path::new(path), &reports_to_json(&reports, threads))
         {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return 1;
         }
         println!("wrote {path}");
     }
@@ -131,7 +151,7 @@ fn main() -> ExitCode {
         (Some(path), true) => {
             if sampled {
                 eprintln!("error: refusing to --update from a sampled run (drop --quick/--level)");
-                return ExitCode::FAILURE;
+                return 1;
             }
             if !bad_survivors.is_empty() || !killed_controls.is_empty() {
                 eprintln!(
@@ -139,22 +159,22 @@ fn main() -> ExitCode {
                     bad_survivors.join(", "),
                     killed_controls.join(", ")
                 );
-                return ExitCode::FAILURE;
+                return 1;
             }
             let b = Baseline::from_reports(&reports);
             if let Err(e) = b.store(std::path::Path::new(path)) {
                 eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+                return 1;
             }
             println!("baseline updated: {path} ({} classes)", b.expected.len());
-            ExitCode::SUCCESS
+            0
         }
         (Some(path), false) => {
             let baseline = match Baseline::load(std::path::Path::new(path)) {
                 Ok(b) => b,
                 Err(e) => {
                     eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
+                    return 1;
                 }
             };
             let d = diff(&baseline, &reports);
@@ -175,13 +195,13 @@ fn main() -> ExitCode {
             }
             if d.violations.is_empty() {
                 println!("baseline clean: every exercised class killed by its recorded stage");
-                ExitCode::SUCCESS
+                0
             } else {
                 for v in &d.violations {
                     eprintln!("error: {v}");
                 }
                 eprintln!("{} baseline violation(s)", d.violations.len());
-                ExitCode::FAILURE
+                1
             }
         }
         (None, _) => {
@@ -191,14 +211,14 @@ fn main() -> ExitCode {
                     bad_survivors.len(),
                     bad_survivors.join(", ")
                 );
-                return ExitCode::FAILURE;
+                return 1;
             }
             if !killed_controls.is_empty() {
                 eprintln!("error: clean control(s) failed: {}", killed_controls.join(", "));
-                return ExitCode::FAILURE;
+                return 1;
             }
             println!("all mutants killed; all controls survived");
-            ExitCode::SUCCESS
+            0
         }
     }
 }

@@ -22,4 +22,7 @@ fn main() {
     );
     println!("IPR chain: Spec =lockstep= interp =equiv= IR =equiv= Asm =FPS= SoC");
     println!("(composed by parfait::transitive into the top-level theorem)");
+    // `--metrics <path>` writes the run manifest (bin, build id,
+    // env knobs, metrics snapshot); absent flag is a no-op.
+    parfait_bench::emit_manifest("table1", 1, 0);
 }

@@ -77,4 +77,7 @@ fn main() {
     );
     println!("Paper shape: spec is tens of lines; implementations are 1-2 orders larger.");
     println!("Paper values: ECDSA 40/100 spec/driver, 2300 SW, 13500 HW (Ibex), 3000 HW (Pico).");
+    // `--metrics <path>` writes the run manifest (bin, build id,
+    // env knobs, metrics snapshot); absent flag is a no-op.
+    parfait_bench::emit_manifest("table2", 1, 0);
 }

@@ -9,30 +9,38 @@
 //! stages whose inputs are unchanged are near-instant cache hits, so
 //! re-verifying an unchanged app costs milliseconds.
 //!
+//! When stderr is a terminal, a live matrix view shows one lane per
+//! verification cell (current stage, cache fast-forwards, cycles/s fed
+//! by FPS heartbeats). `--metrics <path>` writes a
+//! [`parfait_telemetry::manifest::RunManifest`] — build id, env knobs,
+//! thread count, exit status, and the full metrics snapshot.
+//!
 //! ```sh
 //! cargo run -p parfait-bench --release --bin verify -- --app hasher --platform ibex
 //! cargo run -p parfait-bench --release --bin verify -- --app ecdsa  --platform pico --software-only
-//! cargo run -p parfait-bench --release --bin verify -- --app totp   --platform both
+//! cargo run -p parfait-bench --release --bin verify -- --app totp   --platform both --metrics m.json
 //! ```
 
 use std::process::ExitCode;
 
-use parfait_bench::{threads_from, write_json};
+use parfait_bench::{emit_manifest, metrics_path_from, threads_from, write_json};
 use parfait_hsms::platform::Cpu;
 use parfait_knox2::FpsObserver;
 use parfait_littlec::codegen::OptLevel;
 use parfait_parallel::parallel_map;
 use parfait_pipeline::{compose, Pipeline, StageCertificate, StageOutcome, StdApp};
 use parfait_telemetry::json::Json;
-use parfait_telemetry::sinks::LogSink;
-use parfait_telemetry::Telemetry;
+use parfait_telemetry::progress::MatrixView;
+use parfait_telemetry::sinks::{Fanout, LogSink};
+use parfait_telemetry::{Recorder, Telemetry};
 
-fn usage() -> ExitCode {
+fn usage() -> u8 {
     eprintln!(
         "usage: verify --app <ecdsa|hasher|totp> --platform <ibex|pico|both> \
-         [--software-only|--hardware-only] [--threads <n>] [--json <path>] [--trace]"
+         [--software-only|--hardware-only] [--threads <n>] [--json <path>] \
+         [--metrics <path>] [--trace]"
     );
-    ExitCode::FAILURE
+    1
 }
 
 /// One stage outcome as a table/JSON row: name, stats, cache flag.
@@ -62,6 +70,15 @@ fn describe(outcome: &StageOutcome, platform: Option<Cpu>) -> (String, Json) {
 }
 
 fn main() -> ExitCode {
+    let mut threads_used = 1usize;
+    let code = run(&mut threads_used);
+    // The manifest records the exit status, so it is written for
+    // failed verifications too (only when `--metrics` was given).
+    emit_manifest("verify", threads_used, i32::from(code));
+    ExitCode::from(code)
+}
+
+fn run(threads_used: &mut usize) -> u8 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut app_name = None;
     let mut platform = "ibex".to_string();
@@ -81,8 +98,9 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--trace" => trace = true,
-            "--threads" => {
-                // Validated below by threads_from over the full args.
+            "--threads" | "--metrics" => {
+                // Validated below (threads_from / metrics_path_from)
+                // over the full args.
                 if it.next().is_none() {
                     return usage();
                 }
@@ -98,6 +116,11 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    *threads_used = threads;
+    if let Err(e) = metrics_path_from(args.iter().cloned()) {
+        eprintln!("error: {e}");
+        return usage();
+    }
     let Some(name) = app_name else { return usage() };
     let Some(app) = StdApp::from_slug(&name) else { return usage() };
     let cpus: Vec<Cpu> = match platform.as_str() {
@@ -106,19 +129,60 @@ fn main() -> ExitCode {
         "both" => vec![Cpu::Ibex, Cpu::Pico],
         _ => return usage(),
     };
+    // The live matrix view, only when stderr is really a terminal (CI
+    // logs and pipes never see ANSI control sequences).
+    let view = MatrixView::stderr_if_tty();
     // `--trace` (or PARFAIT_TRACE=1) streams spans, counters, and
-    // periodic FPS heartbeats to stderr while the checks run.
-    let tel =
-        if trace { Telemetry::new(Box::new(LogSink::stderr())) } else { Telemetry::disabled() };
+    // periodic FPS heartbeats to stderr while the checks run. The view
+    // taps the same event stream for its cycles/s lanes.
+    let mut sinks: Vec<Box<dyn Recorder>> = Vec::new();
+    if trace {
+        sinks.push(Box::new(LogSink::stderr()));
+    }
+    if let Some(v) = &view {
+        sinks.push(Box::new(v.sink()));
+    }
+    let tel = match sinks.len() {
+        0 => Telemetry::disabled(),
+        1 => Telemetry::new(sinks.pop().expect("len checked")),
+        _ => Telemetry::new(Box::new(Fanout::new(sinks))),
+    };
     // Heartbeat cadence in simulated cycles (PARFAIT_HEARTBEAT
-    // overrides); the hasher check runs a few hundred thousand cycles,
-    // the ECDSA checks tens of millions.
-    let heartbeat_cycles =
-        std::env::var("PARFAIT_HEARTBEAT").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000);
-    let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles };
+    // overrides; 0 disables; garbage is a loud error). The hasher check
+    // runs a few hundred thousand cycles, the ECDSA checks tens of
+    // millions.
+    let heartbeat_cycles = parfait_telemetry::env::heartbeat_loud();
     let opt = OptLevel::O2;
     let pipeline = Pipeline::from_env(tel.clone());
     let a = app.pipeline();
+
+    // Lane ids double as the `cell` value FPS heartbeats carry, and as
+    // the `cell` label on the `fps_cycles_per_second` gauge — so the
+    // display and the metrics snapshot agree by construction. Without a
+    // view the ids are still allocated, keeping the gauge labels
+    // distinct per platform.
+    let mut next_cell = 0u64;
+    let mut lane = |label: &str| match &view {
+        Some(v) => v.add_lane(label),
+        None => {
+            let c = next_cell;
+            next_cell += 1;
+            c
+        }
+    };
+    let sw_cell = if software { Some(lane(&format!("{}/starling/{opt}", a.name))) } else { None };
+    let hw_cells: Vec<(Cpu, u64)> = if hardware {
+        cpus.iter().map(|&cpu| (cpu, lane(&format!("{}/{cpu}/{opt}", a.name)))).collect()
+    } else {
+        Vec::new()
+    };
+    let finish = |code: u8| {
+        tel.finish();
+        if let Some(v) = &view {
+            v.finish();
+        }
+        code
+    };
 
     let mut json_results: Vec<Json> = Vec::new();
     let mut hits = 0usize;
@@ -130,9 +194,16 @@ fn main() -> ExitCode {
     );
     let mut software_certs: Vec<StageCertificate> = Vec::new();
     if software {
+        let cell = sw_cell.expect("allocated above");
+        if let Some(v) = &view {
+            v.set_stage(cell, "speccheck", false);
+        }
         match pipeline.software_stages(&a, opt) {
             Ok(stages) => {
                 for s in &stages {
+                    if let Some(v) = &view {
+                        v.set_stage(cell, s.certificate.stage.as_str(), s.cache_hit);
+                    }
                     let (line, json) = describe(s, None);
                     println!("{line}");
                     json_results.push(json);
@@ -140,10 +211,16 @@ fn main() -> ExitCode {
                     total += 1;
                 }
                 software_certs = stages.into_iter().map(|s| s.certificate).collect();
+                if let Some(v) = &view {
+                    v.finish_lane(cell, true);
+                }
             }
             Err(e) => {
+                if let Some(v) = &view {
+                    v.finish_lane(cell, false);
+                }
                 println!("  [starling] FAILED: {e}");
-                return ExitCode::FAILURE;
+                return finish(1);
             }
         }
     }
@@ -151,15 +228,23 @@ fn main() -> ExitCode {
         // The matrix level of the parallel pipeline: independent
         // platform checks fan out across the thread budget, and each
         // check splits its share across FPS segment workers.
-        let cases = cpus.len();
+        let cases = hw_cells.len();
         let threads_per_case = (threads / cases).max(1);
-        let (a, obs, pipeline) = (&a, &obs, &pipeline);
-        let outcomes = parallel_map(cases.min(threads), cpus, move |_, cpu| {
-            (cpu, pipeline.fps_stage(a, cpu, opt, obs, threads_per_case))
+        let (a, pipeline, tel, view) = (&a, &pipeline, &tel, &view);
+        let outcomes = parallel_map(cases.min(threads), hw_cells, move |_, (cpu, cell)| {
+            if let Some(v) = view {
+                v.set_stage(cell, "fps", false);
+            }
+            let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles, cell };
+            (cpu, cell, pipeline.fps_stage(a, cpu, opt, &obs, threads_per_case))
         });
-        for (cpu, outcome) in outcomes {
+        for (cpu, cell, outcome) in outcomes {
             match outcome {
                 Ok(s) => {
+                    if let Some(v) = view {
+                        v.set_stage(cell, "fps", s.cache_hit);
+                        v.finish_lane(cell, true);
+                    }
                     let (line, json) = describe(&s, Some(cpu));
                     println!("{line}");
                     json_results.push(json);
@@ -190,19 +275,21 @@ fn main() -> ExitCode {
                             }
                             Err(e) => {
                                 println!("  [composed/{cpu}] FAILED: {e}");
-                                return ExitCode::FAILURE;
+                                return finish(1);
                             }
                         }
                     }
                 }
                 Err(e) => {
+                    if let Some(v) = view {
+                        v.finish_lane(cell, false);
+                    }
                     println!("  [knox2/{cpu}] FAILED: {e}");
-                    return ExitCode::FAILURE;
+                    return finish(1);
                 }
             }
         }
     }
-    tel.finish();
     if let Some(path) = json_path {
         let doc = Json::obj([
             ("app", Json::str(&a.name)),
@@ -213,7 +300,7 @@ fn main() -> ExitCode {
         let path = std::path::PathBuf::from(path);
         if let Err(e) = write_json(&path, &doc) {
             eprintln!("could not write {}: {e}", path.display());
-            return ExitCode::FAILURE;
+            return finish(1);
         }
         eprintln!("wrote {}", path.display());
     }
@@ -221,5 +308,5 @@ fn main() -> ExitCode {
         "verification complete: the SoC refines the {} specification ({hits}/{total} stages cached)",
         a.name
     );
-    ExitCode::SUCCESS
+    finish(0)
 }

@@ -95,6 +95,55 @@ pub fn threads_arg() -> usize {
     }
 }
 
+/// Extract `--metrics <path>` from an argument list, with the same
+/// strictness contract as [`json_output_path_from`]: absent is
+/// `Ok(None)`, a missing or flag-shaped path is a loud `Err`.
+pub fn metrics_path_from<I>(args: I) -> Result<Option<std::path::PathBuf>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--metrics" {
+            return match args.next() {
+                Some(p) if !p.starts_with("--") => Ok(Some(std::path::PathBuf::from(p))),
+                _ => Err("--metrics expects a file path".to_string()),
+            };
+        }
+    }
+    Ok(None)
+}
+
+/// `--metrics <path>` from this process's command line, if given.
+/// Malformed usage exits loudly, like [`json_output_path`].
+pub fn metrics_path() -> Option<std::path::PathBuf> {
+    match metrics_path_from(std::env::args().skip(1)) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// If `--metrics <path>` was given, capture a [`RunManifest`] for this
+/// bin — name, build id, env knobs, thread count, exit status, and a
+/// snapshot of the global metrics registry — and write it to the path.
+/// Call once, just before returning the bin's exit code. Write failures
+/// exit loudly (a CI run must not "succeed" without its artifact).
+pub fn emit_manifest(bin: &str, threads: usize, exit_code: i32) {
+    if let Some(path) = metrics_path() {
+        parfait_telemetry::manifest::RunManifest::capture(
+            bin,
+            threads,
+            exit_code,
+            parfait_telemetry::metrics::Metrics::global(),
+        )
+        .write(&path);
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 /// Write a JSON document to `path` (with a trailing newline).
 pub fn write_json(
     path: &std::path::Path,
@@ -213,6 +262,17 @@ mod tests {
         assert_eq!(trailing, flag_like);
         assert_eq!(trailing, bare_dashes);
         assert_eq!(trailing, "--json expects a file path");
+    }
+
+    #[test]
+    fn metrics_flag_mirrors_json_flag_contract() {
+        assert_eq!(metrics_path_from(args(&["--quick"])).unwrap(), None);
+        assert_eq!(
+            metrics_path_from(args(&["--metrics", "m.json"])).unwrap(),
+            Some(std::path::PathBuf::from("m.json"))
+        );
+        assert!(metrics_path_from(args(&["--metrics"])).is_err());
+        assert!(metrics_path_from(args(&["--metrics", "--json"])).is_err());
     }
 
     #[test]

@@ -77,15 +77,10 @@ impl FpsConfig {
 
     /// Parse a `PARFAIT_TIMEOUT` value (cycles; `_` separators
     /// allowed). `None` — the variable is unset — yields
-    /// [`Self::BASE_TIMEOUT`].
+    /// [`Self::BASE_TIMEOUT`]. The grammar and error message live in
+    /// [`parfait_telemetry::env`] with the other knobs.
     pub fn parse_timeout(raw: Option<&str>) -> Result<u64, String> {
-        match raw {
-            None => Ok(Self::BASE_TIMEOUT),
-            Some(v) => match v.trim().replace('_', "").parse::<u64>() {
-                Ok(n) if n > 0 => Ok(n),
-                _ => Err(format!("PARFAIT_TIMEOUT expects a positive cycle count, got {v:?}")),
-            },
-        }
+        Ok(parfait_telemetry::env::parse_timeout(raw)?.unwrap_or(Self::BASE_TIMEOUT))
     }
 
     /// The FPS handshake timeout: [`Self::BASE_TIMEOUT`], overridable
@@ -233,6 +228,10 @@ pub struct FpsObserver {
     /// Emit an `fps.heartbeat` progress event every this many simulated
     /// cycles (0 disables heartbeats).
     pub heartbeat_cycles: u64,
+    /// Matrix-cell lane id carried by every heartbeat (and labeling the
+    /// `fps_cycles_per_second` gauge), so a progress view can route
+    /// concurrent cells to their own display lanes. 0 when unused.
+    pub cell: u64,
 }
 
 /// An FPS failure together with the statistics accumulated up to the
@@ -282,6 +281,12 @@ pub(crate) struct Dual<'a, 's> {
     /// Which checker thread this pair runs on (0 = sequential/producer;
     /// heartbeats carry it so trace lanes separate per worker).
     pub(crate) worker: u64,
+    /// Matrix-cell id from [`FpsObserver::cell`], carried on heartbeats.
+    pub(crate) cell: u64,
+    /// `fps_cycles_per_second{cell}` — updated at heartbeat cadence
+    /// only, so the metrics registry and the progress view agree on one
+    /// number without touching the per-cycle hot path.
+    pub(crate) cps_gauge: parfait_telemetry::metrics::Gauge,
     /// Observable wires of both worlds over a sliding window
     /// (`PARFAIT_VCD_WINDOW` cycles), recorded only when a VCD dump was
     /// requested via `PARFAIT_VCD_DIR`.
@@ -298,13 +303,10 @@ pub(crate) struct Divergence {
 
 /// The VCD capture window: the most recent `PARFAIT_VCD_WINDOW` cycles
 /// (default 2^16) are retained, so capture on multi-day runs holds a
-/// bounded buffer instead of the whole execution.
+/// bounded buffer instead of the whole execution. A malformed value is
+/// a hard error (via [`parfait_telemetry::env`]).
 pub(crate) fn vcd_window() -> usize {
-    std::env::var("PARFAIT_VCD_WINDOW")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .filter(|&n: &usize| n > 0)
-        .unwrap_or(1 << 16)
+    parfait_telemetry::env::vcd_window_loud()
 }
 
 impl<'a, 's> Dual<'a, 's> {
@@ -325,6 +327,8 @@ impl<'a, 's> Dual<'a, 's> {
         } else {
             cycle_base.saturating_add(obs.heartbeat_cycles)
         };
+        let cps_gauge = parfait_telemetry::metrics::Metrics::global()
+            .gauge_with("fps_cycles_per_second", &[("cell", &obs.cell.to_string())]);
         Dual {
             real,
             emu,
@@ -337,6 +341,8 @@ impl<'a, 's> Dual<'a, 's> {
             next_heartbeat,
             start: Instant::now(),
             worker,
+            cell: obs.cell,
+            cps_gauge,
             vcd: capture_vcd.then(|| {
                 let w = vcd_window();
                 (RingTrace::new(w), RingTrace::new(w))
@@ -379,6 +385,9 @@ impl Circuit for Dual<'_, '_> {
         if self.cycle >= self.next_heartbeat {
             self.next_heartbeat = self.cycle.saturating_add(self.heartbeat_cycles.max(1));
             let rate = self.cycle as f64 / self.start.elapsed().as_secs_f64().max(1e-9);
+            // The gauge and the heartbeat carry the same number, so the
+            // metrics snapshot and the progress view never disagree.
+            self.cps_gauge.set(rate);
             self.tel.progress(
                 "fps.heartbeat",
                 &[
@@ -387,6 +396,7 @@ impl Circuit for Dual<'_, '_> {
                     ("commands", self.commands as f64),
                     ("op_index", self.op_index as f64),
                     ("worker", self.worker as f64),
+                    ("cell", self.cell as f64),
                     ("real_pc", self.real.core.pc() as f64),
                     ("ideal_pc", self.emu.soc.core.pc() as f64),
                 ],
@@ -457,6 +467,15 @@ pub fn check_fps_traced(
     tel.gauge_max("soc.ideal.rx_fifo_hwm", dual.emu.soc.rx_fifo.high_water() as u64);
     tel.gauge_max("soc.ideal.tx_fifo_hwm", dual.emu.soc.tx_fifo.high_water() as u64);
     tel.count("soc.real.instructions_retired", dual.real.instructions_retired());
+    // Cycles accumulate in `dual` during the run (no per-cycle atomics)
+    // and flush to the registry once here; the rate gauge gets a final
+    // whole-run value so a snapshot after a fast run isn't stale.
+    let metrics = parfait_telemetry::metrics::Metrics::global();
+    metrics.counter("fps_cycles_total").add(dual.cycle);
+    metrics.counter("fps_spec_queries_total").add(dual.emu.queries);
+    metrics
+        .gauge_with("fps_cycles_per_second", &[("cell", &obs.cell.to_string())])
+        .set(report.cycles_per_second());
     drop(run_span);
     match outcome {
         Ok(()) => Ok(report),

@@ -169,13 +169,10 @@ struct SegFailure {
 /// Minimum cycles per segment before the producer cuts at the next
 /// quiescent boundary (`PARFAIT_SEGMENT_CYCLES`, default 100k). Smaller
 /// segments expose more parallelism; each segment costs one SoC and one
-/// emulator snapshot (~1 MiB for the reference SoC).
+/// emulator snapshot (~1 MiB for the reference SoC). A malformed value
+/// is a hard error (via [`parfait_telemetry::env`]).
 fn segment_cycles() -> u64 {
-    std::env::var("PARFAIT_SEGMENT_CYCLES")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .filter(|&n: &u64| n > 0)
-        .unwrap_or(100_000)
+    parfait_telemetry::env::segment_cycles_loud()
 }
 
 /// [`check_fps_traced`][crate::fps::check_fps_traced] distributed over
@@ -205,6 +202,11 @@ pub fn check_fps_parallel(
     let run_span = tel.span("fps.run");
     let capture_vcd = std::env::var_os("PARFAIT_VCD_DIR").is_some();
     let min_seg_cycles = segment_cycles();
+    // Snapshot-fork cost, per world: cloning a whole SoC (producer) or
+    // emulator (α-chain) is the price of each unit of parallelism.
+    let metrics = parfait_telemetry::metrics::Metrics::global();
+    let real_fork_us = metrics.histogram_with("fps_snapshot_fork_us", &[("world", "real")]);
+    let ideal_fork_us = metrics.histogram_with("fps_snapshot_fork_us", &[("world", "ideal")]);
 
     let (producer_out, alpha_busy, dones) = parfait_parallel::scope(threads, |pool| {
         // Producer -> α: bounded, so in-flight real-SoC snapshots stay
@@ -253,11 +255,14 @@ pub fn check_fps_parallel(
                     && rec.ticks.saturating_sub(seg_cycle_base) >= min_seg_cycles;
                 let last = op_i + 1 == script.len();
                 if terminal || boundary || last {
+                    let fork_t = Instant::now();
+                    let next_snap = rec.soc.clone();
+                    real_fork_us.record_duration(fork_t.elapsed());
                     let seg = Segment {
                         index,
                         op_start: seg_start_op,
                         op_end: op_i + 1,
-                        real_snap: std::mem::replace(&mut seg_snap, rec.soc.clone()),
+                        real_snap: std::mem::replace(&mut seg_snap, next_snap),
                         cycle_base: seg_cycle_base,
                         commands_base: seg_commands_base,
                         inputs: std::mem::take(&mut rec.inputs),
@@ -298,7 +303,10 @@ pub fn check_fps_parallel(
             let _span = alpha_tel.span("fps.alpha");
             for seg in seg_rx.iter() {
                 let inputs = seg.inputs.clone();
-                if item_tx.send(WorkItem { seg, emu: emu.clone() }).is_err() {
+                let fork_t = Instant::now();
+                let emu_snap = emu.clone();
+                ideal_fork_us.record_duration(fork_t.elapsed());
+                if item_tx.send(WorkItem { seg, emu: emu_snap }).is_err() {
                     break;
                 }
                 inputs.replay(emu);
@@ -348,6 +356,15 @@ pub fn check_fps_parallel(
     tel.gauge_max("soc.ideal.tx_fifo_hwm", emu.soc.tx_fifo.high_water() as u64);
     tel.count("soc.real.instructions_retired", real.instructions_retired());
     tel.gauge("fps.threads", threads as u64);
+    // Registry totals: checked cycles land per segment (see
+    // `verify_segment`); the producer's single-world pre-pass is its
+    // own counter so cycles_total stays comparable to the sequential
+    // checker's.
+    metrics.counter("fps_prepass_cycles_total").add(producer_out.cycles);
+    metrics.counter("fps_spec_queries_total").add(emu.queries);
+    metrics
+        .gauge_with("fps_cycles_per_second", &[("cell", &obs.cell.to_string())])
+        .set(producer_out.cycles as f64 / wall.as_secs_f64().max(1e-9));
     drop(run_span);
 
     // The first failing segment holds the sequential checker's first
@@ -424,6 +441,9 @@ fn verify_segment(
         seg.op_start,
         &mut wire_responses,
     );
+    let metrics = parfait_telemetry::metrics::Metrics::global();
+    metrics.counter("fps_segments_checked_total").inc();
+    metrics.counter("fps_cycles_total").add(dual.cycle.saturating_sub(seg.cycle_base));
     let failure = match outcome {
         Ok(()) => None,
         Err(error) => {

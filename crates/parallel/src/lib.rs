@@ -23,19 +23,17 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use parfait_telemetry::metrics::{Counter, Metrics};
 
 /// The parallelism degree to use when the user did not pick one: the
 /// `PARFAIT_THREADS` environment variable if set and positive, else the
-/// machine's available parallelism, else 1.
+/// machine's available parallelism, else 1. A malformed value is a
+/// hard error (stderr + exit 2, via [`parfait_telemetry::env`]).
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("PARFAIT_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    parfait_telemetry::env::threads_loud()
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 /// A job: runs once on some worker, receiving that worker's index.
@@ -59,6 +57,14 @@ struct Shared<'env> {
     /// Signaled on spawn (work available) and on completion (possibly
     /// idle) and on shutdown.
     cv: Condvar,
+    /// Registry the pool accounts to, plus pre-resolved hot-path
+    /// handles (`pool_tasks_spawned_total`, `pool_tasks_completed_total`,
+    /// `pool_steals_total`; per-worker busy/idle nanos are accumulated
+    /// locally and flushed once at worker exit).
+    metrics: Metrics,
+    spawned: Counter,
+    completed: Counter,
+    steals: Counter,
 }
 
 /// A scoped thread pool handle; obtained from [`scope`].
@@ -82,29 +88,41 @@ impl<'env> Pool<'env> {
         st.pending += 1;
         st.deques[slot].push_back(Box::new(job));
         drop(st);
+        self.shared.spawned.inc();
         self.shared.cv.notify_all();
     }
 }
 
 impl<'env> Shared<'env> {
     /// Pop a job for worker `id`: own deque from the back (LIFO), else
-    /// steal the oldest job of the most loaded victim (FIFO).
-    fn find_job(st: &mut State<'env>, id: usize) -> Option<Job<'env>> {
+    /// steal the oldest job of the most loaded victim (FIFO). The flag
+    /// is true when the job was stolen.
+    fn find_job(st: &mut State<'env>, id: usize) -> Option<(Job<'env>, bool)> {
         if let Some(job) = st.deques[id].pop_back() {
-            return Some(job);
+            return Some((job, false));
         }
         let victim = (0..st.deques.len())
             .filter(|&v| v != id && !st.deques[v].is_empty())
             .max_by_key(|&v| st.deques[v].len())?;
-        st.deques[victim].pop_front()
+        st.deques[victim].pop_front().map(|job| (job, true))
     }
 
     fn worker_loop(&self, id: usize) {
+        // Busy/idle nanos accumulate in locals — zero shared-state
+        // traffic per job — and flush to the registry once at exit.
+        let mut busy_ns = 0u64;
+        let mut idle_ns = 0u64;
         let mut st = self.state.lock().unwrap();
         loop {
-            if let Some(job) = Self::find_job(&mut st, id) {
+            if let Some((job, stolen)) = Self::find_job(&mut st, id) {
                 drop(st);
+                if stolen {
+                    self.steals.inc();
+                }
+                let start = Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| job(id)));
+                busy_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.completed.inc();
                 st = self.state.lock().unwrap();
                 st.pending -= 1;
                 if let Err(payload) = result {
@@ -116,17 +134,35 @@ impl<'env> Shared<'env> {
                 continue;
             }
             if st.shutdown {
-                return;
+                break;
             }
+            let start = Instant::now();
             st = self.cv.wait(st).unwrap();
+            idle_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         }
+        drop(st);
+        let worker = id.to_string();
+        self.metrics.counter_with("pool_worker_busy_ns", &[("worker", &worker)]).add(busy_ns);
+        self.metrics.counter_with("pool_worker_idle_ns", &[("worker", &worker)]).add(idle_ns);
     }
 }
 
 /// Run `f` with a pool of `threads` workers (clamped to at least 1).
 /// Returns after every spawned job has completed and every worker has
 /// exited. If any job panicked, the first panic is resumed here.
+/// Accounts to the process-wide [`Metrics::global`] registry.
 pub fn scope<'env, R>(threads: usize, f: impl FnOnce(&Pool<'env>) -> R) -> R {
+    scope_with(threads, Metrics::global(), f)
+}
+
+/// [`scope`] accounting to an explicit registry — tests inject an
+/// isolated [`Metrics`] to assert exact counter totals regardless of
+/// what else the process is running.
+pub fn scope_with<'env, R>(
+    threads: usize,
+    metrics: &Metrics,
+    f: impl FnOnce(&Pool<'env>) -> R,
+) -> R {
     let threads = threads.max(1);
     let pool = Pool {
         shared: Shared {
@@ -138,6 +174,10 @@ pub fn scope<'env, R>(threads: usize, f: impl FnOnce(&Pool<'env>) -> R) -> R {
                 panic: None,
             }),
             cv: Condvar::new(),
+            metrics: metrics.clone(),
+            spawned: metrics.counter("pool_tasks_spawned_total"),
+            completed: metrics.counter("pool_tasks_completed_total"),
+            steals: metrics.counter("pool_steals_total"),
         },
         threads,
     };
@@ -257,6 +297,35 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_counters_are_exact_at_8_threads() {
+        // An isolated registry sees only this scope's pool, so the
+        // totals are exact — no lost increments under contention.
+        const JOBS: usize = 500;
+        let metrics = Metrics::new();
+        let ran = AtomicUsize::new(0);
+        scope_with(8, &metrics, |pool| {
+            for _ in 0..JOBS {
+                let ran = &ran;
+                pool.spawn(move |_w| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), JOBS);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter_total("pool_tasks_spawned_total"), JOBS as u64);
+        assert_eq!(snap.counter_total("pool_tasks_completed_total"), JOBS as u64);
+        assert!(snap.counter_total("pool_steals_total") <= JOBS as u64);
+        // Every worker flushed a busy and an idle line.
+        for w in 0..8 {
+            let worker = w.to_string();
+            let labels = [("worker", worker.as_str())];
+            assert!(snap.counter("pool_worker_busy_ns", &labels).is_some(), "worker {w} busy");
+            assert!(snap.counter("pool_worker_idle_ns", &labels).is_some(), "worker {w} idle");
+        }
     }
 
     #[test]

@@ -11,10 +11,19 @@
 //! The cache directory comes from `PARFAIT_CACHE_DIR`; without it the
 //! cache degrades to per-process memoization, so a single `verify` run
 //! still shares work across its matrix cells.
+//!
+//! Every lookup and store lands in a [`Metrics`] ledger, per stage
+//! kind: `certcache_memory_hit`, `certcache_disk_hit`,
+//! `certcache_miss`, `certcache_corrupt_discard` (a present-but-
+//! rejected file, also counted as a miss), `certcache_write`, and
+//! `certcache_write_error` — so "what fraction of stage runs hit the
+//! disk cache?" is a snapshot query, not a rerun.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+use parfait_telemetry::metrics::Metrics;
 
 use crate::artifact::ArtifactId;
 use crate::certificate::{StageCertificate, StageKind, SCHEMA};
@@ -23,32 +32,64 @@ use crate::certificate::{StageCertificate, StageKind, SCHEMA};
 pub struct CertCache {
     dir: Option<PathBuf>,
     memo: Mutex<BTreeMap<String, StageCertificate>>,
+    metrics: Metrics,
 }
 
 impl CertCache {
     /// The cache at `PARFAIT_CACHE_DIR`, or memoization-only when the
     /// variable is unset. The directory is created on first use; an
-    /// uncreatable directory is a hard error (a silently disabled cache
-    /// would defeat the observable cold/warm contract).
+    /// uncreatable or unwritable directory is a hard error (a silently
+    /// disabled cache would defeat the observable cold/warm contract).
     pub fn from_env() -> CertCache {
-        match std::env::var_os("PARFAIT_CACHE_DIR") {
-            Some(dir) if !dir.is_empty() => CertCache::at(PathBuf::from(dir)),
-            _ => CertCache::disabled(),
+        match parfait_telemetry::env::cache_dir_loud() {
+            Some(dir) => CertCache::at(dir),
+            None => CertCache::disabled(),
         }
     }
 
-    /// A cache rooted at an explicit directory.
+    /// A cache rooted at an explicit directory, accounting to the
+    /// process-wide registry.
     pub fn at(dir: PathBuf) -> CertCache {
+        CertCache::at_with(dir, Metrics::global().clone())
+    }
+
+    /// [`at`](Self::at) accounting to an explicit registry (tests
+    /// inject an isolated [`Metrics`] for exact ledger assertions).
+    pub fn at_with(dir: PathBuf, metrics: Metrics) -> CertCache {
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("error: cannot create cache directory {}: {e}", dir.display());
             std::process::exit(2);
         }
-        CertCache { dir: Some(dir), memo: Mutex::new(BTreeMap::new()) }
+        // Probe writability up front: a read-only cache dir must fail
+        // loudly here, not silently bypass every store() later.
+        let probe = dir.join(format!(".parfait-probe.{}", std::process::id()));
+        let probed = std::fs::write(&probe, b"probe").and_then(|()| std::fs::remove_file(&probe));
+        if let Err(e) = probed {
+            eprintln!("error: cache directory {} is not writable: {e}", dir.display());
+            std::process::exit(2);
+        }
+        CertCache { dir: Some(dir), memo: Mutex::new(BTreeMap::new()), metrics }
     }
 
-    /// Memoization-only (no disk persistence).
+    /// Memoization-only (no disk persistence), accounting to the
+    /// process-wide registry.
     pub fn disabled() -> CertCache {
-        CertCache { dir: None, memo: Mutex::new(BTreeMap::new()) }
+        CertCache::disabled_with(Metrics::global().clone())
+    }
+
+    /// [`disabled`](Self::disabled) accounting to an explicit registry.
+    pub fn disabled_with(metrics: Metrics) -> CertCache {
+        CertCache { dir: None, memo: Mutex::new(BTreeMap::new()), metrics }
+    }
+
+    /// The registry this cache's ledger lands in.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Bump one ledger counter for `stage`.
+    fn ledger(&self, name: &str, stage: StageKind) {
+        self.metrics.counter_with(name, &[("stage", stage.as_str())]).inc();
     }
 
     /// Whether this cache persists across processes.
@@ -74,19 +115,47 @@ impl CertCache {
     pub fn lookup(&self, stage: StageKind, inputs: ArtifactId) -> Option<StageCertificate> {
         let key = Self::key(stage, inputs);
         if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            self.ledger("certcache_memory_hit", stage);
             return Some(hit.clone());
         }
-        let path = self.path(&key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let json = parfait_telemetry::json::parse(&text).ok()?;
-        let cert = StageCertificate::from_json(&json)?;
-        // Re-verify the name→content binding: a renamed, truncated, or
-        // hand-edited file must not satisfy a different query.
-        if cert.stage != stage || cert.inputs != inputs || cert.schema != SCHEMA {
-            return None;
+        match self.lookup_disk(&key, stage, inputs) {
+            DiskLookup::Hit(cert) => {
+                self.ledger("certcache_disk_hit", stage);
+                self.memo.lock().unwrap().insert(key, cert.clone());
+                Some(cert)
+            }
+            DiskLookup::Absent => {
+                self.ledger("certcache_miss", stage);
+                None
+            }
+            DiskLookup::Corrupt => {
+                // A present-but-rejected file: its own ledger line, and
+                // still a miss from the caller's point of view.
+                self.ledger("certcache_corrupt_discard", stage);
+                self.ledger("certcache_miss", stage);
+                None
+            }
         }
-        self.memo.lock().unwrap().insert(key, cert.clone());
-        Some(cert)
+    }
+
+    fn lookup_disk(&self, key: &str, stage: StageKind, inputs: ArtifactId) -> DiskLookup {
+        let Some(path) = self.path(key) else {
+            return DiskLookup::Absent;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return DiskLookup::Absent;
+        };
+        let cert = parfait_telemetry::json::parse(&text)
+            .ok()
+            .and_then(|json| StageCertificate::from_json(&json));
+        match cert {
+            // Re-verify the name→content binding: a renamed, truncated,
+            // or hand-edited file must not satisfy a different query.
+            Some(cert) if cert.stage == stage && cert.inputs == inputs && cert.schema == SCHEMA => {
+                DiskLookup::Hit(cert)
+            }
+            _ => DiskLookup::Corrupt,
+        }
     }
 
     /// Store a freshly computed certificate. Disk writes go through a
@@ -99,12 +168,25 @@ impl CertCache {
             let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
             let text = cert.to_json().to_pretty_string() + "\n";
             let written = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, &path));
-            if let Err(e) = written {
-                eprintln!("warning: cache write failed for {}: {e}", path.display());
+            match written {
+                Ok(()) => self.ledger("certcache_write", cert.stage),
+                Err(e) => {
+                    self.ledger("certcache_write_error", cert.stage);
+                    eprintln!("warning: cache write failed for {}: {e}", path.display());
+                }
             }
         }
         self.memo.lock().unwrap().insert(key, cert.clone());
     }
+}
+
+/// Outcome of a disk probe inside [`CertCache::lookup`].
+enum DiskLookup {
+    Hit(StageCertificate),
+    /// No directory, or no file for this key.
+    Absent,
+    /// A file existed but failed parse or re-verification.
+    Corrupt,
 }
 
 #[cfg(test)]
@@ -156,6 +238,36 @@ mod tests {
         let file = dir.join(format!("lockstep-{}.cert.json", c.inputs));
         std::fs::write(&file, "{ not json").unwrap();
         assert!(CertCache::at(dir.clone()).lookup(c.stage, c.inputs).is_none());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_counts_every_outcome() {
+        let dir = temp_dir("cert-ledger");
+        let c = cert("ledger");
+        let stage_label = [("stage", c.stage.as_str())];
+
+        let metrics = Metrics::new();
+        let cache = CertCache::at_with(dir.clone(), metrics.clone());
+        assert!(cache.lookup(c.stage, c.inputs).is_none()); // miss
+        cache.store(&c); // write
+        assert!(cache.lookup(c.stage, c.inputs).is_some()); // memory hit
+
+        // Fresh handle on the same registry: disk hit, then corrupt.
+        let cache2 = CertCache::at_with(dir.clone(), metrics.clone());
+        assert!(cache2.lookup(c.stage, c.inputs).is_some()); // disk hit
+        let file = dir.join(format!("{}-{}.cert.json", c.stage.as_str(), c.inputs));
+        std::fs::write(&file, "{ not json").unwrap();
+        let cache3 = CertCache::at_with(dir.clone(), metrics.clone());
+        assert!(cache3.lookup(c.stage, c.inputs).is_none()); // corrupt discard
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("certcache_miss", &stage_label), Some(2), "cold + corrupt");
+        assert_eq!(snap.counter("certcache_write", &stage_label), Some(1));
+        assert_eq!(snap.counter("certcache_memory_hit", &stage_label), Some(1));
+        assert_eq!(snap.counter("certcache_disk_hit", &stage_label), Some(1));
+        assert_eq!(snap.counter("certcache_corrupt_discard", &stage_label), Some(1));
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

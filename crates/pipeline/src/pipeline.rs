@@ -84,6 +84,23 @@ impl Pipeline {
         Pipeline { cache, tel }
     }
 
+    /// The metrics registry this pipeline accounts to (the cache's).
+    pub fn metrics(&self) -> &parfait_telemetry::metrics::Metrics {
+        self.cache.metrics()
+    }
+
+    /// Time a stage's input derivation (frontend + lowering + hashing
+    /// for ctcheck, pure hashing for the cheap stages) into
+    /// `pipeline_artifact_hash_us{stage}`.
+    fn timed_inputs<T>(&self, stage: StageKind, derive: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = derive();
+        self.metrics()
+            .histogram_with("pipeline_artifact_hash_us", &[("stage", stage.as_str())])
+            .record_duration(t0.elapsed());
+        out
+    }
+
     /// Cache-check-run-store skeleton shared by all five stages.
     fn run_stage(
         &self,
@@ -95,21 +112,37 @@ impl Pipeline {
     ) -> Result<StageOutcome, String> {
         let t0 = Instant::now();
         let _span = self.tel.span(&format!("pipeline.{stage}"));
+        let stage_labels = [("stage", stage.as_str())];
+        let wall_us = self.metrics().histogram_with("pipeline_stage_wall_us", &stage_labels);
+        let cpu_us = self.metrics().histogram_with("pipeline_stage_cpu_us", &stage_labels);
+        let runs = |outcome: &str| {
+            self.metrics()
+                .counter_with(
+                    "pipeline_stage_runs_total",
+                    &[("stage", stage.as_str()), ("outcome", outcome)],
+                )
+                .inc();
+        };
         if let Some(certificate) = self.cache.lookup(stage, inputs) {
             self.tel.count("pipeline.cache.hit", 1);
-            return Ok(StageOutcome {
-                certificate,
-                wall: t0.elapsed(),
-                cache_hit: true,
-                fps: None,
-            });
+            runs("hit");
+            let wall = t0.elapsed();
+            wall_us.record_duration(wall);
+            cpu_us.record_duration(wall);
+            return Ok(StageOutcome { certificate, wall, cache_hit: true, fps: None });
         }
         self.tel.count("pipeline.cache.miss", 1);
         let (stats, fps) = run().map_err(|e| format!("[{stage}] {e}"))?;
+        runs("miss");
         let certificate =
             StageCertificate { schema: SCHEMA, stage, app: app.to_string(), claim, inputs, stats };
         self.cache.store(&certificate);
-        Ok(StageOutcome { certificate, wall: t0.elapsed(), cache_hit: false, fps })
+        let wall = t0.elapsed();
+        wall_us.record_duration(wall);
+        // CPU time: the parallel FPS checker reports aggregate worker
+        // busy time; single-threaded stages are their own wall time.
+        cpu_us.record_duration(fps.as_ref().map(|r| r.cpu).unwrap_or(wall));
+        Ok(StageOutcome { certificate, wall, cache_hit: false, fps })
     }
 
     /// Stage 1 — spec-level non-leakage census (`parfait::speccheck`).
@@ -120,11 +153,13 @@ impl Pipeline {
     /// spec change re-runs it.
     pub fn speccheck_stage(&self, app: &AppPipeline) -> Result<StageOutcome, String> {
         let trace = (app.spec_probe)();
-        let inputs = ArtifactHasher::new("stage:speccheck")
-            .field_u64("schema", SCHEMA as u64)
-            .field_str("app", &app.slug)
-            .field("behavior", &trace.digest().0)
-            .finish();
+        let inputs = self.timed_inputs(StageKind::SpecCheck, || {
+            ArtifactHasher::new("stage:speccheck")
+                .field_u64("schema", SCHEMA as u64)
+                .field_str("app", &app.slug)
+                .field("behavior", &trace.digest().0)
+                .finish()
+        });
         let spec = Level::Spec.label(None);
         self.run_stage(StageKind::SpecCheck, &app.slug, (spec.clone(), spec), inputs, || {
             Ok((
@@ -143,16 +178,18 @@ impl Pipeline {
     /// validation, world equivalence).
     pub fn lockstep_stage(&self, app: &AppPipeline) -> Result<StageOutcome, String> {
         let trace = (app.spec_probe)();
-        let inputs = ArtifactHasher::new("stage:lockstep")
-            .field_u64("schema", SCHEMA as u64)
-            .field_str("app", &app.slug)
-            .field_str("source", &app.source)
-            .field_u64("state_size", app.sizes.state as u64)
-            .field_u64("command_size", app.sizes.command as u64)
-            .field_u64("response_size", app.sizes.response as u64)
-            .field("spec-behavior", &trace.digest().0)
-            .field_str("config", &app.starling_fingerprint)
-            .finish();
+        let inputs = self.timed_inputs(StageKind::Lockstep, || {
+            ArtifactHasher::new("stage:lockstep")
+                .field_u64("schema", SCHEMA as u64)
+                .field_str("app", &app.slug)
+                .field_str("source", &app.source)
+                .field_u64("state_size", app.sizes.state as u64)
+                .field_u64("command_size", app.sizes.command as u64)
+                .field_u64("response_size", app.sizes.response as u64)
+                .field("spec-behavior", &trace.digest().0)
+                .field_str("config", &app.starling_fingerprint)
+                .finish()
+        });
         let claim = (Level::Spec.label(None), Level::LowStar.label(None));
         self.run_stage(StageKind::Lockstep, &app.slug, claim, inputs, || {
             let report = (app.starling)(&self.tel)?;
@@ -196,22 +233,24 @@ impl Pipeline {
         if !levels.contains(&opt) {
             levels.push(opt);
         }
-        let mut h = ArtifactHasher::new("stage:equivalence");
-        h.field_u64("schema", SCHEMA as u64)
-            .field_str("app", &app.slug)
-            .field_str("source", &app.source)
-            .field_u64("response_size", app.sizes.response as u64)
-            .field_str("opt", &opt.to_string());
-        for level in &levels {
-            h.field_str("level", &level.to_string());
-        }
-        for (state, cmd) in &cases {
-            h.field("case-state", state).field("case-cmd", cmd);
-        }
-        if let Some(t) = &app.tamper {
-            h.field_str("tamper", &t.fingerprint);
-        }
-        let inputs = h.finish();
+        let inputs = self.timed_inputs(StageKind::Equivalence, || {
+            let mut h = ArtifactHasher::new("stage:equivalence");
+            h.field_u64("schema", SCHEMA as u64)
+                .field_str("app", &app.slug)
+                .field_str("source", &app.source)
+                .field_u64("response_size", app.sizes.response as u64)
+                .field_str("opt", &opt.to_string());
+            for level in &levels {
+                h.field_str("level", &level.to_string());
+            }
+            for (state, cmd) in &cases {
+                h.field("case-state", state).field("case-cmd", cmd);
+            }
+            if let Some(t) = &app.tamper {
+                h.field_str("tamper", &t.fingerprint);
+            }
+            h.finish()
+        });
         let opt_label = opt.to_string();
         let claim = (Level::LowStar.label(None), Level::Asm.label(Some(&opt_label)));
         self.run_stage(StageKind::Equivalence, &app.slug, claim, inputs, || {
@@ -248,24 +287,28 @@ impl Pipeline {
     /// set version — an optimizer change that leaves the assembly
     /// byte-identical stays cached; a rule-set bump re-lints the world.
     pub fn ctcheck_stage(&self, app: &AppPipeline, opt: OptLevel) -> Result<StageOutcome, String> {
-        let program = parfait_littlec::frontend(&app.source).map_err(|e| e.to_string())?;
-        let ir = parfait_littlec::ir::lower(&program).map_err(|e| e.to_string())?;
         let patch = app.tamper.as_ref().and_then(|t| t.patch_asm.clone());
-        let mut asm = parfait_littlec::compile(&program, opt).map_err(|e| e.to_string())?;
-        if let Some(p) = &patch {
-            asm = p(asm); // key the stage on the artifact it actually lints
-        }
-        let mut h = ArtifactHasher::new("stage:ctcheck");
-        h.field_u64("schema", SCHEMA as u64)
-            .field_str("app", &app.slug)
-            .field_str("ruleset", parfait_analyzer::RULESET_VERSION)
-            .field_str("opt", &opt.to_string())
-            .field_str("ir", &format!("{ir:?}"))
-            .field_str("asm", &asm);
-        if let Some(t) = &app.tamper {
-            h.field_str("tamper", &t.fingerprint);
-        }
-        let inputs = h.finish();
+        // This stage's input derivation is the expensive one — it
+        // compiles — so its artifact-hash histogram dominates the family.
+        let inputs = self.timed_inputs(StageKind::CtCheck, || -> Result<ArtifactId, String> {
+            let program = parfait_littlec::frontend(&app.source).map_err(|e| e.to_string())?;
+            let ir = parfait_littlec::ir::lower(&program).map_err(|e| e.to_string())?;
+            let mut asm = parfait_littlec::compile(&program, opt).map_err(|e| e.to_string())?;
+            if let Some(p) = &patch {
+                asm = p(asm); // key the stage on the artifact it actually lints
+            }
+            let mut h = ArtifactHasher::new("stage:ctcheck");
+            h.field_u64("schema", SCHEMA as u64)
+                .field_str("app", &app.slug)
+                .field_str("ruleset", parfait_analyzer::RULESET_VERSION)
+                .field_str("opt", &opt.to_string())
+                .field_str("ir", &format!("{ir:?}"))
+                .field_str("asm", &asm);
+            if let Some(t) = &app.tamper {
+                h.field_str("tamper", &t.fingerprint);
+            }
+            Ok(h.finish())
+        })?;
         let opt_label = opt.to_string();
         let asm_level = Level::Asm.label(Some(&opt_label));
         let claim = (asm_level.clone(), asm_level);
@@ -306,25 +349,27 @@ impl Pipeline {
         threads: usize,
     ) -> Result<StageOutcome, String> {
         let timeout = FpsConfig::default_timeout();
-        let mut h = ArtifactHasher::new("stage:fps");
-        h.field_u64("schema", SCHEMA as u64)
-            .field_str("app", &app.slug)
-            .field_str("source", &app.source)
-            .field_u64("state_size", app.sizes.state as u64)
-            .field_u64("command_size", app.sizes.command as u64)
-            .field_u64("response_size", app.sizes.response as u64)
-            .field_str("cpu", &cpu.to_string())
-            .field_str("opt", &opt.to_string())
-            .field_u64("timeout", timeout)
-            .field("secret", &app.secret_state)
-            .field("dummy", &app.dummy_state);
-        for op in app.fps_script() {
-            h.field_str("script-op", &format!("{op:?}"));
-        }
-        if let Some(t) = &app.tamper {
-            h.field_str("tamper", &t.fingerprint);
-        }
-        let inputs = h.finish();
+        let inputs = self.timed_inputs(StageKind::Fps, || {
+            let mut h = ArtifactHasher::new("stage:fps");
+            h.field_u64("schema", SCHEMA as u64)
+                .field_str("app", &app.slug)
+                .field_str("source", &app.source)
+                .field_u64("state_size", app.sizes.state as u64)
+                .field_u64("command_size", app.sizes.command as u64)
+                .field_u64("response_size", app.sizes.response as u64)
+                .field_str("cpu", &cpu.to_string())
+                .field_str("opt", &opt.to_string())
+                .field_u64("timeout", timeout)
+                .field("secret", &app.secret_state)
+                .field("dummy", &app.dummy_state);
+            for op in app.fps_script() {
+                h.field_str("script-op", &format!("{op:?}"));
+            }
+            if let Some(t) = &app.tamper {
+                h.field_str("tamper", &t.fingerprint);
+            }
+            h.finish()
+        });
         let opt_label = opt.to_string();
         let cpu_label = cpu.to_string();
         let claim = (Level::Asm.label(Some(&opt_label)), Level::Soc.label(Some(&cpu_label)));

@@ -27,7 +27,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod env;
 pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod progress;
 pub mod sinks;
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,897 @@
+//! parfait-observatory: the process-wide metrics registry.
+//!
+//! Where [`crate::Telemetry`] streams *events* (spans, heartbeats) to a
+//! sink as they happen, this module accumulates *aggregates* — atomic
+//! counters, gauges, and log2-bucketed latency histograms — that any
+//! subsystem can bump at any time and any bin can snapshot at exit.
+//! The snapshot serializes two ways from one source of truth:
+//!
+//! - **canonical JSON** ([`MetricsSnapshot::to_json`]) — embedded in
+//!   [`crate::manifest::RunManifest`] so every `BENCH_*.json` row can
+//!   carry its provenance; and
+//! - **Prometheus text exposition** ([`MetricsSnapshot::to_prometheus`])
+//!   — so the upcoming `parfait-serve` daemon can expose `/metrics`
+//!   without a new serializer.
+//!
+//! Both renderers have exact inverse parsers ([`MetricsSnapshot::
+//! from_json`], [`MetricsSnapshot::from_prometheus`]); round-tripping is
+//! tested, which is what lets CI treat the emitted snapshot as a
+//! machine contract rather than a log.
+//!
+//! Metrics are identified by a name plus a (possibly empty) sorted
+//! label set, e.g. `certcache_disk_hit{stage="fps"}`. Handles returned
+//! by [`Metrics::counter`]/[`gauge`](Metrics::gauge)/
+//! [`histogram`](Metrics::histogram) are clones of the underlying
+//! atomic, so hot paths pay one registry lookup once and then a single
+//! `fetch_add` per event — no lock, no allocation.
+//!
+//! Most code uses the shared [`Metrics::global`] registry (one process,
+//! one account of what it did); tests that need *exact* totals under
+//! concurrency construct their own [`Metrics::new`] and inject it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A metric identity: name plus sorted `(key, value)` labels.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// Label pairs, sorted by key. Values are arbitrary UTF-8 (escaped
+    /// by the renderers).
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key, sorting the labels.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+}
+
+impl std::fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_str("{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{k}=\"{}\"", escape_label(v))?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escape a label value for the Prometheus text format (`\\`, `\"`,
+/// `\n`).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_label`].
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// A monotonic counter handle (clone of the registry's atomic).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous-value handle; stores `f64` bits in an atomic.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i >= 1`
+/// holds `[2^(i-1), 2^i)`, and bucket 64 holds `[2^63, u64::MAX]`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index of a value.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (the Prometheus `le` value).
+pub fn bucket_le(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+struct HistCore {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log2-bucketed histogram handle.
+///
+/// Values are unitless `u64`s; latency users record microseconds
+/// ([`Histogram::record_duration`]). Buckets double, so the relative
+/// error of any reconstructed quantile is bounded by 2× — plenty for
+/// "where did the cold seconds go" questions, at the cost of 65 atomics.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating: a sum overflow must not wrap into a plausible lie.
+        let mut cur = self.0.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self.0.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Hist(Arc<HistCore>),
+}
+
+/// The registry: a clonable handle onto a shared metric table.
+///
+/// Cloning is cheap (`Arc`); all clones see one table. Use
+/// [`Metrics::global`] for production accounting and [`Metrics::new`]
+/// for isolated test registries.
+#[derive(Clone, Default)]
+pub struct Metrics(Arc<Mutex<BTreeMap<MetricKey, Slot>>>);
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Metrics {
+        static GLOBAL: OnceLock<Metrics> = OnceLock::new();
+        GLOBAL.get_or_init(Metrics::new)
+    }
+
+    /// Counter handle for `name` with no labels.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Counter handle for `name` with labels.
+    ///
+    /// Panics if the key is already registered as a different metric
+    /// type — one name, one meaning.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut table = self.0.lock().unwrap();
+        match table.entry(key).or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0)))) {
+            Slot::Counter(a) => Counter(a.clone()),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Gauge handle for `name` with no labels.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Gauge handle for `name` with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut table = self.0.lock().unwrap();
+        match table
+            .entry(key)
+            .or_insert_with(|| Slot::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        {
+            Slot::Gauge(a) => Gauge(a.clone()),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Histogram handle for `name` with no labels.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Histogram handle for `name` with labels.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let mut table = self.0.lock().unwrap();
+        match table.entry(key).or_insert_with(|| {
+            Slot::Hist(Arc::new(HistCore {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }))
+        }) {
+            Slot::Hist(h) => Histogram(h.clone()),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// A consistent point-in-time copy of every registered metric.
+    /// (Consistent per metric: each atomic is read once; the snapshot
+    /// is not a cross-metric transaction.)
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let table = self.0.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (key, slot) in table.iter() {
+            match slot {
+                Slot::Counter(a) => {
+                    snap.counters.push((key.clone(), a.load(Ordering::Relaxed)));
+                }
+                Slot::Gauge(a) => {
+                    snap.gauges.push((key.clone(), f64::from_bits(a.load(Ordering::Relaxed))));
+                }
+                Slot::Hist(h) => {
+                    let buckets: Vec<(usize, u64)> = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .map(|(i, b)| (i, b.load(Ordering::Relaxed)))
+                        .filter(|&(_, n)| n > 0)
+                        .collect();
+                    snap.hists.push((
+                        key.clone(),
+                        HistSnapshot {
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
+                            buckets,
+                        },
+                    ));
+                }
+            }
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics").field("metrics", &self.0.lock().unwrap().len()).finish()
+    }
+}
+
+/// Frozen histogram state: sparse `(bucket index, count)` pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// A frozen copy of a [`Metrics`] registry, ready to serialize.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals, sorted by key.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauge values, sorted by key.
+    pub gauges: Vec<(MetricKey, f64)>,
+    /// Histogram states, sorted by key.
+    pub hists: Vec<(MetricKey, HistSnapshot)>,
+}
+
+/// Schema version of the snapshot JSON encoding.
+pub const SNAPSHOT_SCHEMA: i64 = 1;
+
+fn key_to_json(key: &MetricKey) -> Vec<(String, Json)> {
+    vec![
+        ("name".into(), Json::str(&key.name)),
+        (
+            "labels".into(),
+            Json::Arr(
+                key.labels
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::str(k), Json::str(v)]))
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+fn key_from_json(j: &Json) -> Option<MetricKey> {
+    let name = j.get("name")?.as_str()?.to_string();
+    let mut labels = Vec::new();
+    for pair in j.get("labels")?.as_array()? {
+        let kv = pair.as_array()?;
+        if kv.len() != 2 {
+            return None;
+        }
+        labels.push((kv[0].as_str()?.to_string(), kv[1].as_str()?.to_string()));
+    }
+    Some(MetricKey { name, labels })
+}
+
+impl MetricsSnapshot {
+    /// Total of a counter, summed over every label set of `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| v).sum()
+    }
+
+    /// Value of an exact counter key, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        self.counters.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Value of an exact gauge key, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Histogram state of an exact key, if present.
+    pub fn hist(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistSnapshot> {
+        let key = MetricKey::new(name, labels);
+        self.hists.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Whether any metric (of any type) starts with `prefix` — the key
+    /// families CI asserts on.
+    pub fn has_family(&self, prefix: &str) -> bool {
+        self.counters.iter().map(|(k, _)| &k.name).any(|n| n.starts_with(prefix))
+            || self.gauges.iter().map(|(k, _)| &k.name).any(|n| n.starts_with(prefix))
+            || self.hists.iter().map(|(k, _)| &k.name).any(|n| n.starts_with(prefix))
+    }
+
+    /// Canonical JSON encoding: keys in sorted order, sparse histogram
+    /// buckets. Two equal snapshots always render to identical bytes.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let mut f = key_to_json(k);
+                f.push(("value".into(), Json::Int(*v as i64)));
+                Json::Obj(f)
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| {
+                let mut f = key_to_json(k);
+                f.push(("value".into(), Json::Num(*v)));
+                Json::Obj(f)
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                let mut f = key_to_json(k);
+                f.push(("count".into(), Json::Int(h.count as i64)));
+                f.push(("sum".into(), Json::Int(h.sum as i64)));
+                f.push((
+                    "buckets".into(),
+                    Json::Arr(
+                        h.buckets
+                            .iter()
+                            .map(|&(i, n)| {
+                                Json::Arr(vec![Json::Int(i as i64), Json::Int(n as i64)])
+                            })
+                            .collect(),
+                    ),
+                ));
+                Json::Obj(f)
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::Int(SNAPSHOT_SCHEMA)),
+            ("counters", Json::Arr(counters)),
+            ("gauges", Json::Arr(gauges)),
+            ("histograms", Json::Arr(hists)),
+        ])
+    }
+
+    /// Parse the [`to_json`](Self::to_json) encoding.
+    pub fn from_json(j: &Json) -> Result<MetricsSnapshot, String> {
+        if j.get("schema").and_then(|v| v.as_i64()) != Some(SNAPSHOT_SCHEMA) {
+            return Err("metrics snapshot: missing or unsupported schema".into());
+        }
+        let arr = |field: &str| -> Result<&[Json], String> {
+            j.get(field)
+                .and_then(|v| v.as_array())
+                .ok_or_else(|| format!("metrics snapshot: missing {field} array"))
+        };
+        let mut snap = MetricsSnapshot::default();
+        for c in arr("counters")? {
+            let key = key_from_json(c).ok_or("metrics snapshot: malformed counter key")?;
+            let v = c
+                .get("value")
+                .and_then(|v| v.as_i64())
+                .ok_or("metrics snapshot: malformed counter value")?;
+            snap.counters.push((key, v as u64));
+        }
+        for g in arr("gauges")? {
+            let key = key_from_json(g).ok_or("metrics snapshot: malformed gauge key")?;
+            let v = g
+                .get("value")
+                .and_then(|v| v.as_f64())
+                .ok_or("metrics snapshot: malformed gauge value")?;
+            snap.gauges.push((key, v));
+        }
+        for h in arr("histograms")? {
+            let key = key_from_json(h).ok_or("metrics snapshot: malformed histogram key")?;
+            let count = h
+                .get("count")
+                .and_then(|v| v.as_i64())
+                .ok_or("metrics snapshot: malformed histogram count")?;
+            let sum = h
+                .get("sum")
+                .and_then(|v| v.as_i64())
+                .ok_or("metrics snapshot: malformed histogram sum")?;
+            let mut buckets = Vec::new();
+            for b in h
+                .get("buckets")
+                .and_then(|v| v.as_array())
+                .ok_or("metrics snapshot: malformed histogram buckets")?
+            {
+                let pair = b.as_array().ok_or("metrics snapshot: malformed bucket")?;
+                let (Some(i), Some(n)) =
+                    (pair.first().and_then(|v| v.as_i64()), pair.get(1).and_then(|v| v.as_i64()))
+                else {
+                    return Err("metrics snapshot: malformed bucket pair".into());
+                };
+                if !(0..HIST_BUCKETS as i64).contains(&i) {
+                    return Err(format!("metrics snapshot: bucket index {i} out of range"));
+                }
+                buckets.push((i as usize, n as u64));
+            }
+            snap.hists.push((key, HistSnapshot { count: count as u64, sum: sum as u64, buckets }));
+        }
+        Ok(snap)
+    }
+
+    /// Prometheus text exposition format (v0.0.4): `# TYPE` comments,
+    /// one sample per line, histograms as cumulative `_bucket{le=...}`
+    /// plus `_sum`/`_count`. Only buckets whose cumulative count
+    /// changes are emitted (plus `+Inf`), which the parser reconstructs
+    /// exactly.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type: Option<(String, String)> = None;
+        let mut typed = |out: &mut String, name: &str, kind: &str| {
+            if last_type.as_ref().map(|(n, k)| (n.as_str(), k.as_str())) != Some((name, kind)) {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_type = Some((name.to_string(), kind.to_string()));
+            }
+        };
+        for (key, v) in &self.counters {
+            typed(&mut out, &key.name, "counter");
+            out.push_str(&format!("{key} {v}\n"));
+        }
+        for (key, v) in &self.gauges {
+            typed(&mut out, &key.name, "gauge");
+            out.push_str(&format!("{key} {v}\n"));
+        }
+        for (key, h) in &self.hists {
+            typed(&mut out, &key.name, "histogram");
+            let with_le = |le: &str| {
+                let mut labels: Vec<(String, String)> = key.labels.clone();
+                labels.push(("le".into(), le.into()));
+                labels.sort();
+                MetricKey { name: format!("{}_bucket", key.name), labels }
+            };
+            let mut cumulative = 0u64;
+            for &(i, n) in &h.buckets {
+                cumulative += n;
+                out.push_str(&format!("{} {cumulative}\n", with_le(&bucket_le(i).to_string())));
+            }
+            out.push_str(&format!("{} {}\n", with_le("+Inf"), h.count));
+            let sum_key =
+                MetricKey { name: format!("{}_sum", key.name), labels: key.labels.clone() };
+            let count_key =
+                MetricKey { name: format!("{}_count", key.name), labels: key.labels.clone() };
+            out.push_str(&format!("{sum_key} {}\n", h.sum));
+            out.push_str(&format!("{count_key} {}\n", h.count));
+        }
+        out
+    }
+
+    /// Parse the [`to_prometheus`](Self::to_prometheus) encoding back
+    /// into a snapshot (the round-trip inverse; relies on the `# TYPE`
+    /// comments this renderer always emits).
+    pub fn from_prometheus(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+        let mut counters: BTreeMap<MetricKey, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<MetricKey, f64> = BTreeMap::new();
+        struct HistAcc {
+            // (bucket index, cumulative) in emission order.
+            cum: Vec<(usize, u64)>,
+            sum: u64,
+            count: u64,
+        }
+        let mut hists: BTreeMap<MetricKey, HistAcc> = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("prometheus line {}: {what}", lineno + 1);
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let (Some(name), Some(kind)) = (it.next(), it.next()) else {
+                    return Err(err("malformed TYPE comment"));
+                };
+                kinds.insert(name.to_string(), kind.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = parse_prometheus_sample(line).map_err(|e| err(&e))?;
+            // Histogram samples use suffixed names; resolve the base.
+            let hist_base = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+                let base = key.name.strip_suffix(suffix)?;
+                (kinds.get(base).map(String::as_str) == Some("histogram"))
+                    .then(|| (base.to_string(), *suffix))
+            });
+            if let Some((base, suffix)) = hist_base {
+                let mut labels = key.labels.clone();
+                let le = match suffix {
+                    "_bucket" => {
+                        let pos = labels
+                            .iter()
+                            .position(|(k, _)| k == "le")
+                            .ok_or_else(|| err("bucket sample without le"))?;
+                        Some(labels.remove(pos).1)
+                    }
+                    _ => None,
+                };
+                let base_key = MetricKey { name: base, labels };
+                let acc = hists.entry(base_key).or_insert_with(|| HistAcc {
+                    cum: Vec::new(),
+                    sum: 0,
+                    count: 0,
+                });
+                let int = value.parse::<u64>().map_err(|_| err("non-integer histogram value"))?;
+                match (suffix, le) {
+                    ("_bucket", Some(le)) => {
+                        if le == "+Inf" {
+                            continue; // equals _count; nothing to reconstruct
+                        }
+                        let bound = le.parse::<u64>().map_err(|_| err("malformed le bound"))?;
+                        let index = if bound == 0 {
+                            0
+                        } else if bound == u64::MAX {
+                            64
+                        } else if (bound + 1).is_power_of_two() {
+                            (bound + 1).trailing_zeros() as usize
+                        } else {
+                            return Err(err("le bound is not a log2 boundary"));
+                        };
+                        acc.cum.push((index, int));
+                    }
+                    ("_sum", _) => acc.sum = int,
+                    ("_count", _) => acc.count = int,
+                    _ => unreachable!(),
+                }
+                continue;
+            }
+            match kinds.get(&key.name).map(String::as_str) {
+                Some("counter") => {
+                    let v = value.parse::<u64>().map_err(|_| err("non-integer counter"))?;
+                    counters.insert(key, v);
+                }
+                Some("gauge") => {
+                    let v = value.parse::<f64>().map_err(|_| err("malformed gauge"))?;
+                    gauges.insert(key, v);
+                }
+                Some(other) => return Err(err(&format!("unsupported metric type {other}"))),
+                None => return Err(err("sample before its TYPE comment")),
+            }
+        }
+        let mut snap = MetricsSnapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            hists: Vec::new(),
+        };
+        let mut hist_entries: Vec<(MetricKey, HistSnapshot)> = Vec::new();
+        for (key, acc) in hists {
+            let mut buckets = Vec::new();
+            let mut prev = 0u64;
+            let mut last_index = None;
+            for (index, cum) in acc.cum {
+                if last_index.is_some_and(|li| index <= li) {
+                    return Err(format!("prometheus: {key}: le bounds out of order"));
+                }
+                let n = cum
+                    .checked_sub(prev)
+                    .ok_or_else(|| format!("prometheus: {key}: non-monotone buckets"))?;
+                if n > 0 {
+                    buckets.push((index, n));
+                }
+                prev = cum;
+                last_index = Some(index);
+            }
+            hist_entries.push((key, HistSnapshot { count: acc.count, sum: acc.sum, buckets }));
+        }
+        hist_entries.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.hists = hist_entries;
+        Ok(snap)
+    }
+}
+
+/// Parse one `name{labels} value` sample line.
+fn parse_prometheus_sample(line: &str) -> Result<(MetricKey, String), String> {
+    let (name_and_labels, value) =
+        line.rsplit_once(' ').ok_or_else(|| "missing value".to_string())?;
+    let (name, labels) = match name_and_labels.split_once('{') {
+        None => (name_and_labels.trim().to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').ok_or("unterminated label set")?;
+            let mut labels = Vec::new();
+            let mut chars = body.chars().peekable();
+            while chars.peek().is_some() {
+                let mut k = String::new();
+                for c in chars.by_ref() {
+                    if c == '=' {
+                        break;
+                    }
+                    k.push(c);
+                }
+                if chars.next() != Some('"') {
+                    return Err("label value must be quoted".into());
+                }
+                let mut raw = String::new();
+                let mut escaped = false;
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if escaped {
+                        raw.push('\\');
+                        raw.push(c);
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        closed = true;
+                        break;
+                    } else {
+                        raw.push(c);
+                    }
+                }
+                if !closed {
+                    return Err("unterminated label value".into());
+                }
+                if chars.peek() == Some(&',') {
+                    chars.next();
+                }
+                labels.push((k, unescape_label(&raw)));
+            }
+            labels.sort();
+            (name.trim().to_string(), labels)
+        }
+    };
+    Ok((MetricKey { name, labels }, value.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_cover_zero_one_powers_and_max() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1 << 62), 63);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Boundaries and indices are inverse: le(i) is the largest
+        // value that lands in bucket i, and le(i)+1 lands in i+1.
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(bucket_index(bucket_le(i)), i, "le({i}) maps back");
+            if i + 1 < HIST_BUCKETS {
+                assert_eq!(bucket_index(bucket_le(i) + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_into_expected_buckets() {
+        let m = Metrics::new();
+        let h = m.histogram("t_us");
+        for v in [0, 1, 1, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let snap = m.snapshot();
+        let hs = snap.hist("t_us", &[]).unwrap();
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(hs.buckets, vec![(0, 1), (1, 2), (2, 1), (11, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn counters_and_gauges_snapshot_exactly() {
+        let m = Metrics::new();
+        m.counter_with("hits", &[("stage", "fps")]).add(3);
+        m.counter_with("hits", &[("stage", "lockstep")]).inc();
+        m.gauge("rate").set(2.5e6);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("hits", &[("stage", "fps")]), Some(3));
+        assert_eq!(snap.counter("hits", &[("stage", "lockstep")]), Some(1));
+        assert_eq!(snap.counter_total("hits"), 4);
+        assert_eq!(snap.gauge("rate", &[]), Some(2.5e6));
+    }
+
+    #[test]
+    fn handles_are_live_and_shared() {
+        let m = Metrics::new();
+        let a = m.counter("n");
+        let b = m.counter("n");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        let m = Metrics::new();
+        m.counter("x");
+        m.gauge("x");
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let m = Metrics::new();
+        m.counter_with("c", &[("path", "a\\b\"c\nd")]).inc();
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains(r#"c{path="a\\b\"c\nd"} 1"#), "{text}");
+        // And the escaping is invertible.
+        let back = MetricsSnapshot::from_prometheus(&text).unwrap();
+        assert_eq!(back.counter("c", &[("path", "a\\b\"c\nd")]), Some(1));
+    }
+
+    fn demo_snapshot() -> MetricsSnapshot {
+        let m = Metrics::new();
+        m.counter_with("certcache_disk_hit", &[("stage", "fps")]).add(5);
+        m.counter("pool_tasks_spawned_total").add(42);
+        m.gauge("fps_cycles_per_second").set(8.125e6);
+        m.gauge_with("g2", &[("worker", "1")]).set(-0.5);
+        let h = m.histogram_with("pipeline_stage_wall_us", &[("stage", "fps")]);
+        for v in [0, 1, 5, 5, 900, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        m.snapshot()
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let snap = demo_snapshot();
+        let text = snap.to_json().to_string();
+        let back = MetricsSnapshot::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        // Canonical: equal snapshots render to identical bytes.
+        assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_prometheus() {
+        let snap = demo_snapshot();
+        let text = snap.to_prometheus();
+        let back = MetricsSnapshot::from_prometheus(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_prometheus(), text);
+    }
+
+    #[test]
+    fn prometheus_histogram_text_is_cumulative_with_inf() {
+        let m = Metrics::new();
+        let h = m.histogram("lat_us");
+        h.record(1);
+        h.record(1);
+        h.record(300);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE lat_us histogram"), "{text}");
+        assert!(text.contains(r#"lat_us_bucket{le="1"} 2"#), "{text}");
+        assert!(text.contains(r#"lat_us_bucket{le="511"} 3"#), "{text}");
+        assert!(text.contains(r#"lat_us_bucket{le="+Inf"} 3"#), "{text}");
+        assert!(text.contains("lat_us_sum 302"), "{text}");
+        assert!(text.contains("lat_us_count 3"), "{text}");
+    }
+
+    #[test]
+    fn global_registry_is_one_instance() {
+        Metrics::global().counter("telemetry_test_global_probe").inc();
+        let snap = Metrics::global().snapshot();
+        assert!(snap.counter_total("telemetry_test_global_probe") >= 1);
+    }
+}

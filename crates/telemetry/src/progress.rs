@@ -1,0 +1,307 @@
+//! Live matrix progress view: one lane per app × cpu × opt cell.
+//!
+//! Matrix runs (`verify`, `table4`, …) fan a handful of long FPS
+//! simulations out across workers; without feedback a cold ECDSA/Ibex
+//! cell is a silent minute. [`MatrixView`] renders one line per cell —
+//! current stage, cache-hit fast-forward, cycle count, and cycles/s —
+//! redrawn in place when the output is an ANSI terminal:
+//!
+//! ```text
+//! ecdsa/ibex/O1   fps        12.3 Mcy   8.1 Mcy/s
+//! hasher/pico/O1  ctcheck [cached]
+//! ```
+//!
+//! Cycle and rate updates arrive through the existing `fps.heartbeat`
+//! progress events: [`MatrixView::sink`] returns a [`crate::Recorder`]
+//! that picks heartbeats out of the event stream and routes them to the
+//! lane named by the heartbeat's numeric `cell` field (lane ids come
+//! from [`MatrixView::add_lane`] and ride inside
+//! `FpsObserver::cell`). Stage transitions and completions are pushed
+//! directly by the driving bin ([`MatrixView::set_stage`],
+//! [`MatrixView::finish_lane`]).
+//!
+//! [`MatrixView::stderr_if_tty`] enables the view only when stderr is
+//! really a terminal; tests drive the same code end-to-end through
+//! [`MatrixView::new`] with an in-memory sink and assert on
+//! [`MatrixView::render`].
+
+use std::io::{IsTerminal, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::{Event, Recorder};
+
+/// Minimum milliseconds between ANSI redraws.
+const REDRAW_MS: u128 = 50;
+
+struct Lane {
+    label: String,
+    stage: String,
+    cached: bool,
+    cycles: u64,
+    cps: f64,
+    /// `None` while running, `Some(ok)` once finished.
+    done: Option<bool>,
+}
+
+struct ViewState {
+    out: Box<dyn Write + Send>,
+    ansi: bool,
+    lanes: Vec<Lane>,
+    /// Lines currently on screen from the previous ANSI draw.
+    drawn: usize,
+    last_draw: Option<Instant>,
+}
+
+/// A shared, clonable handle on the progress display.
+#[derive(Clone)]
+pub struct MatrixView(Arc<Mutex<ViewState>>);
+
+impl MatrixView {
+    /// A view writing to `out`; `ansi` enables in-place redraws (tests
+    /// pass `false` and read [`render`](Self::render) instead).
+    pub fn new(out: Box<dyn Write + Send>, ansi: bool) -> MatrixView {
+        MatrixView(Arc::new(Mutex::new(ViewState {
+            out,
+            ansi,
+            lanes: Vec::new(),
+            drawn: 0,
+            last_draw: None,
+        })))
+    }
+
+    /// The live stderr view, only when stderr is actually a terminal
+    /// (CI logs and pipes never see control sequences).
+    pub fn stderr_if_tty() -> Option<MatrixView> {
+        std::io::stderr().is_terminal().then(|| MatrixView::new(Box::new(std::io::stderr()), true))
+    }
+
+    /// Add a lane for one matrix cell; the returned id is the `cell`
+    /// value FPS heartbeats must carry to land in this lane.
+    pub fn add_lane(&self, label: &str) -> u64 {
+        let mut st = self.0.lock().unwrap();
+        st.lanes.push(Lane {
+            label: label.to_string(),
+            stage: "queued".to_string(),
+            cached: false,
+            cycles: 0,
+            cps: 0.0,
+            done: None,
+        });
+        (st.lanes.len() - 1) as u64
+    }
+
+    /// Record that `cell` entered `stage`; `cached` marks a cache-hit
+    /// fast-forward (the stage completed from a stored certificate).
+    pub fn set_stage(&self, cell: u64, stage: &str, cached: bool) {
+        let mut st = self.0.lock().unwrap();
+        if let Some(lane) = st.lanes.get_mut(cell as usize) {
+            lane.stage = stage.to_string();
+            lane.cached = cached;
+        }
+        st.maybe_draw(false);
+    }
+
+    /// Record that `cell` finished (`ok` = verified).
+    pub fn finish_lane(&self, cell: u64, ok: bool) {
+        let mut st = self.0.lock().unwrap();
+        if let Some(lane) = st.lanes.get_mut(cell as usize) {
+            lane.done = Some(ok);
+            if !st.ansi {
+                // Without a terminal, emit one plain completion line
+                // per lane instead of redrawing.
+                let lane = &st.lanes[cell as usize];
+                let line = format!("{}\n", render_lane(lane));
+                let _ = st.out.write_all(line.as_bytes());
+            }
+        }
+        st.maybe_draw(false);
+    }
+
+    /// A [`Recorder`] that feeds `fps.heartbeat` events into the view.
+    /// Chain it into a [`crate::sinks::Fanout`] next to the real sinks.
+    pub fn sink(&self) -> ViewSink {
+        ViewSink(self.clone())
+    }
+
+    /// The current table, one line per lane — what the ANSI mode draws,
+    /// exposed for tests and non-TTY summaries.
+    pub fn render(&self) -> String {
+        let st = self.0.lock().unwrap();
+        st.lanes.iter().map(|l| render_lane(l) + "\n").collect()
+    }
+
+    /// Force a final draw and release the screen (ANSI mode leaves the
+    /// finished table in place).
+    pub fn finish(&self) {
+        let mut st = self.0.lock().unwrap();
+        st.maybe_draw(true);
+        let _ = st.out.flush();
+    }
+
+    fn heartbeat(&self, cell: u64, cycles: u64, cps: f64) {
+        let mut st = self.0.lock().unwrap();
+        if let Some(lane) = st.lanes.get_mut(cell as usize) {
+            lane.cycles = cycles;
+            if cps > 0.0 {
+                lane.cps = cps;
+            }
+        }
+        st.maybe_draw(false);
+    }
+}
+
+impl ViewState {
+    /// Redraw in place (ANSI only), rate-limited unless `force`.
+    fn maybe_draw(&mut self, force: bool) {
+        if !self.ansi || self.lanes.is_empty() {
+            return;
+        }
+        if !force {
+            if let Some(last) = self.last_draw {
+                if last.elapsed().as_millis() < REDRAW_MS {
+                    return;
+                }
+            }
+        }
+        let mut frame = String::new();
+        // Cursor up over the previous frame; each line is cleared
+        // before rewrite so shrinking text leaves no residue.
+        if self.drawn > 0 {
+            frame.push_str(&format!("\x1b[{}A", self.drawn));
+        }
+        for lane in &self.lanes {
+            frame.push_str("\r\x1b[2K");
+            frame.push_str(&render_lane(lane));
+            frame.push('\n');
+        }
+        let _ = self.out.write_all(frame.as_bytes());
+        let _ = self.out.flush();
+        self.drawn = self.lanes.len();
+        self.last_draw = Some(Instant::now());
+    }
+}
+
+/// One lane's display line.
+fn render_lane(lane: &Lane) -> String {
+    let status = match lane.done {
+        Some(true) => "ok".to_string(),
+        Some(false) => "FAIL".to_string(),
+        None => lane.stage.clone(),
+    };
+    let mut line = format!("{:<18} {:<10}", lane.label, status);
+    if lane.cached {
+        line.push_str(" [cached]");
+    }
+    if lane.cycles > 0 {
+        line.push_str(&format!(" {:>10}", format_count(lane.cycles, "cy")));
+    }
+    if lane.cps > 0.0 && lane.done.is_none() {
+        line.push_str(&format!(" {:>11}", format_rate(lane.cps)));
+    }
+    line.trim_end().to_string()
+}
+
+fn format_count(n: u64, unit: &str) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1} M{unit}", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1} k{unit}", n as f64 / 1e3)
+    } else {
+        format!("{n} {unit}")
+    }
+}
+
+fn format_rate(cps: f64) -> String {
+    if cps >= 1e6 {
+        format!("{:.1} Mcy/s", cps / 1e6)
+    } else if cps >= 1e3 {
+        format!("{:.1} kcy/s", cps / 1e3)
+    } else {
+        format!("{cps:.0} cy/s")
+    }
+}
+
+/// The [`Recorder`] adapter returned by [`MatrixView::sink`].
+pub struct ViewSink(MatrixView);
+
+impl Recorder for ViewSink {
+    fn record(&mut self, event: &Event<'_>) {
+        if let Event::Progress { name: "fps.heartbeat", fields, .. } = event {
+            let field = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+            if let Some(cell) = field("cell") {
+                let cycles = field("cycles").unwrap_or(0.0).max(0.0) as u64;
+                let cps = field("cycles_per_s").unwrap_or(0.0);
+                self.0.heartbeat(cell as u64, cycles, cps);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        self.0.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::SharedBuf;
+
+    #[test]
+    fn lanes_update_from_direct_calls_and_render() {
+        let buf = SharedBuf::default();
+        let view = MatrixView::new(Box::new(buf.clone()), false);
+        let a = view.add_lane("ecdsa/ibex/O1");
+        let b = view.add_lane("hasher/pico/O1");
+        view.set_stage(a, "fps", false);
+        view.set_stage(b, "ctcheck", true);
+        view.heartbeat(a, 12_300_000, 8_100_000.0);
+        let table = view.render();
+        assert!(table.contains("ecdsa/ibex/O1"), "{table}");
+        assert!(table.contains("fps"), "{table}");
+        assert!(table.contains("12.3 Mcy"), "{table}");
+        assert!(table.contains("8.1 Mcy/s"), "{table}");
+        assert!(table.contains("[cached]"), "{table}");
+        view.finish_lane(a, true);
+        view.finish_lane(b, true);
+        let table = view.render();
+        assert!(table.contains("ok"), "{table}");
+        // Non-ANSI mode logged the completions to the sink.
+        let logged = buf.take_string();
+        assert!(logged.contains("ecdsa/ibex/O1"), "{logged}");
+    }
+
+    #[test]
+    fn sink_routes_heartbeats_by_cell_field() {
+        let view = MatrixView::new(Box::new(std::io::sink()), false);
+        let cell = view.add_lane("ecdsa/ibex/O1");
+        view.set_stage(cell, "fps", false);
+        let mut sink = view.sink();
+        let fields = [("cycles", 2_000_000.0), ("cycles_per_s", 4.5e6), ("cell", cell as f64)];
+        sink.record(&Event::Progress { name: "fps.heartbeat", fields: &fields, tid: 0, t_us: 0 });
+        // Heartbeats without a cell field are ignored, not misrouted.
+        sink.record(&Event::Progress {
+            name: "fps.heartbeat",
+            fields: &[("cycles", 9e9)],
+            tid: 0,
+            t_us: 0,
+        });
+        let table = view.render();
+        assert!(table.contains("2.0 Mcy"), "{table}");
+        assert!(table.contains("4.5 Mcy/s"), "{table}");
+    }
+
+    #[test]
+    fn ansi_mode_redraws_in_place() {
+        let buf = SharedBuf::default();
+        let view = MatrixView::new(Box::new(buf.clone()), true);
+        let cell = view.add_lane("ecdsa/ibex/O1");
+        view.set_stage(cell, "fps", false);
+        view.finish_lane(cell, true);
+        view.finish();
+        let out = buf.take_string();
+        assert!(out.contains("\x1b[2K"), "clears lines: {out:?}");
+        assert!(out.contains("\x1b[1A"), "moves cursor up between frames: {out:?}");
+        assert!(out.contains("ecdsa/ibex/O1"), "{out}");
+    }
+}

@@ -18,7 +18,14 @@ QUICK="--quick"
 [ "${FULL:-0}" = "1" ] && QUICK=""
 THREADS="${THREADS:-$(nproc 2>/dev/null || echo 4)}"
 
-./target/release/bench_fps $QUICK --threads "$THREADS" --json BENCH_fps.json
-./target/release/bench_pipeline $QUICK --threads "$THREADS" --json BENCH_pipeline.json
-./target/release/bench_lint $QUICK --json BENCH_lint.json
-./target/release/bench_mutatest --threads "$THREADS" --json BENCH_mutatest.json
+# Each bin also writes its RunManifest (build id, env knobs, thread
+# count, metrics snapshot) next to the BENCH_*.json it produced, so a
+# result is never separated from the conditions that generated it.
+./target/release/bench_fps $QUICK --threads "$THREADS" \
+    --json BENCH_fps.json --metrics BENCH_fps.manifest.json
+./target/release/bench_pipeline $QUICK --threads "$THREADS" \
+    --json BENCH_pipeline.json --metrics BENCH_pipeline.manifest.json
+./target/release/bench_lint $QUICK \
+    --json BENCH_lint.json --metrics BENCH_lint.manifest.json
+./target/release/bench_mutatest --threads "$THREADS" \
+    --json BENCH_mutatest.json --metrics BENCH_mutatest.manifest.json

@@ -64,7 +64,7 @@ fn heartbeats_fire_at_the_configured_interval() {
         Box::new(JsonlSink::new(jsonl.writer())),
         Box::new(LogSink::new(log.writer())),
     ])));
-    let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles: INTERVAL };
+    let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles: INTERVAL, cell: 0 };
     let report =
         check_fps_traced(&mut real, &mut emu, &cfg(20_000_000), &project, &hash_script(), &obs)
             .expect("the hasher verifies");
@@ -123,7 +123,7 @@ fn timeout_failure_carries_partial_report() {
 
     let jsonl = SharedBuf::new();
     let tel = Telemetry::new(Box::new(JsonlSink::new(jsonl.writer())));
-    let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles: 0 };
+    let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles: 0, cell: 0 };
     // A Hash command needs far more than 100 cycles of compute, so the
     // host's per-byte handshake budget is guaranteed to run out.
     let failure = check_fps_traced(&mut real, &mut emu, &cfg(100), &project, &hash_script(), &obs)

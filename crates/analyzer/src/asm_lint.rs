@@ -18,8 +18,32 @@
 //! single stack coordinate system work across frames. Indirect jumps
 //! other than the `jalr x0, ra, 0` return idiom are outside the
 //! fragment and reported as [`LintError::Unsupported`].
+//!
+//! # The sparse interprocedural fixpoint
+//!
+//! The whole-program analysis is itself a fixpoint over two global
+//! tables — the region content map (which memory regions hold secret
+//! data) and the escape flag — because a store into a global may feed
+//! a load analyzed earlier. Both tables grow monotonically, so the
+//! driver re-runs the analysis until they stabilize.
+//!
+//! The dense driver ([`lint_asm_dense`]) recomputes every function
+//! from scratch on every pass, which multiplies the cost of the
+//! biggest firmwares by the pass count. The sparse driver (the
+//! default, [`lint_asm`]/[`lint_asm_threaded`]) instead memoizes each
+//! `(function, abstract entry state)` call **across passes**, keyed by
+//! a *dependency footprint*: the set of regions the call observed as
+//! clean, and whether it observed the escape flag unset. A memo entry
+//! stays valid exactly while its footprint still holds — only calls
+//! that actually depended on a table entry that later changed are
+//! re-analyzed, everything else *replays* its recorded effect list
+//! (region taints, escape, findings) in original execution order.
+//! Because every effect application is first-writer-wins and the
+//! tables are monotone, a replayed call is observationally identical
+//! to re-running it, so the sparse driver's findings are byte-identical
+//! to the dense oracle's (proved differentially over the lint corpus).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 
 use parfait_littlec::diag::{Diagnostic, Span};
@@ -53,6 +77,17 @@ impl MRegion {
     }
 }
 
+/// Interned region id: an index into [`AsmLint::regions`]. Ids are
+/// assigned in [`MRegion`] sort order, so a set of ids iterates in the
+/// same order a `BTreeSet<MRegion>` would — provenance strings built
+/// from "the first tainted region of a set" come out byte-identical.
+type Rid = u32;
+
+/// An interned region set. `Rc`-shared: pointer kinds are cloned on
+/// every join and most sets are singletons minted once at
+/// [`AsmLint::new`].
+type RegionSet = Rc<BTreeSet<Rid>>;
+
 /// What a register value *is*, beyond its secrecy.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum Kind {
@@ -65,7 +100,7 @@ enum Kind {
     /// Somewhere on the stack, offset unknown (variable array index).
     SpAny,
     /// A pointer into one of these regions, at any offset.
-    Mem(BTreeSet<MRegion>),
+    Mem(RegionSet),
 }
 
 /// The abstract value of a register or stack slot.
@@ -104,7 +139,7 @@ fn join_kind(a: &Kind, b: &Kind) -> Kind {
     match (a, b) {
         _ if a == b => a.clone(),
         (Kind::Sp(_) | Kind::SpAny, Kind::Sp(_) | Kind::SpAny) => Kind::SpAny,
-        (Kind::Mem(x), Kind::Mem(y)) => Kind::Mem(x.union(y).cloned().collect()),
+        (Kind::Mem(x), Kind::Mem(y)) => Kind::Mem(Rc::new(x.union(y).copied().collect())),
         _ => Kind::Top,
     }
 }
@@ -151,18 +186,6 @@ struct MState {
 type StateKey = (Vec<(bool, Kind)>, Vec<(i32, bool, bool, Kind)>, Option<(bool, Kind)>);
 
 impl MState {
-    fn entry() -> MState {
-        let mut regs = vec![AVal::default(); 32];
-        regs[Reg::ZERO.0 as usize] = AVal::konst(0);
-        regs[Reg::SP.0 as usize] = AVal { secret: None, kind: Kind::Sp(0) };
-        for (r, region) in
-            [(Reg::A0, MRegion::State), (Reg::A1, MRegion::Cmd), (Reg::A2, MRegion::Resp)]
-        {
-            regs[r.0 as usize] = AVal { secret: None, kind: Kind::Mem(BTreeSet::from([region])) };
-        }
-        MState { regs, stack: Rc::new(BTreeMap::new()), blob: None }
-    }
-
     fn reg(&self, r: Reg) -> &AVal {
         &self.regs[r.0 as usize]
     }
@@ -275,8 +298,54 @@ fn prune_below(st: &mut MState, s: i32) {
 enum Target {
     Stack(i32),
     StackAny,
-    Regions(BTreeSet<MRegion>),
+    Regions(RegionSet),
     Untracked,
+}
+
+/// A globally-visible side effect of analyzing a call, recorded for
+/// cross-pass replay. Every application is guarded first-writer-wins,
+/// so replaying an effect that already took hold is a no-op.
+#[derive(Clone, Debug)]
+enum Effect {
+    /// `taint_region(rid, why)` was attempted.
+    Taint(Rid, Rc<str>),
+    /// The escape flag was attempted with this provenance.
+    Escape(Rc<str>),
+    /// A finding was attempted at `(rule, addr)`.
+    Record(RuleId, u32, Rc<Finding>),
+}
+
+/// Dedup key for [`Effect`]s within one recording frame: only the
+/// first attempt per key can take hold, so later ones need not be
+/// recorded.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum EffKey {
+    Taint(Rid),
+    Escape,
+    Record(RuleId, u32),
+}
+
+/// The in-progress recording of one `analyze_function` call: its
+/// effects (in execution order) and its dependency footprint.
+#[derive(Default)]
+struct Frame {
+    effects: Vec<Effect>,
+    keys: HashSet<EffKey>,
+    /// Regions observed absent from the content table.
+    clean: BTreeSet<Rid>,
+    /// Whether the escape flag was observed unset at a point where it
+    /// determined a load's secrecy.
+    saw_unescaped: bool,
+}
+
+/// A finished call summary: the joined return state plus the recording.
+struct MemoEntry {
+    ret: Option<MState>,
+    effects: Vec<Effect>,
+    clean: BTreeSet<Rid>,
+    saw_unescaped: bool,
+    /// Epoch at recording time — the dense oracle's validity key.
+    epoch_at: u64,
 }
 
 struct AsmLint<'p> {
@@ -286,17 +355,38 @@ struct AsmLint<'p> {
     /// Function symbols (text labels not starting with `.`), sorted by
     /// address; used to name findings.
     funcs: Vec<(u32, String)>,
-    /// Data-section symbol ranges, sorted by start address.
-    globals: Vec<(u32, u32, String)>,
+    /// Interned regions, indexed by [`Rid`]; ids follow [`MRegion`]
+    /// sort order.
+    regions: Vec<MRegion>,
+    /// Pre-minted singleton region sets, indexed by [`Rid`].
+    singletons: Vec<RegionSet>,
+    /// Data-section symbol ranges, sorted by start address, for
+    /// binary-search classification of constant addresses.
+    globals: Vec<(u32, u32, Rid)>,
     /// Region → provenance of its secret content. Absent = clean.
-    content: BTreeMap<MRegion, String>,
+    /// Monotone: entries are only ever added, never changed or removed,
+    /// across the whole lint run (all passes).
+    content: HashMap<Rid, Rc<str>>,
     /// Set when a secret was stored through an untracked pointer: all
-    /// loads must then be considered secret.
+    /// loads must then be considered secret. Set once, monotone.
     escaped: Option<Rc<str>>,
     /// Bumped when `content`/`escaped` grow; the outer loop reruns
     /// until stable.
     epoch: u64,
-    memo: HashMap<(u32, StateKey, u64), Option<MState>>,
+    /// Cross-pass call summaries; validity is footprint-checked (or
+    /// epoch-checked for the dense oracle) at lookup.
+    memo: HashMap<(u32, StateKey), Rc<MemoEntry>>,
+    /// Sparse mode: reuse entries whose footprint still holds. Dense
+    /// mode (the oracle): reuse only within the recording epoch.
+    reuse: bool,
+    /// Active recordings, innermost last. Effects and footprint
+    /// observations go to *every* active frame (a caller depends on
+    /// whatever its callees depend on).
+    frames: Vec<Frame>,
+    /// True when every active frame already has `saw_unescaped` — the
+    /// common case after the first clean load, kept as a flag so the
+    /// per-load hot path is one branch.
+    all_unescaped: bool,
     call_stack: Vec<u32>,
     findings: BTreeMap<(RuleId, u32), Finding>,
     /// Worklist pops across every function fixpoint (flushed to the
@@ -307,9 +397,7 @@ struct AsmLint<'p> {
 }
 
 impl<'p> AsmLint<'p> {
-    fn new(prog: &'p Program) -> AsmLint<'p> {
-        let code: Vec<Result<Instr, String>> =
-            prog.text.iter().map(|&w| decode(w).map_err(|e| format!("{e:?}"))).collect();
+    fn new(prog: &'p Program, code: Vec<Result<Instr, String>>, reuse: bool) -> AsmLint<'p> {
         let text_end = prog.text_base + 4 * prog.text.len() as u32;
         let mut funcs: Vec<(u32, String)> = prog
             .symbols
@@ -326,27 +414,63 @@ impl<'p> AsmLint<'p> {
             .map(|(name, &a)| (a, name.clone()))
             .collect();
         starts.sort();
+        // Intern in MRegion sort order (State, Cmd, Resp, globals by
+        // name) so interned sets iterate like `BTreeSet<MRegion>` did.
+        let mut regions = vec![MRegion::State, MRegion::Cmd, MRegion::Resp];
+        let mut names: Vec<&String> = starts.iter().map(|(_, n)| n).collect();
+        names.sort();
+        names.dedup();
+        let by_name: HashMap<&str, Rid> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), (regions.len() + i) as Rid))
+            .collect();
+        regions.extend(names.iter().map(|n| MRegion::Global((*n).clone())));
+        let singletons: Vec<RegionSet> =
+            (0..regions.len() as Rid).map(|r| Rc::new(BTreeSet::from([r]))).collect();
         let mut globals = Vec::with_capacity(starts.len());
         for (i, (start, name)) in starts.iter().enumerate() {
             let end = starts.get(i + 1).map(|(s, _)| *s).unwrap_or(data_end);
-            globals.push((*start, end, name.clone()));
+            globals.push((*start, end, by_name[name.as_str()]));
         }
-        let mut content = BTreeMap::new();
-        content.insert(MRegion::State, "secret handler state".to_string());
+        let mut content = HashMap::new();
+        content.insert(RID_STATE, Rc::from("secret handler state"));
         AsmLint {
             prog,
             code,
             funcs,
+            regions,
+            singletons,
             globals,
             content,
             escaped: None,
             epoch: 0,
             memo: HashMap::new(),
+            reuse,
+            frames: Vec::new(),
+            all_unescaped: false,
             call_stack: Vec::new(),
             findings: BTreeMap::new(),
             fixpoint_iters: 0,
             memo_hits: 0,
         }
+    }
+
+    /// The handler's abstract entry state (`a0` = state, `a1` = cmd,
+    /// `a2` = resp, `sp` = 0).
+    fn entry_state(&self) -> MState {
+        let mut regs = vec![AVal::default(); 32];
+        regs[Reg::ZERO.0 as usize] = AVal::konst(0);
+        regs[Reg::SP.0 as usize] = AVal { secret: None, kind: Kind::Sp(0) };
+        for (r, rid) in [(Reg::A0, RID_STATE), (Reg::A1, RID_CMD), (Reg::A2, RID_RESP)] {
+            regs[r.0 as usize] =
+                AVal { secret: None, kind: Kind::Mem(self.singletons[rid as usize].clone()) };
+        }
+        MState { regs, stack: Rc::new(BTreeMap::new()), blob: None }
+    }
+
+    fn describe(&self, r: Rid) -> String {
+        self.regions[r as usize].describe()
     }
 
     fn func_of(&self, addr: u32) -> String {
@@ -356,11 +480,10 @@ impl<'p> AsmLint<'p> {
         }
     }
 
-    fn data_region(&self, addr: u32) -> Option<MRegion> {
-        self.globals
-            .iter()
-            .find(|(s, e, _)| addr >= *s && addr < *e)
-            .map(|(_, _, name)| MRegion::Global(name.clone()))
+    fn data_region(&self, addr: u32) -> Option<Rid> {
+        let i = self.globals.partition_point(|&(s, _, _)| s <= addr).checked_sub(1)?;
+        let (s, e, rid) = self.globals[i];
+        (addr >= s && addr < e).then_some(rid)
     }
 
     fn fetch(&self, addr: u32) -> Result<Instr, LintError> {
@@ -375,15 +498,47 @@ impl<'p> AsmLint<'p> {
         }
     }
 
-    fn taint_region(&mut self, r: MRegion, why: String) {
-        if r != MRegion::State && !self.content.contains_key(&r) {
-            self.content.insert(r, why);
+    // --- effect emission (applied first-writer-wins, recorded into
+    // --- every active frame for cross-pass replay)
+
+    fn attempt_taint(&mut self, r: Rid, why: Rc<str>) {
+        for f in &mut self.frames {
+            if f.keys.insert(EffKey::Taint(r)) {
+                f.effects.push(Effect::Taint(r, why.clone()));
+            }
+        }
+        if let std::collections::hash_map::Entry::Vacant(e) = self.content.entry(r) {
+            e.insert(why);
             self.epoch += 1;
         }
     }
 
+    fn attempt_escape(&mut self, why: Rc<str>) {
+        for f in &mut self.frames {
+            if f.keys.insert(EffKey::Escape) {
+                f.effects.push(Effect::Escape(why.clone()));
+            }
+        }
+        if self.escaped.is_none() {
+            self.escaped = Some(why);
+            self.epoch += 1;
+        }
+    }
+
+    fn attempt_record(&mut self, rule: RuleId, addr: u32, finding: Rc<Finding>) {
+        for f in &mut self.frames {
+            if f.keys.insert(EffKey::Record(rule, addr)) {
+                f.effects.push(Effect::Record(rule, addr, finding.clone()));
+            }
+        }
+        self.findings.entry((rule, addr)).or_insert_with(|| (*finding).clone());
+    }
+
     fn record(&mut self, rule: RuleId, addr: u32, instr: Instr, why: &str, sink: &str) {
-        if self.findings.contains_key(&(rule, addr)) {
+        let key = EffKey::Record(rule, addr);
+        if self.findings.contains_key(&(rule, addr))
+            && self.frames.iter().all(|f| f.keys.contains(&key))
+        {
             return;
         }
         let func = self.func_of(addr);
@@ -397,7 +552,49 @@ impl<'p> AsmLint<'p> {
             ),
             taint: vec![why.to_string(), format!("{sink} at {addr:#010x}")],
         };
-        self.findings.insert((rule, addr), finding);
+        self.attempt_record(rule, addr, Rc::new(finding));
+    }
+
+    // --- dependency footprint observations
+
+    fn note_clean(&mut self, r: Rid) {
+        for f in &mut self.frames {
+            f.clean.insert(r);
+        }
+    }
+
+    fn note_unescaped(&mut self) {
+        if self.all_unescaped {
+            return;
+        }
+        for f in &mut self.frames {
+            f.saw_unescaped = true;
+        }
+        self.all_unescaped = true;
+    }
+
+    /// Re-apply a memoized call's recorded footprint and effects, in
+    /// original execution order. Under a valid footprint this is
+    /// observationally identical to re-running the call: every table
+    /// read it performed still yields the same answer, so a fresh run
+    /// would attempt exactly these effects — and each application is
+    /// guarded first-writer-wins.
+    fn replay(&mut self, e: &MemoEntry) {
+        for &r in &e.clean {
+            self.note_clean(r);
+        }
+        if e.saw_unescaped {
+            self.note_unescaped();
+        }
+        for eff in &e.effects {
+            match eff {
+                Effect::Taint(r, why) => self.attempt_taint(*r, why.clone()),
+                Effect::Escape(why) => self.attempt_escape(why.clone()),
+                Effect::Record(rule, addr, finding) => {
+                    self.attempt_record(*rule, *addr, finding.clone())
+                }
+            }
+        }
     }
 
     /// Classify the address `base + off` for a memory access.
@@ -409,7 +606,7 @@ impl<'p> AsmLint<'p> {
             Kind::Const(a) => {
                 let addr = a.wrapping_add(off as u32);
                 match self.data_region(addr) {
-                    Some(r) => Target::Regions(BTreeSet::from([r])),
+                    Some(r) => Target::Regions(self.singletons[r as usize].clone()),
                     None => Target::Untracked,
                 }
             }
@@ -438,8 +635,11 @@ impl<'p> AsmLint<'p> {
         }
     }
 
-    /// The abstract value loaded from `target`.
-    fn load_value(&self, st: &MState, target: &Target, w: u8, addr: u32) -> AVal {
+    /// The abstract value loaded from `target`. Queries of the content
+    /// table and the escape flag that come back *clean* are dependency
+    /// observations: the answer could change in a later pass, so they
+    /// go into every active frame's footprint.
+    fn load_value(&mut self, st: &MState, target: &Target, w: u8, addr: u32) -> AVal {
         let mut v = match target {
             Target::Stack(o) => self.read_stack(st, *o, w),
             Target::StackAny => {
@@ -454,11 +654,21 @@ impl<'p> AsmLint<'p> {
                 v
             }
             Target::Regions(rs) => {
-                let secret = rs.iter().find_map(|r| {
-                    self.content
-                        .get(r)
-                        .map(|why| Rc::from(format!("{why}, loaded from {}", r.describe())))
-                });
+                let mut secret = None;
+                let mut cleans: Vec<Rid> = Vec::new();
+                for &r in rs.iter() {
+                    match self.content.get(&r) {
+                        Some(why) => {
+                            secret =
+                                Some(Rc::from(format!("{why}, loaded from {}", self.describe(r))));
+                            break;
+                        }
+                        None => cleans.push(r),
+                    }
+                }
+                for r in cleans {
+                    self.note_clean(r);
+                }
                 AVal { secret, kind: Kind::Top }
             }
             Target::Untracked => AVal {
@@ -467,7 +677,10 @@ impl<'p> AsmLint<'p> {
             },
         };
         if v.secret.is_none() {
-            v.secret = self.escaped.clone();
+            match &self.escaped {
+                Some(e) => v.secret = Some(e.clone()),
+                None => self.note_unescaped(),
+            }
         }
         v
     }
@@ -484,18 +697,18 @@ impl<'p> AsmLint<'p> {
             }
             Target::Regions(rs) => {
                 if let Some(why) = &val.secret {
-                    for r in rs {
-                        self.taint_region(r, why.to_string());
+                    let why = why.clone();
+                    for &r in rs.iter() {
+                        if r != RID_STATE {
+                            self.attempt_taint(r, why.clone());
+                        }
                     }
                 }
             }
             Target::Untracked => {
                 if let Some(why) = &val.secret {
-                    if self.escaped.is_none() {
-                        self.escaped =
-                            Some(Rc::from(format!("{why}, escaped via untracked store")));
-                        self.epoch += 1;
-                    }
+                    let why = Rc::from(format!("{why}, escaped via untracked store"));
+                    self.attempt_escape(why);
                 }
             }
         }
@@ -514,7 +727,7 @@ impl<'p> AsmLint<'p> {
             // to Top at the loop head.
             if matches!(op, AluOp::Add | AluOp::Sub) {
                 if let Some(r) = self.data_region(v) {
-                    return Mem(BTreeSet::from([r]));
+                    return Mem(self.singletons[r as usize].clone());
                 }
             }
             return Const(v);
@@ -530,7 +743,7 @@ impl<'p> AsmLint<'p> {
             // A constant pointing into the data section, indexed by a
             // variable, is still a pointer into that symbol's range.
             (AluOp::Add, Const(c), _) | (AluOp::Add, _, Const(c)) => match self.data_region(*c) {
-                Some(r) => Mem(BTreeSet::from([r])),
+                Some(r) => Mem(self.singletons[r as usize].clone()),
                 None => Top,
             },
             _ => Top,
@@ -547,20 +760,46 @@ impl<'p> AsmLint<'p> {
                 self.func_of(entry)
             )));
         }
-        let memo_key = (entry, st.key(), self.epoch);
-        if let Some(ret) = self.memo.get(&memo_key) {
-            self.memo_hits += 1;
-            return Ok(ret.clone());
+        let memo_key = (entry, st.key());
+        if let Some(e) = self.memo.get(&memo_key) {
+            let valid = if self.reuse {
+                e.clean.iter().all(|r| !self.content.contains_key(r))
+                    && (!e.saw_unescaped || self.escaped.is_none())
+            } else {
+                e.epoch_at == self.epoch
+            };
+            if valid {
+                self.memo_hits += 1;
+                let e = Rc::clone(e);
+                self.replay(&e);
+                return Ok(e.ret.clone());
+            }
         }
         self.call_stack.push(entry);
+        self.frames.push(Frame::default());
+        self.all_unescaped = false;
         let t0 = std::time::Instant::now();
+        let epoch_at = self.epoch;
         let result = self.function_fixpoint(entry, st);
         parfait_telemetry::metrics::Metrics::global()
             .histogram_with("analyzer_fn_lint_us", &[("layer", "asm")])
             .record_duration(t0.elapsed());
         self.call_stack.pop();
+        let frame = self.frames.pop().expect("frame pushed above");
+        // The popped frame may leave the remaining frames all-noted;
+        // recompute the fast flag conservatively.
+        self.all_unescaped = !self.frames.is_empty() && self.frames.iter().all(|f| f.saw_unescaped);
         let ret = result?;
-        self.memo.insert(memo_key, ret.clone());
+        self.memo.insert(
+            memo_key,
+            Rc::new(MemoEntry {
+                ret: ret.clone(),
+                effects: frame.effects,
+                clean: frame.clean,
+                saw_unescaped: frame.saw_unescaped,
+                epoch_at,
+            }),
+        );
         Ok(ret)
     }
 
@@ -670,11 +909,12 @@ impl<'p> AsmLint<'p> {
             Instr::Branch { rs1, rs2, off, .. } => {
                 for rs in [rs1, rs2] {
                     if let Some(why) = &st.reg(rs).secret {
+                        let why = why.clone();
                         self.record(
                             RuleId::SecretBranch,
                             addr,
                             instr,
-                            why,
+                            &why,
                             "branch on secret-derived value",
                         );
                         break;
@@ -728,17 +968,23 @@ impl<'p> AsmLint<'p> {
     fn check_latency(&mut self, op: AluOp, addr: u32, instr: Instr, a: &AVal, b: &AVal) {
         if matches!(op, AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu) {
             if let Some(why) = a.secret.as_ref().or(b.secret.as_ref()) {
+                let why = why.clone();
                 self.record(
                     RuleId::SecretLatency,
                     addr,
                     instr,
-                    why,
+                    &why,
                     "secret operand to variable-latency division",
                 );
             }
         }
     }
 }
+
+/// Well-known interned ids (matching [`MRegion`] sort order).
+const RID_STATE: Rid = 0;
+const RID_CMD: Rid = 1;
+const RID_RESP: Rid = 2;
 
 fn load_width(op: LoadOp) -> u8 {
     match op {
@@ -756,24 +1002,57 @@ fn store_width(op: StoreOp) -> u8 {
     }
 }
 
-/// Run the assembly-layer constant-time analysis on an assembled
-/// firmware image, starting from the `entry` symbol with the Parfait
-/// handler ABI (`a0` = secret state, `a1` = public command, `a2` =
-/// response buffer).
-///
-/// Returns the sorted findings; [`LintError`] when control flow cannot
-/// be recovered (indirect jumps, recursion, undecodable words).
-pub fn lint_asm(prog: &Program, entry: &str) -> Result<Vec<Finding>, LintError> {
+/// Pre-decode the text section, fanning per-function slices over the
+/// worker pool. Decoding is pure per word, so the parallel result is
+/// trivially identical to the sequential one; function granularity
+/// keeps slices cache-friendly and matches the analysis's own unit of
+/// work. Small images skip the pool entirely.
+fn predecode(prog: &Program, threads: usize) -> Vec<Result<Instr, String>> {
+    let decode_range =
+        |words: &[u32]| words.iter().map(|&w| decode(w).map_err(|e| format!("{e:?}"))).collect();
+    if threads <= 1 || prog.text.len() < 1024 {
+        return decode_range(&prog.text);
+    }
+    // Function starts (word indices), deduped and sorted; the gaps
+    // between them are the per-function slices.
+    let text_end = prog.text_base + 4 * prog.text.len() as u32;
+    let mut cuts: Vec<usize> = prog
+        .symbols
+        .values()
+        .filter(|&&a| a > prog.text_base && a < text_end && a.is_multiple_of(4))
+        .map(|&a| ((a - prog.text_base) / 4) as usize)
+        .collect();
+    cuts.push(0);
+    cuts.push(prog.text.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    let ranges: Vec<(usize, usize)> = cuts.windows(2).map(|w| (w[0], w[1])).collect();
+    let parts: Vec<Vec<Result<Instr, String>>> =
+        parfait_parallel::parallel_map(threads, ranges, |_w, (s, e)| {
+            decode_range(&prog.text[s..e])
+        });
+    parts.concat()
+}
+
+/// The shared driver behind the public entry points: the outer
+/// fixpoint over the region content table (stores into globals may
+/// feed loads analyzed earlier; content only grows clean → secret, so
+/// it terminates). In sparse mode, call summaries persist across
+/// passes and only footprint-invalidated calls re-run; in dense mode
+/// every pass recomputes the world (the differential oracle).
+fn lint_asm_driver(
+    prog: &Program,
+    entry: &str,
+    threads: usize,
+    reuse: bool,
+) -> Result<Vec<Finding>, LintError> {
     let entry_addr = prog.address_of(entry).ok_or_else(|| LintError::NoEntry(entry.to_string()))?;
-    let mut lint = AsmLint::new(prog);
-    // Outer fixpoint over the region content table (stores into
-    // globals may feed loads analyzed earlier); content only grows
-    // clean → secret, so this terminates.
+    let code = predecode(prog, threads);
+    let mut lint = AsmLint::new(prog, code, reuse);
     loop {
         let epoch0 = lint.epoch;
         lint.findings.clear();
-        lint.memo.clear();
-        lint.analyze_function(entry_addr, MState::entry())?;
+        lint.analyze_function(entry_addr, lint.entry_state())?;
         if lint.epoch == epoch0 {
             break;
         }
@@ -789,6 +1068,39 @@ pub fn lint_asm(prog: &Program, entry: &str) -> Result<Vec<Finding>, LintError> 
     Ok(findings)
 }
 
+/// Run the assembly-layer constant-time analysis on an assembled
+/// firmware image, starting from the `entry` symbol with the Parfait
+/// handler ABI (`a0` = secret state, `a1` = public command, `a2` =
+/// response buffer).
+///
+/// Returns the sorted findings; [`LintError`] when control flow cannot
+/// be recovered (indirect jumps, recursion, undecodable words).
+pub fn lint_asm(prog: &Program, entry: &str) -> Result<Vec<Finding>, LintError> {
+    lint_asm_driver(prog, entry, 1, true)
+}
+
+/// [`lint_asm`] with the pure per-function pre-pass fanned over
+/// `threads` workers (0 = [`parfait_parallel::default_threads`]).
+/// Findings are byte-identical to [`lint_asm`] and [`lint_asm_dense`]
+/// at every thread count.
+pub fn lint_asm_threaded(
+    prog: &Program,
+    entry: &str,
+    threads: usize,
+) -> Result<Vec<Finding>, LintError> {
+    let threads = if threads == 0 { parfait_parallel::default_threads() } else { threads };
+    lint_asm_driver(prog, entry, threads, true)
+}
+
+/// The dense oracle: every pass of the outer fixpoint recomputes every
+/// function (call summaries are reused only within the epoch that
+/// recorded them, which is the pre-sparse behavior). Kept for the
+/// differential suite that proves the sparse driver byte-identical;
+/// production callers want [`lint_asm`].
+pub fn lint_asm_dense(prog: &Program, entry: &str) -> Result<Vec<Finding>, LintError> {
+    lint_asm_driver(prog, entry, 1, false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -798,7 +1110,11 @@ mod tests {
         let program = parfait_littlec::frontend(src).unwrap();
         let asm = parfait_littlec::compile(&program, opt).unwrap();
         let prog = parfait_riscv::assemble(&asm).unwrap();
-        lint_asm(&prog, "handle").unwrap()
+        let sparse = lint_asm(&prog, "handle").unwrap();
+        // Every test doubles as a sparse-vs-dense differential check.
+        let dense = lint_asm_dense(&prog, "handle").unwrap();
+        assert_eq!(sparse, dense, "sparse and dense asm lint disagree");
+        sparse
     }
 
     fn rules(findings: &[Finding]) -> Vec<RuleId> {
@@ -887,6 +1203,42 @@ mod tests {
             OptLevel::O2,
         );
         assert_eq!(rules(&f), vec![RuleId::SecretBranch]);
+    }
+
+    #[test]
+    fn global_taint_feeds_an_earlier_load_across_passes() {
+        // `spill` writes a secret into a global that `use_it` read as
+        // clean on the first pass — the cross-pass invalidation must
+        // re-analyze `use_it` (its footprint includes the global) and
+        // the branch must fire.
+        let f = lint_src(
+            "static u8 G[4];
+            u32 use_it(u8* cmd) { return G[0] + cmd[0]; }
+            void spill(u8* state) { G[0] = state[0]; }
+            void handle(u8* state, u8* cmd, u8* resp) {
+                u32 a = use_it(cmd);
+                spill(state);
+                u32 b = use_it(cmd);
+                if (b) { resp[0] = (u8)a; }
+            }",
+            OptLevel::O2,
+        );
+        assert_eq!(rules(&f), vec![RuleId::SecretBranch]);
+    }
+
+    #[test]
+    fn threaded_predecode_matches_sequential_findings() {
+        let src = "const u8 T[4] = {7, 7, 7, 7};
+            void handle(u8* state, u8* cmd, u8* resp) {
+                resp[0] = T[state[0] & 3];
+            }";
+        let program = parfait_littlec::frontend(src).unwrap();
+        let asm = parfait_littlec::compile(&program, OptLevel::O2).unwrap();
+        let prog = parfait_riscv::assemble(&asm).unwrap();
+        let seq = lint_asm(&prog, "handle").unwrap();
+        for threads in [2, 8] {
+            assert_eq!(lint_asm_threaded(&prog, "handle", threads).unwrap(), seq, "{threads}");
+        }
     }
 
     #[test]

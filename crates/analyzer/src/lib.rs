@@ -42,7 +42,7 @@ use parfait_telemetry::Telemetry;
 mod asm_lint;
 mod ir_lint;
 
-pub use asm_lint::lint_asm;
+pub use asm_lint::{lint_asm, lint_asm_dense, lint_asm_threaded};
 pub use ir_lint::lint_ir;
 
 /// Version string of the rule set; part of the `ctcheck` stage's input

@@ -23,6 +23,10 @@
 /// firmware/spec/SoC construction this crate used to duplicate).
 pub use parfait_pipeline::apps::StdApp as App;
 
+/// The deterministic-counter performance ratchet behind the `perfstat`
+/// binary and CI's `perf_baseline.json` gate.
+pub mod perf;
+
 /// Extract `--json <path>` from an argument list. Distinguishes the
 /// flag being absent (`Ok(None)`) from it being malformed — missing its
 /// path, or followed by another flag (`Err`), so a typo'd invocation

@@ -1,7 +1,10 @@
 //! Shared RV32IM datapath semantics and the core/SoC interfaces.
 
+use std::sync::Arc;
+
 use parfait_riscv::decode::decode;
 use parfait_riscv::isa::{AluOp, Instr, LoadOp, Reg, StoreOp};
+use parfait_riscv::predecode::DecodeCache;
 use parfait_rtl::W;
 
 /// Memory interface a core uses within a cycle.
@@ -82,6 +85,19 @@ pub trait Core: Send {
     fn fault(&self) -> Option<&Fault>;
     /// Reset to the boot PC with cleared registers.
     fn reset(&mut self, pc: u32);
+    /// Attach a pre-decoded instruction cache covering the fetch
+    /// address space (the SoC's ROM). Fetches the cache covers skip the
+    /// bus and the per-cycle decode; everything else falls back to the
+    /// uncached path bit-for-bit. Default: caching unsupported (no-op).
+    fn attach_decode_cache(&mut self, _cache: Arc<DecodeCache>) {}
+    /// Drain this core's decode-cache `(hits, misses)` counters,
+    /// resetting them to zero — callers flush the delta into the
+    /// metrics registry at run boundaries, not per cycle. Misses count
+    /// fetches an *attached* cache did not cover; a core without a
+    /// cache reports `(0, 0)`.
+    fn take_decode_stats(&mut self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 impl Clone for Box<dyn Core> {
@@ -186,6 +202,22 @@ pub fn execute(
             return Exec { next_pc: pc, class: OpClass::Alu };
         }
     };
+    execute_decoded(instr, pc, regs, mem, cycle, leaks, fault)
+}
+
+/// [`execute`] for an already-decoded instruction — the decode-cache
+/// fast path. Semantically identical to `execute(encode(instr), ...)`;
+/// illegal words never reach this (they fail decode, so the caller
+/// raises [`Fault::Illegal`] itself).
+pub fn execute_decoded(
+    instr: Instr,
+    pc: u32,
+    regs: &mut [W; 32],
+    mem: &mut dyn MemIf,
+    cycle: u64,
+    leaks: &mut Vec<LeakEvent>,
+    fault: &mut Option<Fault>,
+) -> Exec {
     let rd_write = |regs: &mut [W; 32], r: Reg, v: W| {
         if r != Reg::ZERO {
             regs[r.0 as usize] = v;

@@ -13,11 +13,16 @@
 //!   variable-latency instruction of §7.2 that verification must catch
 //!   when it executes on secret data.
 
-use parfait_riscv::decode::decode;
+use std::sync::Arc;
+
+use parfait_riscv::decode::{decode, DecodeError};
+use parfait_riscv::isa::Instr;
+use parfait_riscv::predecode::DecodeCache;
 use parfait_rtl::W;
 
 use crate::datapath::{
-    execute, instr_dest, instr_sources, Core, Exec, Fault, LeakEvent, MemIf, OpClass, SeededFault,
+    execute, execute_decoded, instr_dest, instr_sources, Core, Exec, Fault, LeakEvent, MemIf,
+    OpClass, SeededFault,
 };
 
 /// The 2-stage core.
@@ -42,6 +47,16 @@ pub struct IbexCore {
     /// With `StaleForwarding` seeded: the register the previous executed
     /// instruction wrote and its value *before* that write.
     stale: Option<(usize, W)>,
+    /// Pre-decoded ROM image (shared across snapshots); `None` runs the
+    /// uncached fetch + decode path everywhere.
+    cache: Option<Arc<DecodeCache>>,
+    /// Decode latch: the cache's decoded form of the word the last
+    /// fetch served, carried alongside `id_ex` so the exec stage does
+    /// not repeat the cache lookup. `None` whenever the word came off
+    /// the bus (exec then decodes it live).
+    fetched: Option<Result<Instr, DecodeError>>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl IbexCore {
@@ -67,6 +82,10 @@ impl IbexCore {
             fault: None,
             seeded,
             stale: None,
+            cache: None,
+            fetched: None,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -76,6 +95,56 @@ impl IbexCore {
             OpClass::Load | OpClass::Store => 1,
             OpClass::Div { dividend, .. } => 2 + (32 - dividend.leading_zeros()),
             _ => 0,
+        }
+    }
+
+    /// Instruction fetch: the pre-decoded cache serves covered pcs
+    /// without touching the bus; everything else (no cache, pc outside
+    /// the image, misaligned) takes the bus path bit-for-bit. A cache
+    /// hit also latches the entry's decoded form for the exec stage
+    /// (the entry pairs the word with its decode, so the latch is the
+    /// decode of exactly the word returned here).
+    #[inline]
+    fn fetch(&mut self, mem: &mut dyn MemIf, pc: u32) -> u32 {
+        if let Some(c) = &self.cache {
+            if let Some(&(word, decoded)) = c.entry(pc) {
+                self.cache_hits += 1;
+                self.fetched = Some(decoded);
+                return word;
+            }
+            self.cache_misses += 1;
+        }
+        self.fetched = None;
+        mem.fetch(pc)
+    }
+
+    /// Execute `word` at `ipc`, skipping the decoder when fetch latched
+    /// the pre-decoded form of this word.
+    #[inline]
+    fn exec(&mut self, word: u32, ipc: u32, mem: &mut dyn MemIf) -> Exec {
+        match self.fetched.take() {
+            Some(Ok(i)) => execute_decoded(
+                i,
+                ipc,
+                &mut self.regs,
+                mem,
+                self.cycles,
+                &mut self.leaks,
+                &mut self.fault,
+            ),
+            Some(Err(_)) => {
+                self.fault = Some(Fault::Illegal { pc: ipc, word });
+                Exec { next_pc: ipc, class: OpClass::Alu }
+            }
+            None => execute(
+                word,
+                ipc,
+                &mut self.regs,
+                mem,
+                self.cycles,
+                &mut self.leaks,
+                &mut self.fault,
+            ),
         }
     }
 }
@@ -100,7 +169,7 @@ impl Core for IbexCore {
                 self.last_retired = self.pending.take();
                 self.retired += 1;
                 // Refill the pipeline in the same cycle the op completes.
-                let word = mem.fetch(self.fetch_pc);
+                let word = self.fetch(mem, self.fetch_pc);
                 self.id_ex = Some((word, self.fetch_pc));
                 self.fetch_pc = self.fetch_pc.wrapping_add(4);
             }
@@ -109,7 +178,7 @@ impl Core for IbexCore {
         match self.id_ex.take() {
             None => {
                 // Bubble: fetch only.
-                let word = mem.fetch(self.fetch_pc);
+                let word = self.fetch(mem, self.fetch_pc);
                 self.id_ex = Some((word, self.fetch_pc));
                 self.fetch_pc = self.fetch_pc.wrapping_add(4);
             }
@@ -132,15 +201,7 @@ impl Core for IbexCore {
                     }
                     self.stale = wrote.map(|d| (d, self.regs[d]));
                 }
-                let Exec { next_pc, class } = execute(
-                    word,
-                    ipc,
-                    &mut self.regs,
-                    mem,
-                    self.cycles,
-                    &mut self.leaks,
-                    &mut self.fault,
-                );
+                let Exec { next_pc, class } = self.exec(word, ipc, mem);
                 if let Some((idx, fresh)) = unstale {
                     // The write-back of the *current* instruction (if it
                     // targeted the same register) wins; otherwise undo
@@ -169,7 +230,7 @@ impl Core for IbexCore {
                     self.retired += 1;
                     self.last_retired = Some((word, ipc));
                     // Overlapped fetch of the next instruction.
-                    let w = mem.fetch(self.fetch_pc);
+                    let w = self.fetch(mem, self.fetch_pc);
                     self.id_ex = Some((w, self.fetch_pc));
                     self.fetch_pc = self.fetch_pc.wrapping_add(4);
                 }
@@ -210,7 +271,22 @@ impl Core for IbexCore {
     }
 
     fn reset(&mut self, pc: u32) {
+        // The cache (immutable, image-keyed) and its lifetime stats
+        // survive a power cycle, like the ROM itself.
+        let cache = self.cache.take();
+        let (hits, misses) = (self.cache_hits, self.cache_misses);
         *self = IbexCore::with_fault(pc, self.seeded);
+        self.cache = cache;
+        self.cache_hits = hits;
+        self.cache_misses = misses;
+    }
+
+    fn attach_decode_cache(&mut self, cache: Arc<DecodeCache>) {
+        self.cache = Some(cache);
+    }
+
+    fn take_decode_stats(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.cache_hits), std::mem::take(&mut self.cache_misses))
     }
 }
 

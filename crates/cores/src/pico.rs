@@ -15,10 +15,15 @@
 //! Table 4 relies on (apps take more cycles on the PicoRV32, but each
 //! SoC cycle is cheaper to simulate).
 
+use std::sync::Arc;
+
+use parfait_riscv::decode::DecodeError;
+use parfait_riscv::isa::Instr;
+use parfait_riscv::predecode::DecodeCache;
 use parfait_rtl::W;
 
 use crate::datapath::{
-    execute, Core, Exec, Fault, LeakEvent, LeakKind, MemIf, OpClass, SeededFault,
+    execute, execute_decoded, Core, Exec, Fault, LeakEvent, LeakKind, MemIf, OpClass, SeededFault,
 };
 
 #[derive(Clone)]
@@ -46,6 +51,16 @@ pub struct PicoCore {
     fault: Option<Fault>,
     /// Seeded micro-architectural bug (mutation testing only).
     seeded: Option<SeededFault>,
+    /// Pre-decoded ROM image (shared across snapshots); `None` runs the
+    /// uncached fetch + decode path everywhere.
+    cache: Option<Arc<DecodeCache>>,
+    /// Decode latch: the cache's decoded form of the word the last
+    /// fetch served, carried through the Decode stage so exec does not
+    /// repeat the cache lookup. `None` whenever the word came off the
+    /// bus (exec then decodes it live).
+    fetched: Option<Result<Instr, DecodeError>>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl PicoCore {
@@ -68,6 +83,60 @@ impl PicoCore {
             leaks: Vec::new(),
             fault: None,
             seeded,
+            cache: None,
+            fetched: None,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Instruction fetch: the pre-decoded cache serves covered pcs
+    /// without touching the bus; everything else (no cache, pc outside
+    /// the image, misaligned) takes the bus path bit-for-bit. A cache
+    /// hit also latches the entry's decoded form for the exec stage
+    /// (the entry pairs the word with its decode, so the latch is the
+    /// decode of exactly the word returned here).
+    #[inline]
+    fn fetch(&mut self, mem: &mut dyn MemIf, pc: u32) -> u32 {
+        if let Some(c) = &self.cache {
+            if let Some(&(word, decoded)) = c.entry(pc) {
+                self.cache_hits += 1;
+                self.fetched = Some(decoded);
+                return word;
+            }
+            self.cache_misses += 1;
+        }
+        self.fetched = None;
+        mem.fetch(pc)
+    }
+
+    /// Execute `word` at `ipc`, skipping the decoder when fetch latched
+    /// the pre-decoded form of this word.
+    #[inline]
+    fn exec(&mut self, word: u32, ipc: u32, mem: &mut dyn MemIf) -> Exec {
+        match self.fetched.take() {
+            Some(Ok(i)) => execute_decoded(
+                i,
+                ipc,
+                &mut self.regs,
+                mem,
+                self.cycles,
+                &mut self.leaks,
+                &mut self.fault,
+            ),
+            Some(Err(_)) => {
+                self.fault = Some(Fault::Illegal { pc: ipc, word });
+                Exec { next_pc: ipc, class: OpClass::Alu }
+            }
+            None => execute(
+                word,
+                ipc,
+                &mut self.regs,
+                mem,
+                self.cycles,
+                &mut self.leaks,
+                &mut self.fault,
+            ),
         }
     }
 
@@ -129,22 +198,14 @@ impl Core for PicoCore {
                 self.stage = Stage::Fetch2;
             }
             Stage::Fetch2 => {
-                let word = mem.fetch(self.pc);
+                let word = self.fetch(mem, self.pc);
                 self.stage = Stage::Decode(word, self.pc);
             }
             Stage::Decode(word, ipc) => {
                 // Execute the datapath on the *first* execute cycle and
                 // then burn the remaining latency; memory side effects
                 // happen exactly once.
-                let Exec { next_pc, class } = execute(
-                    word,
-                    ipc,
-                    &mut self.regs,
-                    mem,
-                    self.cycles,
-                    &mut self.leaks,
-                    &mut self.fault,
-                );
+                let Exec { next_pc, class } = self.exec(word, ipc, mem);
                 if self.fault.is_some() {
                     return;
                 }
@@ -208,7 +269,22 @@ impl Core for PicoCore {
     }
 
     fn reset(&mut self, pc: u32) {
+        // The cache (immutable, image-keyed) and its lifetime stats
+        // survive a power cycle, like the ROM itself.
+        let cache = self.cache.take();
+        let (hits, misses) = (self.cache_hits, self.cache_misses);
         *self = PicoCore::with_fault(pc, self.seeded);
+        self.cache = cache;
+        self.cache_hits = hits;
+        self.cache_misses = misses;
+    }
+
+    fn attach_decode_cache(&mut self, cache: Arc<DecodeCache>) {
+        self.cache = Some(cache);
+    }
+
+    fn take_decode_stats(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.cache_hits), std::mem::take(&mut self.cache_misses))
     }
 }
 

@@ -94,6 +94,13 @@ impl<'s> CircuitEmulator<'s> {
     /// Seed the desync bug: every injected response is rotated left by
     /// one byte. The harness uses this to prove the FPS check is not
     /// vacuous — a broken emulator template must make it fail.
+    /// Drain the spec's whole-command memo counters (see
+    /// [`ByteSpec::take_memo_stats`]); the checker flushes them into
+    /// the metrics registry at the end of a run.
+    pub fn take_spec_memo_stats(&self) -> (u64, u64) {
+        self.spec.take_memo_stats()
+    }
+
     pub fn seed_desync(&mut self) {
         self.desync = true;
     }

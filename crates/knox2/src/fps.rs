@@ -35,12 +35,23 @@ use crate::emulator::CircuitEmulator;
 pub trait ByteSpec: Sync {
     /// One whole-command step.
     fn step(&self, state: &[u8], cmd: &[u8]) -> (Vec<u8>, Vec<u8>);
+
+    /// Drain the (hits, misses) counters of any internal whole-command
+    /// memo, so the checker can flush them into the metrics registry.
+    /// Specs without a memo report nothing.
+    fn take_memo_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 impl ByteSpec for AsmStateMachine {
     fn step(&self, state: &[u8], cmd: &[u8]) -> (Vec<u8>, Vec<u8>) {
         AsmStateMachine::step(self, state, cmd)
             .unwrap_or_else(|e| panic!("assembly-level spec failed: {e}"))
+    }
+
+    fn take_memo_stats(&self) -> (u64, u64) {
+        AsmStateMachine::take_memo_stats(self)
     }
 }
 
@@ -473,6 +484,8 @@ pub fn check_fps_traced(
     let metrics = parfait_telemetry::metrics::Metrics::global();
     metrics.counter("fps_cycles_total").add(dual.cycle);
     metrics.counter("fps_spec_queries_total").add(dual.emu.queries);
+    flush_decode_stats(dual.real, &mut dual.emu.soc);
+    flush_spec_memo_stats(dual.emu);
     metrics
         .gauge_with("fps_cycles_per_second", &[("cell", &obs.cell.to_string())])
         .set(report.cycles_per_second());
@@ -484,6 +497,27 @@ pub fn check_fps_traced(
             Err(FpsFailure { error, partial: report })
         }
     }
+}
+
+/// Drain both worlds' decode-cache hit/miss counters into the metrics
+/// registry. Only the caller's worlds are flushed (never throwaway
+/// forks), so the counts are deterministic for a given run and the
+/// perf ratchet can key on them.
+pub(crate) fn flush_decode_stats(real: &mut Soc, ideal: &mut Soc) {
+    let (rh, rm) = real.take_decode_stats();
+    let (ih, im) = ideal.take_decode_stats();
+    let metrics = parfait_telemetry::metrics::Metrics::global();
+    metrics.counter("decode_cache_hit").add(rh + ih);
+    metrics.counter("decode_cache_miss").add(rm + im);
+}
+
+/// Drain the spec's whole-command memo counters into the metrics
+/// registry (`spec_step_memo_total{outcome}`).
+pub(crate) fn flush_spec_memo_stats(emu: &CircuitEmulator<'_>) {
+    let (hits, misses) = emu.take_spec_memo_stats();
+    let metrics = parfait_telemetry::metrics::Metrics::global();
+    metrics.counter_with("spec_step_memo_total", &[("outcome", "hit")]).add(hits);
+    metrics.counter_with("spec_step_memo_total", &[("outcome", "miss")]).add(misses);
 }
 
 /// Failure-path telemetry, shared by the sequential checker and the

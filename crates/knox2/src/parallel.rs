@@ -1,40 +1,48 @@
-//! Parallel FPS checking: snapshot-fork segment verification.
+//! Parallel FPS checking: a producer/verifier pipeline.
 //!
-//! The sequential checker spends almost all of its time lock-stepping
-//! *two* circuit instances (the real SoC and the emulator's dummy SoC).
-//! This module splits that work across threads without changing what is
-//! checked:
+//! The sequential checker lock-steps *two* circuit instances (the real
+//! SoC and the emulator's dummy SoC) on one thread. This module splits
+//! that work across two threads without changing what is checked — and,
+//! unlike a fork-and-recheck scheme, without re-simulating anything:
 //!
-//! 1. A cheap sequential **pre-pass** (the *producer*) drives only the
-//!    real SoC through the host script — the host schedule depends only
-//!    on the real world's output wires, so this replays the exact wire
-//!    schedule of the sequential checker at roughly half its cost. At
-//!    quiescent op boundaries (command framing aligned) it snapshots the
-//!    real SoC (`Clone`) and cuts the script into segments, recording
-//!    the per-cycle input schedule of each segment as a run-length
-//!    encoded [`InputTrace`].
-//! 2. An **α-chain** replays each segment's recorded inputs onto the
-//!    caller's emulator, snapshotting it *before* each replay. Replay is
-//!    input-driven, so the emulator passes through exactly the states it
-//!    has in the sequential run — including after a divergence, where
-//!    its own outputs would no longer agree with the schedule.
-//! 3. **Segment workers** re-run the expensive dual-world check — the
-//!    exact same [`run_ops`] the sequential checker uses — over each
-//!    (real snapshot, emulator snapshot, ops) triple, in parallel.
-//! 4. The **merge** picks the failure from the earliest segment, which
-//!    is the sequential checker's first failure: segments partition the
-//!    script, each worker checks only its own op range with shared code
-//!    and identical absolute cycle/op/command numbering, so the reported
-//!    error is byte-identical to the sequential oracle's.
+//! 1. The **producer** drives only the real SoC through the host script
+//!    — the host schedule depends only on the real world's output wires
+//!    (the [`Dual`][crate::fps::Dual]'s `get_output` is the real
+//!    world's), so this replays the exact wire schedule of the
+//!    sequential checker. Per cycle it records the effective input and
+//!    the pre-tick observable output, both run-length encoded; per op it
+//!    records the end cycle, any host timeout, the (sticky) real-world
+//!    fault, and the refinement projection at quiescent command ends.
+//!    The trace is cut into segments at quiescent op boundaries, each
+//!    carrying a real-SoC snapshot of its start for failure-path pc
+//!    recovery.
+//! 2. The **verifier** (the calling thread) consumes segments in order,
+//!    replaying the recorded inputs onto the caller's emulator and
+//!    comparing the emulator's pre-tick observable wires against the
+//!    recorded real-world wires — the same pre-edge comparison the
+//!    sequential [`Dual`][crate::fps::Dual] makes. Replay *is* the
+//!    ideal-world advance: the emulator passes through exactly the
+//!    states it has in the sequential run (input-driven, so this holds
+//!    even past a divergence), and it is never snapshotted or re-run.
+//!    At each op end the verifier applies the sequential checker's
+//!    error precedence — divergence, real fault, ideal fault, timeout,
+//!    refinement — over the recorded facts and the live emulator.
 //!
-//! Soundness rests on two facts. First, segments are cut only at
-//! quiescent points (no partial command in flight), so a worker's
-//! `pending_bytes = 0` assumption holds by construction. Second, every
-//! world a worker sees is a bit-exact snapshot of the corresponding
-//! sequential state: the real snapshots come from replaying the
-//! identical schedule, and the emulator snapshots come from replaying
-//! the identical inputs. Nothing about the property being checked is
-//! weakened — the same comparisons run over the same states.
+//! Each simulated cycle is simulated exactly once per world, so the
+//! pipeline does the sequential checker's total work split across two
+//! threads, bounded by the slower world instead of the sum. Snapshots
+//! are per segment, real-world only, and only ever *used* on the
+//! failure path (to recover the real pc at a divergence cycle by
+//! replaying the segment's inputs from its snapshot).
+//!
+//! Soundness: every comparison the sequential checker makes is made
+//! here against the same values. The recorded output trace is the real
+//! world's pre-tick observable sequence under the identical schedule;
+//! the emulator's sequence is produced live by the identical inputs;
+//! the per-op facts (timeouts, faults, projections) are recorded at the
+//! same points the sequential checker reads them. The merge of the two
+//! streams preserves the sequential error precedence per op, so the
+//! first reported failure is byte-identical to the oracle's.
 
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -44,40 +52,40 @@ use parfait_soc::Soc;
 
 use crate::emulator::CircuitEmulator;
 use crate::fps::{
-    check_fps_traced, drive_op, end_of_script_checks, report_failure, run_ops, Dual, FpsConfig,
-    FpsError, FpsFailure, FpsObserver, FpsReport, HostOp,
+    check_fps_traced, drive_op, end_of_script_checks, flush_decode_stats, flush_spec_memo_stats,
+    report_failure, vcd_window, FpsConfig, FpsError, FpsFailure, FpsObserver, FpsReport, HostOp,
 };
 
-/// A run-length encoded per-cycle input schedule.
+/// A run-length encoded per-cycle trace (inputs, or observable output
+/// triples).
 ///
 /// The host protocol holds each input for many consecutive cycles
-/// (offering a byte, waiting for `tx_valid`, idling), so the encoded
-/// trace is tiny compared to the cycle count it covers.
-#[derive(Clone, Debug, Default)]
-pub(crate) struct InputTrace {
-    runs: Vec<(WireIn, u32)>,
+/// (offering a byte, waiting for `tx_valid`, idling) and the observable
+/// outputs sit at the idle pattern for the length of a computation, so
+/// both encoded traces are tiny compared to the cycle counts they
+/// cover.
+#[derive(Clone, Debug)]
+pub(crate) struct RleTrace<T> {
+    runs: Vec<(T, u32)>,
 }
 
-impl InputTrace {
-    fn push(&mut self, w: WireIn) {
+impl<T> Default for RleTrace<T> {
+    fn default() -> Self {
+        RleTrace { runs: Vec::new() }
+    }
+}
+
+impl<T: Copy + PartialEq> RleTrace<T> {
+    fn push(&mut self, v: T) {
         match self.runs.last_mut() {
-            Some((last, n)) if *last == w && *n < u32::MAX => *n += 1,
-            _ => self.runs.push((w, 1)),
+            Some((last, n)) if *last == v && *n < u32::MAX => *n += 1,
+            _ => self.runs.push((v, 1)),
         }
     }
 
-    /// Apply the schedule to a circuit. The input is re-asserted before
-    /// every tick because the SoC self-clears latched handshake wires;
-    /// this matches the effective per-cycle input of the original run
-    /// exactly (the host drivers also re-assert before every tick, or
-    /// hold the all-false idle input which self-clearing cannot change).
-    fn replay(&self, c: &mut dyn Circuit) {
-        for &(w, n) in &self.runs {
-            for _ in 0..n {
-                c.set_input(w);
-                c.tick();
-            }
-        }
+    /// The per-cycle values, decoded.
+    fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.runs.iter().flat_map(|&(v, n)| std::iter::repeat_n(v, n as usize))
     }
 
     #[cfg(test)]
@@ -86,13 +94,44 @@ impl InputTrace {
     }
 }
 
-/// A [`Circuit`] wrapper that records the effective input of every
-/// cycle (for the α-chain replay) and counts ticks (for absolute cycle
-/// numbering of segments).
+/// The per-cycle input schedule of a segment.
+pub(crate) type InputTrace = RleTrace<WireIn>;
+
+/// One cycle's observable wires: `(rx_ready, tx_valid, tx_data)`.
+type Obs = (bool, bool, u8);
+
+/// The real world's pre-tick observable wires, per cycle.
+type ObsTrace = RleTrace<Obs>;
+
+impl RleTrace<WireIn> {
+    /// Apply the first `cycles` ticks of the schedule to a circuit. The
+    /// input is re-asserted before every tick because the SoC
+    /// self-clears latched handshake wires; this matches the effective
+    /// per-cycle input of the original run exactly (the host drivers
+    /// also re-assert before every tick, or hold the all-false idle
+    /// input which self-clearing cannot change).
+    fn replay_prefix(&self, c: &mut dyn Circuit, cycles: u64) {
+        for w in self.iter().take(usize::try_from(cycles).unwrap_or(usize::MAX)) {
+            c.set_input(w);
+            c.tick();
+        }
+    }
+
+    /// Apply the whole schedule.
+    #[cfg(test)]
+    fn replay(&self, c: &mut dyn Circuit) {
+        self.replay_prefix(c, u64::MAX);
+    }
+}
+
+/// A [`Circuit`] wrapper that records the effective input and the
+/// pre-tick observable output of every cycle, and counts ticks (for
+/// absolute cycle numbering of segments).
 struct RecordingCircuit<'a> {
     soc: &'a mut Soc,
     input: WireIn,
     inputs: InputTrace,
+    outputs: ObsTrace,
     ticks: u64,
 }
 
@@ -108,6 +147,7 @@ impl Circuit for RecordingCircuit<'_> {
 
     fn tick(&mut self) {
         self.inputs.push(self.input);
+        self.outputs.push(self.soc.get_output().observable());
         self.soc.tick();
         self.ticks += 1;
     }
@@ -117,14 +157,31 @@ impl Circuit for RecordingCircuit<'_> {
     }
 }
 
-/// One verifiable slice of the script, with everything a worker needs
-/// to reproduce the sequential checker's behavior over it.
+/// What the producer recorded about one script op.
+struct OpRec {
+    /// Absolute cycle count when the op's driving finished (on a host
+    /// timeout: where the host gave up — the sequential checker's cycle
+    /// count at the same point).
+    end_cycle: u64,
+    /// The host I/O timed out during this op.
+    timed_out: bool,
+    /// `real.fault()` after the op (sticky, so only the producer's
+    /// terminal op ever records `Some`).
+    real_fault: Option<String>,
+    /// `project(real)` at the quiescent point after a completed,
+    /// framing-aligned command; `None` otherwise.
+    projection: Option<Vec<u8>>,
+}
+
+/// One slice of the recorded run, with everything the verifier needs to
+/// replay the emulator over it and reproduce the sequential checker's
+/// verdicts.
 struct Segment {
     index: usize,
-    /// Absolute op indices covered (half-open).
+    /// Absolute index of the first op covered.
     op_start: usize,
-    op_end: usize,
-    /// The real SoC at the segment's start.
+    /// The real SoC at the segment's start — held for the failure path
+    /// only (real-pc recovery at a divergence cycle).
     real_snap: Soc,
     /// Cycles elapsed before the segment (absolute numbering base).
     cycle_base: u64,
@@ -132,15 +189,13 @@ struct Segment {
     commands_base: usize,
     /// The per-cycle inputs the producer applied during the segment.
     inputs: InputTrace,
+    /// The real world's pre-tick observable outputs during the segment.
+    outputs: ObsTrace,
+    /// One record per op in `op_start..op_start + ops.len()`.
+    ops: Vec<OpRec>,
 }
 
-/// A segment paired with the emulator snapshot at its start.
-struct WorkItem<'s> {
-    seg: Segment,
-    emu: CircuitEmulator<'s>,
-}
-
-/// What the producer learned from its pre-pass.
+/// What the producer learned from driving the whole script.
 struct ProducerOut {
     wire_responses: Vec<Vec<u8>>,
     cycles: u64,
@@ -148,16 +203,8 @@ struct ProducerOut {
     busy: Duration,
 }
 
-/// A worker's verdict on one segment.
-struct SegDone {
-    index: usize,
-    busy: Duration,
-    failure: Option<SegFailure>,
-}
-
 /// A failure with the statistics the sequential checker would have
-/// accumulated at the same point (the emulator snapshot carries
-/// cumulative counters, so these are absolute, not per-segment).
+/// accumulated at the same point.
 struct SegFailure {
     error: FpsError,
     cycles: u64,
@@ -167,23 +214,34 @@ struct SegFailure {
 }
 
 /// Minimum cycles per segment before the producer cuts at the next
-/// quiescent boundary (`PARFAIT_SEGMENT_CYCLES`, default 100k). Smaller
-/// segments expose more parallelism; each segment costs one SoC and one
-/// emulator snapshot (~1 MiB for the reference SoC). A malformed value
-/// is a hard error (via [`parfait_telemetry::env`]).
+/// quiescent boundary (`PARFAIT_SEGMENT_CYCLES`, default 100k). A
+/// segment costs one real-SoC snapshot (~1 MiB for the reference SoC)
+/// and bounds the failure-path pc-recovery replay. A malformed value is
+/// a hard error (via [`parfait_telemetry::env`]).
 fn segment_cycles() -> u64 {
     parfait_telemetry::env::segment_cycles_loud()
 }
 
-/// [`check_fps_traced`][crate::fps::check_fps_traced] distributed over
-/// `threads` threads (0 = [`parfait_parallel::default_threads`]).
+/// Recover the real core's pre-tick pc at an absolute `cycle` inside
+/// `seg` by replaying the segment's recorded inputs from its snapshot.
+/// Failure path only; cost is bounded by the segment length.
+fn recover_real_pc(seg: &Segment, cycle: u64) -> u32 {
+    let mut soc = seg.real_snap.clone();
+    seg.inputs.replay_prefix(&mut soc, cycle - seg.cycle_base);
+    soc.core.pc()
+}
+
+/// [`check_fps_traced`][crate::fps::check_fps_traced] as a two-thread
+/// producer/verifier pipeline (0 = [`parfait_parallel::default_threads`]).
 ///
 /// Observationally identical to the sequential checker: it returns the
 /// same `Ok` report (modulo `wall`/`cpu` timings) and, on failure, the
 /// byte-identical first [`FpsError`] with the same partial statistics.
 /// On success `real` and `emu` are left in the same final states the
 /// sequential checker leaves them in. `threads <= 1` simply delegates
-/// to the sequential checker.
+/// to the sequential checker; more than two threads gain nothing (the
+/// pipeline has exactly two lanes — each simulated cycle is simulated
+/// once per world).
 pub fn check_fps_parallel(
     real: &mut Soc,
     emu: &mut CircuitEmulator<'_>,
@@ -202,24 +260,19 @@ pub fn check_fps_parallel(
     let run_span = tel.span("fps.run");
     let capture_vcd = std::env::var_os("PARFAIT_VCD_DIR").is_some();
     let min_seg_cycles = segment_cycles();
-    // Snapshot-fork cost, per world: cloning a whole SoC (producer) or
-    // emulator (α-chain) is the price of each unit of parallelism.
     let metrics = parfait_telemetry::metrics::Metrics::global();
+    // Snapshot-fork cost: one real-SoC clone per segment (the ideal
+    // world is never forked in the pipeline design).
     let real_fork_us = metrics.histogram_with("fps_snapshot_fork_us", &[("world", "real")]);
-    let ideal_fork_us = metrics.histogram_with("fps_snapshot_fork_us", &[("world", "ideal")]);
 
-    let (producer_out, alpha_busy, dones) = parfait_parallel::scope(threads, |pool| {
-        // Producer -> α: bounded, so in-flight real-SoC snapshots stay
-        // proportional to the thread count, not the script length.
-        let (seg_tx, seg_rx) = mpsc::sync_channel::<Segment>(threads * 2);
-        // α -> main: work items carrying both snapshots.
-        let (item_tx, item_rx) = mpsc::channel::<WorkItem<'_>>();
-        let (res_tx, res_rx) = mpsc::channel::<SegDone>();
+    // The producer runs on a pool worker; the verifier runs right here
+    // on the calling thread. One segment-sized channel buffer of
+    // lookahead keeps both lanes busy while bounding in-flight
+    // snapshots.
+    let (producer_out, verify_busy, verdict) = parfait_parallel::scope(threads, |pool| {
+        let (seg_tx, seg_rx) = mpsc::sync_channel::<Segment>(2);
         let (prod_tx, prod_rx) = mpsc::channel::<ProducerOut>();
-        let (alpha_tx, alpha_rx) = mpsc::channel::<Duration>();
 
-        // The pre-pass: drive the real world alone, record inputs, cut
-        // and snapshot segments.
         let prod_tel = tel.clone();
         let real = &mut *real;
         pool.spawn(move |_worker| {
@@ -229,6 +282,7 @@ pub fn check_fps_parallel(
                 soc: real,
                 input: WireIn::default(),
                 inputs: InputTrace::default(),
+                outputs: ObsTrace::default(),
                 ticks: 0,
             };
             let mut pending_bytes = 0usize;
@@ -239,18 +293,25 @@ pub fn check_fps_parallel(
             let mut seg_cycle_base = 0u64;
             let mut seg_commands_base = 0usize;
             let mut seg_snap = rec.soc.clone();
+            let mut ops: Vec<OpRec> = Vec::new();
             for (op_i, op) in script.iter().enumerate() {
                 if matches!(op, HostOp::Command(_)) {
                     commands += 1;
                 }
                 let io = drive_op(&mut rec, op, cfg, &mut pending_bytes, &mut wire_responses);
-                // The pre-pass stops where the sequential checker could
+                // The producer stops where the sequential checker could
                 // not have continued driving: a hung or faulted real
-                // world. The worker for this terminal segment re-runs
-                // it with the full dual-world checks and reports the
-                // precise error (which may be an earlier divergence in
-                // the same segment rather than the fault itself).
+                // world. The verifier re-derives the precise error
+                // (which may be an earlier divergence in the same
+                // segment rather than the fault itself).
                 let terminal = io.is_err() || rec.soc.fault().is_some();
+                ops.push(OpRec {
+                    end_cycle: rec.ticks,
+                    timed_out: io.is_err(),
+                    real_fault: rec.soc.fault(),
+                    projection: (pending_bytes == 0 && matches!(op, HostOp::Command(_)))
+                        .then(|| project(rec.soc)),
+                });
                 let boundary = pending_bytes == 0
                     && rec.ticks.saturating_sub(seg_cycle_base) >= min_seg_cycles;
                 let last = op_i + 1 == script.len();
@@ -261,18 +322,19 @@ pub fn check_fps_parallel(
                     let seg = Segment {
                         index,
                         op_start: seg_start_op,
-                        op_end: op_i + 1,
                         real_snap: std::mem::replace(&mut seg_snap, next_snap),
                         cycle_base: seg_cycle_base,
                         commands_base: seg_commands_base,
                         inputs: std::mem::take(&mut rec.inputs),
+                        outputs: std::mem::take(&mut rec.outputs),
+                        ops: std::mem::take(&mut ops),
                     };
                     prod_tel.progress(
                         "fps.segment",
                         &[
                             ("segment", seg.index as f64),
                             ("op_start", seg.op_start as f64),
-                            ("ops", (seg.op_end - seg.op_start) as f64),
+                            ("ops", seg.ops.len() as f64),
                             ("cycle_base", seg.cycle_base as f64),
                             ("cycles", (rec.ticks - seg.cycle_base) as f64),
                         ],
@@ -294,61 +356,132 @@ pub fn check_fps_parallel(
             });
         });
 
-        // The α-chain: snapshot the emulator before each segment, then
-        // advance it by replaying the recorded inputs.
-        let alpha_tel = tel.clone();
-        let emu = &mut *emu;
-        pool.spawn(move |_worker| {
-            let busy_start = Instant::now();
-            let _span = alpha_tel.span("fps.alpha");
-            for seg in seg_rx.iter() {
-                let inputs = seg.inputs.clone();
-                let fork_t = Instant::now();
-                let emu_snap = emu.clone();
-                ideal_fork_us.record_duration(fork_t.elapsed());
-                if item_tx.send(WorkItem { seg, emu: emu_snap }).is_err() {
-                    break;
-                }
-                inputs.replay(emu);
-            }
-            let _ = alpha_tx.send(busy_start.elapsed());
+        // The verifier: replay the recorded inputs onto the caller's
+        // emulator, compare pre-tick observables, and re-derive the
+        // sequential per-op verdicts.
+        let busy_start = Instant::now();
+        let _span = tel.span("fps.verify");
+        let segments_checked = metrics.counter("fps_segments_checked_total");
+        let cycles_total = metrics.counter("fps_cycles_total");
+        let cps_gauge =
+            metrics.gauge_with("fps_cycles_per_second", &[("cell", &obs.cell.to_string())]);
+        let mut vcd = capture_vcd.then(|| {
+            let w = vcd_window();
+            (RingTrace::new(w), RingTrace::new(w))
         });
-
-        // Main thread: fan work items out to the pool, keeping the
-        // number of outstanding (snapshot-holding) jobs bounded.
-        let mut dones: Vec<SegDone> = Vec::new();
-        let mut spawned = 0usize;
-        for item in item_rx.iter() {
-            while spawned - dones.len() >= threads * 2 {
-                match res_rx.recv() {
-                    Ok(d) => dones.push(d),
-                    Err(_) => break,
+        let mut next_heartbeat = if obs.heartbeat_cycles == 0 || !tel.enabled() {
+            u64::MAX
+        } else {
+            obs.heartbeat_cycles
+        };
+        let mut cycle = 0u64;
+        let mut commands;
+        let mut verdict: Result<(), SegFailure> = Ok(());
+        'segments: for seg in seg_rx.iter() {
+            let _seg_span = tel.span("fps.verify_segment");
+            segments_checked.inc();
+            debug_assert_eq!(cycle, seg.cycle_base, "segments must arrive contiguously");
+            commands = seg.commands_base;
+            let mut inputs = seg.inputs.iter();
+            let mut outputs = seg.outputs.iter();
+            for (i, rec) in seg.ops.iter().enumerate() {
+                let op_index = seg.op_start + i;
+                let op = &script[op_index];
+                let _op_span = tel.span(match op {
+                    HostOp::Command(_) => "fps.command",
+                    HostOp::Garbage(_) => "fps.garbage",
+                    HostOp::Idle(_) => "fps.idle",
+                });
+                if matches!(op, HostOp::Command(_)) {
+                    commands += 1;
+                }
+                // Lock-step replay over the op's recorded cycle range:
+                // the same pre-edge comparison as `Dual::tick`, first
+                // difference retained.
+                let mut first_div: Option<(u64, Obs, Obs, u32)> = None;
+                while cycle < rec.end_cycle {
+                    let r = outputs.next().expect("one recorded output per cycle");
+                    let ideal = emu.get_output().observable();
+                    if let Some((real_trace, ideal_trace)) = &mut vcd {
+                        real_trace.push(r);
+                        ideal_trace.push(ideal);
+                    }
+                    if r != ideal && first_div.is_none() {
+                        first_div = Some((cycle, r, ideal, emu.soc.core.pc()));
+                    }
+                    let w = inputs.next().expect("one recorded input per cycle");
+                    emu.set_input(w);
+                    emu.tick();
+                    cycle += 1;
+                    if cycle >= next_heartbeat {
+                        next_heartbeat = cycle.saturating_add(obs.heartbeat_cycles.max(1));
+                        let rate = cycle as f64 / busy_start.elapsed().as_secs_f64().max(1e-9);
+                        cps_gauge.set(rate);
+                        tel.progress(
+                            "fps.heartbeat",
+                            &[
+                                ("cycles", cycle as f64),
+                                ("cycles_per_s", rate),
+                                ("commands", commands as f64),
+                                ("op_index", op_index as f64),
+                                ("worker", 1.0),
+                                ("cell", obs.cell as f64),
+                                ("ideal_pc", emu.soc.core.pc() as f64),
+                            ],
+                        );
+                    }
+                }
+                // The sequential checker's per-op error precedence.
+                let error = if let Some((div_cycle, r, ideal, ideal_pc)) = first_div {
+                    Some(FpsError::TraceDivergence {
+                        cycle: div_cycle,
+                        op_index,
+                        real: r,
+                        ideal,
+                        real_pc: recover_real_pc(&seg, div_cycle),
+                        ideal_pc,
+                    })
+                } else if let Some(detail) = rec.real_fault.clone() {
+                    Some(FpsError::Fault { world: "real", detail })
+                } else if let Some(detail) = emu.soc.fault() {
+                    Some(FpsError::Fault { world: "ideal", detail })
+                } else if rec.timed_out {
+                    tel.count("fps.timeouts", 1);
+                    Some(FpsError::Timeout { op_index })
+                } else if let Some(proj) = &rec.projection {
+                    (proj != &emu.spec_state).then(|| FpsError::RefinementViolation {
+                        op_index,
+                        real_state: proj.clone(),
+                        spec_state: emu.spec_state.clone(),
+                    })
+                } else {
+                    None
+                };
+                if let Some(error) = error {
+                    verdict = Err(SegFailure {
+                        error,
+                        cycles: cycle,
+                        commands,
+                        queries: emu.queries,
+                        vcd: vcd.take(),
+                    });
+                    break 'segments;
                 }
             }
-            let res_tx = res_tx.clone();
-            pool.spawn(move |_worker| {
-                let _ = res_tx.send(verify_segment(item, cfg, project, script, obs, capture_vcd));
-            });
-            spawned += 1;
         }
-        drop(res_tx);
-        while dones.len() < spawned {
-            match res_rx.recv() {
-                Ok(d) => dones.push(d),
-                Err(_) => break,
-            }
-        }
-        (prod_rx.recv().ok(), alpha_rx.recv().ok(), dones)
+        // Closing the channel aborts the producer at its next segment
+        // cut (it finishes the current segment, then stops).
+        drop(seg_rx);
+        cycles_total.add(cycle);
+        (prod_rx.recv().ok(), busy_start.elapsed(), verdict)
     });
 
-    // All jobs are done and the scope's borrows have ended; the caller's
-    // `real` and `emu` now hold the same final states a sequential run
-    // produces (the producer drove `real`, the α-chain replayed `emu`).
+    // The scope's borrows have ended: the producer drove the caller's
+    // `real` and the verifier replayed the caller's `emu`, so on
+    // success both hold the sequential checker's final states.
     let producer_out = producer_out.expect("FPS producer terminated without a result");
     let wall = start.elapsed();
-    let cpu = producer_out.busy
-        + alpha_busy.unwrap_or_default()
-        + dones.iter().map(|d| d.busy).sum::<Duration>();
+    let cpu = producer_out.busy + verify_busy;
     tel.count("fps.spec_queries", emu.queries);
     tel.gauge_max("soc.real.rx_fifo_hwm", real.rx_fifo.high_water() as u64);
     tel.gauge_max("soc.real.tx_fifo_hwm", real.tx_fifo.high_water() as u64);
@@ -356,105 +489,50 @@ pub fn check_fps_parallel(
     tel.gauge_max("soc.ideal.tx_fifo_hwm", emu.soc.tx_fifo.high_water() as u64);
     tel.count("soc.real.instructions_retired", real.instructions_retired());
     tel.gauge("fps.threads", threads as u64);
-    // Registry totals: checked cycles land per segment (see
-    // `verify_segment`); the producer's single-world pre-pass is its
-    // own counter so cycles_total stays comparable to the sequential
-    // checker's.
+    // Registry totals: verified (dual-compared) cycles land in
+    // `fps_cycles_total` as the verifier progresses; the producer's
+    // single-world drive is its own counter so cycles_total stays
+    // comparable to the sequential checker's.
     metrics.counter("fps_prepass_cycles_total").add(producer_out.cycles);
     metrics.counter("fps_spec_queries_total").add(emu.queries);
+    flush_decode_stats(real, &mut emu.soc);
+    flush_spec_memo_stats(emu);
     metrics
         .gauge_with("fps_cycles_per_second", &[("cell", &obs.cell.to_string())])
         .set(producer_out.cycles as f64 / wall.as_secs_f64().max(1e-9));
     drop(run_span);
 
-    // The first failing segment holds the sequential checker's first
-    // error: op ranges are disjoint and each worker only reports errors
-    // from its own range.
-    let first_failure = dones
-        .into_iter()
-        .filter(|d| d.failure.is_some())
-        .min_by_key(|d| d.index)
-        .and_then(|d| d.failure);
-    if let Some(f) = first_failure {
-        report_failure(&tel, &f.error, f.vcd);
-        return Err(FpsFailure {
-            error: f.error,
-            partial: FpsReport {
-                cycles: f.cycles,
+    match verdict {
+        Err(f) => {
+            report_failure(&tel, &f.error, f.vcd);
+            Err(FpsFailure {
+                error: f.error,
+                partial: FpsReport {
+                    cycles: f.cycles,
+                    wall,
+                    cpu,
+                    commands: f.commands,
+                    spec_queries: f.queries,
+                },
+            })
+        }
+        Ok(()) => {
+            let report = FpsReport {
+                cycles: producer_out.cycles,
                 wall,
                 cpu,
-                commands: f.commands,
-                spec_queries: f.queries,
-            },
-        });
-    }
-    let report = FpsReport {
-        cycles: producer_out.cycles,
-        wall,
-        cpu,
-        commands: producer_out.commands,
-        spec_queries: emu.queries,
-    };
-    match end_of_script_checks(real, &emu.spec_responses, &producer_out.wire_responses) {
-        Ok(()) => Ok(report),
-        Err(error) => {
-            report_failure(&tel, &error, None);
-            Err(FpsFailure { error, partial: report })
+                commands: producer_out.commands,
+                spec_queries: emu.queries,
+            };
+            match end_of_script_checks(real, &emu.spec_responses, &producer_out.wire_responses) {
+                Ok(()) => Ok(report),
+                Err(error) => {
+                    report_failure(&tel, &error, None);
+                    Err(FpsFailure { error, partial: report })
+                }
+            }
         }
     }
-}
-
-/// Re-run the full dual-world check over one segment's snapshots. This
-/// is the exact sequential per-op machinery ([`run_ops`]) with absolute
-/// bases, so any error carries sequential-identical coordinates.
-fn verify_segment(
-    item: WorkItem<'_>,
-    cfg: &FpsConfig,
-    project: &(dyn Fn(&Soc) -> Vec<u8> + Sync),
-    script: &[HostOp],
-    obs: &FpsObserver,
-    capture_vcd: bool,
-) -> SegDone {
-    let busy_start = Instant::now();
-    let WorkItem { seg, mut emu } = item;
-    let mut real = seg.real_snap;
-    let _span = obs.telemetry.span("fps.segment_verify");
-    let mut dual = Dual::new(
-        &mut real,
-        &mut emu,
-        obs,
-        seg.cycle_base,
-        seg.commands_base,
-        // Worker lane for heartbeats: 0 = sequential/producer, 1 = α.
-        2 + seg.index as u64,
-        capture_vcd,
-    );
-    // The worker's own response collection is discarded: the producer's
-    // full-script collection (same schedule) feeds the end-of-script
-    // checks.
-    let mut wire_responses = Vec::new();
-    let outcome = run_ops(
-        &mut dual,
-        cfg,
-        project,
-        &script[seg.op_start..seg.op_end],
-        seg.op_start,
-        &mut wire_responses,
-    );
-    let metrics = parfait_telemetry::metrics::Metrics::global();
-    metrics.counter("fps_segments_checked_total").inc();
-    metrics.counter("fps_cycles_total").add(dual.cycle.saturating_sub(seg.cycle_base));
-    let failure = match outcome {
-        Ok(()) => None,
-        Err(error) => {
-            let cycles = dual.cycle;
-            let commands = dual.commands;
-            let vcd = dual.vcd.take();
-            drop(dual);
-            Some(SegFailure { error, cycles, commands, queries: emu.queries, vcd })
-        }
-    };
-    SegDone { index: seg.index, busy: busy_start.elapsed(), failure }
 }
 
 #[cfg(test)]
@@ -462,7 +540,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn input_trace_run_length_encodes() {
+    fn traces_run_length_encode() {
         let a = WireIn { rx_valid: true, rx_data: 7, tx_ready: false };
         let b = WireIn::default();
         let mut t = InputTrace::default();
@@ -475,6 +553,13 @@ mod tests {
         t.push(a);
         assert_eq!(t.runs.len(), 3);
         assert_eq!(t.len_cycles(), 1501);
+        // Decoding yields the original per-cycle sequence.
+        let decoded: Vec<WireIn> = t.iter().collect();
+        assert_eq!(decoded.len(), 1501);
+        assert_eq!(decoded[0], a);
+        assert_eq!(decoded[999], a);
+        assert_eq!(decoded[1000], b);
+        assert_eq!(decoded[1500], a);
     }
 
     #[test]

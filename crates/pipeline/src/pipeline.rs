@@ -14,6 +14,8 @@
 //! plumbing the bench binaries used to duplicate: [`Pipeline::run_fps`]
 //! is the one place a real and an ideal SoC are constructed and driven.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use parfait::levels::Level;
@@ -23,7 +25,8 @@ use parfait_knox2::{check_fps_parallel, CircuitEmulator, FpsConfig, FpsObserver,
 use parfait_littlec::codegen::OptLevel;
 use parfait_littlec::validate::{asm_machine, validate_handle_patched};
 use parfait_parallel::parallel_map;
-use parfait_soc::Soc;
+use parfait_riscv::model::AsmStateMachine;
+use parfait_soc::{Firmware, Soc};
 use parfait_telemetry::Telemetry;
 
 use crate::apps::AppPipeline;
@@ -386,6 +389,54 @@ impl Pipeline {
         })
     }
 
+    /// A clean (untampered) firmware image plus its assembly-level spec
+    /// machine, memoized process-wide on the exact compile inputs.
+    ///
+    /// The compile is deterministic in (app source, system software
+    /// source, opt level), and `run_fps` recompiles it for every bench
+    /// leg, every CPU of a matrix row, and every thread count of a
+    /// scaling sweep — identical work each time, dominating FPS setup.
+    /// Tampered builds never consult the memo: their patches are
+    /// arbitrary closures whose effect is not captured by the key.
+    /// Hits and misses land in `pipeline_firmware_builds_total{outcome}`
+    /// (deterministic per run, so the perf ratchet can key on them).
+    fn built_firmware(
+        &self,
+        app: &AppPipeline,
+        syssw_src: &str,
+        opt: OptLevel,
+    ) -> Result<(Firmware, Arc<AsmStateMachine>), String> {
+        type Memo = Mutex<HashMap<(String, String, String), (Firmware, Arc<AsmStateMachine>)>>;
+        static MEMO: OnceLock<Memo> = OnceLock::new();
+        let memo = MEMO.get_or_init(Default::default);
+        let builds = |outcome: &str| {
+            self.metrics()
+                .counter_with("pipeline_firmware_builds_total", &[("outcome", outcome)])
+                .inc();
+        };
+        let key = (app.source.clone(), syssw_src.to_string(), opt.to_string());
+        if let Some(built) = memo.lock().unwrap().get(&key) {
+            builds("hit");
+            return Ok(built.clone());
+        }
+        // Compile outside the lock; a racing duplicate compile is
+        // benign (last writer wins, both results are identical).
+        let sizes = app.sizes;
+        let fw =
+            build_firmware_parts(&app.source, syssw_src, opt, |a| a).map_err(|e| e.to_string())?;
+        let program = parfait_littlec::frontend(&app.source).map_err(|e| e.to_string())?;
+        let spec = asm_machine(&program, opt, sizes.state, sizes.command, sizes.response)
+            .map_err(|e| e.to_string())?;
+        builds("miss");
+        let built = (fw, Arc::new(spec));
+        let mut memo = memo.lock().unwrap();
+        if memo.len() >= 32 {
+            memo.clear();
+        }
+        memo.insert(key, built.clone());
+        Ok(built)
+    }
+
     /// Run the hardware check itself, bypassing the cache — the single
     /// place real/ideal SoCs are built and driven (used by
     /// [`Pipeline::fps_stage`] and, uncached, by the FPS scaling
@@ -405,18 +456,23 @@ impl Pipeline {
         // the emulator queries stays derived from the clean compile, so a
         // tampered device is held against the untampered contract.
         let syssw_src = syssw::syssw_source(sizes.state, sizes.command, sizes.response);
-        let patch = tamper.and_then(|t| t.patch_asm.clone());
-        let mut fw = build_firmware_parts(&app.source, &syssw_src, opt, |a| match patch {
-            Some(p) => p(a),
-            None => a,
-        })
-        .map_err(|e| e.to_string())?;
+        let (mut fw, spec) = if tamper.is_none() {
+            self.built_firmware(app, &syssw_src, opt)?
+        } else {
+            let patch = tamper.and_then(|t| t.patch_asm.clone());
+            let fw = build_firmware_parts(&app.source, &syssw_src, opt, |a| match patch {
+                Some(p) => p(a),
+                None => a,
+            })
+            .map_err(|e| e.to_string())?;
+            let program = parfait_littlec::frontend(&app.source).map_err(|e| e.to_string())?;
+            let spec = asm_machine(&program, opt, sizes.state, sizes.command, sizes.response)
+                .map_err(|e| e.to_string())?;
+            (fw, Arc::new(spec))
+        };
         if let Some(pf) = tamper.and_then(|t| t.patch_firmware.clone()) {
             pf(&mut fw);
         }
-        let program = parfait_littlec::frontend(&app.source).map_err(|e| e.to_string())?;
-        let spec = asm_machine(&program, opt, sizes.state, sizes.command, sizes.response)
-            .map_err(|e| e.to_string())?;
         let core_fault = tamper.and_then(|t| t.core_fault);
         let mut real = make_soc_with(cpu, fw.clone(), &app.secret_state, core_fault);
         let mut dummy_soc = make_soc_with(cpu, fw, &app.dummy_state, core_fault);
@@ -425,7 +481,7 @@ impl Pipeline {
             dummy_soc.seed_bug(bug);
         }
         let mut emu =
-            CircuitEmulator::new(dummy_soc, &spec, app.secret_state.clone(), sizes.command);
+            CircuitEmulator::new(dummy_soc, &*spec, app.secret_state.clone(), sizes.command);
         if tamper.is_some_and(|t| t.emulator_desync) {
             emu.seed_desync();
         }

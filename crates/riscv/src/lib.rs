@@ -18,7 +18,10 @@
 //!   `alloc`/`storebytes`/`loadbytes` buffer API;
 //! * [`model`] — the "model-Asm" interpretation (paper fig. 8) that treats
 //!   one invocation of `handle` as a single whole-command state-machine
-//!   step.
+//!   step;
+//! * [`predecode`] — `Arc`-shared pre-decoded instruction caches over
+//!   immutable ROM images, the cycle-accurate cores' fetch/decode fast
+//!   path.
 
 #![forbid(unsafe_code)]
 
@@ -28,6 +31,7 @@ pub mod encode;
 pub mod isa;
 pub mod machine;
 pub mod model;
+pub mod predecode;
 
 pub use asm::{assemble, AsmError, Program};
 pub use isa::{Instr, Reg};

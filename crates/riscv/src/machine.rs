@@ -12,13 +12,42 @@
 //! buffers at 0x4000_0000, an abstract stack near 0x7FFF_0000).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 use crate::asm::Program;
 use crate::decode::decode;
 use crate::isa::{Instr, Reg};
+use crate::predecode::DecodeCache;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: u32 = 1 << PAGE_BITS;
+
+/// Multiplicative hasher for page indices. Page numbers are small,
+/// dense, attacker-independent integers, so the default SipHash's
+/// collision resistance buys nothing while its cost lands on every
+/// memory access of the interpreter; one xor-rotate-multiply round
+/// (the fxhash recipe) spreads them across the table just as well.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u32(u32::from(b));
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0.rotate_left(5) ^ u64::from(n)).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type PageMap = HashMap<u32, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<PageHasher>>;
 
 /// Base of the bump-allocated heap used by [`Machine::alloc`].
 pub const HEAP_BASE: u32 = 0x4000_0000;
@@ -26,12 +55,21 @@ pub const HEAP_BASE: u32 = 0x4000_0000;
 pub const STACK_TOP: u32 = 0x7FFF_F000;
 
 /// Sparse paged byte-addressable memory.
+///
+/// Word and multi-byte accesses that stay within one page resolve the
+/// page once and then index the page array directly; only accesses
+/// spanning a page boundary fall back to byte-at-a-time resolution.
+/// Either path reads unwritten memory as zero.
 #[derive(Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: PageMap,
 }
 
 impl Memory {
+    fn page_mut(&mut self, idx: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages.entry(idx).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
     /// Read one byte; unwritten memory reads as zero.
     pub fn load_u8(&self, addr: u32) -> u8 {
         match self.pages.get(&(addr >> PAGE_BITS)) {
@@ -42,15 +80,18 @@ impl Memory {
 
     /// Write one byte.
     pub fn store_u8(&mut self, addr: u32, val: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
-        page[(addr & (PAGE_SIZE - 1)) as usize] = val;
+        self.page_mut(addr >> PAGE_BITS)[(addr & (PAGE_SIZE - 1)) as usize] = val;
     }
 
     /// Read a little-endian 32-bit word (byte-wise; no alignment demand).
     pub fn load_u32(&self, addr: u32) -> u32 {
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            return match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(p) => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
+                None => 0,
+            };
+        }
         u32::from_le_bytes([
             self.load_u8(addr),
             self.load_u8(addr.wrapping_add(1)),
@@ -61,6 +102,11 @@ impl Memory {
 
     /// Write a little-endian 32-bit word.
     pub fn store_u32(&mut self, addr: u32, val: u32) {
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            self.page_mut(addr >> PAGE_BITS)[off..off + 4].copy_from_slice(&val.to_le_bytes());
+            return;
+        }
         for (i, b) in val.to_le_bytes().iter().enumerate() {
             self.store_u8(addr.wrapping_add(i as u32), *b);
         }
@@ -68,13 +114,32 @@ impl Memory {
 
     /// Read `len` bytes starting at `addr`.
     pub fn load_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.load_u8(addr.wrapping_add(i as u32))).collect()
+        let mut out = Vec::with_capacity(len);
+        let mut addr = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let n = (PAGE_SIZE as usize - off).min(remaining);
+            match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(p) => out.extend_from_slice(&p[off..off + n]),
+                None => out.resize(out.len() + n, 0),
+            }
+            addr = addr.wrapping_add(n as u32);
+            remaining -= n;
+        }
+        out
     }
 
     /// Write `bytes` starting at `addr`.
     pub fn store_bytes(&mut self, addr: u32, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.store_u8(addr.wrapping_add(i as u32), *b);
+        let mut addr = addr;
+        let mut bytes = bytes;
+        while !bytes.is_empty() {
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let n = (PAGE_SIZE as usize - off).min(bytes.len());
+            self.page_mut(addr >> PAGE_BITS)[off..off + n].copy_from_slice(&bytes[..n]);
+            addr = addr.wrapping_add(n as u32);
+            bytes = &bytes[n..];
         }
     }
 }
@@ -131,6 +196,11 @@ pub struct Machine {
     /// Whether an `ebreak` has halted the machine.
     pub halted: bool,
     heap_next: u32,
+    /// Pre-decoded text image, installed by [`Machine::load_program`]
+    /// and shared process-wide by image bytes. Fetch verifies every hit
+    /// against live memory (see [`Machine::next_instr`]), so the cache
+    /// is a pure decode memo, never a source of truth.
+    fetch: Option<Arc<DecodeCache>>,
 }
 
 impl Default for Machine {
@@ -149,6 +219,7 @@ impl Machine {
             instret: 0,
             halted: false,
             heap_next: HEAP_BASE,
+            fetch: None,
         }
     }
 
@@ -162,10 +233,17 @@ impl Machine {
     }
 
     /// Copy a program's text and data images into memory and set the PC.
+    ///
+    /// Also installs the process-shared pre-decoded cache for the text
+    /// image, so every machine spun up over the same program (one per
+    /// whole-command spec query) decodes each text word once per
+    /// process instead of once per fetch.
     pub fn load_program(&mut self, program: &Program) {
-        self.mem.store_bytes(program.text_base, &program.text_bytes());
+        let text = program.text_bytes();
+        self.mem.store_bytes(program.text_base, &text);
         self.mem.store_bytes(program.data_base, &program.data);
         self.pc = program.text_base;
+        self.fetch = Some(DecodeCache::shared(program.text_base, &text));
     }
 
     /// Point `sp` at the abstract stack region.
@@ -208,12 +286,24 @@ impl Machine {
     }
 
     /// The instruction the machine would execute next, if decodable.
+    ///
+    /// Fetch always reads the live memory word; the pre-decoded cache
+    /// is consulted only as a decode memo, and only when its recorded
+    /// word still equals the word in memory (the same verify-on-hit
+    /// protocol as the cores' exec stage). A store into the text region
+    /// simply stops matching, so even self-modifying code sees exact
+    /// uncached semantics.
     pub fn next_instr(&self) -> Result<Instr, TrapCause> {
-        if self.pc & 3 != 0 {
-            return Err(TrapCause::MisalignedFetch { pc: self.pc });
+        let pc = self.pc;
+        if pc & 3 != 0 {
+            return Err(TrapCause::MisalignedFetch { pc });
         }
-        let word = self.mem.load_u32(self.pc);
-        decode(word).map_err(|e| TrapCause::IllegalInstruction { pc: self.pc, word: e.0 })
+        let word = self.mem.load_u32(pc);
+        match self.fetch.as_deref().and_then(|c| c.entry(pc)) {
+            Some(&(cached_word, decoded)) if cached_word == word => decoded,
+            _ => decode(word),
+        }
+        .map_err(|e| TrapCause::IllegalInstruction { pc, word: e.0 })
     }
 
     /// Execute one instruction.
@@ -521,5 +611,51 @@ mod tests {
         assert_eq!(b, HEAP_BASE + 16);
         m.storebytes(a, &[1, 2, 3]);
         assert_eq!(m.loadbytes(a, 4), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn page_spanning_accesses_match_bytewise() {
+        // A word and a byte run that straddle the page boundary at
+        // 0x1000 must behave exactly like four independent byte
+        // accesses (the fast path only covers within-page accesses).
+        let mut m = Memory::default();
+        m.store_u32(0x0FFE, 0xAABB_CCDD);
+        assert_eq!(m.load_u8(0x0FFE), 0xDD);
+        assert_eq!(m.load_u8(0x0FFF), 0xCC);
+        assert_eq!(m.load_u8(0x1000), 0xBB);
+        assert_eq!(m.load_u8(0x1001), 0xAA);
+        assert_eq!(m.load_u32(0x0FFE), 0xAABB_CCDD);
+        m.store_bytes(0x0FFD, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.load_bytes(0x0FFD, 6), vec![1, 2, 3, 4, 5, 6]);
+        // Unwritten tails still read as zero across the boundary.
+        assert_eq!(m.load_bytes(0x1FFE, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn self_modifying_text_defeats_the_fetch_cache() {
+        // The program overwrites its own `mul` with an `add` word
+        // before reaching it. The pre-decoded cache entry no longer
+        // matches the live memory word, so fetch must fall back to
+        // decoding the stored word — verify-on-hit, never stale.
+        let p = assemble(
+            "
+                la t0, patch      # address of the mul below
+                lw t1, 0(t0)      # (touch it so the cache has seen it)
+                la t2, repl
+                lw t3, 0(t2)      # the add word
+                sw t3, 0(t0)      # patch text
+                li a0, 6
+                li a1, 7
+            patch:
+                mul a0, a0, a1    # becomes: add a0, a0, a1
+                ebreak
+            repl:
+                add a0, a0, a1
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::with_program(&p);
+        m.run(1_000).unwrap();
+        assert_eq!(m.reg(Reg::A0), 13, "patched add must execute, not the cached mul");
     }
 }

@@ -5,9 +5,35 @@
 //! machine whose state is the byte contents of the state buffer and whose
 //! input/output are the command and response buffers.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
 use crate::asm::Program;
 use crate::isa::Reg;
 use crate::machine::{Machine, RunError};
+
+/// Entries the whole-command memo holds before it is dropped wholesale.
+/// States and commands are tens of bytes, so this bounds the memo to a
+/// few MB; real query streams repeat a handful of (state, command)
+/// pairs, far below the cap.
+const MEMO_CAP: usize = 4096;
+
+/// Memo of completed whole-command steps, shared (via `Arc`) by every
+/// clone of one [`AsmStateMachine`]. The step function is deterministic
+/// — fig. 8 runs a fresh machine from nothing but (state, command) — so
+/// a completed result can be replayed for free. Distinct machines
+/// (e.g. a tampered program under mutation testing) never share a memo:
+/// sharing follows the `Arc`, and the `Arc` follows the instance.
+#[derive(Default)]
+struct StepMemo {
+    map: Mutex<HashMap<StepBytes, StepBytes>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// `(state, command)` as a memo key; `(state', response)` as its value.
+type StepBytes = (Vec<u8>, Vec<u8>);
 
 /// A whole-command state machine backed by an assembled `handle` function.
 ///
@@ -28,6 +54,7 @@ pub struct AsmStateMachine {
     pub response_size: usize,
     /// Maximum instructions a single `handle` invocation may retire.
     pub fuel: u64,
+    memo: Arc<StepMemo>,
 }
 
 impl AsmStateMachine {
@@ -49,6 +76,7 @@ impl AsmStateMachine {
             command_size,
             response_size,
             fuel: 200_000_000,
+            memo: Arc::new(StepMemo::default()),
         })
     }
 
@@ -89,12 +117,40 @@ impl AsmStateMachine {
     }
 
     /// Execute one whole-command step: `(state, command) -> (state', response)`.
+    ///
+    /// Completed steps are memoized across every clone of this machine:
+    /// the step function is a deterministic function of its two inputs,
+    /// so an identical query — the checker's sequential oracle and its
+    /// parallel legs, or one app verified on two platforms, all replay
+    /// the same firmware against the same script — returns the recorded
+    /// result without re-interpreting the `handle` call. Only `Ok`
+    /// results are recorded; a hit replays a run that once completed
+    /// within the fuel budget, so later *lowering* `self.fuel` does not
+    /// retroactively turn recorded completions into `OutOfFuel`.
     pub fn step(&self, state: &[u8], command: &[u8]) -> Result<(Vec<u8>, Vec<u8>), RunError> {
+        let key = (state.to_vec(), command.to_vec());
+        if let Some(hit) = self.memo.map.lock().unwrap().get(&key) {
+            self.memo.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
         let (mut m, state_ptr, _command_ptr, response_ptr) = self.prepare(state, command);
         m.run(self.fuel)?;
         let new_state = m.loadbytes(state_ptr, self.state_size);
         let response = m.loadbytes(response_ptr, self.response_size);
+        self.memo.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.memo.map.lock().unwrap();
+        if map.len() >= MEMO_CAP {
+            map.clear();
+        }
+        map.insert(key, (new_state.clone(), response.clone()));
         Ok((new_state, response))
+    }
+
+    /// Drain the whole-command memo's (hits, misses) counters, shared
+    /// across clones. Callers with a metrics registry flush these into
+    /// it after a run (the crate itself stays dependency-free).
+    pub fn take_memo_stats(&self) -> (u64, u64) {
+        (self.memo.hits.swap(0, Ordering::Relaxed), self.memo.misses.swap(0, Ordering::Relaxed))
     }
 
     /// Count the instructions retired by one `handle` invocation.
@@ -158,5 +214,35 @@ mod tests {
     fn missing_handle_symbol() {
         let p = assemble("main: ebreak").unwrap();
         assert!(AsmStateMachine::new(p, 4, 1, 4).is_none());
+    }
+
+    #[test]
+    fn memo_replays_identical_queries_and_is_shared_by_clones() {
+        let p = assemble(TOY).unwrap();
+        let sm = AsmStateMachine::new(p, 4, 1, 4).unwrap();
+        let s = vec![7, 0, 0, 0];
+        let first = sm.step(&s, &[2]).unwrap();
+        assert_eq!(sm.take_memo_stats(), (0, 1), "cold query misses");
+        let again = sm.step(&s, &[2]).unwrap();
+        assert_eq!(again, first, "memo hit is byte-identical");
+        // A clone shares the memo (same Arc), so its query hits too.
+        let clone = sm.clone();
+        let cloned = clone.step(&s, &[2]).unwrap();
+        assert_eq!(cloned, first);
+        assert_eq!(sm.take_memo_stats(), (2, 0), "hit via original and via clone");
+    }
+
+    #[test]
+    fn distinct_machines_never_share_a_memo() {
+        // Same source assembled twice: two instances, two memos. A
+        // tampered program under mutation testing must never observe
+        // the clean instance's recorded steps.
+        let a = AsmStateMachine::new(assemble(TOY).unwrap(), 4, 1, 4).unwrap();
+        let b = AsmStateMachine::new(assemble(TOY).unwrap(), 4, 1, 4).unwrap();
+        let s = vec![0, 0, 0, 0];
+        a.step(&s, &[1]).unwrap();
+        assert_eq!(a.take_memo_stats(), (0, 1));
+        b.step(&s, &[1]).unwrap();
+        assert_eq!(b.take_memo_stats(), (0, 1), "b computed its own step");
     }
 }

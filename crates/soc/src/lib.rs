@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use parfait_cores::{Core, Fault, MemIf};
 use parfait_riscv::asm::Program;
+use parfait_riscv::predecode::DecodeCache;
 use parfait_rtl::{Circuit, Fifo, TaintMem, WireIn, WireOut, W};
 
 pub mod host;
@@ -211,7 +212,28 @@ impl Soc {
     /// secrets, and the taint tracker reports any flow of these values
     /// into control state.
     pub fn new(core: Box<dyn Core>, firmware: Firmware, fram_image: &[u8]) -> Soc {
+        let cache = if parfait_telemetry::env::decode_cache_loud() {
+            Some(DecodeCache::shared(ROM_BASE, &firmware.rom))
+        } else {
+            None
+        };
+        Soc::new_with_decode_cache(core, firmware, fram_image, cache)
+    }
+
+    /// [`Soc::new`] with an explicit decode cache (or `None` for the
+    /// uncached bus fetch + live decode path), bypassing the
+    /// `PARFAIT_DECODE_CACHE` knob. The differential tests use this to
+    /// run cached and uncached worlds side by side in one process.
+    pub fn new_with_decode_cache(
+        mut core: Box<dyn Core>,
+        firmware: Firmware,
+        fram_image: &[u8],
+        cache: Option<Arc<DecodeCache>>,
+    ) -> Soc {
         assert!(fram_image.len() <= FRAM_SIZE as usize, "FRAM image too large");
+        if let Some(cache) = cache {
+            core.attach_decode_cache(cache);
+        }
         let rom = Arc::new(TaintMem::rom(&firmware.rom, ROM_SIZE as usize));
         let mut ram = TaintMem::new(RAM_SIZE as usize);
         ram.load_bytes(0, &firmware.ram_init, false);
@@ -269,6 +291,12 @@ impl Soc {
     /// The firmware loaded in this SoC.
     pub fn firmware(&self) -> &Firmware {
         &self.firmware
+    }
+
+    /// Drain the core's decode-cache hit/miss counters accumulated
+    /// since the last drain (both zero when no cache is attached).
+    pub fn take_decode_stats(&mut self) -> (u64, u64) {
+        self.core.take_decode_stats()
     }
 
     /// Dump `len` bytes of FRAM starting at `offset` (values only).

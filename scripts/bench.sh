@@ -5,7 +5,10 @@
 # the content-addressed certificate cache), and BENCH_lint.json (static
 # constant-time lint wall time, the contrast to a cold FPS run), and
 # BENCH_mutatest.json (adversary catalog: time from seeded fault to
-# stage rejection) at the repo root. Run from the repo root.
+# stage rejection) at the repo root, then BENCH_perf.json (the
+# deterministic hot-path counters compared against perf_baseline.json —
+# the same ratchet CI enforces, so a bench run reports the comparison
+# alongside the numbers it just produced). Run from the repo root.
 #
 #   scripts/bench.sh            # quick matrices (hasher-only)
 #   FULL=1 scripts/bench.sh     # full matrices (adds the ECDSA runs)
@@ -29,3 +32,8 @@ THREADS="${THREADS:-$(nproc 2>/dev/null || echo 4)}"
     --json BENCH_lint.json --metrics BENCH_lint.manifest.json
 ./target/release/bench_mutatest --threads "$THREADS" \
     --json BENCH_mutatest.json --metrics BENCH_mutatest.manifest.json
+# The perf ratchet's fixed workloads, measured fresh and compared
+# against the checked-in baseline; a regression fails the bench run
+# loudly, exactly as it would fail CI.
+./target/release/perfstat --baseline perf_baseline.json \
+    --json BENCH_perf.json --metrics BENCH_perf.manifest.json

@@ -2,6 +2,7 @@
 # Full local CI gate: formatting, the unsafe-code ban, release build,
 # tier-1 tests, workspace tests, all examples built and the quickstart
 # run end-to-end, the constant-time lint against its findings baseline,
+# the deterministic performance ratchet against perf_baseline.json,
 # the differential parallel-checker test under a fixed thread budget,
 # the pipeline cache differential test (now including the ctcheck
 # stage) run twice against one shared PARFAIT_CACHE_DIR (cold pass then
@@ -35,6 +36,13 @@ cargo run --release --example quickstart
 # Static constant-time lint: any finding not recorded in the baseline
 # ratchet fails the build loudly.
 cargo run --release -p parfait-bench --bin lint -- --baseline lint_baseline.json
+# Deterministic performance ratchet: hot-path counters (analyzer
+# fixpoint iterations and memo hits, FPS cycles, decode-cache hit
+# rate, firmware-build memo hits) must not regress against
+# perf_baseline.json; wall clock is only a generous backstop. Ratchet
+# improvements in with `perfstat --baseline perf_baseline.json
+# --update` (which refuses regressions).
+./target/release/perfstat --baseline perf_baseline.json
 # The parallel FPS checker must be observationally identical to the
 # sequential oracle regardless of the ambient thread budget.
 PARFAIT_THREADS=2 cargo test -q --release --test fps_parallel

@@ -169,6 +169,57 @@ fn case_negative_control_masked_select() {
     }
 }
 
+/// The sparse asm analyzer (cross-pass memoized summaries, the
+/// production default) and its threaded variant must produce findings
+/// byte-identical to the dense oracle that recomputes every function
+/// on every pass — over the whole seeded-violation corpus, clean
+/// controls included.
+#[test]
+fn sparse_and_threaded_asm_lint_match_dense_oracle_on_corpus() {
+    let corpus: &[&str] = &[
+        "void handle(u8* state, u8* cmd, u8* resp) {
+            if (state[0]) { resp[0] = 1; } else { resp[0] = 2; }
+        }",
+        "const u8 SBOX[16] = {9, 4, 10, 11, 13, 1, 8, 5, 6, 2, 0, 3, 12, 14, 15, 7};
+        void handle(u8* state, u8* cmd, u8* resp) {
+            resp[0] = SBOX[state[0] & 15];
+        }",
+        "void handle(u8* state, u8* cmd, u8* resp) {
+            u32 i = 0;
+            u32 ok = 1;
+            while (i < 16) {
+                if (state[i] != cmd[i]) { ok = 0; break; }
+                i = i + 1;
+            }
+            resp[0] = (u8)ok;
+        }",
+        "void handle(u8* state, u8* cmd, u8* resp) {
+            u32 d = state[0] | 1;
+            resp[0] = (u8)(cmd[0] / d);
+        }",
+        "static u8 scratch[16];
+        void handle(u8* state, u8* cmd, u8* resp) {
+            scratch[state[0] & 15] = cmd[0];
+            resp[0] = scratch[0];
+        }",
+        CLEAN_SRC,
+    ];
+    for (i, src) in corpus.iter().enumerate() {
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let program = parfait_littlec::frontend(src).unwrap();
+            let asm = parfait_littlec::compile(&program, opt).unwrap();
+            let prog = parfait_riscv::assemble(&asm).unwrap();
+            let dense = parfait_analyzer::lint_asm_dense(&prog, "handle").unwrap();
+            let sparse = lint_asm(&prog, "handle").unwrap();
+            assert_eq!(sparse, dense, "case {i} {opt:?}: sparse != dense");
+            for threads in [2, 8] {
+                let par = parfait_analyzer::lint_asm_threaded(&prog, "handle", threads).unwrap();
+                assert_eq!(par, dense, "case {i} {opt:?}: threaded({threads}) != dense");
+            }
+        }
+    }
+}
+
 /// The production firmwares are constant-time by construction (FPS
 /// verifies this dynamically); the static analyzer must agree with
 /// zero findings at both layers.

@@ -294,13 +294,26 @@ fn build_syssw_reg_clobber() -> AppPipeline {
     // a register-allocation slip in the one function that puts bytes on
     // the wire. The app-only compile (equivalence, ctcheck) does not
     // even contain this system-software function — only the wire-level
-    // check sees the full linked image. (A pure callee-saved-register
-    // clobber is unkillable here by construction: this syssw keeps no
-    // value live in an s-register across any call — DESIGN.md §12.)
+    // check sees the full linked image. (The *pure* callee-saved flavor
+    // of this slip — scratching an s-register without a save — is
+    // seeded separately as `cc-callee-saved-clobber` and killed by the
+    // lint's CT-ABI check; it used to be the catalog's one unkillable
+    // class, DESIGN.md §12.)
     let mut tamper = Tamper::new("cc-syssw-reg-clobber");
     tamper.patch_asm = Some(Arc::new(|asm| {
         insert_after_label_if_present(asm, "write_response", "    addi a0, a0, 1\n")
     }));
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_callee_saved_clobber() -> AppPipeline {
+    // Grab a callee-saved register as scratch in `handle` without a
+    // save/restore. Responses, timing, and taint flow are all
+    // untouched — every dynamic stage passes on an output-equivalent
+    // workload — so the kill must come from the asm lint's
+    // callee-saved-preservation check at the return point.
+    let mut tamper = Tamper::new("cc-callee-saved-clobber");
+    tamper.patch_asm = Some(Arc::new(|asm| insert_after_label(asm, "handle", "    li s3, 42\n")));
     token_app(token_cmd(2, 9)).with_tamper(tamper)
 }
 
@@ -345,6 +358,39 @@ fn build_pico_mul_early_exit() -> AppPipeline {
     let mut tamper = Tamper::new("core-pico-mul-early-exit");
     tamper.core_fault = Some(parfait_cores::SeededFault::MulEarlyExit);
     token_app(token_cmd(3, 5)).with_tamper(tamper)
+}
+
+// The three contract-violation faults: silicon whose observables drift
+// from the declared `LeakageContract`. None of them can corrupt a
+// response, and the first two shift timing *identically in both FPS
+// worlds*, so the dual-world comparison is blind to them — the
+// per-class stimulus battery is what pins the core to its declaration.
+
+fn build_contract_latency_understated() -> AppPipeline {
+    // The divider takes three cycles longer than its clause admits
+    // (`div: latency=operand(dividend-bits base=3)` still claimed).
+    let mut tamper = Tamper::new("core-contract-latency-understated");
+    tamper.core_fault = Some(parfait_cores::SeededFault::ContractLatencyUnderstated);
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_contract_hidden_operand_dep() -> AppPipeline {
+    // The barrel shifter grows a hidden amount-dependent stall while
+    // the contract still declares `shift: latency=fixed(1)`.
+    let mut tamper = Tamper::new("core-contract-hidden-operand-dep");
+    tamper.core_fault = Some(parfait_cores::SeededFault::ContractHiddenOperandDep);
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_contract_taint_silent() -> AppPipeline {
+    // Pico's divider stops raising its declared tainted-operand leak
+    // event. Timing is *unchanged* and production firmware is
+    // constant-time (no tainted divides execute), so FPS passes both
+    // comparisons — only the battery's tainted-dividend stimulus
+    // notices the declared leak was never raised.
+    let mut tamper = Tamper::new("core-contract-taint-silent");
+    tamper.core_fault = Some(parfait_cores::SeededFault::ContractTaintSilent);
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
 }
 
 fn build_journal_write_drop() -> AppPipeline {
@@ -436,6 +482,15 @@ pub fn catalog() -> Vec<Mutation> {
             build: build_secret_latency,
         },
         Mutation {
+            class: "cc-callee-saved-clobber",
+            level: Level::Codegen,
+            description: "callee-saved register scratched in handle without a save/restore",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: true,
+            build: build_callee_saved_clobber,
+        },
+        Mutation {
             class: "isa-store-operand-swap",
             level: Level::Isa,
             description: "ROM store word re-encoded with base/value registers swapped",
@@ -470,6 +525,33 @@ pub fn catalog() -> Vec<Mutation> {
             opt: OptLevel::O2,
             quick: false,
             build: build_pico_mul_early_exit,
+        },
+        Mutation {
+            class: "core-contract-latency-understated",
+            level: Level::Core,
+            description: "Ibex divider runs slower than its contract clause admits",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_contract_latency_understated,
+        },
+        Mutation {
+            class: "core-contract-hidden-operand-dep",
+            level: Level::Core,
+            description: "Ibex shifter grows an undeclared amount-dependent stall",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_contract_hidden_operand_dep,
+        },
+        Mutation {
+            class: "core-contract-taint-silent",
+            level: Level::Core,
+            description: "Pico divider suppresses its declared tainted-operand leak event",
+            cpu: Cpu::Pico,
+            opt: OptLevel::O2,
+            quick: true,
+            build: build_contract_taint_silent,
         },
         Mutation {
             class: "soc-journal-write-drop",

@@ -46,11 +46,13 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 
+use parfait_cores::InstrClass;
 use parfait_littlec::diag::{Diagnostic, Span};
 use parfait_riscv::asm::Program;
 use parfait_riscv::decode::decode;
 use parfait_riscv::isa::{AluOp, Instr, LoadOp, Reg, StoreOp};
 
+use crate::latency_model::latency_model;
 use crate::{Finding, Layer, LintError, RuleId};
 
 /// A memory region, the granularity of the content-taint summary.
@@ -388,6 +390,12 @@ struct AsmLint<'p> {
     /// per-load hot path is one branch.
     all_unescaped: bool,
     call_stack: Vec<u32>,
+    /// Per-active-call snapshot of the entry register file (parallel
+    /// to `call_stack`), for the callee-saved-preservation check at
+    /// each return point. Memoization stays sound: the snapshot's
+    /// lattice shape is part of the memo key, and the findings the
+    /// check records replay through the frame effect list.
+    entry_regs: Vec<Vec<AVal>>,
     findings: BTreeMap<(RuleId, u32), Finding>,
     /// Worklist pops across every function fixpoint (flushed to the
     /// metrics registry by [`lint_asm`], not per-pop).
@@ -450,6 +458,7 @@ impl<'p> AsmLint<'p> {
             frames: Vec::new(),
             all_unescaped: false,
             call_stack: Vec::new(),
+            entry_regs: Vec::new(),
             findings: BTreeMap::new(),
             fixpoint_iters: 0,
             memo_hits: 0,
@@ -776,6 +785,7 @@ impl<'p> AsmLint<'p> {
             }
         }
         self.call_stack.push(entry);
+        self.entry_regs.push(st.regs.clone());
         self.frames.push(Frame::default());
         self.all_unescaped = false;
         let t0 = std::time::Instant::now();
@@ -785,6 +795,7 @@ impl<'p> AsmLint<'p> {
             .histogram_with("analyzer_fn_lint_us", &[("layer", "asm")])
             .record_duration(t0.elapsed());
         self.call_stack.pop();
+        self.entry_regs.pop();
         let frame = self.frames.pop().expect("frame pushed above");
         // The popped frame may leave the remaining frames all-noted;
         // recompute the fast flag conservatively.
@@ -876,14 +887,19 @@ impl<'p> AsmLint<'p> {
             }
             Instr::Load { op, rd, rs1, off } => {
                 let base = st.reg(rs1).clone();
-                if let Some(why) = &base.secret {
-                    self.record(
-                        RuleId::SecretIndex,
-                        addr,
-                        instr,
-                        why,
-                        "load at secret-dependent address",
-                    );
+                // `CT-MEM` applies because a core's contract exposes
+                // the data-bus address; a core with an untraced bus
+                // would not make this a sink.
+                if latency_model().addr_trace(InstrClass::Load) {
+                    if let Some(why) = &base.secret {
+                        self.record(
+                            RuleId::SecretIndex,
+                            addr,
+                            instr,
+                            why,
+                            "load at secret-dependent address",
+                        );
+                    }
                 }
                 let w = load_width(op);
                 let target = self.target(&base, off);
@@ -893,14 +909,16 @@ impl<'p> AsmLint<'p> {
             Instr::Store { op, rs1, rs2, off } => {
                 let base = st.reg(rs1).clone();
                 let val = st.reg(rs2).clone();
-                if let Some(why) = &base.secret {
-                    self.record(
-                        RuleId::SecretIndex,
-                        addr,
-                        instr,
-                        why,
-                        "store at secret-dependent address",
-                    );
+                if latency_model().addr_trace(InstrClass::Store) {
+                    if let Some(why) = &base.secret {
+                        self.record(
+                            RuleId::SecretIndex,
+                            addr,
+                            instr,
+                            why,
+                            "store at secret-dependent address",
+                        );
+                    }
                 }
                 let w = store_width(op);
                 let target = self.target(&base, off);
@@ -952,6 +970,7 @@ impl<'p> AsmLint<'p> {
             }
             Instr::Jalr { rd, rs1, off } => {
                 if rd == Reg::ZERO && rs1 == Reg::RA && off == 0 {
+                    self.check_callee_saved(addr, instr, &st);
                     return Ok((vec![], Some(st)));
                 }
                 return Err(LintError::Unsupported(format!(
@@ -965,18 +984,76 @@ impl<'p> AsmLint<'p> {
         Ok((vec![(next, st)], None))
     }
 
+    /// `CT-ABI`: at a return point, every register the RISC-V calling
+    /// convention makes the *callee* responsible for (`ra`, `sp`,
+    /// `s0`–`s11`) must hold its entry value again. The byte-precise
+    /// stack model reconstructs spill/restore round-trips exactly, so
+    /// a conforming prologue/epilogue compares lattice-equal to the
+    /// entry snapshot; a clobber that skips the restore (e.g. a fault
+    /// that grabs an s-register as scratch) surfaces as a changed kind
+    /// or secrecy. The comparison under-approximates — a register that
+    /// re-joins to the entry shape without provably holding the entry
+    /// value passes — which is the right polarity for a lint: no false
+    /// positives on conforming code.
+    fn check_callee_saved(&mut self, addr: u32, instr: Instr, st: &MState) {
+        const CALLEE_SAVED: [Reg; 14] = [
+            Reg::RA,
+            Reg::SP,
+            Reg::S0,
+            Reg::S1,
+            Reg::S2,
+            Reg::S3,
+            Reg::S4,
+            Reg::S5,
+            Reg::S6,
+            Reg::S7,
+            Reg::S8,
+            Reg::S9,
+            Reg::S10,
+            Reg::S11,
+        ];
+        let Some(entry) = self.entry_regs.last() else {
+            return;
+        };
+        let clobbered: Vec<Reg> = CALLEE_SAVED
+            .into_iter()
+            .filter(|r| !st.reg(*r).same_lattice(&entry[r.0 as usize]))
+            .collect();
+        for r in clobbered {
+            let why = format!(
+                "callee-saved `{}` not restored across `{}`",
+                r.abi_name(),
+                self.func_of(addr)
+            );
+            let sink = format!("callee-saved register `{}` clobbered at return", r.abi_name());
+            self.record(RuleId::CalleeSaved, addr, instr, &why, &sink);
+        }
+    }
+
+    /// `CT-LATENCY`: flag a secret operand feeding an op some
+    /// supported core's [`parfait_cores::LeakageContract`] declares
+    /// operand-dependent. Which operand matters is per class: a
+    /// divider's latency tracks the dividend (and `rem` shares the
+    /// datapath), a serial shifter's tracks only the *amount* — an
+    /// immediate amount (`b` a constant from `OpImm`) can never fire.
     fn check_latency(&mut self, op: AluOp, addr: u32, instr: Instr, a: &AVal, b: &AVal) {
-        if matches!(op, AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu) {
-            if let Some(why) = a.secret.as_ref().or(b.secret.as_ref()) {
-                let why = why.clone();
-                self.record(
-                    RuleId::SecretLatency,
-                    addr,
-                    instr,
-                    &why,
-                    "secret operand to variable-latency division",
-                );
+        let class = InstrClass::of_alu(op);
+        if !latency_model().variable_latency(class) {
+            return;
+        }
+        let (tainted, sink) = match class {
+            InstrClass::Div => (
+                a.secret.as_ref().or(b.secret.as_ref()),
+                "secret operand to variable-latency division",
+            ),
+            InstrClass::Shift => (b.secret.as_ref(), "secret shift amount to a serial shifter"),
+            _ => {
+                (a.secret.as_ref().or(b.secret.as_ref()), "secret operand to a variable-latency op")
             }
+        };
+        if let Some(why) = tainted {
+            let why = why.clone();
+            self.record(RuleId::SecretLatency, addr, instr, &why, sink);
         }
     }
 }
@@ -1239,6 +1316,69 @@ mod tests {
         for threads in [2, 8] {
             assert_eq!(lint_asm_threaded(&prog, "handle", threads).unwrap(), seq, "{threads}");
         }
+    }
+
+    /// Compile, apply an asm-level patch (the adversary's codegen-fault
+    /// shape), assemble, lint.
+    fn lint_patched(
+        src: &str,
+        opt: OptLevel,
+        patch: impl FnOnce(String) -> String,
+    ) -> Vec<Finding> {
+        let program = parfait_littlec::frontend(src).unwrap();
+        let asm = patch(parfait_littlec::compile(&program, opt).unwrap());
+        let prog = parfait_riscv::assemble(&asm).unwrap();
+        let sparse = lint_asm(&prog, "handle").unwrap();
+        let dense = lint_asm_dense(&prog, "handle").unwrap();
+        assert_eq!(sparse, dense, "sparse and dense asm lint disagree");
+        sparse
+    }
+
+    const ABI_SRC: &str = "void handle(u8* state, u8* cmd, u8* resp) {
+        resp[0] = (u8)(state[0] & cmd[0] & 0);
+    }";
+
+    #[test]
+    fn callee_saved_clobber_fires_at_the_return_point() {
+        // The pure codegen fault DESIGN.md §12 called unkillable: grab
+        // an s-register as scratch without saving it. Output-identical,
+        // timing-identical — only the ABI contract is broken.
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let f = lint_patched(ABI_SRC, opt, |asm| {
+                asm.replacen("handle:\n", "handle:\n    li s3, 42\n", 1)
+            });
+            assert_eq!(rules(&f), vec![RuleId::CalleeSaved], "{opt:?}");
+            assert!(
+                f[0].diagnostic.message.contains("`s3`"),
+                "finding should name the register: {f:#?}"
+            );
+            assert_eq!(f[0].rule.id(), "CT-ABI");
+        }
+    }
+
+    #[test]
+    fn saved_and_restored_s_register_is_clean() {
+        // The conforming version of the same clobber: spill, scratch,
+        // reload. The byte-precise stack model reconstructs the entry
+        // value, so the return-point comparison passes.
+        let f = lint_patched(ABI_SRC, OptLevel::O2, |asm| {
+            asm.replacen(
+                "handle:\n",
+                "handle:\n    addi sp, sp, -4\n    sw s3, 0(sp)\n    li s3, 42\n    \
+                 lw s3, 0(sp)\n    addi sp, sp, 4\n",
+                1,
+            )
+        });
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn clobbered_ra_fires() {
+        let f = lint_patched(ABI_SRC, OptLevel::O2, |asm| {
+            asm.replacen("handle:\n", "handle:\n    li ra, 0\n", 1)
+        });
+        assert_eq!(rules(&f), vec![RuleId::CalleeSaved]);
+        assert!(f[0].diagnostic.message.contains("`ra`"), "{f:#?}");
     }
 
     #[test]

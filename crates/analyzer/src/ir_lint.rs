@@ -20,6 +20,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use parfait_littlec::diag::{Diagnostic, Span};
 use parfait_littlec::ir::{Inst, IrFunction, IrOp, IrProgram, Operand, Term, VReg};
 
+use crate::latency_model::latency_model;
 use crate::{Finding, Layer, LintError, RuleId};
 
 /// A memory region, the granularity of the content-taint summary.
@@ -249,7 +250,12 @@ impl<'p> IrLint<'p> {
                         Operand::Reg(r) => get(st, *r),
                         Operand::Imm(_) => AbsVal::default(),
                     };
-                    if matches!(op, IrOp::Divu | IrOp::Remu) {
+                    // IR division lowers to the machine div/rem class;
+                    // it is a `CT-LATENCY` sink only while some core's
+                    // contract declares that class operand-dependent.
+                    if matches!(op, IrOp::Divu | IrOp::Remu)
+                        && latency_model().variable_latency(parfait_cores::InstrClass::Div)
+                    {
                         if let Some(why) = va.secret.as_ref().or(vb.secret.as_ref()) {
                             self.record(
                                 RuleId::SecretLatency,

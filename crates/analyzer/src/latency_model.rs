@@ -1,0 +1,116 @@
+//! The lint's timing model, derived from the cores' leakage contracts.
+//!
+//! `CT-LATENCY` ("secret operand to a variable-latency op") and
+//! `CT-MEM` ("load/store at a secret-dependent address") are only
+//! meaningful relative to a microarchitecture: an op is a latency sink
+//! exactly when *some* supported core declares its latency
+//! operand-dependent, and an access is an address sink exactly when
+//! some core puts the address on an observable bus. Rather than baking
+//! that table into the lint (where it silently drifts from the RTL),
+//! this module derives it as the **union** of the supported cores'
+//! [`LeakageContract`]s: firmware is linted once and must be
+//! constant-time on every core it may run on, so a class is a sink if
+//! any core makes it one.
+//!
+//! [`latency_model_fingerprint`] feeds the `ctcheck` stage's input
+//! hash, so editing a core contract re-lints exactly the firmwares
+//! whose verdicts could change.
+//!
+//! [`LeakageContract`]: parfait_cores::LeakageContract
+
+use std::sync::OnceLock;
+
+use parfait_cores::{InstrClass, Latency, LeakageContract};
+
+/// Per-[`InstrClass`] observability facts the lint needs, folded over
+/// every supported core's contract.
+#[derive(Debug)]
+pub struct LatencyModel {
+    /// `variable[class.index()]`: some core's latency for this class
+    /// depends on operand *values* — a secret operand is a timing leak.
+    variable: [bool; InstrClass::ALL.len()],
+    /// `addr_trace[class.index()]`: some core exposes this class's
+    /// address on an observable bus — a secret-derived address is a
+    /// trace leak.
+    addr_trace: [bool; InstrClass::ALL.len()],
+}
+
+impl LatencyModel {
+    fn fold(contracts: &[&LeakageContract]) -> LatencyModel {
+        let mut variable = [false; InstrClass::ALL.len()];
+        let mut addr_trace = [false; InstrClass::ALL.len()];
+        for c in contracts {
+            for class in InstrClass::ALL {
+                let clause = c.clause(class);
+                if matches!(clause.latency, Latency::Operand { .. }) {
+                    variable[class.index()] = true;
+                }
+                if clause.addr_trace {
+                    addr_trace[class.index()] = true;
+                }
+            }
+        }
+        LatencyModel { variable, addr_trace }
+    }
+
+    /// Is this class a `CT-LATENCY` sink on any supported core?
+    pub fn variable_latency(&self, class: InstrClass) -> bool {
+        self.variable[class.index()]
+    }
+
+    /// Is this class a `CT-MEM` sink on any supported core?
+    pub fn addr_trace(&self, class: InstrClass) -> bool {
+        self.addr_trace[class.index()]
+    }
+}
+
+/// The contracts the lint is accountable to: every core the pipeline
+/// can target.
+fn supported_contracts() -> [&'static LeakageContract; 2] {
+    [parfait_cores::ibex::contract(), parfait_cores::pico::contract()]
+}
+
+/// The union timing model over all supported cores (cached).
+pub fn latency_model() -> &'static LatencyModel {
+    static MODEL: OnceLock<LatencyModel> = OnceLock::new();
+    MODEL.get_or_init(|| LatencyModel::fold(&supported_contracts()))
+}
+
+/// Deterministic fingerprint of every contract the lint consumes;
+/// part of the `ctcheck` stage's input hash.
+pub fn latency_model_fingerprint() -> String {
+    let mut s = String::new();
+    for c in supported_contracts() {
+        s.push_str(&c.canonical());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_covers_both_cores_sinks() {
+        let m = latency_model();
+        // Div is operand-dependent on both cores; Shift only on Pico's
+        // serial shifter; Mul on neither (Ibex 1-cycle, Pico fixed 32).
+        assert!(m.variable_latency(InstrClass::Div));
+        assert!(m.variable_latency(InstrClass::Shift));
+        assert!(!m.variable_latency(InstrClass::Mul));
+        assert!(!m.variable_latency(InstrClass::Alu));
+        // Both cores trace data-bus addresses.
+        assert!(m.addr_trace(InstrClass::Load));
+        assert!(m.addr_trace(InstrClass::Store));
+        assert!(!m.addr_trace(InstrClass::Branch));
+    }
+
+    #[test]
+    fn fingerprint_names_every_supported_core() {
+        let fp = latency_model_fingerprint();
+        assert!(fp.contains("core=Ibex"));
+        assert!(fp.contains("core=PicoRV32"));
+        assert!(fp.contains("leakage-contract-v1"));
+    }
+}

@@ -16,13 +16,19 @@
 //!   *introduced by* `littlec::opt`/`regalloc` (spills, branch
 //!   rewrites) are caught even when the IR is clean.
 //!
-//! Both layers enforce the same three rules:
+//! Both layers enforce the same core rules:
 //!
 //! | rule id      | violation                                          |
 //! |--------------|----------------------------------------------------|
 //! | `CT-BRANCH`  | branch (or loop bound) on a secret-derived value   |
 //! | `CT-MEM`     | load/store at a secret-dependent address           |
-//! | `CT-LATENCY` | secret operand to a variable-latency op (div/rem)  |
+//! | `CT-LATENCY` | secret operand to a variable-latency op            |
+//! | `CT-ABI`     | callee-saved register clobbered across the handler (asm layer only) |
+//!
+//! Which instruction classes count as `CT-LATENCY`/`CT-MEM` sinks is
+//! not hard-coded: it is derived from the supported cores' declared
+//! [`parfait_cores::LeakageContract`]s via [`latency_model`], so the
+//! lint's applicability tracks the microarchitectures it protects.
 //!
 //! Findings carry a [`Diagnostic`] (rule id + source span), the layer,
 //! and the taint path from seed to sink. [`lint_source`] runs both
@@ -41,9 +47,11 @@ use parfait_telemetry::Telemetry;
 
 mod asm_lint;
 mod ir_lint;
+mod latency_model;
 
 pub use asm_lint::{lint_asm, lint_asm_dense, lint_asm_threaded};
 pub use ir_lint::lint_ir;
+pub use latency_model::{latency_model, latency_model_fingerprint, LatencyModel};
 
 /// Version string of the rule set; part of the `ctcheck` stage's input
 /// hash so a rule change invalidates cached certificates.
@@ -89,6 +97,10 @@ pub enum RuleId {
     SecretIndex,
     /// Secret operand to a variable-latency operation (div/rem).
     SecretLatency,
+    /// Callee-saved register (or `ra`/`sp`) clobbered across the
+    /// handler: the firmware returns to the boot loop with ABI state
+    /// the caller relies on silently corrupted.
+    CalleeSaved,
 }
 
 impl RuleId {
@@ -98,6 +110,7 @@ impl RuleId {
             RuleId::SecretBranch => "CT-BRANCH",
             RuleId::SecretIndex => "CT-MEM",
             RuleId::SecretLatency => "CT-LATENCY",
+            RuleId::CalleeSaved => "CT-ABI",
         }
     }
 }

@@ -1,6 +1,6 @@
 //! `perfstat` — the deterministic performance ratchet driver.
 //!
-//! Runs two fixed workloads with the certificate cache disabled:
+//! Runs three fixed workloads with the certificate cache disabled:
 //!
 //! 1. **lint**: the full static constant-time analysis of the hasher
 //!    at `-O2` (IR taint + sparse assembly fixpoint).
@@ -8,6 +8,9 @@
 //!    two checker threads (exercising the producer/verifier split, the
 //!    pre-decoded instruction cache, and the firmware-build memo —
 //!    the second platform must reuse the first platform's build).
+//! 3. **contract**: the per-instruction-class stimulus battery that
+//!    holds both cores to their declared leakage contracts (stimulus
+//!    coverage is gated higher-is-better, wall under a ceiling).
 //!
 //! It then reads the counter *deltas* off the global metrics registry
 //! and gates them against `perf_baseline.json` (see
@@ -112,6 +115,21 @@ fn run_workloads() -> Result<Measurement, String> {
         "firmware_build_misses".into(),
         counter("pipeline_firmware_builds_total", &[("outcome", "miss")]) - builds_miss0,
     );
+
+    // -- workload 3: contract batteries, both cores
+    let stim0 = counter("contract_stimuli_total", &[("cpu", "Ibex")])
+        + counter("contract_stimuli_total", &[("cpu", "PicoRV32")]);
+    let t0 = Instant::now();
+    for cpu in [Cpu::Ibex, Cpu::Pico] {
+        eprintln!("perfstat: contract battery on {cpu}...");
+        pipeline
+            .contract_stage(&app, cpu)
+            .map_err(|e| format!("contract workload ({cpu}): {e}"))?;
+    }
+    m.walls.insert("contract_s".into(), t0.elapsed().as_secs_f64());
+    let stim = counter("contract_stimuli_total", &[("cpu", "Ibex")])
+        + counter("contract_stimuli_total", &[("cpu", "PicoRV32")]);
+    m.counters.insert("contract_stimuli_total".into(), stim - stim0);
     Ok(m)
 }
 

@@ -4,8 +4,10 @@
 //! software/hardware combination").
 //!
 //! Runs the unified proof pipeline: `speccheck → lockstep →
-//! equivalence → fps`, composing the per-stage certificates into one
-//! end-to-end IPR claim per platform. With `PARFAIT_CACHE_DIR` set,
+//! equivalence → ctcheck → contract → fps`, composing the per-stage
+//! certificates into one end-to-end IPR claim per platform (the
+//! contract battery executes before FPS but its certificate is a
+//! self-loop at the SoC level, so it composes after). With `PARFAIT_CACHE_DIR` set,
 //! stages whose inputs are unchanged are near-instant cache hits, so
 //! re-verifying an unchanged app costs milliseconds.
 //!
@@ -232,29 +234,43 @@ fn run(threads_used: &mut usize) -> u8 {
         let threads_per_case = (threads / cases).max(1);
         let (a, pipeline, tel, view) = (&a, &pipeline, &tel, &view);
         let outcomes = parallel_map(cases.min(threads), hw_cells, move |_, (cpu, cell)| {
+            // Execution order mirrors `verify_cell`: the cheap contract
+            // battery holds the core to its declared leakage contract
+            // before the expensive FPS check spins up.
             if let Some(v) = view {
-                v.set_stage(cell, "fps", false);
+                v.set_stage(cell, "contract", false);
             }
-            let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles, cell };
-            (cpu, cell, pipeline.fps_stage(a, cpu, opt, &obs, threads_per_case))
+            let outcome = pipeline.contract_stage(a, cpu).and_then(|contract| {
+                if let Some(v) = view {
+                    v.set_stage(cell, "fps", false);
+                }
+                let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles, cell };
+                pipeline.fps_stage(a, cpu, opt, &obs, threads_per_case).map(|fps| (contract, fps))
+            });
+            (cpu, cell, outcome)
         });
         for (cpu, cell, outcome) in outcomes {
             match outcome {
-                Ok(s) => {
+                Ok((contract, s)) => {
                     if let Some(v) = view {
                         v.set_stage(cell, "fps", s.cache_hit);
                         v.finish_lane(cell, true);
                     }
-                    let (line, json) = describe(&s, Some(cpu));
-                    println!("{line}");
-                    json_results.push(json);
-                    hits += s.cache_hit as usize;
-                    total += 1;
+                    for o in [&contract, &s] {
+                        let (line, json) = describe(o, Some(cpu));
+                        println!("{line}");
+                        json_results.push(json);
+                        hits += o.cache_hit as usize;
+                        total += 1;
+                    }
                     if software {
-                        // Chain the cell's four certificates into the
-                        // end-to-end claim (the transitivity theorem).
+                        // Chain the cell's six certificates into the
+                        // end-to-end claim (the transitivity theorem);
+                        // the contract cert is a self-loop at the SoC
+                        // level, so it composes after FPS.
                         let mut certs = software_certs.clone();
                         certs.push(s.certificate);
+                        certs.push(contract.certificate);
                         match compose(&certs) {
                             Ok(c) => {
                                 println!(

@@ -88,6 +88,9 @@ pub const GATES: &[(&str, Direction)] = &[
     // reuse the first one's build.
     ("firmware_build_misses", Direction::LowerIsBetter),
     ("firmware_build_hits", Direction::HigherIsBetter),
+    // Contract batteries on both cores: stimulus coverage must only
+    // ever grow (a shrink means instruction classes lost checks).
+    ("contract_stimuli_total", Direction::HigherIsBetter),
 ];
 
 /// One run's worth of gate inputs: counter deltas plus wall seconds
@@ -265,8 +268,7 @@ impl Baseline {
         for (name, entry) in counters {
             let value = entry
                 .get("value")
-                .and_then(Json::as_i64)
-                .and_then(|v| u64::try_from(v).ok())
+                .and_then(Json::as_u64)
                 .ok_or_else(|| format!("counter {name}: missing value"))?;
             let better = entry
                 .get("better")

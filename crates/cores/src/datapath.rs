@@ -7,6 +7,8 @@ use parfait_riscv::isa::{AluOp, Instr, LoadOp, Reg, StoreOp};
 use parfait_riscv::predecode::DecodeCache;
 use parfait_rtl::W;
 
+use crate::contract::InstrClass;
+
 /// Memory interface a core uses within a cycle.
 ///
 /// Fetches are side-effect free (ROM/RAM only); data reads may have MMIO
@@ -43,6 +45,9 @@ pub struct LeakEvent {
     pub pc: u32,
     /// What kind of flow occurred.
     pub kind: LeakKind,
+    /// Instruction class of the offending instruction — ties the event
+    /// to the contract clause it witnesses (see [`crate::contract`]).
+    pub class: InstrClass,
 }
 
 /// A fatal condition that the verification layer reports as failure.
@@ -124,6 +129,20 @@ pub enum SeededFault {
     /// that latency path is missing, so only the dual-world timing
     /// comparison can see it.
     MulEarlyExit,
+    /// Ibex: the divider takes three cycles longer than the exported
+    /// contract admits — an understated latency clause. The contract
+    /// battery's dividend sweep measures the discrepancy directly.
+    ContractLatencyUnderstated,
+    /// Ibex: the barrel shifter is secretly serialized (one extra cycle
+    /// per 8 bits of amount) while the contract still declares a fixed
+    /// single-cycle shift — a hidden operand dependence.
+    ContractHiddenOperandDep,
+    /// Pico: the divider's taint check is dropped, so tainted operands
+    /// no longer raise the contract-declared `VarLatencySecret` event.
+    /// Timing is unchanged, so constant-time firmware sails through the
+    /// dual-world FPS comparison — only the contract battery's tainted
+    /// stimulus notices the silent clause.
+    ContractTaintSilent,
 }
 
 /// Classification of an executed instruction, for per-core latency
@@ -242,7 +261,12 @@ pub fn execute_decoded(
         Instr::Jalr { rd, rs1, off } => {
             let base = r(regs, rs1);
             if base.t {
-                leaks.push(LeakEvent { cycle, pc, kind: LeakKind::JumpTargetSecret });
+                leaks.push(LeakEvent {
+                    cycle,
+                    pc,
+                    kind: LeakKind::JumpTargetSecret,
+                    class: InstrClass::Jump,
+                });
             }
             let target = base.v.wrapping_add(off as u32) & !1;
             rd_write(regs, rd, W::pub32(next_pc));
@@ -253,7 +277,12 @@ pub fn execute_decoded(
             let a = r(regs, rs1);
             let b = r(regs, rs2);
             if a.t || b.t {
-                leaks.push(LeakEvent { cycle, pc, kind: LeakKind::BranchOnSecret });
+                leaks.push(LeakEvent {
+                    cycle,
+                    pc,
+                    kind: LeakKind::BranchOnSecret,
+                    class: InstrClass::Branch,
+                });
             }
             let taken = op.taken(a.v, b.v);
             if taken {
@@ -264,7 +293,12 @@ pub fn execute_decoded(
         Instr::Load { op, rd, rs1, off } => {
             let base = r(regs, rs1);
             if base.t {
-                leaks.push(LeakEvent { cycle, pc, kind: LeakKind::AddrSecret });
+                leaks.push(LeakEvent {
+                    cycle,
+                    pc,
+                    kind: LeakKind::AddrSecret,
+                    class: InstrClass::Load,
+                });
             }
             let addr = base.v.wrapping_add(off as u32);
             let aligned_ok = match op {
@@ -291,7 +325,12 @@ pub fn execute_decoded(
         Instr::Store { op, rs1, rs2, off } => {
             let base = r(regs, rs1);
             if base.t {
-                leaks.push(LeakEvent { cycle, pc, kind: LeakKind::AddrSecret });
+                leaks.push(LeakEvent {
+                    cycle,
+                    pc,
+                    kind: LeakKind::AddrSecret,
+                    class: InstrClass::Store,
+                });
             }
             let addr = base.v.wrapping_add(off as u32);
             let val = r(regs, rs2);

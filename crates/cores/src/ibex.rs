@@ -20,10 +20,74 @@ use parfait_riscv::isa::Instr;
 use parfait_riscv::predecode::DecodeCache;
 use parfait_rtl::W;
 
+use crate::contract::{Clause, Latency, LatencyDep, LeakageContract};
 use crate::datapath::{
-    execute, execute_decoded, instr_dest, instr_sources, Core, Exec, Fault, LeakEvent, MemIf,
-    OpClass, SeededFault,
+    execute, execute_decoded, instr_dest, instr_sources, Core, Exec, Fault, LeakEvent, LeakKind,
+    MemIf, OpClass, SeededFault,
 };
+
+/// Ibex's exported leakage contract (DESIGN.md §15): the declarative
+/// observable model this core's tick loop *derives* its cycle charging
+/// from, and which the contract battery checks it against.
+///
+/// The divider clause is deliberately operand-dependent — the declared
+/// analogue of the retained variable-latency divider (§7.2) — and its
+/// `leak_on_tainted` is `None`: Ibex performs no taint check on that
+/// path, so secret-dependent division is caught by the dual-world FPS
+/// timing comparison, not by a self-reported event.
+pub fn contract() -> &'static LeakageContract {
+    const FIXED1: Clause =
+        Clause { latency: Latency::Fixed(1), addr_trace: false, leak_on_tainted: None };
+    static CONTRACT: LeakageContract = LeakageContract {
+        core: "Ibex",
+        revision: 1,
+        // IF overlaps EX: no per-instruction overhead in steady state.
+        overhead: 0,
+        // A taken branch or jump squashes one fetched instruction.
+        redirect_penalty: 1,
+        clauses: [
+            // alu
+            FIXED1,
+            // shift: full barrel shifter.
+            FIXED1,
+            // mul: the paper's full-width single-cycle multiplier (§7.1).
+            FIXED1,
+            // div: iterative, dividend-bit dependent, no taint check.
+            Clause {
+                latency: Latency::Operand { base: 3, dep: LatencyDep::DividendBits },
+                addr_trace: false,
+                leak_on_tainted: None,
+            },
+            // load
+            Clause {
+                latency: Latency::Fixed(2),
+                addr_trace: true,
+                leak_on_tainted: Some(LeakKind::AddrSecret),
+            },
+            // store
+            Clause {
+                latency: Latency::Fixed(2),
+                addr_trace: true,
+                leak_on_tainted: Some(LeakKind::AddrSecret),
+            },
+            // branch
+            Clause {
+                latency: Latency::Fixed(1),
+                addr_trace: false,
+                leak_on_tainted: Some(LeakKind::BranchOnSecret),
+            },
+            // jump
+            Clause {
+                latency: Latency::Fixed(1),
+                addr_trace: false,
+                leak_on_tainted: Some(LeakKind::JumpTargetSecret),
+            },
+            // fence
+            FIXED1,
+        ],
+    };
+    &CONTRACT
+}
 
 /// The 2-stage core.
 #[derive(Clone)]
@@ -89,13 +153,22 @@ impl IbexCore {
         }
     }
 
-    /// Latency charged in the EX stage beyond the issuing cycle.
-    fn extra_latency(class: &OpClass) -> u32 {
-        match class {
-            OpClass::Load | OpClass::Store => 1,
-            OpClass::Div { dividend, .. } => 2 + (32 - dividend.leading_zeros()),
-            _ => 0,
+    /// Latency charged in the EX stage beyond the issuing cycle —
+    /// derived from the exported [`contract`] (total occupancy minus
+    /// the issuing cycle), so the declared model and the tick loop
+    /// cannot drift apart. Seeded contract-violation faults add cycles
+    /// *on top of* the declaration; the contract battery measures the
+    /// discrepancy.
+    fn extra_latency(&self, class: &OpClass) -> u32 {
+        let mut extra = contract().cycles(class) - 1;
+        match (self.seeded, class) {
+            (Some(SeededFault::ContractLatencyUnderstated), OpClass::Div { .. }) => extra += 3,
+            (Some(SeededFault::ContractHiddenOperandDep), OpClass::Shift { amount, .. }) => {
+                extra += amount / 8;
+            }
+            _ => {}
         }
+        extra
     }
 
     /// Instruction fetch: the pre-decoded cache serves covered pcs
@@ -213,7 +286,7 @@ impl Core for IbexCore {
                 if self.fault.is_some() {
                     return;
                 }
-                let extra = Self::extra_latency(&class);
+                let extra = self.extra_latency(&class);
                 let redirect = next_pc != ipc.wrapping_add(4);
                 if redirect {
                     // Squash the would-be fetched instruction.

@@ -22,13 +22,23 @@
 //! of a variable-latency functional unit. This is the executable
 //! analogue of Knox2 detecting "secret data entering the control state
 //! of the circuit" (§8.1).
+//!
+//! Each core *exports* its observable model as a [`LeakageContract`]
+//! ([`ibex::contract`], [`pico::contract`]) and derives its cycle
+//! charging from it; [`contract::check_core`] verifies a core against a
+//! contract with a per-instruction-class stimulus battery.
 
 #![forbid(unsafe_code)]
 
+pub mod contract;
 pub mod datapath;
 pub mod ibex;
 pub mod pico;
 
+pub use contract::{
+    check_core, BatteryReport, Clause, ContractError, InstrClass, Latency, LatencyDep,
+    LeakageContract,
+};
 pub use datapath::{Core, Fault, LeakEvent, LeakKind, MemIf, SeededFault};
 pub use ibex::IbexCore;
 pub use pico::PicoCore;

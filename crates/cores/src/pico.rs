@@ -22,9 +22,78 @@ use parfait_riscv::isa::Instr;
 use parfait_riscv::predecode::DecodeCache;
 use parfait_rtl::W;
 
+use crate::contract::{Clause, InstrClass, Latency, LatencyDep, LeakageContract};
 use crate::datapath::{
     execute, execute_decoded, Core, Exec, Fault, LeakEvent, LeakKind, MemIf, OpClass, SeededFault,
 };
+
+/// PicoRV32's exported leakage contract (DESIGN.md §15): the
+/// declarative observable model this core's execute-latency table is
+/// *derived* from, and which the contract battery checks it against.
+///
+/// Unlike Ibex, the variable-latency units here (serial shifter,
+/// iterative divider) carry a taint check, so their clauses declare a
+/// self-reported [`LeakKind::VarLatencySecret`] on tainted operands.
+pub fn contract() -> &'static LeakageContract {
+    const FIXED1: Clause =
+        Clause { latency: Latency::Fixed(1), addr_trace: false, leak_on_tainted: None };
+    static CONTRACT: LeakageContract = LeakageContract {
+        core: "PicoRV32",
+        revision: 1,
+        // Every instruction refetches: 2 fetch cycles of overhead.
+        overhead: 2,
+        // No pipeline to squash, so redirects cost nothing extra.
+        redirect_penalty: 0,
+        clauses: [
+            // alu
+            FIXED1,
+            // shift: serial dual-bit shifter, 4 bits per cycle.
+            Clause {
+                latency: Latency::Operand {
+                    base: 1,
+                    dep: LatencyDep::ShiftChunks { bits_per_cycle: 4 },
+                },
+                addr_trace: false,
+                leak_on_tainted: Some(LeakKind::VarLatencySecret),
+            },
+            // mul: fixed 32-cycle iterative multiplier.
+            Clause { latency: Latency::Fixed(32), addr_trace: false, leak_on_tainted: None },
+            // div: iterative, dividend-bit dependent, taint-checked.
+            Clause {
+                latency: Latency::Operand { base: 2, dep: LatencyDep::DividendBits },
+                addr_trace: false,
+                leak_on_tainted: Some(LeakKind::VarLatencySecret),
+            },
+            // load
+            Clause {
+                latency: Latency::Fixed(2),
+                addr_trace: true,
+                leak_on_tainted: Some(LeakKind::AddrSecret),
+            },
+            // store
+            Clause {
+                latency: Latency::Fixed(2),
+                addr_trace: true,
+                leak_on_tainted: Some(LeakKind::AddrSecret),
+            },
+            // branch
+            Clause {
+                latency: Latency::Fixed(1),
+                addr_trace: false,
+                leak_on_tainted: Some(LeakKind::BranchOnSecret),
+            },
+            // jump
+            Clause {
+                latency: Latency::Fixed(1),
+                addr_trace: false,
+                leak_on_tainted: Some(LeakKind::JumpTargetSecret),
+            },
+            // fence
+            FIXED1,
+        ],
+    };
+    &CONTRACT
+}
 
 #[derive(Clone)]
 enum Stage {
@@ -140,45 +209,37 @@ impl PicoCore {
         }
     }
 
-    /// Execute-stage latency (total cycles spent in Execute).
+    /// Execute-stage latency (total cycles spent in Execute) — derived
+    /// from the exported [`contract`], which also declares the
+    /// self-reported taint leak this unit raises. Seeded faults either
+    /// bypass the declared latency (`MulEarlyExit`) or silence the
+    /// declared leak (`ContractTaintSilent`); the contract battery
+    /// measures both discrepancies.
     fn latency(&mut self, class: &OpClass, pc: u32) -> u32 {
-        match class {
-            OpClass::Alu | OpClass::Branch { .. } | OpClass::Jump | OpClass::Fence => 1,
-            OpClass::Load | OpClass::Store => 2,
-            OpClass::Shift { amount, from_reg, amount_tainted } => {
-                if *from_reg && *amount_tainted {
-                    self.leaks.push(LeakEvent {
-                        cycle: self.cycles,
-                        pc,
-                        kind: LeakKind::VarLatencySecret,
-                    });
-                }
-                1 + amount.div_ceil(4)
-            }
-            OpClass::Mul { a, b, .. } => {
-                if self.seeded == Some(SeededFault::MulEarlyExit) {
-                    // The early-exit iterative multiplier the paper's
-                    // modified core removed (§7.1): cycles track the
-                    // smaller operand's bit-length, and the (buggy)
-                    // latency path performs no taint check — only the
-                    // dual-world timing comparison can observe it.
-                    let bits = (32 - a.leading_zeros()).min(32 - b.leading_zeros());
-                    2 + bits
-                } else {
-                    32
-                }
-            }
-            OpClass::Div { dividend, operand_tainted } => {
-                if *operand_tainted {
-                    self.leaks.push(LeakEvent {
-                        cycle: self.cycles,
-                        pc,
-                        kind: LeakKind::VarLatencySecret,
-                    });
-                }
-                2 + (32 - dividend.leading_zeros())
+        let instr_class = InstrClass::of(class);
+        let clause = contract().clause(instr_class);
+        let operand_tainted = match class {
+            OpClass::Shift { amount_tainted, .. } => *amount_tainted,
+            OpClass::Div { operand_tainted, .. } => *operand_tainted,
+            _ => false,
+        };
+        let silenced =
+            self.seeded == Some(SeededFault::ContractTaintSilent) && instr_class == InstrClass::Div;
+        if operand_tainted && !silenced {
+            if let Some(kind) = clause.leak_on_tainted {
+                self.leaks.push(LeakEvent { cycle: self.cycles, pc, kind, class: instr_class });
             }
         }
+        if let (Some(SeededFault::MulEarlyExit), OpClass::Mul { a, b, .. }) = (self.seeded, class) {
+            // The early-exit iterative multiplier the paper's modified
+            // core removed (§7.1): cycles track the smaller operand's
+            // bit-length, and the (buggy) latency path performs no
+            // taint check — only the dual-world timing comparison and
+            // the contract battery's operand sweep can observe it.
+            let bits = (32 - a.leading_zeros()).min(32 - b.leading_zeros());
+            return 2 + bits;
+        }
+        contract().cycles(class)
     }
 }
 

@@ -695,13 +695,24 @@ pub(crate) fn end_of_script_checks(
             }
         }
     }
-    // Taint silence: no secret may have reached control state.
+    // Taint silence: no secret may have reached control state. Each
+    // event is classified in the vocabulary of the core's leakage
+    // contract, so the diagnostic names the violated clause rather
+    // than just the raw event kind.
     let leaks = real.core.leaks();
     if !leaks.is_empty() {
         let events = leaks
             .iter()
             .take(8)
-            .map(|l| format!("{:?} at pc={:#010x} (cycle {})", l.kind, l.pc, l.cycle))
+            .map(|l| {
+                format!(
+                    "{:?} at pc={:#010x} (cycle {}): {}",
+                    l.kind,
+                    l.pc,
+                    l.cycle,
+                    parfait_cores::contract::leak_term(l.kind, l.class),
+                )
+            })
             .collect();
         return Err(FpsError::Leak { events });
     }

@@ -24,7 +24,13 @@ use crate::artifact::{ArtifactHasher, ArtifactId};
 /// form (a bump invalidates every cache entry, which is the point).
 pub const SCHEMA: i64 = 1;
 
-/// The five proof stages, in pipeline order.
+/// The six proof stages, in compose-chain order.
+///
+/// `Contract` comes after `Fps` in the *chain* (it is a self-loop at
+/// the SoC level, checking the core against its exported leakage
+/// contract), but the runner *executes* it before FPS so a
+/// contract-violating core fails fast with a named instruction class
+/// instead of an opaque dual-world divergence.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StageKind {
     /// Spec-level non-leakage (`parfait::speccheck` census).
@@ -38,16 +44,20 @@ pub enum StageKind {
     CtCheck,
     /// Functional-physical simulation at the wire level (Knox2).
     Fps,
+    /// The core's measured observables vs its declared
+    /// [`parfait_cores::LeakageContract`] (stimulus battery).
+    Contract,
 }
 
 impl StageKind {
-    /// All stages in order.
-    pub const ALL: [StageKind; 5] = [
+    /// All stages in compose-chain order.
+    pub const ALL: [StageKind; 6] = [
         StageKind::SpecCheck,
         StageKind::Lockstep,
         StageKind::Equivalence,
         StageKind::CtCheck,
         StageKind::Fps,
+        StageKind::Contract,
     ];
 
     /// Stable machine-readable name (cache keys, JSON, telemetry).
@@ -58,6 +68,7 @@ impl StageKind {
             StageKind::Equivalence => "equivalence",
             StageKind::CtCheck => "ctcheck",
             StageKind::Fps => "fps",
+            StageKind::Contract => "contract",
         }
     }
 
@@ -304,10 +315,11 @@ mod tests {
             cert(StageKind::Equivalence, "hasher", "app-impl-lowstar", "app-impl-asm(-O2)"),
             cert(StageKind::CtCheck, "hasher", "app-impl-asm(-O2)", "app-impl-asm(-O2)"),
             cert(StageKind::Fps, "hasher", "app-impl-asm(-O2)", "soc(Ibex)"),
+            cert(StageKind::Contract, "hasher", "soc(Ibex)", "soc(Ibex)"),
         ];
         let composed = compose(&chain).unwrap();
         assert_eq!(composed.claim, ("app-spec".to_string(), "soc(Ibex)".to_string()));
-        assert_eq!(composed.stages.len(), 5);
+        assert_eq!(composed.stages.len(), 6);
         // Deterministic: same chain, same composed hash.
         assert_eq!(composed, compose(&chain).unwrap());
     }

@@ -1,14 +1,15 @@
 //! The staged proof pipeline.
 //!
-//! Five typed stages — `SpecCheck → Lockstep → Equivalence → CtCheck
-//! → FPS` — each hash their complete input set ([`crate::artifact`]),
-//! consult the certificate cache ([`crate::cache`]), and on a miss run
-//! the underlying checker (speccheck census, Starling, littlec
-//! translation validation, the `parfait-analyzer` constant-time lint,
-//! Knox2) and mint a [`StageCertificate`]. A verified (app × cpu ×
-//! opt) cell composes its five certificates into one end-to-end claim
-//! via [`crate::certificate::compose`] — the executable form of the
-//! paper's transitivity theorem.
+//! Six typed stages — `SpecCheck → Lockstep → Equivalence → CtCheck →
+//! Contract → FPS` in execution order — each hash their complete input
+//! set ([`crate::artifact`]), consult the certificate cache
+//! ([`crate::cache`]), and on a miss run the underlying checker
+//! (speccheck census, Starling, littlec translation validation, the
+//! `parfait-analyzer` constant-time lint, the leakage-contract
+//! stimulus battery, Knox2) and mint a [`StageCertificate`]. A
+//! verified (app × cpu × opt) cell composes its six certificates into
+//! one end-to-end claim via [`crate::certificate::compose`] — the
+//! executable form of the paper's transitivity theorem.
 //!
 //! This module is the **single** home of the firmware/spec/SoC build
 //! plumbing the bench binaries used to duplicate: [`Pipeline::run_fps`]
@@ -55,7 +56,8 @@ pub struct CellReport {
     pub cpu: Cpu,
     /// The optimization level verified.
     pub opt: OptLevel,
-    /// All four stage outcomes, in pipeline order.
+    /// All stage outcomes, in compose-chain order
+    /// ([`StageKind::ALL`]).
     pub stages: Vec<StageOutcome>,
     /// The composed end-to-end certificate.
     pub composed: ComposedCertificate,
@@ -104,7 +106,7 @@ impl Pipeline {
         out
     }
 
-    /// Cache-check-run-store skeleton shared by all five stages.
+    /// Cache-check-run-store skeleton shared by all six stages.
     fn run_stage(
         &self,
         stage: StageKind,
@@ -304,6 +306,10 @@ impl Pipeline {
             h.field_u64("schema", SCHEMA as u64)
                 .field_str("app", &app.slug)
                 .field_str("ruleset", parfait_analyzer::RULESET_VERSION)
+                // The lint derives its CT-LATENCY/CT-MEM applicability
+                // from the union of the supported cores' contracts, so
+                // a contract edit re-lints.
+                .field_str("latency-model", &parfait_analyzer::latency_model_fingerprint())
                 .field_str("opt", &opt.to_string())
                 .field_str("ir", &format!("{ir:?}"))
                 .field_str("asm", &asm);
@@ -341,8 +347,128 @@ impl Pipeline {
         })
     }
 
-    /// Stage 5 — FPS: wire-level functional-physical simulation on a
+    /// The FPS stage's input fingerprint. Folds the core's contract
+    /// text: the dual-world comparison interprets cycle counts and
+    /// leak events through the declared model.
+    fn fps_inputs(
+        app: &AppPipeline,
+        cpu: Cpu,
+        opt: OptLevel,
+        timeout: u64,
+        contract: &parfait_cores::LeakageContract,
+    ) -> ArtifactId {
+        let mut h = ArtifactHasher::new("stage:fps");
+        h.field_u64("schema", SCHEMA as u64)
+            .field_str("app", &app.slug)
+            .field_str("source", &app.source)
+            .field_u64("state_size", app.sizes.state as u64)
+            .field_u64("command_size", app.sizes.command as u64)
+            .field_u64("response_size", app.sizes.response as u64)
+            .field_str("cpu", &cpu.to_string())
+            .field_str("contract", &contract.canonical())
+            .field_str("opt", &opt.to_string())
+            .field_u64("timeout", timeout)
+            .field("secret", &app.secret_state)
+            .field("dummy", &app.dummy_state);
+        for op in app.fps_script() {
+            h.field_str("script-op", &format!("{op:?}"));
+        }
+        if let Some(t) = &app.tamper {
+            h.field_str("tamper", &t.fingerprint);
+        }
+        h.finish()
+    }
+
+    /// The contract stage's input fingerprint: everything the battery
+    /// verdict depends on, dominated by the contract's canonical text.
+    fn contract_inputs(
+        app: &AppPipeline,
+        cpu: Cpu,
+        contract: &parfait_cores::LeakageContract,
+    ) -> ArtifactId {
+        let mut h = ArtifactHasher::new("stage:contract");
+        h.field_u64("schema", SCHEMA as u64)
+            .field_str("app", &app.slug)
+            .field_str("cpu", &cpu.to_string())
+            .field_str("contract", &contract.canonical())
+            .field_u64("battery", parfait_cores::contract::BATTERY_VERSION as u64);
+        if let Some(t) = &app.tamper {
+            h.field_str("tamper", &t.fingerprint);
+        }
+        h.finish()
+    }
+
+    /// The exported leakage contract of a platform's core.
+    pub fn core_contract(cpu: Cpu) -> &'static parfait_cores::LeakageContract {
+        match cpu {
+            Cpu::Ibex => parfait_cores::ibex::contract(),
+            Cpu::Pico => parfait_cores::pico::contract(),
+        }
+    }
+
+    /// Stage 5 — contract check: drive the platform's core through the
+    /// per-instruction-class stimulus battery and hold its measured
+    /// cycle counts, leak events, and data-bus trace to the clauses of
+    /// its exported [`parfait_cores::LeakageContract`]. A core whose
+    /// divider leaks more than its contract admits fails *here*, with
+    /// a named instruction class, instead of surfacing later as an
+    /// opaque FPS divergence.
+    ///
+    /// The claim is a self-loop at the SoC level: the battery adds no
+    /// refinement step, it certifies that the observable model every
+    /// other stage assumes (lint applicability, FPS leak
+    /// classification) is the model the silicon actually exhibits.
+    /// Keyed by the contract's canonical text and the battery version,
+    /// so editing a contract invalidates exactly the dependent stages.
+    pub fn contract_stage(&self, app: &AppPipeline, cpu: Cpu) -> Result<StageOutcome, String> {
+        self.contract_stage_with(app, cpu, Self::core_contract(cpu))
+    }
+
+    /// [`contract_stage`](Self::contract_stage) against an explicit
+    /// contract instead of the core's exported one — the seam for
+    /// checking a candidate re-declaration (and for the cache tests:
+    /// an edited contract must miss where the exported one hits).
+    pub fn contract_stage_with(
+        &self,
+        app: &AppPipeline,
+        cpu: Cpu,
+        contract: &parfait_cores::LeakageContract,
+    ) -> Result<StageOutcome, String> {
+        let core_fault = app.tamper.as_ref().and_then(|t| t.core_fault);
+        let inputs =
+            self.timed_inputs(StageKind::Contract, || Self::contract_inputs(app, cpu, contract));
+        let cpu_label = cpu.to_string();
+        let soc = Level::Soc.label(Some(&cpu_label));
+        self.run_stage(StageKind::Contract, &app.slug, (soc.clone(), soc), inputs, || {
+            let mut make = || -> Box<dyn parfait_cores::Core> {
+                match cpu {
+                    Cpu::Ibex => Box::new(parfait_cores::IbexCore::with_fault(0, core_fault)),
+                    Cpu::Pico => Box::new(parfait_cores::PicoCore::with_fault(0, core_fault)),
+                }
+            };
+            let report =
+                parfait_cores::check_core(&mut make, contract).map_err(|e| e.to_string())?;
+            self.metrics()
+                .counter_with("contract_stimuli_total", &[("cpu", &cpu_label)])
+                .add(report.total as u64);
+            let mut stats = vec![
+                ("stimuli_total".to_string(), report.total as i64),
+                ("measured_retirements".to_string(), report.measured_retirements as i64),
+                ("contract_revision".to_string(), contract.revision as i64),
+            ];
+            for (class, n) in &report.stimuli {
+                stats.push((format!("stimuli_{class}"), *n as i64));
+            }
+            Ok((stats, None))
+        })
+    }
+
+    /// Stage 6 — FPS: wire-level functional-physical simulation on a
     /// real platform (cached per (app × cpu × opt) cell).
+    ///
+    /// Keyed (among the build inputs) on the core's contract text: the
+    /// dual-world comparison interprets cycle counts and leak events
+    /// through the declared model, so a contract edit re-runs it.
     pub fn fps_stage(
         &self,
         app: &AppPipeline,
@@ -353,25 +479,7 @@ impl Pipeline {
     ) -> Result<StageOutcome, String> {
         let timeout = FpsConfig::default_timeout();
         let inputs = self.timed_inputs(StageKind::Fps, || {
-            let mut h = ArtifactHasher::new("stage:fps");
-            h.field_u64("schema", SCHEMA as u64)
-                .field_str("app", &app.slug)
-                .field_str("source", &app.source)
-                .field_u64("state_size", app.sizes.state as u64)
-                .field_u64("command_size", app.sizes.command as u64)
-                .field_u64("response_size", app.sizes.response as u64)
-                .field_str("cpu", &cpu.to_string())
-                .field_str("opt", &opt.to_string())
-                .field_u64("timeout", timeout)
-                .field("secret", &app.secret_state)
-                .field("dummy", &app.dummy_state);
-            for op in app.fps_script() {
-                h.field_str("script-op", &format!("{op:?}"));
-            }
-            if let Some(t) = &app.tamper {
-                h.field_str("tamper", &t.fingerprint);
-            }
-            h.finish()
+            Self::fps_inputs(app, cpu, opt, timeout, Self::core_contract(cpu))
         });
         let opt_label = opt.to_string();
         let cpu_label = cpu.to_string();
@@ -514,8 +622,14 @@ impl Pipeline {
         ])
     }
 
-    /// Verify one full (app × cpu × opt) cell: all five stages plus
+    /// Verify one full (app × cpu × opt) cell: all six stages plus
     /// the composed end-to-end certificate.
+    ///
+    /// The contract battery *executes* before FPS — it is cheap and
+    /// attributes a violation to a named instruction class, so a
+    /// leaky core never reaches the expensive dual-world simulation —
+    /// but its certificate sits after FPS in the compose chain (a
+    /// self-loop at the SoC level FPS just reached).
     pub fn verify_cell(
         &self,
         app: &AppPipeline,
@@ -525,7 +639,9 @@ impl Pipeline {
         threads: usize,
     ) -> Result<CellReport, String> {
         let mut stages = self.software_stages(app, opt)?;
+        let contract = self.contract_stage(app, cpu)?;
         stages.push(self.fps_stage(app, cpu, opt, obs, threads)?);
+        stages.push(contract);
         let certs: Vec<StageCertificate> = stages.iter().map(|s| s.certificate.clone()).collect();
         let composed = compose(&certs).map_err(|e| e.to_string())?;
         Ok(CellReport { cpu, opt, stages, composed })
@@ -574,5 +690,40 @@ mod tests {
         let h3 = ArtifactHasher::new("stage:lockstep").field_str("cpu", "Ibex").finish();
         assert_ne!(h1, h2);
         assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn contract_edit_changes_exactly_the_dependent_stage_keys() {
+        // A contract re-declaration (revision bump, no clause change)
+        // must rotate the contract-check and FPS cache keys — both
+        // consume the canonical text — while the software stages,
+        // which never see the contract, are structurally unaffected
+        // (their input derivations take no contract parameter; see
+        // `speccheck_stage`/`lockstep_stage`/`equivalence_stage`).
+        let app = crate::apps::StdApp::Hasher.pipeline();
+        let exported = Pipeline::core_contract(Cpu::Ibex);
+        let mut edited = exported.clone();
+        edited.revision += 1;
+
+        let timeout = FpsConfig::default_timeout();
+        assert_ne!(
+            Pipeline::contract_inputs(&app, Cpu::Ibex, exported),
+            Pipeline::contract_inputs(&app, Cpu::Ibex, &edited),
+        );
+        assert_ne!(
+            Pipeline::fps_inputs(&app, Cpu::Ibex, OptLevel::O2, timeout, exported),
+            Pipeline::fps_inputs(&app, Cpu::Ibex, OptLevel::O2, timeout, &edited),
+        );
+        // The ctcheck key folds the union latency model, which names
+        // every supported contract — an Ibex edit re-lints.
+        assert!(parfait_analyzer::latency_model_fingerprint().contains(&exported.canonical()));
+        // A clause edit (not just a revision bump) also rotates keys.
+        let mut clause_edit = exported.clone();
+        clause_edit.clauses[parfait_cores::InstrClass::Load.index()].latency =
+            parfait_cores::Latency::Fixed(3);
+        assert_ne!(
+            Pipeline::contract_inputs(&app, Cpu::Ibex, exported),
+            Pipeline::contract_inputs(&app, Cpu::Ibex, &clause_edit),
+        );
     }
 }

@@ -56,6 +56,20 @@ impl Json {
         }
     }
 
+    /// Non-negative integer accessor, for counter and byte-count
+    /// fields whose domain is `u64`. Returns `None` for negatives and
+    /// non-integral numbers instead of making callers chain
+    /// `as_i64` + `try_from`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => u64::try_from(*n).ok(),
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Int(n) => Some(*n as f64),
@@ -383,6 +397,21 @@ mod tests {
         let text = v.to_string();
         let back = parse(&text).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn as_u64_accepts_exactly_the_non_negative_integers() {
+        assert_eq!(Json::Int(0).as_u64(), Some(0));
+        assert_eq!(Json::Int(i64::MAX).as_u64(), Some(i64::MAX as u64));
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        // Integral non-negative floats count (parsers may produce Num
+        // for large values); fractional and negative ones don't.
+        assert_eq!(Json::Num(42.0).as_u64(), Some(42));
+        assert_eq!(Json::Num(0.5).as_u64(), None);
+        assert_eq!(Json::Num(-2.0).as_u64(), None);
+        assert_eq!(Json::str("7").as_u64(), None);
+        assert_eq!(Json::Null.as_u64(), None);
+        assert_eq!(Json::Bool(true).as_u64(), None);
     }
 
     #[test]

@@ -59,16 +59,17 @@ PARFAIT_CACHE_DIR="$PIPELINE_CACHE_DIR" cargo test -q --release --test pipeline_
 cargo run --release -p parfait-bench --bin mutatest -- \
     --quick --baseline mutation_baseline.json
 # Observability gate: a cold instrumented verify must emit a metrics
-# snapshot containing the pipeline, cache-ledger, and worker-pool
-# families (cold + --threads 2, so the FPS segment pool actually
-# spins up); the warm re-run must parse too and see only disk hits.
+# snapshot containing the pipeline, cache-ledger, worker-pool, and
+# contract-battery families (cold + --threads 2, so the FPS segment
+# pool actually spins up; the six-stage verify runs the contract
+# battery cold here and must hit its certificate on the warm re-run).
 OBS_CACHE_DIR="target/ci-obs-cache"
 rm -rf "$OBS_CACHE_DIR"
 PARFAIT_CACHE_DIR="$OBS_CACHE_DIR" ./target/release/verify \
     --app hasher --platform ibex --threads 2 \
     --json target/ci-obs-cold.json --metrics target/ci-obs-cold-metrics.json
 ./target/release/cachestat --check-metrics target/ci-obs-cold-metrics.json \
-    --require pipeline_stage_,certcache_,pool_,fps_
+    --require pipeline_stage_,certcache_,pool_,fps_,contract_
 PARFAIT_CACHE_DIR="$OBS_CACHE_DIR" ./target/release/verify \
     --app hasher --platform ibex --threads 2 \
     --metrics target/ci-obs-warm-metrics.json

@@ -62,9 +62,16 @@ fn representative_mutants_die_at_their_designed_stage() {
         ("cc-branch-polarity", StageKind::Equivalence),
         ("cc-dead-store", StageKind::Equivalence),
         ("cc-secret-latency", StageKind::CtCheck),
+        ("cc-callee-saved-clobber", StageKind::CtCheck),
         ("cc-syssw-reg-clobber", StageKind::Fps),
         ("soc-tx-double-commit", StageKind::Fps),
         ("emu-response-desync", StageKind::Fps),
+        // Contract-violation faults are invisible to FPS's dual-world
+        // comparison (timing shifts identically in both worlds, or
+        // nothing shifts at all); the battery must take the kill.
+        ("core-contract-latency-understated", StageKind::Contract),
+        ("core-contract-hidden-operand-dep", StageKind::Contract),
+        ("core-contract-taint-silent", StageKind::Contract),
     ];
     for (class, stage) in expect {
         let r = run_mutant(&p, &by_class(class), 1);

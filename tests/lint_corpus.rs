@@ -162,6 +162,60 @@ fn case_asm_only_secret_indexed_load() {
 }
 
 #[test]
+fn case_asm_only_secret_shift_amount() {
+    // PicoRV32's serial shifter makes the shift *amount* a latency
+    // operand (its contract declares `shift: operand(shift-chunks)`),
+    // so a secret-derived amount is a CT-LATENCY sink — a rule the
+    // lint only has because it derives applicability from the cores'
+    // contracts rather than a baked-in div/rem table.
+    let findings = patched_asm_report("    lbu t0, 0(a0)\n    li t1, 1\n    sll t1, t1, t0");
+    let rules: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec![RuleId::SecretLatency], "{findings:#?}");
+    assert!(findings[0].diagnostic.message.contains("shift amount"), "{findings:#?}");
+}
+
+#[test]
+fn case_negative_control_secret_shifted_by_immediate() {
+    // The shifted *value* being secret is fine on every supported
+    // core: latency tracks the amount, and an immediate amount is
+    // public by construction.
+    let findings = patched_asm_report("    lbu t0, 0(a0)\n    slli t0, t0, 3\n    sll t0, t0, x0");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn case_asm_only_callee_saved_clobber() {
+    // The pure ABI fault that is invisible to every dynamic stage on
+    // an output-equivalent workload: an s-register grabbed as scratch
+    // without a save/restore.
+    let findings = patched_asm_report("    li s3, 42");
+    let rules: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec![RuleId::CalleeSaved], "{findings:#?}");
+    assert!(findings[0].diagnostic.message.contains("`s3`"), "{findings:#?}");
+}
+
+/// The contract-derived applicability table must coincide with the
+/// historical baked-in one (div/rem variable-latency; loads and stores
+/// address-traced) everywhere the old lint had an opinion — that, plus
+/// the corpus and production cases in this file keeping their exact
+/// verdicts, is the lint-under-contract ≡ lint-before argument. The
+/// one extension is Shift, which the old table missed and Pico's
+/// serial shifter makes real.
+#[test]
+fn contract_model_matches_the_historical_rule_table() {
+    use parfait_cores::InstrClass;
+    let m = parfait_analyzer::latency_model();
+    assert!(m.variable_latency(InstrClass::Div));
+    assert!(m.variable_latency(InstrClass::Shift));
+    assert!(m.addr_trace(InstrClass::Load));
+    assert!(m.addr_trace(InstrClass::Store));
+    for class in [InstrClass::Alu, InstrClass::Mul, InstrClass::Branch, InstrClass::Jump] {
+        assert!(!m.variable_latency(class), "{class} must not be a latency sink");
+        assert!(!m.addr_trace(class), "{class} must not be an address sink");
+    }
+}
+
+#[test]
 fn case_negative_control_masked_select() {
     for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
         let r = lint(CLEAN_SRC, opt);

@@ -208,8 +208,9 @@ fn one_byte_source_change_reruns_only_downstream_stages() {
     // Mutate one byte of A's source (behavior-preserving whitespace):
     // the behavior-keyed spec census stays cached, and so does the
     // artifact-keyed ctcheck (identical source modulo whitespace
-    // compiles to identical IR and asm); every source-keyed stage
-    // (lockstep, equivalence, FPS) re-runs.
+    // compiles to identical IR and asm) and the contract check (keyed
+    // on the core's declared contract, not the firmware); every
+    // source-keyed stage (lockstep, equivalence, FPS) re-runs.
     let mutated_source = TOKEN_LC.replace("u32 arg", "u32  arg");
     assert_eq!(mutated_source.len(), TOKEN_LC.len() + 1);
     let a_mut = token_app("token-a", mutated_source, MULT_A);
@@ -222,6 +223,7 @@ fn one_byte_source_change_reruns_only_downstream_stages() {
             (StageKind::Equivalence, false),
             (StageKind::CtCheck, true),
             (StageKind::Fps, false),
+            (StageKind::Contract, true),
         ],
         "a source-only change must re-run exactly the stages keyed on the source"
     );
@@ -241,6 +243,47 @@ fn one_byte_source_change_reruns_only_downstream_stages() {
     let cell_fresh = verify(&scratch, &a_mut);
     assert!(!cell_fresh.stages.iter().any(|s| s.cache_hit));
     assert_eq!(cell_fresh.composed.canonical(), cell_a3.composed.canonical());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Editing a core's leakage contract invalidates exactly the stages
+/// that consume it: the contract check misses under a revision-bumped
+/// contract, while a full re-verify against the unedited exported
+/// contract stays fully cached — the software stages never saw the
+/// edit. (Key-level sensitivity of the FPS and ctcheck stages to the
+/// contract text is covered by the pipeline crate's unit tests.)
+#[test]
+fn contract_edit_invalidates_exactly_the_dependent_stages() {
+    let dir = private_dir("pipeline-cache-contract-edit");
+    let a = token_a();
+
+    let cold = Pipeline::new(CertCache::at(dir.clone()), Default::default());
+    verify(&cold, &a);
+
+    let warm = Pipeline::new(CertCache::at(dir.clone()), Default::default());
+    let hit = warm.contract_stage(&a, Cpu::Ibex).expect("exported contract holds");
+    assert!(hit.cache_hit, "unchanged contract must hit the cold run's certificate");
+
+    // Re-declare the contract (revision bump, clauses unchanged): the
+    // battery re-runs — and still passes, since the clauses match the
+    // core — under a fresh cache key.
+    let mut edited = Pipeline::core_contract(Cpu::Ibex).clone();
+    edited.revision += 1;
+    let miss = warm
+        .contract_stage_with(&a, Cpu::Ibex, &edited)
+        .expect("revision bump does not change clause semantics");
+    assert!(!miss.cache_hit, "an edited contract must not reuse the old certificate");
+    assert_ne!(miss.certificate.inputs, hit.certificate.inputs);
+
+    // Nothing else was disturbed: the full cell against the exported
+    // contract is still a six-stage cache hit.
+    let cell = verify(&warm, &a);
+    assert!(
+        cell.fully_cached(),
+        "a contract-edit probe must not invalidate unrelated stages: {:?}",
+        hits_by_stage(&cell)
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -185,6 +185,42 @@ fn insert_after_label_if_present(asm: String, label: &str, snippet: &str) -> Str
     }
 }
 
+/// Halve the first frame allocation (`addi sp, sp, -N`) after
+/// `label:`. Identity when the label is absent, for the same reason as
+/// [`insert_after_label_if_present`]: the anchor lives in system
+/// software, so app-only compiles must stay clean.
+fn halve_frame_alloc_after(asm: String, label: &str) -> String {
+    if !asm.lines().any(|l| l.trim() == format!("{label}:")) {
+        return asm;
+    }
+    edit_first_after(asm, label, |line| {
+        let rest = line.trim_start().strip_prefix("addi sp, sp, -")?;
+        let n: u32 = rest.trim().parse().ok()?;
+        Some(format!("    addi sp, sp, -{}", n / 2))
+    })
+}
+
+/// Delete the first counted `# loopbound` annotation from the listing.
+/// The annotation is an assembler comment, so the machine code — and
+/// with it every dynamic stage's view of the firmware — is bit-for-bit
+/// unchanged; only the static bound analysis can notice the loop it
+/// can no longer validate. Identity when no counted annotation is
+/// present (app-only compiles of a loop-free app).
+fn drop_first_counted_loopbound(asm: String) -> String {
+    let mut done = false;
+    let mut out = String::with_capacity(asm.len());
+    for line in asm.lines() {
+        let t = line.trim_start();
+        if !done && t.starts_with("# loopbound") && t.contains("kind=counted") {
+            done = true;
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
 // --- ROM word patches (seeded encoder bugs) ----------------------------
 
 /// Decode ROM words from the `start` symbol onward, rewriting the
@@ -329,6 +365,29 @@ fn build_secret_latency() -> AppPipeline {
             "    lbu t0, 0(a0)\n    beqz t0, adv_ct_skip\n    nop\n    nop\nadv_ct_skip:\n",
         )
     }));
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_stack_frame_underalloc() -> AppPipeline {
+    // Halve `store_state`'s frame allocation while its body (and
+    // epilogue) still address the full frame: the classic prologue
+    // under-allocation. Every store above the shrunken frame clobbers
+    // the caller, and the epilogue restores the wrong `sp` — the
+    // static bound analysis rejects the frame discipline before the
+    // simulator ever boots the corrupted image.
+    let mut tamper = Tamper::new("codegen-stack-frame-underalloc");
+    tamper.patch_asm = Some(Arc::new(|asm| halve_frame_alloc_after(asm, "store_state")));
+    token_app(token_cmd(2, 9)).with_tamper(tamper)
+}
+
+fn build_loop_bound_drop() -> AppPipeline {
+    // Drop one `# loopbound kind=counted` annotation from the listing.
+    // A comment-only mutation: the assembled ROM is identical, so
+    // lockstep, equivalence, ctcheck, FPS, and the contract battery
+    // are all blind to it by construction — the bound stage's refusal
+    // to invent a loop bound is the only line of defense.
+    let mut tamper = Tamper::new("littlec-loop-bound-drop");
+    tamper.patch_asm = Some(Arc::new(drop_first_counted_loopbound));
     token_app(token_cmd(2, 9)).with_tamper(tamper)
 }
 
@@ -489,6 +548,24 @@ pub fn catalog() -> Vec<Mutation> {
             opt: OptLevel::O2,
             quick: true,
             build: build_callee_saved_clobber,
+        },
+        Mutation {
+            class: "codegen-stack-frame-underalloc",
+            level: Level::Codegen,
+            description: "prologue allocates half the frame its body and epilogue address",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: false,
+            build: build_stack_frame_underalloc,
+        },
+        Mutation {
+            class: "littlec-loop-bound-drop",
+            level: Level::Codegen,
+            description: "counted-loop bound annotation dropped; machine code unchanged",
+            cpu: Cpu::Ibex,
+            opt: OptLevel::O2,
+            quick: true,
+            build: build_loop_bound_drop,
         },
         Mutation {
             class: "isa-store-operand-swap",

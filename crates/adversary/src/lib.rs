@@ -1,12 +1,13 @@
 //! parfait-adversary — cross-level mutation testing for the proof
 //! pipeline.
 //!
-//! The pipeline's six stages each claim to catch a family of bugs:
+//! The pipeline's seven stages each claim to catch a family of bugs:
 //! Starling lockstep catches functional divergence from the spec,
 //! translation validation catches miscompilation, the constant-time
 //! lint catches secret-dependent control flow (and, via CT-ABI,
 //! callee-saved clobbers), the contract battery catches a core
-//! breaking its declared leakage contract, and FPS catches everything
+//! breaking its declared leakage contract, the bound analysis catches
+//! stack-discipline and loop-bound faults, and FPS catches everything
 //! else below the assembly contract — encoder bugs, SoC peripheral
 //! bugs, and defects in the verifier's own emulator template. Those claims are tested nowhere:
 //! every checker in the repo is only ever run on *correct* inputs.

@@ -1,9 +1,10 @@
-//! Drive mutants through the six-stage pipeline and record which
+//! Drive mutants through the seven-stage pipeline and record which
 //! stage kills each one.
 //!
 //! A mutant "run" is the same staged verification a production app
 //! gets — speccheck, lockstep, equivalence, ctcheck, then the core's
-//! contract battery, then FPS — except
+//! contract battery, then the static resource-bound analysis, then
+//! FPS — except
 //! the FPS cycle budget is bounded: a mutation that wedges the firmware
 //! (a lost return address, a clobbered stack pointer) must fail the run
 //! in seconds, not simulate the production 8-billion-cycle budget to a
@@ -66,10 +67,12 @@ fn parse_kill(err: &str) -> (Option<StageKind>, String) {
     (None, err.to_string())
 }
 
-/// Run one mutant through all six stages, in the execution order
+/// Run one mutant through all seven stages, in the execution order
 /// `verify_cell` uses: the contract battery runs before FPS, so a core
 /// whose observables break its declared contract dies there with a
-/// named instruction class instead of as an opaque FPS divergence.
+/// named instruction class instead of as an opaque FPS divergence, and
+/// the static bound analysis runs before FPS so a firmware whose
+/// resource envelope is unprovable never reaches the simulator.
 /// `threads` is the FPS segment-worker budget for this mutant.
 pub fn run_mutant(pipeline: &Pipeline, m: &Mutation, threads: usize) -> MutantReport {
     let t0 = Instant::now();
@@ -78,6 +81,7 @@ pub fn run_mutant(pipeline: &Pipeline, m: &Mutation, threads: usize) -> MutantRe
     let outcome = pipeline
         .software_stages(&app, m.opt)
         .and_then(|_| pipeline.contract_stage(&app, m.cpu).map(|_| ()))
+        .and_then(|_| pipeline.bound_stage(&app, m.cpu, m.opt).map(|_| ()))
         .and_then(|_| {
             pipeline
                 .run_fps(&app, m.cpu, m.opt, &obs, threads, MUTANT_FPS_TIMEOUT)
@@ -112,15 +116,15 @@ pub fn run_catalog(pipeline: &Pipeline, muts: &[Mutation], threads: usize) -> Ve
 /// level each stage killed (plus a survivor column).
 pub struct Matrix {
     /// One row per level present in the run, in stack order.
-    pub rows: Vec<(Level, [usize; 6], usize)>,
+    pub rows: Vec<(Level, [usize; 7], usize)>,
 }
 
 impl Matrix {
     /// Tally reports into a matrix.
     pub fn tally(reports: &[MutantReport]) -> Matrix {
-        let mut rows: Vec<(Level, [usize; 6], usize)> = Vec::new();
+        let mut rows: Vec<(Level, [usize; 7], usize)> = Vec::new();
         for level in Level::ALL {
-            let mut cells = [0usize; 6];
+            let mut cells = [0usize; 7];
             let mut survived = 0usize;
             for r in reports.iter().filter(|r| r.level == level) {
                 match r.killed_by {
@@ -141,11 +145,11 @@ impl Matrix {
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "level     speccheck  lockstep  equivalence  ctcheck  fps  contract  survived\n",
+            "level     speccheck  lockstep  equivalence  ctcheck  bound  fps  contract  survived\n",
         );
         for (level, cells, survived) in &self.rows {
             out.push_str(&format!(
-                "{:<9} {:>9}  {:>8}  {:>11}  {:>7}  {:>3}  {:>8}  {:>8}\n",
+                "{:<9} {:>9}  {:>8}  {:>11}  {:>7}  {:>5}  {:>3}  {:>8}  {:>8}\n",
                 level.as_str(),
                 cells[0],
                 cells[1],
@@ -153,6 +157,7 @@ impl Matrix {
                 cells[3],
                 cells[4],
                 cells[5],
+                cells[6],
                 survived
             ));
         }
@@ -250,8 +255,8 @@ mod tests {
         ];
         let m = Matrix::tally(&reports);
         assert_eq!(m.rows.len(), 2);
-        assert_eq!(m.rows[0], (Level::Crypto, [0, 1, 0, 0, 0, 0], 1));
-        assert_eq!(m.rows[1], (Level::Soc, [0, 0, 0, 0, 1, 0], 0));
+        assert_eq!(m.rows[0], (Level::Crypto, [0, 1, 0, 0, 0, 0, 0], 1));
+        assert_eq!(m.rows[1], (Level::Soc, [0, 0, 0, 0, 0, 1, 0], 0));
         let json = reports_to_json(&reports, 2);
         assert_eq!(json.get("survivors").and_then(Json::as_i64), Some(1));
         assert_eq!(

@@ -1,0 +1,1886 @@
+//! bound — whole-firmware worst-case execution-time and stack bounds.
+//!
+//! The dynamic Parfait stages prove what a run *did*; none of them
+//! bound what a run *may do*. FPS in particular needs an a-priori
+//! cycle budget, which until now was a magic `PARFAIT_TIMEOUT`
+//! constant. This module closes that hole statically, over the fully
+//! linked RISC-V text:
+//!
+//! 1. **Call-graph recovery.** Functions are the non-`.`-prefixed text
+//!    symbols; direct `jal ra` calls form the graph. Recursion and
+//!    indirect (`jalr`) calls are rejected — the production compiler
+//!    never emits either, and both would make the bounds below
+//!    unsound.
+//! 2. **Stack and store discipline.** A per-function abstract
+//!    interpretation tracks `sp` exactly (as an offset from the
+//!    function's entry `sp`), every spill slot word, the return
+//!    address, and the callee-saved registers. Every store must land
+//!    in the current frame, a caller-checked buffer, or a declared
+//!    writable region (`.data`, MMIO, journal); the composed
+//!    worst-case stack depth over the (acyclic) call graph must stay
+//!    above the stack floor. A prologue that under-allocates its
+//!    frame, or an epilogue that restores the wrong `sp`, fails here.
+//! 3. **WCET.** Loop bounds come from the `# loopbound` annotations
+//!    emitted by `littlec`'s [`parfait_littlec::loop_bounds`] pass and
+//!    are *re-validated against the machine code* (a counted loop must
+//!    actually advance its counter toward an invariant bound; a host
+//!    loop must actually poll MMIO; a server loop must have no live
+//!    exit). Per-instruction costs are the worst case of the core's
+//!    [`LeakageContract`] latency clauses, plus the redirect penalty
+//!    on every branch and jump. Loops collapse innermost-first into
+//!    `iters x longest-iteration` supernodes; the WCET is the longest
+//!    path through the resulting DAG, composed bottom-up over the
+//!    call graph.
+//!
+//! The result certifies, per firmware: a finite cycle bound for one
+//! command round-trip (the server loop is charged [`SERVER_ROUNDS`]
+//! iterations) and a stack high-water mark that stays inside the
+//! stack region. The pipeline's `bound` stage caches this next to the
+//! other certificates and derives the FPS timeout from it.
+//!
+//! Soundness caveats, deliberately inherited from lower layers rather
+//! than re-proven here: in-buffer offsets through caller-provided
+//! pointers are trusted (array-bounds discipline is the littlec type
+//! checker's job, and FPS executes every reachable store anyway), and
+//! host-blocking polls are charged [`HOST_POLL_ITERS`] iterations — a
+//! *responsiveness hypothesis* on the host, not a theorem.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use parfait_cores::contract::InstrClass;
+use parfait_cores::LeakageContract;
+use parfait_littlec::loop_bounds::LoopKind;
+use parfait_riscv::asm::{assemble_with, Layout, Program};
+use parfait_riscv::decode::decode;
+use parfait_riscv::isa::{AluOp, BranchOp, Instr, LoadOp, Reg, StoreOp};
+
+/// Version of the bound rule set; part of the `bound` stage cache key
+/// so a rule change invalidates cached certificates.
+pub const BOUND_RULESET_VERSION: &str = "bound-rules-v1";
+
+/// Cycles charged per host-blocking MMIO poll loop. The annotation
+/// says two iterations (one failed poll, one success); we charge the
+/// maximum of that and this floor so the certified WCET absorbs a
+/// host that answers within 64 polls rather than instantly.
+pub const HOST_POLL_ITERS: u32 = 64;
+
+/// Iterations charged for the server dispatch loop: the WCET is per
+/// command round-trip, so one worst-case command plus one round of
+/// slack for re-entering the dispatch head.
+pub const SERVER_ROUNDS: u32 = 2;
+
+/// Memory regions the store checks and the stack bound run against.
+/// All ranges are `[lo, hi)`. The analyzer crate has no SoC
+/// dependency; the pipeline fills this from `parfait_soc` constants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundRegions {
+    /// Where the text section is linked.
+    pub text_base: u32,
+    /// Where the data section is linked; its extent is taken from the
+    /// assembled program.
+    pub data_base: u32,
+    /// Memory-mapped I/O window.
+    pub mmio: (u32, u32),
+    /// Persistent journal region. Writes are allowed here; the
+    /// journaling *discipline* is the spec stages' concern.
+    pub fram: (u32, u32),
+    /// Lowest address the stack may grow down to.
+    pub stack_floor: u32,
+}
+
+/// The certified bounds for one linked firmware image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundReport {
+    /// Worst-case cycles for one command round-trip from the entry
+    /// point, under the core's leakage-contract latency model.
+    pub wcet_cycles: u64,
+    /// Worst-case stack depth in bytes, composed over the call graph.
+    pub stack_depth: u32,
+    /// The constant `sp` the entry point establishes.
+    pub stack_top: u32,
+    /// Functions reachable from the entry point.
+    pub functions: usize,
+    /// Loops validated and collapsed.
+    pub loops: usize,
+    /// Instructions analyzed.
+    pub instructions: usize,
+}
+
+/// Why a firmware image failed to certify.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundError {
+    /// Assembly or instruction-decode failure.
+    Asm(String),
+    /// Control flow the analysis refuses: recursion, indirect calls,
+    /// jumps that leave their function.
+    Unsupported(String),
+    /// A reachable loop whose bound littlec could not infer.
+    Unbounded {
+        /// Function containing the loop.
+        function: String,
+        /// 1-based source line of the loop condition.
+        line: usize,
+    },
+    /// A loop annotation the machine-code validator could not confirm.
+    Unvalidated(String),
+    /// A store whose target cannot be proven inside a writable region.
+    Memory(String),
+    /// Stack-discipline violation or composed-depth overflow.
+    Stack(String),
+}
+
+impl fmt::Display for BoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundError::Asm(m) => write!(f, "{m}"),
+            BoundError::Unsupported(m) => write!(f, "{m}"),
+            BoundError::Unbounded { function, line } => write!(
+                f,
+                "[LB-UNBOUNDED] {function}:{line}: loop bound is not statically inferable; \
+                 rewrite as a counted loop or poll MMIO directly"
+            ),
+            BoundError::Unvalidated(m) => write!(f, "{m}"),
+            BoundError::Memory(m) => write!(f, "{m}"),
+            BoundError::Stack(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for BoundError {}
+
+/// Bound the given linked assembly under `contract` and `regions`.
+///
+/// `entry` is the boot symbol (`_start` for production firmware); the
+/// analysis covers exactly the functions reachable from it by direct
+/// calls. The text must carry the `# loopbound` annotations that
+/// [`parfait_littlec::compile`] emits.
+pub fn bound_asm(
+    asm: &str,
+    entry: &str,
+    contract: &LeakageContract,
+    regions: &BoundRegions,
+) -> Result<BoundReport, BoundError> {
+    let prog =
+        assemble_with(asm, Layout { text_base: regions.text_base, data_base: regions.data_base })
+            .map_err(|e| BoundError::Asm(e.to_string()))?;
+    let annos = parse_annotations(asm, &prog)?;
+    let analysis = Analysis::new(&prog, contract, regions, annos);
+    analysis.run(entry)
+}
+
+// ---------------------------------------------------------------------------
+// Loop-bound annotations
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Anno {
+    kind: LoopKind,
+    iters: u32,
+    function: String,
+    line: usize,
+}
+
+/// Parse `# loopbound .L<fn>_<block> kind=<k> iters=<n> line=<l>`
+/// comment lines and resolve each label through the symbol table to
+/// the loop head's address.
+fn parse_annotations(asm: &str, prog: &Program) -> Result<HashMap<u32, Anno>, BoundError> {
+    let mut annos = HashMap::new();
+    for raw in asm.lines() {
+        let Some(rest) = raw.trim().strip_prefix("# loopbound ") else { continue };
+        let mut label = None;
+        let (mut kind, mut iters, mut line) = (None, None, None);
+        for tok in rest.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("kind=") {
+                kind = LoopKind::from_name(v);
+            } else if let Some(v) = tok.strip_prefix("iters=") {
+                iters = v.parse::<u32>().ok();
+            } else if let Some(v) = tok.strip_prefix("line=") {
+                line = v.parse::<usize>().ok();
+            } else if label.is_none() {
+                label = Some(tok);
+            }
+        }
+        let (Some(label), Some(kind), Some(iters), Some(line)) = (label, kind, iters, line) else {
+            return Err(BoundError::Asm(format!("malformed loop annotation `{raw}`")));
+        };
+        let addr = prog.address_of(label).ok_or_else(|| {
+            BoundError::Asm(format!("loop annotation label `{label}` is not in the symbol table"))
+        })?;
+        let function = label
+            .strip_prefix(".L")
+            .and_then(|s| s.rsplit_once('_'))
+            .map(|(f, _)| f.to_string())
+            .unwrap_or_else(|| label.to_string());
+        annos.insert(addr, Anno { kind, iters, function, line });
+    }
+    Ok(annos)
+}
+
+// ---------------------------------------------------------------------------
+// CFG recovery
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct FuncSym {
+    name: String,
+    lo: u32,
+    hi: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Term {
+    /// `jalr zero, ra, 0`.
+    Ret,
+    /// Self-jump, `ecall`, or `ebreak`: execution stops making progress.
+    Halt,
+    /// Control falls past the function's last instruction (the boot
+    /// shim's `call` falling into `_halt`).
+    Fallout,
+    /// Branch, jump, or plain fallthrough to the listed successors.
+    Flow,
+}
+
+#[derive(Clone, Debug)]
+struct Block {
+    start: u32,
+    instrs: Vec<(u32, Instr)>,
+    succs: Vec<u32>,
+    term: Term,
+}
+
+#[derive(Clone, Debug)]
+struct FnCode {
+    name: String,
+    entry: u32,
+    blocks: BTreeMap<u32, Block>,
+    calls: BTreeSet<u32>,
+    ninstrs: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+
+/// One abstract machine word. The lattice is flat: unequal non-`Top`
+/// values join to `Top`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AVal {
+    Top,
+    Const(u32),
+    /// `sp`-relative address, offset in bytes from the function's
+    /// entry `sp` (always negative inside the frame).
+    Sp(i32),
+    /// Somewhere inside the current frame (a stack-array interior
+    /// reached through a computed index).
+    SpAny,
+    /// Pointer into a caller-checked buffer or a writable data
+    /// region; in-buffer offsets are trusted.
+    Buf,
+    /// The function's own return address.
+    Ra,
+    /// Entry value of callee-saved register `s<n>`.
+    Saved(u8),
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct AState {
+    regs: [AVal; 32],
+    /// Word-granular spill-slot model, keyed by entry-`sp`-relative
+    /// byte offset.
+    stack: BTreeMap<i32, AVal>,
+}
+
+/// Join two abstract values. Distinct in-frame pointers (a walked
+/// array cursor joining `Sp(k)` with `Sp(k+4)` at a loop head) stay
+/// in-frame as [`AVal::SpAny`], and two distinct buffer-root constants
+/// (the double-buffered journal slots picked by a branch) degrade to
+/// [`AVal::Buf`], rather than escaping to `Top` — the store checks
+/// already treat both as trusted may-alias pointers. Everything else
+/// mismatched is `Top`.
+fn join_val(an: &Analysis, a: AVal, b: AVal) -> AVal {
+    if a == b {
+        return a;
+    }
+    let bufish = |v: AVal| matches!(v, AVal::Buf) || matches!(v, AVal::Const(c) if an.buf_root(c));
+    match (a, b) {
+        (AVal::Sp(_) | AVal::SpAny, AVal::Sp(_) | AVal::SpAny) => AVal::SpAny,
+        _ if bufish(a) && bufish(b) => AVal::Buf,
+        _ => AVal::Top,
+    }
+}
+
+fn join_state(an: &Analysis, a: &AState, b: &AState) -> AState {
+    let mut regs = [AVal::Top; 32];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = join_val(an, a.regs[i], b.regs[i]);
+    }
+    let mut stack = BTreeMap::new();
+    for (k, v) in &a.stack {
+        if let Some(w) = b.stack.get(k) {
+            let j = join_val(an, *v, *w);
+            if j != AVal::Top {
+                stack.insert(*k, j);
+            }
+        }
+    }
+    AState { regs, stack }
+}
+
+fn saved_index(r: Reg) -> Option<u8> {
+    match r.0 {
+        8 => Some(0),
+        9 => Some(1),
+        18..=27 => Some(r.0 - 16),
+        _ => None,
+    }
+}
+
+fn caller_saved(r: Reg) -> bool {
+    matches!(r.0, 1 | 5..=7 | 10..=17 | 28..=31)
+}
+
+fn inst_dst(i: &Instr) -> Option<Reg> {
+    let rd = match *i {
+        Instr::Lui { rd, .. }
+        | Instr::Auipc { rd, .. }
+        | Instr::Jal { rd, .. }
+        | Instr::Jalr { rd, .. }
+        | Instr::Load { rd, .. }
+        | Instr::OpImm { rd, .. }
+        | Instr::Op { rd, .. } => rd,
+        _ => return None,
+    };
+    if rd == Reg::ZERO {
+        None
+    } else {
+        Some(rd)
+    }
+}
+
+fn is_call(i: &Instr) -> bool {
+    matches!(*i, Instr::Jal { rd, .. } if rd == Reg::RA)
+}
+
+fn eval_branch(op: BranchOp, a: u32, b: u32) -> bool {
+    match op {
+        BranchOp::Eq => a == b,
+        BranchOp::Ne => a != b,
+        BranchOp::Lt => (a as i32) < (b as i32),
+        BranchOp::Ge => (a as i32) >= (b as i32),
+        BranchOp::Ltu => a < b,
+        BranchOp::Geu => a >= b,
+    }
+}
+
+fn class_of(i: &Instr) -> InstrClass {
+    match *i {
+        Instr::Lui { .. } | Instr::Auipc { .. } => InstrClass::Alu,
+        Instr::OpImm { op, .. } | Instr::Op { op, .. } => InstrClass::of_alu(op),
+        Instr::Load { .. } => InstrClass::Load,
+        Instr::Store { .. } => InstrClass::Store,
+        Instr::Branch { .. } => InstrClass::Branch,
+        Instr::Jal { .. } | Instr::Jalr { .. } => InstrClass::Jump,
+        Instr::Fence => InstrClass::Fence,
+        Instr::Ecall | Instr::Ebreak => InstrClass::Alu,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Natural loops
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct NatLoop {
+    head: u32,
+    latches: BTreeSet<u32>,
+    members: BTreeSet<u32>,
+}
+
+/// Back edges via DFS from the entry block, then natural-loop bodies
+/// by walking predecessors backward from each latch. Loops sharing a
+/// head are merged.
+fn find_loops(f: &FnCode) -> Vec<NatLoop> {
+    let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (b, blk) in &f.blocks {
+        for &s in &blk.succs {
+            preds.entry(s).or_default().push(*b);
+        }
+    }
+    // Iterative DFS with on-stack coloring; the compiler only lowers
+    // structured loops, so every retreating edge targets a loop head.
+    let mut color: HashMap<u32, u8> = HashMap::new(); // 1 = on stack, 2 = done
+    let mut back: Vec<(u32, u32)> = Vec::new(); // (latch, head)
+    let mut stack: Vec<(u32, usize)> = vec![(f.entry, 0)];
+    color.insert(f.entry, 1);
+    while let Some(&mut (b, ref mut idx)) = stack.last_mut() {
+        let succs = &f.blocks[&b].succs;
+        if *idx < succs.len() {
+            let s = succs[*idx];
+            *idx += 1;
+            match color.get(&s) {
+                Some(1) => back.push((b, s)),
+                Some(_) => {}
+                None => {
+                    color.insert(s, 1);
+                    stack.push((s, 0));
+                }
+            }
+        } else {
+            color.insert(b, 2);
+            stack.pop();
+        }
+    }
+    let mut by_head: BTreeMap<u32, NatLoop> = BTreeMap::new();
+    for (latch, head) in back {
+        let lp = by_head.entry(head).or_insert_with(|| NatLoop {
+            head,
+            latches: BTreeSet::new(),
+            members: BTreeSet::from([head]),
+        });
+        lp.latches.insert(latch);
+        let mut work = vec![latch];
+        while let Some(b) = work.pop() {
+            if lp.members.insert(b) {
+                if let Some(ps) = preds.get(&b) {
+                    work.extend(ps.iter().copied());
+                }
+            }
+        }
+    }
+    let mut loops: Vec<NatLoop> = by_head.into_values().collect();
+    loops.sort_by_key(|l| l.members.len());
+    loops
+}
+
+// ---------------------------------------------------------------------------
+// The analysis driver
+// ---------------------------------------------------------------------------
+
+struct Analysis<'a> {
+    prog: &'a Program,
+    contract: &'a LeakageContract,
+    regions: &'a BoundRegions,
+    annos: HashMap<u32, Anno>,
+    funcs: Vec<FuncSym>,
+    data_end: u32,
+}
+
+struct FnResult {
+    wcet: u64,
+    depth: u32,
+    stack_top: Option<u32>,
+    loops: usize,
+}
+
+impl<'a> Analysis<'a> {
+    fn new(
+        prog: &'a Program,
+        contract: &'a LeakageContract,
+        regions: &'a BoundRegions,
+        annos: HashMap<u32, Anno>,
+    ) -> Self {
+        let text_end = prog.text_base + 4 * prog.text.len() as u32;
+        let mut starts: Vec<(u32, String)> = prog
+            .symbols
+            .iter()
+            .filter(|(n, &a)| !n.starts_with('.') && a >= prog.text_base && a < text_end)
+            .map(|(n, &a)| (a, n.clone()))
+            .collect();
+        starts.sort();
+        starts.dedup_by_key(|(a, _)| *a);
+        let funcs = starts
+            .iter()
+            .enumerate()
+            .map(|(i, (a, n))| FuncSym {
+                name: n.clone(),
+                lo: *a,
+                hi: starts.get(i + 1).map(|(b, _)| *b).unwrap_or(text_end),
+            })
+            .collect();
+        let data_end = regions.data_base + prog.data.len() as u32;
+        Analysis { prog, contract, regions, annos, funcs, data_end }
+    }
+
+    fn writable(&self, a: u32) -> bool {
+        (a >= self.regions.data_base && a < self.data_end)
+            || (a >= self.regions.mmio.0 && a < self.regions.mmio.1)
+            || (a >= self.regions.fram.0 && a < self.regions.fram.1)
+    }
+
+    /// Constants in these regions are treated as buffer roots under
+    /// pointer arithmetic (`la`-materialized globals plus the journal).
+    fn buf_root(&self, a: u32) -> bool {
+        (a >= self.regions.data_base && a < self.data_end)
+            || (a >= self.regions.fram.0 && a < self.regions.fram.1)
+    }
+
+    fn func_at(&self, addr: u32) -> Option<&FuncSym> {
+        self.funcs.iter().find(|f| f.lo == addr)
+    }
+
+    fn name_at(&self, addr: u32) -> &str {
+        self.func_at(addr).map(|f| f.name.as_str()).unwrap_or("<unknown>")
+    }
+
+    fn run(&self, entry: &str) -> Result<BoundReport, BoundError> {
+        let entry_addr =
+            self.funcs.iter().find(|f| f.name == entry).map(|f| f.lo).ok_or_else(|| {
+                BoundError::Unsupported(format!("entry symbol `{entry}` is not a text function"))
+            })?;
+
+        // Depth-first over the call graph: reject recursion, produce a
+        // post-order so callees are bounded before their callers.
+        let mut code: HashMap<u32, FnCode> = HashMap::new();
+        let mut on_stack: HashSet<u32> = HashSet::new();
+        let mut done: HashSet<u32> = HashSet::new();
+        let mut order: Vec<u32> = Vec::new();
+        let mut stack: Vec<(u32, usize)> = vec![(entry_addr, 0)];
+        code.insert(entry_addr, self.decode_fn(self.func_at(entry_addr).unwrap())?);
+        on_stack.insert(entry_addr);
+        while let Some(&mut (a, ref mut idx)) = stack.last_mut() {
+            let next = code[&a].calls.iter().nth(*idx).copied();
+            match next {
+                Some(c) => {
+                    *idx += 1;
+                    if on_stack.contains(&c) {
+                        return Err(BoundError::Unsupported(format!(
+                            "recursive call to `{}` (via `{}`)",
+                            self.name_at(c),
+                            self.name_at(a)
+                        )));
+                    }
+                    if !done.contains(&c) {
+                        let fs = self.func_at(c).ok_or_else(|| {
+                            BoundError::Unsupported(format!(
+                                "call target {c:#010x} is not a function entry"
+                            ))
+                        })?;
+                        code.entry(c).or_insert(self.decode_fn(fs)?);
+                        on_stack.insert(c);
+                        stack.push((c, 0));
+                    }
+                }
+                None => {
+                    stack.pop();
+                    on_stack.remove(&a);
+                    done.insert(a);
+                    order.push(a);
+                }
+            }
+        }
+
+        let mut results: HashMap<u32, FnResult> = HashMap::new();
+        let mut total_loops = 0usize;
+        let mut total_instrs = 0usize;
+        for &fa in &order {
+            let fc = &code[&fa];
+            total_instrs += fc.ninstrs;
+            let r = self.bound_function(fc, fa == entry_addr, &results)?;
+            total_loops += r.loops;
+            results.insert(fa, r);
+        }
+
+        let er = &results[&entry_addr];
+        let stack_top = er.stack_top.ok_or_else(|| {
+            BoundError::Stack(format!("entry `{entry}` never establishes a constant stack pointer"))
+        })?;
+        if self.data_end > self.regions.stack_floor {
+            return Err(BoundError::Memory(format!(
+                "data section ends at {:#010x}, inside the stack region (floor {:#010x})",
+                self.data_end, self.regions.stack_floor
+            )));
+        }
+        let lowest = stack_top.saturating_sub(er.depth);
+        if lowest < self.regions.stack_floor {
+            return Err(BoundError::Stack(format!(
+                "worst-case stack depth of {} bytes drives sp from {:#010x} to {:#010x}, \
+                 below the stack floor {:#010x}",
+                er.depth, stack_top, lowest, self.regions.stack_floor
+            )));
+        }
+        Ok(BoundReport {
+            wcet_cycles: er.wcet,
+            stack_depth: er.depth,
+            stack_top,
+            functions: order.len(),
+            loops: total_loops,
+            instructions: total_instrs,
+        })
+    }
+
+    /// Decode one function's span, validate its control flow (direct
+    /// calls to function entries only, no indirect jumps, branches
+    /// stay inside), and slice it into basic blocks.
+    fn decode_fn(&self, fs: &FuncSym) -> Result<FnCode, BoundError> {
+        let mut instrs: Vec<(u32, Instr)> = Vec::new();
+        let mut a = fs.lo;
+        while a < fs.hi {
+            let w = self.prog.text[((a - self.prog.text_base) / 4) as usize];
+            let i = decode(w).map_err(|e| {
+                BoundError::Asm(format!("`{}`: undecodable word at {a:#010x}: {e}", fs.name))
+            })?;
+            instrs.push((a, i));
+            a += 4;
+        }
+
+        let mut leaders: BTreeSet<u32> = BTreeSet::from([fs.lo]);
+        let mut calls: BTreeSet<u32> = BTreeSet::new();
+        for &(a, i) in &instrs {
+            match i {
+                Instr::Branch { off, .. } => {
+                    let t = a.wrapping_add(off as u32);
+                    if !(t >= fs.lo && t < fs.hi) {
+                        return Err(BoundError::Unsupported(format!(
+                            "`{}`: branch at {a:#010x} targets {t:#010x}, outside the function",
+                            fs.name
+                        )));
+                    }
+                    if a + 4 >= fs.hi {
+                        return Err(BoundError::Unsupported(format!(
+                            "`{}`: conditional branch at {a:#010x} can fall off the function end",
+                            fs.name
+                        )));
+                    }
+                    leaders.insert(t);
+                    leaders.insert(a + 4);
+                }
+                Instr::Jal { rd, off } => {
+                    let t = a.wrapping_add(off as u32);
+                    if rd == Reg::ZERO {
+                        if t == a {
+                            // `j .` halt spin: terminal.
+                        } else if t >= fs.lo && t < fs.hi {
+                            leaders.insert(t);
+                        } else {
+                            return Err(BoundError::Unsupported(format!(
+                                "`{}`: jump at {a:#010x} leaves the function for {t:#010x}",
+                                fs.name
+                            )));
+                        }
+                        if a + 4 < fs.hi {
+                            leaders.insert(a + 4);
+                        }
+                    } else if rd == Reg::RA {
+                        if self.func_at(t).is_none() {
+                            return Err(BoundError::Unsupported(format!(
+                                "`{}`: call at {a:#010x} targets {t:#010x}, \
+                                 which is not a function entry",
+                                fs.name
+                            )));
+                        }
+                        calls.insert(t);
+                    } else {
+                        return Err(BoundError::Unsupported(format!(
+                            "`{}`: jal at {a:#010x} links a register other than ra",
+                            fs.name
+                        )));
+                    }
+                }
+                Instr::Jalr { rd, rs1, off } => {
+                    if rd == Reg::ZERO && rs1 == Reg::RA && off == 0 {
+                        if a + 4 < fs.hi {
+                            leaders.insert(a + 4);
+                        }
+                    } else {
+                        return Err(BoundError::Unsupported(format!(
+                            "`{}`: indirect call/jump (`jalr`) at {a:#010x}; \
+                             its target cannot be resolved statically",
+                            fs.name
+                        )));
+                    }
+                }
+                Instr::Ecall | Instr::Ebreak if a + 4 < fs.hi => {
+                    leaders.insert(a + 4);
+                }
+                _ => {}
+            }
+        }
+
+        let mut blocks: BTreeMap<u32, Block> = BTreeMap::new();
+        let leader_vec: Vec<u32> = leaders.iter().copied().collect();
+        for (li, &start) in leader_vec.iter().enumerate() {
+            let end = leader_vec.get(li + 1).copied().unwrap_or(fs.hi);
+            let body: Vec<(u32, Instr)> =
+                instrs.iter().filter(|(a, _)| *a >= start && *a < end).cloned().collect();
+            let &(last_a, last_i) = body.last().expect("leader ranges are non-empty");
+            let (succs, term) = match last_i {
+                Instr::Branch { off, .. } => {
+                    (vec![last_a.wrapping_add(off as u32), last_a + 4], Term::Flow)
+                }
+                Instr::Jal { rd, off } if rd == Reg::ZERO => {
+                    let t = last_a.wrapping_add(off as u32);
+                    if t == last_a {
+                        (vec![], Term::Halt)
+                    } else {
+                        (vec![t], Term::Flow)
+                    }
+                }
+                Instr::Jalr { .. } => (vec![], Term::Ret),
+                Instr::Ecall | Instr::Ebreak => (vec![], Term::Halt),
+                _ => {
+                    if last_a + 4 < fs.hi {
+                        (vec![last_a + 4], Term::Flow)
+                    } else {
+                        (vec![], Term::Fallout)
+                    }
+                }
+            };
+            blocks.insert(start, Block { start, instrs: body, succs, term });
+        }
+        Ok(FnCode { name: fs.name.clone(), entry: fs.lo, blocks, calls, ninstrs: instrs.len() })
+    }
+
+    /// Abstract-interpret, validate loops, and bound one function.
+    fn bound_function(
+        &self,
+        fc: &FnCode,
+        is_entry: bool,
+        results: &HashMap<u32, FnResult>,
+    ) -> Result<FnResult, BoundError> {
+        let mut pass = FnPass::new(self, fc, is_entry);
+        // First pass discovers the spill floor (lowest slot accessed
+        // directly off `sp`); the second clears only array-interior
+        // slots at calls and enforces every check. Instruction
+        // coverage is path-insensitive, so one discovery pass is
+        // complete.
+        pass.run()?;
+        pass.spill_floor = pass.direct.iter().next().copied().unwrap_or(0);
+        pass.final_pass = true;
+        pass.run()?;
+
+        let loops = find_loops(fc);
+        let mut charges: Vec<(NatLoop, u32)> = Vec::new();
+        for lp in loops {
+            let anno = self.annos.get(&lp.head).ok_or_else(|| {
+                BoundError::Unvalidated(format!(
+                    "`{}`: loop at {:#010x} carries no littlec bound annotation",
+                    fc.name, lp.head
+                ))
+            })?;
+            let charge = pass.validate_loop(&lp, anno)?;
+            charges.push((lp, charge));
+        }
+        let nloops = charges.len();
+
+        let wcet = self.function_wcet(fc, &charges, results)?;
+        let mut depth = (-pass.min_sp) as u32;
+        for &(callee, sp_off) in &pass.calls {
+            depth = depth.max((-sp_off) as u32 + results[&callee].depth);
+        }
+        Ok(FnResult { wcet, depth, stack_top: pass.stack_top, loops: nloops })
+    }
+
+    fn instr_cost(&self, i: &Instr) -> u64 {
+        let mut c = self.contract.worst_cost(class_of(i)) as u64;
+        if matches!(i, Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. }) {
+            // Conservatively charge the redirect penalty on every
+            // control transfer, taken or not.
+            c += self.contract.redirect_penalty as u64;
+        }
+        c
+    }
+
+    /// Collapse validated loops innermost-first into
+    /// `iters x longest-iteration` supernodes, then take the longest
+    /// path through the residual DAG. Calls add the callee's WCET.
+    fn function_wcet(
+        &self,
+        fc: &FnCode,
+        charges: &[(NatLoop, u32)],
+        results: &HashMap<u32, FnResult>,
+    ) -> Result<u64, BoundError> {
+        let mut node_cost: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut succs: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        for (b, blk) in &fc.blocks {
+            let mut c = 0u64;
+            for (_, i) in &blk.instrs {
+                c = c.saturating_add(self.instr_cost(i));
+            }
+            // Calls charge the callee's (memoized) WCET at each site.
+            for (a, i) in &blk.instrs {
+                if let Instr::Jal { rd, off } = *i {
+                    if rd == Reg::RA {
+                        let t = a.wrapping_add(off as u32);
+                        c = c.saturating_add(results[&t].wcet);
+                    }
+                }
+            }
+            node_cost.insert(*b, c);
+            succs.insert(*b, blk.succs.iter().copied().collect());
+        }
+
+        let mut repr: HashMap<u32, u32> = HashMap::new();
+        fn resolve(repr: &HashMap<u32, u32>, mut x: u32) -> u32 {
+            while let Some(&r) = repr.get(&x) {
+                if r == x {
+                    break;
+                }
+                x = r;
+            }
+            x
+        }
+
+        for (lp, charge) in charges {
+            let head = lp.head;
+            let members: BTreeSet<u32> = lp.members.iter().map(|&m| resolve(&repr, m)).collect();
+            let latches: BTreeSet<u32> = lp.latches.iter().map(|&l| resolve(&repr, l)).collect();
+            let iter_cost = loop_iter_cost(head, &latches, &members, &succs, &node_cost)
+                .ok_or_else(|| {
+                    BoundError::Unsupported(format!(
+                        "`{}`: loop at {head:#010x} has no head-to-latch path",
+                        fc.name
+                    ))
+                })?;
+            let total = (*charge as u64).saturating_mul(iter_cost);
+            let exits: BTreeSet<u32> = members
+                .iter()
+                .flat_map(|m| succs[m].iter().copied())
+                .filter(|s| !members.contains(s))
+                .collect();
+            for &m in &members {
+                if m != head {
+                    node_cost.remove(&m);
+                    succs.remove(&m);
+                    repr.insert(m, head);
+                }
+            }
+            node_cost.insert(head, total);
+            succs.insert(head, exits);
+        }
+
+        let entry = resolve(&repr, fc.entry);
+        let mut memo: HashMap<u32, u64> = HashMap::new();
+        let mut on_path: HashSet<u32> = HashSet::new();
+        longest_path(entry, &succs, &node_cost, &mut memo, &mut on_path).ok_or_else(|| {
+            BoundError::Unsupported(format!(
+                "`{}`: residual control flow is cyclic after loop collapse",
+                fc.name
+            ))
+        })
+    }
+}
+
+/// Longest head-to-latch path cost inside one loop, inner loops
+/// already collapsed. `None` on an (impossible for reducible input)
+/// cycle or when no latch is reachable.
+fn loop_iter_cost(
+    head: u32,
+    latches: &BTreeSet<u32>,
+    members: &BTreeSet<u32>,
+    succs: &BTreeMap<u32, BTreeSet<u32>>,
+    node_cost: &BTreeMap<u32, u64>,
+) -> Option<u64> {
+    #[allow(clippy::too_many_arguments)]
+    fn best(
+        n: u32,
+        head: u32,
+        latches: &BTreeSet<u32>,
+        members: &BTreeSet<u32>,
+        succs: &BTreeMap<u32, BTreeSet<u32>>,
+        node_cost: &BTreeMap<u32, u64>,
+        memo: &mut HashMap<u32, Option<u64>>,
+        on_path: &mut HashSet<u32>,
+    ) -> Option<Option<u64>> {
+        if let Some(&m) = memo.get(&n) {
+            return Some(m);
+        }
+        if !on_path.insert(n) {
+            return None; // cycle
+        }
+        let mut tail: Option<u64> = if latches.contains(&n) { Some(0) } else { None };
+        for &s in succs.get(&n).into_iter().flatten() {
+            if s == head || !members.contains(&s) {
+                continue;
+            }
+            if let Some(t) = best(s, head, latches, members, succs, node_cost, memo, on_path)? {
+                tail = Some(tail.unwrap_or(0).max(t));
+            }
+        }
+        on_path.remove(&n);
+        let r = tail.map(|t| node_cost[&n].saturating_add(t));
+        memo.insert(n, r);
+        Some(r)
+    }
+    let mut memo = HashMap::new();
+    let mut on_path = HashSet::new();
+    best(head, head, latches, members, succs, node_cost, &mut memo, &mut on_path)?
+}
+
+/// Longest path from `n` to any terminal node of the collapsed DAG;
+/// `None` if a cycle survives (which a validated firmware never has).
+fn longest_path(
+    n: u32,
+    succs: &BTreeMap<u32, BTreeSet<u32>>,
+    node_cost: &BTreeMap<u32, u64>,
+    memo: &mut HashMap<u32, u64>,
+    on_path: &mut HashSet<u32>,
+) -> Option<u64> {
+    if let Some(&m) = memo.get(&n) {
+        return Some(m);
+    }
+    if !on_path.insert(n) {
+        return None;
+    }
+    let mut tail = 0u64;
+    for &s in succs.get(&n).into_iter().flatten() {
+        tail = tail.max(longest_path(s, succs, node_cost, memo, on_path)?);
+    }
+    on_path.remove(&n);
+    let r = node_cost[&n].saturating_add(tail);
+    memo.insert(n, r);
+    Some(r)
+}
+
+// ---------------------------------------------------------------------------
+// Per-function abstract interpretation
+// ---------------------------------------------------------------------------
+
+struct FnPass<'a> {
+    an: &'a Analysis<'a>,
+    f: &'a FnCode,
+    is_entry: bool,
+    final_pass: bool,
+    /// Below this entry-relative offset live stack arrays whose
+    /// interiors a callee may legitimately write through escaped
+    /// pointers; tracked slots under it are dropped at calls.
+    spill_floor: i32,
+    /// Entry-relative offsets accessed directly off `sp` (spills,
+    /// saved registers, the return address) — never array interiors,
+    /// since the compiler materializes array addresses into scratch
+    /// registers first.
+    direct: BTreeSet<i32>,
+    min_sp: i32,
+    calls: BTreeSet<(u32, i32)>,
+    stack_top: Option<u32>,
+    entry_states: BTreeMap<u32, AState>,
+}
+
+impl<'a> FnPass<'a> {
+    fn new(an: &'a Analysis<'a>, f: &'a FnCode, is_entry: bool) -> Self {
+        FnPass {
+            an,
+            f,
+            is_entry,
+            final_pass: false,
+            spill_floor: 0,
+            direct: BTreeSet::new(),
+            min_sp: 0,
+            calls: BTreeSet::new(),
+            stack_top: None,
+            entry_states: BTreeMap::new(),
+        }
+    }
+
+    fn entry_state(&self) -> AState {
+        let mut regs = [AVal::Top; 32];
+        regs[Reg::SP.0 as usize] = if self.is_entry { AVal::Top } else { AVal::Sp(0) };
+        regs[Reg::RA.0 as usize] = AVal::Ra;
+        for r in regs.iter_mut().take(18).skip(10) {
+            *r = AVal::Buf;
+        }
+        for r in [8usize, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27] {
+            regs[r] = AVal::Saved(saved_index(Reg(r as u8)).unwrap());
+        }
+        AState { regs, stack: BTreeMap::new() }
+    }
+
+    fn read(st: &AState, r: Reg) -> AVal {
+        if r == Reg::ZERO {
+            AVal::Const(0)
+        } else {
+            st.regs[r.0 as usize]
+        }
+    }
+
+    fn run(&mut self) -> Result<(), BoundError> {
+        self.min_sp = 0;
+        self.calls.clear();
+        self.entry_states.clear();
+        self.entry_states.insert(self.f.entry, self.entry_state());
+        let mut work: BTreeSet<u32> = BTreeSet::from([self.f.entry]);
+        while let Some(&b) = work.iter().next() {
+            work.remove(&b);
+            let f = self.f;
+            let blk = &f.blocks[&b];
+            let mut st = self.entry_states[&b].clone();
+            for (a, i) in &blk.instrs {
+                self.exec(*a, i, &mut st)?;
+            }
+            if self.final_pass && blk.term == Term::Ret && !self.is_entry {
+                self.check_return(&st)?;
+            }
+            for &s in &blk.succs {
+                match self.entry_states.get_mut(&s) {
+                    None => {
+                        self.entry_states.insert(s, st.clone());
+                        work.insert(s);
+                    }
+                    Some(prev) => {
+                        let joined = join_state(self.an, prev, &st);
+                        if joined != *prev {
+                            *prev = joined;
+                            work.insert(s);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The inductive frame contract: a returning function has
+    /// restored `sp`, `ra`, and every callee-saved register. Each
+    /// caller's analysis relies on exactly this across its calls.
+    fn check_return(&self, st: &AState) -> Result<(), BoundError> {
+        if Self::read(st, Reg::SP) != AVal::Sp(0) {
+            return Err(BoundError::Stack(format!(
+                "`{}`: frame not restored at return (sp is {:?} relative to entry)",
+                self.f.name,
+                Self::read(st, Reg::SP)
+            )));
+        }
+        if Self::read(st, Reg::RA) != AVal::Ra {
+            return Err(BoundError::Stack(format!(
+                "`{}`: return address clobbered across the function body",
+                self.f.name
+            )));
+        }
+        for r in [8u8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27] {
+            let want = AVal::Saved(saved_index(Reg(r)).unwrap());
+            if Self::read(st, Reg(r)) != want {
+                return Err(BoundError::Stack(format!(
+                    "`{}`: callee-saved {} clobbered across the function body",
+                    self.f.name,
+                    Reg(r)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, st: &mut AState, addr: u32, rd: Reg, v: AVal) -> Result<(), BoundError> {
+        if rd == Reg::ZERO {
+            return Ok(());
+        }
+        if rd == Reg::SP {
+            match v {
+                AVal::Sp(k) => self.min_sp = self.min_sp.min(k),
+                // Only the boot shim materializes an absolute stack
+                // top; everywhere else sp must stay frame-relative.
+                AVal::Const(_) if self.is_entry => {}
+                _ => {
+                    return Err(BoundError::Stack(format!(
+                        "`{}`: sp escapes static tracking at {addr:#010x}",
+                        self.f.name
+                    )))
+                }
+            }
+        }
+        st.regs[rd.0 as usize] = v;
+        Ok(())
+    }
+
+    fn alu(&self, op: AluOp, a: AVal, b: AVal) -> AVal {
+        use AVal::*;
+        if let (Const(x), Const(y)) = (a, b) {
+            return Const(op.eval(x, y));
+        }
+        match op {
+            AluOp::Add => match (a, b) {
+                (Sp(k), Const(c)) | (Const(c), Sp(k)) => Sp(k.wrapping_add(c as i32)),
+                (Sp(_), _) | (_, Sp(_)) | (SpAny, _) | (_, SpAny) => SpAny,
+                (Buf, _) | (_, Buf) => Buf,
+                (Const(c), _) | (_, Const(c)) if self.an.buf_root(c) => Buf,
+                _ => Top,
+            },
+            AluOp::Sub => match (a, b) {
+                (Sp(k), Const(c)) => Sp(k.wrapping_sub(c as i32)),
+                (Sp(_), _) | (SpAny, _) => SpAny,
+                (Buf, _) => Buf,
+                (Const(c), _) if self.an.buf_root(c) => Buf,
+                _ => Top,
+            },
+            _ => Top,
+        }
+    }
+
+    fn exec(&mut self, addr: u32, i: &Instr, st: &mut AState) -> Result<(), BoundError> {
+        match *i {
+            Instr::Lui { rd, imm } => {
+                self.write(st, addr, rd, AVal::Const((imm as u32) << 12))?;
+            }
+            Instr::Auipc { rd, imm } => {
+                self.write(st, addr, rd, AVal::Const(addr.wrapping_add((imm as u32) << 12)))?;
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let v = self.alu(op, Self::read(st, rs1), AVal::Const(imm as u32));
+                self.write(st, addr, rd, v)?;
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let v = self.alu(op, Self::read(st, rs1), Self::read(st, rs2));
+                self.write(st, addr, rd, v)?;
+            }
+            Instr::Load { op, rd, rs1, off } => {
+                let base = Self::read(st, rs1);
+                if rs1 == Reg::SP {
+                    if let AVal::Sp(c) = base {
+                        self.direct.insert(c + off);
+                    }
+                }
+                let v = match (base, op) {
+                    (AVal::Sp(k), LoadOp::Lw) if (k + off) % 4 == 0 => {
+                        st.stack.get(&(k + off)).copied().unwrap_or(AVal::Top)
+                    }
+                    _ => AVal::Top,
+                };
+                self.write(st, addr, rd, v)?;
+            }
+            Instr::Store { op, rs1, rs2, off } => {
+                self.store(st, addr, op, rs1, rs2, off)?;
+            }
+            Instr::Jal { rd, off } => {
+                if rd == Reg::RA {
+                    self.call(st, addr, addr.wrapping_add(off as u32))?;
+                }
+            }
+            Instr::Branch { .. }
+            | Instr::Jalr { .. }
+            | Instr::Fence
+            | Instr::Ecall
+            | Instr::Ebreak => {}
+        }
+        Ok(())
+    }
+
+    fn store(
+        &mut self,
+        st: &mut AState,
+        addr: u32,
+        op: StoreOp,
+        rs1: Reg,
+        rs2: Reg,
+        off: i32,
+    ) -> Result<(), BoundError> {
+        let base = Self::read(st, rs1);
+        if rs1 == Reg::SP {
+            if let AVal::Sp(c) = base {
+                self.direct.insert(c + off);
+            }
+        }
+        if self.final_pass {
+            match base {
+                AVal::Sp(k) => {
+                    let t = k + off;
+                    let cur = match Self::read(st, Reg::SP) {
+                        AVal::Sp(c) => c,
+                        _ => i32::MIN,
+                    };
+                    if t < cur || t >= 0 {
+                        return Err(BoundError::Memory(format!(
+                            "`{}`: store at {addr:#010x} writes sp{t:+} — outside the \
+                             current frame [sp{cur:+}, sp+0)",
+                            self.f.name
+                        )));
+                    }
+                }
+                AVal::SpAny | AVal::Buf => {}
+                AVal::Const(a) => {
+                    let tgt = a.wrapping_add(off as u32);
+                    if !self.an.writable(tgt) {
+                        return Err(BoundError::Memory(format!(
+                            "`{}`: store at {addr:#010x} targets {tgt:#010x}, \
+                             outside every writable region",
+                            self.f.name
+                        )));
+                    }
+                }
+                AVal::Top | AVal::Ra | AVal::Saved(_) => {
+                    return Err(BoundError::Memory(format!(
+                        "`{}`: store target at {addr:#010x} is not statically resolvable",
+                        self.f.name
+                    )));
+                }
+            }
+        }
+        match base {
+            AVal::Sp(k) => {
+                let t = k + off;
+                if op == StoreOp::Sw && t % 4 == 0 {
+                    let v = Self::read(st, rs2);
+                    st.stack.insert(t, v);
+                } else {
+                    let size = match op {
+                        StoreOp::Sb => 1,
+                        StoreOp::Sh => 2,
+                        StoreOp::Sw => 4,
+                    };
+                    st.stack.remove(&(t & !3));
+                    st.stack.remove(&((t + size - 1) & !3));
+                }
+            }
+            // A computed in-frame store may alias any array-interior
+            // slot; spill slots sit above the floor and survive.
+            AVal::SpAny => {
+                let floor = self.spill_floor;
+                st.stack.retain(|&k, _| k >= floor);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, st: &mut AState, addr: u32, target: u32) -> Result<(), BoundError> {
+        let sp_off = match Self::read(st, Reg::SP) {
+            AVal::Sp(c) => c,
+            AVal::Const(top) if self.is_entry => {
+                self.stack_top = Some(top);
+                0
+            }
+            _ => {
+                return Err(BoundError::Stack(format!(
+                    "`{}`: call at {addr:#010x} before sp is established",
+                    self.f.name
+                )))
+            }
+        };
+        if self.final_pass {
+            self.calls.insert((target, sp_off));
+        }
+        for r in 0..32u8 {
+            if caller_saved(Reg(r)) {
+                st.regs[r as usize] = AVal::Top;
+            }
+        }
+        // The callee may write through any escaped array pointer;
+        // spill slots are provably untouched (its own frame check).
+        let floor = self.spill_floor;
+        st.stack.retain(|&k, _| k >= floor);
+        Ok(())
+    }
+
+    /// Replay a block from its fixpoint entry state, returning the
+    /// state *before* each instruction. Used by the loop validators.
+    fn states_before(&mut self, blk: &Block) -> Vec<AState> {
+        let saved = self.final_pass;
+        self.final_pass = false;
+        let mut st = self.entry_states[&blk.start].clone();
+        let mut v = Vec::with_capacity(blk.instrs.len());
+        for (a, i) in &blk.instrs {
+            v.push(st.clone());
+            let _ = self.exec(*a, i, &mut st);
+        }
+        v.push(st);
+        self.final_pass = saved;
+        v
+    }
+
+    // -- loop validation ---------------------------------------------------
+
+    /// Check a loop's annotation against the machine code and return
+    /// the iteration count to charge.
+    fn validate_loop(&mut self, lp: &NatLoop, anno: &Anno) -> Result<u32, BoundError> {
+        match anno.kind {
+            LoopKind::Unknown => {
+                Err(BoundError::Unbounded { function: anno.function.clone(), line: anno.line })
+            }
+            LoopKind::Counted => {
+                self.validate_counted(lp, anno)?;
+                Ok(anno.iters.max(1))
+            }
+            LoopKind::Host => {
+                self.validate_host(lp, anno)?;
+                Ok(anno.iters.max(HOST_POLL_ITERS))
+            }
+            LoopKind::Server => {
+                self.validate_server(lp, anno)?;
+                Ok(anno.iters.max(SERVER_ROUNDS))
+            }
+        }
+    }
+
+    /// A counted loop must compare a location that advances inside
+    /// the loop against an invariant bound. This is what kills a
+    /// mutant that deletes the counter step: the annotation still
+    /// promises `counted`, but no instruction writes the counter.
+    fn validate_counted(&mut self, lp: &NatLoop, anno: &Anno) -> Result<(), BoundError> {
+        let f = self.f;
+        let head = &f.blocks[&lp.head];
+        let states = self.states_before(head);
+        let n = head.instrs.len();
+        let (_, term) = head.instrs[n - 1];
+        let Instr::Branch { rs1, rs2, .. } = term else {
+            return Err(BoundError::Unvalidated(format!(
+                "`{}`: counted loop at {}:{} does not end in a conditional branch",
+                f.name, anno.function, anno.line
+            )));
+        };
+        let mut cur = if rs2 == Reg::ZERO {
+            rs1
+        } else if rs1 == Reg::ZERO {
+            rs2
+        } else {
+            return Err(BoundError::Unvalidated(format!(
+                "`{}`: counted loop at {}:{} branches on a two-register compare",
+                f.name, anno.function, anno.line
+            )));
+        };
+        // Walk the head block backward from the branch through copies,
+        // masks, negations, and spill reloads to the comparison.
+        let mut slot_mode: Option<i32> = None;
+        let mut found: Option<(Operand, Operand)> = None;
+        let mut idx = n - 1;
+        while idx > 0 {
+            idx -= 1;
+            let (_, ins) = head.instrs[idx];
+            if let Some(slot) = slot_mode {
+                if let Instr::Store { op: StoreOp::Sw, rs1, rs2, off } = ins {
+                    if let AVal::Sp(k) = Self::read(&states[idx], rs1) {
+                        if k + off == slot {
+                            slot_mode = None;
+                            cur = rs2;
+                        }
+                    }
+                }
+                continue;
+            }
+            if inst_dst(&ins) != Some(cur) {
+                continue;
+            }
+            match ins {
+                Instr::OpImm { op: AluOp::Add, rs1, imm: 0, .. } => cur = rs1,
+                Instr::OpImm { op: AluOp::And, rs1, imm: 0xff, .. } => cur = rs1,
+                Instr::OpImm { op: AluOp::Xor, rs1, imm: 1, .. } => cur = rs1,
+                Instr::OpImm { op: AluOp::Sltu | AluOp::Slt, rs1, imm, .. } => {
+                    found =
+                        Some((self.operand_loc(&states, head, idx, rs1), Operand::Imm(imm as u32)));
+                    break;
+                }
+                Instr::Op { op: AluOp::Sltu | AluOp::Slt, rs1, rs2, .. } => {
+                    found = Some((
+                        self.operand_loc(&states, head, idx, rs1),
+                        self.operand_loc(&states, head, idx, rs2),
+                    ));
+                    break;
+                }
+                Instr::Load { op: LoadOp::Lw, rs1, off, .. } => {
+                    if let AVal::Sp(k) = Self::read(&states[idx], rs1) {
+                        slot_mode = Some(k + off);
+                    } else {
+                        return Err(BoundError::Unvalidated(format!(
+                            "`{}`: counted loop at {}:{}: condition trace lost at a \
+                             non-stack load",
+                            f.name, anno.function, anno.line
+                        )));
+                    }
+                }
+                _ => {
+                    return Err(BoundError::Unvalidated(format!(
+                        "`{}`: cannot trace the loop condition of the counted loop at {}:{}",
+                        f.name, anno.function, anno.line
+                    )))
+                }
+            }
+        }
+        let Some((a_loc, b_loc)) = found else {
+            return Err(BoundError::Unvalidated(format!(
+                "`{}`: counted loop at {}:{} has no bound comparison in its head",
+                f.name, anno.function, anno.line
+            )));
+        };
+        let aw = self.loc_written_in(lp, &a_loc);
+        let bw = self.loc_written_in(lp, &b_loc);
+        let counter_ok = (a_loc.is_location() && aw && b_loc.is_invariant(bw))
+            || (b_loc.is_location() && bw && a_loc.is_invariant(aw));
+        if counter_ok {
+            return Ok(());
+        }
+        if !aw && !bw {
+            return Err(BoundError::Unvalidated(format!(
+                "`{}`: counted loop at {}:{} never advances its counter",
+                f.name, anno.function, anno.line
+            )));
+        }
+        Err(BoundError::Unvalidated(format!(
+            "`{}`: counted loop at {}:{} does not compare a counter against an \
+             invariant bound",
+            f.name, anno.function, anno.line
+        )))
+    }
+
+    /// Resolve a comparison operand to a durable location (register
+    /// or spill slot), following copies and masks backward.
+    fn operand_loc(&self, states: &[AState], head: &Block, upto: usize, r: Reg) -> Operand {
+        if r == Reg::ZERO {
+            return Operand::Imm(0);
+        }
+        // A bound the compiler materialized (`li`, or reloaded from an
+        // invariant spill slot) is a constant in the fixpoint state;
+        // the counter never is, since it varies across iterations.
+        if let AVal::Const(c) = Self::read(&states[upto], r) {
+            return Operand::Imm(c);
+        }
+        let mut rr = r;
+        let mut j = upto;
+        while j > 0 {
+            j -= 1;
+            let (_, ins) = head.instrs[j];
+            if inst_dst(&ins) != Some(rr) {
+                continue;
+            }
+            match ins {
+                Instr::OpImm { op: AluOp::Add, rs1, imm: 0, .. } => rr = rs1,
+                Instr::OpImm { op: AluOp::And, rs1, imm: 0xff, .. } => rr = rs1,
+                Instr::Load { op: LoadOp::Lw, rs1, off, .. } => {
+                    if let AVal::Sp(k) = Self::read(&states[j], rs1) {
+                        return Operand::Slot(k + off);
+                    }
+                    return Operand::Computed;
+                }
+                _ => return Operand::Computed,
+            }
+        }
+        Operand::Reg(rr)
+    }
+
+    /// Is the location written anywhere in the loop body (including
+    /// by a call clobbering a caller-saved register)?
+    fn loc_written_in(&mut self, lp: &NatLoop, loc: &Operand) -> bool {
+        match *loc {
+            Operand::Imm(_) => false,
+            Operand::Computed => true,
+            Operand::Reg(r) => {
+                for m in &lp.members {
+                    let blk = &self.f.blocks[m];
+                    for (_, ins) in &blk.instrs {
+                        if inst_dst(ins) == Some(r) {
+                            return true;
+                        }
+                        if is_call(ins) && caller_saved(r) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            Operand::Slot(k) => {
+                let members: Vec<u32> = lp.members.iter().copied().collect();
+                for m in members {
+                    let blk = &self.f.blocks[&m].clone();
+                    let states = self.states_before(blk);
+                    for (idx, (_, ins)) in blk.instrs.iter().enumerate() {
+                        if let Instr::Store { op, rs1, off, .. } = *ins {
+                            if let AVal::Sp(b) = Self::read(&states[idx], rs1) {
+                                let lo = b + off;
+                                let size = match op {
+                                    StoreOp::Sb => 1,
+                                    StoreOp::Sh => 2,
+                                    StoreOp::Sw => 4,
+                                };
+                                if lo < k + 4 && lo + size > k {
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// A host-blocking loop must actually poll the MMIO window.
+    fn validate_host(&mut self, lp: &NatLoop, anno: &Anno) -> Result<(), BoundError> {
+        let mmio = self.an.regions.mmio;
+        let members: Vec<u32> = lp.members.iter().copied().collect();
+        for m in members {
+            let blk = &self.f.blocks[&m].clone();
+            let states = self.states_before(blk);
+            for (idx, (_, ins)) in blk.instrs.iter().enumerate() {
+                if let Instr::Load { rs1, off, .. } = *ins {
+                    if let AVal::Const(b) = Self::read(&states[idx], rs1) {
+                        let t = b.wrapping_add(off as u32);
+                        if t >= mmio.0 && t < mmio.1 {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+        Err(BoundError::Unvalidated(format!(
+            "`{}`: host-blocking loop at {}:{} has no MMIO status poll",
+            self.f.name, anno.function, anno.line
+        )))
+    }
+
+    /// The server loop may only exit through a statically dead branch
+    /// arm in its head; anything else would let a command handler
+    /// escape the dispatch loop.
+    fn validate_server(&mut self, lp: &NatLoop, anno: &Anno) -> Result<(), BoundError> {
+        let exits: Vec<(u32, u32)> = lp
+            .members
+            .iter()
+            .flat_map(|m| self.f.blocks[m].succs.iter().map(move |s| (*m, *s)))
+            .filter(|(_, s)| !lp.members.contains(s))
+            .collect();
+        if exits.is_empty() {
+            return Ok(());
+        }
+        let head = &self.f.blocks[&lp.head].clone();
+        let states = self.states_before(head);
+        let &(ta, term) = head.instrs.last().expect("blocks are non-empty");
+        if let Instr::Branch { op, rs1, rs2, off } = term {
+            let st = &states[head.instrs.len() - 1];
+            if let (AVal::Const(x), AVal::Const(y)) = (Self::read(st, rs1), Self::read(st, rs2)) {
+                let live = if eval_branch(op, x, y) { ta.wrapping_add(off as u32) } else { ta + 4 };
+                if lp.members.contains(&live)
+                    && exits.iter().all(|&(from, to)| from == lp.head && to != live)
+                {
+                    return Ok(());
+                }
+            }
+        }
+        Err(BoundError::Unvalidated(format!(
+            "`{}`: server loop at {}:{} has a reachable exit",
+            self.f.name, anno.function, anno.line
+        )))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Operand {
+    Imm(u32),
+    Reg(Reg),
+    Slot(i32),
+    Computed,
+}
+
+impl Operand {
+    fn is_location(&self) -> bool {
+        matches!(self, Operand::Reg(_) | Operand::Slot(_))
+    }
+
+    fn is_invariant(&self, written: bool) -> bool {
+        match self {
+            Operand::Imm(_) => true,
+            Operand::Reg(_) | Operand::Slot(_) => !written,
+            Operand::Computed => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfait_littlec::{compile, frontend, OptLevel};
+
+    /// The boot shim production firmware links (see `syssw`),
+    /// reproduced here so the analyzer crate stays SoC-free.
+    const BOOT: &str =
+        "\n.text\n_start:\n    li sp, 0x2003ff00\n    call hsm_main\n_halt:\n    j _halt\n";
+
+    fn regions() -> BoundRegions {
+        BoundRegions {
+            text_base: 0,
+            data_base: 0x2000_0000,
+            mmio: (0x1000_0000, 0x1000_0010),
+            fram: (0x3000_0000, 0x3000_2000),
+            stack_floor: 0x2002_0000,
+        }
+    }
+
+    fn asm_for(src: &str, opt: OptLevel) -> String {
+        let program = frontend(src).unwrap();
+        let mut asm = compile(&program, opt).unwrap();
+        asm.insert_str(0, BOOT);
+        asm
+    }
+
+    fn bound_src(src: &str, opt: OptLevel) -> Result<BoundReport, BoundError> {
+        bound_asm(&asm_for(src, opt), "_start", parfait_cores::ibex::contract(), &regions())
+    }
+
+    #[test]
+    fn straight_line_program_certifies() {
+        let src = "
+            u32 dbl(u32 x) { return x + x; }
+            void hsm_main() { u32 y; y = dbl(21); }
+        ";
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let r = bound_src(src, opt).unwrap();
+            assert!(r.wcet_cycles > 0, "{opt}: zero wcet");
+            assert_eq!(r.stack_top, 0x2003_ff00);
+            assert!(r.stack_depth >= 16, "{opt}: depth {}", r.stack_depth);
+            assert_eq!(r.loops, 0);
+            // _start, hsm_main, dbl — `_halt` is fallout, not a call.
+            assert_eq!(r.functions, 3, "{opt}");
+        }
+    }
+
+    #[test]
+    fn counted_loop_scales_the_wcet() {
+        let few = "
+            void hsm_main() {
+                u32 i; u32 s; s = 0;
+                for (i = 0; i < 8; i = i + 1) { s = s + i; }
+            }
+        ";
+        let many = "
+            void hsm_main() {
+                u32 i; u32 s; s = 0;
+                for (i = 0; i < 64; i = i + 1) { s = s + i; }
+            }
+        ";
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let a = bound_src(few, opt).unwrap();
+            let b = bound_src(many, opt).unwrap();
+            assert_eq!(a.loops, 1, "{opt}");
+            assert!(
+                b.wcet_cycles > a.wcet_cycles,
+                "{opt}: 64 iters ({}) not costlier than 8 ({})",
+                b.wcet_cycles,
+                a.wcet_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn host_poll_loop_is_charged_the_responsiveness_floor() {
+        let src = "
+            void hsm_main() {
+                u32* status; status = (u32*)0x10000000;
+                while (status[0] == 0) { }
+            }
+        ";
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let r = bound_src(src, opt).unwrap();
+            assert_eq!(r.loops, 1, "{opt}");
+            // At least HOST_POLL_ITERS iterations of a >= 2-cycle poll.
+            assert!(
+                r.wcet_cycles >= 2 * HOST_POLL_ITERS as u64,
+                "{opt}: wcet {} below the host floor",
+                r.wcet_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn server_loop_certifies_with_dead_exit_only() {
+        let src = "
+            void hsm_main() {
+                u32 x; x = 0;
+                while (1) { x = x + 1; }
+            }
+        ";
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let r = bound_src(src, opt).unwrap();
+            assert_eq!(r.loops, 1, "{opt}");
+        }
+    }
+
+    #[test]
+    fn uninferable_bound_is_rejected_with_its_source_line() {
+        let src = "\
+void hsm_main() {
+    u32* p; p = (u32*)0x20000000;
+    u32 n; n = p[0];
+    u32 i;
+    for (i = 0; i < n; i = i + 1) { }
+}
+";
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            match bound_src(src, opt) {
+                Err(BoundError::Unbounded { function, line }) => {
+                    assert_eq!(function, "hsm_main", "{opt}");
+                    assert_eq!(line, 5, "{opt}");
+                }
+                other => panic!("{opt}: expected Unbounded, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let src = "
+            u32 f(u32 n) { if (n == 0) { return 0; } return f(n - 1); }
+            void hsm_main() { u32 x; x = f(3); }
+        ";
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            match bound_src(src, opt) {
+                Err(BoundError::Unsupported(m)) => {
+                    assert!(m.contains("recursive"), "{opt}: {m}")
+                }
+                other => panic!("{opt}: expected Unsupported, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn indirect_calls_are_rejected() {
+        let asm = "\
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+hsm_main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    la t0, helper
+    jalr ra, t0, 0
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+helper:
+    ret
+";
+        match bound_asm(asm, "_start", parfait_cores::ibex::contract(), &regions()) {
+            Err(BoundError::Unsupported(m)) => assert!(m.contains("jalr"), "{m}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    /// Hand-built counted loop so the counter step can be removed
+    /// surgically — the `littlec-loop-bound-drop` fault class.
+    fn counted_asm(with_step: bool) -> String {
+        let step = if with_step { "    addi t0, t0, 1\n" } else { "" };
+        format!(
+            "\
+# loopbound .Lhsm_main_1 kind=counted iters=9 line=3
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+hsm_main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    li t0, 0
+    li t1, 8
+.Lhsm_main_1:
+    sltu t2, t0, t1
+    bnez t2, .Lhsm_main_2
+    j .Lhsm_main_3
+.Lhsm_main_2:
+{step}    j .Lhsm_main_1
+.Lhsm_main_3:
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+"
+        )
+    }
+
+    #[test]
+    fn dropped_counter_step_is_rejected() {
+        let ok =
+            bound_asm(&counted_asm(true), "_start", parfait_cores::ibex::contract(), &regions())
+                .unwrap();
+        assert_eq!(ok.loops, 1);
+        match bound_asm(&counted_asm(false), "_start", parfait_cores::ibex::contract(), &regions())
+        {
+            Err(BoundError::Unvalidated(m)) => {
+                assert!(m.contains("never advances"), "{m}")
+            }
+            other => panic!("expected Unvalidated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn underallocated_frame_is_rejected() {
+        let asm = "\
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+hsm_main:
+    addi sp, sp, -16
+    sw ra, 28(sp)
+    lw ra, 28(sp)
+    addi sp, sp, 16
+    ret
+";
+        match bound_asm(asm, "_start", parfait_cores::ibex::contract(), &regions()) {
+            Err(BoundError::Memory(m)) => {
+                assert!(m.contains("outside the current frame"), "{m}")
+            }
+            other => panic!("expected Memory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_into_text_is_rejected() {
+        let asm = "\
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+hsm_main:
+    li t0, 64
+    sw zero, 0(t0)
+    ret
+";
+        match bound_asm(asm, "_start", parfait_cores::ibex::contract(), &regions()) {
+            Err(BoundError::Memory(m)) => {
+                assert!(m.contains("outside every writable region"), "{m}")
+            }
+            other => panic!("expected Memory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_overrun_is_rejected() {
+        let asm = "\
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+hsm_main:
+    li t6, 131072
+    sub sp, sp, t6
+    add sp, sp, t6
+    ret
+";
+        match bound_asm(asm, "_start", parfait_cores::ibex::contract(), &regions()) {
+            Err(BoundError::Stack(m)) => {
+                assert!(m.contains("below the stack floor"), "{m}")
+            }
+            other => panic!("expected Stack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_costs_compose_into_the_caller() {
+        let once = "
+            u32 work(u32 x) { u32 i; for (i = 0; i < 32; i = i + 1) { x = x + i; } return x; }
+            void hsm_main() { u32 y; y = work(1); }
+        ";
+        let twice = "
+            u32 work(u32 x) { u32 i; for (i = 0; i < 32; i = i + 1) { x = x + i; } return x; }
+            void hsm_main() { u32 y; y = work(1); y = work(y); }
+        ";
+        let a = bound_src(once, OptLevel::O2).unwrap();
+        let b = bound_src(twice, OptLevel::O2).unwrap();
+        assert!(b.wcet_cycles > a.wcet_cycles);
+        assert_eq!(a.stack_depth, b.stack_depth, "same call depth either way");
+    }
+
+    #[test]
+    fn pico_contract_charges_more_overhead_than_ibex() {
+        let src = "
+            void hsm_main() { u32 x; x = 0; while (1) { x = x + 1; } }
+        ";
+        let asm = asm_for(src, OptLevel::O2);
+        let ibex = bound_asm(&asm, "_start", parfait_cores::ibex::contract(), &regions()).unwrap();
+        let pico = bound_asm(&asm, "_start", parfait_cores::pico::contract(), &regions()).unwrap();
+        assert!(pico.wcet_cycles > ibex.wcet_cycles);
+    }
+}

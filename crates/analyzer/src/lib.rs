@@ -46,10 +46,15 @@ use parfait_telemetry::json::Json;
 use parfait_telemetry::Telemetry;
 
 mod asm_lint;
+mod bound;
 mod ir_lint;
 mod latency_model;
 
 pub use asm_lint::{lint_asm, lint_asm_dense, lint_asm_threaded};
+pub use bound::{
+    bound_asm, BoundError, BoundRegions, BoundReport, BOUND_RULESET_VERSION, HOST_POLL_ITERS,
+    SERVER_ROUNDS,
+};
 pub use ir_lint::lint_ir;
 pub use latency_model::{latency_model, latency_model_fingerprint, LatencyModel};
 

@@ -10,12 +10,15 @@
 //! `--check-metrics <path>` instead loads a metrics snapshot (bare, or
 //! wrapped in a `RunManifest` as written by `--metrics`) and asserts it
 //! parses and contains the expected metric families — the CI gate that
-//! an instrumented run actually recorded what it claims to.
+//! an instrumented run actually recorded what it claims to. The
+//! `@stages` require token expands to per-stage coverage derived from
+//! `StageKind::ALL`, so the gate tracks the pipeline's stage set
+//! automatically.
 //!
 //! ```sh
 //! PARFAIT_CACHE_DIR=/tmp/certs cachestat
 //! cachestat --dir /tmp/certs --json
-//! cachestat --check-metrics /tmp/m.json --require pipeline_stage_,certcache_
+//! cachestat --check-metrics /tmp/m.json --require pipeline_stage_,certcache_,@stages
 //! ```
 
 use std::path::PathBuf;
@@ -81,6 +84,28 @@ fn human_age(secs: u64) -> String {
 /// Default metric families a `--check-metrics` snapshot must contain.
 const DEFAULT_FAMILIES: &str = "pipeline_stage_,certcache_";
 
+/// Expand the `@stages` require token: every pipeline stage in
+/// [`parfait_pipeline::StageKind::ALL`] must have recorded at least one
+/// `pipeline_stage_runs_total{stage=...}` sample. Deriving the list
+/// from the pipeline's own stage enum means a newly added stage is
+/// covered by the gate the moment it exists — no per-stage editing of
+/// CI invocations.
+fn check_stage_coverage(snap: &parfait_telemetry::metrics::MetricsSnapshot) -> Vec<String> {
+    let mut missing = Vec::new();
+    for kind in parfait_pipeline::StageKind::ALL {
+        let seen = snap.counters.iter().any(|(k, _)| {
+            k.name == "pipeline_stage_runs_total"
+                && k.labels.iter().any(|(lk, lv)| lk == "stage" && lv == kind.as_str())
+        });
+        if seen {
+            println!("ok: snapshot ran stage {kind}");
+        } else {
+            missing.push(format!("stage:{kind}"));
+        }
+    }
+    missing
+}
+
 fn check_metrics(path: &str, require: &str) -> u8 {
     let snap = match parfait_telemetry::manifest::snapshot_from_file(std::path::Path::new(path)) {
         Ok(s) => s,
@@ -91,7 +116,9 @@ fn check_metrics(path: &str, require: &str) -> u8 {
     };
     let mut missing = Vec::new();
     for prefix in require.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-        if snap.has_family(prefix) {
+        if prefix == "@stages" {
+            missing.extend(check_stage_coverage(&snap));
+        } else if snap.has_family(prefix) {
             println!("ok: snapshot has {prefix}* metrics");
         } else {
             missing.push(prefix.to_string());

@@ -2,7 +2,7 @@
 //!
 //! Runs the `parfait-adversary` catalog (DESIGN.md §12): seeded faults
 //! at every implementation level, each driven through the full
-//! six-stage pipeline, recording which stage kills it. Exits nonzero
+//! seven-stage pipeline, recording which stage kills it. Exits nonzero
 //! on any survivor, on any kill that moved to a different stage than
 //! the ratcheted baseline records, or on a catalog class the baseline
 //! has never seen.

@@ -7,7 +7,9 @@
 //! 2. **fps**: the hasher's FPS hardware check on both platforms at
 //!    two checker threads (exercising the producer/verifier split, the
 //!    pre-decoded instruction cache, and the firmware-build memo —
-//!    the second platform must reuse the first platform's build).
+//!    the second platform must reuse the first platform's build). Each
+//!    check first runs the static bound analysis that prices its cycle
+//!    budget, so the `bound_` coverage counters are gated here too.
 //! 3. **contract**: the per-instruction-class stimulus battery that
 //!    holds both cores to their declared leakage contracts (stimulus
 //!    coverage is gated higher-is-better, wall under a ceiling).
@@ -92,6 +94,16 @@ fn run_workloads() -> Result<Measurement, String> {
     let builds_miss0 = counter("pipeline_firmware_builds_total", &[("outcome", "miss")]);
     let pipeline = Pipeline::new(CertCache::disabled(), tel);
     let app = App::Hasher.pipeline();
+    // The bound stage runs (uncached) inside each fps_stage call; its
+    // coverage counters are labeled per cell, so sum both platforms.
+    let bound_sum = |name: &str| {
+        ["Ibex", "PicoRV32"]
+            .iter()
+            .map(|cpu| counter(name, &[("app", app.slug.as_str()), ("cpu", cpu), ("opt", "-O2")]))
+            .sum::<u64>()
+    };
+    let bound_fns0 = bound_sum("bound_functions_total");
+    let bound_loops0 = bound_sum("bound_loops_total");
     let t0 = Instant::now();
     for cpu in [Cpu::Ibex, Cpu::Pico] {
         eprintln!("perfstat: fps {}/{cpu} at -O2, {FPS_THREADS} threads...", app.name);
@@ -115,6 +127,8 @@ fn run_workloads() -> Result<Measurement, String> {
         "firmware_build_misses".into(),
         counter("pipeline_firmware_builds_total", &[("outcome", "miss")]) - builds_miss0,
     );
+    m.counters.insert("bound_functions".into(), bound_sum("bound_functions_total") - bound_fns0);
+    m.counters.insert("bound_loops".into(), bound_sum("bound_loops_total") - bound_loops0);
 
     // -- workload 3: contract batteries, both cores
     let stim0 = counter("contract_stimuli_total", &[("cpu", "Ibex")])

@@ -235,28 +235,36 @@ fn run(threads_used: &mut usize) -> u8 {
         let (a, pipeline, tel, view) = (&a, &pipeline, &tel, &view);
         let outcomes = parallel_map(cases.min(threads), hw_cells, move |_, (cpu, cell)| {
             // Execution order mirrors `verify_cell`: the cheap contract
-            // battery holds the core to its declared leakage contract
-            // before the expensive FPS check spins up.
+            // battery holds the core to its declared leakage contract,
+            // then the static bound analysis certifies the resource
+            // envelope (and prices the FPS budget), before the
+            // expensive FPS check spins up.
             if let Some(v) = view {
                 v.set_stage(cell, "contract", false);
             }
             let outcome = pipeline.contract_stage(a, cpu).and_then(|contract| {
                 if let Some(v) = view {
+                    v.set_stage(cell, "bound", false);
+                }
+                let bound = pipeline.bound_stage(a, cpu, opt)?;
+                if let Some(v) = view {
                     v.set_stage(cell, "fps", false);
                 }
                 let obs = FpsObserver { telemetry: tel.clone(), heartbeat_cycles, cell };
-                pipeline.fps_stage(a, cpu, opt, &obs, threads_per_case).map(|fps| (contract, fps))
+                pipeline
+                    .fps_stage_bounded(a, cpu, opt, &obs, threads_per_case, &bound)
+                    .map(|fps| (contract, bound, fps))
             });
             (cpu, cell, outcome)
         });
         for (cpu, cell, outcome) in outcomes {
             match outcome {
-                Ok((contract, s)) => {
+                Ok((contract, bound, s)) => {
                     if let Some(v) = view {
                         v.set_stage(cell, "fps", s.cache_hit);
                         v.finish_lane(cell, true);
                     }
-                    for o in [&contract, &s] {
+                    for o in [&contract, &bound, &s] {
                         let (line, json) = describe(o, Some(cpu));
                         println!("{line}");
                         json_results.push(json);
@@ -264,11 +272,13 @@ fn run(threads_used: &mut usize) -> u8 {
                         total += 1;
                     }
                     if software {
-                        // Chain the cell's six certificates into the
+                        // Chain the cell's seven certificates into the
                         // end-to-end claim (the transitivity theorem);
-                        // the contract cert is a self-loop at the SoC
-                        // level, so it composes after FPS.
+                        // the bound cert is a self-loop at the asm
+                        // level and the contract cert a self-loop at
+                        // the SoC level, so they compose around FPS.
                         let mut certs = software_certs.clone();
+                        certs.push(bound.certificate);
                         certs.push(s.certificate);
                         certs.push(contract.certificate);
                         match compose(&certs) {

@@ -1,0 +1,264 @@
+//! The certified-resource-bound ratchet (`boundstat`).
+//!
+//! The `bound` pipeline stage certifies, per `app × cpu × opt` cell, a
+//! worst-case execution time and a worst-case stack depth
+//! (DESIGN.md §16). Both are deterministic functions of the linked
+//! firmware and the core's leakage contract, which makes them perfect
+//! ratchet material: `bound_baseline.json` records the certified
+//! bounds, and CI fails if any cell's bound *grows* — a WCET or frame
+//! regression must be acknowledged by deleting the baseline in the
+//! same change, never silently absorbed. Tighter bounds pass with a
+//! note asking for the baseline to be ratcheted forward, exactly like
+//! the perf gate in [`crate::perf`].
+//!
+//! `boundstat --update` rewrites the baseline but refuses regressions,
+//! mirroring `perfstat --update`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use parfait_telemetry::json::Json;
+
+/// The two ratcheted bounds for one `app/cpu/opt` cell. Lower is
+/// better for both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundRow {
+    /// Certified worst-case cycles for one command round-trip.
+    pub wcet_cycles: u64,
+    /// Certified worst-case stack depth in bytes.
+    pub stack_depth: u64,
+}
+
+/// The recorded baseline (`bound_baseline.json`): cell key
+/// (`"app/cpu/opt"`) → certified bounds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BoundBaseline {
+    pub rows: BTreeMap<String, BoundRow>,
+}
+
+/// A single gate violation, printable as the CI failure line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BoundViolation {
+    /// A certified bound grew past its recorded value.
+    Loosened { cell: String, metric: &'static str, baseline: u64, measured: u64 },
+    /// A baselined cell was not measured (firmware or matrix shrank).
+    Missing { cell: String },
+}
+
+impl fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundViolation::Loosened { cell, metric, baseline, measured } => write!(
+                f,
+                "{cell}: certified {metric} loosened {baseline} -> {measured} \
+                 (bounds may only tighten; delete the baseline to accept)"
+            ),
+            BoundViolation::Missing { cell } => {
+                write!(f, "{cell}: baselined cell was not measured (verification matrix shrank?)")
+            }
+        }
+    }
+}
+
+/// The gate verdict: hard failures plus informational notes.
+#[derive(Debug, Default)]
+pub struct BoundVerdict {
+    pub violations: Vec<BoundViolation>,
+    pub notes: Vec<String>,
+}
+
+impl BoundVerdict {
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn loosened(cell: &str, base: &BoundRow, got: &BoundRow) -> Vec<BoundViolation> {
+    let mut v = Vec::new();
+    for (metric, b, m) in [
+        ("wcet_cycles", base.wcet_cycles, got.wcet_cycles),
+        ("stack_depth", base.stack_depth, got.stack_depth),
+    ] {
+        if m > b {
+            v.push(BoundViolation::Loosened {
+                cell: cell.to_string(),
+                metric,
+                baseline: b,
+                measured: m,
+            });
+        }
+    }
+    v
+}
+
+/// Compare measured bounds against the baseline.
+pub fn check(baseline: &BoundBaseline, measured: &BTreeMap<String, BoundRow>) -> BoundVerdict {
+    let mut v = BoundVerdict::default();
+    for (cell, base) in &baseline.rows {
+        match measured.get(cell) {
+            None => v.violations.push(BoundViolation::Missing { cell: cell.clone() }),
+            Some(got) => {
+                let l = loosened(cell, base, got);
+                if l.is_empty() && got != base {
+                    v.notes.push(format!(
+                        "{cell}: bounds tightened (wcet {} -> {}, stack {} -> {}); \
+                         ratchet with `boundstat --update`",
+                        base.wcet_cycles, got.wcet_cycles, base.stack_depth, got.stack_depth
+                    ));
+                }
+                v.violations.extend(l);
+            }
+        }
+    }
+    for cell in measured.keys() {
+        if !baseline.rows.contains_key(cell) {
+            v.notes.push(format!("{cell}: not in baseline yet (add with `boundstat --update`)"));
+        }
+    }
+    v
+}
+
+/// Build the new baseline from measured bounds, refusing regressions
+/// against `prev` (if any): the updater never launders a loosened
+/// bound into the record.
+pub fn update(
+    prev: Option<&BoundBaseline>,
+    measured: &BTreeMap<String, BoundRow>,
+) -> Result<BoundBaseline, Vec<BoundViolation>> {
+    if let Some(prev) = prev {
+        let regressions: Vec<BoundViolation> = prev
+            .rows
+            .iter()
+            .filter_map(|(cell, base)| {
+                let got = measured.get(cell)?;
+                let l = loosened(cell, base, got);
+                (!l.is_empty()).then_some(l)
+            })
+            .flatten()
+            .collect();
+        if !regressions.is_empty() {
+            return Err(regressions);
+        }
+    }
+    Ok(BoundBaseline { rows: measured.clone() })
+}
+
+impl BoundBaseline {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Int(1)),
+            (
+                "cells",
+                Json::Obj(
+                    self.rows
+                        .iter()
+                        .map(|(cell, r)| {
+                            (
+                                cell.clone(),
+                                Json::obj([
+                                    ("wcet_cycles", Json::Int(r.wcet_cycles as i64)),
+                                    ("stack_depth", Json::Int(r.stack_depth as i64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(doc: &Json) -> Result<BoundBaseline, String> {
+        let cells = doc
+            .get("cells")
+            .and_then(|c| match c {
+                Json::Obj(fields) => Some(fields),
+                _ => None,
+            })
+            .ok_or("missing cells object")?;
+        let mut out = BoundBaseline::default();
+        for (cell, entry) in cells {
+            let field = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("cell {cell}: missing {name}"))
+            };
+            out.rows.insert(
+                cell.clone(),
+                BoundRow { wcet_cycles: field("wcet_cycles")?, stack_depth: field("stack_depth")? },
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(pairs: &[(&str, u64, u64)]) -> BTreeMap<String, BoundRow> {
+        pairs
+            .iter()
+            .map(|&(c, w, s)| (c.to_string(), BoundRow { wcet_cycles: w, stack_depth: s }))
+            .collect()
+    }
+
+    fn baseline(pairs: &[(&str, u64, u64)]) -> BoundBaseline {
+        BoundBaseline { rows: rows(pairs) }
+    }
+
+    #[test]
+    fn equal_bounds_pass_quietly() {
+        let b = baseline(&[("hasher/Ibex/-O2", 100_000, 640)]);
+        let v = check(&b, &rows(&[("hasher/Ibex/-O2", 100_000, 640)]));
+        assert!(v.pass(), "{:?}", v.violations);
+        assert!(v.notes.is_empty());
+    }
+
+    #[test]
+    fn a_loosened_bound_fails_the_gate() {
+        let b = baseline(&[("hasher/Ibex/-O2", 100_000, 640)]);
+        let v = check(&b, &rows(&[("hasher/Ibex/-O2", 100_001, 640)]));
+        assert_eq!(v.violations.len(), 1, "{:?}", v.violations);
+        assert!(v.violations[0].to_string().contains("wcet_cycles"), "{}", v.violations[0]);
+        let v = check(&b, &rows(&[("hasher/Ibex/-O2", 100_000, 644)]));
+        assert_eq!(v.violations.len(), 1, "{:?}", v.violations);
+        assert!(v.violations[0].to_string().contains("stack_depth"), "{}", v.violations[0]);
+    }
+
+    #[test]
+    fn tightened_bounds_pass_with_a_ratchet_note() {
+        let b = baseline(&[("totp/PicoRV32/-O0", 500, 64)]);
+        let v = check(&b, &rows(&[("totp/PicoRV32/-O0", 400, 64)]));
+        assert!(v.pass());
+        assert_eq!(v.notes.len(), 1);
+        assert!(v.notes[0].contains("--update"), "{}", v.notes[0]);
+    }
+
+    #[test]
+    fn vanished_and_unenrolled_cells_are_loud() {
+        let b = baseline(&[("hasher/Ibex/-O2", 100, 64)]);
+        let v = check(&b, &rows(&[("totp/Ibex/-O2", 100, 64)]));
+        assert_eq!(v.violations.len(), 1);
+        assert!(matches!(v.violations[0], BoundViolation::Missing { .. }));
+        assert_eq!(v.notes.len(), 1, "new cell noted: {:?}", v.notes);
+    }
+
+    #[test]
+    fn update_refuses_loosened_bounds() {
+        let prev = baseline(&[("hasher/Ibex/-O2", 100, 64)]);
+        let err = update(Some(&prev), &rows(&[("hasher/Ibex/-O2", 200, 64)])).unwrap_err();
+        assert_eq!(err.len(), 1);
+        let b = update(Some(&prev), &rows(&[("hasher/Ibex/-O2", 90, 64)])).unwrap();
+        assert_eq!(b.rows["hasher/Ibex/-O2"].wcet_cycles, 90);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let b = baseline(&[("hasher/Ibex/-O2", 123, 456), ("ecdsa/PicoRV32/-O2", 7, 8)]);
+        let text = b.to_json().to_string();
+        let parsed =
+            BoundBaseline::from_json(&parfait_telemetry::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, b);
+    }
+}

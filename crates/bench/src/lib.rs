@@ -27,6 +27,10 @@ pub use parfait_pipeline::apps::StdApp as App;
 /// binary and CI's `perf_baseline.json` gate.
 pub mod perf;
 
+/// The certified-resource-bound ratchet behind the `boundstat` binary
+/// and CI's `bound_baseline.json` gate.
+pub mod bound_ratchet;
+
 /// Extract `--json <path>` from an argument list. Distinguishes the
 /// flag being absent (`Ok(None)`) from it being malformed — missing its
 /// path, or followed by another flag (`Err`), so a typo'd invocation

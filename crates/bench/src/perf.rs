@@ -91,6 +91,11 @@ pub const GATES: &[(&str, Direction)] = &[
     // Contract batteries on both cores: stimulus coverage must only
     // ever grow (a shrink means instruction classes lost checks).
     ("contract_stimuli_total", Direction::HigherIsBetter),
+    // Static resource-bound analysis (runs inside the FPS workload):
+    // analysis coverage must only ever grow — fewer functions or loops
+    // certified means the bound stage silently lost sight of code.
+    ("bound_functions", Direction::HigherIsBetter),
+    ("bound_loops", Direction::HigherIsBetter),
 ];
 
 /// One run's worth of gate inputs: counter deltas plus wall seconds

@@ -200,6 +200,22 @@ impl Latency {
             Latency::Operand { base, dep } => base + dep.governing(op).map_or(0, |v| dep.units(v)),
         }
     }
+
+    /// Cycles the contract admits over *every* operand value — the
+    /// per-instruction cost the static WCET bound charges. Dividend
+    /// bits max out at 32 (a full-width dividend); shift chunks at a
+    /// 31-bit amount (RV32 shifts mask the amount to 5 bits).
+    pub fn worst_cycles(&self) -> u32 {
+        match self {
+            Latency::Fixed(n) => *n,
+            Latency::Operand { base, dep } => {
+                base + match dep {
+                    LatencyDep::DividendBits => 32,
+                    LatencyDep::ShiftChunks { .. } => dep.units(31),
+                }
+            }
+        }
+    }
 }
 
 /// The declared observable model of one instruction class.
@@ -254,6 +270,15 @@ impl LeakageContract {
     /// Execute cycles the contract admits for `op`.
     pub fn cycles(&self, op: &OpClass) -> u32 {
         self.clause(InstrClass::of(op)).latency.cycles(op)
+    }
+
+    /// The worst-case retire-to-retire cost of one instruction of
+    /// `class` in steady state (no redirect): per-instruction overhead
+    /// plus the clause's worst latency over all operand values. The
+    /// static bound analysis adds [`Self::redirect_penalty`] on taken
+    /// branches and jumps.
+    pub fn worst_cost(&self, class: InstrClass) -> u32 {
+        self.overhead + self.clause(class).latency.worst_cycles()
     }
 
     /// Canonical text rendering — the content that is hashed into the
@@ -880,6 +905,27 @@ mod tests {
         assert_eq!(pico.cycles(&shift_op(0, true, false)), 1);
         assert_eq!(pico.cycles(&shift_op(31, true, false)), 9);
         assert_eq!(pico.cycles(&OpClass::Mul { a: 1, b: 1, operands_tainted: false }), 32);
+    }
+
+    #[test]
+    fn worst_case_costs_dominate_every_operand_value() {
+        let ibex = crate::ibex::contract();
+        // Div: base 3 + full 32-bit dividend = 35, matching cycles()'s
+        // own maximum; plus overhead 0 on Ibex.
+        assert_eq!(ibex.worst_cost(InstrClass::Div), 35);
+        assert_eq!(ibex.clause(InstrClass::Div).latency.worst_cycles(), 35);
+        let pico = crate::pico::contract();
+        // Pico charges 2 fetch cycles on every instruction.
+        assert_eq!(pico.worst_cost(InstrClass::Shift), 2 + pico.cycles(&shift_op(31, true, false)));
+        for class in InstrClass::ALL {
+            for c in [ibex, pico] {
+                assert!(c.worst_cost(class) >= c.overhead, "{class}");
+                assert!(
+                    c.clause(class).latency.worst_cycles() >= 1,
+                    "{class}: every instruction takes at least a cycle"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Every loop in every production firmware must carry a finite
+//! loop-bound annotation — `counted`, `host`, or `server`, never
+//! `unknown` — at every optimization level. The `bound` pipeline
+//! stage depends on this: an `unknown` annotation reachable from the
+//! entry point is a certification failure.
+
+use parfait_hsms::firmware::{ecdsa_app_source, hasher_app_source};
+use parfait_hsms::totp::totp_app_source;
+use parfait_hsms::{ecdsa, hasher, syssw, totp};
+use parfait_littlec::codegen::{compile, OptLevel};
+use parfait_littlec::frontend;
+
+fn annotations(app_source: &str, syssw_src: &str, opt: OptLevel) -> Vec<String> {
+    let mut source = String::from(app_source);
+    source.push_str(syssw_src);
+    let program = frontend(&source).unwrap();
+    let asm = compile(&program, opt).unwrap();
+    asm.lines().filter(|l| l.starts_with("# loopbound ")).map(String::from).collect()
+}
+
+fn check_app(name: &str, app_source: &str, sizes: (usize, usize, usize)) {
+    let syssw_src = syssw::syssw_source(sizes.0, sizes.1, sizes.2);
+    for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        let anns = annotations(app_source, &syssw_src, opt);
+        assert!(!anns.is_empty(), "{name} {opt}: no loop annotations");
+        let unknown: Vec<&String> = anns.iter().filter(|a| a.contains("kind=unknown")).collect();
+        assert!(unknown.is_empty(), "{name} {opt}: unresolved loop bounds: {unknown:?}");
+        // Exactly one server loop (the syssw command loop).
+        let servers = anns.iter().filter(|a| a.contains("kind=server")).count();
+        assert_eq!(servers, 1, "{name} {opt}: expected one server loop: {anns:?}");
+        // The MMIO polls in ss_read_byte/ss_write_byte are host-blocking.
+        let hosts = anns.iter().filter(|a| a.contains("kind=host")).count();
+        assert!(hosts >= 2, "{name} {opt}: expected >= 2 host polls: {anns:?}");
+    }
+}
+
+#[test]
+fn hasher_firmware_loops_all_bounded() {
+    check_app(
+        "hasher",
+        &hasher_app_source(),
+        (hasher::STATE_SIZE, hasher::COMMAND_SIZE, hasher::RESPONSE_SIZE),
+    );
+}
+
+#[test]
+fn totp_firmware_loops_all_bounded() {
+    check_app(
+        "totp",
+        &totp_app_source(),
+        (totp::STATE_SIZE, totp::COMMAND_SIZE, totp::RESPONSE_SIZE),
+    );
+}
+
+#[test]
+fn ecdsa_firmware_loops_all_bounded() {
+    check_app(
+        "ecdsa",
+        &ecdsa_app_source(),
+        (ecdsa::STATE_SIZE, ecdsa::COMMAND_SIZE, ecdsa::RESPONSE_SIZE),
+    );
+}

@@ -81,9 +81,14 @@ pub struct FpsConfig {
 }
 
 impl FpsConfig {
-    /// The built-in per-byte handshake timeout: generous enough for the
-    /// slowest operation in the evaluation (a full ECDSA signature on
-    /// the multi-cycle PicoRV32) with an order of magnitude to spare.
+    /// The last-resort per-byte handshake timeout, used only when no
+    /// certified cycle bound is available (e.g. the uncached scaling
+    /// benchmarks, which run FPS without the pipeline): generous enough
+    /// for the slowest operation in the evaluation (a full ECDSA
+    /// signature on the multi-cycle PicoRV32) with an order of
+    /// magnitude to spare. Pipeline runs derive their timeout from the
+    /// `bound` stage's certified WCET instead — see
+    /// [`Self::resolve_timeout`].
     pub const BASE_TIMEOUT: u64 = 8_000_000_000;
 
     /// Parse a `PARFAIT_TIMEOUT` value (cycles; `_` separators
@@ -94,20 +99,40 @@ impl FpsConfig {
         Ok(parfait_telemetry::env::parse_timeout(raw)?.unwrap_or(Self::BASE_TIMEOUT))
     }
 
-    /// The FPS handshake timeout: [`Self::BASE_TIMEOUT`], overridable
-    /// via the `PARFAIT_TIMEOUT` environment variable. A malformed
-    /// value is a hard error (stderr + exit 2, matching the bench
-    /// binaries' `--threads`/`--json` style): exiting loudly beats a
-    /// multi-hour verification run with a silently wrong timeout.
-    pub fn default_timeout() -> u64 {
+    /// The per-byte handshake timeout a certified worst-case cycle
+    /// bound justifies: the host never waits longer than one full
+    /// command computation between handshake steps, so twice the WCET
+    /// plus a fixed I/O slack can only fire on a genuinely hung (or
+    /// non-terminating, or mis-certified) device.
+    pub fn timeout_from_wcet(wcet_cycles: u64) -> u64 {
+        wcet_cycles.saturating_mul(2).saturating_add(4096)
+    }
+
+    /// Resolve the FPS handshake timeout, in precedence order:
+    ///
+    /// 1. `PARFAIT_TIMEOUT` — an explicit operator override; a
+    ///    malformed value is a hard error (stderr + exit 2, matching
+    ///    the bench binaries' `--threads`/`--json` style), because
+    ///    exiting loudly beats a multi-hour verification run with a
+    ///    silently wrong timeout;
+    /// 2. the certified worst-case cycle bound, when the caller has one
+    ///    (via [`Self::timeout_from_wcet`]);
+    /// 3. [`Self::BASE_TIMEOUT`].
+    pub fn resolve_timeout(derived_wcet: Option<u64>) -> u64 {
         let raw = std::env::var_os("PARFAIT_TIMEOUT").map(|v| v.to_string_lossy().into_owned());
-        match Self::parse_timeout(raw.as_deref()) {
-            Ok(n) => n,
+        match parfait_telemetry::env::parse_timeout(raw.as_deref()) {
+            Ok(Some(n)) => n,
+            Ok(None) => derived_wcet.map(Self::timeout_from_wcet).unwrap_or(Self::BASE_TIMEOUT),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             }
         }
+    }
+
+    /// [`Self::resolve_timeout`] without a certified bound.
+    pub fn default_timeout() -> u64 {
+        Self::resolve_timeout(None)
     }
 }
 
@@ -744,5 +769,15 @@ mod tests {
         // The error names the variable so the fix is obvious.
         let e = FpsConfig::parse_timeout(Some("1e9")).unwrap_err();
         assert!(e.contains("PARFAIT_TIMEOUT"), "{e}");
+    }
+
+    #[test]
+    fn wcet_derived_timeout_covers_a_full_command_with_margin() {
+        assert_eq!(FpsConfig::timeout_from_wcet(1_000_000), 2_004_096);
+        // Saturates instead of wrapping on absurd bounds.
+        assert_eq!(FpsConfig::timeout_from_wcet(u64::MAX), u64::MAX);
+        // A derived bound always beats the last-resort constant for
+        // realistic firmware (every certified WCET is far below it).
+        assert!(FpsConfig::timeout_from_wcet(100_000_000) < FpsConfig::BASE_TIMEOUT);
     }
 }

@@ -90,12 +90,16 @@ pub fn compile_ir_traced(
             optimize_program(&mut ir);
         }
     }
+    let bounds = {
+        let _span = tel.span("littlec.loop_bounds");
+        crate::loop_bounds::loop_bounds(&ir)
+    };
     let k = match opt {
         OptLevel::O0 => 0,
         _ => 20,
     };
     let _span = tel.span("littlec.codegen");
-    emit_program(&ir, k, opt == OptLevel::O2)
+    emit_program_with(&ir, k, opt == OptLevel::O2, &bounds)
 }
 
 /// Tracks which spill slot each scratch register currently mirrors, so
@@ -409,8 +413,26 @@ impl Emitter {
 /// Emit a whole program as assembly text using up to `k` dedicated
 /// registers per function; `cache_slots` enables the -O2 reload cache.
 pub fn emit_program(ir: &IrProgram, k: usize, cache_slots: bool) -> String {
+    emit_program_with(ir, k, cache_slots, &[])
+}
+
+/// [`emit_program`] carrying loop-bound metadata: each bound renders as
+/// a `# loopbound .L{fn}_{block} ...` comment line right after the
+/// `.text` directive. The assembler strips comments, so the machine
+/// code is byte-identical with or without annotations; the `bound`
+/// analysis reads them from the assembly *text* before assembling.
+pub fn emit_program_with(
+    ir: &IrProgram,
+    k: usize,
+    cache_slots: bool,
+    bounds: &[crate::loop_bounds::LoopBound],
+) -> String {
     let mut out = String::new();
     out.push_str(".text\n");
+    for b in bounds {
+        out.push_str(&b.annotation());
+        out.push('\n');
+    }
     for f in &ir.functions {
         emit_function(&mut out, f, k, cache_slots);
     }

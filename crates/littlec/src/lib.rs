@@ -30,6 +30,7 @@ pub mod diag;
 pub mod interp;
 pub mod ir;
 pub mod ireval;
+pub mod loop_bounds;
 pub mod opt;
 pub mod parser;
 pub mod regalloc;

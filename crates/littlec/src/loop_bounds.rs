@@ -1,0 +1,978 @@
+//! Static loop-bound inference over post-optimization IR.
+//!
+//! The `bound` pipeline stage (crates/analyzer) proves a WCET cycle
+//! bound over the final instruction words, but the instruction stream
+//! alone cannot say how often a loop body executes. This pass recovers
+//! that missing fact where the compiler can see it — `for`-style
+//! counted loops with constant trip counts — and classifies the two
+//! intentionally unbounded shapes of Parfait firmware: MMIO polls
+//! (bounded by the *host*, not the device) and the top-level server
+//! loop. The results ride into the assembly as `# loopbound` comment
+//! lines keyed by the emitted `.L{fn}_{block}` head label, where the
+//! bound analysis re-validates them against the machine code instead
+//! of trusting them (a dropped counter increment must not inherit the
+//! stale bound).
+//!
+//! Trip counts are inferred *per calling context*: bounds like
+//! `i < len` are only constant once the constant argument at the call
+//! site is known, so the pass propagates constant arguments down the
+//! (acyclic) call graph from the roots and takes the maximum over all
+//! contexts per loop. Evaluating a bound expression at the per-context
+//! constants is sound even on branch arms a given context never takes;
+//! no reachability pruning is needed (or done). A loop whose bound
+//! cannot be resolved in some context is annotated `unknown` with its
+//! source line — compilation still succeeds, and the bound stage turns
+//! the unknown into a loud [`Diagnostic`]-shaped rejection only when
+//! the loop is actually reachable from the verified entry point.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::diag::{Diagnostic, Span};
+use crate::ir::{BlockId, Inst, IrFunction, IrOp, IrProgram, Operand, Term, VReg};
+
+/// Memory-mapped I/O window whose loads mark a loop as host-blocking
+/// (matches the SoC's UART-style doorbell registers).
+const MMIO_LO: u32 = 0x1000_0000;
+const MMIO_HI: u32 = 0x1000_0010;
+
+/// How a loop's iteration count was established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopKind {
+    /// A counted loop: `iters` bounds the number of head evaluations.
+    Counted,
+    /// An MMIO poll: blocked on the host, at most one non-blocked pass.
+    Host,
+    /// The non-terminating server loop (no exit edge).
+    Server,
+    /// No bound could be inferred; the bound stage must reject this
+    /// loop if it is reachable.
+    Unknown,
+}
+
+impl LoopKind {
+    /// Stable name used in the `# loopbound` annotation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoopKind::Counted => "counted",
+            LoopKind::Host => "host",
+            LoopKind::Server => "server",
+            LoopKind::Unknown => "unknown",
+        }
+    }
+
+    /// Parse an annotation kind name.
+    pub fn from_name(s: &str) -> Option<LoopKind> {
+        match s {
+            "counted" => Some(LoopKind::Counted),
+            "host" => Some(LoopKind::Host),
+            "server" => Some(LoopKind::Server),
+            "unknown" => Some(LoopKind::Unknown),
+            _ => None,
+        }
+    }
+}
+
+/// One inferred loop bound, keyed by the emitted head-block label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopBound {
+    /// Enclosing function name.
+    pub function: String,
+    /// Head block id (the target of the loop's back edges).
+    pub head: BlockId,
+    /// Maximum head evaluations across every analyzed context
+    /// (`trip + 1` for counted loops, 2 for host/server, 0 unknown).
+    pub iters: u32,
+    /// Classification.
+    pub kind: LoopKind,
+    /// 1-based source line of the loop condition (0 = unknown).
+    pub line: usize,
+}
+
+impl LoopBound {
+    /// The assembly label of the head block ([`crate::codegen`] emits
+    /// one per block as `.L{fn}_{block}`).
+    pub fn label(&self) -> String {
+        format!(".L{}_{}", self.function, self.head)
+    }
+
+    /// The full annotation comment line emitted into the assembly.
+    pub fn annotation(&self) -> String {
+        format!(
+            "# loopbound {} kind={} iters={} line={}",
+            self.label(),
+            self.kind.as_str(),
+            self.iters,
+            self.line
+        )
+    }
+
+    /// A source-span diagnostic for an uninferable loop, `None` for
+    /// bounded ones.
+    pub fn diagnostic(&self) -> Option<Diagnostic> {
+        (self.kind == LoopKind::Unknown).then(|| {
+            Diagnostic::new(
+                "LB-UNBOUNDED",
+                Span::new(self.function.clone(), self.line),
+                "cannot infer a finite bound for this loop \
+                 (only constant-trip counters, MMIO polls, and the exit-less server loop \
+                 are bounded)",
+            )
+        })
+    }
+}
+
+/// What the value lattice knows: a constant interval `[lo, hi]` (an
+/// exact constant when `lo == hi` — intervals let bounds like
+/// SHA-256's `nb` = 1-or-2 survive control-flow joins), a pointer to a
+/// fixed offset inside one frame slot (so the compiler-generated
+/// `p < end` zeroing loops resolve), or nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Val {
+    Unknown,
+    Range { lo: u32, hi: u32 },
+    Local { slot: usize, off: u32 },
+}
+
+impl Val {
+    fn exact(c: u32) -> Val {
+        Val::Range { lo: c, hi: c }
+    }
+
+    /// The constant this value is known to equal, if exact.
+    fn as_const(self) -> Option<u32> {
+        match self {
+            Val::Range { lo, hi } if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    fn join(self, other: Val) -> Val {
+        match (self, other) {
+            _ if self == other => self,
+            (Val::Range { lo: a, hi: b }, Val::Range { lo: c, hi: d }) => {
+                Val::Range { lo: a.min(c), hi: b.max(d) }
+            }
+            _ => Val::Unknown,
+        }
+    }
+
+    /// Join with widening: a growing interval goes straight to
+    /// [`Val::Unknown`] so loop-carried counters cannot make the
+    /// fixpoint climb the interval lattice one step per iteration.
+    fn widen(self, other: Val) -> Val {
+        match self.join(other) {
+            j @ Val::Range { .. } if j != self => Val::Unknown,
+            j => j,
+        }
+    }
+}
+
+type State = Vec<Val>;
+
+fn eval_operand(state: &State, b: &Operand) -> Val {
+    match b {
+        Operand::Imm(i) => Val::exact(*i),
+        Operand::Reg(v) => state[*v as usize],
+    }
+}
+
+/// Interval transfer for the handful of operations that bound
+/// expressions are built from; everything else folds only when exact.
+fn bin_range(op: IrOp, a: Val, b: Val) -> Val {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        return Val::exact(op.eval(x, y));
+    }
+    let (Val::Range { lo: al, hi: ah }, Val::Range { lo: bl, hi: bh }) = (a, b) else {
+        return Val::Unknown;
+    };
+    match op {
+        IrOp::Add => match (al.checked_add(bl), ah.checked_add(bh)) {
+            (Some(lo), Some(hi)) => Val::Range { lo, hi },
+            _ => Val::Unknown,
+        },
+        IrOp::Sub if b.as_const().is_some() => match (al.checked_sub(bl), ah.checked_sub(bh)) {
+            (Some(lo), Some(hi)) => Val::Range { lo, hi },
+            _ => Val::Unknown,
+        },
+        IrOp::Sll if bl == bh && bl < 32 => {
+            let (lo, hi) = (al << bl, ah << bl);
+            // Reject the fold if shifted-out bits make it non-monotone.
+            if lo >> bl == al && hi >> bl == ah {
+                Val::Range { lo, hi }
+            } else {
+                Val::Unknown
+            }
+        }
+        IrOp::Srl if bl == bh && bl < 32 => Val::Range { lo: al >> bl, hi: ah >> bl },
+        IrOp::And if bl == bh => Val::Range { lo: 0, hi: bl.min(ah) },
+        _ => Val::Unknown,
+    }
+}
+
+/// Call sites recorded during abstract execution: callee name plus
+/// the constant value (if known) of each argument.
+type CallSites = Vec<(String, Vec<Option<u32>>)>;
+
+/// Transfer function for one instruction; records call-site constant
+/// arguments into `calls` when provided.
+fn exec_inst(state: &mut State, inst: &Inst, calls: Option<&mut CallSites>) {
+    match inst {
+        Inst::Const { dst, value } => state[*dst as usize] = Val::exact(*value),
+        Inst::Copy { dst, src } => state[*dst as usize] = state[*src as usize],
+        Inst::Bin { op, dst, a, b } => {
+            let av = state[*a as usize];
+            let bv = eval_operand(state, b);
+            state[*dst as usize] = match (op, av, bv) {
+                (IrOp::Add, Val::Local { slot, off }, r)
+                | (IrOp::Add, r, Val::Local { slot, off })
+                    if r.as_const().is_some() =>
+                {
+                    Val::Local { slot, off: off.wrapping_add(r.as_const().unwrap()) }
+                }
+                (IrOp::Sub, Val::Local { slot, off }, r) if r.as_const().is_some() => {
+                    Val::Local { slot, off: off.wrapping_sub(r.as_const().unwrap()) }
+                }
+                _ => bin_range(*op, av, bv),
+            };
+        }
+        Inst::Load { dst, .. } => state[*dst as usize] = Val::Unknown,
+        Inst::Store { .. } => {}
+        Inst::AddrOfGlobal { dst, .. } => state[*dst as usize] = Val::Unknown,
+        Inst::AddrOfLocal { dst, slot } => {
+            state[*dst as usize] = Val::Local { slot: *slot, off: 0 }
+        }
+        Inst::Call { dst, func, args } => {
+            if let Some(calls) = calls {
+                let ctx = args.iter().map(|&a| state[a as usize].as_const()).collect();
+                calls.push((func.clone(), ctx));
+            }
+            if let Some(d) = dst {
+                state[*d as usize] = Val::Unknown;
+            }
+        }
+    }
+}
+
+fn successors(term: &Term) -> Vec<BlockId> {
+    match term {
+        Term::Jump(t) => vec![*t],
+        Term::Br { then_b, else_b, .. } => vec![*then_b, *else_b],
+        Term::Ret { .. } => vec![],
+    }
+}
+
+/// Back edges (`latch → head`) found by DFS from the entry block;
+/// littlec lowering only produces reducible control flow, so an edge
+/// into a block on the DFS stack is a genuine loop head.
+fn back_edges(f: &IrFunction) -> Vec<(BlockId, BlockId)> {
+    let mut color = vec![0u8; f.blocks.len()]; // 0 new, 1 on stack, 2 done
+    let mut edges = Vec::new();
+    // Iterative DFS with an explicit (block, next-successor) stack.
+    let mut stack: Vec<(BlockId, usize)> = vec![(0, 0)];
+    color[0] = 1;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = successors(f.blocks[b].term.as_ref().expect("terminated"));
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            match color[s] {
+                0 => {
+                    color[s] = 1;
+                    stack.push((s, 0));
+                }
+                1 => edges.push((b, s)),
+                _ => {}
+            }
+        } else {
+            color[b] = 2;
+            stack.pop();
+        }
+    }
+    edges
+}
+
+/// The natural loop of `head`: blocks that reach a latch without
+/// passing through `head`, plus `head` itself.
+fn natural_loop(f: &IrFunction, head: BlockId, latches: &[BlockId]) -> BTreeSet<BlockId> {
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];
+    for (b, blk) in f.blocks.iter().enumerate() {
+        for s in successors(blk.term.as_ref().expect("terminated")) {
+            preds[s].push(b);
+        }
+    }
+    let mut set = BTreeSet::from([head]);
+    let mut stack: Vec<BlockId> = latches.to_vec();
+    while let Some(b) = stack.pop() {
+        if set.insert(b) {
+            stack.extend(preds[b].iter().copied());
+        }
+    }
+    set
+}
+
+/// Per-context analysis of one function: entry states per block to
+/// fixpoint, then loop classification and call-site collection.
+struct FnAnalysis<'f> {
+    f: &'f IrFunction,
+    entry: Vec<Option<State>>,
+}
+
+impl<'f> FnAnalysis<'f> {
+    fn run(f: &'f IrFunction, ctx: &[Option<u32>]) -> FnAnalysis<'f> {
+        let mut st: State = vec![Val::Unknown; f.nvregs as usize];
+        for (p, c) in f.params.iter().zip(ctx) {
+            if let Some(c) = c {
+                st[*p as usize] = Val::exact(*c);
+            }
+        }
+        let mut entry: Vec<Option<State>> = vec![None; f.blocks.len()];
+        entry[0] = Some(st);
+        let mut work: BTreeSet<BlockId> = BTreeSet::from([0]);
+        // Per-block update counter: past the threshold, joins widen so
+        // loop-carried intervals jump to Unknown instead of growing one
+        // step per fixpoint iteration.
+        const WIDEN_AFTER: u32 = 8;
+        let mut updates = vec![0u32; f.blocks.len()];
+        while let Some(b) = work.pop_first() {
+            let Some(mut out) = entry[b].clone() else { continue };
+            for inst in &f.blocks[b].insts {
+                exec_inst(&mut out, inst, None);
+            }
+            for s in successors(f.blocks[b].term.as_ref().expect("terminated")) {
+                match &mut entry[s] {
+                    Some(old) => {
+                        let widen = updates[s] >= WIDEN_AFTER;
+                        let mut changed = false;
+                        for (o, n) in old.iter_mut().zip(&out) {
+                            let j = if widen { o.widen(*n) } else { o.join(*n) };
+                            if j != *o {
+                                *o = j;
+                                changed = true;
+                            }
+                        }
+                        if changed {
+                            updates[s] += 1;
+                            work.insert(s);
+                        }
+                    }
+                    slot @ None => {
+                        *slot = Some(out.clone());
+                        work.insert(s);
+                    }
+                }
+            }
+        }
+        FnAnalysis { f, entry }
+    }
+
+    /// Out-state of a block (entry state pushed through its body).
+    fn out_state(&self, b: BlockId) -> Option<State> {
+        let mut st = self.entry[b].clone()?;
+        for inst in &self.f.blocks[b].insts {
+            exec_inst(&mut st, inst, None);
+        }
+        Some(st)
+    }
+
+    /// Constant arguments at every reachable call site.
+    fn calls(&self) -> Vec<(String, Vec<Option<u32>>)> {
+        let mut calls = Vec::new();
+        for (b, blk) in self.f.blocks.iter().enumerate() {
+            let Some(mut st) = self.entry[b].clone() else { continue };
+            for inst in &blk.insts {
+                exec_inst(&mut st, inst, Some(&mut calls));
+            }
+        }
+        calls
+    }
+
+    /// Classify the loop at `head` in this context.
+    fn classify(&self, head: BlockId, latches: &[BlockId]) -> (LoopKind, u32) {
+        let Some(head_entry) = self.entry[head].clone() else {
+            // Head unreachable in this context: one head evaluation is
+            // a sound (if vacuous) bound — reachable contexts dominate
+            // the cross-context maximum.
+            return (LoopKind::Counted, 1);
+        };
+        let lp = natural_loop(self.f, head, latches);
+        let blk = &self.f.blocks[head];
+
+        // Symbolic pass over the head block: per-vreg value, last
+        // defining instruction index, and MMIO taint (a load from the
+        // doorbell window feeding the condition = host-blocking).
+        let mut vals = head_entry.clone();
+        let mut def_site: HashMap<VReg, usize> = HashMap::new();
+        let mut def_val: HashMap<VReg, Val> = HashMap::new();
+        let mut mmio: HashSet<VReg> = HashSet::new();
+        for (i, inst) in blk.insts.iter().enumerate() {
+            if let Inst::Load { dst, addr, .. } = inst {
+                if let Some(a) = vals[*addr as usize].as_const() {
+                    if (MMIO_LO..MMIO_HI).contains(&a) {
+                        mmio.insert(*dst);
+                    }
+                }
+            }
+            match inst {
+                Inst::Copy { dst, src } if mmio.contains(src) => {
+                    mmio.insert(*dst);
+                }
+                Inst::Bin { dst, a, b, .. } => {
+                    let b_tainted = matches!(b, Operand::Reg(r) if mmio.contains(r));
+                    if mmio.contains(a) || b_tainted {
+                        mmio.insert(*dst);
+                    }
+                }
+                _ => {}
+            }
+            exec_inst(&mut vals, inst, None);
+            if let Some(d) = inst_dst(inst) {
+                def_site.insert(d, i);
+                def_val.insert(d, vals[d as usize]);
+            }
+        }
+
+        // Exit edges of the loop (a `Ret` inside the loop is an exit).
+        let exits: Vec<(BlockId, BlockId)> = lp
+            .iter()
+            .flat_map(|&b| {
+                let term = self.f.blocks[b].term.as_ref().expect("terminated");
+                if matches!(term, Term::Ret { .. }) {
+                    vec![(b, usize::MAX)]
+                } else {
+                    successors(term)
+                        .into_iter()
+                        .filter(|s| !lp.contains(s))
+                        .map(|s| (b, s))
+                        .collect()
+                }
+            })
+            .collect();
+
+        match blk.term.as_ref().expect("terminated") {
+            // A head folded to an unconditional jump (-O2 `while (1)`)
+            // or one whose condition is constant-true in this context:
+            // the loop is the server loop iff nothing else exits it.
+            Term::Jump(_) => {
+                if exits.is_empty() {
+                    (LoopKind::Server, 2)
+                } else {
+                    (LoopKind::Unknown, 0)
+                }
+            }
+            Term::Br { cond, then_b, else_b } => {
+                let cond_val = def_val.get(cond).copied().unwrap_or(head_entry[*cond as usize]);
+                if let Some(c) = cond_val.as_const() {
+                    let live = if c != 0 { *then_b } else { *else_b };
+                    if lp.contains(&live) {
+                        // Constant-true guard: only the dead arm exits?
+                        let dead = if c != 0 { *else_b } else { *then_b };
+                        return if exits.iter().all(|&(b, s)| b == head && s == dead) {
+                            (LoopKind::Server, 2)
+                        } else {
+                            (LoopKind::Unknown, 0)
+                        };
+                    }
+                    // Constant-false guard: the body never runs.
+                    return (LoopKind::Counted, 1);
+                }
+                if mmio.contains(cond) {
+                    return (LoopKind::Host, 2);
+                }
+                // Counted form: `Sltu(x, bound)` with `then` staying in
+                // the loop, a loop-invariant bound, and a single
+                // strictly-increasing update of `x` by a constant step.
+                if !lp.contains(then_b) || lp.contains(else_b) {
+                    return (LoopKind::Unknown, 0);
+                }
+                let Some((x, bound)) = self.head_sltu(*cond, &head_entry, &def_site, &def_val, blk)
+                else {
+                    return (LoopKind::Unknown, 0);
+                };
+                let Some(init) = self.counter_init(x, head, &lp) else {
+                    return (LoopKind::Unknown, 0);
+                };
+                let Some((step, masked)) = self.counter_step(x, head, &lp) else {
+                    return (LoopKind::Unknown, 0);
+                };
+                // Worst-case trip count: largest possible bound against
+                // the smallest possible initial value.
+                let trip = match (init, bound) {
+                    (Val::Range { lo: i0, .. }, Val::Range { hi: n, .. }) => {
+                        if masked && n >= 256 {
+                            return (LoopKind::Unknown, 0);
+                        }
+                        if n > i0 {
+                            (n - i0).div_ceil(step)
+                        } else {
+                            0
+                        }
+                    }
+                    (Val::Local { slot: s0, off: o0 }, Val::Local { slot: s1, off: o1 })
+                        if s0 == s1 =>
+                    {
+                        if o1 > o0 {
+                            (o1 - o0).div_ceil(step)
+                        } else {
+                            0
+                        }
+                    }
+                    _ => return (LoopKind::Unknown, 0),
+                };
+                (LoopKind::Counted, trip + 1)
+            }
+            Term::Ret { .. } => (LoopKind::Unknown, 0),
+        }
+    }
+
+    /// Trace the head condition through in-block copies to a
+    /// `Sltu(x, bound)`; bound from the value at its defining site.
+    fn head_sltu(
+        &self,
+        cond: VReg,
+        head_entry: &State,
+        def_site: &HashMap<VReg, usize>,
+        def_val: &HashMap<VReg, Val>,
+        blk: &crate::ir::Block,
+    ) -> Option<(VReg, Val)> {
+        let mut v = cond;
+        for _ in 0..16 {
+            let &i = def_site.get(&v)?;
+            match &blk.insts[i] {
+                Inst::Copy { src, .. } => v = *src,
+                Inst::Bin { op: IrOp::Sltu, a, b, .. } => {
+                    let bound = match b {
+                        Operand::Imm(c) => Val::exact(*c),
+                        Operand::Reg(r) => {
+                            def_val.get(r).copied().unwrap_or(head_entry[*r as usize])
+                        }
+                    };
+                    return Some((*a, bound));
+                }
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// The counter's value on loop entry: the join of the out-states of
+    /// the head's predecessors outside the loop.
+    fn counter_init(&self, x: VReg, head: BlockId, lp: &BTreeSet<BlockId>) -> Option<Val> {
+        let mut init: Option<Val> = None;
+        for (b, blk) in self.f.blocks.iter().enumerate() {
+            if lp.contains(&b) {
+                continue;
+            }
+            if !successors(blk.term.as_ref().expect("terminated")).contains(&head) {
+                continue;
+            }
+            let out = self.out_state(b)?;
+            let v = out[x as usize];
+            init = Some(match init {
+                Some(prev) => prev.join(v),
+                None => v,
+            });
+        }
+        init
+    }
+
+    /// The counter's per-iteration update: exactly one in-loop def of
+    /// `x`, of shape `x = x + step` (optionally `& 0xFF`-masked for u8
+    /// counters, which the caller must guard against wraparound).
+    /// Returns `(step, masked)`.
+    fn counter_step(&self, x: VReg, head: BlockId, lp: &BTreeSet<BlockId>) -> Option<(u32, bool)> {
+        let mut found: Option<(BlockId, usize, bool)> = None;
+        for &b in lp.iter() {
+            if b == head {
+                // The head only evaluates the condition; a def of the
+                // counter there is outside the supported shape.
+                if self.f.blocks[b].insts.iter().any(|i| inst_dst(i) == Some(x)) {
+                    return None;
+                }
+                continue;
+            }
+            for (i, inst) in self.f.blocks[b].insts.iter().enumerate() {
+                if inst_dst(inst) != Some(x) {
+                    continue;
+                }
+                if found.is_some() {
+                    return None;
+                }
+                match inst {
+                    Inst::Copy { .. } => found = Some((b, i, false)),
+                    Inst::Bin { op: IrOp::And, b: m, .. }
+                        if eval_operand_const(m) == Some(0xFF) =>
+                    {
+                        found = Some((b, i, true))
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        let (b, i, masked) = found?;
+        // Source of the update: `Copy{x, t}` / `And{x, t, 0xFF}` where
+        // `t = Add(x, step)` with a constant step, defined earlier in
+        // the same block.
+        let blk = &self.f.blocks[b];
+        let t = match &blk.insts[i] {
+            Inst::Copy { src, .. } => *src,
+            Inst::Bin { a, .. } => *a,
+            _ => unreachable!("filtered above"),
+        };
+        let mut st = self.entry[b].clone()?;
+        let mut add: Option<u32> = None;
+        for inst in &blk.insts[..i] {
+            if inst_dst(inst) == Some(t) {
+                add = match inst {
+                    Inst::Bin { op: IrOp::Add, a, b: s, .. } if *a == x => {
+                        match eval_operand(&st, s).as_const() {
+                            Some(c) if c >= 1 => Some(c),
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                };
+            }
+            exec_inst(&mut st, inst, None);
+        }
+        add.map(|s| (s, masked))
+    }
+}
+
+fn inst_dst(inst: &Inst) -> Option<VReg> {
+    match inst {
+        Inst::Const { dst, .. }
+        | Inst::Copy { dst, .. }
+        | Inst::Bin { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::AddrOfGlobal { dst, .. }
+        | Inst::AddrOfLocal { dst, .. } => Some(*dst),
+        Inst::Call { dst, .. } => *dst,
+        Inst::Store { .. } => None,
+    }
+}
+
+fn eval_operand_const(b: &Operand) -> Option<u32> {
+    match b {
+        Operand::Imm(c) => Some(*c),
+        Operand::Reg(_) => None,
+    }
+}
+
+/// Functions that can reach themselves through the static call graph.
+fn recursive_functions(ir: &IrProgram) -> HashSet<String> {
+    let callees: HashMap<&str, BTreeSet<&str>> = ir
+        .functions
+        .iter()
+        .map(|f| {
+            let mut cs = BTreeSet::new();
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    if let Inst::Call { func, .. } = inst {
+                        cs.insert(func.as_str());
+                    }
+                }
+            }
+            (f.name.as_str(), cs)
+        })
+        .collect();
+    let mut recursive = HashSet::new();
+    for f in ir.functions.iter().map(|f| f.name.as_str()) {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<&str> = callees.get(f).into_iter().flatten().copied().collect();
+        while let Some(c) = stack.pop() {
+            if c == f {
+                recursive.insert(f.to_string());
+                break;
+            }
+            if seen.insert(c) {
+                stack.extend(callees.get(c).into_iter().flatten().copied());
+            }
+        }
+    }
+    recursive
+}
+
+/// Cap on distinct constant-argument contexts per function; beyond it
+/// the function is re-analyzed once with all arguments unknown.
+const MAX_CONTEXTS: usize = 8;
+
+/// Infer bounds for every loop of every function reachable from the
+/// analysis roots (`hsm_main` when present, else every function no one
+/// calls), maximized over all propagated constant-argument contexts.
+pub fn loop_bounds(ir: &IrProgram) -> Vec<LoopBound> {
+    let recursive = recursive_functions(ir);
+    let fn_index: HashMap<&str, usize> =
+        ir.functions.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
+
+    // Roots: the firmware entry when linked, otherwise the functions
+    // with call-graph in-degree zero (library/handler compiles).
+    let mut called: HashSet<&str> = HashSet::new();
+    for f in &ir.functions {
+        for b in &f.blocks {
+            for inst in &b.insts {
+                if let Inst::Call { func, .. } = inst {
+                    called.insert(func.as_str());
+                }
+            }
+        }
+    }
+    let mut roots: Vec<usize> = if let Some(&i) = fn_index.get("hsm_main") {
+        vec![i]
+    } else {
+        ir.functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !called.contains(f.name.as_str()))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    if roots.is_empty() {
+        // Everything sits in a call cycle (possible only with
+        // recursion): analyze each function as its own root.
+        roots = (0..ir.functions.len()).collect();
+    }
+
+    // Per-loop accumulator: (kind, iters, line), maximized over contexts.
+    let mut acc: BTreeMap<(usize, BlockId), (LoopKind, u32, usize)> = BTreeMap::new();
+    let mut merge = |fi: usize, head: BlockId, kind: LoopKind, iters: u32, line: usize| {
+        let e = acc.entry((fi, head)).or_insert((kind, iters, line));
+        if e.0 != kind {
+            *e = (LoopKind::Unknown, 0, line.max(e.2));
+        } else {
+            e.1 = e.1.max(iters);
+        }
+    };
+
+    let mut seen: HashSet<(usize, Vec<Option<u32>>)> = HashSet::new();
+    let mut ctx_count: HashMap<usize, usize> = HashMap::new();
+    let mut work: Vec<(usize, Vec<Option<u32>>)> = roots
+        .into_iter()
+        .map(|i| {
+            let f = &ir.functions[i];
+            (i, vec![None; f.params.len()])
+        })
+        .collect();
+    for item in &work {
+        seen.insert(item.clone());
+    }
+
+    while let Some((fi, ctx)) = work.pop() {
+        let f = &ir.functions[fi];
+        let edges = back_edges(f);
+        let mut heads: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+        for (latch, head) in edges {
+            heads.entry(head).or_default().push(latch);
+        }
+        if recursive.contains(&f.name) {
+            // The bound stage rejects recursion outright; annotate the
+            // loops as unknown and descend with unknown arguments so
+            // callees outside the cycle still get annotations.
+            for &head in heads.keys() {
+                merge(fi, head, LoopKind::Unknown, 0, f.blocks[head].term_line);
+            }
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    let Inst::Call { func, args, .. } = inst else { continue };
+                    let Some(&ci) = fn_index.get(func.as_str()) else { continue };
+                    let key = (ci, vec![None; args.len()]);
+                    if seen.insert(key.clone()) {
+                        *ctx_count.entry(ci).or_insert(0) += 1;
+                        work.push(key);
+                    }
+                }
+            }
+            continue;
+        }
+        let an = FnAnalysis::run(f, &ctx);
+        for (&head, latches) in &heads {
+            let (kind, iters) = an.classify(head, latches);
+            merge(fi, head, kind, iters, f.blocks[head].term_line);
+        }
+        for (callee, mut cctx) in an.calls() {
+            let Some(&ci) = fn_index.get(callee.as_str()) else { continue };
+            let n = ctx_count.entry(ci).or_insert(0);
+            if *n >= MAX_CONTEXTS {
+                cctx = vec![None; cctx.len()];
+            }
+            let key = (ci, cctx);
+            if seen.insert(key.clone()) {
+                *n += 1;
+                work.push(key);
+            }
+        }
+    }
+
+    acc.into_iter()
+        .map(|((fi, head), (kind, iters, line))| LoopBound {
+            function: ir.functions[fi].name.clone(),
+            head,
+            iters,
+            kind,
+            line,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::OptLevel;
+    use crate::frontend;
+    use crate::ir::lower;
+    use crate::opt::optimize_program;
+
+    fn bounds_at(src: &str, opt: OptLevel) -> Vec<LoopBound> {
+        let p = frontend(src).unwrap();
+        let mut ir = lower(&p).unwrap();
+        for f in &mut ir.functions {
+            crate::opt::prune_unreachable(f);
+        }
+        if opt == OptLevel::O2 {
+            optimize_program(&mut ir);
+        }
+        loop_bounds(&ir)
+    }
+
+    const LEVELS: [OptLevel; 2] = [OptLevel::O0, OptLevel::O2];
+
+    #[test]
+    fn literal_counted_loop_has_trip_plus_one() {
+        for opt in LEVELS {
+            let b = bounds_at(
+                "u32 f() { u32 s = 0; for (u32 i = 0; i < 10; i = i + 1) { s = s + i; } return s; }",
+                opt,
+            );
+            assert_eq!(b.len(), 1, "{opt}: {b:?}");
+            assert_eq!((b[0].kind, b[0].iters), (LoopKind::Counted, 11), "{opt}");
+        }
+    }
+
+    #[test]
+    fn nested_loops_each_get_their_own_bound() {
+        for opt in LEVELS {
+            let b = bounds_at(
+                "u32 f() { u32 s = 0;
+                   for (u32 i = 0; i < 4; i = i + 1) {
+                     for (u32 j = 0; j < 7; j = j + 1) { s = s + j; }
+                   } return s; }",
+                opt,
+            );
+            assert_eq!(b.len(), 2, "{opt}: {b:?}");
+            let mut iters: Vec<u32> = b.iter().map(|l| l.iters).collect();
+            iters.sort();
+            assert_eq!(iters, vec![5, 8], "{opt}");
+        }
+    }
+
+    #[test]
+    fn param_bound_resolves_per_call_context_and_maximizes() {
+        for opt in LEVELS {
+            let b = bounds_at(
+                "u32 g(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i = i + 1) { s = s + i; }
+                   return s; }
+                 u32 f() { return g(5) + g(9); }",
+                opt,
+            );
+            assert_eq!(b.len(), 1, "{opt}: {b:?}");
+            assert_eq!((b[0].kind, b[0].iters), (LoopKind::Counted, 10), "{opt}");
+        }
+    }
+
+    #[test]
+    fn derived_bound_on_a_context_dead_arm_still_resolves() {
+        // With len = 96 the else arm is dead, but its `i < len` bound
+        // still evaluates; the then-arm's derived `rem` resolves too.
+        for opt in LEVELS {
+            let b = bounds_at(
+                "u32 g(u32 len) { u32 s = 0;
+                   if (len > 64) { u32 rem = len - 64;
+                     for (u32 i = 0; i < rem; i = i + 1) { s = s + i; } }
+                   else { for (u32 i = 0; i < len; i = i + 1) { s = s + i; } }
+                   return s; }
+                 u32 f() { return g(96); }",
+                opt,
+            );
+            assert_eq!(b.len(), 2, "{opt}: {b:?}");
+            assert!(b.iter().all(|l| l.kind == LoopKind::Counted), "{opt}: {b:?}");
+            let mut iters: Vec<u32> = b.iter().map(|l| l.iters).collect();
+            iters.sort();
+            assert_eq!(iters, vec![33, 97], "{opt}");
+        }
+    }
+
+    #[test]
+    fn mmio_poll_is_host_blocking() {
+        for opt in LEVELS {
+            let b = bounds_at(
+                "u32 f() { u32* status = (u32*)0x10000000;
+                   while (status[0] == 0) { }
+                   u32* data = (u32*)0x10000004; return data[0]; }",
+                opt,
+            );
+            assert_eq!(b.len(), 1, "{opt}: {b:?}");
+            assert_eq!((b[0].kind, b[0].iters), (LoopKind::Host, 2), "{opt}");
+        }
+    }
+
+    #[test]
+    fn exitless_while_true_is_the_server_loop() {
+        for opt in LEVELS {
+            let b = bounds_at("void f() { u32 x = 0; while (1) { x = x + 1; } }", opt);
+            assert_eq!(b.len(), 1, "{opt}: {b:?}");
+            assert_eq!((b[0].kind, b[0].iters), (LoopKind::Server, 2), "{opt}");
+        }
+    }
+
+    #[test]
+    fn large_array_zeroing_pointer_loop_is_bounded() {
+        for opt in LEVELS {
+            let b = bounds_at("u32 f() { u32 a[40]; return a[0]; }", opt);
+            assert_eq!(b.len(), 1, "{opt}: {b:?}");
+            // 40 words zeroed 4 bytes at a time: 40 trips + exit check.
+            assert_eq!((b[0].kind, b[0].iters), (LoopKind::Counted, 41), "{opt}");
+        }
+    }
+
+    #[test]
+    fn unresolved_bound_is_unknown_with_the_source_line() {
+        for opt in LEVELS {
+            let b = bounds_at(
+                "u32 f(u32 n) {\n  u32 s = 0;\n  for (u32 i = 0; i < n; i = i + 1) \
+                 { s = s + i; }\n  return s;\n}",
+                opt,
+            );
+            assert_eq!(b.len(), 1, "{opt}: {b:?}");
+            assert_eq!(b[0].kind, LoopKind::Unknown, "{opt}");
+            assert_eq!(b[0].line, 3, "{opt}");
+            let d = b[0].diagnostic().expect("unknown loops carry a diagnostic");
+            assert_eq!(d.code, "LB-UNBOUNDED");
+            assert!(d.to_string().contains("f:3"), "{d}");
+        }
+    }
+
+    #[test]
+    fn recursion_marks_loops_unknown_without_diverging() {
+        for opt in LEVELS {
+            let b = bounds_at(
+                "u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < 4; i = i + 1) { s = s + i; }
+                   if (n) { s = s + f(n - 1); } return s; }",
+                opt,
+            );
+            assert_eq!(b.len(), 1, "{opt}: {b:?}");
+            assert_eq!(b[0].kind, LoopKind::Unknown, "{opt}");
+        }
+    }
+
+    #[test]
+    fn annotation_round_trips_label_and_kind() {
+        let b = bounds_at(
+            "u32 f() { u32 s = 0; for (u32 i = 0; i < 3; i = i + 1) { s = s + i; } return s; }",
+            OptLevel::O0,
+        );
+        let line = b[0].annotation();
+        assert!(line.starts_with("# loopbound .Lf_"), "{line}");
+        assert!(line.contains("kind=counted iters=4"), "{line}");
+        assert_eq!(LoopKind::from_name("counted"), Some(LoopKind::Counted));
+        assert_eq!(LoopKind::from_name("bogus"), None);
+    }
+}

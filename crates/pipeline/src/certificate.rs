@@ -24,7 +24,7 @@ use crate::artifact::{ArtifactHasher, ArtifactId};
 /// form (a bump invalidates every cache entry, which is the point).
 pub const SCHEMA: i64 = 1;
 
-/// The six proof stages, in compose-chain order.
+/// The seven proof stages, in compose-chain order.
 ///
 /// `Contract` comes after `Fps` in the *chain* (it is a self-loop at
 /// the SoC level, checking the core against its exported leakage
@@ -42,6 +42,9 @@ pub enum StageKind {
     /// Static constant-time lint over IR and assembly
     /// (`parfait-analyzer`).
     CtCheck,
+    /// Whole-firmware resource bounds: WCET and worst-case stack depth
+    /// over the linked text (`parfait_analyzer::bound_asm`).
+    Bound,
     /// Functional-physical simulation at the wire level (Knox2).
     Fps,
     /// The core's measured observables vs its declared
@@ -51,11 +54,12 @@ pub enum StageKind {
 
 impl StageKind {
     /// All stages in compose-chain order.
-    pub const ALL: [StageKind; 6] = [
+    pub const ALL: [StageKind; 7] = [
         StageKind::SpecCheck,
         StageKind::Lockstep,
         StageKind::Equivalence,
         StageKind::CtCheck,
+        StageKind::Bound,
         StageKind::Fps,
         StageKind::Contract,
     ];
@@ -67,6 +71,7 @@ impl StageKind {
             StageKind::Lockstep => "lockstep",
             StageKind::Equivalence => "equivalence",
             StageKind::CtCheck => "ctcheck",
+            StageKind::Bound => "bound",
             StageKind::Fps => "fps",
             StageKind::Contract => "contract",
         }
@@ -105,6 +110,12 @@ pub struct StageCertificate {
 }
 
 impl StageCertificate {
+    /// Look up a summary statistic by name (e.g. the bound stage's
+    /// `wcet_cycles`, which the FPS stage prices its budget from).
+    pub fn stat(&self, name: &str) -> Option<i64> {
+        self.stats.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
     /// Serialize with a fixed key order.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -314,12 +325,13 @@ mod tests {
             cert(StageKind::Lockstep, "hasher", "app-spec", "app-impl-lowstar"),
             cert(StageKind::Equivalence, "hasher", "app-impl-lowstar", "app-impl-asm(-O2)"),
             cert(StageKind::CtCheck, "hasher", "app-impl-asm(-O2)", "app-impl-asm(-O2)"),
+            cert(StageKind::Bound, "hasher", "app-impl-asm(-O2)", "app-impl-asm(-O2)"),
             cert(StageKind::Fps, "hasher", "app-impl-asm(-O2)", "soc(Ibex)"),
             cert(StageKind::Contract, "hasher", "soc(Ibex)", "soc(Ibex)"),
         ];
         let composed = compose(&chain).unwrap();
         assert_eq!(composed.claim, ("app-spec".to_string(), "soc(Ibex)".to_string()));
-        assert_eq!(composed.stages.len(), 6);
+        assert_eq!(composed.stages.len(), 7);
         // Deterministic: same chain, same composed hash.
         assert_eq!(composed, compose(&chain).unwrap());
     }

@@ -1,15 +1,16 @@
 //! The staged proof pipeline.
 //!
-//! Six typed stages — `SpecCheck → Lockstep → Equivalence → CtCheck →
-//! Contract → FPS` in execution order — each hash their complete input
-//! set ([`crate::artifact`]), consult the certificate cache
-//! ([`crate::cache`]), and on a miss run the underlying checker
+//! Seven typed stages — `SpecCheck → Lockstep → Equivalence → CtCheck
+//! → Contract → Bound → FPS` in execution order — each hash their
+//! complete input set ([`crate::artifact`]), consult the certificate
+//! cache ([`crate::cache`]), and on a miss run the underlying checker
 //! (speccheck census, Starling, littlec translation validation, the
 //! `parfait-analyzer` constant-time lint, the leakage-contract
-//! stimulus battery, Knox2) and mint a [`StageCertificate`]. A
-//! verified (app × cpu × opt) cell composes its six certificates into
-//! one end-to-end claim via [`crate::certificate::compose`] — the
-//! executable form of the paper's transitivity theorem.
+//! stimulus battery, the whole-firmware resource-bound analysis,
+//! Knox2) and mint a [`StageCertificate`]. A verified (app × cpu ×
+//! opt) cell composes its seven certificates into one end-to-end
+//! claim via [`crate::certificate::compose`] — the executable form of
+//! the paper's transitivity theorem.
 //!
 //! This module is the **single** home of the firmware/spec/SoC build
 //! plumbing the bench binaries used to duplicate: [`Pipeline::run_fps`]
@@ -106,7 +107,7 @@ impl Pipeline {
         out
     }
 
-    /// Cache-check-run-store skeleton shared by all six stages.
+    /// Cache-check-run-store skeleton shared by all seven stages.
     fn run_stage(
         &self,
         stage: StageKind,
@@ -406,6 +407,121 @@ impl Pipeline {
         }
     }
 
+    /// The SoC memory map as the resource-bound analysis sees it: the
+    /// writable regions stores must land in, and the floor the stack
+    /// may never grow below.
+    fn bound_regions() -> parfait_analyzer::BoundRegions {
+        use parfait_soc::{FRAM_BASE, FRAM_SIZE, IO_BASE, RAM_BASE, ROM_BASE, STACK_FLOOR};
+        parfait_analyzer::BoundRegions {
+            text_base: ROM_BASE,
+            data_base: RAM_BASE,
+            // The four UART handshake registers.
+            mmio: (IO_BASE, IO_BASE + 16),
+            fram: (FRAM_BASE, FRAM_BASE + FRAM_SIZE),
+            stack_floor: STACK_FLOOR,
+        }
+    }
+
+    /// The linked whole-firmware assembly, exactly as
+    /// [`build_firmware_parts`] links it: app + generated system
+    /// software compiled at `opt`, the tamper patch applied, the boot
+    /// shim prepended. This is the text the bound analysis certifies —
+    /// the same text `run_fps` assembles into the ROM image.
+    fn linked_asm(app: &AppPipeline, opt: OptLevel) -> Result<String, String> {
+        let sizes = app.sizes;
+        let syssw_src = syssw::syssw_source(sizes.state, sizes.command, sizes.response);
+        let mut source = app.source.clone();
+        source.push_str(&syssw_src);
+        let program = parfait_littlec::frontend(&source).map_err(|e| e.to_string())?;
+        let mut compiled = parfait_littlec::compile(&program, opt).map_err(|e| e.to_string())?;
+        if let Some(p) = app.tamper.as_ref().and_then(|t| t.patch_asm.clone()) {
+            compiled = p(compiled);
+        }
+        let mut asm = String::from(syssw::BOOT_ASM);
+        asm.push_str(&compiled);
+        Ok(asm)
+    }
+
+    /// Stage 5 — resource bounds: whole-firmware static analysis over
+    /// the linked text (`parfait_analyzer::bound_asm`). Recovers the
+    /// call graph (rejecting recursion and unresolvable indirect
+    /// calls), proves a worst-case stack depth that stays inside the
+    /// stack region, and certifies a WCET cycle bound for one command
+    /// round-trip under the core's declared leakage-contract latency
+    /// model, using the loop bounds littlec codegen annotates.
+    ///
+    /// The claim is a self-loop at the asm level, like the lint: the
+    /// analysis adds no refinement step, it certifies a *resource*
+    /// property of the artifact FPS is about to simulate — and FPS
+    /// consumes the certified WCET as its derived cycle budget.
+    ///
+    /// Keyed by the linked assembly text, the bound rule-set version,
+    /// and the contract's canonical text (the latency model prices
+    /// every instruction): an optimizer change that leaves the linked
+    /// text byte-identical stays cached; a contract edit re-bounds.
+    pub fn bound_stage(
+        &self,
+        app: &AppPipeline,
+        cpu: Cpu,
+        opt: OptLevel,
+    ) -> Result<StageOutcome, String> {
+        let contract = Self::core_contract(cpu);
+        let (inputs, linked) =
+            self.timed_inputs(StageKind::Bound, || -> Result<(ArtifactId, String), String> {
+                let linked = Self::linked_asm(app, opt)?;
+                let mut h = ArtifactHasher::new("stage:bound");
+                h.field_u64("schema", SCHEMA as u64)
+                    .field_str("app", &app.slug)
+                    .field_str("ruleset", parfait_analyzer::BOUND_RULESET_VERSION)
+                    .field_str("asm", &linked)
+                    .field_str("contract", &contract.canonical())
+                    .field_str("cpu", &cpu.to_string())
+                    .field_str("opt", &opt.to_string());
+                if let Some(t) = &app.tamper {
+                    h.field_str("tamper", &t.fingerprint);
+                }
+                Ok((h.finish(), linked))
+            })?;
+        let opt_label = opt.to_string();
+        let asm_level = Level::Asm.label(Some(&opt_label));
+        let claim = (asm_level.clone(), asm_level);
+        let regions = Self::bound_regions();
+        let outcome = self.run_stage(StageKind::Bound, &app.slug, claim, inputs, || {
+            let report = parfait_analyzer::bound_asm(&linked, "_start", contract, &regions)
+                .map_err(|e| e.to_string())?;
+            Ok((
+                vec![
+                    ("wcet_cycles".into(), report.wcet_cycles.min(i64::MAX as u64) as i64),
+                    ("stack_depth".into(), report.stack_depth as i64),
+                    ("stack_top".into(), report.stack_top as i64),
+                    ("functions".into(), report.functions as i64),
+                    ("loops".into(), report.loops as i64),
+                    ("instructions".into(), report.instructions as i64),
+                ],
+                None,
+            ))
+        })?;
+        // The `bound_` family is read off the certificate, so warm
+        // (fully cached) runs expose it just like cold ones.
+        let cert = &outcome.certificate;
+        let cpu_label = cpu.to_string();
+        let labels =
+            [("app", app.slug.as_str()), ("cpu", cpu_label.as_str()), ("opt", opt_label.as_str())];
+        self.metrics()
+            .counter_with("bound_functions_total", &labels)
+            .add(cert.stat("functions").unwrap_or(0).max(0) as u64);
+        self.metrics()
+            .counter_with("bound_loops_total", &labels)
+            .add(cert.stat("loops").unwrap_or(0).max(0) as u64);
+        self.metrics()
+            .gauge_with("bound_wcet_cycles", &labels)
+            .set(cert.stat("wcet_cycles").unwrap_or(0) as f64);
+        self.metrics()
+            .gauge_with("bound_stack_depth", &labels)
+            .set(cert.stat("stack_depth").unwrap_or(0) as f64);
+        Ok(outcome)
+    }
+
     /// Stage 5 — contract check: drive the platform's core through the
     /// per-instruction-class stimulus battery and hold its measured
     /// cycle counts, leak events, and data-bus trace to the clauses of
@@ -466,6 +582,12 @@ impl Pipeline {
     /// Stage 6 — FPS: wire-level functional-physical simulation on a
     /// real platform (cached per (app × cpu × opt) cell).
     ///
+    /// Runs the bound stage first: the FPS cycle budget is *derived*
+    /// from the certified WCET ([`FpsConfig::resolve_timeout`]), so a
+    /// firmware that would wedge past its proven bound is cut off in
+    /// proportion to its own certificate instead of the last-resort
+    /// constant (`PARFAIT_TIMEOUT` stays an explicit override).
+    ///
     /// Keyed (among the build inputs) on the core's contract text: the
     /// dual-world comparison interprets cycle counts and leak events
     /// through the declared model, so a contract edit re-runs it.
@@ -477,24 +599,65 @@ impl Pipeline {
         obs: &FpsObserver,
         threads: usize,
     ) -> Result<StageOutcome, String> {
-        let timeout = FpsConfig::default_timeout();
+        let bound = self.bound_stage(app, cpu, opt)?;
+        self.fps_stage_bounded(app, cpu, opt, obs, threads, &bound)
+    }
+
+    /// [`fps_stage`](Self::fps_stage) against an already-verified
+    /// bound certificate (the seam `verify_cell` uses, so the bound
+    /// stage runs exactly once per cell).
+    pub fn fps_stage_bounded(
+        &self,
+        app: &AppPipeline,
+        cpu: Cpu,
+        opt: OptLevel,
+        obs: &FpsObserver,
+        threads: usize,
+        bound: &StageOutcome,
+    ) -> Result<StageOutcome, String> {
+        let wcet = bound.certificate.stat("wcet_cycles").filter(|&w| w > 0).map(|w| w as u64);
+        let timeout = FpsConfig::resolve_timeout(wcet);
         let inputs = self.timed_inputs(StageKind::Fps, || {
             Self::fps_inputs(app, cpu, opt, timeout, Self::core_contract(cpu))
         });
         let opt_label = opt.to_string();
         let cpu_label = cpu.to_string();
         let claim = (Level::Asm.label(Some(&opt_label)), Level::Soc.label(Some(&cpu_label)));
-        self.run_stage(StageKind::Fps, &app.slug, claim, inputs, || {
-            let report = self.run_fps(app, cpu, opt, obs, threads, timeout)?;
-            Ok((
-                vec![
-                    ("cycles".into(), report.cycles as i64),
-                    ("commands".into(), report.commands as i64),
-                    ("spec_queries".into(), report.spec_queries as i64),
-                ],
-                Some(report),
-            ))
-        })
+        let outcome = self.run_stage(StageKind::Fps, &app.slug, claim, inputs, || {
+            let (report, stack_min) =
+                self.run_fps_watermarked(app, cpu, opt, obs, threads, timeout)?;
+            let mut stats = vec![
+                ("cycles".into(), report.cycles as i64),
+                ("commands".into(), report.commands as i64),
+                ("spec_queries".into(), report.spec_queries as i64),
+            ];
+            if let Some(low) = stack_min {
+                // Lowest stack address the real SoC stored to across
+                // the whole script — the dynamic watermark the
+                // certified static depth must dominate.
+                stats.push(("stack_min_addr".into(), low as i64));
+            }
+            Ok((stats, Some(report)))
+        })?;
+        // Certified-vs-observed slack, off the two certificates so a
+        // fully cached cell still reports it.
+        if let (Some(wcet), Some(cycles)) =
+            (bound.certificate.stat("wcet_cycles"), outcome.certificate.stat("cycles"))
+        {
+            if cycles > 0 {
+                self.metrics()
+                    .gauge_with(
+                        "bound_wcet_slack_ratio",
+                        &[
+                            ("app", app.slug.as_str()),
+                            ("cpu", cpu_label.as_str()),
+                            ("opt", opt_label.as_str()),
+                        ],
+                    )
+                    .set(wcet as f64 / cycles as f64);
+            }
+        }
+        Ok(outcome)
     }
 
     /// A clean (untampered) firmware image plus its assembly-level spec
@@ -558,6 +721,22 @@ impl Pipeline {
         threads: usize,
         timeout: u64,
     ) -> Result<FpsReport, String> {
+        self.run_fps_watermarked(app, cpu, opt, obs, threads, timeout).map(|(r, _)| r)
+    }
+
+    /// [`run_fps`](Self::run_fps), also returning the lowest stack
+    /// address the real SoC stored to (its whole-run high-water mark).
+    /// Deterministic: the parallel checker's pre-pass drives the real
+    /// SoC alone through the entire script.
+    fn run_fps_watermarked(
+        &self,
+        app: &AppPipeline,
+        cpu: Cpu,
+        opt: OptLevel,
+        obs: &FpsObserver,
+        threads: usize,
+        timeout: u64,
+    ) -> Result<(FpsReport, Option<u32>), String> {
         let sizes = app.sizes;
         let tamper = app.tamper.as_ref();
         // Tampering strikes the *built artifacts and hardware*; the spec
@@ -602,8 +781,9 @@ impl Pipeline {
         let state_size = sizes.state;
         let project = move |soc: &Soc| syssw::active_state(&soc.fram_bytes(0, 256), state_size);
         let script = app.fps_script();
-        check_fps_parallel(&mut real, &mut emu, &cfg, &project, &script, obs, threads)
-            .map_err(|f| f.to_string())
+        let report = check_fps_parallel(&mut real, &mut emu, &cfg, &project, &script, obs, threads)
+            .map_err(|f| f.to_string())?;
+        Ok((report, real.stack_high_water()))
     }
 
     /// The four software stages (speccheck, lockstep, equivalence and
@@ -622,14 +802,16 @@ impl Pipeline {
         ])
     }
 
-    /// Verify one full (app × cpu × opt) cell: all six stages plus
+    /// Verify one full (app × cpu × opt) cell: all seven stages plus
     /// the composed end-to-end certificate.
     ///
     /// The contract battery *executes* before FPS — it is cheap and
     /// attributes a violation to a named instruction class, so a
     /// leaky core never reaches the expensive dual-world simulation —
     /// but its certificate sits after FPS in the compose chain (a
-    /// self-loop at the SoC level FPS just reached).
+    /// self-loop at the SoC level FPS just reached). The bound stage
+    /// runs between them: static, cheap, and its certified WCET
+    /// becomes the FPS cycle budget.
     pub fn verify_cell(
         &self,
         app: &AppPipeline,
@@ -640,7 +822,10 @@ impl Pipeline {
     ) -> Result<CellReport, String> {
         let mut stages = self.software_stages(app, opt)?;
         let contract = self.contract_stage(app, cpu)?;
-        stages.push(self.fps_stage(app, cpu, opt, obs, threads)?);
+        let bound = self.bound_stage(app, cpu, opt)?;
+        let fps = self.fps_stage_bounded(app, cpu, opt, obs, threads, &bound)?;
+        stages.push(bound);
+        stages.push(fps);
         stages.push(contract);
         let certs: Vec<StageCertificate> = stages.iter().map(|s| s.certificate.clone()).collect();
         let composed = compose(&certs).map_err(|e| e.to_string())?;

@@ -52,6 +52,12 @@ pub const RAM_SIZE: u32 = 256 * 1024;
 pub const FRAM_BASE: u32 = 0x3000_0000;
 /// FRAM size in bytes.
 pub const FRAM_SIZE: u32 = 8 * 1024;
+/// The lowest address the stack may grow down to: the boot shim parks
+/// `sp` near the top of RAM and the upper half of RAM is reserved for
+/// the stack. The bus watches stores into this region so an FPS run
+/// can report the observed stack high-water mark, and the `bound`
+/// pipeline stage proves the certified worst case stays above it.
+pub const STACK_FLOOR: u32 = RAM_BASE + RAM_SIZE / 2;
 
 /// RX status register address.
 pub const IO_RX_STATUS: u32 = IO_BASE;
@@ -128,6 +134,11 @@ pub struct Soc {
     pub tx_fifo: Fifo,
     /// A bus access outside any mapped region.
     pub bus_fault: Option<u32>,
+    /// Lowest address stored to inside the stack region
+    /// ([`STACK_FLOOR`]`..`[`RAM_BASE`]` + `[`RAM_SIZE`]) since
+    /// construction; `u32::MAX` when the stack was never written.
+    /// Survives power cycles — it is a whole-run high-water mark.
+    stack_min_store: u32,
     /// Seeded hardware bug (mutation testing only).
     seeded: Option<SeededBug>,
     firmware: Arc<Firmware>,
@@ -147,6 +158,7 @@ struct Bus<'a> {
     rx_fifo: &'a mut Fifo,
     tx_fifo: &'a mut Fifo,
     bus_fault: &'a mut Option<u32>,
+    stack_min_store: &'a mut u32,
     seeded: Option<SeededBug>,
 }
 
@@ -180,6 +192,9 @@ impl MemIf for Bus<'_> {
     fn write(&mut self, addr: u32, val: W, mask: u8) {
         match addr {
             a if (RAM_BASE..RAM_BASE + RAM_SIZE).contains(&a) => {
+                if a >= STACK_FLOOR && a < *self.stack_min_store {
+                    *self.stack_min_store = a;
+                }
                 self.ram.write_word(a - RAM_BASE, val, mask)
             }
             a if (FRAM_BASE..FRAM_BASE + FRAM_SIZE).contains(&a) => {
@@ -247,6 +262,7 @@ impl Soc {
             rx_fifo: Fifo::new(16),
             tx_fifo: Fifo::new(16),
             bus_fault: None,
+            stack_min_store: u32::MAX,
             seeded: None,
             firmware: Arc::new(firmware),
             input: WireIn::default(),
@@ -302,6 +318,14 @@ impl Soc {
     /// Dump `len` bytes of FRAM starting at `offset` (values only).
     pub fn fram_bytes(&self, offset: usize, len: usize) -> Vec<u8> {
         self.fram.dump_bytes(offset, len)
+    }
+
+    /// The observed stack high-water mark: the lowest address the core
+    /// stored to inside the stack region (at or above [`STACK_FLOOR`]),
+    /// or `None` if the stack was never written. Monotone over the
+    /// SoC's whole life, including across power cycles.
+    pub fn stack_high_water(&self) -> Option<u32> {
+        (self.stack_min_store != u32::MAX).then_some(self.stack_min_store)
     }
 
     /// Read `len` bytes of RAM at an absolute address.
@@ -378,6 +402,7 @@ impl Circuit for Soc {
             rx_fifo: &mut self.rx_fifo,
             tx_fifo: &mut self.tx_fifo,
             bus_fault: &mut self.bus_fault,
+            stack_min_store: &mut self.stack_min_store,
             seeded: self.seeded,
         };
         self.core.step(&mut bus);

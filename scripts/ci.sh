@@ -3,6 +3,7 @@
 # tier-1 tests, workspace tests, all examples built and the quickstart
 # run end-to-end, the constant-time lint against its findings baseline,
 # the deterministic performance ratchet against perf_baseline.json,
+# the certified-resource-bound ratchet against bound_baseline.json,
 # the differential parallel-checker test under a fixed thread budget,
 # the pipeline cache differential test (now including the ctcheck
 # stage) run twice against one shared PARFAIT_CACHE_DIR (cold pass then
@@ -43,6 +44,11 @@ cargo run --release -p parfait-bench --bin lint -- --baseline lint_baseline.json
 # improvements in with `perfstat --baseline perf_baseline.json
 # --update` (which refuses regressions).
 ./target/release/perfstat --baseline perf_baseline.json
+# Certified-resource-bound ratchet: every production cell's certified
+# WCET and stack depth may only tighten against bound_baseline.json.
+# Ratchet tightened bounds in with `boundstat --baseline
+# bound_baseline.json --update` (which refuses loosened bounds).
+./target/release/boundstat --baseline bound_baseline.json
 # The parallel FPS checker must be observationally identical to the
 # sequential oracle regardless of the ambient thread budget.
 PARFAIT_THREADS=2 cargo test -q --release --test fps_parallel
@@ -59,20 +65,25 @@ PARFAIT_CACHE_DIR="$PIPELINE_CACHE_DIR" cargo test -q --release --test pipeline_
 cargo run --release -p parfait-bench --bin mutatest -- \
     --quick --baseline mutation_baseline.json
 # Observability gate: a cold instrumented verify must emit a metrics
-# snapshot containing the pipeline, cache-ledger, worker-pool, and
-# contract-battery families (cold + --threads 2, so the FPS segment
-# pool actually spins up; the six-stage verify runs the contract
-# battery cold here and must hit its certificate on the warm re-run).
+# snapshot containing the pipeline, cache-ledger, worker-pool,
+# contract-battery, and bound-analysis families, with every pipeline
+# stage in StageKind::ALL represented (`@stages`); cold + --threads 2,
+# so the FPS segment pool actually spins up. The seven-stage verify
+# runs the contract battery and bound analysis cold here and must hit
+# their certificates on the warm re-run.
 OBS_CACHE_DIR="target/ci-obs-cache"
 rm -rf "$OBS_CACHE_DIR"
 PARFAIT_CACHE_DIR="$OBS_CACHE_DIR" ./target/release/verify \
     --app hasher --platform ibex --threads 2 \
     --json target/ci-obs-cold.json --metrics target/ci-obs-cold-metrics.json
 ./target/release/cachestat --check-metrics target/ci-obs-cold-metrics.json \
-    --require pipeline_stage_,certcache_,pool_,fps_,contract_
+    --require pipeline_stage_,certcache_,pool_,fps_,contract_,bound_,@stages
 PARFAIT_CACHE_DIR="$OBS_CACHE_DIR" ./target/release/verify \
     --app hasher --platform ibex --threads 2 \
     --metrics target/ci-obs-warm-metrics.json
-./target/release/cachestat --check-metrics target/ci-obs-warm-metrics.json
+# Warm runs must still surface the certified bounds (read back off the
+# cached certificate, not recomputed), so bound_ is gated here too.
+./target/release/cachestat --check-metrics target/ci-obs-warm-metrics.json \
+    --require pipeline_stage_,certcache_,bound_,@stages
 ./target/release/cachestat --dir "$OBS_CACHE_DIR"
 cargo clippy --workspace --all-targets -- -D warnings

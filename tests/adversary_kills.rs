@@ -63,6 +63,12 @@ fn representative_mutants_die_at_their_designed_stage() {
         ("cc-dead-store", StageKind::Equivalence),
         ("cc-secret-latency", StageKind::CtCheck),
         ("cc-callee-saved-clobber", StageKind::CtCheck),
+        // The resource-bound classes: one corrupts the frame discipline
+        // (a real bug FPS would also catch, but the static analysis
+        // refuses first), one is a comment-only annotation drop that NO
+        // dynamic stage can see — the bound stage is its sole defense.
+        ("codegen-stack-frame-underalloc", StageKind::Bound),
+        ("littlec-loop-bound-drop", StageKind::Bound),
         ("cc-syssw-reg-clobber", StageKind::Fps),
         ("soc-tx-double-commit", StageKind::Fps),
         ("emu-response-desync", StageKind::Fps),

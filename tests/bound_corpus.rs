@@ -1,0 +1,208 @@
+//! Rejection corpus for the whole-firmware resource-bound analysis
+//! (DESIGN.md §16): every control-flow shape the analysis refuses must
+//! fire its *intended* diagnostic, not a generic failure. Each case
+//! here is a seeded firmware with exactly one offending construct —
+//! recursion, an unresolvable indirect call, a loop littlec could not
+//! bound — plus the memory-safety rejections (stores outside every
+//! writable region, stack growth through the floor).
+//!
+//! The positive side (all production firmwares certify, and the
+//! certified bounds dominate observation) lives in
+//! `tests/bound_differential.rs`.
+
+use parfait_analyzer::{bound_asm, BoundError, BoundRegions};
+use parfait_littlec::codegen::OptLevel;
+use parfait_soc::{FRAM_BASE, FRAM_SIZE, IO_BASE, RAM_BASE, RAM_SIZE, ROM_BASE, STACK_FLOOR};
+
+/// The boot shim every firmware gets (`parfait_hsms::syssw::BOOT_ASM`
+/// establishes the same constant `sp`).
+const BOOT: &str = "
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+";
+
+fn regions() -> BoundRegions {
+    BoundRegions {
+        text_base: ROM_BASE,
+        data_base: RAM_BASE,
+        mmio: (IO_BASE, IO_BASE + 16),
+        fram: (FRAM_BASE, FRAM_BASE + FRAM_SIZE),
+        stack_floor: STACK_FLOOR,
+    }
+}
+
+/// Compile a littlec source and link it under the boot shim, the way
+/// `Pipeline::bound_stage` builds its input text.
+fn linked(src: &str, opt: OptLevel) -> String {
+    let program = parfait_littlec::frontend(src).expect("corpus source parses");
+    let compiled = parfait_littlec::compile(&program, opt).expect("corpus source compiles");
+    format!("{BOOT}{compiled}")
+}
+
+fn bound_of(src: &str, opt: OptLevel) -> Result<parfait_analyzer::BoundReport, BoundError> {
+    bound_asm(&linked(src, opt), "_start", parfait_cores::ibex::contract(), &regions())
+}
+
+#[test]
+fn recursion_is_rejected_with_the_cycle_named() {
+    // A bounded-looking self-call: the *value* terminates, but the
+    // stack depth does not compose over a cyclic call graph, so the
+    // rejection must come from the call-graph walk itself.
+    let src = "
+u32 f(u32 n) {
+    if (n == 0) { return 1; }
+    return n * f(n - 1);
+}
+void hsm_main() {
+    u32 r;
+    r = f(6);
+}
+";
+    for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        match bound_of(src, opt) {
+            Err(BoundError::Unsupported(msg)) => {
+                assert!(msg.contains("recursive"), "{opt}: diagnostic names recursion: {msg}");
+            }
+            other => panic!("{opt}: expected Unsupported(recursion), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unresolvable_indirect_call_is_rejected() {
+    // littlec never emits computed calls, so this lives at the asm
+    // level — exactly the shape a hand-written or post-linked jump
+    // table would take.
+    let asm = "
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+hsm_main:
+    la t0, helper
+    jalr ra, t0, 0
+    ret
+helper:
+    ret
+";
+    match bound_asm(asm, "_start", parfait_cores::ibex::contract(), &regions()) {
+        Err(BoundError::Unsupported(msg)) => {
+            assert!(msg.contains("jalr"), "diagnostic names the indirect call: {msg}");
+        }
+        other => panic!("expected Unsupported(jalr), got {other:?}"),
+    }
+}
+
+#[test]
+fn uninferable_loop_bound_fires_the_loud_diagnostic() {
+    // The trip count is read out of RAM at run time: no static bound
+    // exists, littlec annotates the loop `unknown`, and the analysis
+    // must point at the offending source line with the LB-UNBOUNDED
+    // remediation message.
+    let src = "\
+void hsm_main() {
+    u32* p; p = (u32*)0x20000000;
+    u32 n; n = p[0];
+    u32 i;
+    for (i = 0; i < n; i = i + 1) { }
+}
+";
+    for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        match bound_of(src, opt) {
+            Err(e @ BoundError::Unbounded { .. }) => {
+                let msg = e.to_string();
+                assert!(msg.contains("[LB-UNBOUNDED]"), "{opt}: tagged diagnostic: {msg}");
+                assert!(msg.contains("hsm_main"), "{opt}: names the function: {msg}");
+                assert!(
+                    msg.contains("counted loop") || msg.contains("rewrite"),
+                    "{opt}: carries the remediation hint: {msg}"
+                );
+            }
+            other => panic!("{opt}: expected Unbounded, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dropped_loop_annotation_is_rejected() {
+    // Strip the codegen's `# loopbound` comment off an otherwise
+    // well-formed counted loop: the machine code is untouched (the
+    // assembler ignores comments), but the analysis must refuse to
+    // invent a bound. This is the static shadow of the
+    // `littlec-loop-bound-drop` adversary mutant.
+    let src = "
+void hsm_main() {
+    u32 i;
+    u32 acc;
+    acc = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        acc = acc + i;
+    }
+}
+";
+    let stripped: String = linked(src, OptLevel::O2)
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("# loopbound"))
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    match bound_asm(&stripped, "_start", parfait_cores::ibex::contract(), &regions()) {
+        Err(BoundError::Unvalidated(msg)) => {
+            assert!(msg.contains("no littlec bound annotation"), "diagnostic: {msg}");
+        }
+        other => panic!("expected Unvalidated(no annotation), got {other:?}"),
+    }
+}
+
+#[test]
+fn stack_overrun_and_wild_store_are_rejected() {
+    // Stack: allocate half the RAM in one frame — provably through the
+    // floor even before any store happens.
+    let overrun = format!(
+        "
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+hsm_main:
+    li t6, {}
+    sub sp, sp, t6
+    sw zero, 0(sp)
+    add sp, sp, t6
+    ret
+",
+        RAM_SIZE / 2
+    );
+    match bound_asm(&overrun, "_start", parfait_cores::ibex::contract(), &regions()) {
+        Err(BoundError::Stack(msg)) => {
+            assert!(msg.contains("stack floor"), "diagnostic: {msg}");
+        }
+        other => panic!("expected Stack(floor), got {other:?}"),
+    }
+    // Memory: a store aimed at the ROM.
+    let wild = "
+.text
+_start:
+    li sp, 0x2003ff00
+    call hsm_main
+_halt:
+    j _halt
+hsm_main:
+    li t0, 0x100
+    sw zero, 0(t0)
+    ret
+";
+    match bound_asm(wild, "_start", parfait_cores::ibex::contract(), &regions()) {
+        Err(BoundError::Memory(msg)) => {
+            assert!(msg.contains("writable"), "diagnostic: {msg}");
+        }
+        other => panic!("expected Memory(writable), got {other:?}"),
+    }
+}

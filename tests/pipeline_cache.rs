@@ -206,11 +206,11 @@ fn one_byte_source_change_reruns_only_downstream_stages() {
     }
 
     // Mutate one byte of A's source (behavior-preserving whitespace):
-    // the behavior-keyed spec census stays cached, and so does the
-    // artifact-keyed ctcheck (identical source modulo whitespace
-    // compiles to identical IR and asm) and the contract check (keyed
-    // on the core's declared contract, not the firmware); every
-    // source-keyed stage (lockstep, equivalence, FPS) re-runs.
+    // the behavior-keyed spec census stays cached, and so do the
+    // artifact-keyed ctcheck and bound stages (identical source modulo
+    // whitespace compiles to identical IR and asm) and the contract
+    // check (keyed on the core's declared contract, not the firmware);
+    // every source-keyed stage (lockstep, equivalence, FPS) re-runs.
     let mutated_source = TOKEN_LC.replace("u32 arg", "u32  arg");
     assert_eq!(mutated_source.len(), TOKEN_LC.len() + 1);
     let a_mut = token_app("token-a", mutated_source, MULT_A);
@@ -222,6 +222,7 @@ fn one_byte_source_change_reruns_only_downstream_stages() {
             (StageKind::Lockstep, false),
             (StageKind::Equivalence, false),
             (StageKind::CtCheck, true),
+            (StageKind::Bound, true),
             (StageKind::Fps, false),
             (StageKind::Contract, true),
         ],

@@ -13,12 +13,15 @@
 //! an instrumented run actually recorded what it claims to. The
 //! `@stages` require token expands to per-stage coverage derived from
 //! `StageKind::ALL`, so the gate tracks the pipeline's stage set
-//! automatically.
+//! automatically; the `@nomiss` token asserts the snapshot recorded
+//! **zero** stage cache misses (the warm-run gate for the serve
+//! daemon: a warm replay must be all hits).
 //!
 //! ```sh
 //! PARFAIT_CACHE_DIR=/tmp/certs cachestat
 //! cachestat --dir /tmp/certs --json
 //! cachestat --check-metrics /tmp/m.json --require pipeline_stage_,certcache_,@stages
+//! cachestat --check-metrics /tmp/warm.json --require serve_,@nomiss
 //! ```
 
 use std::path::PathBuf;
@@ -45,6 +48,23 @@ struct Entry {
 }
 
 fn scan(dir: &PathBuf) -> Result<Vec<Entry>, String> {
+    let mut entries = scan_flat(dir, "")?;
+    // Tenant namespaces (serve daemon) are one level of
+    // subdirectories under the cache root; label their entries
+    // "tenant/stage".
+    let listing =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for item in listing.flatten() {
+        if item.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+            let tenant = item.file_name().to_string_lossy().into_owned();
+            entries.extend(scan_flat(&item.path().to_path_buf(), &format!("{tenant}/"))?);
+        }
+    }
+    entries.sort_by(|a, b| (&a.stage, &a.key_prefix).cmp(&(&b.stage, &b.key_prefix)));
+    Ok(entries)
+}
+
+fn scan_flat(dir: &PathBuf, stage_prefix: &str) -> Result<Vec<Entry>, String> {
     let listing =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
     let now = SystemTime::now();
@@ -62,13 +82,12 @@ fn scan(dir: &PathBuf) -> Result<Vec<Entry>, String> {
             .and_then(|m| now.duration_since(m).ok())
             .map_or(0, |d| d.as_secs());
         entries.push(Entry {
-            stage: stage.to_string(),
+            stage: format!("{stage_prefix}{stage}"),
             key_prefix: hash.chars().take(12).collect(),
             bytes: meta.len(),
             age_secs,
         });
     }
-    entries.sort_by(|a, b| (&a.stage, &a.key_prefix).cmp(&(&b.stage, &b.key_prefix)));
     Ok(entries)
 }
 
@@ -106,6 +125,31 @@ fn check_stage_coverage(snap: &parfait_telemetry::metrics::MetricsSnapshot) -> V
     missing
 }
 
+/// Expand the `@nomiss` require token: the snapshot must contain **no**
+/// `pipeline_stage_runs_total{outcome="miss"}` samples with a nonzero
+/// count. This is the warm-run gate for the serve daemon: replaying a
+/// session against a populated cache must be hits all the way down.
+fn check_no_misses(snap: &parfait_telemetry::metrics::MetricsSnapshot) -> Vec<String> {
+    let misses: Vec<String> = snap
+        .counters
+        .iter()
+        .filter(|(k, v)| {
+            *v > 0
+                && k.name == "pipeline_stage_runs_total"
+                && k.labels.iter().any(|(lk, lv)| lk == "outcome" && lv == "miss")
+        })
+        .map(|(k, v)| {
+            let stage =
+                k.labels.iter().find(|(lk, _)| lk == "stage").map_or("?", |(_, lv)| lv.as_str());
+            format!("@nomiss(stage {stage} recorded {v} miss(es))")
+        })
+        .collect();
+    if misses.is_empty() {
+        println!("ok: snapshot recorded zero stage cache misses");
+    }
+    misses
+}
+
 fn check_metrics(path: &str, require: &str) -> u8 {
     let snap = match parfait_telemetry::manifest::snapshot_from_file(std::path::Path::new(path)) {
         Ok(s) => s,
@@ -118,6 +162,8 @@ fn check_metrics(path: &str, require: &str) -> u8 {
     for prefix in require.split(',').map(str::trim).filter(|p| !p.is_empty()) {
         if prefix == "@stages" {
             missing.extend(check_stage_coverage(&snap));
+        } else if prefix == "@nomiss" {
+            missing.extend(check_no_misses(&snap));
         } else if snap.has_family(prefix) {
             println!("ok: snapshot has {prefix}* metrics");
         } else {

@@ -1,0 +1,234 @@
+//! `servestat` — summarize and gate a `parfait-serve` session
+//! transcript.
+//!
+//! Reads a JSONL reply stream (the daemon's stdout, captured to a
+//! file), tallies the frames, and renders a per-request table: id,
+//! tenant, cell, outcome, and whether every stage was a cache hit. With
+//! expectation flags it becomes a CI gate — the serve gate in
+//! `scripts/ci.sh` replays a recorded session twice and asserts the
+//! cold run produced results and the warm run was all hits:
+//!
+//! ```sh
+//! servestat replies.jsonl
+//! servestat cold.jsonl --expect-results 4 --expect-errors 0
+//! servestat warm.jsonl --expect-results 4 --expect-all-cached --expect-bye
+//! ```
+//!
+//! Exit status is 0 only when the transcript parses and every given
+//! expectation holds.
+
+use std::process::ExitCode;
+
+use parfait_bench::render_table;
+use parfait_telemetry::json::{parse, Json};
+
+fn usage() -> u8 {
+    eprintln!(
+        "usage: servestat <transcript.jsonl> [--json <path>] [--expect-results <n>] \
+         [--expect-errors <n>] [--expect-all-cached] [--expect-bye]"
+    );
+    1
+}
+
+/// One `result` frame, reduced to its table row.
+struct ResultRow {
+    id: String,
+    tenant: String,
+    cell: String,
+    cached: bool,
+    stages: usize,
+    stage_hits: usize,
+}
+
+/// Frame tallies across one transcript.
+#[derive(Default)]
+struct Tally {
+    results: Vec<ResultRow>,
+    errors: Vec<(String, String)>,
+    status: usize,
+    pong: usize,
+    metrics: usize,
+    bye: usize,
+}
+
+fn field(v: &Json, key: &str) -> String {
+    v.get(key).and_then(Json::as_str).unwrap_or("?").to_string()
+}
+
+fn tally(text: &str) -> Result<Tally, String> {
+    let mut t = Tally::default();
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+        match v.get("frame").and_then(Json::as_str) {
+            Some("status") => t.status += 1,
+            Some("pong") => t.pong += 1,
+            Some("metrics") => t.metrics += 1,
+            Some("bye") => t.bye += 1,
+            Some("error") => {
+                let id =
+                    v.get("id").and_then(Json::as_str).unwrap_or("(unrecoverable)").to_string();
+                t.errors.push((id, field(&v, "error")));
+            }
+            Some("result") => {
+                let stages = v.get("stages").and_then(Json::as_array).unwrap_or(&[]);
+                t.results.push(ResultRow {
+                    id: field(&v, "id"),
+                    tenant: field(&v, "tenant"),
+                    cell: format!("{}/{}/{}", field(&v, "app"), field(&v, "cpu"), field(&v, "opt")),
+                    cached: matches!(v.get("cached"), Some(Json::Bool(true))),
+                    stages: stages.len(),
+                    stage_hits: stages
+                        .iter()
+                        .filter(|s| matches!(s.get("cache_hit"), Some(Json::Bool(true))))
+                        .count(),
+                });
+            }
+            Some(other) => return Err(format!("line {}: unknown frame {other:?}", n + 1)),
+            None => return Err(format!("line {}: not a frame (no \"frame\" member)", n + 1)),
+        }
+    }
+    Ok(t)
+}
+
+fn main() -> ExitCode {
+    ExitCode::from(run())
+}
+
+fn run() -> u8 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut expect_results: Option<usize> = None;
+    let mut expect_errors: Option<usize> = None;
+    let mut expect_all_cached = false;
+    let mut expect_bye = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--expect-results" | "--expect-errors" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                if a == "--expect-results" {
+                    expect_results = Some(n);
+                } else {
+                    expect_errors = Some(n);
+                }
+            }
+            "--expect-all-cached" => expect_all_cached = true,
+            "--expect-bye" => expect_bye = true,
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let t = match tally(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return 1;
+        }
+    };
+
+    let rows: Vec<Vec<String>> = t
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.tenant.clone(),
+                r.cell.clone(),
+                if r.cached { "all-hits".into() } else { format!("{}/{}", r.stage_hits, r.stages) },
+            ]
+        })
+        .collect();
+    if !rows.is_empty() {
+        println!(
+            "{}",
+            render_table(
+                &format!("serve session: {path}"),
+                &["Id", "Tenant", "Cell", "Cached"],
+                &rows
+            )
+        );
+    }
+    for (id, e) in &t.errors {
+        println!("  error[{id}]: {e}");
+    }
+    println!(
+        "frames: {} result(s), {} error(s), {} status, {} pong, {} metrics, {} bye",
+        t.results.len(),
+        t.errors.len(),
+        t.status,
+        t.pong,
+        t.metrics,
+        t.bye
+    );
+
+    if let Some(jp) = json_path {
+        let doc = Json::obj([
+            ("artifact", Json::str("servestat")),
+            ("transcript", Json::str(&path)),
+            ("results", Json::Int(t.results.len() as i64)),
+            ("errors", Json::Int(t.errors.len() as i64)),
+            ("all_cached", Json::Bool(!t.results.is_empty() && t.results.iter().all(|r| r.cached))),
+            ("bye", Json::Int(t.bye as i64)),
+        ]);
+        let jp = std::path::PathBuf::from(jp);
+        if let Err(e) = parfait_bench::write_json(&jp, &doc) {
+            eprintln!("could not write {}: {e}", jp.display());
+            return 1;
+        }
+        eprintln!("wrote {}", jp.display());
+    }
+
+    // The gate: every stated expectation must hold.
+    let mut failed = Vec::new();
+    if let Some(n) = expect_results {
+        if t.results.len() != n {
+            failed.push(format!("expected {n} result frame(s), saw {}", t.results.len()));
+        }
+    }
+    if let Some(n) = expect_errors {
+        if t.errors.len() != n {
+            failed.push(format!("expected {n} error frame(s), saw {}", t.errors.len()));
+        }
+    }
+    if expect_all_cached {
+        for r in t.results.iter().filter(|r| !r.cached) {
+            failed.push(format!(
+                "expected all-cached, but {} ({}) hit only {}/{} stages",
+                r.id, r.cell, r.stage_hits, r.stages
+            ));
+        }
+        if t.results.is_empty() {
+            failed.push("expected all-cached, but saw no result frames".into());
+        }
+    }
+    if expect_bye && t.bye == 0 {
+        failed.push("expected a bye frame (graceful shutdown), saw none".into());
+    }
+    if failed.is_empty() {
+        println!("{path}: ok");
+        0
+    } else {
+        for f in &failed {
+            eprintln!("error: {path}: {f}");
+        }
+        1
+    }
+}

@@ -16,7 +16,7 @@ use parfait_soc::{Firmware, Soc, FRAM_BASE, RAM_BASE, ROM_BASE};
 use crate::syssw;
 
 /// Which CPU the platform uses (paper §7.1: hardware platforms 1 and 2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Cpu {
     /// The 2-stage pipelined Ibex-like core.
     Ibex,

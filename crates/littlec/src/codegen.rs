@@ -29,7 +29,7 @@ use crate::regalloc::{allocate, Allocation, Loc, REG_NAMES};
 use crate::LcError;
 
 /// Compiler optimization level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OptLevel {
     /// No optimization: all vregs in stack slots.
     O0,

@@ -79,6 +79,14 @@ impl<'env> Pool<'env> {
         self.threads
     }
 
+    /// Jobs spawned but not yet completed — the queue-depth signal a
+    /// long-running scheduler exports as a gauge. A snapshot, stale the
+    /// moment it is read; use it for observability, never for control
+    /// flow.
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().unwrap().pending
+    }
+
     /// Submit a job. It may borrow anything that outlives the [`scope`]
     /// call and runs on some worker thread before `scope` returns.
     pub fn spawn(&self, job: impl FnOnce(usize) + Send + 'env) {

@@ -64,6 +64,12 @@ impl StageKind {
         StageKind::Contract,
     ];
 
+    /// Position in [`ALL`](Self::ALL) — a dense index for per-stage
+    /// arrays (e.g. the cache's shards).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Stable machine-readable name (cache keys, JSON, telemetry).
     pub fn as_str(self) -> &'static str {
         match self {

@@ -31,6 +31,7 @@ pub mod artifact;
 pub mod cache;
 pub mod certificate;
 pub mod pipeline;
+pub mod serve;
 
 pub use apps::{app_from_codec, AppPipeline, SpecRow, SpecTrace, StdApp, Tamper};
 pub use artifact::{ArtifactHasher, ArtifactId};
@@ -39,3 +40,4 @@ pub use certificate::{
     compose, ComposeError, ComposedCertificate, StageCertificate, StageKind, SCHEMA,
 };
 pub use pipeline::{CellReport, Pipeline, StageOutcome};
+pub use serve::ServeCore;

@@ -33,7 +33,7 @@ use parfait_telemetry::Telemetry;
 
 use crate::apps::AppPipeline;
 use crate::artifact::{ArtifactHasher, ArtifactId};
-use crate::cache::CertCache;
+use crate::cache::{CertCache, Claim};
 use crate::certificate::{compose, ComposedCertificate, StageCertificate, StageKind, SCHEMA};
 
 /// The result of running (or short-circuiting) one stage.
@@ -129,20 +129,36 @@ impl Pipeline {
                 )
                 .inc();
         };
-        if let Some(certificate) = self.cache.lookup(stage, inputs) {
-            self.tel.count("pipeline.cache.hit", 1);
-            runs("hit");
-            let wall = t0.elapsed();
-            wall_us.record_duration(wall);
-            cpu_us.record_duration(wall);
-            return Ok(StageOutcome { certificate, wall, cache_hit: true, fps: None });
-        }
+        // Single-flight claim: a warm key (or another thread's flight
+        // this claim joined) is a hit; a cold key makes this thread the
+        // leader, obligated to run the stage and publish the outcome.
+        let flight = match self.cache.claim(stage, inputs) {
+            Claim::Ready(certificate) => {
+                self.tel.count("pipeline.cache.hit", 1);
+                runs("hit");
+                let wall = t0.elapsed();
+                wall_us.record_duration(wall);
+                cpu_us.record_duration(wall);
+                return Ok(StageOutcome { certificate, wall, cache_hit: true, fps: None });
+            }
+            // The flight this claim joined failed; its error is already
+            // `[stage]`-prefixed by the leader — propagate verbatim.
+            Claim::Failed(e) => return Err(e),
+            Claim::Leader(flight) => flight,
+        };
         self.tel.count("pipeline.cache.miss", 1);
-        let (stats, fps) = run().map_err(|e| format!("[{stage}] {e}"))?;
+        let (stats, fps) = match run() {
+            Ok(out) => out,
+            Err(e) => {
+                let e = format!("[{stage}] {e}");
+                flight.fail(&e);
+                return Err(e);
+            }
+        };
         runs("miss");
         let certificate =
             StageCertificate { schema: SCHEMA, stage, app: app.to_string(), claim, inputs, stats };
-        self.cache.store(&certificate);
+        flight.complete(&certificate);
         let wall = t0.elapsed();
         wall_us.record_duration(wall);
         // CPU time: the parallel FPS checker reports aggregate worker

@@ -1,0 +1,231 @@
+//! The `parfait-serve` session loop and transports.
+//!
+//! [`handle_session`] is transport-agnostic — any `BufRead` in, any
+//! `Write` out — so the whole protocol is testable in-memory, and the
+//! two real transports are thin wrappers: stdin/stdout
+//! ([`serve_stdio`]) and a Unix socket at `PARFAIT_SOCKET`
+//! ([`serve_socket`], one thread per connection).
+//!
+//! Robustness rules (exercised by `tests/serve_protocol.rs`):
+//!
+//! - Every malformed line — bad JSON, unknown op, invalid tenant,
+//!   oversized line — is answered with a structured `error` frame and
+//!   the session continues. The daemon never panics on input and never
+//!   silently drops a line.
+//! - A line longer than [`MAX_LINE_BYTES`] is discarded up to its
+//!   newline without buffering it, so a hostile client cannot balloon
+//!   the daemon's memory.
+//! - EOF is an implicit flush: whatever is queued runs to completion
+//!   (graceful drain), results are written best-effort, and the cache
+//!   — whose disk writes are temp+rename — stays consistent even if
+//!   the client is gone by then.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parfait_telemetry::json::Json;
+
+use super::protocol::{
+    bye_frame, error_frame, metrics_frame, parse_request, pong_frame, status_frame, Request,
+    MAX_LINE_BYTES,
+};
+use super::ServeCore;
+
+/// Why a session ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The client closed its stream (EOF): drained and done.
+    Eof,
+    /// The client sent `shutdown`: drained, and the server should stop
+    /// accepting new sessions.
+    Shutdown,
+}
+
+/// One line read, or `Oversized` (the overlong line was discarded up
+/// to its newline), or `None` at EOF.
+fn read_line_capped(reader: &mut impl BufRead) -> io::Result<Option<Result<String, ()>>> {
+    let mut buf = Vec::new();
+    let n = reader.by_ref().take(MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let ended = buf.last() == Some(&b'\n');
+    if ended {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    if buf.len() > MAX_LINE_BYTES {
+        // Discard the remainder of the line without retaining it.
+        if !ended {
+            loop {
+                let mut skip = Vec::new();
+                let m = reader.by_ref().take(MAX_LINE_BYTES as u64).read_until(b'\n', &mut skip)?;
+                if m == 0 || skip.last() == Some(&b'\n') {
+                    break;
+                }
+            }
+        }
+        return Ok(Some(Err(())));
+    }
+    Ok(Some(Ok(String::from_utf8_lossy(&buf).into_owned())))
+}
+
+fn write_frame(writer: &mut impl Write, frame: &Json) -> io::Result<()> {
+    writeln!(writer, "{frame}")?;
+    writer.flush()
+}
+
+/// Run one protocol session to completion. Requests batch up until a
+/// `flush`, `shutdown`, or EOF, then execute as one scheduled DAG and
+/// answer in request order. Returns how the session ended; `Err` means
+/// the transport itself failed (e.g. the client disconnected while a
+/// frame was being written) — any batch already executing completes
+/// its cache writes regardless.
+pub fn handle_session(
+    core: &ServeCore,
+    mut reader: impl BufRead,
+    mut writer: impl Write,
+) -> io::Result<SessionEnd> {
+    let mut batch = Vec::new();
+    let queued = core.metrics().gauge("serve_session_queued");
+    loop {
+        let line = match read_line_capped(&mut reader)? {
+            None => {
+                // EOF: implicit flush — drain the queue, then stop.
+                queued.set(0.0);
+                for frame in core.run_batch(&batch) {
+                    write_frame(&mut writer, &frame)?;
+                }
+                return Ok(SessionEnd::Eof);
+            }
+            Some(Err(())) => {
+                let msg = format!("line exceeds {MAX_LINE_BYTES} bytes");
+                write_frame(&mut writer, &error_frame(None, &msg))?;
+                continue;
+            }
+            Some(Ok(line)) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(e) => {
+                core.metrics()
+                    .counter_with("serve_requests_total", &[("outcome", "malformed")])
+                    .inc();
+                write_frame(&mut writer, &error_frame(e.id.as_deref(), &e.error))?;
+            }
+            Ok(Request::Verify(req)) => {
+                write_frame(&mut writer, &status_frame(&req.id, "queued"))?;
+                batch.push(req);
+                queued.set(batch.len() as f64);
+            }
+            Ok(Request::Ping) => write_frame(&mut writer, &pong_frame())?,
+            Ok(Request::Metrics) => {
+                let snap = core.metrics().snapshot().to_json();
+                write_frame(&mut writer, &metrics_frame(snap))?;
+            }
+            Ok(Request::Flush) => {
+                queued.set(0.0);
+                for frame in core.run_batch(&std::mem::take(&mut batch)) {
+                    write_frame(&mut writer, &frame)?;
+                }
+            }
+            Ok(Request::Shutdown) => {
+                // Graceful drain: finish the queued work, answer it,
+                // say goodbye, then stop.
+                queued.set(0.0);
+                for frame in core.run_batch(&std::mem::take(&mut batch)) {
+                    write_frame(&mut writer, &frame)?;
+                }
+                write_frame(&mut writer, &bye_frame())?;
+                return Ok(SessionEnd::Shutdown);
+            }
+        }
+    }
+}
+
+/// Serve a single session over this process's stdin/stdout — the
+/// zero-setup transport (`parfait-serve < requests.jsonl`).
+pub fn serve_stdio(core: &ServeCore) -> io::Result<SessionEnd> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    handle_session(core, stdin.lock(), stdout.lock())
+}
+
+/// Serve sessions on a Unix socket at `path`, one thread per
+/// connection, until some client sends `shutdown`. All sessions share
+/// `core` — one cache, one scheduler metrics registry — which is the
+/// point: cross-session duplicate work collapses in the single-flight
+/// cache. The socket file is (re)created on bind and removed on exit.
+pub fn serve_socket(core: &ServeCore, path: &Path) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            let shutdown = &shutdown;
+            s.spawn(move || {
+                let reader = BufReader::new(&stream);
+                match handle_session(core, reader, &stream) {
+                    Ok(SessionEnd::Shutdown) => {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so it observes the
+                        // flag; the dummy connection is never served.
+                        let _ = UnixStream::connect(path);
+                    }
+                    Ok(SessionEnd::Eof) => {}
+                    // A vanished client is routine, not fatal.
+                    Err(e) => eprintln!("serve: session ended abnormally: {e}"),
+                }
+            });
+        }
+    });
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capped_reader_passes_normal_lines_and_discards_oversized() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"short line\r\n");
+        input.extend_from_slice(&vec![b'x'; MAX_LINE_BYTES + 10]);
+        input.push(b'\n');
+        input.extend_from_slice(b"after\n");
+        let mut reader = io::BufReader::new(&input[..]);
+        assert_eq!(read_line_capped(&mut reader).unwrap(), Some(Ok("short line".into())));
+        assert_eq!(read_line_capped(&mut reader).unwrap(), Some(Err(())));
+        // The stream recovers at the next line.
+        assert_eq!(read_line_capped(&mut reader).unwrap(), Some(Ok("after".into())));
+        assert_eq!(read_line_capped(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn a_line_of_exactly_the_cap_survives() {
+        let mut input = vec![b'y'; MAX_LINE_BYTES];
+        input.push(b'\n');
+        let mut reader = io::BufReader::new(&input[..]);
+        match read_line_capped(&mut reader).unwrap() {
+            Some(Ok(line)) => assert_eq!(line.len(), MAX_LINE_BYTES),
+            other => panic!("expected the full line, got {other:?}"),
+        }
+    }
+}

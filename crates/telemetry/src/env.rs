@@ -27,6 +27,7 @@ pub const KNOBS: &[&str] = &[
     "PARFAIT_VCD_DIR",
     "PARFAIT_TRACE",
     "PARFAIT_DECODE_CACHE",
+    "PARFAIT_SOCKET",
 ];
 
 fn loud<T>(result: Result<T, String>) -> T {
@@ -166,6 +167,21 @@ pub fn decode_cache_loud() -> bool {
     loud(parse_decode_cache(read("PARFAIT_DECODE_CACHE").as_deref()))
 }
 
+/// `PARFAIT_SOCKET`: path for the serve daemon's Unix socket; unset or
+/// empty means "stdin/stdout only".
+pub fn parse_socket(raw: Option<&str>) -> Result<Option<PathBuf>, String> {
+    match raw {
+        None => Ok(None),
+        Some(v) if v.trim().is_empty() => Ok(None),
+        Some(v) => Ok(Some(PathBuf::from(v))),
+    }
+}
+
+/// Loud reader for [`parse_socket`]; `None` when unset or empty.
+pub fn socket_loud() -> Option<PathBuf> {
+    loud(parse_socket(read("PARFAIT_SOCKET").as_deref()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +234,13 @@ mod tests {
         let e = parse_decode_cache(Some("maybe")).unwrap_err();
         assert!(e.contains("PARFAIT_DECODE_CACHE expects"), "{e}");
         assert!(e.contains("\"maybe\""), "{e}");
+    }
+
+    #[test]
+    fn socket_empty_means_stdio_only() {
+        assert_eq!(parse_socket(None), Ok(None));
+        assert_eq!(parse_socket(Some("")), Ok(None));
+        assert_eq!(parse_socket(Some("/tmp/s.sock")), Ok(Some(PathBuf::from("/tmp/s.sock"))));
     }
 
     #[test]

@@ -5,7 +5,10 @@
 # the content-addressed certificate cache), and BENCH_lint.json (static
 # constant-time lint wall time, the contrast to a cold FPS run), and
 # BENCH_mutatest.json (adversary catalog: time from seeded fault to
-# stage rejection) at the repo root, then BENCH_perf.json (the
+# stage rejection) at the repo root, plus BENCH_serve.json (the serve
+# daemon vs. sequential one-shot sessions on one request mix — request
+# throughput and dedup accounting, not wall-clock speedup), then
+# BENCH_perf.json (the
 # deterministic hot-path counters compared against perf_baseline.json —
 # the same ratchet CI enforces, so a bench run reports the comparison
 # alongside the numbers it just produced). Run from the repo root.
@@ -32,6 +35,11 @@ THREADS="${THREADS:-$(nproc 2>/dev/null || echo 4)}"
     --json BENCH_lint.json --metrics BENCH_lint.manifest.json
 ./target/release/bench_mutatest --threads "$THREADS" \
     --json BENCH_mutatest.json --metrics BENCH_mutatest.manifest.json
+# The serve daemon vs. sequential one-shot sessions on an identical
+# two-tenant request mix (throughput and dedup accounting; the
+# certificate byte-identity assertions run inside the bin).
+./target/release/bench_serve $QUICK --threads "$THREADS" \
+    --json BENCH_serve.json --metrics BENCH_serve.manifest.json
 # The perf ratchet's fixed workloads, measured fresh and compared
 # against the checked-in baseline; a regression fails the bench run
 # loudly, exactly as it would fail CI.

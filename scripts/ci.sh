@@ -7,8 +7,10 @@
 # the differential parallel-checker test under a fixed thread budget,
 # the pipeline cache differential test (now including the ctcheck
 # stage) run twice against one shared PARFAIT_CACHE_DIR (cold pass then
-# warm pass — proving warm-run determinism), and clippy with warnings
-# promoted to errors. Run from the repo root.
+# warm pass — proving warm-run determinism), the serve-daemon gate (a
+# recorded two-tenant session replayed cold then warm; the warm pass
+# must be all cache hits), and clippy with warnings promoted to
+# errors. Run from the repo root.
 set -eux
 
 # rustfmt's ignore option is nightly-only, so enumerate our packages
@@ -86,4 +88,29 @@ PARFAIT_CACHE_DIR="$OBS_CACHE_DIR" ./target/release/verify \
 ./target/release/cachestat --check-metrics target/ci-obs-warm-metrics.json \
     --require pipeline_stage_,certcache_,bound_,@stages
 ./target/release/cachestat --dir "$OBS_CACHE_DIR"
+# Serve gate: the proof daemon replays a recorded two-tenant JSONL
+# session twice against one cache root. The cold pass must answer every
+# request (and say goodbye — graceful drain on shutdown); the warm pass
+# must be cache hits all the way down: every result frame reports
+# `cached: true` (servestat --expect-all-cached) and the metrics
+# snapshot records zero stage misses (cachestat @nomiss).
+SERVE_CACHE_DIR="target/ci-serve-cache"
+rm -rf "$SERVE_CACHE_DIR"
+printf '%s\n' \
+    '{"op":"ping"}' \
+    '{"op":"verify","id":"s1","tenant":"team-a","app":"hasher","cpu":"pico","opt":"-O2"}' \
+    '{"op":"verify","id":"s2","tenant":"team-b","app":"hasher","cpu":"pico","opt":"-O2"}' \
+    '{"op":"shutdown"}' > target/ci-serve-session.jsonl
+PARFAIT_CACHE_DIR="$SERVE_CACHE_DIR" ./target/release/serve --threads 2 \
+    --metrics target/ci-serve-cold-metrics.json \
+    < target/ci-serve-session.jsonl > target/ci-serve-cold.jsonl
+./target/release/servestat target/ci-serve-cold.jsonl \
+    --expect-results 2 --expect-errors 0 --expect-bye
+PARFAIT_CACHE_DIR="$SERVE_CACHE_DIR" ./target/release/serve --threads 2 \
+    --metrics target/ci-serve-warm-metrics.json \
+    < target/ci-serve-session.jsonl > target/ci-serve-warm.jsonl
+./target/release/servestat target/ci-serve-warm.jsonl \
+    --expect-results 2 --expect-errors 0 --expect-all-cached --expect-bye
+./target/release/cachestat --check-metrics target/ci-serve-warm-metrics.json \
+    --require serve_,certcache_,@nomiss
 cargo clippy --workspace --all-targets -- -D warnings

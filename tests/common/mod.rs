@@ -139,6 +139,34 @@ impl Codec for TokenCodec {
     }
 }
 
+/// A token-HSM [`parfait_pipeline::AppPipeline`]: the whole seven-stage
+/// proof pipeline over the tiny fixture, so pipeline- and serve-level
+/// tests run in seconds. `slug` names the cache entries; `source` is
+/// the littlec implementation (default [`TOKEN_LC`]; any
+/// behavior-preserving variant pairs with the same spec).
+pub fn token_app_pipeline(slug: &str, source: String) -> parfait_pipeline::AppPipeline {
+    parfait_pipeline::app_from_codec(
+        "token HSM",
+        slug,
+        source,
+        AppSizes { state: STATE, command: CMD, response: RESP },
+        TokenCodec,
+        token_spec(),
+        (0xDEAD_BEEF, 7),
+        cmd(3, 5),
+        vec![(0, 0), (0xDEAD_BEEF, 7)],
+        vec![cmd(1, 5), cmd(2, 10), cmd(3, 5)],
+        vec![vec![1, 0, 0, 0, 0]],
+        parfait_starling::StarlingConfig {
+            state_size: STATE,
+            command_size: CMD,
+            response_size: RESP,
+            adversarial_inputs: 4,
+            ..parfait_starling::StarlingConfig::default()
+        },
+    )
+}
+
 /// The production password-hasher firmware at `-O2`, compiled and
 /// linked exactly once per test binary. The suites need a clean image
 /// per scenario (cloning one is microseconds); rebuilding it inside

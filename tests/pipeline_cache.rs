@@ -375,6 +375,59 @@ fn mutant_runs_leave_clean_certificates_intact() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Corrupt on-disk entries are discarded *eagerly*: the failed lookup
+/// itself unlinks the file, so a corrupt certificate never lingers to
+/// be re-parsed by every subsequent process (regression: the discard
+/// used to leave the file in place until the next store overwrote it).
+/// Both corruption shapes are covered — unparseable bytes, and a valid
+/// certificate sitting under the wrong key (stage mismatch).
+#[test]
+fn corrupt_cache_entries_are_unlinked_on_first_lookup() {
+    let dir = private_dir("pipeline-cache-corrupt");
+    let a = token_a();
+    let cold = Pipeline::new(CertCache::at(dir.clone()), Default::default());
+    let out = cold.speccheck_stage(&a).expect("speccheck passes");
+    assert!(!out.cache_hit);
+    let inputs = out.certificate.inputs;
+    let cert_file = |d: &PathBuf| -> Option<PathBuf> {
+        std::fs::read_dir(d).ok().and_then(|rd| {
+            rd.filter_map(Result::ok).map(|e| e.path()).find(|p| {
+                p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("speccheck-"))
+            })
+        })
+    };
+    let path = cert_file(&dir).expect("cold run stored a speccheck certificate");
+
+    // Shape 1: unparseable bytes. A fresh handle (empty memo, so the
+    // disk path runs) must miss AND remove the file right then — not
+    // on some later store.
+    std::fs::write(&path, b"{ definitely not a certificate").unwrap();
+    let fresh = CertCache::at(dir.clone());
+    assert_eq!(fresh.lookup(StageKind::SpecCheck, inputs), None, "corrupt entry must miss");
+    assert!(!path.exists(), "the failed lookup itself must unlink the corrupt file");
+
+    // Shape 2: a well-formed certificate under the wrong key. Re-store
+    // the real certificate, then overwrite it with a lockstep
+    // certificate's bytes: parseable, but the stage doesn't match the
+    // key — still a miss, still eagerly unlinked.
+    fresh.store(&out.certificate);
+    let lockstep = cold.lockstep_stage(&a).expect("lockstep passes");
+    std::fs::write(&path, lockstep.certificate.canonical()).unwrap();
+    let fresh2 = CertCache::at(dir.clone());
+    assert_eq!(fresh2.lookup(StageKind::SpecCheck, inputs), None, "mismatched stage must miss");
+    assert!(!path.exists(), "the mismatched entry must be unlinked too");
+
+    // The cache recovers: the next run recomputes, re-stores, and a
+    // brand-new handle hits a byte-identical certificate.
+    let recovered = Pipeline::new(CertCache::at(dir.clone()), Default::default());
+    let out2 = recovered.speccheck_stage(&a).expect("speccheck recomputes");
+    assert!(!out2.cache_hit, "recompute after discard");
+    assert_eq!(out2.certificate.canonical(), out.certificate.canonical());
+    assert!(path.exists(), "the recompute re-stored the certificate");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The standard apps expose distinct, stable cache identities (guards
 /// against a refactor accidentally collapsing app slugs, which would
 /// alias their cache entries).

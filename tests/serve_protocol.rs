@@ -1,0 +1,237 @@
+//! Protocol-robustness corpus for the `parfait-serve` session loop
+//! (ISSUE 10): every malformed line — truncated frame, unknown op,
+//! invalid tenant, oversized line, wrong types — is answered with a
+//! structured error frame (correlatable by `id` whenever one can be
+//! recovered), the session always continues, and the daemon never
+//! panics or silently drops a line. A client that vanishes mid-batch
+//! leaves the cache directory consistent: no temp droppings, every
+//! stored certificate parses, and a retry completes warm.
+
+mod common;
+
+use std::io::{Cursor, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parfait_pipeline::serve::protocol::MAX_LINE_BYTES;
+use parfait_pipeline::serve::server::{handle_session, SessionEnd};
+use parfait_pipeline::{CertCache, ServeCore, StageCertificate};
+use parfait_telemetry::json::{parse, Json};
+use parfait_telemetry::metrics::Metrics;
+use parfait_telemetry::Telemetry;
+
+fn private_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parfait-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn token_core(dir: &Path) -> ServeCore {
+    let cache = CertCache::at_with(dir.to_path_buf(), Metrics::new());
+    let apps = vec![Arc::new(common::token_app_pipeline("token-a", common::TOKEN_LC.to_string()))];
+    ServeCore::with_apps(cache, Telemetry::disabled(), 2, apps)
+}
+
+fn frames_of(out: Vec<u8>) -> Vec<Json> {
+    String::from_utf8(out)
+        .expect("frames are utf-8")
+        .lines()
+        .map(|l| parse(l).expect("every output line is a JSON frame"))
+        .collect()
+}
+
+fn frame_kind(f: &Json) -> &str {
+    f.get("frame").and_then(Json::as_str).unwrap_or("?")
+}
+
+/// The seeded malformed corpus: one session, every bad shape in
+/// sequence, each answered with an error frame, and a healthy request
+/// at the end proving the session survived them all.
+#[test]
+fn malformed_corpus_gets_structured_errors_and_the_session_survives() {
+    let dir = private_dir("serve-proto-corpus");
+    let core = token_core(&dir);
+
+    let oversized =
+        format!(r#"{{"op":"verify","id":"huge","pad":"{}"}}"#, "x".repeat(MAX_LINE_BYTES));
+    let corpus: Vec<String> = vec![
+        // Truncated frame (unterminated JSON): id unrecoverable.
+        r#"{"op":"verify","id":"t1","tenant":"alpha""#.into(),
+        // Unknown op: id recovered.
+        r#"{"op":"warp","id":"t2"}"#.into(),
+        // Bad tenant characters (path traversal shape).
+        r#"{"op":"verify","id":"t3","tenant":"../../etc","app":"token-a","cpu":"ibex","opt":"-O2"}"#.into(),
+        // Wrong field type.
+        r#"{"op":"verify","id":"t4","tenant":"alpha","app":7,"cpu":"ibex","opt":"-O2"}"#.into(),
+        // Unknown cpu / opt.
+        r#"{"op":"verify","id":"t5","tenant":"alpha","app":"token-a","cpu":"z80","opt":"-O2"}"#.into(),
+        r#"{"op":"verify","id":"t6","tenant":"alpha","app":"token-a","cpu":"ibex","opt":"-O9"}"#.into(),
+        // Not an object at all.
+        r#"[1,2,3]"#.into(),
+        // Oversized line: discarded without buffering, id irrecoverable.
+        oversized,
+        // Unknown app: parses fine, rejected at execution time.
+        r#"{"op":"verify","id":"t8","tenant":"alpha","app":"ghost","cpu":"ibex","opt":"-O2"}"#.into(),
+        // The survivor probe.
+        r#"{"op":"ping"}"#.into(),
+        r#"{"op":"flush"}"#.into(),
+    ];
+    let session = corpus.join("\n") + "\n";
+    let mut out = Vec::new();
+    let end = handle_session(&core, Cursor::new(session.into_bytes()), &mut out)
+        .expect("malformed input must never kill the transport");
+    assert_eq!(end, SessionEnd::Eof);
+
+    let frames = frames_of(out);
+    // No line silently dropped: 9 errors (8 parse-time + 1 unknown-app
+    // at flush), 1 status (the queued unknown-app request), 1 pong.
+    let errors: Vec<&Json> = frames.iter().filter(|f| frame_kind(f) == "error").collect();
+    assert_eq!(errors.len(), 9, "one error frame per bad line: {frames:?}");
+    assert_eq!(frames.iter().filter(|f| frame_kind(f) == "pong").count(), 1);
+    assert!(frames.iter().all(|f| frame_kind(f) != "result"), "nothing verifiable was queued");
+
+    let error_text = |id: &str| -> String {
+        errors
+            .iter()
+            .find(|f| f.get("id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no error frame for {id}: {errors:?}"))
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    };
+    assert!(error_text("t2").contains("unknown op"));
+    assert!(error_text("t3").contains("invalid tenant"));
+    assert!(error_text("t4").contains("must be a string"));
+    assert!(error_text("t5").contains("unknown cpu"));
+    assert!(error_text("t6").contains("unknown opt"));
+    assert!(error_text("t8").contains("unknown app"));
+    // The unrecoverable ones carry id null, with a reason each.
+    let anonymous: Vec<String> = errors
+        .iter()
+        .filter(|f| matches!(f.get("id"), Some(Json::Null)))
+        .map(|f| f.get("error").and_then(Json::as_str).unwrap().to_string())
+        .collect();
+    assert_eq!(anonymous.len(), 3, "truncated JSON, non-object, oversized: {anonymous:?}");
+    assert!(anonymous.iter().any(|e| e.contains("malformed JSON")));
+    assert!(anonymous.iter().any(|e| e.contains(&format!("exceeds {MAX_LINE_BYTES} bytes"))));
+
+    // Nothing was written into the cache by a rejected request.
+    assert!(
+        !dir.join("alpha").exists() || cert_files(&dir.join("alpha")).is_empty(),
+        "rejected requests must not create cache entries"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn cert_files(dir: &Path) -> Vec<PathBuf> {
+    match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.to_string_lossy().ends_with(".cert.json"))
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// A writer that accepts exactly one frame (the queued-status line)
+/// and then fails with `BrokenPipe` — the client vanished while the
+/// daemon was answering its results.
+struct VanishingClient {
+    lines: usize,
+}
+
+impl Write for VanishingClient {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.lines >= 1 {
+            return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "client gone"));
+        }
+        self.lines += buf.iter().filter(|&&b| b == b'\n').count();
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Mid-batch disconnect: the client queues work and disappears while
+/// results are being written. The session reports the transport error,
+/// but the cache directory stays consistent — certificates all parse,
+/// no temp files linger — and a retry over the same cache completes
+/// fully warm.
+#[test]
+fn mid_batch_disconnect_leaves_the_cache_consistent() {
+    let dir = private_dir("serve-proto-disconnect");
+    let core = token_core(&dir);
+    let session = concat!(
+        r#"{"op":"verify","id":"d1","tenant":"alpha","app":"token-a","cpu":"ibex","opt":"-O2"}"#,
+        "\n",
+        r#"{"op":"flush"}"#,
+        "\n"
+    );
+    let err = handle_session(
+        &core,
+        Cursor::new(session.as_bytes().to_vec()),
+        VanishingClient { lines: 0 },
+    )
+    .expect_err("the vanished client surfaces as a transport error");
+    assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+
+    // Consistency: the stage work that ran was durably and atomically
+    // stored — every file parses as a certificate, and the temp+rename
+    // discipline left no `.tmp.` droppings.
+    let tenant_dir = dir.join("alpha");
+    let stored = cert_files(&tenant_dir);
+    assert!(!stored.is_empty(), "the batch ran before the write failed");
+    for path in &stored {
+        let text = std::fs::read_to_string(path).expect("readable certificate");
+        let doc = parse(&text)
+            .unwrap_or_else(|e| panic!("{} is not JSON after disconnect: {e}", path.display()));
+        StageCertificate::from_json(&doc)
+            .unwrap_or_else(|| panic!("{} is corrupt after disconnect", path.display()));
+    }
+    let droppings: Vec<String> = std::fs::read_dir(&tenant_dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp"))
+        .collect();
+    assert!(droppings.is_empty(), "temp files left behind: {droppings:?}");
+
+    // The retry completes — and fully warm, since the disconnected
+    // batch's work was not lost.
+    let mut out = Vec::new();
+    let end = handle_session(&core, Cursor::new(session.as_bytes().to_vec()), &mut out)
+        .expect("retry succeeds");
+    assert_eq!(end, SessionEnd::Eof);
+    let frames = frames_of(out);
+    let result =
+        frames.iter().find(|f| frame_kind(f) == "result").expect("retry produced a result frame");
+    assert_eq!(result.get("cached"), Some(&Json::Bool(true)), "retry must be fully cached");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// EOF with queued requests is an implicit flush: the batch drains and
+/// every result is written before the session ends.
+#[test]
+fn eof_is_an_implicit_flush() {
+    let dir = private_dir("serve-proto-eof");
+    let core = token_core(&dir);
+    let session = concat!(
+        r#"{"op":"verify","id":"e1","tenant":"alpha","app":"token-a","cpu":"ibex","opt":"-O2"}"#,
+        "\n"
+    );
+    let mut out = Vec::new();
+    let end = handle_session(&core, Cursor::new(session.as_bytes().to_vec()), &mut out)
+        .expect("session completes");
+    assert_eq!(end, SessionEnd::Eof);
+    let frames = frames_of(out);
+    assert_eq!(
+        frames.iter().filter(|f| frame_kind(f) == "result").count(),
+        1,
+        "EOF drained the queued request: {frames:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

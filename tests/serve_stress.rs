@@ -1,0 +1,192 @@
+//! Stress/differential harness for the `parfait-serve` daemon (ISSUE
+//! 10): eight concurrent clients hammer one core with overlapping
+//! two-tenant batches, and the result must be indistinguishable — byte
+//! for byte — from a single client running the same requests
+//! sequentially.
+//!
+//! What the contention run must prove:
+//!
+//! 1. **Differential**: every composed certificate equals the
+//!    sequential oracle's, byte-identical, for every client.
+//! 2. **Single-flight**: the cold-stage counter
+//!    (`pipeline_stage_runs_total{outcome="miss"}`, on a metrics
+//!    registry injected per run) never exceeds the number of unique
+//!    cache keys — i.e. the certificates on disk. Eight clients racing
+//!    on the same cold cell run each stage once; everyone else waits
+//!    for the leader.
+//! 3. **Tenant isolation**: both tenants' namespaces hold their own
+//!    full certificate set (misses == alpha files + beta files), so no
+//!    tenant was served another's disk entries.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parfait_pipeline::serve::server::handle_session;
+use parfait_pipeline::{CertCache, ServeCore};
+use parfait_telemetry::json::{parse, Json};
+use parfait_telemetry::metrics::Metrics;
+use parfait_telemetry::Telemetry;
+
+const CLIENTS: usize = 8;
+const TENANTS: [&str; 2] = ["alpha", "beta"];
+const CELLS: [(&str, &str); 2] = [("ibex", "-O2"), ("ibex", "-O1")];
+
+fn private_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parfait-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fresh_core(dir: &Path, threads: usize) -> ServeCore {
+    let cache = CertCache::at_with(dir.to_path_buf(), Metrics::new());
+    let apps = vec![Arc::new(common::token_app_pipeline("token-a", common::TOKEN_LC.to_string()))];
+    ServeCore::with_apps(cache, Telemetry::disabled(), threads, apps)
+}
+
+/// The overlapping batch every client sends: all (tenant × cell)
+/// combinations of the token app.
+fn session_text() -> String {
+    let mut lines = Vec::new();
+    for tenant in TENANTS {
+        for (i, (cpu, opt)) in CELLS.iter().enumerate() {
+            lines.push(format!(
+                r#"{{"op":"verify","id":"{tenant}-{i}","tenant":"{tenant}","app":"token-a","cpu":"{cpu}","opt":"{opt}"}}"#
+            ));
+        }
+    }
+    lines.push(r#"{"op":"flush"}"#.to_string());
+    lines.join("\n") + "\n"
+}
+
+/// Run one session and return (tenant, cpu, opt) → composed
+/// certificate, compact JSON. Panics on any error frame.
+fn run_session(core: &ServeCore) -> BTreeMap<String, String> {
+    let mut out = Vec::new();
+    handle_session(core, Cursor::new(session_text().into_bytes()), &mut out)
+        .expect("in-memory transport cannot fail");
+    let mut composed = BTreeMap::new();
+    for line in String::from_utf8(out).expect("frames are utf-8").lines() {
+        let frame = parse(line).expect("every frame parses");
+        match frame.get("frame").and_then(Json::as_str) {
+            Some("result") => {
+                let key = format!(
+                    "{}/{}/{}",
+                    frame.get("tenant").and_then(Json::as_str).unwrap(),
+                    frame.get("cpu").and_then(Json::as_str).unwrap(),
+                    frame.get("opt").and_then(Json::as_str).unwrap(),
+                );
+                let cert = frame.get("composed").expect("result has composed").to_string();
+                composed.insert(key, cert);
+            }
+            Some("error") => panic!("unexpected error frame: {line}"),
+            _ => {}
+        }
+    }
+    assert_eq!(composed.len(), TENANTS.len() * CELLS.len(), "every request answered");
+    composed
+}
+
+fn cert_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".cert.json"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    names.sort();
+    names
+}
+
+fn total_misses(core: &ServeCore) -> u64 {
+    core.metrics()
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|(k, _)| {
+            k.name == "pipeline_stage_runs_total"
+                && k.labels.iter().any(|(lk, lv)| lk == "outcome" && lv == "miss")
+        })
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+#[test]
+fn contended_clients_match_the_sequential_oracle() {
+    // Sequential oracle: one client, one single-threaded core, a
+    // private cold cache.
+    let seq_dir = private_dir("serve-stress-seq");
+    let seq_core = fresh_core(&seq_dir, 1);
+    let oracle = run_session(&seq_core);
+
+    // Contended run: eight clients, each its own session, one shared
+    // core over a different cold cache. The mix is warm+cold by
+    // construction — whichever client claims a stage first is the cold
+    // leader, everyone else waits (single-flight) or hits warm state.
+    let hot_dir = private_dir("serve-stress-hot");
+    let hot_core = fresh_core(&hot_dir, 2);
+    let client_results: Vec<BTreeMap<String, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS).map(|_| s.spawn(|| run_session(&hot_core))).collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+
+    // 1. Differential: all eight clients byte-identical to the oracle.
+    for (i, got) in client_results.iter().enumerate() {
+        assert_eq!(got, &oracle, "client {i} diverged from the sequential oracle");
+    }
+
+    // 2. Single-flight: cold stage runs never exceed unique cache keys.
+    // Equality is the strong form — every miss stored exactly one new
+    // certificate, so 8 clients racing did not recompute anything.
+    let alpha_files = cert_files(&hot_dir.join("alpha"));
+    let beta_files = cert_files(&hot_dir.join("beta"));
+    let unique_keys = (alpha_files.len() + beta_files.len()) as u64;
+    let misses = total_misses(&hot_core);
+    assert!(misses > 0, "the contended run started cold");
+    assert_eq!(
+        misses, unique_keys,
+        "single-flight violated: {misses} cold stage runs for {unique_keys} unique keys"
+    );
+    // The sequential oracle computed the same unique set.
+    assert_eq!(total_misses(&seq_core), unique_keys);
+
+    // 3. Tenant isolation: each namespace holds its own complete set —
+    // same key names (same app), separate files. If beta had been
+    // served alpha's disk entries, beta's namespace would be missing
+    // certificates and `misses` would undercount `unique_keys`.
+    assert_eq!(alpha_files, beta_files, "both tenants verify the same cells");
+    assert!(!alpha_files.is_empty());
+    assert!(cert_files(&hot_dir).is_empty(), "no certificates may land outside a tenant namespace");
+
+    std::fs::remove_dir_all(&seq_dir).ok();
+    std::fs::remove_dir_all(&hot_dir).ok();
+}
+
+/// Re-running the whole contended workload against the now-warm cache
+/// is all hits: no new cold stage runs, same bytes.
+#[test]
+fn contended_rerun_against_a_warm_cache_is_all_hits() {
+    let dir = private_dir("serve-stress-warm");
+    let cold_core = fresh_core(&dir, 2);
+    let oracle = run_session(&cold_core);
+    let cold_misses = total_misses(&cold_core);
+    assert!(cold_misses > 0);
+
+    // A brand-new core (empty memo) over the same disk: the warm path.
+    let warm_core = fresh_core(&dir, 2);
+    let rerun: Vec<BTreeMap<String, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS).map(|_| s.spawn(|| run_session(&warm_core))).collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    for got in &rerun {
+        assert_eq!(got, &oracle, "warm rerun changed certificate bytes");
+    }
+    assert_eq!(total_misses(&warm_core), 0, "a warm rerun must not re-run any stage");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
